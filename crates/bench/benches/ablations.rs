@@ -1,0 +1,120 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! alternate vs full power iteration, error feedback, buffer-size scaling,
+//! orthogonalization kernel, and top-k selection kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use acp_compression::acp::{AcpSgd, AcpSgdConfig};
+use acp_compression::powersgd::{PowerSgd, PowerSgdConfig};
+use acp_compression::{Compressor, TopK, TopKSelection};
+use acp_models::Model;
+use acp_simulator::{simulate, ExperimentConfig, Strategy};
+use acp_tensor::{orthogonalize, orthogonalize_householder, Matrix, SeedableStdNormal};
+
+/// Alternate (ACP) vs full (Power-SGD) iteration at equal rank — the
+/// halved-compression claim of §IV-A.
+fn ablation_alternate(c: &mut Criterion) {
+    let m = Matrix::random_std_normal(1024, 512, 1);
+    let mut g = c.benchmark_group("ablation_alternate_1024x512_r8");
+    g.sample_size(20);
+    g.bench_function("full_power_iteration", |b| {
+        let mut ps = PowerSgd::new(1024, 512, PowerSgdConfig { rank: 8, ..Default::default() });
+        b.iter(|| {
+            let p = ps.compute_p(&m);
+            let q = ps.compute_q(p);
+            ps.finish(q)
+        });
+    });
+    g.bench_function("alternate_acp", |b| {
+        let mut acp = AcpSgd::new(1024, 512, AcpSgdConfig { rank: 8, ..Default::default() });
+        b.iter(|| {
+            let f = acp.compress(&m);
+            acp.finish(f)
+        });
+    });
+    g.finish();
+}
+
+/// Error feedback on vs off — the residual bookkeeping cost.
+fn ablation_ef(c: &mut Criterion) {
+    let m = Matrix::random_std_normal(512, 512, 2);
+    let mut g = c.benchmark_group("ablation_error_feedback_512");
+    g.sample_size(20);
+    for (name, ef) in [("with_ef", true), ("without_ef", false)] {
+        g.bench_function(name, |b| {
+            let cfg = AcpSgdConfig { rank: 8, error_feedback: ef, ..Default::default() };
+            let mut acp = AcpSgd::new(512, 512, cfg);
+            b.iter(|| {
+                let f = acp.compress(&m);
+                acp.finish(f)
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Compressed-buffer scaling vs a fixed dense buffer for ACP-SGD fusion —
+/// the §IV-B sizing rule, measured through the simulator.
+fn ablation_buffer_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_buffer_scaling_bertlarge_r256");
+    g.sample_size(10);
+    g.bench_function("scaled_25mb_default", |b| {
+        let cfg = ExperimentConfig::paper_testbed(
+            Model::BertLarge,
+            Strategy::AcpSgd { rank: 256 },
+        );
+        b.iter(|| simulate(&cfg).unwrap().total)
+    });
+    g.bench_function("full_fusion_1500mb", |b| {
+        let mut cfg = ExperimentConfig::paper_testbed(
+            Model::BertLarge,
+            Strategy::AcpSgd { rank: 256 },
+        );
+        cfg.buffer_bytes = 1500 * 1024 * 1024;
+        b.iter(|| simulate(&cfg).unwrap().total)
+    });
+    g.finish();
+}
+
+/// Gram–Schmidt vs Householder orthogonalization.
+fn ablation_orthogonalize(c: &mut Criterion) {
+    let m = Matrix::random_std_normal(2048, 16, 3);
+    let mut g = c.benchmark_group("ablation_orthogonalize_2048x16");
+    g.sample_size(20);
+    g.bench_function("gram_schmidt", |b| {
+        b.iter(|| {
+            let mut x = m.clone();
+            orthogonalize(&mut x);
+            x
+        })
+    });
+    g.bench_function("householder", |b| b.iter(|| orthogonalize_householder(&m)));
+    g.finish();
+}
+
+/// Exact vs multiple-sampling top-k selection.
+fn ablation_topk_selection(c: &mut Criterion) {
+    let grad = Matrix::random_std_normal(1, 1 << 20, 4).into_vec();
+    let k = grad.len() / 1000;
+    let mut g = c.benchmark_group("ablation_topk_selection_1m");
+    g.sample_size(20);
+    g.bench_function("exact", |b| {
+        let mut c = TopK::new(k);
+        b.iter(|| c.compress(&grad))
+    });
+    g.bench_function("sampled", |b| {
+        let mut c = TopK::with_selection(k, TopKSelection::Sampled, 9);
+        b.iter(|| c.compress(&grad))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    ablation_alternate,
+    ablation_ef,
+    ablation_buffer_scaling,
+    ablation_orthogonalize,
+    ablation_topk_selection
+);
+criterion_main!(benches);

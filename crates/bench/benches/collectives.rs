@@ -1,0 +1,71 @@
+//! Collective-communication microbenchmarks: ring all-reduce vs all-gather
+//! over in-process worker groups (the system side of Table II), and the
+//! tensor-fusion effect (one big vs many small collectives).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use acp_collectives::{Communicator, ReduceOp, ThreadGroup};
+
+fn bench_all_reduce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("all_reduce_p4");
+    group.sample_size(10);
+    for n in [1usize << 12, 1 << 16, 1 << 20] {
+        group.throughput(Throughput::Bytes(4 * n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                ThreadGroup::run(4, |mut comm| {
+                    let mut buf = vec![comm.rank() as f32; n];
+                    comm.all_reduce(&mut buf, ReduceOp::Sum).unwrap();
+                    buf[0]
+                })
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_all_gather(c: &mut Criterion) {
+    let mut group = c.benchmark_group("all_gather_p4");
+    group.sample_size(10);
+    for n in [1usize << 12, 1 << 16] {
+        group.throughput(Throughput::Bytes(4 * n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                ThreadGroup::run(4, |mut comm| {
+                    let send = vec![comm.rank() as f32; n];
+                    comm.all_gather_f32(&send).unwrap().len()
+                })
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_fusion_effect(c: &mut Criterion) {
+    // One fused 64k-element all-reduce vs 16 separate 4k ones — the
+    // start-up amortization behind tensor fusion.
+    let mut group = c.benchmark_group("fusion_p4");
+    group.sample_size(10);
+    group.bench_function("fused_1x65536", |b| {
+        b.iter(|| {
+            ThreadGroup::run(4, |mut comm| {
+                let mut buf = vec![1.0f32; 65536];
+                comm.all_reduce(&mut buf, ReduceOp::Sum).unwrap();
+            })
+        });
+    });
+    group.bench_function("unfused_16x4096", |b| {
+        b.iter(|| {
+            ThreadGroup::run(4, |mut comm| {
+                for _ in 0..16 {
+                    let mut buf = vec![1.0f32; 4096];
+                    comm.all_reduce(&mut buf, ReduceOp::Sum).unwrap();
+                }
+            })
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_all_reduce, bench_all_gather, bench_fusion_effect);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Compressor microbenchmarks: cost per compression step for every method
+//! the paper evaluates (the compute side of Table II / Fig. 3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use acp_compression::acp::{AcpSgd, AcpSgdConfig};
+use acp_compression::powersgd::{PowerSgd, PowerSgdConfig};
+use acp_compression::qsgd::Qsgd;
+use acp_compression::terngrad::TernGrad;
+use acp_compression::{Compressor, RandomK, SignSgd, TopK};
+use acp_tensor::{Matrix, SeedableStdNormal};
+
+fn gradient(n: usize) -> Vec<f32> {
+    Matrix::random_std_normal(1, n, 7).into_vec()
+}
+
+fn bench_elementwise_compressors(c: &mut Criterion) {
+    let n = 1 << 20;
+    let grad = gradient(n);
+    let mut group = c.benchmark_group("compress_1m");
+    group.throughput(Throughput::Elements(n as u64));
+    group.sample_size(20);
+    group.bench_function("signsgd", |b| {
+        let mut comp = SignSgd::scaled();
+        b.iter(|| comp.compress(&grad));
+    });
+    group.bench_function("topk_exact_0.1%", |b| {
+        let mut comp = TopK::new(n / 1000);
+        b.iter(|| comp.compress(&grad));
+    });
+    group.bench_function("topk_sampled_0.1%", |b| {
+        let mut comp = TopK::with_selection(
+            n / 1000,
+            acp_compression::TopKSelection::Sampled,
+            3,
+        );
+        b.iter(|| comp.compress(&grad));
+    });
+    group.bench_function("randomk_0.1%", |b| {
+        let mut comp = RandomK::new(n / 1000, 3);
+        b.iter(|| comp.compress(&grad));
+    });
+    group.bench_function("qsgd_s4", |b| {
+        let mut comp = Qsgd::new(4, 3);
+        b.iter(|| comp.compress(&grad));
+    });
+    group.bench_function("terngrad", |b| {
+        let mut comp = TernGrad::new(3);
+        b.iter(|| comp.compress(&grad));
+    });
+    group.finish();
+}
+
+fn bench_low_rank(c: &mut Criterion) {
+    let mut group = c.benchmark_group("low_rank_step_512x512");
+    group.sample_size(20);
+    for rank in [4usize, 32] {
+        let m = Matrix::random_std_normal(512, 512, 1);
+        group.bench_with_input(BenchmarkId::new("powersgd", rank), &rank, |b, &r| {
+            let mut ps = PowerSgd::new(512, 512, PowerSgdConfig { rank: r, ..Default::default() });
+            b.iter(|| {
+                let p = ps.compute_p(&m);
+                let q = ps.compute_q(p);
+                ps.finish(q)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("acpsgd", rank), &rank, |b, &r| {
+            let mut acp = AcpSgd::new(512, 512, AcpSgdConfig { rank: r, ..Default::default() });
+            b.iter(|| {
+                let f = acp.compress(&m);
+                acp.finish(f)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_elementwise_compressors, bench_low_rank);
+criterion_main!(benches);

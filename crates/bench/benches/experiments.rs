@@ -1,0 +1,52 @@
+//! One Criterion bench per paper table/figure: each measures the full
+//! regeneration of that experiment (the simulator sweeps for the timing
+//! results, short real training runs for the convergence results) so
+//! `cargo bench` exercises every result end-to-end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use acp_bench::{convergence, statics, timing};
+
+fn bench_static_tables(c: &mut Criterion) {
+    let mut g = c.benchmark_group("statics");
+    g.sample_size(10);
+    g.bench_function("table1", |b| b.iter(statics::table1));
+    g.bench_function("table2", |b| b.iter(statics::table2));
+    g.bench_function("fig4_trace", |b| b.iter(statics::fig4));
+    g.bench_function("fig5_cdf", |b| b.iter(statics::fig5));
+    g.finish();
+}
+
+fn bench_timing_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("timing");
+    g.sample_size(10);
+    g.bench_function("fig2", |b| b.iter(timing::fig2));
+    g.bench_function("fig3", |b| b.iter(timing::fig3));
+    g.bench_function("table3", |b| b.iter(timing::table3));
+    g.bench_function("fig8", |b| b.iter(timing::fig8));
+    g.bench_function("fig9", |b| b.iter(timing::fig9));
+    g.bench_function("fig10", |b| b.iter(timing::fig10));
+    g.bench_function("fig11a", |b| b.iter(timing::fig11a));
+    g.bench_function("fig11b", |b| b.iter(timing::fig11b));
+    g.bench_function("fig12", |b| b.iter(timing::fig12));
+    g.bench_function("fig13", |b| b.iter(timing::fig13));
+    g.finish();
+}
+
+fn bench_convergence_figures(c: &mut Criterion) {
+    // Short-epoch versions: the bench measures the machinery, the full
+    // curves come from `figures fig6 --epochs 300`.
+    let mut g = c.benchmark_group("convergence");
+    g.sample_size(10);
+    g.bench_function("fig6_2epochs", |b| b.iter(|| convergence::fig6(2)));
+    g.bench_function("fig7_2epochs", |b| b.iter(|| convergence::fig7(2)));
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_static_tables,
+    bench_timing_figures,
+    bench_convergence_figures
+);
+criterion_main!(benches);

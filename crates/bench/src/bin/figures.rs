@@ -1,0 +1,100 @@
+//! Regenerates the paper's tables and figures from the command line.
+//!
+//! ```text
+//! figures <experiment> [--epochs N]
+//!
+//! experiments:
+//!   table1 table2 table3
+//!   fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11a fig11b fig12 fig13
+//!   headline   (abstract speedup numbers)
+//!   all        (everything; convergence at the quick epoch count)
+//! ```
+//!
+//! Convergence experiments default to 40 epochs for a minutes-scale run;
+//! pass `--epochs 300` for the paper's full schedule.
+
+use acp_bench::{convergence, statics, timing};
+
+fn parse_epochs(args: &[String]) -> usize {
+    args.windows(2)
+        .find(|w| w[0] == "--epochs")
+        .and_then(|w| w[1].parse().ok())
+        .unwrap_or(40)
+}
+
+fn headline() -> String {
+    let (avg_s, max_s, avg_p, max_p) = timing::headline_speedups();
+    format!(
+        "ACP-SGD speedups over S-SGD: avg {avg_s:.2}x, max {max_s:.2}x \
+         (paper: 4.06x / 9.42x)\n\
+         ACP-SGD speedups over Power-SGD: avg {avg_p:.2}x, max {max_p:.2}x \
+         (paper: 1.34x / 2.11x)\n"
+    )
+}
+
+fn run(name: &str, epochs: usize) -> Option<String> {
+    let out = match name {
+        "table1" => format!("Table I\n{}", statics::table1().render()),
+        "table2" => format!("Table II\n{}", statics::table2().render()),
+        "table3" => timing::table3().render_totals(),
+        "fig2" => timing::fig2().render_totals(),
+        "fig3" => timing::fig3().render_breakdowns(),
+        "fig4" => format!("Fig. 4: schedule timelines\n{}", statics::fig4()),
+        "fig5" => format!("Fig. 5: CDF of tensor sizes\n{}", statics::fig5().render()),
+        "fig6" => format!(
+            "Fig. 6: convergence, {epochs} epochs, 4 workers\n{}",
+            convergence::render_curves(&convergence::fig6(epochs))
+        ),
+        "fig7" => format!(
+            "Fig. 7: EF/reuse ablation, {epochs} epochs, 4 workers\n{}",
+            convergence::render_curves(&convergence::fig7(epochs))
+        ),
+        "fig8" => timing::fig8().render_breakdowns(),
+        "fig9" => timing::fig9().render_totals(),
+        "fig10" => timing::fig10().render_totals(),
+        "fig11a" => timing::fig11a().render_totals(),
+        "fig11b" => timing::fig11b().render_totals(),
+        "fig12" => timing::fig12().render_totals(),
+        "fig13" => timing::fig13().render_totals(),
+        "ext-scaling" => timing::ext_scaling().render_totals(),
+        "ext-tune" => format!(
+            "Extension: auto-tuned fusion buffers vs scaled default\n{}",
+            timing::ext_tuned_buffers().render()
+        ),
+        "headline" => headline(),
+        _ => return None,
+    };
+    Some(out)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let epochs = parse_epochs(&args);
+    let names: Vec<&str> = args.iter().map(String::as_str).filter(|a| !a.starts_with("--")).collect();
+    let all = [
+        "table1", "table2", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "table3", "fig8",
+        "fig9", "fig10", "fig11a", "fig11b", "fig12", "fig13", "ext-scaling", "ext-tune",
+        "headline",
+    ];
+    let selected: Vec<&str> = if names.is_empty() || names.contains(&"all") {
+        all.to_vec()
+    } else {
+        names
+    };
+    // Skip the numeric part of --epochs when it leaked into names.
+    for name in selected {
+        if name.parse::<usize>().is_ok() {
+            continue;
+        }
+        match run(name, epochs) {
+            Some(out) => println!("{out}"),
+            None => {
+                eprintln!(
+                    "unknown experiment '{name}'; valid: {} all",
+                    all.join(" ")
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+}

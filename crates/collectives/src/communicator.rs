@@ -1,0 +1,1079 @@
+//! Real in-process collectives over a ring of channels.
+//!
+//! Each worker is a thread holding a [`ThreadCommunicator`] with a channel to
+//! its successor on the ring and a receiver from its predecessor — the same
+//! topology NCCL's ring algorithms use. All-reduce is implemented as chunked
+//! reduce-scatter followed by ring all-gather, so the per-rank transmitted
+//! volume is the bandwidth-optimal `2 (p−1)/p · N` of Table II, which the
+//! tests verify byte-for-byte through [`Communicator::bytes_sent`].
+
+use std::fmt;
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+
+/// Reduction operator applied element-wise by [`Communicator::all_reduce`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReduceOp {
+    /// Element-wise sum (gradient aggregation).
+    #[default]
+    Sum,
+    /// Element-wise sum divided by the world size (gradient averaging).
+    Mean,
+    /// Element-wise maximum.
+    Max,
+}
+
+/// Error raised by collective operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CollectiveError {
+    /// A peer sent a payload whose length differs from ours — the ranks
+    /// called the collective with inconsistent buffer sizes.
+    LengthMismatch {
+        /// Length this rank expected.
+        expected: usize,
+        /// Length actually received.
+        actual: usize,
+    },
+    /// A peer disconnected (its thread panicked or dropped the communicator
+    /// mid-collective).
+    PeerDisconnected,
+    /// A peer sent a payload of an unexpected type for the running
+    /// collective (ranks invoked different collectives concurrently).
+    ProtocolMismatch,
+    /// The requested root rank does not exist in this group.
+    InvalidRoot {
+        /// Root requested by the caller.
+        root: usize,
+        /// Size of the group.
+        world_size: usize,
+    },
+}
+
+impl fmt::Display for CollectiveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CollectiveError::LengthMismatch { expected, actual } => {
+                write!(f, "peer payload length {actual} does not match local length {expected}")
+            }
+            CollectiveError::PeerDisconnected => write!(f, "a peer disconnected mid-collective"),
+            CollectiveError::ProtocolMismatch => {
+                write!(f, "peer payload type does not match the running collective")
+            }
+            CollectiveError::InvalidRoot { root, world_size } => {
+                write!(f, "root rank {root} out of range for world size {world_size}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CollectiveError {}
+
+/// Collective communication interface shared by the trainer and optimizers.
+///
+/// Mirrors the subset of NCCL the paper's algorithms need: sum/mean/max
+/// all-reduce for additive payloads (S-SGD, Power-SGD, ACP-SGD), `f32`/`u32`
+/// all-gather for non-additive compressed payloads (Top-k values/indices,
+/// Sign-SGD bit-packed words), broadcast and barrier.
+pub trait Communicator: Send {
+    /// This worker's rank in `[0, world_size)`.
+    fn rank(&self) -> usize;
+
+    /// Number of workers in the group.
+    fn world_size(&self) -> usize;
+
+    /// Reduces `buf` element-wise across all ranks; every rank ends with the
+    /// reduced result in `buf`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if ranks disagree on buffer length or a peer
+    /// disconnects.
+    fn all_reduce(&mut self, buf: &mut [f32], op: ReduceOp) -> Result<(), CollectiveError>;
+
+    /// Gathers each rank's `send` buffer; returns the concatenation in rank
+    /// order (`world_size * send.len()` elements).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if ranks disagree on buffer length or a peer
+    /// disconnects.
+    fn all_gather_f32(&mut self, send: &[f32]) -> Result<Vec<f32>, CollectiveError>;
+
+    /// [`Communicator::all_gather_f32`] for `u32` payloads (bit-packed signs,
+    /// sparse indices).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if ranks disagree on buffer length or a peer
+    /// disconnects.
+    fn all_gather_u32(&mut self, send: &[u32]) -> Result<Vec<u32>, CollectiveError>;
+
+    /// Copies `buf` on `root` into `buf` on every other rank.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an out-of-range root, mismatched lengths, or a
+    /// disconnected peer.
+    fn broadcast(&mut self, buf: &mut [f32], root: usize) -> Result<(), CollectiveError>;
+
+    /// Blocks until every rank has entered the barrier.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a peer disconnects.
+    fn barrier(&mut self) -> Result<(), CollectiveError>;
+
+    /// Total payload bytes this rank has transmitted so far (excluding
+    /// barrier tokens) — used to verify the Table II volume formulas.
+    fn bytes_sent(&self) -> u64;
+
+    /// Sparse all-reduce with top-k truncation (the SparCML / gTop-k
+    /// collective): sums the ranks' sparse `(indices, values)` vectors and
+    /// returns (approximately) the `k` largest-magnitude coordinates of the
+    /// sum, identical on every rank.
+    ///
+    /// The default implementation gathers all contributions and truncates;
+    /// [`ThreadCommunicator`] overrides it with the `O(k log p)` recursive
+    /// doubling merge of gTop-k (Shi et al., ICDCS 2019), whose per-round
+    /// truncation makes it approximate (coordinates that are individually
+    /// small everywhere can be dropped even if their sum is large).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on disconnect or inconsistent calls.
+    fn global_topk(
+        &mut self,
+        indices: &[u32],
+        values: &[f32],
+        k: usize,
+    ) -> Result<(Vec<u32>, Vec<f32>), CollectiveError> {
+        let gathered_idx = self.all_gather_u32(indices)?;
+        let gathered_val = self.all_gather_f32(values)?;
+        let mut map = std::collections::BTreeMap::new();
+        for (&i, &v) in gathered_idx.iter().zip(&gathered_val) {
+            *map.entry(i).or_insert(0.0f32) += v;
+        }
+        Ok(truncate_topk(map, k))
+    }
+}
+
+/// Keeps the `k` largest-magnitude entries of a coordinate map, returned
+/// in ascending coordinate order.
+fn truncate_topk(
+    map: std::collections::BTreeMap<u32, f32>,
+    k: usize,
+) -> (Vec<u32>, Vec<f32>) {
+    let mut entries: Vec<(u32, f32)> = map.into_iter().collect();
+    if entries.len() > k {
+        entries.select_nth_unstable_by(k - 1, |a, b| {
+            b.1.abs().partial_cmp(&a.1.abs()).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        entries.truncate(k);
+        entries.sort_unstable_by_key(|e| e.0);
+    }
+    entries.into_iter().unzip()
+}
+
+/// Trivial [`Communicator`] for a single-process group of size 1.
+///
+/// Collectives are identities; useful as a default so single-worker training
+/// shares the distributed code path.
+///
+/// # Examples
+///
+/// ```
+/// use acp_collectives::{Communicator, LocalCommunicator, ReduceOp};
+///
+/// let mut comm = LocalCommunicator::new();
+/// let mut buf = vec![1.0, 2.0];
+/// comm.all_reduce(&mut buf, ReduceOp::Sum)?;
+/// assert_eq!(buf, vec![1.0, 2.0]);
+/// # Ok::<(), acp_collectives::CollectiveError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LocalCommunicator {
+    _private: (),
+}
+
+impl LocalCommunicator {
+    /// Creates a size-1 communicator.
+    pub fn new() -> Self {
+        LocalCommunicator { _private: () }
+    }
+}
+
+impl Communicator for LocalCommunicator {
+    fn rank(&self) -> usize {
+        0
+    }
+
+    fn world_size(&self) -> usize {
+        1
+    }
+
+    fn all_reduce(&mut self, _buf: &mut [f32], _op: ReduceOp) -> Result<(), CollectiveError> {
+        Ok(())
+    }
+
+    fn all_gather_f32(&mut self, send: &[f32]) -> Result<Vec<f32>, CollectiveError> {
+        Ok(send.to_vec())
+    }
+
+    fn all_gather_u32(&mut self, send: &[u32]) -> Result<Vec<u32>, CollectiveError> {
+        Ok(send.to_vec())
+    }
+
+    fn broadcast(&mut self, _buf: &mut [f32], root: usize) -> Result<(), CollectiveError> {
+        if root != 0 {
+            return Err(CollectiveError::InvalidRoot { root, world_size: 1 });
+        }
+        Ok(())
+    }
+
+    fn barrier(&mut self) -> Result<(), CollectiveError> {
+        Ok(())
+    }
+
+    fn bytes_sent(&self) -> u64 {
+        0
+    }
+}
+
+/// Message exchanged between workers.
+#[derive(Debug)]
+enum RingMsg {
+    F32(Vec<f32>),
+    U32(Vec<u32>),
+    /// Sparse (indices, values) pair for the gTop-k collective.
+    Sparse(Vec<u32>, Vec<f32>),
+    Token,
+}
+
+impl RingMsg {
+    fn payload_bytes(&self) -> u64 {
+        match self {
+            RingMsg::F32(v) => 4 * v.len() as u64,
+            RingMsg::U32(v) => 4 * v.len() as u64,
+            RingMsg::Sparse(i, v) => 4 * (i.len() + v.len()) as u64,
+            RingMsg::Token => 0,
+        }
+    }
+}
+
+/// How long a rank waits on a peer before concluding it died.
+const RECV_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(30);
+
+/// A worker-thread endpoint of a communicator group.
+///
+/// Created in bulk by [`ThreadGroup::new`] (one per rank) and moved into the
+/// worker threads. Transport is a mailbox: every rank can send to every
+/// other rank, which supports ring algorithms (bandwidth-optimal
+/// all-reduce), recursive doubling (latency-optimal), and sparse
+/// collectives. All collectives are SPMD: every rank of the group must
+/// call the same sequence of operations.
+#[derive(Debug)]
+pub struct ThreadCommunicator {
+    rank: usize,
+    world_size: usize,
+    /// Sender to each rank's inbox (index = destination rank).
+    peers: Vec<Sender<(usize, RingMsg)>>,
+    /// This rank's inbox.
+    inbox: Receiver<(usize, RingMsg)>,
+    /// Out-of-order messages buffered per source rank.
+    pending: Vec<std::collections::VecDeque<RingMsg>>,
+    bytes_sent: u64,
+}
+
+impl ThreadCommunicator {
+    fn send_to(&mut self, dest: usize, msg: RingMsg) -> Result<(), CollectiveError> {
+        self.bytes_sent += msg.payload_bytes();
+        self.peers[dest]
+            .send((self.rank, msg))
+            .map_err(|_| CollectiveError::PeerDisconnected)
+    }
+
+    fn recv_from(&mut self, src: usize) -> Result<RingMsg, CollectiveError> {
+        if let Some(msg) = self.pending[src].pop_front() {
+            return Ok(msg);
+        }
+        loop {
+            match self.inbox.recv_timeout(RECV_TIMEOUT) {
+                Ok((from, msg)) if from == src => return Ok(msg),
+                Ok((from, msg)) => self.pending[from].push_back(msg),
+                Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {
+                    return Err(CollectiveError::PeerDisconnected)
+                }
+            }
+        }
+    }
+
+    fn next_rank(&self) -> usize {
+        (self.rank + 1) % self.world_size
+    }
+
+    fn prev_rank(&self) -> usize {
+        (self.rank + self.world_size - 1) % self.world_size
+    }
+
+    fn send(&mut self, msg: RingMsg) -> Result<(), CollectiveError> {
+        let next = self.next_rank();
+        self.send_to(next, msg)
+    }
+
+    fn recv(&mut self) -> Result<RingMsg, CollectiveError> {
+        let prev = self.prev_rank();
+        self.recv_from(prev)
+    }
+
+    fn expect_f32(msg: RingMsg, expected: usize) -> Result<Vec<f32>, CollectiveError> {
+        match msg {
+            RingMsg::F32(v) if v.len() == expected => Ok(v),
+            RingMsg::F32(v) => {
+                Err(CollectiveError::LengthMismatch { expected, actual: v.len() })
+            }
+            _ => Err(CollectiveError::ProtocolMismatch),
+        }
+    }
+
+    fn recv_f32(&mut self, expected: usize) -> Result<Vec<f32>, CollectiveError> {
+        let msg = self.recv()?;
+        Self::expect_f32(msg, expected)
+    }
+
+    fn recv_u32(&mut self, expected: usize) -> Result<Vec<u32>, CollectiveError> {
+        match self.recv()? {
+            RingMsg::U32(v) if v.len() == expected => Ok(v),
+            RingMsg::U32(v) => {
+                Err(CollectiveError::LengthMismatch { expected, actual: v.len() })
+            }
+            _ => Err(CollectiveError::ProtocolMismatch),
+        }
+    }
+
+    /// Simultaneously sends `send` to `peer` and receives their buffer of
+    /// the same length — the pairwise exchange of butterfly algorithms.
+    ///
+    /// Both sides must call this with each other's rank.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on disconnect or mismatched lengths.
+    pub fn send_recv_f32(
+        &mut self,
+        peer: usize,
+        send: &[f32],
+    ) -> Result<Vec<f32>, CollectiveError> {
+        self.send_to(peer, RingMsg::F32(send.to_vec()))?;
+        let msg = self.recv_from(peer)?;
+        Self::expect_f32(msg, send.len())
+    }
+
+    /// Latency-optimal all-reduce by recursive doubling: `⌈log₂ p⌉` rounds
+    /// of full-buffer pairwise exchanges (`T = log₂(p)(α + Nβ)`), versus
+    /// the ring's `2(p−1)` messages of `N/p`. Preferable for small tensors
+    /// — the start-up-cost regime tensor fusion addresses.
+    ///
+    /// Non-power-of-two groups fold the extra ranks onto partners before
+    /// and after the butterfly.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on disconnect or inconsistent buffer lengths.
+    pub fn all_reduce_recursive_doubling(
+        &mut self,
+        buf: &mut [f32],
+        op: ReduceOp,
+    ) -> Result<(), CollectiveError> {
+        let p = self.world_size;
+        if p == 1 {
+            return Ok(());
+        }
+        let reduce = |dst: &mut [f32], src: &[f32], op: ReduceOp| match op {
+            ReduceOp::Sum | ReduceOp::Mean => {
+                for (d, s) in dst.iter_mut().zip(src) {
+                    *d += s;
+                }
+            }
+            ReduceOp::Max => {
+                for (d, s) in dst.iter_mut().zip(src) {
+                    *d = d.max(*s);
+                }
+            }
+        };
+        // Largest power of two <= p.
+        let pow2 = 1usize << (usize::BITS - 1 - (p.leading_zeros().max(1))).min(63);
+        let pow2 = if pow2 > p { pow2 >> 1 } else { pow2 };
+        let rem = p - pow2;
+        let r = self.rank;
+        // Pre-fold: ranks >= pow2 send to (rank - pow2); partners reduce.
+        if r >= pow2 {
+            self.send_to(r - pow2, RingMsg::F32(buf.to_vec()))?;
+        } else if r < rem {
+            let msg = self.recv_from(r + pow2)?;
+            let incoming = Self::expect_f32(msg, buf.len())?;
+            reduce(buf, &incoming, op);
+        }
+        // Butterfly over the pow2 group.
+        if r < pow2 {
+            let mut dist = 1usize;
+            while dist < pow2 {
+                let peer = r ^ dist;
+                let incoming = self.send_recv_f32(peer, buf)?;
+                reduce(buf, &incoming, op);
+                dist <<= 1;
+            }
+        }
+        // Post-fold: send results back to the folded ranks.
+        if r < rem {
+            self.send_to(r + pow2, RingMsg::F32(buf.to_vec()))?;
+        } else if r >= pow2 {
+            let msg = self.recv_from(r - pow2)?;
+            let incoming = Self::expect_f32(msg, buf.len())?;
+            buf.copy_from_slice(&incoming);
+        }
+        if op == ReduceOp::Mean {
+            let inv = 1.0 / p as f32;
+            for v in buf.iter_mut() {
+                *v *= inv;
+            }
+        }
+        Ok(())
+    }
+
+    /// Chunk boundaries for splitting `len` elements into `world_size` nearly
+    /// equal contiguous ranges.
+    fn chunk_range(&self, len: usize, chunk: usize) -> std::ops::Range<usize> {
+        let p = self.world_size;
+        let start = chunk * len / p;
+        let end = (chunk + 1) * len / p;
+        start..end
+    }
+}
+
+impl Communicator for ThreadCommunicator {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn world_size(&self) -> usize {
+        self.world_size
+    }
+
+    fn all_reduce(&mut self, buf: &mut [f32], op: ReduceOp) -> Result<(), CollectiveError> {
+        let p = self.world_size;
+        if p == 1 {
+            return Ok(());
+        }
+        let r = self.rank;
+        let len = buf.len();
+        // Phase 1: ring reduce-scatter. After p-1 steps rank r owns the fully
+        // reduced chunk (r+1) mod p.
+        for s in 0..p - 1 {
+            let send_idx = (r + p - s) % p;
+            let recv_idx = (r + p - s - 1) % p;
+            let send_range = self.chunk_range(len, send_idx);
+            let payload = buf[send_range].to_vec();
+            self.send(RingMsg::F32(payload))?;
+            let recv_range = self.chunk_range(len, recv_idx);
+            let incoming = self.recv_f32(recv_range.len())?;
+            let dst = &mut buf[recv_range];
+            match op {
+                ReduceOp::Sum | ReduceOp::Mean => {
+                    for (d, x) in dst.iter_mut().zip(&incoming) {
+                        *d += x;
+                    }
+                }
+                ReduceOp::Max => {
+                    for (d, x) in dst.iter_mut().zip(&incoming) {
+                        *d = d.max(*x);
+                    }
+                }
+            }
+        }
+        // Phase 2: ring all-gather of the reduced chunks.
+        for s in 0..p - 1 {
+            let send_idx = (r + 1 + p - s) % p;
+            let recv_idx = (r + p - s) % p;
+            let send_range = self.chunk_range(len, send_idx);
+            let payload = buf[send_range].to_vec();
+            self.send(RingMsg::F32(payload))?;
+            let recv_range = self.chunk_range(len, recv_idx);
+            let incoming = self.recv_f32(recv_range.len())?;
+            buf[recv_range].copy_from_slice(&incoming);
+        }
+        if op == ReduceOp::Mean {
+            let inv = 1.0 / p as f32;
+            for v in buf.iter_mut() {
+                *v *= inv;
+            }
+        }
+        Ok(())
+    }
+
+    fn all_gather_f32(&mut self, send: &[f32]) -> Result<Vec<f32>, CollectiveError> {
+        let p = self.world_size;
+        let k = send.len();
+        let r = self.rank;
+        let mut out = vec![0.0f32; p * k];
+        out[r * k..(r + 1) * k].copy_from_slice(send);
+        for s in 0..p - 1 {
+            let send_slot = (r + p - s) % p;
+            let recv_slot = (r + p - s - 1) % p;
+            let payload = out[send_slot * k..(send_slot + 1) * k].to_vec();
+            self.send(RingMsg::F32(payload))?;
+            let incoming = self.recv_f32(k)?;
+            out[recv_slot * k..(recv_slot + 1) * k].copy_from_slice(&incoming);
+        }
+        Ok(out)
+    }
+
+    fn all_gather_u32(&mut self, send: &[u32]) -> Result<Vec<u32>, CollectiveError> {
+        let p = self.world_size;
+        let k = send.len();
+        let r = self.rank;
+        let mut out = vec![0u32; p * k];
+        out[r * k..(r + 1) * k].copy_from_slice(send);
+        for s in 0..p - 1 {
+            let send_slot = (r + p - s) % p;
+            let recv_slot = (r + p - s - 1) % p;
+            let payload = out[send_slot * k..(send_slot + 1) * k].to_vec();
+            self.send(RingMsg::U32(payload))?;
+            let incoming = self.recv_u32(k)?;
+            out[recv_slot * k..(recv_slot + 1) * k].copy_from_slice(&incoming);
+        }
+        Ok(out)
+    }
+
+    fn broadcast(&mut self, buf: &mut [f32], root: usize) -> Result<(), CollectiveError> {
+        let p = self.world_size;
+        if root >= p {
+            return Err(CollectiveError::InvalidRoot { root, world_size: p });
+        }
+        if p == 1 {
+            return Ok(());
+        }
+        // Pipeline around the ring: root sends, each rank forwards unless its
+        // successor is the root.
+        let next_is_root = (self.rank + 1) % p == root;
+        if self.rank == root {
+            self.send(RingMsg::F32(buf.to_vec()))?;
+        } else {
+            let incoming = self.recv_f32(buf.len())?;
+            buf.copy_from_slice(&incoming);
+            if !next_is_root {
+                self.send(RingMsg::F32(incoming))?;
+            }
+        }
+        Ok(())
+    }
+
+    fn barrier(&mut self) -> Result<(), CollectiveError> {
+        let p = self.world_size;
+        if p == 1 {
+            return Ok(());
+        }
+        // Two token trips around the ring: after the first, every rank has
+        // entered; the second releases them.
+        for _round in 0..2 {
+            if self.rank == 0 {
+                self.send(RingMsg::Token)?;
+                match self.recv()? {
+                    RingMsg::Token => {}
+                    _ => return Err(CollectiveError::ProtocolMismatch),
+                }
+            } else {
+                match self.recv()? {
+                    RingMsg::Token => {}
+                    _ => return Err(CollectiveError::ProtocolMismatch),
+                }
+                self.send(RingMsg::Token)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn bytes_sent(&self) -> u64 {
+        self.bytes_sent
+    }
+
+    fn global_topk(
+        &mut self,
+        indices: &[u32],
+        values: &[f32],
+        k: usize,
+    ) -> Result<(Vec<u32>, Vec<f32>), CollectiveError> {
+        if indices.len() != values.len() {
+            return Err(CollectiveError::LengthMismatch {
+                expected: indices.len(),
+                actual: values.len(),
+            });
+        }
+        let p = self.world_size;
+        let mut map: std::collections::BTreeMap<u32, f32> = std::collections::BTreeMap::new();
+        for (&i, &v) in indices.iter().zip(values) {
+            *map.entry(i).or_insert(0.0) += v;
+        }
+        if p == 1 {
+            return Ok(truncate_topk(map, k));
+        }
+        // gTop-k butterfly: exchange sparse sets with rank ^ 2^s, merge,
+        // truncate to k each round. Requires a power-of-two group; fold
+        // the remainder like recursive doubling.
+        let pow2 = {
+            let x = 1usize << (usize::BITS - 1 - p.leading_zeros());
+            if x > p {
+                x >> 1
+            } else {
+                x
+            }
+        };
+        let rem = p - pow2;
+        let r = self.rank;
+        let merge = |map: &mut std::collections::BTreeMap<u32, f32>,
+                     idx: Vec<u32>,
+                     val: Vec<f32>| {
+            for (i, v) in idx.into_iter().zip(val) {
+                *map.entry(i).or_insert(0.0) += v;
+            }
+        };
+        let recv_sparse = |msg: RingMsg| -> Result<(Vec<u32>, Vec<f32>), CollectiveError> {
+            match msg {
+                RingMsg::Sparse(i, v) => Ok((i, v)),
+                _ => Err(CollectiveError::ProtocolMismatch),
+            }
+        };
+        if r >= pow2 {
+            let (idx, val): (Vec<u32>, Vec<f32>) = map.into_iter().unzip();
+            self.send_to(r - pow2, RingMsg::Sparse(idx, val))?;
+            // Wait for the final result.
+            let msg = self.recv_from(r - pow2)?;
+            let (idx, val) = recv_sparse(msg)?;
+            return Ok((idx, val));
+        }
+        if r < rem {
+            let msg = self.recv_from(r + pow2)?;
+            let (idx, val) = recv_sparse(msg)?;
+            merge(&mut map, idx, val);
+        }
+        let mut dist = 1usize;
+        while dist < pow2 {
+            let peer = r ^ dist;
+            let (send_idx, send_val): (Vec<u32>, Vec<f32>) =
+                map.iter().map(|(&i, &v)| (i, v)).unzip();
+            self.send_to(peer, RingMsg::Sparse(send_idx, send_val))?;
+            let msg = self.recv_from(peer)?;
+            let (idx, val) = recv_sparse(msg)?;
+            merge(&mut map, idx, val);
+            // Per-round truncation is what keeps gTop-k's traffic at
+            // O(k log p) — and what makes it approximate.
+            let (ti, tv) = truncate_topk(std::mem::take(&mut map), k);
+            map = ti.into_iter().zip(tv).collect();
+            dist <<= 1;
+        }
+        let (idx, val) = truncate_topk(map, k);
+        if r < rem {
+            self.send_to(r + pow2, RingMsg::Sparse(idx.clone(), val.clone()))?;
+        }
+        Ok((idx, val))
+    }
+}
+
+/// Factory for ring communicator groups backed by worker threads.
+#[derive(Debug)]
+pub struct ThreadGroup {
+    _private: (),
+}
+
+impl ThreadGroup {
+    /// Creates `world_size` connected [`ThreadCommunicator`]s, one per rank,
+    /// in rank order. Move each into its worker thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `world_size == 0`.
+    pub fn new(world_size: usize) -> Vec<ThreadCommunicator> {
+        assert!(world_size > 0, "world_size must be positive");
+        let mut inboxes = Vec::with_capacity(world_size);
+        let mut senders = Vec::with_capacity(world_size);
+        for _ in 0..world_size {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            inboxes.push(rx);
+        }
+        inboxes
+            .into_iter()
+            .enumerate()
+            .map(|(rank, inbox)| ThreadCommunicator {
+                rank,
+                world_size,
+                peers: senders.clone(),
+                inbox,
+                pending: (0..world_size).map(|_| std::collections::VecDeque::new()).collect(),
+                bytes_sent: 0,
+            })
+            .collect()
+    }
+
+    /// Spawns `world_size` scoped worker threads, hands each its
+    /// communicator, and returns their results in rank order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any worker panics, or if `world_size == 0`.
+    pub fn run<T, F>(world_size: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(ThreadCommunicator) -> T + Sync,
+    {
+        let comms = ThreadGroup::new(world_size);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = comms
+                .into_iter()
+                .map(|comm| scope.spawn(|| f(comm)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker thread panicked"))
+                .collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    /// Naive reference reduction for validating the ring implementation.
+    fn reference_reduce(inputs: &[Vec<f32>], op: ReduceOp) -> Vec<f32> {
+        let mut out = inputs[0].clone();
+        for input in &inputs[1..] {
+            for (o, x) in out.iter_mut().zip(input) {
+                match op {
+                    ReduceOp::Sum | ReduceOp::Mean => *o += x,
+                    ReduceOp::Max => *o = o.max(*x),
+                }
+            }
+        }
+        if op == ReduceOp::Mean {
+            let inv = 1.0 / inputs.len() as f32;
+            for o in &mut out {
+                *o *= inv;
+            }
+        }
+        out
+    }
+
+    fn random_inputs(p: usize, len: usize, seed: u64) -> Vec<Vec<f32>> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        (0..p)
+            .map(|_| (0..len).map(|_| rng.gen_range(-10.0..10.0)).collect())
+            .collect()
+    }
+
+    #[test]
+    fn all_reduce_sum_matches_reference() {
+        for p in [1usize, 2, 3, 4, 5, 8] {
+            for len in [1usize, 2, 7, 64, 257] {
+                let inputs = random_inputs(p, len, (p * 1000 + len) as u64);
+                let expected = reference_reduce(&inputs, ReduceOp::Sum);
+                let results = ThreadGroup::run(p, |mut comm| {
+                    let mut buf = inputs[comm.rank()].clone();
+                    comm.all_reduce(&mut buf, ReduceOp::Sum).unwrap();
+                    buf
+                });
+                for buf in results {
+                    for (a, b) in buf.iter().zip(&expected) {
+                        assert!((a - b).abs() < 1e-3, "p={p} len={len}: {a} vs {b}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_reduce_mean_and_max() {
+        let p = 4;
+        let inputs = random_inputs(p, 33, 99);
+        for op in [ReduceOp::Mean, ReduceOp::Max] {
+            let expected = reference_reduce(&inputs, op);
+            let results = ThreadGroup::run(p, |mut comm| {
+                let mut buf = inputs[comm.rank()].clone();
+                comm.all_reduce(&mut buf, op).unwrap();
+                buf
+            });
+            for buf in results {
+                for (a, b) in buf.iter().zip(&expected) {
+                    assert!((a - b).abs() < 1e-4, "{op:?}: {a} vs {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_reduce_len_smaller_than_world() {
+        // Chunking must handle empty chunks when len < p.
+        let p = 8;
+        let inputs = random_inputs(p, 3, 7);
+        let expected = reference_reduce(&inputs, ReduceOp::Sum);
+        let results = ThreadGroup::run(p, |mut comm| {
+            let mut buf = inputs[comm.rank()].clone();
+            comm.all_reduce(&mut buf, ReduceOp::Sum).unwrap();
+            buf
+        });
+        for buf in results {
+            for (a, b) in buf.iter().zip(&expected) {
+                assert!((a - b).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn all_gather_f32_rank_order() {
+        let p = 5;
+        let results = ThreadGroup::run(p, |mut comm| {
+            let send = vec![comm.rank() as f32; 3];
+            comm.all_gather_f32(&send).unwrap()
+        });
+        for out in results {
+            assert_eq!(out.len(), p * 3);
+            for r in 0..p {
+                assert!(out[r * 3..(r + 1) * 3].iter().all(|&v| v == r as f32));
+            }
+        }
+    }
+
+    #[test]
+    fn all_gather_u32_rank_order() {
+        let p = 3;
+        let results = ThreadGroup::run(p, |mut comm| {
+            let send = vec![comm.rank() as u32 * 10, comm.rank() as u32 * 10 + 1];
+            comm.all_gather_u32(&send).unwrap()
+        });
+        for out in results {
+            assert_eq!(out, vec![0, 1, 10, 11, 20, 21]);
+        }
+    }
+
+    #[test]
+    fn broadcast_from_each_root() {
+        let p = 4;
+        for root in 0..p {
+            let results = ThreadGroup::run(p, |mut comm| {
+                let mut buf = if comm.rank() == root {
+                    vec![42.0, 43.0]
+                } else {
+                    vec![0.0, 0.0]
+                };
+                comm.broadcast(&mut buf, root).unwrap();
+                buf
+            });
+            for buf in results {
+                assert_eq!(buf, vec![42.0, 43.0], "root={root}");
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_invalid_root_errors() {
+        let results = ThreadGroup::run(2, |mut comm| {
+            let mut buf = vec![0.0];
+            comm.broadcast(&mut buf, 5)
+        });
+        for r in results {
+            assert_eq!(r, Err(CollectiveError::InvalidRoot { root: 5, world_size: 2 }));
+        }
+    }
+
+    #[test]
+    fn barrier_orders_phases() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let entered = AtomicUsize::new(0);
+        let p = 6;
+        ThreadGroup::run(p, |mut comm| {
+            entered.fetch_add(1, Ordering::SeqCst);
+            comm.barrier().unwrap();
+            // After the barrier every rank must observe all entries.
+            assert_eq!(entered.load(Ordering::SeqCst), p);
+        });
+    }
+
+    #[test]
+    fn ring_all_reduce_volume_is_bandwidth_optimal() {
+        // Table II: per-rank transmitted volume of ring all-reduce is
+        // 2 (p-1)/p * N elements.
+        let p = 4;
+        let n = 1024usize;
+        let results = ThreadGroup::run(p, |mut comm| {
+            let mut buf = vec![1.0f32; n];
+            comm.all_reduce(&mut buf, ReduceOp::Sum).unwrap();
+            comm.bytes_sent()
+        });
+        let expected = (2 * (p - 1) * n / p * 4) as u64;
+        for bytes in results {
+            assert_eq!(bytes, expected);
+        }
+    }
+
+    #[test]
+    fn all_gather_volume_is_linear_in_world_size() {
+        // Table II: all-gather transmits (p-1) * k elements per rank.
+        let p = 4;
+        let k = 100usize;
+        let results = ThreadGroup::run(p, |mut comm| {
+            let send = vec![0.5f32; k];
+            comm.all_gather_f32(&send).unwrap();
+            comm.bytes_sent()
+        });
+        let expected = ((p - 1) * k * 4) as u64;
+        for bytes in results {
+            assert_eq!(bytes, expected);
+        }
+    }
+
+    #[test]
+    fn length_mismatch_detected() {
+        let results = ThreadGroup::run(2, |mut comm| {
+            let mut buf = vec![0.0f32; if comm.rank() == 0 { 10 } else { 12 }];
+            comm.all_reduce(&mut buf, ReduceOp::Sum)
+        });
+        assert!(results.iter().any(|r| matches!(
+            r,
+            Err(CollectiveError::LengthMismatch { .. })
+        )));
+    }
+
+    #[test]
+    fn local_communicator_is_identity() {
+        let mut comm = LocalCommunicator::new();
+        assert_eq!(comm.world_size(), 1);
+        let mut buf = vec![3.0, 4.0];
+        comm.all_reduce(&mut buf, ReduceOp::Mean).unwrap();
+        assert_eq!(buf, vec![3.0, 4.0]);
+        assert_eq!(comm.all_gather_f32(&buf).unwrap(), buf);
+        assert_eq!(comm.all_gather_u32(&[1, 2]).unwrap(), vec![1, 2]);
+        comm.barrier().unwrap();
+        assert_eq!(comm.bytes_sent(), 0);
+    }
+
+    #[test]
+    fn send_recv_exchanges_pairwise() {
+        let results = ThreadGroup::run(4, |mut comm| {
+            let peer = comm.rank() ^ 1;
+            let send = vec![comm.rank() as f32; 3];
+            comm.send_recv_f32(peer, &send).unwrap()
+        });
+        assert_eq!(results[0], vec![1.0; 3]);
+        assert_eq!(results[1], vec![0.0; 3]);
+        assert_eq!(results[2], vec![3.0; 3]);
+        assert_eq!(results[3], vec![2.0; 3]);
+    }
+
+    #[test]
+    fn recursive_doubling_matches_ring_all_reduce() {
+        for p in [1usize, 2, 3, 4, 5, 7, 8] {
+            for len in [1usize, 17, 64] {
+                let inputs = random_inputs(p, len, (p * 31 + len) as u64);
+                let expected = reference_reduce(&inputs, ReduceOp::Sum);
+                let results = ThreadGroup::run(p, |mut comm| {
+                    let mut buf = inputs[comm.rank()].clone();
+                    comm.all_reduce_recursive_doubling(&mut buf, ReduceOp::Sum).unwrap();
+                    buf
+                });
+                for buf in results {
+                    for (a, b) in buf.iter().zip(&expected) {
+                        assert!((a - b).abs() < 1e-3, "p={p} len={len}: {a} vs {b}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn recursive_doubling_mean() {
+        let p = 6;
+        let results = ThreadGroup::run(p, |mut comm| {
+            let mut buf = vec![comm.rank() as f32; 4];
+            comm.all_reduce_recursive_doubling(&mut buf, ReduceOp::Mean).unwrap();
+            buf
+        });
+        for buf in results {
+            assert!(buf.iter().all(|&v| (v - 2.5).abs() < 1e-5));
+        }
+    }
+
+    #[test]
+    fn global_topk_sums_overlapping_coordinates() {
+        // Ranks contribute overlapping sparse vectors; the exact global
+        // top-2 of the sum is coordinate 5 (sum 9) and coordinate 1 (6).
+        let contributions = [
+            (vec![1u32, 5], vec![2.0f32, 4.0]),
+            (vec![1u32, 7], vec![2.0f32, 1.0]),
+            (vec![1u32, 5], vec![2.0f32, 5.0]),
+        ];
+        let results = ThreadGroup::run(3, |mut comm| {
+            let (idx, val) = &contributions[comm.rank()];
+            comm.global_topk(idx, val, 2).unwrap()
+        });
+        for (idx, val) in results {
+            assert_eq!(idx, vec![1, 5]);
+            assert_eq!(val, vec![6.0, 9.0]);
+        }
+    }
+
+    #[test]
+    fn global_topk_all_ranks_agree_on_random_input() {
+        use rand::Rng;
+        use rand::SeedableRng;
+        for p in [2usize, 3, 4, 5, 8] {
+            let contributions: Vec<(Vec<u32>, Vec<f32>)> = (0..p)
+                .map(|r| {
+                    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(r as u64 + 99);
+                    let mut idx: Vec<u32> =
+                        (0..8).map(|_| rng.gen_range(0..40u32)).collect();
+                    idx.sort_unstable();
+                    idx.dedup();
+                    let val = idx.iter().map(|_| rng.gen_range(-3.0f32..3.0)).collect();
+                    (idx, val)
+                })
+                .collect();
+            let results = ThreadGroup::run(p, |mut comm| {
+                let (idx, val) = &contributions[comm.rank()];
+                comm.global_topk(idx, val, 4).unwrap()
+            });
+            for r in &results[1..] {
+                assert_eq!(r, &results[0], "p={p}: ranks disagree");
+            }
+            assert!(results[0].0.len() <= 4);
+        }
+    }
+
+    #[test]
+    fn local_communicator_global_topk_truncates() {
+        let mut comm = LocalCommunicator::new();
+        let (idx, val) = comm
+            .global_topk(&[3, 9, 1], &[1.0, -5.0, 0.5], 2)
+            .unwrap();
+        assert_eq!(idx, vec![3, 9]);
+        assert_eq!(val, vec![1.0, -5.0]);
+    }
+
+    #[test]
+    fn sequential_collectives_do_not_interfere() {
+        // Run several different collectives back to back on the same group.
+        let p = 3;
+        ThreadGroup::run(p, |mut comm| {
+            let mut a = vec![comm.rank() as f32; 8];
+            comm.all_reduce(&mut a, ReduceOp::Sum).unwrap();
+            assert!(a.iter().all(|&v| v == 3.0));
+            let g = comm.all_gather_u32(&[comm.rank() as u32]).unwrap();
+            assert_eq!(g, vec![0, 1, 2]);
+            comm.barrier().unwrap();
+            let mut b = vec![if comm.rank() == 1 { 7.0 } else { 0.0 }; 4];
+            comm.broadcast(&mut b, 1).unwrap();
+            assert!(b.iter().all(|&v| v == 7.0));
+        });
+    }
+}

@@ -1,0 +1,47 @@
+//! Collective communication substrate for the ACP-SGD reproduction.
+//!
+//! The paper's entire system argument is about which collective an
+//! aggregation algorithm *can* use: S-SGD, Power-SGD and ACP-SGD aggregate
+//! additively and therefore use bandwidth-optimal **ring all-reduce**, while
+//! Sign-SGD and Top-k SGD produce non-additive compressed payloads and fall
+//! back to **all-gather**, whose received volume grows linearly with the
+//! number of workers (Table II). This crate provides both sides of that
+//! argument:
+//!
+//! * [`communicator`] — the [`Communicator`] trait plus
+//!   [`ThreadGroup`]/[`ThreadCommunicator`]: *real* collectives that move
+//!   data between worker threads over a ring of channels (chunked
+//!   reduce-scatter + all-gather), bit-tested against naive reference
+//!   reductions. The data-parallel trainer in `acp-training` runs on these.
+//! * [`cost`] — α–β analytical cost models for ring all-reduce, all-gather
+//!   and their start-up terms, with [`cost::NetworkTier`] presets for the
+//!   paper's three interconnects (1 GbE, 10 GbE, 100 Gb InfiniBand),
+//!   calibrated to the microbenchmarks quoted in the paper. The
+//!   discrete-event simulator in `acp-simulator` prices every communication
+//!   task with these models.
+//!
+//! # Examples
+//!
+//! ```
+//! use acp_collectives::{Communicator, ReduceOp, ThreadGroup};
+//!
+//! // Four workers each contribute their rank; all-reduce sums them.
+//! let results = ThreadGroup::run(4, |mut comm| {
+//!     let mut buf = vec![comm.rank() as f32; 3];
+//!     comm.all_reduce(&mut buf, ReduceOp::Sum).unwrap();
+//!     buf
+//! });
+//! for buf in results {
+//!     assert_eq!(buf, vec![6.0, 6.0, 6.0]); // 0 + 1 + 2 + 3
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod communicator;
+pub mod cost;
+
+pub use communicator::{
+    CollectiveError, Communicator, LocalCommunicator, ReduceOp, ThreadCommunicator, ThreadGroup,
+};
+pub use cost::{AlphaBetaCost, ClusterCost, NetworkTier};

@@ -1,0 +1,190 @@
+//! Error feedback (EF) for biased compressors (Seide et al. 2014;
+//! Karimireddy et al., ICML 2019).
+//!
+//! Biased compressors (Sign, Top-k, low-rank) drop part of the gradient
+//! every step; error feedback accumulates what was dropped and re-injects
+//! it into the next step's gradient, which restores convergence (the
+//! paper's Fig. 7 ablation). This module provides the residual bookkeeping
+//! as a wrapper usable with any [`Compressor`]; the low-rank state machines
+//! in [`crate::powersgd`] and [`crate::acp`] carry their own matrix-shaped
+//! residuals following Algorithm 2.
+
+use crate::compressor::Compressor;
+use crate::payload::Payload;
+
+/// Wraps a [`Compressor`] with an error-feedback residual.
+///
+/// On each call the residual is added to the incoming gradient before
+/// compression, and updated to the part of the corrected gradient the
+/// compressed payload fails to represent:
+///
+/// ```text
+/// g'  = g + e
+/// c   = compress(g')
+/// e  ← g' − decompress(c)
+/// ```
+///
+/// # Examples
+///
+/// ```
+/// use acp_compression::{Compressor, ErrorFeedback, TopK};
+///
+/// let mut ef = ErrorFeedback::new(TopK::new(1));
+/// // First step drops the small element…
+/// ef.compress(&[1.0, 0.4]);
+/// // …which is fed back; after enough steps everything is transmitted.
+/// let p = ef.compress(&[1.0, 0.4]);
+/// # let _ = p;
+/// assert!(ef.residual_norm() > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ErrorFeedback<C> {
+    inner: C,
+    residual: Vec<f32>,
+}
+
+impl<C: Compressor> ErrorFeedback<C> {
+    /// Wraps `inner` with a fresh (zero) residual.
+    pub fn new(inner: C) -> Self {
+        ErrorFeedback { inner, residual: Vec::new() }
+    }
+
+    /// Borrows the wrapped compressor.
+    pub fn inner(&self) -> &C {
+        &self.inner
+    }
+
+    /// Consumes the wrapper, returning the wrapped compressor.
+    pub fn into_inner(self) -> C {
+        self.inner
+    }
+
+    /// L2 norm of the current residual (0 before the first compression).
+    pub fn residual_norm(&self) -> f32 {
+        self.residual.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+
+    /// Resets the residual to zero.
+    pub fn reset(&mut self) {
+        self.residual.fill(0.0);
+    }
+}
+
+impl<C: Compressor> Compressor for ErrorFeedback<C> {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn compress(&mut self, grad: &[f32]) -> Payload {
+        if self.residual.len() != grad.len() {
+            self.residual = vec![0.0; grad.len()];
+        }
+        // g' = g + e
+        let corrected: Vec<f32> =
+            grad.iter().zip(&self.residual).map(|(g, e)| g + e).collect();
+        let payload = self.inner.compress(&corrected);
+        // e <- g' - decompress(c)
+        let mut approx = vec![0.0; grad.len()];
+        self.inner.decompress(&payload, &mut approx);
+        for ((e, c), a) in self.residual.iter_mut().zip(&corrected).zip(&approx) {
+            *e = c - a;
+        }
+        payload
+    }
+
+    fn decompress(&self, payload: &Payload, out: &mut [f32]) {
+        self.inner.decompress(payload, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sign::SignSgd;
+    use crate::topk::TopK;
+
+    #[test]
+    fn residual_captures_dropped_mass() {
+        let mut ef = ErrorFeedback::new(TopK::new(1));
+        ef.compress(&[3.0, 1.0]);
+        // Top-1 keeps 3.0; residual = [0, 1.0].
+        assert!((ef.residual_norm() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn feedback_eventually_transmits_small_elements() {
+        // A constant gradient where one coordinate is always dominated:
+        // without EF the small coordinate is never sent; with EF its
+        // residual accumulates until it wins the Top-1 selection.
+        let mut ef = ErrorFeedback::new(TopK::new(1));
+        let grad = [1.0f32, 0.4];
+        let mut transmitted_small = false;
+        for _ in 0..10 {
+            let p = ef.compress(&grad);
+            if let Payload::Sparse { indices, .. } = &p {
+                if indices.contains(&1) {
+                    transmitted_small = true;
+                }
+            }
+        }
+        assert!(transmitted_small, "EF never let the small coordinate through");
+    }
+
+    #[test]
+    fn without_feedback_small_element_starves() {
+        let mut c = TopK::new(1);
+        let grad = [1.0f32, 0.4];
+        for _ in 0..10 {
+            let p = c.compress(&grad);
+            if let Payload::Sparse { indices, .. } = &p {
+                assert_eq!(indices, &vec![0u32]);
+            }
+        }
+    }
+
+    #[test]
+    fn cumulative_transmission_tracks_true_sum() {
+        // Over T steps, sum of decompressed payloads + final residual must
+        // equal the sum of true gradients exactly (EF bookkeeping identity).
+        let mut ef = ErrorFeedback::new(TopK::new(2));
+        let grads = [
+            vec![0.5f32, -1.0, 0.25, 2.0],
+            vec![1.5f32, 0.3, -0.75, 0.1],
+            vec![-0.2f32, 0.8, 0.6, -0.4],
+        ];
+        let mut sent_sum = vec![0.0f32; 4];
+        let mut true_sum = [0.0f32; 4];
+        for g in &grads {
+            let p = ef.compress(g);
+            let mut dec = vec![0.0; 4];
+            ef.decompress(&p, &mut dec);
+            for i in 0..4 {
+                sent_sum[i] += dec[i];
+                true_sum[i] += g[i];
+            }
+        }
+        // true_sum = sent_sum + residual
+        let residual: Vec<f32> =
+            true_sum.iter().zip(&sent_sum).map(|(t, s)| t - s).collect();
+        let res_norm: f32 = residual.iter().map(|v| v * v).sum::<f32>().sqrt();
+        assert!((res_norm - ef.residual_norm()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn reset_clears_residual() {
+        let mut ef = ErrorFeedback::new(SignSgd::scaled());
+        ef.compress(&[1.0, -2.0, 3.0]);
+        assert!(ef.residual_norm() > 0.0);
+        ef.reset();
+        assert_eq!(ef.residual_norm(), 0.0);
+    }
+
+    #[test]
+    fn residual_resizes_with_gradient() {
+        let mut ef = ErrorFeedback::new(TopK::new(1));
+        ef.compress(&[1.0, 2.0]);
+        ef.compress(&[1.0, 2.0, 3.0, 4.0]);
+        // No panic: residual resized; norm reflects new shape.
+        assert!(ef.residual_norm() >= 0.0);
+    }
+}

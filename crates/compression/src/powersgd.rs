@@ -1,0 +1,367 @@
+//! Power-SGD low-rank gradient compression (Vogels et al., NeurIPS 2019) —
+//! Algorithm 1 of the paper.
+//!
+//! One step of power iteration factorizes the gradient matrix `M ∈ ℝ^{n×m}`
+//! as `M ≈ P Qᵀ` with rank-`r` factors. Each iteration needs **two**
+//! all-reduces with a computation sandwiched between them:
+//!
+//! ```text
+//! P ← (M + E) Q_{t−1}      (compute, local)
+//! P ← all-reduce(P)         (communication)
+//! P ← orthogonalize(P)      (compute — BLOCKED on the all-reduce)
+//! Q ← (M + E)ᵀ P            (compute)
+//! E ← (M + E) − P Qᵀ        (error feedback)
+//! Q ← all-reduce(Q)         (communication)
+//! M̂ ← P Qᵀ
+//! ```
+//!
+//! The mid-iteration dependency is why Power-SGD's communication is
+//! *blocking* (§III-C): aggregate-P must finish before compute-Q starts,
+//! which is what ACP-SGD ([`crate::acp`]) removes.
+//!
+//! The state machine here exposes the three phases explicitly
+//! ([`PowerSgd::compute_p`] → [`PowerSgd::compute_q`] →
+//! [`PowerSgd::finish`]) so a distributed optimizer inserts real collectives
+//! at the marked points.
+
+use acp_tensor::{Matrix, OrthoMethod, SeedableStdNormal};
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration shared by [`PowerSgd`] and tested in the ablations.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerSgdConfig {
+    /// Rank `r` of the factors (paper: 4 for ResNets, 32 for BERTs).
+    pub rank: usize,
+    /// Maintain the error-feedback residual `E` (Algorithm 2). Disabling
+    /// reproduces the divergence of Fig. 7.
+    pub error_feedback: bool,
+    /// Reuse the previous step's factor as the power-iteration query
+    /// (query reuse). Disabling draws a fresh random query each step.
+    pub reuse: bool,
+    /// Orthogonalization kernel.
+    #[serde(skip)]
+    pub ortho: OrthoMethod,
+    /// Seed for the (rank-shared) random initialization of `Q₀`.
+    pub seed: u64,
+}
+
+impl Default for PowerSgdConfig {
+    fn default() -> Self {
+        PowerSgdConfig {
+            rank: 4,
+            error_feedback: true,
+            reuse: true,
+            ortho: OrthoMethod::GramSchmidt,
+            seed: 42,
+        }
+    }
+}
+
+/// Which phase the per-matrix state machine expects next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    AwaitP,
+    AwaitQ { have_p: bool },
+}
+
+/// Per-gradient-matrix Power-SGD compression state.
+///
+/// # Examples
+///
+/// Single-worker round trip (all-reduce is the identity at world size 1):
+///
+/// ```
+/// use acp_compression::powersgd::{PowerSgd, PowerSgdConfig};
+/// use acp_tensor::{Matrix, SeedableStdNormal};
+///
+/// let grad = Matrix::random_std_normal(8, 6, 3);
+/// let mut ps = PowerSgd::new(8, 6, PowerSgdConfig { rank: 2, ..Default::default() });
+/// let p = ps.compute_p(&grad);
+/// let q = ps.compute_q(p);      // would all-reduce p here
+/// let approx = ps.finish(q);    // would all-reduce q here
+/// assert_eq!((approx.rows(), approx.cols()), (8, 6));
+/// ```
+#[derive(Debug, Clone)]
+pub struct PowerSgd {
+    n: usize,
+    m: usize,
+    rank: usize,
+    cfg: PowerSgdConfig,
+    /// Query matrix `Q_{t−1}` (m × r), identical on every rank.
+    q: Matrix,
+    /// Error-feedback residual `E` (n × m) when enabled.
+    error: Option<Matrix>,
+    /// Orthogonalized aggregated `P̂` cached between phases.
+    p_hat: Option<Matrix>,
+    /// Corrected gradient `M + E` cached between phases.
+    corrected: Option<Matrix>,
+    step: u64,
+    phase: Phase,
+}
+
+impl PowerSgd {
+    /// Creates the state for an `n × m` gradient matrix.
+    ///
+    /// The effective rank is `min(cfg.rank, n, m)`. `Q₀` is drawn from a
+    /// seeded standard normal stream, so all ranks constructing the state
+    /// with the same arguments agree on it without a broadcast.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any of `n`, `m` or `cfg.rank` is zero.
+    pub fn new(n: usize, m: usize, cfg: PowerSgdConfig) -> Self {
+        assert!(n > 0 && m > 0, "gradient matrix must be non-empty");
+        assert!(cfg.rank > 0, "rank must be positive");
+        let rank = cfg.rank.min(n).min(m);
+        let q = Matrix::random_std_normal(m, rank, cfg.seed);
+        let error = cfg.error_feedback.then(|| Matrix::zeros(n, m));
+        PowerSgd {
+            n,
+            m,
+            rank,
+            cfg,
+            q,
+            error,
+            p_hat: None,
+            corrected: None,
+            step: 0,
+            phase: Phase::AwaitP,
+        }
+    }
+
+    /// Effective rank (requested rank clamped to the matrix dimensions).
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of completed compression steps.
+    pub fn step(&self) -> u64 {
+        self.step
+    }
+
+    /// Frobenius norm of the error-feedback residual (0 when EF disabled).
+    pub fn error_norm(&self) -> f32 {
+        self.error.as_ref().map_or(0.0, Matrix::frobenius_norm)
+    }
+
+    /// Phase 1: computes the local factor `P = (M + E) Q_{t−1}` to be
+    /// all-reduced (with mean) across workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gradient shape differs from construction, or the state
+    /// machine is mid-iteration (phases called out of order).
+    pub fn compute_p(&mut self, grad: &Matrix) -> Matrix {
+        assert_eq!(self.phase, Phase::AwaitP, "compute_p called out of order");
+        assert_eq!(
+            (grad.rows(), grad.cols()),
+            (self.n, self.m),
+            "gradient shape changed"
+        );
+        if !self.cfg.reuse {
+            // Fresh random query each step (ablation). Seed varies by step
+            // but agrees across ranks.
+            self.q = Matrix::random_std_normal(
+                self.m,
+                self.rank,
+                self.cfg.seed ^ (self.step + 1).wrapping_mul(0x9E37),
+            );
+        }
+        let corrected = match &self.error {
+            Some(e) => grad + e,
+            None => grad.clone(),
+        };
+        let p = corrected.matmul(&self.q);
+        self.corrected = Some(corrected);
+        self.phase = Phase::AwaitQ { have_p: false };
+        p
+    }
+
+    /// Phase 2: consumes the aggregated `P̂`, orthogonalizes it, computes
+    /// `Q = (M + E)ᵀ P̂` and updates the error residual; returns `Q` to be
+    /// all-reduced (with mean).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called out of order or `p_reduced` has the wrong shape.
+    pub fn compute_q(&mut self, mut p_reduced: Matrix) -> Matrix {
+        assert!(
+            matches!(self.phase, Phase::AwaitQ { have_p: false }),
+            "compute_q called out of order"
+        );
+        assert_eq!(
+            (p_reduced.rows(), p_reduced.cols()),
+            (self.n, self.rank),
+            "aggregated P has the wrong shape"
+        );
+        self.cfg.ortho.apply(&mut p_reduced);
+        let corrected = self.corrected.take().expect("corrected gradient cached by compute_p");
+        let q = corrected.matmul_tn(&p_reduced);
+        if self.error.is_some() {
+            // E ← (M + E) − P̂ Q_localᵀ, with the local (pre-reduce) Q so the
+            // average of transmitted + residual equals the true average.
+            let approx = p_reduced.matmul_nt(&q);
+            let mut e = corrected;
+            e -= &approx;
+            self.error = Some(e);
+        }
+        self.p_hat = Some(p_reduced);
+        self.phase = Phase::AwaitQ { have_p: true };
+        q
+    }
+
+    /// Phase 3: consumes the aggregated `Q̂` and returns the decompressed
+    /// gradient `M̂ = P̂ Q̂ᵀ`. `Q̂` is retained as the next step's query.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called out of order or `q_reduced` has the wrong shape.
+    pub fn finish(&mut self, q_reduced: Matrix) -> Matrix {
+        assert!(
+            matches!(self.phase, Phase::AwaitQ { have_p: true }),
+            "finish called out of order"
+        );
+        assert_eq!(
+            (q_reduced.rows(), q_reduced.cols()),
+            (self.m, self.rank),
+            "aggregated Q has the wrong shape"
+        );
+        let p_hat = self.p_hat.take().expect("aggregated P cached by compute_q");
+        let approx = p_hat.matmul_nt(&q_reduced);
+        self.q = q_reduced;
+        self.step += 1;
+        self.phase = Phase::AwaitP;
+        approx
+    }
+
+    /// FLOPs of one compression step (Table II: `O(N r)` with `N = n m`):
+    /// two `n×m·m×r` multiplications plus the `O((n+m) r²)`
+    /// orthogonalization and the `n×r·r×m` error-feedback reconstruction.
+    pub fn compress_flops(&self) -> u64 {
+        let (n, m, r) = (self.n as u64, self.m as u64, self.rank as u64);
+        let matmuls = 2 * 2 * n * m * r;
+        let ortho = 2 * n * r * r;
+        let ef = if self.cfg.error_feedback { 2 * n * m * r } else { 0 };
+        matmuls + ortho + ef
+    }
+
+    /// Elements transmitted per step (both factors): `(n + m) r`.
+    pub fn transmitted_elements(&self) -> usize {
+        (self.n + self.m) * self.rank
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acp_tensor::vecops::relative_error;
+
+    fn single_worker_step(ps: &mut PowerSgd, grad: &Matrix) -> Matrix {
+        let p = ps.compute_p(grad);
+        let q = ps.compute_q(p);
+        ps.finish(q)
+    }
+
+    fn low_rank_matrix(n: usize, m: usize, rank: usize, seed: u64) -> Matrix {
+        let a = Matrix::random_std_normal(n, rank, seed);
+        let b = Matrix::random_std_normal(m, rank, seed + 1);
+        a.matmul_nt(&b)
+    }
+
+    #[test]
+    fn recovers_low_rank_matrix_after_iterations() {
+        // A fixed rank-2 matrix compressed at rank 2 must be recovered to
+        // high accuracy once the power iteration converges.
+        let truth = low_rank_matrix(20, 15, 2, 5);
+        let mut ps = PowerSgd::new(20, 15, PowerSgdConfig { rank: 2, ..Default::default() });
+        let mut approx = Matrix::zeros(20, 15);
+        for _ in 0..6 {
+            approx = single_worker_step(&mut ps, &truth);
+        }
+        let err = relative_error(truth.as_slice(), approx.as_slice());
+        assert!(err < 1e-2, "relative error {err}");
+    }
+
+    #[test]
+    fn error_feedback_identity_holds() {
+        // Single worker: M + E_{t-1} = M̂_t + E_t exactly (per Algorithm 2).
+        let grad = Matrix::random_std_normal(12, 9, 8);
+        let mut ps = PowerSgd::new(12, 9, PowerSgdConfig { rank: 2, ..Default::default() });
+        let mut prev_err = Matrix::zeros(12, 9);
+        for _ in 0..4 {
+            let before = &grad + &prev_err;
+            let approx = single_worker_step(&mut ps, &grad);
+            // Reconstruct E_t = (M + E_{t-1}) - M̂_t and compare with state.
+            let expected_e = &before - &approx;
+            assert!((expected_e.frobenius_norm() - ps.error_norm()).abs() < 1e-3);
+            prev_err = expected_e;
+        }
+    }
+
+    #[test]
+    fn without_error_feedback_residual_stays_zero() {
+        let grad = Matrix::random_std_normal(6, 5, 1);
+        let cfg = PowerSgdConfig { rank: 1, error_feedback: false, ..Default::default() };
+        let mut ps = PowerSgd::new(6, 5, cfg);
+        single_worker_step(&mut ps, &grad);
+        assert_eq!(ps.error_norm(), 0.0);
+    }
+
+    #[test]
+    fn reuse_improves_fixed_matrix_approximation() {
+        let truth = low_rank_matrix(24, 18, 3, 77);
+        let steps = 5;
+        let run = |reuse: bool| {
+            let cfg = PowerSgdConfig { rank: 3, reuse, error_feedback: false, ..Default::default() };
+            let mut ps = PowerSgd::new(24, 18, cfg);
+            let mut last = Matrix::zeros(24, 18);
+            for _ in 0..steps {
+                last = single_worker_step(&mut ps, &truth);
+            }
+            relative_error(truth.as_slice(), last.as_slice())
+        };
+        let with_reuse = run(true);
+        let without = run(false);
+        assert!(
+            with_reuse < without,
+            "reuse {with_reuse} should beat fresh queries {without}"
+        );
+    }
+
+    #[test]
+    fn rank_clamps_to_dimensions() {
+        let ps = PowerSgd::new(3, 5, PowerSgdConfig { rank: 64, ..Default::default() });
+        assert_eq!(ps.rank(), 3);
+    }
+
+    #[test]
+    fn initial_q_agrees_across_ranks() {
+        let a = PowerSgd::new(10, 8, PowerSgdConfig::default());
+        let b = PowerSgd::new(10, 8, PowerSgdConfig::default());
+        assert_eq!(a.q, b.q);
+    }
+
+    #[test]
+    fn transmitted_elements_formula() {
+        let ps = PowerSgd::new(100, 50, PowerSgdConfig { rank: 4, ..Default::default() });
+        assert_eq!(ps.transmitted_elements(), 600);
+        assert!(ps.compress_flops() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn phases_enforced() {
+        let grad = Matrix::zeros(4, 4);
+        let mut ps = PowerSgd::new(4, 4, PowerSgdConfig::default());
+        ps.compute_p(&grad);
+        ps.compute_p(&grad); // must panic: AwaitQ expected
+    }
+
+    #[test]
+    #[should_panic(expected = "shape changed")]
+    fn gradient_shape_is_checked() {
+        let mut ps = PowerSgd::new(4, 4, PowerSgdConfig::default());
+        ps.compute_p(&Matrix::zeros(4, 5));
+    }
+}

@@ -1,0 +1,157 @@
+//! Random-k sparsification (Stich et al., NeurIPS 2018).
+//!
+//! Selects `k` uniformly random coordinates per step. All workers derive the
+//! selection from a shared seed and step counter, so the coordinates agree
+//! across ranks — which makes Random-k payloads *additive* (unlike Top-k)
+//! even though the paper groups both under all-gather aggregation. Included
+//! as the baseline the paper cites when noting Top-k converges better in
+//! practice.
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::compressor::Compressor;
+use crate::payload::Payload;
+
+/// Random-k sparsifying compressor with rank-agreed coordinates.
+///
+/// # Examples
+///
+/// ```
+/// use acp_compression::{Compressor, RandomK};
+///
+/// let mut a = RandomK::new(2, 7);
+/// let mut b = RandomK::new(2, 7);
+/// let ga = a.compress(&[1.0, 2.0, 3.0, 4.0]);
+/// let gb = b.compress(&[5.0, 6.0, 7.0, 8.0]);
+/// // Same seed and step: both workers picked the same coordinates.
+/// if let (acp_compression::Payload::Sparse { indices: ia, .. },
+///         acp_compression::Payload::Sparse { indices: ib, .. }) = (&ga, &gb) {
+///     assert_eq!(ia, ib);
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct RandomK {
+    k: usize,
+    seed: u64,
+    step: u64,
+}
+
+impl RandomK {
+    /// Creates a Random-k compressor keeping `k` coordinates; `seed` must be
+    /// shared by all ranks for coordinate agreement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize, seed: u64) -> Self {
+        assert!(k > 0, "k must be positive");
+        RandomK { k, seed, step: 0 }
+    }
+
+    /// The configured number of coordinates.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Current step counter (advances on every [`Compressor::compress`]).
+    pub fn step(&self) -> u64 {
+        self.step
+    }
+
+    fn coordinates(&self, n: usize, step: u64) -> Vec<u32> {
+        let k = self.k.min(n);
+        // Derive a fresh stream per step so coordinates change over time but
+        // agree across ranks.
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed ^ step.wrapping_mul(0x9E3779B97F4A7C15));
+        let mut all: Vec<u32> = (0..n as u32).collect();
+        let (picked, _) = all.partial_shuffle(&mut rng, k);
+        let mut idx = picked.to_vec();
+        idx.sort_unstable();
+        idx
+    }
+}
+
+impl Compressor for RandomK {
+    fn name(&self) -> &'static str {
+        "randomk"
+    }
+
+    fn compress(&mut self, grad: &[f32]) -> Payload {
+        let indices = self.coordinates(grad.len(), self.step);
+        self.step += 1;
+        let values = indices.iter().map(|&i| grad[i as usize]).collect();
+        Payload::Sparse { indices, values, len: grad.len() }
+    }
+
+    fn decompress(&self, payload: &Payload, out: &mut [f32]) {
+        match payload {
+            Payload::Sparse { indices, values, len } => {
+                assert_eq!(out.len(), *len, "output length mismatch");
+                out.fill(0.0);
+                for (&i, &v) in indices.iter().zip(values) {
+                    out[i as usize] = v;
+                }
+            }
+            _ => panic!("RandomK expects Payload::Sparse"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_step_same_coordinates() {
+        let a = RandomK::new(5, 42).coordinates(100, 3);
+        let b = RandomK::new(5, 42).coordinates(100, 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn coordinates_change_across_steps() {
+        let c = RandomK::new(5, 42);
+        assert_ne!(c.coordinates(1000, 0), c.coordinates(1000, 1));
+    }
+
+    #[test]
+    fn coordinates_are_unique_and_sorted() {
+        let idx = RandomK::new(50, 9).coordinates(200, 0);
+        assert_eq!(idx.len(), 50);
+        for w in idx.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn step_advances_on_compress() {
+        let mut c = RandomK::new(2, 1);
+        assert_eq!(c.step(), 0);
+        c.compress(&[1.0, 2.0, 3.0]);
+        assert_eq!(c.step(), 1);
+    }
+
+    #[test]
+    fn round_trip_keeps_selected_values() {
+        let mut c = RandomK::new(3, 5);
+        let grad = [1.0, 2.0, 3.0, 4.0];
+        let p = c.compress(&grad);
+        let mut out = vec![0.0; 4];
+        c.decompress(&p, &mut out);
+        // Selected coordinates preserved, others zero.
+        let kept: usize = out.iter().filter(|&&v| v != 0.0).count();
+        assert_eq!(kept, 3);
+        for (o, g) in out.iter().zip(&grad) {
+            assert!(*o == 0.0 || o == g);
+        }
+    }
+
+    #[test]
+    fn k_capped_at_length() {
+        let mut c = RandomK::new(10, 0);
+        let rt = c.round_trip(&[1.0, 2.0]);
+        assert_eq!(rt, vec![1.0, 2.0]);
+    }
+}

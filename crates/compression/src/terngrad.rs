@@ -1,0 +1,127 @@
+//! TernGrad ternary quantization (Wen et al., NeurIPS 2017).
+//!
+//! Quantizes each element to {−1, 0, +1} scaled by the maximum magnitude,
+//! keeping the element with probability |g| / max|g| — an unbiased ternary
+//! variant of QSGD that the paper lists among the quantization baselines.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::compressor::Compressor;
+use crate::payload::Payload;
+
+/// TernGrad ternary compressor.
+///
+/// # Examples
+///
+/// ```
+/// use acp_compression::{Compressor, terngrad::TernGrad};
+///
+/// let mut c = TernGrad::new(0);
+/// let rt = c.round_trip(&[1.0, -2.0, 0.0]);
+/// // Every decoded element is in {-2, 0, +2} (scale = max |g| = 2).
+/// assert!(rt.iter().all(|v| v.abs() == 2.0 || *v == 0.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TernGrad {
+    rng: ChaCha8Rng,
+}
+
+impl TernGrad {
+    /// Creates a TernGrad compressor with the given rounding seed.
+    pub fn new(seed: u64) -> Self {
+        TernGrad { rng: ChaCha8Rng::seed_from_u64(seed) }
+    }
+}
+
+impl Compressor for TernGrad {
+    fn name(&self) -> &'static str {
+        "terngrad"
+    }
+
+    fn compress(&mut self, grad: &[f32]) -> Payload {
+        let max = grad.iter().fold(0.0f32, |m, g| m.max(g.abs()));
+        let mut levels = Vec::with_capacity(grad.len());
+        if max == 0.0 {
+            levels.resize(grad.len(), 0i8);
+            return Payload::Quantized { levels, num_levels: 1, scale: 0.0 };
+        }
+        for &g in grad {
+            let keep = self.rng.gen::<f32>() < g.abs() / max;
+            levels.push(if !keep {
+                0
+            } else if g < 0.0 {
+                -1
+            } else {
+                1
+            });
+        }
+        Payload::Quantized { levels, num_levels: 1, scale: max }
+    }
+
+    fn decompress(&self, payload: &Payload, out: &mut [f32]) {
+        match payload {
+            Payload::Quantized { levels, num_levels: 1, scale } => {
+                assert_eq!(out.len(), levels.len(), "output length mismatch");
+                for (o, &l) in out.iter_mut().zip(levels) {
+                    *o = l as f32 * scale;
+                }
+            }
+            _ => panic!("TernGrad expects ternary Payload::Quantized"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ternary_alphabet() {
+        let mut c = TernGrad::new(3);
+        let p = c.compress(&[0.5, -0.9, 0.1, 0.0]);
+        match &p {
+            Payload::Quantized { levels, num_levels, scale } => {
+                assert_eq!(*num_levels, 1);
+                assert!((*scale - 0.9).abs() < 1e-6);
+                assert!(levels.iter().all(|&l| l == -1 || l == 0 || l == 1));
+            }
+            _ => panic!("wrong payload"),
+        }
+    }
+
+    #[test]
+    fn max_magnitude_element_always_kept() {
+        // keep-probability is |g| / max = 1 for the max element.
+        for seed in 0..20 {
+            let mut c = TernGrad::new(seed);
+            let rt = c.round_trip(&[0.1, 3.0, -0.1]);
+            assert_eq!(rt[1], 3.0, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn unbiased_in_expectation() {
+        let grad = [0.4f32, -0.8, 0.2];
+        let mut acc = [0.0f64; 3];
+        let trials = 30_000;
+        let mut c = TernGrad::new(123);
+        for _ in 0..trials {
+            let rt = c.round_trip(&grad);
+            for (a, v) in acc.iter_mut().zip(&rt) {
+                *a += *v as f64;
+            }
+        }
+        for (a, &g) in acc.iter().zip(&grad) {
+            let mean = a / trials as f64;
+            assert!((mean - g as f64).abs() < 0.02, "E = {mean} vs {g}");
+        }
+    }
+
+    #[test]
+    fn zero_gradient_stays_zero() {
+        let mut c = TernGrad::new(0);
+        assert_eq!(c.round_trip(&[0.0; 4]), vec![0.0; 4]);
+    }
+}

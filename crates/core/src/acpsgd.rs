@@ -1,0 +1,376 @@
+//! The ACP-SGD distributed aggregator: **one** fused all-reduce per step
+//! (Algorithms 1–2 wired to a real communicator).
+
+use acp_collectives::{Communicator, ReduceOp};
+use acp_compression::acp::{AcpSgd, AcpSgdConfig as AcpCompressionConfig, FactorSide};
+use acp_tensor::{Matrix, MatrixShape};
+
+use crate::error::CoreError;
+use crate::fusion::FlatPacker;
+use crate::optimizer::{check_shapes, DistributedOptimizer, GradViewMut};
+
+/// Configuration of [`AcpSgdAggregator`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AcpSgdConfig {
+    /// Factorization rank (paper: 4 for CNNs, 32 for transformers).
+    pub rank: usize,
+    /// Maintain per-matrix error-feedback residuals (Algorithm 2) —
+    /// required for convergence parity with S-SGD (Fig. 7).
+    pub error_feedback: bool,
+    /// Reuse the previous aggregated factor as the power-iteration query —
+    /// the second Fig. 7 ingredient.
+    pub reuse: bool,
+    /// Base seed for the rank-shared random factor initialization.
+    pub seed: u64,
+    /// Number of initial steps aggregated *uncompressed* (exact averaging)
+    /// before low-rank compression kicks in — the `start_powerSGD_iter`
+    /// warm start of PyTorch's PowerSGD hook, which avoids compressing the
+    /// large, fast-changing early-training gradients.
+    pub warm_start_steps: u64,
+}
+
+impl Default for AcpSgdConfig {
+    fn default() -> Self {
+        AcpSgdConfig { rank: 4, error_feedback: true, reuse: true, seed: 42, warm_start_steps: 0 }
+    }
+}
+
+/// Per-tensor compression state.
+#[derive(Debug)]
+enum LrState {
+    Matrix { rows: usize, cols: usize, state: AcpSgd },
+    Vector,
+}
+
+/// ACP-SGD aggregator over real collectives.
+///
+/// Per step each matrix gradient is compressed into *one* low-rank factor
+/// (`P` on odd steps, `Q` on even steps); the factors and the uncompressed
+/// vector gradients are fused into a single mean all-reduce, after which
+/// every rank decompresses the identical `P Qᵀ` approximation. Exactly one
+/// non-blocking collective per step — the property that lets the paper
+/// apply WFBP and tensor fusion.
+///
+/// # Examples
+///
+/// See the crate-level example.
+#[derive(Debug)]
+pub struct AcpSgdAggregator {
+    cfg: AcpSgdConfig,
+    states: Vec<LrState>,
+    shapes: Vec<Vec<usize>>,
+    packer: FlatPacker,
+    steps: u64,
+}
+
+impl AcpSgdAggregator {
+    /// Creates the aggregator; per-tensor state initializes lazily on the
+    /// first [`DistributedOptimizer::aggregate`] call.
+    pub fn new(cfg: AcpSgdConfig) -> Self {
+        AcpSgdAggregator {
+            cfg,
+            states: Vec::new(),
+            shapes: Vec::new(),
+            packer: FlatPacker::new(),
+            steps: 0,
+        }
+    }
+
+    /// Number of completed aggregation steps.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Whether the next step still uses the uncompressed warm start.
+    pub fn in_warm_start(&self) -> bool {
+        self.steps < self.cfg.warm_start_steps
+    }
+
+    /// Which factor the next step will transmit (`None` before the first
+    /// step or for models with no matrix parameters).
+    pub fn next_side(&self) -> Option<FactorSide> {
+        self.states.iter().find_map(|s| match s {
+            LrState::Matrix { state, .. } => Some(state.next_side()),
+            LrState::Vector => None,
+        })
+    }
+
+    /// Sum of per-matrix error-feedback residual norms (diagnostics).
+    pub fn total_error_norm(&self) -> f32 {
+        self.states
+            .iter()
+            .map(|s| match s {
+                LrState::Matrix { state, .. } => state.error_norm(),
+                LrState::Vector => 0.0,
+            })
+            .sum()
+    }
+
+    fn init_states(&mut self, grads: &[GradViewMut<'_>]) {
+        if !self.states.is_empty() {
+            return;
+        }
+        self.states = grads
+            .iter()
+            .enumerate()
+            .map(|(i, g)| match MatrixShape::from_tensor_shape(g.dims) {
+                MatrixShape::Matrix { rows, cols } => {
+                    let cfg = AcpCompressionConfig {
+                        rank: self.cfg.rank,
+                        error_feedback: self.cfg.error_feedback,
+                        reuse: self.cfg.reuse,
+                        seed: self.cfg.seed ^ (i as u64).wrapping_mul(0x9E3779B9),
+                        ..AcpCompressionConfig::default()
+                    };
+                    LrState::Matrix { rows, cols, state: AcpSgd::new(rows, cols, cfg) }
+                }
+                MatrixShape::Vector { .. } => LrState::Vector,
+            })
+            .collect();
+    }
+}
+
+impl DistributedOptimizer for AcpSgdAggregator {
+    fn name(&self) -> &'static str {
+        "acpsgd"
+    }
+
+    fn aggregate(
+        &mut self,
+        grads: &mut [GradViewMut<'_>],
+        comm: &mut dyn Communicator,
+    ) -> Result<(), CoreError> {
+        check_shapes(&mut self.shapes, grads)?;
+        if self.in_warm_start() {
+            // Exact averaging during warm start (one fused all-reduce, no
+            // compression state touched).
+            self.packer.pack(grads.iter().map(|g| &*g.grad));
+            comm.all_reduce(self.packer.buffer_mut(), ReduceOp::Mean)?;
+            self.packer.unpack(grads.iter_mut().map(|g| &mut *g.grad));
+            self.steps += 1;
+            return Ok(());
+        }
+        self.init_states(grads);
+        // Compress every matrix into this step's factor.
+        let mut factors: Vec<Matrix> = Vec::new();
+        for (g, st) in grads.iter().zip(self.states.iter_mut()) {
+            if let LrState::Matrix { rows, cols, state } = st {
+                let m = Matrix::from_vec(*rows, *cols, g.grad.to_vec())
+                    .expect("shape checked against dims");
+                factors.push(state.compress(&m));
+            }
+        }
+        // One fused mean all-reduce: factors + raw vector gradients.
+        {
+            let mut slices: Vec<&[f32]> = Vec::new();
+            let mut f_iter = factors.iter();
+            for (g, st) in grads.iter().zip(&self.states) {
+                match st {
+                    LrState::Matrix { .. } => {
+                        slices.push(f_iter.next().expect("factor per matrix").as_slice())
+                    }
+                    LrState::Vector => slices.push(g.grad),
+                }
+            }
+            self.packer.pack(slices);
+        }
+        comm.all_reduce(self.packer.buffer_mut(), ReduceOp::Mean)?;
+        {
+            let mut dests: Vec<&mut [f32]> = Vec::new();
+            let mut f_iter = factors.iter_mut();
+            for (g, st) in grads.iter_mut().zip(&self.states) {
+                match st {
+                    LrState::Matrix { .. } => {
+                        dests.push(f_iter.next().expect("factor per matrix").as_mut_slice())
+                    }
+                    LrState::Vector => dests.push(g.grad),
+                }
+            }
+            self.packer.unpack(dests);
+        }
+        // Decompress with the aggregated factor.
+        let mut f_iter = factors.into_iter();
+        for (g, st) in grads.iter_mut().zip(self.states.iter_mut()) {
+            if let LrState::Matrix { state, .. } = st {
+                let f_hat = f_iter.next().expect("factor per matrix");
+                let approx = state.finish(f_hat);
+                g.grad.copy_from_slice(approx.as_slice());
+            }
+        }
+        self.steps += 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acp_collectives::ThreadGroup;
+    use acp_tensor::vecops::relative_error;
+    use acp_tensor::SeedableStdNormal;
+
+    #[test]
+    fn alternates_sides_across_steps() {
+        use acp_collectives::LocalCommunicator;
+        let mut opt = AcpSgdAggregator::new(AcpSgdConfig::default());
+        let mut comm = LocalCommunicator::new();
+        let dims = [4usize, 3];
+        let mut g = vec![1.0f32; 12];
+        let mut views = [GradViewMut { dims: &dims, grad: &mut g }];
+        opt.aggregate(&mut views, &mut comm).unwrap();
+        assert_eq!(opt.next_side(), Some(FactorSide::Q));
+        let mut views = [GradViewMut { dims: &dims, grad: &mut g }];
+        opt.aggregate(&mut views, &mut comm).unwrap();
+        assert_eq!(opt.next_side(), Some(FactorSide::P));
+    }
+
+    #[test]
+    fn identical_inputs_converge_to_input() {
+        let a = Matrix::random_std_normal(8, 2, 1);
+        let b = Matrix::random_std_normal(6, 2, 2);
+        let truth = a.matmul_nt(&b);
+        let results = ThreadGroup::run(3, |mut comm| {
+            let cfg = AcpSgdConfig { rank: 2, error_feedback: false, ..Default::default() };
+            let mut opt = AcpSgdAggregator::new(cfg);
+            let dims = [8usize, 6];
+            let mut out = Vec::new();
+            for _ in 0..10 {
+                let mut g = truth.as_slice().to_vec();
+                let mut views = [GradViewMut { dims: &dims, grad: &mut g }];
+                opt.aggregate(&mut views, &mut comm).unwrap();
+                out = g;
+            }
+            out
+        });
+        for g in results {
+            let err = relative_error(truth.as_slice(), &g);
+            assert!(err < 1e-2, "relative error {err}");
+        }
+    }
+
+    #[test]
+    fn all_ranks_receive_identical_gradients() {
+        let results = ThreadGroup::run(4, |mut comm| {
+            let mut opt = AcpSgdAggregator::new(AcpSgdConfig::default());
+            let r = comm.rank() as f32 + 1.0;
+            let mut w: Vec<f32> = (0..30).map(|i| (i as f32).sin() * r).collect();
+            let mut bias = vec![r; 5];
+            let dw = [5usize, 6];
+            let db = [5usize];
+            let mut views = [
+                GradViewMut { dims: &dw, grad: &mut w },
+                GradViewMut { dims: &db, grad: &mut bias },
+            ];
+            opt.aggregate(&mut views, &mut comm).unwrap();
+            (w, bias)
+        });
+        for (w, bias) in &results[1..] {
+            for (x, y) in w.iter().zip(&results[0].0) {
+                assert!((x - y).abs() < 1e-5);
+            }
+            assert_eq!(bias, &results[0].1);
+        }
+        // Vector averaged exactly: mean of ranks+1 = 2.5.
+        assert_eq!(results[0].1, vec![2.5; 5]);
+    }
+
+    #[test]
+    fn error_feedback_conserves_gradient_mass() {
+        use acp_collectives::LocalCommunicator;
+        let mut opt = AcpSgdAggregator::new(AcpSgdConfig { rank: 1, ..Default::default() });
+        let mut comm = LocalCommunicator::new();
+        let dims = [4usize, 4];
+        let grad: Vec<f32> = (0..16).map(|i| (i as f32 * 0.7).cos()).collect();
+        let mut g = grad.clone();
+        let mut views = [GradViewMut { dims: &dims, grad: &mut g }];
+        opt.aggregate(&mut views, &mut comm).unwrap();
+        let diff: f32 = grad
+            .iter()
+            .zip(&g)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f32>()
+            .sqrt();
+        assert!((diff - opt.total_error_norm()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn matches_powersgd_quality_on_static_gradient() {
+        // Convergence-quality parity on a fixed gradient: ACP after 2k
+        // steps ≈ Power-SGD after k steps.
+        use crate::powersgd::{PowerSgdAggregator, PowerSgdAggregatorConfig};
+        use acp_collectives::LocalCommunicator;
+        let truth = Matrix::random_std_normal(12, 10, 7);
+        let dims = [12usize, 10];
+        let mut comm = LocalCommunicator::new();
+        let mut power = PowerSgdAggregator::new(PowerSgdAggregatorConfig {
+            rank: 3,
+            error_feedback: false,
+            ..Default::default()
+        });
+        let mut p_out = Vec::new();
+        for _ in 0..4 {
+            let mut g = truth.as_slice().to_vec();
+            let mut views = [GradViewMut { dims: &dims, grad: &mut g }];
+            power.aggregate(&mut views, &mut comm).unwrap();
+            p_out = g;
+        }
+        let mut acp = AcpSgdAggregator::new(AcpSgdConfig {
+            rank: 3,
+            error_feedback: false,
+            ..Default::default()
+        });
+        let mut a_out = Vec::new();
+        for _ in 0..8 {
+            let mut g = truth.as_slice().to_vec();
+            let mut views = [GradViewMut { dims: &dims, grad: &mut g }];
+            acp.aggregate(&mut views, &mut comm).unwrap();
+            a_out = g;
+        }
+        let p_err = relative_error(truth.as_slice(), &p_out);
+        let a_err = relative_error(truth.as_slice(), &a_out);
+        assert!(a_err < p_err * 1.5 + 0.05, "ACP {a_err} vs Power {p_err}");
+    }
+
+    #[test]
+    fn warm_start_uses_exact_averaging() {
+        let results = ThreadGroup::run(2, |mut comm| {
+            let cfg = AcpSgdConfig { rank: 1, warm_start_steps: 2, ..Default::default() };
+            let mut opt = AcpSgdAggregator::new(cfg);
+            let dims = [3usize, 3];
+            let mut outputs = Vec::new();
+            for step in 0..3 {
+                assert_eq!(opt.in_warm_start(), step < 2);
+                let mut g = vec![comm.rank() as f32 + step as f32; 9];
+                let mut views = [GradViewMut { dims: &dims, grad: &mut g }];
+                opt.aggregate(&mut views, &mut comm).unwrap();
+                outputs.push(g);
+            }
+            outputs
+        });
+        for out in results {
+            // First two steps: exact mean of {step, step+1} = step + 0.5.
+            assert_eq!(out[0], vec![0.5; 9]);
+            assert_eq!(out[1], vec![1.5; 9]);
+            // Third step: compressed (rank 1 of a constant matrix happens
+            // to be exact up to float error, so just check consistency).
+            assert!(out[2].iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn vector_only_model_works() {
+        // A model with no matrices degenerates to plain averaging.
+        let results = ThreadGroup::run(2, |mut comm| {
+            let mut opt = AcpSgdAggregator::new(AcpSgdConfig::default());
+            let mut b = vec![comm.rank() as f32; 4];
+            let db = [4usize];
+            let mut views = [GradViewMut { dims: &db, grad: &mut b }];
+            opt.aggregate(&mut views, &mut comm).unwrap();
+            assert_eq!(opt.next_side(), None);
+            b
+        });
+        for b in results {
+            assert_eq!(b, vec![0.5; 4]);
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Error type shared by the distributed aggregators.
+
+use acp_collectives::CollectiveError;
+use std::fmt;
+
+/// Error returned by [`crate::DistributedOptimizer::aggregate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// A collective operation failed (peer loss, inconsistent calls).
+    Collective(CollectiveError),
+    /// The set of gradient tensors changed shape between steps — per-tensor
+    /// compression state (queries, residuals) is keyed by position and
+    /// shape.
+    ShapeChanged {
+        /// Index of the offending tensor.
+        index: usize,
+        /// Shape seen at first aggregation.
+        expected: Vec<usize>,
+        /// Shape seen now.
+        actual: Vec<usize>,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Collective(e) => write!(f, "collective failed: {e}"),
+            CoreError::ShapeChanged { index, expected, actual } => write!(
+                f,
+                "gradient tensor {index} changed shape: expected {expected:?}, got {actual:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Collective(e) => Some(e),
+            CoreError::ShapeChanged { .. } => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<CollectiveError> for CoreError {
+    fn from(e: CollectiveError) -> Self {
+        CoreError::Collective(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CoreError::from(CollectiveError::PeerDisconnected);
+        assert!(e.to_string().contains("collective failed"));
+        let s = CoreError::ShapeChanged { index: 2, expected: vec![3], actual: vec![4] }
+            .to_string();
+        assert!(s.contains("tensor 2"));
+    }
+
+    #[test]
+    fn source_chain() {
+        use std::error::Error;
+        let e = CoreError::from(CollectiveError::PeerDisconnected);
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,177 @@
+//! Tensor fusion with real data movement: packing many small tensors into
+//! flat buffers for fused collectives, and slicing them back out.
+
+use std::ops::Range;
+
+/// Groups tensor indices (in order) into buckets whose total byte size does
+/// not exceed `capacity_bytes`; `capacity_bytes == 0` yields one bucket per
+/// tensor. Returned ranges index the original tensor list and partition it.
+pub fn bucket_ranges(sizes_bytes: &[usize], capacity_bytes: usize) -> Vec<Range<usize>> {
+    let mut out = Vec::new();
+    if sizes_bytes.is_empty() {
+        return out;
+    }
+    if capacity_bytes == 0 {
+        return (0..sizes_bytes.len()).map(|i| i..i + 1).collect();
+    }
+    let mut start = 0usize;
+    let mut acc = 0usize;
+    for (i, &b) in sizes_bytes.iter().enumerate() {
+        if i > start && acc + b > capacity_bytes {
+            out.push(start..i);
+            start = i;
+            acc = 0;
+        }
+        acc += b;
+    }
+    out.push(start..sizes_bytes.len());
+    out
+}
+
+/// Packs a group of `f32` slices into one contiguous buffer and writes the
+/// (possibly modified) buffer back out — the data path of one fused
+/// collective.
+///
+/// # Examples
+///
+/// ```
+/// use acp_core::FlatPacker;
+///
+/// let a = vec![1.0, 2.0];
+/// let b = vec![3.0];
+/// let mut packer = FlatPacker::new();
+/// let flat = packer.pack([a.as_slice(), b.as_slice()]);
+/// assert_eq!(flat, &[1.0, 2.0, 3.0]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FlatPacker {
+    buffer: Vec<f32>,
+    offsets: Vec<usize>,
+}
+
+impl FlatPacker {
+    /// Creates an empty packer (buffers are reused across steps).
+    pub fn new() -> Self {
+        FlatPacker::default()
+    }
+
+    /// Copies the slices into the internal buffer, returning it.
+    pub fn pack<'a, I>(&mut self, slices: I) -> &mut [f32]
+    where
+        I: IntoIterator<Item = &'a [f32]>,
+    {
+        self.buffer.clear();
+        self.offsets.clear();
+        for s in slices {
+            self.offsets.push(self.buffer.len());
+            self.buffer.extend_from_slice(s);
+        }
+        self.offsets.push(self.buffer.len());
+        &mut self.buffer
+    }
+
+    /// Total packed length.
+    pub fn len(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Returns `true` when nothing is packed.
+    pub fn is_empty(&self) -> bool {
+        self.buffer.is_empty()
+    }
+
+    /// Copies the buffer contents back into the destination slices, in the
+    /// same order as packed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the destinations do not match the packed layout.
+    pub fn unpack<'a, I>(&self, dests: I)
+    where
+        I: IntoIterator<Item = &'a mut [f32]>,
+    {
+        let mut idx = 0usize;
+        for d in dests {
+            let start = self.offsets[idx];
+            let end = self.offsets[idx + 1];
+            assert_eq!(d.len(), end - start, "unpack layout mismatch at slice {idx}");
+            d.copy_from_slice(&self.buffer[start..end]);
+            idx += 1;
+        }
+        assert_eq!(idx + 1, self.offsets.len(), "unpack consumed {idx} of expected slices");
+    }
+
+    /// Borrows the packed buffer mutably (e.g. to all-reduce it in place).
+    pub fn buffer_mut(&mut self) -> &mut [f32] {
+        &mut self.buffer
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_ranges_partition() {
+        let sizes = [10usize, 10, 10, 10, 10];
+        let r = bucket_ranges(&sizes, 25);
+        assert_eq!(r, vec![0..2, 2..4, 4..5]);
+    }
+
+    #[test]
+    fn bucket_ranges_no_fusion() {
+        let r = bucket_ranges(&[5, 5], 0);
+        assert_eq!(r, vec![0..1, 1..2]);
+    }
+
+    #[test]
+    fn bucket_ranges_oversize_tensor() {
+        let r = bucket_ranges(&[100, 5, 5], 10);
+        assert_eq!(r, vec![0..1, 1..3]);
+    }
+
+    #[test]
+    fn bucket_ranges_empty() {
+        assert!(bucket_ranges(&[], 10).is_empty());
+    }
+
+    #[test]
+    fn pack_roundtrip() {
+        let a = vec![1.0f32, 2.0];
+        let b = vec![3.0f32, 4.0, 5.0];
+        let mut p = FlatPacker::new();
+        {
+            let flat = p.pack([a.as_slice(), b.as_slice()]);
+            assert_eq!(flat, &[1.0, 2.0, 3.0, 4.0, 5.0]);
+            for v in flat.iter_mut() {
+                *v *= 2.0;
+            }
+        }
+        let mut a2 = vec![0.0f32; 2];
+        let mut b2 = vec![0.0f32; 3];
+        p.unpack([a2.as_mut_slice(), b2.as_mut_slice()]);
+        assert_eq!(a2, vec![2.0, 4.0]);
+        assert_eq!(b2, vec![6.0, 8.0, 10.0]);
+    }
+
+    #[test]
+    fn packer_reuse_clears_state() {
+        let mut p = FlatPacker::new();
+        p.pack([vec![1.0f32; 4].as_slice()]);
+        assert_eq!(p.len(), 4);
+        p.pack([vec![2.0f32; 2].as_slice()]);
+        assert_eq!(p.len(), 2);
+        let mut d = vec![0.0f32; 2];
+        p.unpack([d.as_mut_slice()]);
+        assert_eq!(d, vec![2.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "layout mismatch")]
+    fn unpack_wrong_layout_panics() {
+        let mut p = FlatPacker::new();
+        p.pack([vec![1.0f32; 3].as_slice()]);
+        let mut d = vec![0.0f32; 2];
+        p.unpack([d.as_mut_slice()]);
+    }
+}

@@ -1,0 +1,109 @@
+//! The [`DistributedOptimizer`] trait.
+
+use acp_collectives::Communicator;
+
+use crate::error::CoreError;
+
+/// A mutable view of one parameter's local gradient.
+///
+/// `dims` carries the original tensor shape so low-rank aggregators can
+/// apply the matrix-reshape convention (vectors pass uncompressed).
+#[derive(Debug)]
+pub struct GradViewMut<'a> {
+    /// Tensor dimensions (e.g. `[256, 128, 3, 3]`).
+    pub dims: &'a [usize],
+    /// Flat row-major gradient data; replaced in place by the aggregated
+    /// gradient.
+    pub grad: &'a mut [f32],
+}
+
+/// Replaces each worker's local gradients with globally aggregated ones.
+///
+/// Implementations are stateful (compression queries, error-feedback
+/// residuals, step counters) and must be called with the *same tensor list*
+/// (count, order, shapes) on every step and every rank — the SPMD
+/// discipline of data-parallel training.
+pub trait DistributedOptimizer: Send {
+    /// Short algorithm name for logs and experiment output.
+    fn name(&self) -> &'static str;
+
+    /// Aggregates `grads` across all ranks of `comm`, in place.
+    ///
+    /// On return every rank holds identical aggregated gradients. The
+    /// semantics are algorithm-specific: an *average* for S-SGD / Top-k /
+    /// the low-rank methods, a majority-vote *sign* for Sign-SGD.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Collective`] on communication failure and
+    /// [`CoreError::ShapeChanged`] if the tensor list differs from earlier
+    /// steps.
+    fn aggregate(
+        &mut self,
+        grads: &mut [GradViewMut<'_>],
+        comm: &mut dyn Communicator,
+    ) -> Result<(), CoreError>;
+}
+
+/// Validates that the tensor list matches the shapes recorded on the first
+/// step; records them on the first call.
+pub(crate) fn check_shapes(
+    recorded: &mut Vec<Vec<usize>>,
+    grads: &[GradViewMut<'_>],
+) -> Result<(), CoreError> {
+    if recorded.is_empty() {
+        *recorded = grads.iter().map(|g| g.dims.to_vec()).collect();
+        return Ok(());
+    }
+    if recorded.len() != grads.len() {
+        return Err(CoreError::ShapeChanged {
+            index: recorded.len().min(grads.len()),
+            expected: recorded.last().cloned().unwrap_or_default(),
+            actual: vec![],
+        });
+    }
+    for (i, (rec, g)) in recorded.iter().zip(grads).enumerate() {
+        if rec != g.dims {
+            return Err(CoreError::ShapeChanged {
+                index: i,
+                expected: rec.clone(),
+                actual: g.dims.to_vec(),
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_shapes_records_then_validates() {
+        let mut recorded = Vec::new();
+        let mut a = vec![0.0f32; 6];
+        let dims = [2usize, 3];
+        let views = [GradViewMut { dims: &dims, grad: &mut a }];
+        check_shapes(&mut recorded, &views).unwrap();
+        assert_eq!(recorded, vec![vec![2, 3]]);
+        // Same shape passes again.
+        let mut b = vec![0.0f32; 6];
+        let views = [GradViewMut { dims: &dims, grad: &mut b }];
+        check_shapes(&mut recorded, &views).unwrap();
+        // Different shape fails.
+        let bad_dims = [3usize, 2];
+        let mut c = vec![0.0f32; 6];
+        let views = [GradViewMut { dims: &bad_dims, grad: &mut c }];
+        assert!(matches!(
+            check_shapes(&mut recorded, &views),
+            Err(CoreError::ShapeChanged { index: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn check_shapes_rejects_count_change() {
+        let mut recorded = vec![vec![2usize]];
+        let views: [GradViewMut<'_>; 0] = [];
+        assert!(check_shapes(&mut recorded, &views).is_err());
+    }
+}

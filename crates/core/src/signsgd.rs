@@ -1,0 +1,174 @@
+//! Sign-SGD with majority vote over all-gather (§III), with optional error
+//! feedback.
+//!
+//! The gradients are packed together before compression, as the paper's
+//! evaluation configures (§III-A), so one bit-packed payload and one scale
+//! travel per step.
+
+use acp_collectives::Communicator;
+use acp_compression::{Compressor, ErrorFeedback, Payload, SignSgd};
+
+use crate::error::CoreError;
+use crate::fusion::FlatPacker;
+use crate::optimizer::{check_shapes, DistributedOptimizer, GradViewMut};
+
+/// Sign-SGD majority-vote aggregator.
+///
+/// The aggregated "gradient" every rank receives is
+/// `sign(majority) · mean(scale)` per element — a biased estimate, which is
+/// why [`SignSgdAggregator::with_error_feedback`] matters for convergence.
+#[derive(Debug)]
+pub struct SignSgdAggregator {
+    compressor: ErrorFeedback<SignSgd>,
+    error_feedback: bool,
+    packer: FlatPacker,
+    shapes: Vec<Vec<usize>>,
+}
+
+impl SignSgdAggregator {
+    /// Plain scaled Sign-SGD without error feedback.
+    pub fn new() -> Self {
+        SignSgdAggregator {
+            compressor: ErrorFeedback::new(SignSgd::scaled()),
+            error_feedback: false,
+            packer: FlatPacker::new(),
+            shapes: Vec::new(),
+        }
+    }
+
+    /// Sign-SGD with an error-feedback residual (EF-SGD of Karimireddy et
+    /// al.).
+    pub fn with_error_feedback() -> Self {
+        SignSgdAggregator { error_feedback: true, ..SignSgdAggregator::new() }
+    }
+}
+
+impl Default for SignSgdAggregator {
+    fn default() -> Self {
+        SignSgdAggregator::new()
+    }
+}
+
+impl DistributedOptimizer for SignSgdAggregator {
+    fn name(&self) -> &'static str {
+        "signsgd"
+    }
+
+    fn aggregate(
+        &mut self,
+        grads: &mut [GradViewMut<'_>],
+        comm: &mut dyn Communicator,
+    ) -> Result<(), CoreError> {
+        check_shapes(&mut self.shapes, grads)?;
+        self.packer.pack(grads.iter().map(|g| &*g.grad));
+        let flat = self.packer.buffer_mut().to_vec();
+        let payload = if self.error_feedback {
+            self.compressor.compress(&flat)
+        } else {
+            // Bypass the residual: compress the raw gradient.
+            let mut raw = SignSgd::scaled();
+            raw.compress(&flat)
+        };
+        let (words, len, scale) = match payload {
+            Payload::Signs { words, len, scale } => (words, len, scale),
+            _ => unreachable!("SignSgd produces sign payloads"),
+        };
+        let gathered_words = comm.all_gather_u32(&words)?;
+        let gathered_scales = comm.all_gather_f32(&[scale])?;
+        let mut voted = vec![0.0f32; len];
+        SignSgd::majority_vote(
+            &gathered_words,
+            &gathered_scales,
+            len,
+            comm.world_size(),
+            &mut voted,
+        );
+        // Write the voted gradient back through the packer layout.
+        self.packer.pack([voted.as_slice()]);
+        let mut offset = 0usize;
+        for g in grads.iter_mut() {
+            let n = g.grad.len();
+            g.grad.copy_from_slice(&voted[offset..offset + n]);
+            offset += n;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acp_collectives::ThreadGroup;
+
+    #[test]
+    fn majority_sign_wins() {
+        // Three workers: two positive, one negative per element.
+        let results = ThreadGroup::run(3, |mut comm| {
+            let mut opt = SignSgdAggregator::new();
+            let sign = if comm.rank() == 0 { -1.0 } else { 1.0 };
+            let mut g = vec![2.0 * sign; 4];
+            let dims = [4usize];
+            let mut views = [GradViewMut { dims: &dims, grad: &mut g }];
+            opt.aggregate(&mut views, &mut comm).unwrap();
+            g
+        });
+        for g in results {
+            // Majority positive; scale = mean(|g|) = 2.
+            assert_eq!(g, vec![2.0; 4]);
+        }
+    }
+
+    #[test]
+    fn all_ranks_agree() {
+        let results = ThreadGroup::run(4, |mut comm| {
+            let mut opt = SignSgdAggregator::with_error_feedback();
+            let r = comm.rank() as f32;
+            let mut g: Vec<f32> = (0..37).map(|i| (i as f32 - 18.0) * (r + 1.0)).collect();
+            let dims = [37usize];
+            let mut views = [GradViewMut { dims: &dims, grad: &mut g }];
+            opt.aggregate(&mut views, &mut comm).unwrap();
+            g
+        });
+        for g in &results[1..] {
+            assert_eq!(g, &results[0]);
+        }
+        // Signs follow the (shared) sign pattern of the inputs.
+        assert!(results[0][0] < 0.0);
+        assert!(results[0][36] > 0.0);
+    }
+
+    #[test]
+    fn error_feedback_accumulates_residual() {
+        use acp_collectives::LocalCommunicator;
+        let mut opt = SignSgdAggregator::with_error_feedback();
+        let mut comm = LocalCommunicator::new();
+        let dims = [3usize];
+        for _ in 0..3 {
+            let mut g = vec![0.5, -2.0, 0.1];
+            let mut views = [GradViewMut { dims: &dims, grad: &mut g }];
+            opt.aggregate(&mut views, &mut comm).unwrap();
+        }
+        assert!(opt.compressor.residual_norm() > 0.0);
+    }
+
+    #[test]
+    fn multiple_tensors_preserve_layout() {
+        let results = ThreadGroup::run(2, |mut comm| {
+            let mut opt = SignSgdAggregator::new();
+            let mut a = vec![1.0f32, -1.0];
+            let mut b = vec![-3.0f32];
+            let da = [2usize];
+            let db = [1usize];
+            let mut views = [
+                GradViewMut { dims: &da, grad: &mut a },
+                GradViewMut { dims: &db, grad: &mut b },
+            ];
+            opt.aggregate(&mut views, &mut comm).unwrap();
+            (a, b)
+        });
+        for (a, b) in results {
+            assert!(a[0] > 0.0 && a[1] < 0.0);
+            assert!(b[0] < 0.0);
+        }
+    }
+}

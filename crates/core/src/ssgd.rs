@@ -1,0 +1,138 @@
+//! The well-optimized S-SGD baseline: uncompressed gradient averaging with
+//! tensor fusion over ring all-reduce (PyTorch-DDP semantics).
+
+use acp_collectives::{Communicator, ReduceOp};
+
+use crate::error::CoreError;
+use crate::fusion::{bucket_ranges, FlatPacker};
+use crate::optimizer::{check_shapes, DistributedOptimizer, GradViewMut};
+
+/// Default DDP fusion buffer: 25 MB.
+pub const DEFAULT_BUFFER_BYTES: usize = 25 * 1024 * 1024;
+
+/// Uncompressed gradient-averaging aggregator.
+///
+/// # Examples
+///
+/// ```
+/// use acp_collectives::{Communicator, ThreadGroup};
+/// use acp_core::{DistributedOptimizer, GradViewMut, SSgdAggregator};
+///
+/// let results = ThreadGroup::run(2, |mut comm| {
+///     let mut opt = SSgdAggregator::new();
+///     let mut g = vec![comm.rank() as f32 * 2.0; 3];
+///     let dims = [3usize];
+///     let mut views = [GradViewMut { dims: &dims, grad: &mut g }];
+///     opt.aggregate(&mut views, &mut comm).unwrap();
+///     g
+/// });
+/// assert_eq!(results[0], vec![1.0, 1.0, 1.0]); // mean of 0 and 2
+/// ```
+#[derive(Debug, Default)]
+pub struct SSgdAggregator {
+    buffer_bytes: usize,
+    packer: FlatPacker,
+    shapes: Vec<Vec<usize>>,
+}
+
+impl SSgdAggregator {
+    /// Creates the aggregator with the default 25 MB fusion buffer.
+    pub fn new() -> Self {
+        Self::with_buffer_bytes(DEFAULT_BUFFER_BYTES)
+    }
+
+    /// Creates the aggregator with an explicit fusion buffer capacity
+    /// (0 disables fusion).
+    pub fn with_buffer_bytes(buffer_bytes: usize) -> Self {
+        SSgdAggregator { buffer_bytes, packer: FlatPacker::new(), shapes: Vec::new() }
+    }
+}
+
+impl DistributedOptimizer for SSgdAggregator {
+    fn name(&self) -> &'static str {
+        "ssgd"
+    }
+
+    fn aggregate(
+        &mut self,
+        grads: &mut [GradViewMut<'_>],
+        comm: &mut dyn Communicator,
+    ) -> Result<(), CoreError> {
+        check_shapes(&mut self.shapes, grads)?;
+        let sizes: Vec<usize> = grads.iter().map(|g| 4 * g.grad.len()).collect();
+        for range in bucket_ranges(&sizes, self.buffer_bytes) {
+            self.packer.pack(grads[range.clone()].iter().map(|g| &*g.grad));
+            comm.all_reduce(self.packer.buffer_mut(), ReduceOp::Mean)?;
+            self.packer.unpack(grads[range].iter_mut().map(|g| &mut *g.grad));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acp_collectives::ThreadGroup;
+
+    #[test]
+    fn averages_across_workers() {
+        let p = 4;
+        let results = ThreadGroup::run(p, |mut comm| {
+            let mut opt = SSgdAggregator::new();
+            let r = comm.rank() as f32;
+            let mut a = vec![r, 2.0 * r];
+            let mut b = vec![10.0 * r; 3];
+            let da = [2usize];
+            let db = [3usize];
+            let mut views = [
+                GradViewMut { dims: &da, grad: &mut a },
+                GradViewMut { dims: &db, grad: &mut b },
+            ];
+            opt.aggregate(&mut views, &mut comm).unwrap();
+            (a, b)
+        });
+        // mean rank = 1.5
+        for (a, b) in results {
+            assert_eq!(a, vec![1.5, 3.0]);
+            assert_eq!(b, vec![15.0; 3]);
+        }
+    }
+
+    #[test]
+    fn tiny_buffer_still_correct() {
+        // Forces one bucket per tensor.
+        let results = ThreadGroup::run(2, |mut comm| {
+            let mut opt = SSgdAggregator::with_buffer_bytes(1);
+            let r = comm.rank() as f32;
+            let mut a = vec![r; 5];
+            let mut b = vec![r + 1.0; 7];
+            let da = [5usize];
+            let db = [7usize];
+            let mut views = [
+                GradViewMut { dims: &da, grad: &mut a },
+                GradViewMut { dims: &db, grad: &mut b },
+            ];
+            opt.aggregate(&mut views, &mut comm).unwrap();
+            (a, b)
+        });
+        for (a, b) in results {
+            assert_eq!(a, vec![0.5; 5]);
+            assert_eq!(b, vec![1.5; 7]);
+        }
+    }
+
+    #[test]
+    fn shape_change_is_rejected() {
+        use acp_collectives::LocalCommunicator;
+        let mut opt = SSgdAggregator::new();
+        let mut comm = LocalCommunicator::new();
+        let dims = [2usize];
+        let mut g = vec![0.0f32; 2];
+        let mut views = [GradViewMut { dims: &dims, grad: &mut g }];
+        opt.aggregate(&mut views, &mut comm).unwrap();
+        let bad = [3usize];
+        let mut g2 = vec![0.0f32; 3];
+        let mut views = [GradViewMut { dims: &bad, grad: &mut g2 }];
+        assert!(opt.aggregate(&mut views, &mut comm).is_err());
+    }
+}

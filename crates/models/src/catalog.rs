@@ -1,0 +1,411 @@
+//! Architecture catalogs built analytically from the published models.
+//!
+//! Parameter shapes follow the reference implementations (torchvision
+//! ResNets, the original VGG/BERT configurations); parameter totals are
+//! asserted against Table I of the paper in the tests. Per-model FF&BP
+//! times are *calibration constants* fitted once so the simulator's S-SGD
+//! and ACP-SGD breakdowns match Fig. 3 / Table III on the paper's
+//! RTX 2080 Ti + 10 GbE testbed; every other figure then uses the same
+//! constants unchanged (see DESIGN.md §7).
+
+use serde::{Deserialize, Serialize};
+
+use crate::layer::LayerSpec;
+
+/// A fully-specified model: parameter tensors in forward order plus the
+/// calibrated compute cost.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelSpec {
+    /// Model name (e.g. `"resnet50"`).
+    pub name: &'static str,
+    /// Parameter tensors in forward order; back-propagation produces
+    /// gradients in reverse order of this list.
+    pub layers: Vec<LayerSpec>,
+    /// The per-GPU batch size the paper uses for this model.
+    pub default_batch_size: usize,
+    /// Calibrated feed-forward + back-propagation wall time (seconds) at
+    /// [`ModelSpec::default_batch_size`] on the paper's RTX 2080 Ti.
+    pub ffbp_seconds_at_default_batch: f64,
+}
+
+impl ModelSpec {
+    /// Total number of parameters.
+    pub fn num_params(&self) -> usize {
+        self.layers.iter().map(LayerSpec::numel).sum()
+    }
+
+    /// Total gradient bytes (`f32`).
+    pub fn grad_bytes(&self) -> usize {
+        4 * self.num_params()
+    }
+
+    /// Total forward FLOPs per sample.
+    pub fn fwd_flops_per_sample(&self) -> u64 {
+        self.layers.iter().map(|l| l.fwd_flops_per_sample).sum()
+    }
+
+    /// FF&BP seconds at an arbitrary batch size (linear scaling from the
+    /// calibrated point — adequate for the compute-bound batch range the
+    /// paper sweeps).
+    pub fn ffbp_seconds(&self, batch_size: usize) -> f64 {
+        self.ffbp_seconds_at_default_batch * batch_size as f64
+            / self.default_batch_size as f64
+    }
+
+    /// Number of tensors the low-rank methods compress (matrices).
+    pub fn compressible_tensors(&self) -> usize {
+        self.layers.iter().filter(|l| l.is_compressible()).count()
+    }
+
+    /// Gradient tensors in the order back-propagation produces them
+    /// (reverse of forward order).
+    pub fn backward_order(&self) -> impl Iterator<Item = &LayerSpec> {
+        self.layers.iter().rev()
+    }
+}
+
+/// The models evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Model {
+    /// ResNet-50 on 224×224 ImageNet inputs, batch 64 (Table I).
+    ResNet50,
+    /// ResNet-152 on 224×224 ImageNet inputs, batch 32.
+    ResNet152,
+    /// BERT-Base encoder at sequence length 64, batch 32.
+    BertBase,
+    /// BERT-Large encoder at sequence length 64, batch 8.
+    BertLarge,
+    /// VGG-16 (CIFAR-10 head) — convergence experiments, batch 128.
+    Vgg16Cifar,
+    /// ResNet-18 (CIFAR-10 stem) — convergence experiments, batch 128.
+    ResNet18Cifar,
+}
+
+impl Model {
+    /// Builds the full layer catalog for this model.
+    pub fn spec(self) -> ModelSpec {
+        match self {
+            Model::ResNet50 => resnet50(),
+            Model::ResNet152 => resnet152(),
+            Model::BertBase => bert_base(),
+            Model::BertLarge => bert_large(),
+            Model::Vgg16Cifar => vgg16_cifar(),
+            Model::ResNet18Cifar => resnet18_cifar(),
+        }
+    }
+
+    /// The four models of the timing evaluation (Figs. 2–3, Table III).
+    pub fn evaluation_models() -> [Model; 4] {
+        [Model::ResNet50, Model::ResNet152, Model::BertBase, Model::BertLarge]
+    }
+
+    /// The Power-SGD / ACP-SGD rank the paper pairs with this model
+    /// (Table I: 4 for ResNets, 32 for BERTs).
+    pub fn paper_rank(self) -> usize {
+        match self {
+            Model::ResNet50 | Model::ResNet152 | Model::Vgg16Cifar | Model::ResNet18Cifar => 4,
+            Model::BertBase | Model::BertLarge => 32,
+        }
+    }
+
+    /// Display label matching the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            Model::ResNet50 => "ResNet-50",
+            Model::ResNet152 => "ResNet-152",
+            Model::BertBase => "BERT-Base",
+            Model::BertLarge => "BERT-Large",
+            Model::Vgg16Cifar => "VGG-16",
+            Model::ResNet18Cifar => "ResNet-18",
+        }
+    }
+}
+
+impl std::fmt::Display for Model {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Helper accumulating layers while tracking conv spatial dimensions.
+struct Builder {
+    layers: Vec<LayerSpec>,
+}
+
+impl Builder {
+    fn new() -> Self {
+        Builder { layers: Vec::new() }
+    }
+
+    /// Conv2d `cin → cout`, `k×k`, given output spatial size; adds the
+    /// filter plus (optionally) batch-norm weight/bias vectors.
+    fn conv(&mut self, name: &str, cin: usize, cout: usize, k: usize, out_hw: usize, bn: bool) {
+        let flops = 2 * k as u64 * k as u64 * cin as u64 * cout as u64 * (out_hw * out_hw) as u64;
+        self.layers.push(LayerSpec::new(format!("{name}.weight"), vec![cout, cin, k, k], flops));
+        if bn {
+            self.layers.push(LayerSpec::new(format!("{name}.bn.weight"), vec![cout], 0));
+            self.layers.push(LayerSpec::new(format!("{name}.bn.bias"), vec![cout], 0));
+        }
+    }
+
+    /// Fully-connected `in → out` with bias; `tokens` is the number of
+    /// positions the matmul applies to per sample (1 for CNN heads, the
+    /// sequence length for transformers).
+    fn linear(&mut self, name: &str, in_f: usize, out_f: usize, tokens: usize) {
+        let flops = 2 * in_f as u64 * out_f as u64 * tokens as u64;
+        self.layers.push(LayerSpec::new(format!("{name}.weight"), vec![out_f, in_f], flops));
+        self.layers.push(LayerSpec::new(format!("{name}.bias"), vec![out_f], 0));
+    }
+
+    /// LayerNorm weight + bias.
+    fn layer_norm(&mut self, name: &str, dim: usize) {
+        self.layers.push(LayerSpec::new(format!("{name}.weight"), vec![dim], 0));
+        self.layers.push(LayerSpec::new(format!("{name}.bias"), vec![dim], 0));
+    }
+
+    /// Embedding table (no FLOPs — lookups).
+    fn embedding(&mut self, name: &str, rows: usize, dim: usize) {
+        self.layers.push(LayerSpec::new(format!("{name}.weight"), vec![rows, dim], 0));
+    }
+}
+
+/// Bottleneck-ResNet builder (ResNet-50/101/152 family) for 224×224 inputs.
+fn bottleneck_resnet(name: &'static str, blocks: [usize; 4], batch: usize, ffbp: f64) -> ModelSpec {
+    let mut b = Builder::new();
+    b.conv("conv1", 3, 64, 7, 112, true);
+    let widths = [64usize, 128, 256, 512];
+    let spatial = [56usize, 28, 14, 7];
+    let mut in_ch = 64;
+    for (stage, (&n_blocks, (&width, &hw))) in
+        blocks.iter().zip(widths.iter().zip(spatial.iter())).enumerate()
+    {
+        let out_ch = width * 4;
+        for block in 0..n_blocks {
+            let prefix = format!("layer{}.{}", stage + 1, block);
+            b.conv(&format!("{prefix}.conv1"), in_ch, width, 1, hw, true);
+            b.conv(&format!("{prefix}.conv2"), width, width, 3, hw, true);
+            b.conv(&format!("{prefix}.conv3"), width, out_ch, 1, hw, true);
+            if block == 0 {
+                b.conv(&format!("{prefix}.downsample"), in_ch, out_ch, 1, hw, true);
+            }
+            in_ch = out_ch;
+        }
+    }
+    b.linear("fc", 2048, 1000, 1);
+    ModelSpec {
+        name,
+        layers: b.layers,
+        default_batch_size: batch,
+        ffbp_seconds_at_default_batch: ffbp,
+    }
+}
+
+/// ResNet-50 for 224×224 ImageNet inputs (25.6 M parameters).
+pub fn resnet50() -> ModelSpec {
+    bottleneck_resnet("resnet50", [3, 4, 6, 3], 64, 0.235)
+}
+
+/// ResNet-152 for 224×224 ImageNet inputs (60.2 M parameters).
+pub fn resnet152() -> ModelSpec {
+    bottleneck_resnet("resnet152", [3, 8, 36, 3], 32, 0.295)
+}
+
+/// BERT encoder builder at sequence length 64.
+fn bert(name: &'static str, hidden: usize, layers: usize, batch: usize, ffbp: f64) -> ModelSpec {
+    const VOCAB: usize = 30_522;
+    const MAX_POS: usize = 512;
+    const TYPES: usize = 2;
+    const SEQ: usize = 64;
+    let intermediate = 4 * hidden;
+    let mut b = Builder::new();
+    b.embedding("embeddings.word", VOCAB, hidden);
+    b.embedding("embeddings.position", MAX_POS, hidden);
+    b.embedding("embeddings.token_type", TYPES, hidden);
+    b.layer_norm("embeddings.ln", hidden);
+    for l in 0..layers {
+        let p = format!("encoder.{l}");
+        b.linear(&format!("{p}.attn.query"), hidden, hidden, SEQ);
+        b.linear(&format!("{p}.attn.key"), hidden, hidden, SEQ);
+        b.linear(&format!("{p}.attn.value"), hidden, hidden, SEQ);
+        // Attention scores + context (4·S²·H per sample) are charged to the
+        // output projection's layer.
+        let attn_extra = 4 * (SEQ * SEQ * hidden) as u64;
+        let out_flops = 2 * (hidden * hidden * SEQ) as u64 + attn_extra;
+        b.layers.push(LayerSpec::new(
+            format!("{p}.attn.output.weight"),
+            vec![hidden, hidden],
+            out_flops,
+        ));
+        b.layers.push(LayerSpec::new(format!("{p}.attn.output.bias"), vec![hidden], 0));
+        b.layer_norm(&format!("{p}.attn.ln"), hidden);
+        b.linear(&format!("{p}.ffn.intermediate"), hidden, intermediate, SEQ);
+        b.linear(&format!("{p}.ffn.output"), intermediate, hidden, SEQ);
+        b.layer_norm(&format!("{p}.ffn.ln"), hidden);
+    }
+    b.linear("pooler", hidden, hidden, 1);
+    ModelSpec {
+        name,
+        layers: b.layers,
+        default_batch_size: batch,
+        ffbp_seconds_at_default_batch: ffbp,
+    }
+}
+
+/// BERT-Base encoder, hidden 768 × 12 layers (110 M parameters).
+pub fn bert_base() -> ModelSpec {
+    bert("bert-base", 768, 12, 32, 0.185)
+}
+
+/// BERT-Large encoder, hidden 1024 × 24 layers (336 M parameters).
+pub fn bert_large() -> ModelSpec {
+    bert("bert-large", 1024, 24, 8, 0.200)
+}
+
+/// VGG-16 with batch norm and the CIFAR-10 classifier head (Figs. 6–7).
+pub fn vgg16_cifar() -> ModelSpec {
+    let mut b = Builder::new();
+    // (channels, convs-in-stage, output spatial size on 32x32 inputs)
+    let stages: [(usize, usize, usize); 5] =
+        [(64, 2, 32), (128, 2, 16), (256, 3, 8), (512, 3, 4), (512, 3, 2)];
+    let mut in_ch = 3;
+    for (stage, &(ch, convs, hw)) in stages.iter().enumerate() {
+        for c in 0..convs {
+            b.conv(&format!("features.{stage}.{c}"), in_ch, ch, 3, hw, true);
+            in_ch = ch;
+        }
+    }
+    b.linear("classifier.0", 512, 512, 1);
+    b.linear("classifier.1", 512, 512, 1);
+    b.linear("classifier.2", 512, 10, 1);
+    ModelSpec {
+        name: "vgg16-cifar",
+        layers: b.layers,
+        default_batch_size: 128,
+        ffbp_seconds_at_default_batch: 0.030,
+    }
+}
+
+/// ResNet-18 with the CIFAR-10 stem (3×3 conv, no max-pool) — Figs. 6–7.
+pub fn resnet18_cifar() -> ModelSpec {
+    let mut b = Builder::new();
+    b.conv("conv1", 3, 64, 3, 32, true);
+    let widths = [64usize, 128, 256, 512];
+    let spatial = [32usize, 16, 8, 4];
+    let mut in_ch = 64;
+    for (stage, (&width, &hw)) in widths.iter().zip(spatial.iter()).enumerate() {
+        for block in 0..2 {
+            let prefix = format!("layer{}.{}", stage + 1, block);
+            b.conv(&format!("{prefix}.conv1"), in_ch, width, 3, hw, true);
+            b.conv(&format!("{prefix}.conv2"), width, width, 3, hw, true);
+            if block == 0 && in_ch != width {
+                b.conv(&format!("{prefix}.downsample"), in_ch, width, 1, hw, true);
+            }
+            in_ch = width;
+        }
+    }
+    b.linear("fc", 512, 10, 1);
+    ModelSpec {
+        name: "resnet18-cifar",
+        layers: b.layers,
+        default_batch_size: 128,
+        ffbp_seconds_at_default_batch: 0.020,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn millions(n: usize) -> f64 {
+        n as f64 / 1e6
+    }
+
+    #[test]
+    fn resnet50_matches_table1() {
+        let m = resnet50();
+        let p = millions(m.num_params());
+        assert!((25.4..25.8).contains(&p), "ResNet-50 params {p}M");
+        assert_eq!(m.default_batch_size, 64);
+    }
+
+    #[test]
+    fn resnet152_matches_table1() {
+        let p = millions(resnet152().num_params());
+        assert!((59.9..60.5).contains(&p), "ResNet-152 params {p}M");
+    }
+
+    #[test]
+    fn bert_base_matches_table1() {
+        let p = millions(bert_base().num_params());
+        assert!((108.5..110.5).contains(&p), "BERT-Base params {p}M");
+    }
+
+    #[test]
+    fn bert_large_matches_table1() {
+        let p = millions(bert_large().num_params());
+        assert!((333.0..337.0).contains(&p), "BERT-Large params {p}M");
+    }
+
+    #[test]
+    fn resnet50_grad_bytes_about_97mb() {
+        // The paper quotes 97.5 MB of parameters for ResNet-50.
+        let mb = resnet50().grad_bytes() as f64 / (1024.0 * 1024.0);
+        assert!((96.0..99.0).contains(&mb), "ResNet-50 gradient {mb} MB");
+    }
+
+    #[test]
+    fn vgg16_and_resnet18_have_cifar_heads() {
+        let v = vgg16_cifar();
+        assert_eq!(v.layers.last().unwrap().dims, vec![10]);
+        let r = resnet18_cifar();
+        let p = millions(r.num_params());
+        assert!((10.5..11.5).contains(&p), "ResNet-18 params {p}M");
+    }
+
+    #[test]
+    fn backward_order_is_reverse_of_forward() {
+        let m = resnet50();
+        let first_backward = m.backward_order().next().unwrap();
+        assert_eq!(first_backward.name, m.layers.last().unwrap().name);
+    }
+
+    #[test]
+    fn ffbp_scales_linearly_with_batch() {
+        let m = resnet50();
+        let t64 = m.ffbp_seconds(64);
+        let t32 = m.ffbp_seconds(32);
+        assert!((t64 / t32 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compressible_fraction_is_sane() {
+        // ResNet-50: 54 conv/fc matrices out of ~160 tensors.
+        let m = resnet50();
+        let c = m.compressible_tensors();
+        assert!((50..60).contains(&c), "compressible tensors {c}");
+        assert!(m.layers.len() > 150, "total tensors {}", m.layers.len());
+    }
+
+    #[test]
+    fn evaluation_models_and_ranks() {
+        assert_eq!(Model::evaluation_models().len(), 4);
+        assert_eq!(Model::ResNet50.paper_rank(), 4);
+        assert_eq!(Model::BertLarge.paper_rank(), 32);
+        assert_eq!(Model::BertBase.label(), "BERT-Base");
+    }
+
+    #[test]
+    fn flops_are_positive_for_compute_layers() {
+        for model in Model::evaluation_models() {
+            let spec = model.spec();
+            assert!(spec.fwd_flops_per_sample() > 1_000_000_000, "{model}");
+        }
+    }
+
+    #[test]
+    fn bert_large_is_about_1282mb() {
+        // Fig. 10 quotes 1282.6 MB of parameters for BERT-Large.
+        let mb = bert_large().grad_bytes() as f64 / (1024.0 * 1024.0);
+        assert!((1270.0..1290.0).contains(&mb), "BERT-Large gradient {mb} MB");
+    }
+}

@@ -1,0 +1,139 @@
+//! Tensor-size CDFs (Fig. 5).
+//!
+//! The paper's Fig. 5 plots the cumulative distribution of tensor sizes for
+//! the uncompressed gradients `M` versus the low-rank factors `P` and `Q`:
+//! after rank-`r` decomposition the proportion of *small* tensors grows by
+//! ≈30%, which is why ACP-SGD needs tensor fusion with a compressed buffer
+//! size (§IV-B).
+
+use crate::catalog::ModelSpec;
+
+/// Empirical CDF over a set of tensor sizes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SizeCdf {
+    /// Sorted tensor sizes (number of parameters).
+    sizes: Vec<usize>,
+}
+
+impl SizeCdf {
+    /// Builds the CDF from an arbitrary collection of sizes.
+    pub fn new(mut sizes: Vec<usize>) -> Self {
+        sizes.sort_unstable();
+        SizeCdf { sizes }
+    }
+
+    /// CDF of the *uncompressed* gradient tensors `M` of a model.
+    pub fn uncompressed(model: &ModelSpec) -> Self {
+        SizeCdf::new(model.layers.iter().map(|l| l.numel()).collect())
+    }
+
+    /// CDF of the tensors ACP-SGD actually communicates at rank `rank`:
+    /// each matrix contributes its `P` and `Q` factors; vectors stay whole.
+    pub fn compressed(model: &ModelSpec, rank: usize) -> Self {
+        let mut sizes = Vec::new();
+        for layer in &model.layers {
+            let (p, q) = layer.low_rank_elements(rank);
+            sizes.push(p);
+            if q > 0 {
+                sizes.push(q);
+            }
+        }
+        SizeCdf::new(sizes)
+    }
+
+    /// Number of tensors.
+    pub fn len(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Returns `true` when there are no tensors.
+    pub fn is_empty(&self) -> bool {
+        self.sizes.is_empty()
+    }
+
+    /// Fraction of tensors with at most `size` parameters.
+    pub fn fraction_below(&self, size: usize) -> f64 {
+        if self.sizes.is_empty() {
+            return 0.0;
+        }
+        let count = self.sizes.partition_point(|&s| s <= size);
+        count as f64 / self.sizes.len() as f64
+    }
+
+    /// The sorted sizes (for plotting the full curve).
+    pub fn sizes(&self) -> &[usize] {
+        &self.sizes
+    }
+
+    /// Evaluates the CDF at log-spaced thresholds `10^2 … 10^8`, returning
+    /// `(threshold, fraction)` pairs — the series plotted in Fig. 5.
+    pub fn log_spaced_points(&self) -> Vec<(usize, f64)> {
+        (2..=8)
+            .map(|exp| {
+                let t = 10usize.pow(exp);
+                (t, self.fraction_below(t))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{bert_base, resnet50};
+
+    #[test]
+    fn fraction_below_basic() {
+        let cdf = SizeCdf::new(vec![10, 100, 1000]);
+        assert_eq!(cdf.fraction_below(5), 0.0);
+        assert!((cdf.fraction_below(10) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(cdf.fraction_below(1000), 1.0);
+    }
+
+    #[test]
+    fn empty_cdf() {
+        let cdf = SizeCdf::new(vec![]);
+        assert!(cdf.is_empty());
+        assert_eq!(cdf.fraction_below(100), 0.0);
+    }
+
+    #[test]
+    fn compression_shifts_resnet50_cdf_left() {
+        // Fig. 5(a): ~30% more tensors below 10^4 parameters after rank-4
+        // decomposition.
+        let model = resnet50();
+        let m = SizeCdf::uncompressed(&model);
+        let pq = SizeCdf::compressed(&model, 4);
+        let shift = pq.fraction_below(10_000) - m.fraction_below(10_000);
+        assert!(shift > 0.15, "CDF shift at 1e4 is only {shift}");
+    }
+
+    #[test]
+    fn compression_shifts_bert_base_cdf_left() {
+        // Fig. 5(b): the shift shows up below 10^5 parameters at rank 32.
+        let model = bert_base();
+        let m = SizeCdf::uncompressed(&model);
+        let pq = SizeCdf::compressed(&model, 32);
+        let shift = pq.fraction_below(100_000) - m.fraction_below(100_000);
+        assert!(shift > 0.15, "CDF shift at 1e5 is only {shift}");
+    }
+
+    #[test]
+    fn compressed_has_more_tensors_than_uncompressed() {
+        // Every matrix splits into P and Q.
+        let model = resnet50();
+        let m = SizeCdf::uncompressed(&model);
+        let pq = SizeCdf::compressed(&model, 4);
+        assert_eq!(pq.len(), m.len() + model.compressible_tensors());
+    }
+
+    #[test]
+    fn log_spaced_points_are_monotone() {
+        let cdf = SizeCdf::uncompressed(&resnet50());
+        let pts = cdf.log_spaced_points();
+        for w in pts.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+        }
+        assert_eq!(pts.last().unwrap().1, 1.0);
+    }
+}

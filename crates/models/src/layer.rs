@@ -1,0 +1,92 @@
+//! Per-layer parameter and compute metadata.
+
+use acp_tensor::MatrixShape;
+use serde::{Deserialize, Serialize};
+
+/// One learnable parameter tensor of a model, with the forward compute cost
+/// of the layer that owns it.
+///
+/// During back-propagation gradients are produced in *reverse* layer order —
+/// the simulator and the WFBP scheduler rely on the ordering of the
+/// containing [`crate::ModelSpec::layers`] list.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LayerSpec {
+    /// Human-readable name (e.g. `"layer3.4.conv2"`).
+    pub name: String,
+    /// Tensor dimensions (e.g. `[256, 128, 3, 3]` for a conv filter).
+    pub dims: Vec<usize>,
+    /// Forward FLOPs attributable to this parameter per input sample
+    /// (backward is modeled as 2× forward). Zero for cheap vector
+    /// parameters (biases, norm scales) whose compute is absorbed by their
+    /// layer's weight entry.
+    pub fwd_flops_per_sample: u64,
+}
+
+impl LayerSpec {
+    /// Creates a parameter entry.
+    pub fn new(name: impl Into<String>, dims: Vec<usize>, fwd_flops_per_sample: u64) -> Self {
+        LayerSpec { name: name.into(), dims, fwd_flops_per_sample }
+    }
+
+    /// Number of elements in the tensor.
+    pub fn numel(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Bytes of the `f32` gradient.
+    pub fn grad_bytes(&self) -> usize {
+        4 * self.numel()
+    }
+
+    /// How the low-rank compressors view this tensor.
+    pub fn matrix_shape(&self) -> MatrixShape {
+        MatrixShape::from_tensor_shape(&self.dims)
+    }
+
+    /// Whether the low-rank methods compress this tensor (matrices yes,
+    /// vectors no — §IV-C).
+    pub fn is_compressible(&self) -> bool {
+        self.matrix_shape().is_matrix()
+    }
+
+    /// Elements of the rank-`r` factors `(P, Q)`, or `(numel, 0)` for
+    /// uncompressed vectors.
+    pub fn low_rank_elements(&self, rank: usize) -> (usize, usize) {
+        match self.matrix_shape().low_rank_numel(rank) {
+            Some((p, q)) => (p, q),
+            None => (self.numel(), 0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_layer_is_compressible() {
+        let l = LayerSpec::new("conv", vec![64, 3, 7, 7], 1_000_000);
+        assert_eq!(l.numel(), 64 * 3 * 49);
+        assert!(l.is_compressible());
+        assert_eq!(l.matrix_shape(), MatrixShape::Matrix { rows: 64, cols: 147 });
+    }
+
+    #[test]
+    fn bias_is_not_compressible() {
+        let l = LayerSpec::new("bias", vec![512], 0);
+        assert!(!l.is_compressible());
+        assert_eq!(l.low_rank_elements(4), (512, 0));
+    }
+
+    #[test]
+    fn low_rank_elements_of_matrix() {
+        let l = LayerSpec::new("fc", vec![100, 200], 0);
+        assert_eq!(l.low_rank_elements(4), (400, 800));
+    }
+
+    #[test]
+    fn grad_bytes() {
+        let l = LayerSpec::new("w", vec![10, 10], 0);
+        assert_eq!(l.grad_bytes(), 400);
+    }
+}

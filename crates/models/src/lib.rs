@@ -1,0 +1,29 @@
+//! Model catalogs: the layer-by-layer parameter shapes and FLOP counts of
+//! every DNN the paper evaluates.
+//!
+//! The paper's timing experiments need three things from a model: the
+//! sequence of gradient tensors produced during back-propagation (shapes and
+//! order), the compute cost of each layer (to schedule wait-free
+//! back-propagation), and per-tensor compressed sizes (to build fusion
+//! buffers). This crate supplies all three, built analytically from the
+//! published architectures:
+//!
+//! * [`catalog::resnet50`] / [`catalog::resnet152`] — ImageNet ResNets at
+//!   224×224 (He et al. 2016), 25.6 M / 60.2 M parameters (Table I).
+//! * [`catalog::bert_base`] / [`catalog::bert_large`] — BERT encoders at
+//!   sequence length 64 (Devlin et al. 2019), 110 M / 336 M parameters.
+//! * [`catalog::vgg16_cifar`] / [`catalog::resnet18_cifar`] — the CIFAR-10
+//!   models of the convergence experiments (Figs. 6–7).
+//!
+//! [`cdf`] reproduces the tensor-size CDFs of Fig. 5, and [`stats`] the
+//! model statistics of Table I.
+
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod cdf;
+pub mod layer;
+pub mod stats;
+
+pub use catalog::{Model, ModelSpec};
+pub use layer::LayerSpec;

@@ -1,0 +1,99 @@
+//! Model statistics and compression ratios — Table I.
+
+use acp_tensor::MatrixShape;
+use serde::{Deserialize, Serialize};
+
+use crate::catalog::Model;
+
+/// One row of Table I.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelStats {
+    /// Model name as printed in the paper.
+    pub model: String,
+    /// Parameters in millions.
+    pub params_millions: f64,
+    /// Sign-SGD compression ratio (always 32×).
+    pub sign_ratio: f64,
+    /// Top-k compression ratio at the paper's 0.1% density, values-only
+    /// convention (1000×).
+    pub topk_ratio: f64,
+    /// Power-SGD / ACP-SGD model-level ratio at the paper's rank.
+    pub power_ratio: f64,
+    /// The rank used for `power_ratio`.
+    pub rank: usize,
+}
+
+/// Computes the Table I row for `model`.
+pub fn model_stats(model: Model) -> ModelStats {
+    let spec = model.spec();
+    let rank = model.paper_rank();
+    let shapes: Vec<MatrixShape> = spec.layers.iter().map(|l| l.matrix_shape()).collect();
+    let dense: usize = shapes.iter().map(MatrixShape::numel).sum();
+    let compressed: usize = shapes
+        .iter()
+        .map(|s| match s.low_rank_numel(rank) {
+            Some((p, q)) => p + q,
+            None => s.numel(),
+        })
+        .sum();
+    ModelStats {
+        model: model.label().to_string(),
+        params_millions: spec.num_params() as f64 / 1e6,
+        sign_ratio: 32.0,
+        topk_ratio: 1000.0,
+        power_ratio: dense as f64 / compressed.max(1) as f64,
+        rank,
+    }
+}
+
+/// All four rows of Table I.
+pub fn table1() -> Vec<ModelStats> {
+    Model::evaluation_models().into_iter().map(model_stats).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resnet50_power_ratio_near_67x() {
+        // Table I: 67× at rank 4. Our analytic catalog lands in the same
+        // regime (the exact figure depends on which tensors the reference
+        // implementation reshapes).
+        let s = model_stats(Model::ResNet50);
+        assert!((40.0..90.0).contains(&s.power_ratio), "ratio {}", s.power_ratio);
+        assert_eq!(s.rank, 4);
+    }
+
+    #[test]
+    fn resnet152_power_ratio_near_53x() {
+        let s = model_stats(Model::ResNet152);
+        assert!((35.0..75.0).contains(&s.power_ratio), "ratio {}", s.power_ratio);
+    }
+
+    #[test]
+    fn bert_base_power_ratio_near_16x() {
+        // Table I: 16× at rank 32.
+        let s = model_stats(Model::BertBase);
+        assert!((10.0..22.0).contains(&s.power_ratio), "ratio {}", s.power_ratio);
+        assert_eq!(s.rank, 32);
+    }
+
+    #[test]
+    fn bert_large_power_ratio_near_21x() {
+        let s = model_stats(Model::BertLarge);
+        assert!((14.0..28.0).contains(&s.power_ratio), "ratio {}", s.power_ratio);
+    }
+
+    #[test]
+    fn table1_has_four_rows_in_paper_order() {
+        let t = table1();
+        assert_eq!(t.len(), 4);
+        assert_eq!(t[0].model, "ResNet-50");
+        assert_eq!(t[3].model, "BERT-Large");
+        for row in &t {
+            assert_eq!(row.sign_ratio, 32.0);
+            assert_eq!(row.topk_ratio, 1000.0);
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Property-based tests over the model catalogs: structural invariants
+//! every catalog must satisfy for the simulator and compressors to be
+//! well-defined.
+
+use proptest::prelude::*;
+
+use acp_models::cdf::SizeCdf;
+use acp_models::Model;
+
+fn any_model() -> impl Strategy<Value = Model> {
+    prop_oneof![
+        Just(Model::ResNet50),
+        Just(Model::ResNet152),
+        Just(Model::BertBase),
+        Just(Model::BertLarge),
+        Just(Model::Vgg16Cifar),
+        Just(Model::ResNet18Cifar),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every catalog entry has positive size and a well-formed shape.
+    #[test]
+    fn layers_are_well_formed(model in any_model()) {
+        let spec = model.spec();
+        prop_assert!(!spec.layers.is_empty());
+        for layer in &spec.layers {
+            prop_assert!(layer.numel() > 0, "{}: empty tensor {}", spec.name, layer.name);
+            prop_assert!(!layer.dims.contains(&0));
+            prop_assert_eq!(layer.grad_bytes(), 4 * layer.numel());
+        }
+    }
+
+    /// Backward order is exactly the reverse of forward order.
+    #[test]
+    fn backward_is_reverse_of_forward(model in any_model()) {
+        let spec = model.spec();
+        let fwd: Vec<&str> = spec.layers.iter().map(|l| l.name.as_str()).collect();
+        let mut bwd: Vec<&str> = spec.backward_order().map(|l| l.name.as_str()).collect();
+        bwd.reverse();
+        prop_assert_eq!(fwd, bwd);
+    }
+
+    /// Parameter totals decompose: compressible matrices + vectors = all.
+    #[test]
+    fn compressible_partition(model in any_model()) {
+        let spec = model.spec();
+        let matrices: usize = spec
+            .layers
+            .iter()
+            .filter(|l| l.is_compressible())
+            .map(|l| l.numel())
+            .sum();
+        let vectors: usize = spec
+            .layers
+            .iter()
+            .filter(|l| !l.is_compressible())
+            .map(|l| l.numel())
+            .sum();
+        prop_assert_eq!(matrices + vectors, spec.num_params());
+        // The compressible share dominates in every paper model.
+        prop_assert!(matrices > vectors, "{}", spec.name);
+    }
+
+    /// Low-rank factor totals shrink monotonically as rank decreases.
+    #[test]
+    fn factor_size_monotone_in_rank(model in any_model(), r1 in 1usize..16, r2 in 1usize..16) {
+        let (lo, hi) = (r1.min(r2), r1.max(r2));
+        let spec = model.spec();
+        let total_at = |rank: usize| -> usize {
+            spec.layers
+                .iter()
+                .map(|l| {
+                    let (p, q) = l.low_rank_elements(rank);
+                    p + q
+                })
+                .sum()
+        };
+        prop_assert!(total_at(lo) <= total_at(hi));
+    }
+
+    /// FF&BP time scales linearly and positively with batch size.
+    #[test]
+    fn ffbp_linear_in_batch(model in any_model(), batch in 1usize..256) {
+        let spec = model.spec();
+        let t1 = spec.ffbp_seconds(batch);
+        let t2 = spec.ffbp_seconds(2 * batch);
+        prop_assert!(t1 > 0.0);
+        prop_assert!((t2 / t1 - 2.0).abs() < 1e-9);
+    }
+
+    /// No individual factor is larger than its source tensor, so above the
+    /// factor-size scale (Fig. 5 plots 1e4 and up) the compressed CDF
+    /// dominates the uncompressed one. (At tiny thresholds the *fraction*
+    /// can drop because each matrix contributes two factors.)
+    #[test]
+    fn compressed_cdf_dominates_above_factor_scale(model in any_model(), exp in 4u32..8) {
+        let spec = model.spec();
+        let rank = model.paper_rank();
+        for layer in &spec.layers {
+            let (pf, qf) = layer.low_rank_elements(rank);
+            prop_assert!(pf <= layer.numel());
+            prop_assert!(qf <= layer.numel());
+        }
+        // Fraction dominance is only guaranteed once the threshold clears
+        // the largest factor (BERT's factors reach ~1e5, which is why
+        // Fig. 5(b) shows the shift at 1e5 rather than 1e4).
+        let max_factor = spec
+            .layers
+            .iter()
+            .map(|l| {
+                let (pf, qf) = l.low_rank_elements(rank);
+                pf.max(qf)
+            })
+            .max()
+            .unwrap_or(0);
+        let thr = 10usize.pow(exp);
+        prop_assume!(thr >= max_factor);
+        let m = SizeCdf::uncompressed(&spec).fraction_below(thr);
+        let pq = SizeCdf::compressed(&spec, rank).fraction_below(thr);
+        prop_assert!(pq >= m - 1e-9, "{}: {pq} < {m} at 1e{exp}", spec.name);
+    }
+}

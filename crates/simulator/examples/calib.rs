@@ -1,0 +1,40 @@
+use acp_models::Model;
+use acp_simulator::{simulate, ExperimentConfig, Strategy};
+
+fn main() {
+    let paper = [
+        (Model::ResNet50, [266.0, 302.0, 286.0, 248.0]),
+        (Model::ResNet152, [500.0, 423.0, 404.0, 316.0]),
+        (Model::BertBase, [805.0, 236.0, 292.0, 193.0]),
+        (Model::BertLarge, [2307.0, 392.0, 516.0, 245.0]),
+    ];
+    println!("{:<12} {:>8} {:>8} {:>8} {:>8}   (paper in parens)", "model", "S-SGD", "Power", "Power*", "ACP");
+    for (model, p) in paper {
+        let r = model.paper_rank();
+        let strategies = [
+            Strategy::SSgd,
+            Strategy::PowerSgd { rank: r },
+            Strategy::PowerSgdStar { rank: r },
+            Strategy::AcpSgd { rank: r },
+        ];
+        print!("{:<12}", model.label());
+        for (s, pv) in strategies.iter().zip(p) {
+            let t = simulate(&ExperimentConfig::paper_testbed(model, *s)).unwrap().total_ms();
+            print!(" {:>4.0}({:>4.0})", t, pv);
+        }
+        println!();
+    }
+    // Fig 9 check: ResNet-152 + BERT-Large, naive/wfbp/wfbptf
+    for model in [Model::ResNet152, Model::BertLarge] {
+        let r = model.paper_rank();
+        for s in [Strategy::SSgd, Strategy::PowerSgdStar { rank: r }, Strategy::AcpSgd { rank: r }] {
+            let mut cfg = ExperimentConfig::paper_testbed(model, s);
+            print!("{} {:<10}", model.label(), s.label());
+            for opt in acp_simulator::OptLevel::all() {
+                cfg.opt = opt;
+                print!(" {}={:.0}", opt.label(), simulate(&cfg).unwrap().total_ms());
+            }
+            println!();
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Calibrated hardware profiles (GPU + cluster network).
+//!
+//! All constants are fitted to the microbenchmarks the paper itself quotes
+//! (DESIGN.md §7) and then reused unchanged across every experiment.
+
+use acp_collectives::{ClusterCost, NetworkTier};
+use serde::{Deserialize, Serialize};
+
+/// Compute-side cost model of one worker GPU (RTX 2080 Ti class).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GpuProfile {
+    /// Effective FLOPs/s for the small dense matmul / QR kernels of the
+    /// low-rank compressors (well below peak — these kernels are
+    /// launch-latency and bandwidth bound at the paper's ranks).
+    pub flops_per_second: f64,
+    /// Effective element-ops/s for element-wise compression kernels
+    /// (sign packing, top-k sampling passes, scatter/unpack).
+    pub elementwise_per_second: f64,
+    /// Fixed overhead per compression kernel launch (seconds).
+    pub kernel_overhead: f64,
+    /// Extra fixed cost of one reduced-QR orthogonalization call
+    /// (`torch.linalg.qr` launches several kernels per matrix).
+    pub ortho_overhead: f64,
+    /// Fixed cost of one multiple-sampling top-k selection over the packed
+    /// gradient (dozens of binary-search kernel launches with global
+    /// synchronization — the paper notes this PyTorch implementation is far
+    /// slower than the unavailable CUDA version).
+    pub topk_selection_overhead: f64,
+    /// Multiplier applied to compute work (backward + compression kernels)
+    /// when compression runs concurrently with back-propagation
+    /// (Power-SGD* contention; the paper measures ≈13% end-to-end slowdown
+    /// from this interference, Fig. 4(b)'s "slowdown of M₁").
+    pub interference_penalty: f64,
+    /// Multiplier applied to NCCL communication kernels that run
+    /// concurrently with compute under the same contention (NCCL's ring
+    /// kernels need SMs; concurrent compute roughly halves their effective
+    /// throughput — calibrated to Fig. 9's 13% WFBP slowdown).
+    pub comm_interference_penalty: f64,
+    /// Discount on per-matrix kernel-launch overheads when the DDP hook
+    /// batches same-shape matmul/QR kernels within a fusion bucket.
+    pub fused_batching_discount: f64,
+    /// Milder discount for the original packed Power-SGD implementation,
+    /// which iterates matrices one by one but amortizes launch setup across
+    /// the packed pass.
+    pub packed_batching_discount: f64,
+    /// Device memory (bytes) for out-of-memory detection.
+    pub memory_bytes: u64,
+}
+
+impl GpuProfile {
+    /// RTX 2080 Ti profile used by all experiments.
+    pub fn rtx2080ti() -> Self {
+        GpuProfile {
+            flops_per_second: 8.0e12,
+            elementwise_per_second: 5.0e10,
+            kernel_overhead: 100e-6,
+            ortho_overhead: 250e-6,
+            topk_selection_overhead: 0.15,
+            interference_penalty: 1.35,
+            comm_interference_penalty: 2.0,
+            fused_batching_discount: 0.3,
+            packed_batching_discount: 0.5,
+            memory_bytes: 11 * 1024 * 1024 * 1024,
+        }
+    }
+}
+
+impl Default for GpuProfile {
+    fn default() -> Self {
+        GpuProfile::rtx2080ti()
+    }
+}
+
+/// Full per-experiment hardware description.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HardwareProfile {
+    /// The worker GPU.
+    pub gpu: GpuProfile,
+    /// Number of workers.
+    pub workers: usize,
+    /// Interconnect tier.
+    pub network: NetworkTier,
+    /// Effective bandwidth fraction achieved by all-gather relative to the
+    /// ring all-reduce model (NCCL all-gather with large per-rank payloads
+    /// underutilizes Ethernet links; calibrated so Sign-SGD's communication
+    /// exceeds S-SGD's on BERT-Base as the paper measures).
+    pub allgather_efficiency: f64,
+}
+
+impl HardwareProfile {
+    /// The paper's main testbed: 32 GPUs on 10 GbE.
+    pub fn paper_testbed() -> Self {
+        HardwareProfile {
+            gpu: GpuProfile::rtx2080ti(),
+            workers: 32,
+            network: NetworkTier::TenGbE,
+            allgather_efficiency: 0.5,
+        }
+    }
+
+    /// Same GPU profile with a different cluster size / interconnect
+    /// (Figs. 12–13).
+    pub fn with_cluster(workers: usize, network: NetworkTier) -> Self {
+        HardwareProfile { workers, network, ..HardwareProfile::paper_testbed() }
+    }
+
+    /// Cost calculator for this cluster.
+    pub fn cluster_cost(&self) -> ClusterCost {
+        ClusterCost::new(self.workers, self.network)
+    }
+}
+
+impl Default for HardwareProfile {
+    fn default() -> Self {
+        HardwareProfile::paper_testbed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_testbed_is_32_gpus_on_10gbe() {
+        let hw = HardwareProfile::paper_testbed();
+        assert_eq!(hw.workers, 32);
+        assert_eq!(hw.network, NetworkTier::TenGbE);
+        assert_eq!(hw.cluster_cost().workers(), 32);
+    }
+
+    #[test]
+    fn gpu_profile_is_plausible() {
+        let gpu = GpuProfile::rtx2080ti();
+        assert!(gpu.flops_per_second > 1e11);
+        assert!(gpu.interference_penalty > 1.0);
+        assert_eq!(gpu.memory_bytes, 11 * 1024 * 1024 * 1024);
+    }
+}

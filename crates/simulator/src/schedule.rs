@@ -1,0 +1,282 @@
+//! Two-resource list-scheduling engine.
+//!
+//! Each worker has two serially-executing resources — the GPU compute
+//! stream and the network stream (NCCL channel) — exactly the two "rows"
+//! of the paper's schedule illustrations (Figs. 1 and 4). Tasks form a DAG;
+//! the scheduler greedily dispatches, at every step, the ready task that
+//! can start earliest (ties broken by submission order), which models
+//! CUDA-stream/NCCL FIFO behaviour with cross-stream events.
+
+use serde::{Deserialize, Serialize};
+
+/// The serially-executing resource a task occupies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Resource {
+    /// GPU compute stream (forward/backward/compression kernels).
+    Compute,
+    /// Network stream (collectives).
+    Network,
+}
+
+/// Semantic category of a task — drives the time breakdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TaskKind {
+    /// Forward pass compute.
+    Forward,
+    /// Per-layer backward compute.
+    Backward,
+    /// Gradient compression / decompression compute.
+    Compression,
+    /// Collective communication.
+    Communication,
+}
+
+/// Identifier of a scheduled task.
+pub type TaskId = usize;
+
+/// A node of the task DAG.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Task {
+    /// Display label (used in traces, e.g. `"AP_2"`).
+    pub label: String,
+    /// Resource the task occupies.
+    pub resource: Resource,
+    /// Category for breakdown accounting.
+    pub kind: TaskKind,
+    /// Execution time in seconds.
+    pub duration: f64,
+    /// Tasks that must finish before this one starts.
+    pub deps: Vec<TaskId>,
+}
+
+/// Start/finish assignment for one task.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Placement {
+    /// Start time (seconds from iteration start).
+    pub start: f64,
+    /// Finish time.
+    pub finish: f64,
+}
+
+/// The task DAG under construction plus the scheduling algorithm.
+#[derive(Debug, Clone, Default)]
+pub struct Schedule {
+    tasks: Vec<Task>,
+}
+
+impl Schedule {
+    /// Creates an empty schedule.
+    pub fn new() -> Self {
+        Schedule { tasks: Vec::new() }
+    }
+
+    /// Adds a task, returning its id. `deps` must reference earlier tasks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a dependency id is not yet defined (forward reference) or
+    /// the duration is negative/non-finite.
+    pub fn push(
+        &mut self,
+        label: impl Into<String>,
+        resource: Resource,
+        kind: TaskKind,
+        duration: f64,
+        deps: Vec<TaskId>,
+    ) -> TaskId {
+        assert!(duration.is_finite() && duration >= 0.0, "invalid duration {duration}");
+        let id = self.tasks.len();
+        for &d in &deps {
+            assert!(d < id, "dependency {d} not yet defined for task {id}");
+        }
+        self.tasks.push(Task { label: label.into(), resource, kind, duration, deps });
+        id
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Returns `true` when no tasks have been added.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Borrows the task list.
+    pub fn tasks(&self) -> &[Task] {
+        &self.tasks
+    }
+
+    /// Runs greedy list scheduling and returns per-task placements.
+    ///
+    /// At each step the unscheduled task with all dependencies placed and
+    /// the earliest feasible start time (resource-free vs dependency-finish)
+    /// is dispatched; ties break by submission order. Deterministic.
+    pub fn run(&self) -> Vec<Placement> {
+        let n = self.tasks.len();
+        let mut placed: Vec<Option<Placement>> = vec![None; n];
+        let mut free_compute = 0.0f64;
+        let mut free_network = 0.0f64;
+        let mut remaining = n;
+        while remaining > 0 {
+            let mut best: Option<(f64, TaskId)> = None;
+            for (id, task) in self.tasks.iter().enumerate() {
+                if placed[id].is_some() {
+                    continue;
+                }
+                let mut ready = 0.0f64;
+                let mut deps_ok = true;
+                for &d in &task.deps {
+                    match placed[d] {
+                        Some(p) => ready = ready.max(p.finish),
+                        None => {
+                            deps_ok = false;
+                            break;
+                        }
+                    }
+                }
+                if !deps_ok {
+                    continue;
+                }
+                let free = match task.resource {
+                    Resource::Compute => free_compute,
+                    Resource::Network => free_network,
+                };
+                let start = ready.max(free);
+                // Tie-break: compression before backward. Gradient hooks
+                // enqueue compression kernels in-stream immediately after
+                // the producing layer's backward kernels, ahead of the next
+                // layer's — submission order alone would starve them.
+                let prio = |tid: TaskId| match self.tasks[tid].kind {
+                    TaskKind::Compression => 0usize,
+                    _ => 1,
+                };
+                let better = match best {
+                    None => true,
+                    Some((bs, bid)) => {
+                        start < bs
+                            || (start == bs
+                                && (prio(id), id) < (prio(bid), bid))
+                    }
+                };
+                if better {
+                    best = Some((start, id));
+                }
+            }
+            let (start, id) =
+                best.expect("dependency cycle or forward reference in task DAG");
+            let finish = start + self.tasks[id].duration;
+            placed[id] = Some(Placement { start, finish });
+            match self.tasks[id].resource {
+                Resource::Compute => free_compute = finish,
+                Resource::Network => free_network = finish,
+            }
+            remaining -= 1;
+        }
+        placed.into_iter().map(|p| p.expect("all tasks placed")).collect()
+    }
+
+    /// Convenience: schedules and returns the makespan (latest finish).
+    pub fn makespan(&self) -> f64 {
+        self.run().iter().fold(0.0, |m, p| m.max(p.finish))
+    }
+
+    /// Sum of durations of tasks of `kind` (independent of placement).
+    pub fn total_duration(&self, kind: TaskKind) -> f64 {
+        self.tasks.iter().filter(|t| t.kind == kind).map(|t| t.duration).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn independent_tasks_on_different_resources_overlap() {
+        let mut s = Schedule::new();
+        s.push("c", Resource::Compute, TaskKind::Backward, 1.0, vec![]);
+        s.push("n", Resource::Network, TaskKind::Communication, 1.0, vec![]);
+        assert!((s.makespan() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn same_resource_serializes() {
+        let mut s = Schedule::new();
+        s.push("a", Resource::Compute, TaskKind::Backward, 1.0, vec![]);
+        s.push("b", Resource::Compute, TaskKind::Backward, 2.0, vec![]);
+        assert!((s.makespan() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dependencies_are_honored() {
+        let mut s = Schedule::new();
+        let a = s.push("a", Resource::Compute, TaskKind::Backward, 1.0, vec![]);
+        let b = s.push("b", Resource::Network, TaskKind::Communication, 1.0, vec![a]);
+        s.push("c", Resource::Compute, TaskKind::Compression, 1.0, vec![b]);
+        // a: 0-1, b: 1-2, c: 2-3.
+        assert!((s.makespan() - 3.0).abs() < 1e-12);
+        let p = s.run();
+        assert_eq!(p[2].start, 2.0);
+    }
+
+    #[test]
+    fn wfbp_overlap_shape() {
+        // Two backward layers; the first layer's all-reduce overlaps the
+        // second layer's backward — the Fig. 1(b) schedule.
+        let mut s = Schedule::new();
+        let b2 = s.push("M2", Resource::Compute, TaskKind::Backward, 1.0, vec![]);
+        s.push("A2", Resource::Network, TaskKind::Communication, 1.0, vec![b2]);
+        let b1 = s.push("M1", Resource::Compute, TaskKind::Backward, 1.0, vec![b2]);
+        s.push("A1", Resource::Network, TaskKind::Communication, 1.0, vec![b1]);
+        // M2: 0-1, M1: 1-2, A2: 1-2, A1: 2-3 => makespan 3 (vs 4 unoverlapped).
+        assert!((s.makespan() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ready_later_task_does_not_block_resource() {
+        // A network task that only becomes ready late must not delay an
+        // already-ready one submitted after it.
+        let mut s = Schedule::new();
+        let slow = s.push("slow-dep", Resource::Compute, TaskKind::Backward, 5.0, vec![]);
+        s.push("late", Resource::Network, TaskKind::Communication, 1.0, vec![slow]);
+        s.push("early", Resource::Network, TaskKind::Communication, 1.0, vec![]);
+        let p = s.run();
+        assert_eq!(p[2].start, 0.0, "early task should run first");
+        assert_eq!(p[1].start, 5.0);
+        assert!((s.makespan() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn total_duration_by_kind() {
+        let mut s = Schedule::new();
+        s.push("f", Resource::Compute, TaskKind::Forward, 2.0, vec![]);
+        s.push("b", Resource::Compute, TaskKind::Backward, 3.0, vec![]);
+        s.push("c", Resource::Compute, TaskKind::Compression, 1.0, vec![]);
+        assert_eq!(s.total_duration(TaskKind::Forward), 2.0);
+        assert_eq!(s.total_duration(TaskKind::Backward), 3.0);
+        assert_eq!(s.total_duration(TaskKind::Communication), 0.0);
+    }
+
+    #[test]
+    fn zero_duration_tasks_are_fine() {
+        let mut s = Schedule::new();
+        let a = s.push("a", Resource::Compute, TaskKind::Backward, 0.0, vec![]);
+        s.push("b", Resource::Compute, TaskKind::Backward, 1.0, vec![a]);
+        assert!((s.makespan() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "not yet defined")]
+    fn forward_reference_panics() {
+        let mut s = Schedule::new();
+        s.push("a", Resource::Compute, TaskKind::Backward, 1.0, vec![3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid duration")]
+    fn negative_duration_panics() {
+        let mut s = Schedule::new();
+        s.push("a", Resource::Compute, TaskKind::Backward, -1.0, vec![]);
+    }
+}

@@ -1,0 +1,892 @@
+//! Task-graph construction and iteration-time simulation for every
+//! aggregation strategy.
+//!
+//! One simulated iteration builds the schedule of Fig. 1 / Fig. 4: a
+//! forward task, per-tensor backward tasks in reverse layer order, and the
+//! strategy's compression/communication tasks wired with the dependencies
+//! the paper describes. The greedy list scheduler of [`crate::schedule`]
+//! then produces the makespan and the three-way breakdown the paper plots.
+
+use acp_collectives::ClusterCost;
+use acp_models::{Model, ModelSpec};
+use acp_tensor::MatrixShape;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::fusion::{compressed_buffer_bytes, pack_buckets, Bucket};
+use crate::hardware::HardwareProfile;
+use crate::schedule::{Resource, Schedule, TaskId, TaskKind};
+use crate::strategy::{OptLevel, Strategy};
+
+/// Default PyTorch-DDP fusion buffer: 25 MB.
+pub const DEFAULT_BUFFER_BYTES: usize = 25 * 1024 * 1024;
+
+/// A fully-specified simulated experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// The DNN being trained.
+    pub model: Model,
+    /// Gradient aggregation algorithm.
+    pub strategy: Strategy,
+    /// System-optimization level (WFBP / TF toggles, Fig. 9).
+    pub opt: OptLevel,
+    /// Cluster hardware.
+    pub hardware: HardwareProfile,
+    /// Per-GPU batch size.
+    pub batch_size: usize,
+    /// Fusion buffer capacity in bytes (dense-gradient terms; low-rank
+    /// strategies derive their compressed buffer size from it, §IV-B).
+    pub buffer_bytes: usize,
+}
+
+impl ExperimentConfig {
+    /// The paper's main configuration: 32 GPUs, 10 GbE, the model's paper
+    /// batch size, 25 MB buffers, full system optimizations.
+    pub fn paper_testbed(model: Model, strategy: Strategy) -> Self {
+        ExperimentConfig {
+            model,
+            strategy,
+            opt: OptLevel::WfbpTf,
+            hardware: HardwareProfile::paper_testbed(),
+            batch_size: model.spec().default_batch_size,
+            buffer_bytes: DEFAULT_BUFFER_BYTES,
+        }
+    }
+}
+
+/// Error from a simulated run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimError {
+    /// The strategy's working set exceeds device memory — reproduces
+    /// Sign-SGD's OOM on BERT-Large (§III-B).
+    OutOfMemory {
+        /// Bytes the run would need.
+        required_bytes: u64,
+        /// Bytes the GPU has.
+        available_bytes: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::OutOfMemory { required_bytes, available_bytes } => write!(
+                f,
+                "out of GPU memory: needs {:.1} GB, device has {:.1} GB",
+                *required_bytes as f64 / 1e9,
+                *available_bytes as f64 / 1e9
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Iteration-time result with the paper's three-way breakdown (Figs. 3, 8).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IterationReport {
+    /// End-to-end iteration time (seconds).
+    pub total: f64,
+    /// Forward + backward compute (seconds).
+    pub ffbp: f64,
+    /// Compression + decompression compute (seconds, incl. interference).
+    pub compression: f64,
+    /// Sum of communication task durations (seconds, mostly hidden).
+    pub comm_busy: f64,
+    /// Communication not overlapped with compute:
+    /// `total − ffbp − compression`, the paper's measurement convention.
+    pub non_overlapped_comm: f64,
+}
+
+impl IterationReport {
+    /// End-to-end iteration time in seconds.
+    pub fn total_seconds(&self) -> f64 {
+        self.total
+    }
+
+    /// End-to-end iteration time in milliseconds.
+    pub fn total_ms(&self) -> f64 {
+        self.total * 1e3
+    }
+
+    fn from_schedule(s: &Schedule) -> Self {
+        let total = s.makespan();
+        let ffbp = s.total_duration(TaskKind::Forward) + s.total_duration(TaskKind::Backward);
+        let compression = s.total_duration(TaskKind::Compression);
+        let comm_busy = s.total_duration(TaskKind::Communication);
+        IterationReport {
+            total,
+            ffbp,
+            compression,
+            comm_busy,
+            non_overlapped_comm: (total - ffbp - compression).max(0.0),
+        }
+    }
+
+    fn average(a: IterationReport, b: IterationReport) -> Self {
+        IterationReport {
+            total: (a.total + b.total) / 2.0,
+            ffbp: (a.ffbp + b.ffbp) / 2.0,
+            compression: (a.compression + b.compression) / 2.0,
+            comm_busy: (a.comm_busy + b.comm_busy) / 2.0,
+            non_overlapped_comm: (a.non_overlapped_comm + b.non_overlapped_comm) / 2.0,
+        }
+    }
+}
+
+/// Which ACP-SGD step parity a built schedule represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AcpSide {
+    /// Odd step: transmit `P` (`n × r` per matrix).
+    P,
+    /// Even step: transmit `Q` (`m × r` per matrix).
+    Q,
+}
+
+/// Per-tensor metadata in backward order.
+#[derive(Debug, Clone)]
+struct TensorInfo {
+    name: String,
+    numel: usize,
+    shape: MatrixShape,
+    /// Backward compute seconds for this tensor's layer.
+    bwd_secs: f64,
+}
+
+impl TensorInfo {
+    fn bytes(&self) -> usize {
+        4 * self.numel
+    }
+}
+
+fn tensor_infos(spec: &ModelSpec, batch_size: usize) -> (f64, Vec<TensorInfo>) {
+    let ffbp = spec.ffbp_seconds(batch_size);
+    let fwd = ffbp / 3.0;
+    let bwd_total = ffbp - fwd;
+    let total_flops: u64 = spec.fwd_flops_per_sample().max(1);
+    let infos = spec
+        .backward_order()
+        .map(|l| TensorInfo {
+            name: l.name.clone(),
+            numel: l.numel(),
+            shape: l.matrix_shape(),
+            bwd_secs: bwd_total * l.fwd_flops_per_sample as f64 / total_flops as f64,
+        })
+        .collect();
+    (fwd, infos)
+}
+
+/// Cost helpers bundling the hardware profile.
+struct Costs {
+    hw: HardwareProfile,
+    cluster: ClusterCost,
+}
+
+impl Costs {
+    fn new(hw: HardwareProfile) -> Self {
+        Costs { hw, cluster: hw.cluster_cost() }
+    }
+
+    fn all_reduce(&self, bytes: usize) -> f64 {
+        self.cluster.all_reduce_time(bytes)
+    }
+
+    fn all_gather(&self, bytes_per_rank: usize) -> f64 {
+        // All-gather underutilizes the link relative to ring all-reduce
+        // (calibrated; see HardwareProfile::allgather_efficiency).
+        let t = self.cluster.all_gather_time(bytes_per_rank);
+        let launch = self.cluster.alpha_beta().launch;
+        launch + (t - launch).max(0.0) / self.hw.allgather_efficiency
+    }
+
+    fn flops(&self, f: f64) -> f64 {
+        f / self.hw.gpu.flops_per_second
+    }
+
+    fn elementwise(&self, elems: f64) -> f64 {
+        elems / self.hw.gpu.elementwise_per_second
+    }
+}
+
+/// Low-rank op FLOPs for an `n × m` matrix at rank `r` (clamped).
+fn lr_dims(shape: MatrixShape, rank: usize) -> Option<(usize, usize, usize)> {
+    match shape {
+        MatrixShape::Matrix { rows, cols } => {
+            let r = rank.min(rows).min(cols);
+            Some((rows, cols, r))
+        }
+        MatrixShape::Vector { .. } => None,
+    }
+}
+
+/// Compression compute time for the *P-computing* half of a power
+/// iteration over the matrices of a bucket: one `(M+E)·Q` matmul per
+/// matrix.
+fn matmul_cost(costs: &Costs, tensors: &[&TensorInfo], rank: usize, ov_scale: f64) -> f64 {
+    let mut t = 0.0;
+    for info in tensors {
+        match lr_dims(info.shape, rank) {
+            Some((n, m, r)) => {
+                t += costs.flops(2.0 * n as f64 * m as f64 * r as f64)
+                    + ov_scale * costs.hw.gpu.kernel_overhead;
+            }
+            None => t += costs.elementwise(info.numel as f64),
+        }
+    }
+    t
+}
+
+/// Orthogonalization + error-feedback update cost over a bucket's matrices
+/// (`orthogonalize(query)`, reconstruct `P Qᵀ`, update `E`).
+fn ortho_ef_cost(
+    costs: &Costs,
+    tensors: &[&TensorInfo],
+    rank: usize,
+    ortho_rows_of_p: bool,
+    ov_scale: f64,
+) -> f64 {
+    let mut t = 0.0;
+    for info in tensors {
+        if let Some((n, m, r)) = lr_dims(info.shape, rank) {
+            let rows = if ortho_rows_of_p { n } else { m };
+            t += costs.flops(2.0 * rows as f64 * (r * r) as f64)
+                + ov_scale * costs.hw.gpu.ortho_overhead;
+            // EF: reconstruct P Qᵀ (2nmr) + two element-wise passes.
+            t += costs.flops(2.0 * n as f64 * m as f64 * r as f64)
+                + costs.elementwise(2.0 * (n * m) as f64)
+                + ov_scale * costs.hw.gpu.kernel_overhead;
+        }
+    }
+    t
+}
+
+/// Decompression (`M̂ = P Qᵀ`) cost over a bucket's matrices.
+fn decompress_cost(costs: &Costs, tensors: &[&TensorInfo], rank: usize, ov_scale: f64) -> f64 {
+    let mut t = 0.0;
+    for info in tensors {
+        if let Some((n, m, r)) = lr_dims(info.shape, rank) {
+            t += costs.flops(2.0 * n as f64 * m as f64 * r as f64)
+                + ov_scale * costs.hw.gpu.kernel_overhead;
+        }
+    }
+    t
+}
+
+/// Low-rank payload bytes of one side of a bucket.
+fn factor_bytes(tensors: &[&TensorInfo], rank: usize, side: AcpSide) -> usize {
+    tensors
+        .iter()
+        .map(|info| match lr_dims(info.shape, rank) {
+            Some((n, m, r)) => match side {
+                AcpSide::P => 4 * n * r,
+                AcpSide::Q => 4 * m * r,
+            },
+            None => info.bytes(),
+        })
+        .sum()
+}
+
+/// Emits forward + backward tasks; returns (last backward id, per-tensor
+/// backward task ids).
+fn emit_ffbp(
+    s: &mut Schedule,
+    fwd: f64,
+    infos: &[TensorInfo],
+    bwd_scale: f64,
+) -> (TaskId, Vec<TaskId>) {
+    let mut prev = s.push("FF", Resource::Compute, TaskKind::Forward, fwd, vec![]);
+    let mut ids = Vec::with_capacity(infos.len());
+    for (i, info) in infos.iter().enumerate() {
+        prev = s.push(
+            format!("B{}:{}", i, info.name),
+            Resource::Compute,
+            TaskKind::Backward,
+            bwd_scale * info.bwd_secs,
+            vec![prev],
+        );
+        ids.push(prev);
+    }
+    (prev, ids)
+}
+
+/// Buckets for a strategy/opt-level: `None` capacity means per-tensor.
+fn strategy_buckets(payloads: &[usize], opt: OptLevel, capacity: usize) -> Vec<Bucket> {
+    match opt {
+        OptLevel::Naive | OptLevel::Wfbp => pack_buckets(payloads, 0),
+        OptLevel::WfbpTf => pack_buckets(payloads, capacity),
+    }
+}
+
+/// Memory estimate (bytes): weights + gradients + momentum + EF residual
+/// territory, plus strategy workspace.
+fn memory_required(spec: &ModelSpec, strategy: &Strategy, workers: usize) -> u64 {
+    let n = spec.num_params() as u64;
+    let base = 4 * n * 4; // weights, grads, momentum, residual/workspace
+    let workspace = match strategy {
+        // Majority vote unpacks every rank's signs: p × N sign bytes.
+        Strategy::SignSgd => workers as u64 * n,
+        Strategy::TopkSgd { density } => {
+            let k = (*density * n as f64) as u64;
+            workers as u64 * k * 8
+        }
+        // gTop-k holds at most 2k sparse entries at any time.
+        Strategy::GTopkSgd { density } => {
+            let k = (*density * n as f64) as u64;
+            k * 32
+        }
+        _ => 0,
+    };
+    base + workspace
+}
+
+/// Builds the task graph for one iteration. `acp_side` selects the P or Q
+/// parity for ACP-SGD (ignored by other strategies).
+pub(crate) fn build_schedule(
+    cfg: &ExperimentConfig,
+    acp_side: AcpSide,
+) -> Result<Schedule, SimError> {
+    let spec = cfg.model.spec();
+    let required = memory_required(&spec, &cfg.strategy, cfg.hardware.workers);
+    if required > cfg.hardware.gpu.memory_bytes {
+        return Err(SimError::OutOfMemory {
+            required_bytes: required,
+            available_bytes: cfg.hardware.gpu.memory_bytes,
+        });
+    }
+    let costs = Costs::new(cfg.hardware);
+    let (fwd, infos) = tensor_infos(&spec, cfg.batch_size);
+    // Power-SGD* under WFBP overlaps compression kernels with backward:
+    // the backward pass itself slows down (Fig. 4(b)). Calibrated to the
+    // paper's one-GPU measurement of ≈13% overall slowdown.
+    let bwd_scale = match (cfg.strategy, cfg.opt) {
+        (Strategy::PowerSgdStar { .. }, OptLevel::Wfbp | OptLevel::WfbpTf) => {
+            1.0 + 0.4 * (cfg.hardware.gpu.interference_penalty - 1.0)
+        }
+        _ => 1.0,
+    };
+    let mut s = Schedule::new();
+    let (last_bwd, bwd_ids) = emit_ffbp(&mut s, fwd, &infos, bwd_scale);
+
+    let dense_payloads: Vec<usize> = infos.iter().map(TensorInfo::bytes).collect();
+    let total_dense: usize = dense_payloads.iter().sum();
+
+    // Dependency for a bucket's aggregation work: its last gradient under
+    // WFBP, or the end of back-propagation otherwise.
+    let bucket_dep = |bucket: &Bucket| -> TaskId {
+        match cfg.opt {
+            OptLevel::Naive => last_bwd,
+            OptLevel::Wfbp | OptLevel::WfbpTf => {
+                bucket.tensor_indices.iter().map(|&i| bwd_ids[i]).max().unwrap_or(last_bwd)
+            }
+        }
+    };
+
+    match cfg.strategy {
+        Strategy::SSgd => {
+            let buckets = strategy_buckets(&dense_payloads, cfg.opt, cfg.buffer_bytes);
+            for (bi, bucket) in buckets.iter().enumerate() {
+                let dep = bucket_dep(bucket);
+                s.push(
+                    format!("AR{bi}"),
+                    Resource::Network,
+                    TaskKind::Communication,
+                    costs.all_reduce(bucket.payload_bytes),
+                    vec![dep],
+                );
+            }
+        }
+        Strategy::GTopkSgd { density } => {
+            // Local top-k selection after BP (same sampled-selection cost
+            // as Top-k), then the O(k log p) sparse all-reduce, then a
+            // cheap scatter decode.
+            let n = total_dense as f64 / 4.0;
+            let k = (density * n) as usize;
+            let compress = costs.hw.gpu.topk_selection_overhead
+                + costs.elementwise(4.0 * n)
+                + 4.0 * costs.hw.gpu.kernel_overhead;
+            let rounds = (cfg.hardware.workers as f64).log2().ceil();
+            // Per-round merge of ~2k sparse entries on the compute stream.
+            let decode = costs.elementwise(2.0 * rounds * k as f64)
+                + costs.hw.gpu.kernel_overhead;
+            let c = s.push("Compress", Resource::Compute, TaskKind::Compression, compress, vec![
+                last_bwd,
+            ]);
+            let g = s.push(
+                "GTopk",
+                Resource::Network,
+                TaskKind::Communication,
+                costs.cluster.gtopk_time(k),
+                vec![c],
+            );
+            s.push("Decode", Resource::Compute, TaskKind::Compression, decode, vec![g]);
+        }
+        Strategy::SignSgd | Strategy::TopkSgd { .. } => {
+            // Per §III-A the gradients are packed together after BP, then
+            // compressed and all-gathered as one payload (same at every opt
+            // level — these methods predate the WFBP/TF integration the
+            // paper contributes).
+            let n = total_dense as f64 / 4.0;
+            let (compress, payload, decode) = match cfg.strategy {
+                Strategy::SignSgd => {
+                    let compress =
+                        costs.elementwise(2.0 * n) + 2.0 * costs.hw.gpu.kernel_overhead;
+                    // Packed signs: N bits = N/8 bytes per rank.
+                    let payload = (n / 8.0) as usize;
+                    // Unpack every rank's words + vote.
+                    let p = cfg.hardware.workers as f64;
+                    let decode = costs.elementwise(n * (1.0 + p / 32.0))
+                        + 2.0 * costs.hw.gpu.kernel_overhead;
+                    (compress, payload, decode)
+                }
+                Strategy::TopkSgd { density } => {
+                    // Multiple-sampling selection: a fixed binary-search
+                    // cost plus a few data passes.
+                    let compress = costs.hw.gpu.topk_selection_overhead
+                        + costs.elementwise(4.0 * n)
+                        + 4.0 * costs.hw.gpu.kernel_overhead;
+                    let k = (density * n) as usize;
+                    let payload = 8 * k; // values + indices
+                    let p = cfg.hardware.workers as f64;
+                    let decode = costs.elementwise(2.0 * p * k as f64)
+                        + costs.hw.gpu.kernel_overhead;
+                    (compress, payload, decode)
+                }
+                _ => unreachable!(),
+            };
+            let c = s.push("Compress", Resource::Compute, TaskKind::Compression, compress, vec![
+                last_bwd,
+            ]);
+            let g = s.push(
+                "AllGather",
+                Resource::Network,
+                TaskKind::Communication,
+                costs.all_gather(payload),
+                vec![c],
+            );
+            s.push("Decode", Resource::Compute, TaskKind::Compression, decode, vec![g]);
+        }
+        Strategy::PowerSgd { rank } => {
+            // Original implementation: pack after BP, then per bucket
+            // compute-P -> all-reduce-P -> compute-Q -> all-reduce-Q.
+            // Buckets pipeline against each other on the two streams, but
+            // nothing overlaps back-propagation (no interference; batched
+            // kernels thanks to packing).
+            let buckets = pack_buckets(&dense_payloads, cfg.buffer_bytes);
+            let ov_scale = costs.hw.gpu.packed_batching_discount;
+            emit_power_buckets(
+                &mut s,
+                &costs,
+                &infos,
+                &buckets,
+                rank,
+                PowerPenalties { compute: 1.0, comm: 1.0, ov_scale },
+                |_| last_bwd,
+            );
+        }
+        Strategy::PowerSgdStar { rank } => {
+            // Communication-hook implementation: same chain per bucket, but
+            // buckets become ready during BP (WFBP) and the compression +
+            // NCCL kernels run concurrently with backward — paying
+            // interference on both.
+            let buckets = strategy_buckets(&dense_payloads, cfg.opt, cfg.buffer_bytes);
+            let penalties = match cfg.opt {
+                OptLevel::Naive => PowerPenalties { compute: 1.0, comm: 1.0, ov_scale: 1.0 },
+                OptLevel::Wfbp => PowerPenalties {
+                    compute: costs.hw.gpu.interference_penalty,
+                    comm: costs.hw.gpu.comm_interference_penalty,
+                    ov_scale: 1.0,
+                },
+                OptLevel::WfbpTf => PowerPenalties {
+                    compute: costs.hw.gpu.interference_penalty,
+                    comm: costs.hw.gpu.comm_interference_penalty,
+                    ov_scale: costs.hw.gpu.fused_batching_discount,
+                },
+            };
+            emit_power_buckets(&mut s, &costs, &infos, &buckets, rank, penalties, |b| {
+                bucket_dep(b)
+            });
+        }
+        Strategy::AcpSgd { rank } => {
+            // One factor per iteration; fusion buffers sized by the
+            // compressed rate (§IV-B). Compression is issued inline in the
+            // gradient hook (serialized with backward — no interference).
+            let side_payloads: Vec<usize> = infos
+                .iter()
+                .map(|info| factor_bytes(&[info], rank, acp_side))
+                .collect();
+            let total_side: usize = side_payloads.iter().sum();
+            let capacity = compressed_buffer_bytes(cfg.buffer_bytes, total_dense, total_side);
+            let buckets = strategy_buckets(&side_payloads, cfg.opt, capacity);
+            let ov_scale = match cfg.opt {
+                OptLevel::WfbpTf => costs.hw.gpu.fused_batching_discount,
+                _ => 1.0,
+            };
+            for (bi, bucket) in buckets.iter().enumerate() {
+                let tensors: Vec<&TensorInfo> =
+                    bucket.tensor_indices.iter().map(|&i| &infos[i]).collect();
+                let dep = bucket_dep(bucket);
+                // Compression: orthogonalize query + one matmul + EF.
+                let c_cost = matmul_cost(&costs, &tensors, rank, ov_scale)
+                    + ortho_ef_cost(&costs, &tensors, rank, acp_side == AcpSide::Q, ov_scale);
+                let c = s.push(
+                    format!("C{bi}"),
+                    Resource::Compute,
+                    TaskKind::Compression,
+                    c_cost,
+                    vec![dep],
+                );
+                let ar = s.push(
+                    format!("AR{bi}"),
+                    Resource::Network,
+                    TaskKind::Communication,
+                    costs.all_reduce(bucket.payload_bytes),
+                    vec![c],
+                );
+                s.push(
+                    format!("D{bi}"),
+                    Resource::Compute,
+                    TaskKind::Compression,
+                    decompress_cost(&costs, &tensors, rank, ov_scale),
+                    vec![ar],
+                );
+            }
+        }
+    }
+    Ok(s)
+}
+
+/// Interference/batching factors for the Power-SGD bucket chains.
+#[derive(Debug, Clone, Copy)]
+struct PowerPenalties {
+    /// Multiplier on compression compute (overlap interference).
+    compute: f64,
+    /// Multiplier on communication (NCCL kernels contending for SMs).
+    comm: f64,
+    /// Scale on per-matrix kernel overheads (fused batching discount).
+    ov_scale: f64,
+}
+
+/// Emits the Power-SGD per-bucket four-phase chain.
+fn emit_power_buckets(
+    s: &mut Schedule,
+    costs: &Costs,
+    infos: &[TensorInfo],
+    buckets: &[Bucket],
+    rank: usize,
+    pen: PowerPenalties,
+    dep_of: impl Fn(&Bucket) -> TaskId,
+) {
+    for (bi, bucket) in buckets.iter().enumerate() {
+        let tensors: Vec<&TensorInfo> =
+            bucket.tensor_indices.iter().map(|&i| &infos[i]).collect();
+        let dep = dep_of(bucket);
+        let pc = s.push(
+            format!("P{bi}"),
+            Resource::Compute,
+            TaskKind::Compression,
+            pen.compute * matmul_cost(costs, &tensors, rank, pen.ov_scale),
+            vec![dep],
+        );
+        let p_bytes = factor_bytes(&tensors, rank, AcpSide::P);
+        let arp = s.push(
+            format!("AP{bi}"),
+            Resource::Network,
+            TaskKind::Communication,
+            pen.comm * costs.all_reduce(p_bytes),
+            vec![pc],
+        );
+        // Q compute waits on the aggregated P — the blocking dependency.
+        let qc = s.push(
+            format!("Q{bi}"),
+            Resource::Compute,
+            TaskKind::Compression,
+            pen.compute
+                * (matmul_cost(costs, &tensors, rank, pen.ov_scale)
+                    + ortho_ef_cost(costs, &tensors, rank, true, pen.ov_scale)),
+            vec![arp],
+        );
+        // Q factors exclude the vector tensors (sent once with P); a
+        // vectors-only bucket has no second collective at all.
+        let q_bytes: usize = tensors
+            .iter()
+            .map(|info| match lr_dims(info.shape, rank) {
+                Some((_, m, r)) => 4 * m * r,
+                None => 0,
+            })
+            .sum();
+        let d_dep = if q_bytes > 0 {
+            s.push(
+                format!("AQ{bi}"),
+                Resource::Network,
+                TaskKind::Communication,
+                pen.comm * costs.all_reduce(q_bytes),
+                vec![qc],
+            )
+        } else {
+            qc
+        };
+        s.push(
+            format!("D{bi}"),
+            Resource::Compute,
+            TaskKind::Compression,
+            pen.compute * decompress_cost(costs, &tensors, rank, pen.ov_scale),
+            vec![d_dep],
+        );
+    }
+}
+
+/// Simulates one steady-state training iteration.
+///
+/// ACP-SGD runs both step parities (transmit-P and transmit-Q) and averages
+/// them; other strategies run a single schedule.
+///
+/// # Errors
+///
+/// Returns [`SimError::OutOfMemory`] when the strategy's working set
+/// exceeds device memory (Sign-SGD on BERT-Large).
+pub fn simulate(cfg: &ExperimentConfig) -> Result<IterationReport, SimError> {
+    match cfg.strategy {
+        Strategy::AcpSgd { .. } => {
+            let p = IterationReport::from_schedule(&build_schedule(cfg, AcpSide::P)?);
+            let q = IterationReport::from_schedule(&build_schedule(cfg, AcpSide::Q)?);
+            Ok(IterationReport::average(p, q))
+        }
+        _ => Ok(IterationReport::from_schedule(&build_schedule(cfg, AcpSide::P)?)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acp_collectives::NetworkTier;
+
+    fn run(model: Model, strategy: Strategy) -> IterationReport {
+        simulate(&ExperimentConfig::paper_testbed(model, strategy)).unwrap()
+    }
+
+    #[test]
+    fn acp_beats_ssgd_and_powersgd_on_all_models() {
+        // Table III's headline: ACP-SGD wins everywhere.
+        for model in Model::evaluation_models() {
+            let rank = model.paper_rank();
+            let acp = run(model, Strategy::AcpSgd { rank }).total;
+            let ssgd = run(model, Strategy::SSgd).total;
+            let power = run(model, Strategy::PowerSgd { rank }).total;
+            assert!(acp < ssgd, "{model}: ACP {acp} !< S-SGD {ssgd}");
+            assert!(acp < power, "{model}: ACP {acp} !< Power-SGD {power}");
+        }
+    }
+
+    #[test]
+    fn powersgd_beats_ssgd_only_on_berts() {
+        // Fig. 2 / Table III: Power-SGD loses to S-SGD on ResNet-50 but
+        // wins on the BERTs.
+        let p50 = run(Model::ResNet50, Strategy::PowerSgd { rank: 4 }).total;
+        let s50 = run(Model::ResNet50, Strategy::SSgd).total;
+        assert!(p50 > s50, "ResNet-50: Power-SGD {p50} should lose to S-SGD {s50}");
+        for model in [Model::BertBase, Model::BertLarge] {
+            let p = run(model, Strategy::PowerSgd { rank: 32 }).total;
+            let s = run(model, Strategy::SSgd).total;
+            assert!(p < s, "{model}: Power-SGD {p} should beat S-SGD {s}");
+        }
+    }
+
+    #[test]
+    fn sign_and_topk_lose_to_ssgd_on_resnet50() {
+        // Fig. 2: Sign-SGD and Top-k take 1.70x / 1.66x S-SGD's time on
+        // ResNet-50.
+        let s = run(Model::ResNet50, Strategy::SSgd).total;
+        let sign = run(Model::ResNet50, Strategy::SignSgd).total;
+        let topk = run(Model::ResNet50, Strategy::TopkSgd { density: 0.001 }).total;
+        assert!(sign > 1.2 * s, "Sign {sign} vs S-SGD {s}");
+        assert!(topk > 1.2 * s, "Top-k {topk} vs S-SGD {s}");
+    }
+
+    #[test]
+    fn topk_beats_ssgd_on_bert_base() {
+        let s = run(Model::BertBase, Strategy::SSgd).total;
+        let topk = run(Model::BertBase, Strategy::TopkSgd { density: 0.001 }).total;
+        assert!(topk < s, "Top-k {topk} vs S-SGD {s}");
+    }
+
+    #[test]
+    fn sign_sgd_oom_on_bert_large() {
+        // §III-B: "Sign-SGD runs out of memory due to its increased memory
+        // requirement".
+        let cfg = ExperimentConfig::paper_testbed(Model::BertLarge, Strategy::SignSgd);
+        assert!(matches!(simulate(&cfg), Err(SimError::OutOfMemory { .. })));
+        // But it fits on BERT-Base.
+        let ok = ExperimentConfig::paper_testbed(Model::BertBase, Strategy::SignSgd);
+        assert!(simulate(&ok).is_ok());
+    }
+
+    #[test]
+    fn sign_comm_exceeds_ssgd_comm_on_bert_base() {
+        // §III-C: Sign-SGD's all-gather communication is higher than
+        // S-SGD's all-reduce despite 32x compression.
+        let s = run(Model::BertBase, Strategy::SSgd);
+        let sign = run(Model::BertBase, Strategy::SignSgd);
+        assert!(
+            sign.non_overlapped_comm > 0.9 * s.non_overlapped_comm,
+            "sign comm {} vs ssgd comm {}",
+            sign.non_overlapped_comm,
+            s.non_overlapped_comm
+        );
+    }
+
+    #[test]
+    fn ssgd_hides_communication_on_resnet50_but_not_bert_base() {
+        // Fig. 3: S-SGD's non-overlapped comm is small on ResNet-50 and
+        // dominant on BERT-Base.
+        let r = run(Model::ResNet50, Strategy::SSgd);
+        assert!(
+            r.non_overlapped_comm < 0.35 * r.total,
+            "ResNet-50 exposed comm {} of {}",
+            r.non_overlapped_comm,
+            r.total
+        );
+        let b = run(Model::BertBase, Strategy::SSgd);
+        assert!(
+            b.non_overlapped_comm > 0.5 * b.total,
+            "BERT-Base exposed comm {} of {}",
+            b.non_overlapped_comm,
+            b.total
+        );
+    }
+
+    #[test]
+    fn wfbp_helps_ssgd_and_acp_but_hurts_powersgd_star() {
+        // Fig. 9 structure on ResNet-152.
+        let mk = |strategy, opt| {
+            let mut cfg = ExperimentConfig::paper_testbed(Model::ResNet152, strategy);
+            cfg.opt = opt;
+            simulate(&cfg).unwrap().total
+        };
+        let s_naive = mk(Strategy::SSgd, OptLevel::Naive);
+        let s_wfbp = mk(Strategy::SSgd, OptLevel::Wfbp);
+        assert!(s_wfbp < s_naive, "S-SGD WFBP {s_wfbp} vs naive {s_naive}");
+        let a_naive = mk(Strategy::AcpSgd { rank: 4 }, OptLevel::Naive);
+        let a_wfbp = mk(Strategy::AcpSgd { rank: 4 }, OptLevel::Wfbp);
+        assert!(a_wfbp < a_naive, "ACP WFBP {a_wfbp} vs naive {a_naive}");
+        let p_naive = mk(Strategy::PowerSgdStar { rank: 4 }, OptLevel::Naive);
+        let p_wfbp = mk(Strategy::PowerSgdStar { rank: 4 }, OptLevel::Wfbp);
+        assert!(p_wfbp > p_naive, "Power-SGD* WFBP {p_wfbp} should exceed naive {p_naive}");
+    }
+
+    #[test]
+    fn tensor_fusion_gives_large_speedup() {
+        // Fig. 9: WFBP+TF beats WFBP alone for every method.
+        for strategy in [
+            Strategy::SSgd,
+            Strategy::PowerSgdStar { rank: 32 },
+            Strategy::AcpSgd { rank: 32 },
+        ] {
+            let mut cfg = ExperimentConfig::paper_testbed(Model::BertLarge, strategy);
+            cfg.opt = OptLevel::Wfbp;
+            let wfbp = simulate(&cfg).unwrap().total;
+            cfg.opt = OptLevel::WfbpTf;
+            let tf = simulate(&cfg).unwrap().total;
+            assert!(tf < wfbp, "{strategy}: TF {tf} vs WFBP {wfbp}");
+        }
+    }
+
+    #[test]
+    fn acp_scales_with_workers_better_than_allgather_methods() {
+        // Fig. 12: ring-based methods stay near-flat from 8 to 64 GPUs.
+        let time_at = |workers: usize, strategy| {
+            let mut cfg = ExperimentConfig::paper_testbed(Model::ResNet50, strategy);
+            cfg.hardware = HardwareProfile::with_cluster(workers, NetworkTier::TenGbE);
+            simulate(&cfg).unwrap().total
+        };
+        let acp8 = time_at(8, Strategy::AcpSgd { rank: 4 });
+        let acp64 = time_at(64, Strategy::AcpSgd { rank: 4 });
+        assert!(acp64 / acp8 < 1.3, "ACP scaling {}", acp64 / acp8);
+        let sign8 = time_at(8, Strategy::SignSgd);
+        let sign64 = time_at(64, Strategy::SignSgd);
+        assert!(sign64 / sign8 > acp64 / acp8, "all-gather should scale worse");
+    }
+
+    #[test]
+    fn speedups_grow_as_bandwidth_shrinks() {
+        // Fig. 13: ACP's advantage over S-SGD is largest on 1 GbE.
+        let ratio_at = |tier| {
+            let mut s = ExperimentConfig::paper_testbed(Model::BertBase, Strategy::SSgd);
+            s.hardware = HardwareProfile::with_cluster(32, tier);
+            let mut a =
+                ExperimentConfig::paper_testbed(Model::BertBase, Strategy::AcpSgd { rank: 32 });
+            a.hardware = s.hardware;
+            simulate(&s).unwrap().total / simulate(&a).unwrap().total
+        };
+        let r1 = ratio_at(NetworkTier::OneGbE);
+        let r10 = ratio_at(NetworkTier::TenGbE);
+        let r100 = ratio_at(NetworkTier::HundredGbIb);
+        assert!(r1 > r10 && r10 > r100, "speedups {r1} {r10} {r100}");
+        assert!(r1 > 8.0, "1GbE speedup {r1} should be large");
+        assert!(r100 > 1.0, "ACP still ahead on 100Gb IB: {r100}");
+    }
+
+    #[test]
+    fn rank_sweep_increases_overheads() {
+        // Fig. 11(b): higher rank, higher compression+comm cost; ACP's
+        // advantage over Power-SGD grows with rank.
+        let at = |rank| {
+            let p = run(Model::BertLarge, Strategy::PowerSgdStar { rank }).total;
+            let a = run(Model::BertLarge, Strategy::AcpSgd { rank }).total;
+            (p, a)
+        };
+        let (p32, a32) = at(32);
+        let (p256, a256) = at(256);
+        assert!(p256 > p32 && a256 > a32, "rank raises cost");
+        assert!(p256 / a256 > p32 / a32 * 0.9, "ACP advantage persists at high rank");
+    }
+
+    #[test]
+    fn gtopk_scales_flatter_than_topk() {
+        // Extension: gTop-k's O(k log p) collective vs Top-k's O(k p)
+        // all-gather.
+        let time_at = |workers: usize, strategy| {
+            let mut cfg = ExperimentConfig::paper_testbed(Model::BertBase, strategy);
+            cfg.hardware = HardwareProfile::with_cluster(workers, NetworkTier::TenGbE);
+            simulate(&cfg).unwrap().non_overlapped_comm + simulate(&cfg).unwrap().total * 0.0
+        };
+        let topk8 = time_at(8, Strategy::TopkSgd { density: 0.001 });
+        let topk64 = time_at(64, Strategy::TopkSgd { density: 0.001 });
+        let g8 = time_at(8, Strategy::GTopkSgd { density: 0.001 });
+        let g64 = time_at(64, Strategy::GTopkSgd { density: 0.001 });
+        assert!(g64 < topk64, "gTop-k comm {g64} should beat Top-k {topk64} at 64 GPUs");
+        let topk_growth = topk64 / topk8.max(1e-9);
+        let g_growth = g64 / g8.max(1e-9);
+        assert!(g_growth < topk_growth, "gTop-k growth {g_growth} vs Top-k {topk_growth}");
+    }
+
+    #[test]
+    fn report_breakdown_sums_are_consistent() {
+        let r = run(Model::ResNet152, Strategy::AcpSgd { rank: 4 });
+        assert!(r.total >= r.ffbp);
+        assert!(r.non_overlapped_comm >= 0.0);
+        assert!((r.ffbp + r.compression + r.non_overlapped_comm - r.total).abs() < 1e-9);
+        assert!(r.total_ms() > 1.0);
+    }
+
+    #[test]
+    fn buffer_size_sweep_has_interior_optimum_for_acp_rank256() {
+        // Fig. 10: at rank 256 the default 25 MB buffer beats both no-TF
+        // (0 MB) and full-TF (1500 MB).
+        let at = |buffer_mb: usize| {
+            let mut cfg = ExperimentConfig::paper_testbed(
+                Model::BertLarge,
+                Strategy::AcpSgd { rank: 256 },
+            );
+            cfg.buffer_bytes = buffer_mb * 1024 * 1024;
+            if buffer_mb == 0 {
+                cfg.opt = OptLevel::Wfbp; // 0 MB = no fusion
+            }
+            simulate(&cfg).unwrap().total
+        };
+        let none = at(0);
+        let default = at(25);
+        let full = at(1500);
+        assert!(default < none, "25MB {default} vs 0MB {none}");
+        assert!(default < full, "25MB {default} vs 1500MB {full}");
+    }
+}

@@ -1,0 +1,137 @@
+//! Aggregation strategies and system-optimization levels.
+
+use serde::{Deserialize, Serialize};
+
+/// The gradient aggregation algorithm a simulated run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Strategy {
+    /// Uncompressed S-SGD over ring all-reduce (the well-optimized
+    /// PyTorch-DDP baseline).
+    SSgd,
+    /// Sign-SGD with majority vote over all-gather (gradients packed and
+    /// compressed after back-propagation, as in §III-A).
+    SignSgd,
+    /// Top-k SGD with sampled selection over all-gather.
+    TopkSgd {
+        /// Fraction of gradient elements kept (paper: 0.001).
+        density: f64,
+    },
+    /// gTop-k SGD (extension, the paper's reference [33]): global top-k
+    /// over the `O(k log p)` sparse all-reduce instead of all-gather.
+    GTopkSgd {
+        /// Fraction of gradient elements kept.
+        density: f64,
+    },
+    /// Power-SGD, original implementation: gradients packed after
+    /// back-propagation, then compute-P → all-reduce-P → compute-Q →
+    /// all-reduce-Q per bucket.
+    PowerSgd {
+        /// Factorization rank.
+        rank: usize,
+    },
+    /// Power-SGD* — Power-SGD on the communication hook with WFBP and TF:
+    /// compression overlaps back-propagation (and pays compute
+    /// interference).
+    PowerSgdStar {
+        /// Factorization rank.
+        rank: usize,
+    },
+    /// ACP-SGD: alternate compression, one all-reduce per step,
+    /// WFBP/TF-compatible (the paper's method).
+    AcpSgd {
+        /// Factorization rank.
+        rank: usize,
+    },
+}
+
+impl Strategy {
+    /// Display label matching the paper's figures.
+    pub fn label(&self) -> String {
+        match self {
+            Strategy::SSgd => "S-SGD".to_string(),
+            Strategy::SignSgd => "Sign-SGD".to_string(),
+            Strategy::TopkSgd { .. } => "Top-k SGD".to_string(),
+            Strategy::GTopkSgd { .. } => "gTop-k SGD".to_string(),
+            Strategy::PowerSgd { .. } => "Power-SGD".to_string(),
+            Strategy::PowerSgdStar { .. } => "Power-SGD*".to_string(),
+            Strategy::AcpSgd { .. } => "ACP-SGD".to_string(),
+        }
+    }
+
+    /// The factorization rank for low-rank strategies.
+    pub fn rank(&self) -> Option<usize> {
+        match self {
+            Strategy::PowerSgd { rank }
+            | Strategy::PowerSgdStar { rank }
+            | Strategy::AcpSgd { rank } => Some(*rank),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Strategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// Which system optimizations are enabled (Fig. 9's three variants).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OptLevel {
+    /// No WFBP, no TF: all aggregation work happens after back-propagation,
+    /// one collective per tensor.
+    Naive,
+    /// Wait-free back-propagation without tensor fusion: per-tensor
+    /// collectives issued as gradients become ready.
+    Wfbp,
+    /// WFBP plus tensor fusion into fixed-size buffers (the production
+    /// configuration).
+    WfbpTf,
+}
+
+impl OptLevel {
+    /// Display label matching Fig. 9.
+    pub fn label(self) -> &'static str {
+        match self {
+            OptLevel::Naive => "Naive",
+            OptLevel::Wfbp => "WFBP",
+            OptLevel::WfbpTf => "WFBP+TF",
+        }
+    }
+
+    /// All levels in Fig. 9 order.
+    pub fn all() -> [OptLevel; 3] {
+        [OptLevel::Naive, OptLevel::Wfbp, OptLevel::WfbpTf]
+    }
+}
+
+impl std::fmt::Display for OptLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(Strategy::SSgd.label(), "S-SGD");
+        assert_eq!(Strategy::AcpSgd { rank: 4 }.label(), "ACP-SGD");
+        assert_eq!(Strategy::PowerSgdStar { rank: 4 }.label(), "Power-SGD*");
+        assert_eq!(OptLevel::WfbpTf.label(), "WFBP+TF");
+    }
+
+    #[test]
+    fn rank_accessor() {
+        assert_eq!(Strategy::AcpSgd { rank: 32 }.rank(), Some(32));
+        assert_eq!(Strategy::SSgd.rank(), None);
+        assert_eq!(Strategy::TopkSgd { density: 0.001 }.rank(), None);
+    }
+
+    #[test]
+    fn all_opt_levels_ordered() {
+        assert_eq!(OptLevel::all(), [OptLevel::Naive, OptLevel::Wfbp, OptLevel::WfbpTf]);
+    }
+}

@@ -1,0 +1,138 @@
+//! Schedule traces — the machine-readable version of the paper's Fig. 4
+//! timeline illustrations.
+
+use serde::{Deserialize, Serialize};
+
+use crate::schedule::{Resource, TaskKind};
+use crate::sim::{build_schedule, AcpSide, ExperimentConfig, SimError};
+
+/// One placed task of a simulated iteration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEntry {
+    /// Task label (e.g. `"AP2"`).
+    pub label: String,
+    /// Resource row (compute stream or network stream).
+    pub resource: Resource,
+    /// Task category.
+    pub kind: TaskKind,
+    /// Start time in seconds.
+    pub start: f64,
+    /// Finish time in seconds.
+    pub finish: f64,
+}
+
+/// Produces the per-task timeline of one simulated iteration, sorted by
+/// start time (ACP-SGD traces its P-step parity).
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from schedule construction (e.g. out of memory).
+pub fn trace(cfg: &ExperimentConfig) -> Result<Vec<TraceEntry>, SimError> {
+    let schedule = build_schedule(cfg, AcpSide::P)?;
+    let placements = schedule.run();
+    let mut entries: Vec<TraceEntry> = schedule
+        .tasks()
+        .iter()
+        .zip(&placements)
+        .map(|(t, p)| TraceEntry {
+            label: t.label.clone(),
+            resource: t.resource,
+            kind: t.kind,
+            start: p.start,
+            finish: p.finish,
+        })
+        .collect();
+    entries.sort_by(|a, b| a.start.partial_cmp(&b.start).unwrap_or(std::cmp::Ordering::Equal));
+    Ok(entries)
+}
+
+/// Renders a trace as a fixed-width text timeline (one row per resource),
+/// the form Fig. 4 is drawn in.
+pub fn render_text(entries: &[TraceEntry], width: usize) -> String {
+    let end = entries.iter().fold(0.0f64, |m, e| m.max(e.finish)).max(1e-9);
+    let mut rows = String::new();
+    for (resource, title) in [(Resource::Compute, "compute"), (Resource::Network, "network")] {
+        let mut row = vec![b'.'; width];
+        for e in entries.iter().filter(|e| e.resource == resource) {
+            let a = ((e.start / end) * width as f64) as usize;
+            let b = (((e.finish / end) * width as f64).ceil() as usize).min(width);
+            let ch = match e.kind {
+                TaskKind::Forward => b'F',
+                TaskKind::Backward => b'B',
+                TaskKind::Compression => b'C',
+                TaskKind::Communication => b'A',
+            };
+            for slot in row.iter_mut().take(b).skip(a) {
+                *slot = ch;
+            }
+        }
+        rows.push_str(&format!("{title:>8} |{}|\n", String::from_utf8_lossy(&row)));
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::Strategy;
+    use acp_models::Model;
+
+    #[test]
+    fn trace_is_sorted_and_nonempty() {
+        let cfg = ExperimentConfig::paper_testbed(Model::ResNet50, Strategy::AcpSgd { rank: 4 });
+        let t = trace(&cfg).unwrap();
+        assert!(t.len() > 100);
+        for w in t.windows(2) {
+            assert!(w[0].start <= w[1].start);
+        }
+    }
+
+    #[test]
+    fn acp_trace_overlaps_comm_with_backward() {
+        // The Fig. 4(c) property: some all-reduce runs while backward
+        // compute is still in progress.
+        let cfg = ExperimentConfig::paper_testbed(Model::ResNet152, Strategy::AcpSgd { rank: 4 });
+        let t = trace(&cfg).unwrap();
+        let last_backward_finish = t
+            .iter()
+            .filter(|e| e.kind == TaskKind::Backward)
+            .fold(0.0f64, |m, e| m.max(e.finish));
+        let overlapped = t.iter().any(|e| {
+            e.kind == TaskKind::Communication && e.start < last_backward_finish
+        });
+        assert!(overlapped, "no communication overlapped back-propagation");
+    }
+
+    #[test]
+    fn powersgd_naive_trace_does_not_overlap_backward() {
+        // Fig. 4(a): the original Power-SGD communicates only after BP.
+        let cfg = ExperimentConfig::paper_testbed(
+            Model::ResNet152,
+            Strategy::PowerSgd { rank: 4 },
+        );
+        let t = trace(&cfg).unwrap();
+        let last_backward_finish = t
+            .iter()
+            .filter(|e| e.kind == TaskKind::Backward)
+            .fold(0.0f64, |m, e| m.max(e.finish));
+        for e in t.iter().filter(|e| e.kind == TaskKind::Communication) {
+            assert!(
+                e.start >= last_backward_finish - 1e-9,
+                "communication {} started during BP",
+                e.label
+            );
+        }
+    }
+
+    #[test]
+    fn render_text_produces_two_rows() {
+        let cfg = ExperimentConfig::paper_testbed(Model::ResNet50, Strategy::SSgd);
+        let t = trace(&cfg).unwrap();
+        let s = render_text(&t, 60);
+        assert_eq!(s.lines().count(), 2);
+        assert!(s.contains("compute"));
+        assert!(s.contains("network"));
+        assert!(s.contains('B'));
+        assert!(s.contains('A'));
+    }
+}

@@ -1,0 +1,139 @@
+//! Property-based tests of the simulator: scheduling and fusion invariants
+//! that must hold for every configuration.
+
+use proptest::prelude::*;
+
+use acp_collectives::NetworkTier;
+use acp_models::Model;
+use acp_simulator::fusion::{compressed_buffer_bytes, pack_buckets};
+use acp_simulator::schedule::{Resource, Schedule, TaskKind};
+use acp_simulator::{simulate, ExperimentConfig, HardwareProfile, OptLevel};
+
+fn any_strategy() -> impl proptest::strategy::Strategy<Value = acp_simulator::Strategy> {
+    prop_oneof![
+        Just(acp_simulator::Strategy::SSgd),
+        Just(acp_simulator::Strategy::TopkSgd { density: 0.001 }),
+        Just(acp_simulator::Strategy::GTopkSgd { density: 0.001 }),
+        Just(acp_simulator::Strategy::PowerSgd { rank: 4 }),
+        Just(acp_simulator::Strategy::PowerSgdStar { rank: 4 }),
+        Just(acp_simulator::Strategy::AcpSgd { rank: 4 }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Buckets always partition the tensor list in order, preserving bytes.
+    #[test]
+    fn buckets_partition(sizes in proptest::collection::vec(1usize..200_000, 1..64),
+                         capacity in 0usize..500_000) {
+        let buckets = pack_buckets(&sizes, capacity);
+        let flat: Vec<usize> =
+            buckets.iter().flat_map(|b| b.tensor_indices.iter().copied()).collect();
+        let expect: Vec<usize> = (0..sizes.len()).collect();
+        prop_assert_eq!(flat, expect);
+        let total: usize = buckets.iter().map(|b| b.payload_bytes).sum();
+        prop_assert_eq!(total, sizes.iter().sum::<usize>());
+        // No bucket (except oversize singletons) exceeds capacity.
+        if capacity > 0 {
+            for b in &buckets {
+                prop_assert!(
+                    b.payload_bytes <= capacity || b.tensor_indices.len() == 1
+                );
+            }
+        }
+    }
+
+    /// The compressed buffer is proportional to the compression rate and
+    /// never zero.
+    #[test]
+    fn compressed_buffer_scales(default in 1usize..100_000_000,
+                                dense in 1usize..1_000_000_000,
+                                compressed in 0usize..1_000_000_000) {
+        let b = compressed_buffer_bytes(default, dense, compressed);
+        prop_assert!(b >= 1);
+        let rate = compressed as f64 / dense as f64;
+        let expect = (default as f64 * rate).round().max(1.0);
+        prop_assert!((b as f64 - expect).abs() <= 1.0);
+    }
+
+    /// Makespan is at least the busy time of each resource and at most
+    /// their sum (two-resource list scheduling bounds).
+    #[test]
+    fn makespan_bounds(durations in proptest::collection::vec(0.0f64..2.0, 1..24),
+                       seed in 0u64..100) {
+        let mut s = Schedule::new();
+        let mut prev: Option<usize> = None;
+        for (i, &d) in durations.iter().enumerate() {
+            // Alternate resources pseudo-randomly; chain odd tasks to make
+            // a mixed DAG.
+            let res = if (seed + i as u64).is_multiple_of(3) { Resource::Network } else { Resource::Compute };
+            let kind = if res == Resource::Network {
+                TaskKind::Communication
+            } else {
+                TaskKind::Backward
+            };
+            let deps = match prev {
+                Some(p) if i % 2 == 1 => vec![p],
+                _ => vec![],
+            };
+            prev = Some(s.push(format!("t{i}"), res, kind, d, deps));
+        }
+        let makespan = s.makespan();
+        let compute: f64 = s.total_duration(TaskKind::Backward);
+        let network: f64 = s.total_duration(TaskKind::Communication);
+        prop_assert!(makespan >= compute.max(network) - 1e-9);
+        prop_assert!(makespan <= compute + network + 1e-9);
+    }
+
+    /// Every strategy on every model yields a consistent report at the
+    /// paper testbed (or a graceful OOM).
+    #[test]
+    fn simulate_is_total_and_consistent(model in prop_oneof![
+        Just(Model::ResNet50), Just(Model::ResNet152),
+        Just(Model::BertBase), Just(Model::BertLarge)],
+        strategy in any_strategy()) {
+        let cfg = ExperimentConfig::paper_testbed(model, strategy);
+        if let Ok(r) = simulate(&cfg) {
+            prop_assert!(r.total.is_finite() && r.total > 0.0);
+            prop_assert!(r.ffbp > 0.0);
+            prop_assert!(r.compression >= -1e-9);
+            prop_assert!(r.non_overlapped_comm >= 0.0);
+            prop_assert!(
+                (r.ffbp + r.compression.max(0.0) + r.non_overlapped_comm - r.total).abs()
+                    < 1e-6 * r.total.max(1.0)
+            );
+        }
+    }
+
+    /// Adding workers never speeds up an iteration (fixed per-GPU batch:
+    /// weak-scaling cost is monotone).
+    #[test]
+    fn more_workers_never_faster(strategy in any_strategy(), step in 0usize..3) {
+        let sizes = [4usize, 8, 16, 32, 64];
+        let w1 = sizes[step];
+        let w2 = sizes[step + 1];
+        let at = |w: usize| {
+            let mut cfg = ExperimentConfig::paper_testbed(Model::ResNet50, strategy);
+            cfg.hardware = HardwareProfile::with_cluster(w, NetworkTier::TenGbE);
+            simulate(&cfg).map(|r| r.total)
+        };
+        if let (Ok(a), Ok(b)) = (at(w1), at(w2)) {
+            prop_assert!(b >= a * 0.999, "{strategy} at {w1}->{w2}: {a} -> {b}");
+        }
+    }
+
+    /// Disabling optimizations never helps: Naive >= WFBP+TF for the
+    /// non-interfering strategies.
+    #[test]
+    fn full_optimization_never_loses(strategy in prop_oneof![
+        Just(acp_simulator::Strategy::SSgd),
+        Just(acp_simulator::Strategy::AcpSgd { rank: 4 })]) {
+        let mut cfg = ExperimentConfig::paper_testbed(Model::ResNet152, strategy);
+        cfg.opt = OptLevel::Naive;
+        let naive = simulate(&cfg).unwrap().total;
+        cfg.opt = OptLevel::WfbpTf;
+        let full = simulate(&cfg).unwrap().total;
+        prop_assert!(full <= naive * 1.0001);
+    }
+}

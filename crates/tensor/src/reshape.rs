@@ -1,0 +1,152 @@
+//! Viewing arbitrary parameter tensors as matrices for low-rank compression.
+//!
+//! Power-SGD (and hence ACP-SGD) compress only parameters that can usefully
+//! be seen as matrices. Following the paper (§IV-C): *"The vector-shaped
+//! parameters (e.g., biases) require no compression, while other parameters
+//! are reshaped into matrices."* The standard Power-SGD convention flattens a
+//! tensor of shape `[d0, d1, d2, …]` into a `d0 × (d1·d2·…)` matrix.
+
+use serde::{Deserialize, Serialize};
+
+/// How a parameter tensor is viewed for gradient compression.
+///
+/// # Examples
+///
+/// ```
+/// use acp_tensor::MatrixShape;
+///
+/// // A conv filter [64, 3, 7, 7] compresses as a 64 x 147 matrix.
+/// let shape = MatrixShape::from_tensor_shape(&[64, 3, 7, 7]);
+/// assert_eq!(shape, MatrixShape::Matrix { rows: 64, cols: 147 });
+///
+/// // A bias vector is left uncompressed.
+/// assert_eq!(MatrixShape::from_tensor_shape(&[512]), MatrixShape::Vector { len: 512 });
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MatrixShape {
+    /// A vector-shaped parameter (bias, norm scale) — not compressed.
+    Vector {
+        /// Number of elements.
+        len: usize,
+    },
+    /// A matrix view `rows × cols` used by the low-rank compressors.
+    Matrix {
+        /// First tensor dimension.
+        rows: usize,
+        /// Product of the remaining dimensions.
+        cols: usize,
+    },
+}
+
+impl MatrixShape {
+    /// Derives the compression view of a tensor with the given dimensions.
+    ///
+    /// Tensors with fewer than two dimensions (or any unit dimension that
+    /// degenerates the matrix to a vector) are treated as vectors.
+    pub fn from_tensor_shape(dims: &[usize]) -> Self {
+        let numel: usize = dims.iter().product();
+        if dims.len() < 2 {
+            return MatrixShape::Vector { len: numel };
+        }
+        let rows = dims[0];
+        let cols: usize = dims[1..].iter().product();
+        if rows <= 1 || cols <= 1 {
+            MatrixShape::Vector { len: numel }
+        } else {
+            MatrixShape::Matrix { rows, cols }
+        }
+    }
+
+    /// Total number of elements in the underlying tensor.
+    pub fn numel(&self) -> usize {
+        match *self {
+            MatrixShape::Vector { len } => len,
+            MatrixShape::Matrix { rows, cols } => rows * cols,
+        }
+    }
+
+    /// Returns `true` for shapes the low-rank compressors act on.
+    pub fn is_matrix(&self) -> bool {
+        matches!(self, MatrixShape::Matrix { .. })
+    }
+
+    /// Number of elements in the rank-`r` factors `P` (`rows × r`) and `Q`
+    /// (`cols × r`), or `None` for vector shapes.
+    ///
+    /// The effective rank is clamped to `min(rows, cols)` — factoring with a
+    /// larger rank would be larger than the input and is never done.
+    pub fn low_rank_numel(&self, rank: usize) -> Option<(usize, usize)> {
+        match *self {
+            MatrixShape::Vector { .. } => None,
+            MatrixShape::Matrix { rows, cols } => {
+                let r = rank.min(rows).min(cols);
+                Some((rows * r, cols * r))
+            }
+        }
+    }
+
+    /// Compression ratio `nm / (nr + mr)` achieved by rank-`r` factorization,
+    /// or `1.0` for vector shapes (transmitted uncompressed).
+    pub fn low_rank_ratio(&self, rank: usize) -> f64 {
+        match self.low_rank_numel(rank) {
+            None => 1.0,
+            Some((p, q)) => self.numel() as f64 / (p + q) as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_weight_is_matrix() {
+        assert_eq!(
+            MatrixShape::from_tensor_shape(&[768, 3072]),
+            MatrixShape::Matrix { rows: 768, cols: 3072 }
+        );
+    }
+
+    #[test]
+    fn conv_filter_flattens_trailing_dims() {
+        assert_eq!(
+            MatrixShape::from_tensor_shape(&[256, 128, 3, 3]),
+            MatrixShape::Matrix { rows: 256, cols: 128 * 9 }
+        );
+    }
+
+    #[test]
+    fn bias_is_vector() {
+        assert_eq!(MatrixShape::from_tensor_shape(&[512]), MatrixShape::Vector { len: 512 });
+    }
+
+    #[test]
+    fn unit_dims_degenerate_to_vector() {
+        assert_eq!(MatrixShape::from_tensor_shape(&[1, 100]), MatrixShape::Vector { len: 100 });
+        assert_eq!(MatrixShape::from_tensor_shape(&[100, 1]), MatrixShape::Vector { len: 100 });
+    }
+
+    #[test]
+    fn low_rank_numel_clamps_rank() {
+        let s = MatrixShape::Matrix { rows: 10, cols: 6 };
+        // Rank 32 clamps to 6.
+        assert_eq!(s.low_rank_numel(32), Some((60, 36)));
+        assert_eq!(s.low_rank_numel(2), Some((20, 12)));
+        assert_eq!(MatrixShape::Vector { len: 5 }.low_rank_numel(2), None);
+    }
+
+    #[test]
+    fn low_rank_ratio_matches_formula() {
+        // 100x200 at rank 4: 20000 / (400 + 800) = 16.67x.
+        let s = MatrixShape::Matrix { rows: 100, cols: 200 };
+        let ratio = s.low_rank_ratio(4);
+        assert!((ratio - 20000.0 / 1200.0).abs() < 1e-9);
+        assert_eq!(MatrixShape::Vector { len: 10 }.low_rank_ratio(4), 1.0);
+    }
+
+    #[test]
+    fn numel_consistent() {
+        assert_eq!(MatrixShape::from_tensor_shape(&[4, 5, 6]).numel(), 120);
+        assert_eq!(MatrixShape::from_tensor_shape(&[7]).numel(), 7);
+    }
+}

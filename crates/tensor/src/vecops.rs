@@ -1,0 +1,140 @@
+//! Flat `f32` slice kernels shared by the optimizers, collectives and
+//! compressors.
+//!
+//! Gradients travel between subsystems as flat buffers (the same way NCCL
+//! sees them); these are the element-wise kernels applied to those buffers.
+
+/// `y ← a·x + y`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn axpy(a: f32, x: &[f32], y: &mut [f32]) {
+    assert_eq!(x.len(), y.len(), "axpy length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += a * xi;
+    }
+}
+
+/// Dot product `xᵀy`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn dot(x: &[f32], y: &[f32]) -> f32 {
+    assert_eq!(x.len(), y.len(), "dot length mismatch");
+    x.iter().zip(y).map(|(a, b)| a * b).sum()
+}
+
+/// `x ← s·x`.
+pub fn scale(s: f32, x: &mut [f32]) {
+    for v in x {
+        *v *= s;
+    }
+}
+
+/// Element-wise `y ← x + y` (the reduction kernel of all-reduce).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn add_assign(x: &[f32], y: &mut [f32]) {
+    assert_eq!(x.len(), y.len(), "add_assign length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += xi;
+    }
+}
+
+/// Euclidean norm `‖x‖₂`.
+pub fn norm2(x: &[f32]) -> f32 {
+    x.iter().map(|v| v * v).sum::<f32>().sqrt()
+}
+
+/// L1 norm `‖x‖₁`.
+pub fn norm1(x: &[f32]) -> f32 {
+    x.iter().map(|v| v.abs()).sum()
+}
+
+/// Maximum absolute element `‖x‖_∞`.
+pub fn norm_inf(x: &[f32]) -> f32 {
+    x.iter().fold(0.0f32, |m, v| m.max(v.abs()))
+}
+
+/// Mean squared error between two buffers.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+pub fn mse(x: &[f32], y: &[f32]) -> f32 {
+    assert_eq!(x.len(), y.len(), "mse length mismatch");
+    assert!(!x.is_empty(), "mse of empty slices");
+    x.iter().zip(y).map(|(a, b)| (a - b) * (a - b)).sum::<f32>() / x.len() as f32
+}
+
+/// Relative L2 reconstruction error `‖x − y‖₂ / ‖x‖₂` (0 when both zero).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn relative_error(x: &[f32], y: &[f32]) -> f32 {
+    assert_eq!(x.len(), y.len(), "relative_error length mismatch");
+    let denom = norm2(x);
+    let diff: f32 = x.iter().zip(y).map(|(a, b)| (a - b) * (a - b)).sum::<f32>().sqrt();
+    if denom == 0.0 {
+        if diff == 0.0 {
+            0.0
+        } else {
+            f32::INFINITY
+        }
+    } else {
+        diff / denom
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axpy_accumulates() {
+        let x = [1.0, 2.0, 3.0];
+        let mut y = [10.0, 10.0, 10.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, [12.0, 14.0, 16.0]);
+    }
+
+    #[test]
+    fn dot_matches_hand_computation() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+    }
+
+    #[test]
+    fn scale_in_place() {
+        let mut x = [2.0, -4.0];
+        scale(0.5, &mut x);
+        assert_eq!(x, [1.0, -2.0]);
+    }
+
+    #[test]
+    fn norms() {
+        assert!((norm2(&[3.0, 4.0]) - 5.0).abs() < 1e-6);
+        assert_eq!(norm1(&[3.0, -4.0]), 7.0);
+        assert_eq!(norm_inf(&[3.0, -4.0]), 4.0);
+    }
+
+    #[test]
+    fn mse_and_relative_error() {
+        assert_eq!(mse(&[1.0, 2.0], &[1.0, 4.0]), 2.0);
+        assert_eq!(relative_error(&[2.0, 0.0], &[2.0, 0.0]), 0.0);
+        assert_eq!(relative_error(&[0.0], &[0.0]), 0.0);
+        assert!(relative_error(&[0.0], &[1.0]).is_infinite());
+        assert!((relative_error(&[3.0, 4.0], &[0.0, 0.0]) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn axpy_length_mismatch_panics() {
+        let mut y = [0.0];
+        axpy(1.0, &[1.0, 2.0], &mut y);
+    }
+}

@@ -1,0 +1,158 @@
+//! Property-based tests of the matrix substrate.
+
+use proptest::prelude::*;
+
+use acp_tensor::vecops;
+use acp_tensor::{orthogonalize, orthogonalize_householder, Matrix, MatrixShape};
+
+/// Strategy: a matrix with bounded dimensions and values.
+fn matrix(max_dim: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-100.0f32..100.0, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data).expect("sized vec"))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn transpose_is_involutive(m in matrix(12)) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn transpose_swaps_dims(m in matrix(12)) {
+        let t = m.transpose();
+        prop_assert_eq!((t.rows(), t.cols()), (m.cols(), m.rows()));
+        for r in 0..m.rows() {
+            for c in 0..m.cols() {
+                prop_assert_eq!(m.get(r, c), t.get(c, r));
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_identity_is_noop(m in matrix(10)) {
+        let i = Matrix::identity(m.cols());
+        let p = m.matmul(&i);
+        prop_assert!(p.max_abs_diff(&m) < 1e-4);
+    }
+
+    #[test]
+    fn matmul_tn_and_nt_agree_with_explicit_transpose(m in matrix(8), k in 1usize..6) {
+        let other = Matrix::from_vec(
+            m.rows(),
+            k,
+            (0..m.rows() * k).map(|i| (i as f32 * 0.37).sin()).collect(),
+        ).unwrap();
+        let fast = m.matmul_tn(&other);
+        let slow = m.transpose().matmul(&other);
+        prop_assert!(fast.max_abs_diff(&slow) < 1e-2);
+
+        let other2 = Matrix::from_vec(
+            k,
+            m.cols(),
+            (0..k * m.cols()).map(|i| (i as f32 * 0.11).cos()).collect(),
+        ).unwrap();
+        let fast2 = m.matmul_nt(&other2);
+        let slow2 = m.matmul(&other2.transpose());
+        prop_assert!(fast2.max_abs_diff(&slow2) < 1e-2);
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(a in matrix(6)) {
+        // (A + A) B = 2 A B.
+        let b = Matrix::identity(a.cols());
+        let lhs = (&a + &a).matmul(&b);
+        let mut rhs = a.matmul(&b);
+        rhs.scale(2.0);
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-3);
+    }
+
+    #[test]
+    fn frobenius_norm_is_homogeneous(m in matrix(10), s in -4.0f32..4.0) {
+        let mut scaled = m.clone();
+        scaled.scale(s);
+        let expect = m.frobenius_norm() * s.abs();
+        prop_assert!((scaled.frobenius_norm() - expect).abs() < 1e-2 * (1.0 + expect));
+    }
+
+    #[test]
+    fn gram_schmidt_output_is_orthonormal(m in matrix(10)) {
+        // Only meaningful for tall-or-square matrices (thin factors).
+        prop_assume!(m.rows() >= m.cols());
+        let mut q = m.clone();
+        orthogonalize(&mut q);
+        prop_assert!(q.is_finite());
+        for c1 in 0..q.cols() {
+            for c2 in 0..q.cols() {
+                let mut dot = 0.0f32;
+                for r in 0..q.rows() {
+                    dot += q.get(r, c1) * q.get(r, c2);
+                }
+                let expect = if c1 == c2 { 1.0 } else { 0.0 };
+                prop_assert!((dot - expect).abs() < 1e-3, "dot({c1},{c2}) = {dot}");
+            }
+        }
+    }
+
+    #[test]
+    fn householder_matches_gram_schmidt_projection(m in matrix(8)) {
+        prop_assume!(m.rows() >= m.cols());
+        prop_assume!(m.frobenius_norm() > 1e-3);
+        let mut gs = m.clone();
+        orthogonalize(&mut gs);
+        let hh = orthogonalize_householder(&m);
+        // Projections of a fixed probe must agree (same span).
+        let probe = Matrix::from_vec(
+            m.rows(),
+            1,
+            (0..m.rows()).map(|i| (i as f32 * 0.77).sin() + 0.1).collect(),
+        ).unwrap();
+        let p1 = gs.matmul(&gs.matmul_tn(&probe));
+        let p2 = hh.matmul(&hh.matmul_tn(&probe));
+        prop_assert!(p1.max_abs_diff(&p2) < 2e-2, "span mismatch");
+    }
+
+    #[test]
+    fn shape_roundtrip_preserves_numel(dims in proptest::collection::vec(1usize..20, 1..5)) {
+        let shape = MatrixShape::from_tensor_shape(&dims);
+        prop_assert_eq!(shape.numel(), dims.iter().product::<usize>());
+    }
+
+    #[test]
+    fn low_rank_never_exceeds_dense(dims in proptest::collection::vec(2usize..30, 2..4), rank in 1usize..8) {
+        let shape = MatrixShape::from_tensor_shape(&dims);
+        if let Some((p, q)) = shape.low_rank_numel(rank) {
+            // Clamped rank guarantees the factors are at most the dense size
+            // each; ratio is at least 1/2 in the degenerate case.
+            prop_assert!(p <= shape.numel());
+            prop_assert!(q <= shape.numel());
+        }
+    }
+
+    #[test]
+    fn vecops_axpy_matches_scalar_loop(
+        x in proptest::collection::vec(-10.0f32..10.0, 1..64),
+        a in -3.0f32..3.0,
+    ) {
+        let mut y = vec![1.0f32; x.len()];
+        let mut expect = y.clone();
+        vecops::axpy(a, &x, &mut y);
+        for (e, xi) in expect.iter_mut().zip(&x) {
+            *e += a * xi;
+        }
+        prop_assert_eq!(y, expect);
+    }
+
+    #[test]
+    fn vecops_norms_relate(x in proptest::collection::vec(-10.0f32..10.0, 1..64)) {
+        // ||x||_inf <= ||x||_2 <= ||x||_1 (up to float error).
+        let inf = vecops::norm_inf(&x);
+        let two = vecops::norm2(&x);
+        let one = vecops::norm1(&x);
+        prop_assert!(inf <= two * 1.0001 + 1e-6);
+        prop_assert!(two <= one * 1.0001 + 1e-6);
+    }
+}

@@ -1,0 +1,232 @@
+//! Synthetic classification datasets standing in for CIFAR-10.
+//!
+//! The convergence comparisons of Figs. 6–7 hold different aggregation
+//! algorithms on *identical data*; the dataset only sets the accuracy
+//! ceiling. Three generators are provided: linearly separable Gaussian
+//! clusters, a nonlinear concentric-rings problem (so the MLP's hidden
+//! layers matter), and image-shaped patterns for the convnet.
+
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+use acp_tensor::rng::{fill_std_normal, seeded_rng};
+
+/// An in-memory labelled dataset with a train/test split.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Flattened feature dimensions of one sample (e.g. `[64]` or
+    /// `[3, 8, 8]`).
+    sample_dims: Vec<usize>,
+    train_x: Vec<f32>,
+    train_y: Vec<usize>,
+    test_x: Vec<f32>,
+    test_y: Vec<usize>,
+    num_classes: usize,
+}
+
+impl Dataset {
+    /// `num_classes` Gaussian clusters in `dim` dimensions with
+    /// `n_per_class` training samples each (plus 25% test), cluster
+    /// centres on a scaled simplex and per-coordinate noise `spread`.
+    pub fn gaussian_clusters(
+        num_classes: usize,
+        dim: usize,
+        n_per_class: usize,
+        spread: f32,
+        seed: u64,
+    ) -> Self {
+        let mut rng = seeded_rng(seed);
+        // Random unit-ish centres, shared by train and test.
+        let mut centres = vec![0.0f32; num_classes * dim];
+        fill_std_normal(&mut centres, &mut rng);
+        let gen = |rng: &mut ChaCha8Rng, n: usize| {
+            let mut x = Vec::with_capacity(n * num_classes * dim);
+            let mut y = Vec::with_capacity(n * num_classes);
+            for _ in 0..n {
+                for c in 0..num_classes {
+                    let centre = &centres[c * dim..(c + 1) * dim];
+                    let mut noise = vec![0.0f32; dim];
+                    fill_std_normal(&mut noise, rng);
+                    x.extend(centre.iter().zip(&noise).map(|(m, e)| m + spread * e));
+                    y.push(c);
+                }
+            }
+            (x, y)
+        };
+        let (train_x, train_y) = gen(&mut rng, n_per_class);
+        let (test_x, test_y) = gen(&mut rng, n_per_class.div_ceil(4));
+        Dataset { sample_dims: vec![dim], train_x, train_y, test_x, test_y, num_classes }
+    }
+
+    /// Concentric rings in 2-D lifted to `dim` dimensions through a random
+    /// linear map — not linearly separable, so depth matters.
+    pub fn rings(num_classes: usize, dim: usize, n_per_class: usize, seed: u64) -> Self {
+        let mut rng = seeded_rng(seed);
+        let mut lift = vec![0.0f32; 2 * dim];
+        fill_std_normal(&mut lift, &mut rng);
+        let gen = |rng: &mut ChaCha8Rng, n: usize| {
+            let mut x = Vec::new();
+            let mut y = Vec::new();
+            for _ in 0..n {
+                for c in 0..num_classes {
+                    let radius = 1.0 + c as f32 + 0.15 * rng.gen_range(-1.0f32..1.0);
+                    let theta = rng.gen_range(0.0..std::f32::consts::TAU);
+                    let (px, py) = (radius * theta.cos(), radius * theta.sin());
+                    for d in 0..dim {
+                        x.push(px * lift[d] + py * lift[dim + d]);
+                    }
+                    y.push(c);
+                }
+            }
+            (x, y)
+        };
+        let (train_x, train_y) = gen(&mut rng, n_per_class);
+        let (test_x, test_y) = gen(&mut rng, n_per_class.div_ceil(4));
+        Dataset { sample_dims: vec![dim], train_x, train_y, test_x, test_y, num_classes }
+    }
+
+    /// Image-shaped samples (`channels × hw × hw`): each class has a fixed
+    /// random spatial template, samples are template + noise — a CIFAR-like
+    /// task for the convnet at toy scale.
+    pub fn synthetic_images(
+        num_classes: usize,
+        channels: usize,
+        hw: usize,
+        n_per_class: usize,
+        noise: f32,
+        seed: u64,
+    ) -> Self {
+        let dim = channels * hw * hw;
+        let mut rng = seeded_rng(seed);
+        let mut templates = vec![0.0f32; num_classes * dim];
+        fill_std_normal(&mut templates, &mut rng);
+        let gen = |rng: &mut ChaCha8Rng, n: usize| {
+            let mut x = Vec::new();
+            let mut y = Vec::new();
+            for _ in 0..n {
+                for c in 0..num_classes {
+                    let t = &templates[c * dim..(c + 1) * dim];
+                    let mut e = vec![0.0f32; dim];
+                    fill_std_normal(&mut e, rng);
+                    x.extend(t.iter().zip(&e).map(|(m, v)| m + noise * v));
+                    y.push(c);
+                }
+            }
+            (x, y)
+        };
+        let (train_x, train_y) = gen(&mut rng, n_per_class);
+        let (test_x, test_y) = gen(&mut rng, n_per_class.div_ceil(4));
+        Dataset {
+            sample_dims: vec![channels, hw, hw],
+            train_x,
+            train_y,
+            test_x,
+            test_y,
+            num_classes,
+        }
+    }
+
+    /// Shape of one sample.
+    pub fn sample_dims(&self) -> &[usize] {
+        &self.sample_dims
+    }
+
+    /// Flat feature length of one sample.
+    pub fn feature_len(&self) -> usize {
+        self.sample_dims.iter().product()
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Number of training samples.
+    pub fn train_len(&self) -> usize {
+        self.train_y.len()
+    }
+
+    /// Number of test samples.
+    pub fn test_len(&self) -> usize {
+        self.test_y.len()
+    }
+
+    /// Features and label of training sample `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn train_sample(&self, i: usize) -> (&[f32], usize) {
+        let d = self.feature_len();
+        (&self.train_x[i * d..(i + 1) * d], self.train_y[i])
+    }
+
+    /// Features and label of test sample `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn test_sample(&self, i: usize) -> (&[f32], usize) {
+        let d = self.feature_len();
+        (&self.test_x[i * d..(i + 1) * d], self.test_y[i])
+    }
+
+    /// Indices of the training shard owned by `rank` of `world` workers
+    /// (strided partition — the samples every rank sees are disjoint).
+    pub fn shard_indices(&self, rank: usize, world: usize) -> Vec<usize> {
+        (rank..self.train_len()).step_by(world.max(1)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gaussian_clusters_shapes() {
+        let d = Dataset::gaussian_clusters(3, 5, 10, 0.1, 1);
+        assert_eq!(d.num_classes(), 3);
+        assert_eq!(d.feature_len(), 5);
+        assert_eq!(d.train_len(), 30);
+        assert_eq!(d.test_len(), 9);
+        let (x, y) = d.train_sample(0);
+        assert_eq!(x.len(), 5);
+        assert!(y < 3);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = Dataset::gaussian_clusters(2, 4, 5, 0.2, 9);
+        let b = Dataset::gaussian_clusters(2, 4, 5, 0.2, 9);
+        assert_eq!(a.train_sample(3).0, b.train_sample(3).0);
+    }
+
+    #[test]
+    fn shards_partition_the_training_set() {
+        let d = Dataset::rings(2, 3, 10, 4);
+        let s0 = d.shard_indices(0, 2);
+        let s1 = d.shard_indices(1, 2);
+        assert_eq!(s0.len() + s1.len(), d.train_len());
+        for i in &s0 {
+            assert!(!s1.contains(i));
+        }
+    }
+
+    #[test]
+    fn images_have_image_dims() {
+        let d = Dataset::synthetic_images(10, 3, 8, 4, 0.5, 2);
+        assert_eq!(d.sample_dims(), &[3, 8, 8]);
+        assert_eq!(d.feature_len(), 192);
+        assert_eq!(d.train_len(), 40);
+    }
+
+    #[test]
+    fn classes_are_balanced() {
+        let d = Dataset::gaussian_clusters(4, 3, 6, 0.1, 0);
+        let mut counts = [0usize; 4];
+        for i in 0..d.train_len() {
+            counts[d.train_sample(i).1] += 1;
+        }
+        assert_eq!(counts, [6; 4]);
+    }
+}

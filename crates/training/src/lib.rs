@@ -1,0 +1,52 @@
+//! Minimal neural-network training substrate for the convergence
+//! experiments (Figs. 6–7).
+//!
+//! The paper validates ACP-SGD's accuracy by training VGG-16 and ResNet-18
+//! on CIFAR-10 for 300 epochs on 4 GPUs. Neither CIFAR-10 nor GPUs are
+//! available here, so per the substitution rule this crate provides the
+//! closest equivalent that exercises the same code paths: real
+//! data-parallel training of small neural networks (an MLP and a convnet —
+//! models whose weights include the ≥2-D matrices the low-rank compressors
+//! act on) on synthetic classification datasets, across in-process workers
+//! connected by the real collectives of `acp-collectives`, aggregating
+//! gradients through any [`acp_core::DistributedOptimizer`].
+//!
+//! The phenomena Figs. 6–7 demonstrate are architecture-independent and
+//! reproduce here: ACP-SGD tracks S-SGD and Power-SGD to the same final
+//! accuracy, and removing error feedback or query reuse degrades it.
+//!
+//! # Examples
+//!
+//! ```
+//! use acp_training::dataset::Dataset;
+//! use acp_training::model::mlp;
+//! use acp_training::trainer::{train_distributed, TrainConfig};
+//! use acp_core::SSgdAggregator;
+//!
+//! let data = Dataset::gaussian_clusters(4, 8, 50, 0.3, 7);
+//! let cfg = TrainConfig { epochs: 3, batch_size: 16, ..TrainConfig::default() };
+//! let history = train_distributed(
+//!     2,
+//!     &data,
+//!     || mlp(&[8, 16, 4], 1),
+//!     || SSgdAggregator::new(),
+//!     &cfg,
+//! );
+//! assert_eq!(history.len(), 3);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod layers;
+pub mod loss;
+pub mod model;
+pub mod norm;
+pub mod optim;
+pub mod tensor4;
+pub mod trainer;
+
+pub use dataset::Dataset;
+pub use model::{mlp, small_cnn, Sequential};
+pub use optim::{LrSchedule, SgdMomentum};
+pub use trainer::{train_distributed, EpochStats, TrainConfig};

@@ -1,0 +1,117 @@
+//! Softmax cross-entropy loss.
+
+use crate::tensor4::Tensor;
+
+/// Computes the mean softmax cross-entropy of `logits` (`[batch, classes]`)
+/// against integer `labels`, returning `(loss, dlogits)` with the gradient
+/// already scaled by `1 / batch`.
+///
+/// # Panics
+///
+/// Panics if shapes disagree or a label is out of range.
+pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+    let dims = logits.dims();
+    assert_eq!(dims.len(), 2, "logits must be [batch, classes], got {dims:?}");
+    let (batch, classes) = (dims[0], dims[1]);
+    assert_eq!(labels.len(), batch, "label count mismatch");
+    let mut grad = Tensor::zeros(dims);
+    let mut loss = 0.0f64;
+    let inv_batch = 1.0 / batch as f32;
+    for (bi, &label) in labels.iter().enumerate() {
+        assert!(label < classes, "label {label} out of range for {classes} classes");
+        let row = logits.sample(bi);
+        let max = row.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+        let exp: Vec<f32> = row.iter().map(|&v| (v - max).exp()).collect();
+        let sum: f32 = exp.iter().sum();
+        let log_sum = sum.ln() + max;
+        loss += (log_sum - row[label]) as f64;
+        let g = grad.sample_mut(bi);
+        for (c, (gc, &e)) in g.iter_mut().zip(&exp).enumerate() {
+            let p = e / sum;
+            *gc = (p - if c == label { 1.0 } else { 0.0 }) * inv_batch;
+        }
+    }
+    ((loss / batch as f64) as f32, grad)
+}
+
+/// Fraction of rows whose argmax equals the label.
+///
+/// # Panics
+///
+/// Panics if shapes disagree.
+pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f32 {
+    let dims = logits.dims();
+    assert_eq!(dims.len(), 2, "logits must be [batch, classes]");
+    assert_eq!(labels.len(), dims[0], "label count mismatch");
+    let mut correct = 0usize;
+    for (bi, &label) in labels.iter().enumerate() {
+        let row = logits.sample(bi);
+        let argmax = row
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        if argmax == label {
+            correct += 1;
+        }
+    }
+    correct as f32 / labels.len().max(1) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction_has_low_loss() {
+        let logits = Tensor::from_vec(&[1, 3], vec![10.0, -10.0, -10.0]);
+        let (loss, _) = softmax_cross_entropy(&logits, &[0]);
+        assert!(loss < 1e-6);
+    }
+
+    #[test]
+    fn uniform_logits_loss_is_log_classes() {
+        let logits = Tensor::from_vec(&[1, 4], vec![0.0; 4]);
+        let (loss, _) = softmax_cross_entropy(&logits, &[2]);
+        assert!((loss - 4.0f32.ln()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gradient_sums_to_zero_per_row() {
+        let logits = Tensor::from_vec(&[2, 3], vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0]);
+        let (_, grad) = softmax_cross_entropy(&logits, &[0, 2]);
+        for bi in 0..2 {
+            let s: f32 = grad.sample(bi).iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gradient_matches_numeric() {
+        let base = vec![0.5f32, -1.0, 2.0];
+        let logits = Tensor::from_vec(&[1, 3], base.clone());
+        let (_, grad) = softmax_cross_entropy(&logits, &[1]);
+        let eps = 1e-3f32;
+        for i in 0..3 {
+            let mut plus = base.clone();
+            plus[i] += eps;
+            let mut minus = base.clone();
+            minus[i] -= eps;
+            let (lp, _) = softmax_cross_entropy(&Tensor::from_vec(&[1, 3], plus), &[1]);
+            let (lm, _) = softmax_cross_entropy(&Tensor::from_vec(&[1, 3], minus), &[1]);
+            let numeric = (lp - lm) / (2.0 * eps);
+            let analytic = grad.as_slice()[i];
+            assert!((numeric - analytic).abs() < 1e-3, "{numeric} vs {analytic}");
+        }
+    }
+
+    #[test]
+    fn accuracy_counts_argmax() {
+        let logits =
+            Tensor::from_vec(&[2, 2], vec![1.0, 0.0, 0.0, 1.0]);
+        assert_eq!(accuracy(&logits, &[0, 1]), 1.0);
+        assert_eq!(accuracy(&logits, &[1, 0]), 0.0);
+        assert_eq!(accuracy(&logits, &[0, 0]), 0.5);
+    }
+}

@@ -1,0 +1,342 @@
+//! Batch normalization and residual blocks — the structural ingredients of
+//! the paper's convergence models (VGG-16-BN, ResNet-18).
+//!
+//! Batch-norm scale/shift parameters are *vectors*, which exercises the
+//! uncompressed pass-through path of the low-rank aggregators exactly as
+//! the real models do (§IV-C: "vector-shaped parameters require no
+//! compression").
+
+use crate::layers::{Layer, Param};
+use crate::tensor4::Tensor;
+
+/// Batch normalization over the channel axis.
+///
+/// Accepts `[batch, features]` (after a dense layer; features = channels)
+/// or `[batch, c, h, w]` (after a conv). Normalizes with the *batch*
+/// statistics in both training and evaluation — adequate for the
+/// controlled convergence experiments, where evaluation batches are large.
+#[derive(Debug)]
+pub struct BatchNorm {
+    dim: usize,
+    gamma: Vec<f32>,
+    beta: Vec<f32>,
+    ggamma: Vec<f32>,
+    gbeta: Vec<f32>,
+    dims_vec: [usize; 1],
+    eps: f32,
+    /// Cached from forward: normalized activations, per-channel inverse
+    /// std, and the input shape.
+    cache: Option<(Tensor, Vec<f32>, Vec<usize>)>,
+}
+
+impl BatchNorm {
+    /// Creates a batch-norm layer over `dim` channels (γ = 1, β = 0).
+    pub fn new(dim: usize) -> Self {
+        BatchNorm {
+            dim,
+            gamma: vec![1.0; dim],
+            beta: vec![0.0; dim],
+            ggamma: vec![0.0; dim],
+            gbeta: vec![0.0; dim],
+            dims_vec: [dim],
+            eps: 1e-5,
+            cache: None,
+        }
+    }
+
+    /// Splits a shape into (channel count, spatial size per channel).
+    fn channel_layout(&self, dims: &[usize]) -> (usize, usize) {
+        match dims.len() {
+            2 => (dims[1], 1),
+            4 => (dims[1], dims[2] * dims[3]),
+            _ => panic!("batch norm expects 2-D or 4-D input, got {dims:?}"),
+        }
+    }
+}
+
+impl Layer for BatchNorm {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let dims = input.dims().to_vec();
+        let (channels, spatial) = self.channel_layout(&dims);
+        assert_eq!(channels, self.dim, "batch norm channel mismatch");
+        let batch = dims[0];
+        let count = (batch * spatial) as f32;
+        let mut mean = vec![0.0f32; channels];
+        let mut var = vec![0.0f32; channels];
+        let per_sample = channels * spatial;
+        let x = input.as_slice();
+        for b in 0..batch {
+            for c in 0..channels {
+                for s in 0..spatial {
+                    mean[c] += x[b * per_sample + c * spatial + s];
+                }
+            }
+        }
+        for m in &mut mean {
+            *m /= count;
+        }
+        for b in 0..batch {
+            for c in 0..channels {
+                for s in 0..spatial {
+                    let d = x[b * per_sample + c * spatial + s] - mean[c];
+                    var[c] += d * d;
+                }
+            }
+        }
+        let inv_std: Vec<f32> =
+            var.iter().map(|v| 1.0 / (v / count + self.eps).sqrt()).collect();
+        let mut x_hat = Tensor::zeros(&dims);
+        let mut out = Tensor::zeros(&dims);
+        {
+            let xh = x_hat.as_mut_slice();
+            let o = out.as_mut_slice();
+            for b in 0..batch {
+                for c in 0..channels {
+                    for s in 0..spatial {
+                        let idx = b * per_sample + c * spatial + s;
+                        let h = (x[idx] - mean[c]) * inv_std[c];
+                        xh[idx] = h;
+                        o[idx] = self.gamma[c] * h + self.beta[c];
+                    }
+                }
+            }
+        }
+        self.cache = Some((x_hat, inv_std, dims));
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let (x_hat, inv_std, dims) =
+            self.cache.take().expect("backward before forward");
+        let (channels, spatial) = self.channel_layout(&dims);
+        let batch = dims[0];
+        let count = (batch * spatial) as f32;
+        let per_sample = channels * spatial;
+        let dy = grad_out.as_slice();
+        let xh = x_hat.as_slice();
+        // Per-channel sums.
+        let mut sum_dy = vec![0.0f32; channels];
+        let mut sum_dy_xhat = vec![0.0f32; channels];
+        for b in 0..batch {
+            for c in 0..channels {
+                for s in 0..spatial {
+                    let idx = b * per_sample + c * spatial + s;
+                    sum_dy[c] += dy[idx];
+                    sum_dy_xhat[c] += dy[idx] * xh[idx];
+                }
+            }
+        }
+        self.gbeta.copy_from_slice(&sum_dy);
+        self.ggamma.copy_from_slice(&sum_dy_xhat);
+        // dx = γ/σ (dy − mean(dy) − x̂ mean(dy·x̂)).
+        let mut dx = Tensor::zeros(&dims);
+        let d = dx.as_mut_slice();
+        for b in 0..batch {
+            for c in 0..channels {
+                for s in 0..spatial {
+                    let idx = b * per_sample + c * spatial + s;
+                    d[idx] = self.gamma[c] * inv_std[c]
+                        * (dy[idx] - sum_dy[c] / count - xh[idx] * sum_dy_xhat[c] / count);
+                }
+            }
+        }
+        dx
+    }
+
+    fn params(&mut self) -> Vec<Param<'_>> {
+        vec![
+            Param { dims: &self.dims_vec, value: &mut self.gamma, grad: &mut self.ggamma },
+            Param { dims: &self.dims_vec, value: &mut self.beta, grad: &mut self.gbeta },
+        ]
+    }
+}
+
+/// A residual block `y = x + f(x)` around an inner layer stack whose
+/// output shape equals its input shape.
+pub struct Residual {
+    inner: Vec<Box<dyn Layer>>,
+}
+
+impl std::fmt::Debug for Residual {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Residual({} layers)", self.inner.len())
+    }
+}
+
+impl Residual {
+    /// Wraps the inner layers with an identity skip connection.
+    pub fn new(inner: Vec<Box<dyn Layer>>) -> Self {
+        Residual { inner }
+    }
+}
+
+impl Layer for Residual {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let mut y = input.clone();
+        for layer in &mut self.inner {
+            y = layer.forward(&y);
+        }
+        assert_eq!(
+            y.dims(),
+            input.dims(),
+            "residual branch must preserve shape"
+        );
+        let mut out = input.clone();
+        for (o, b) in out.as_mut_slice().iter_mut().zip(y.as_slice()) {
+            *o += b;
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut g = grad_out.clone();
+        for layer in self.inner.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        let mut dx = grad_out.clone();
+        for (d, b) in dx.as_mut_slice().iter_mut().zip(g.as_slice()) {
+            *d += b;
+        }
+        dx
+    }
+
+    fn params(&mut self) -> Vec<Param<'_>> {
+        self.inner.iter_mut().flat_map(|l| l.params()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Conv2d, Dense, Relu};
+    use acp_tensor::rng::{fill_std_normal, seeded_rng};
+
+    #[test]
+    fn batch_norm_normalizes_channels() {
+        let mut bn = BatchNorm::new(2);
+        let x = Tensor::from_vec(&[4, 2], vec![1.0, 10.0, 2.0, 20.0, 3.0, 30.0, 4.0, 40.0]);
+        let y = bn.forward(&x);
+        // Each channel: mean ≈ 0, variance ≈ 1.
+        for c in 0..2 {
+            let vals: Vec<f32> = (0..4).map(|b| y.as_slice()[b * 2 + c]).collect();
+            let mean: f32 = vals.iter().sum::<f32>() / 4.0;
+            let var: f32 = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+            assert!(mean.abs() < 1e-5, "channel {c} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "channel {c} var {var}");
+        }
+    }
+
+    #[test]
+    fn batch_norm_gamma_beta_apply() {
+        let mut bn = BatchNorm::new(1);
+        bn.gamma[0] = 3.0;
+        bn.beta[0] = -1.0;
+        let x = Tensor::from_vec(&[2, 1], vec![0.0, 2.0]);
+        let y = bn.forward(&x);
+        // Normalized values are ±1 -> y = ±3 - 1.
+        assert!((y.as_slice()[0] + 4.0).abs() < 1e-3);
+        assert!((y.as_slice()[1] - 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn batch_norm_input_gradient_is_correct() {
+        // Numeric gradient check with a weighted loss (sum of y * w) so the
+        // gradient is not trivially zero (plain sums are BN-invariant).
+        let mut rng = seeded_rng(5);
+        let mut bn = BatchNorm::new(3);
+        let mut x = Tensor::zeros(&[4, 3]);
+        fill_std_normal(x.as_mut_slice(), &mut rng);
+        let w: Vec<f32> = (0..12).map(|i| ((i as f32) * 0.7).sin() + 0.2).collect();
+        let loss = |bn: &mut BatchNorm, x: &Tensor| -> f32 {
+            bn.forward(x).as_slice().iter().zip(&w).map(|(y, wi)| y * wi).sum()
+        };
+        let _ = loss(&mut bn, &x);
+        let grad_t = Tensor::from_vec(&[4, 3], w.clone());
+        let _ = bn.forward(&x);
+        let dx = bn.backward(&grad_t);
+        let eps = 1e-2f32;
+        for i in 0..12 {
+            let mut plus = x.clone();
+            plus.as_mut_slice()[i] += eps;
+            let mut minus = x.clone();
+            minus.as_mut_slice()[i] -= eps;
+            let numeric = (loss(&mut bn, &plus) - loss(&mut bn, &minus)) / (2.0 * eps);
+            let analytic = dx.as_slice()[i];
+            assert!(
+                (numeric - analytic).abs() < 2e-2 * (1.0 + numeric.abs()),
+                "x[{i}]: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_norm_4d_per_channel() {
+        let mut bn = BatchNorm::new(2);
+        let mut rng = seeded_rng(7);
+        let mut x = Tensor::zeros(&[2, 2, 2, 2]);
+        fill_std_normal(x.as_mut_slice(), &mut rng);
+        let y = bn.forward(&x);
+        assert_eq!(y.dims(), x.dims());
+        // Channel 0 entries across batch and spatial: mean 0.
+        let mut sum = 0.0f32;
+        for b in 0..2 {
+            for s in 0..4 {
+                sum += y.as_slice()[b * 8 + s];
+            }
+        }
+        assert!(sum.abs() < 1e-4);
+    }
+
+    #[test]
+    fn batch_norm_params_are_vectors() {
+        let mut bn = BatchNorm::new(8);
+        let params = bn.params();
+        assert_eq!(params.len(), 2);
+        assert_eq!(params[0].dims, &[8]);
+        // Vector-shaped: the low-rank aggregators must pass them through.
+        use acp_tensor::MatrixShape;
+        assert!(!MatrixShape::from_tensor_shape(params[0].dims).is_matrix());
+    }
+
+    #[test]
+    fn residual_identity_branch_doubles() {
+        // f = identity dense (weights = I): y = x + x.
+        let mut rng = seeded_rng(1);
+        let mut d = Dense::new(2, 2, &mut rng);
+        {
+            let mut p = d.params();
+            p[0].value.copy_from_slice(&[1.0, 0.0, 0.0, 1.0]);
+            p[1].value.copy_from_slice(&[0.0, 0.0]);
+        }
+        let mut res = Residual::new(vec![Box::new(d)]);
+        let x = Tensor::from_vec(&[1, 2], vec![3.0, -4.0]);
+        let y = res.forward(&x);
+        assert_eq!(y.as_slice(), &[6.0, -8.0]);
+        // Gradient: dy flows through both paths -> doubled.
+        let dx = res.backward(&Tensor::from_vec(&[1, 2], vec![1.0, 1.0]));
+        assert_eq!(dx.as_slice(), &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn residual_conv_block_trains_shape() {
+        let mut rng = seeded_rng(2);
+        let block = Residual::new(vec![
+            Box::new(Conv2d::new(4, 4, 3, &mut rng)),
+            Box::new(Relu::new()),
+            Box::new(Conv2d::new(4, 4, 3, &mut rng)),
+        ]);
+        let mut block = block;
+        let x = Tensor::zeros(&[2, 4, 4, 4]);
+        let y = block.forward(&x);
+        assert_eq!(y.dims(), &[2, 4, 4, 4]);
+        assert_eq!(block.params().len(), 4); // two convs x (weight, bias)
+    }
+
+    #[test]
+    #[should_panic(expected = "preserve shape")]
+    fn residual_rejects_shape_changes() {
+        let mut rng = seeded_rng(3);
+        let mut res = Residual::new(vec![Box::new(Dense::new(4, 3, &mut rng))]);
+        res.forward(&Tensor::zeros(&[1, 4]));
+    }
+}

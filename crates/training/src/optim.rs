@@ -1,0 +1,147 @@
+//! Local parameter update: SGD with momentum, plus the learning-rate
+//! schedule of the paper's convergence runs (§V-A: warmup then step
+//! decays).
+
+use crate::layers::Param;
+
+/// SGD with (heavy-ball) momentum and decoupled weight decay.
+#[derive(Debug, Clone)]
+pub struct SgdMomentum {
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+    velocity: Vec<Vec<f32>>,
+}
+
+impl SgdMomentum {
+    /// Creates the optimizer (paper: momentum 0.9).
+    pub fn new(lr: f32, momentum: f32, weight_decay: f32) -> Self {
+        SgdMomentum { lr, momentum, weight_decay, velocity: Vec::new() }
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Updates the learning rate (driven by [`LrSchedule`]).
+    pub fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    /// Applies one update `v ← μ v + g; w ← w − η (v + λ w)` to every
+    /// parameter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameter list changes shape between calls.
+    pub fn step(&mut self, params: &mut [Param<'_>]) {
+        if self.velocity.is_empty() {
+            self.velocity = params.iter().map(|p| vec![0.0; p.value.len()]).collect();
+        }
+        assert_eq!(self.velocity.len(), params.len(), "parameter count changed");
+        for (p, v) in params.iter_mut().zip(&mut self.velocity) {
+            assert_eq!(v.len(), p.value.len(), "parameter length changed");
+            for ((w, g), vel) in p.value.iter_mut().zip(p.grad.iter()).zip(v.iter_mut()) {
+                *vel = self.momentum * *vel + g;
+                *w -= self.lr * (*vel + self.weight_decay * *w);
+            }
+        }
+    }
+}
+
+/// Linear warmup followed by step decays — the paper's schedule (gradual
+/// warmup over the first 5 epochs, ×0.1 decays at epochs 150 and 220).
+#[derive(Debug, Clone)]
+pub struct LrSchedule {
+    base_lr: f32,
+    warmup_epochs: usize,
+    /// `(epoch, factor)` — from `epoch` on, multiply the base LR by
+    /// `factor` (factors compose).
+    decays: Vec<(usize, f32)>,
+}
+
+impl LrSchedule {
+    /// Creates a schedule.
+    pub fn new(base_lr: f32, warmup_epochs: usize, decays: Vec<(usize, f32)>) -> Self {
+        LrSchedule { base_lr, warmup_epochs, decays }
+    }
+
+    /// The paper's CIFAR schedule scaled to `epochs` total: warmup 5,
+    /// decay ×0.1 at 50% and ~73% of training.
+    pub fn paper_cifar(base_lr: f32, epochs: usize) -> Self {
+        LrSchedule::new(
+            base_lr,
+            5.min(epochs / 10),
+            vec![(epochs / 2, 0.1), (epochs * 11 / 15, 0.1)],
+        )
+    }
+
+    /// Learning rate for `epoch` (0-based).
+    pub fn lr_at(&self, epoch: usize) -> f32 {
+        let mut lr = self.base_lr;
+        if self.warmup_epochs > 0 && epoch < self.warmup_epochs {
+            lr *= (epoch + 1) as f32 / self.warmup_epochs as f32;
+        }
+        for &(at, factor) in &self.decays {
+            if epoch >= at {
+                lr *= factor;
+            }
+        }
+        lr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn momentum_accumulates() {
+        let mut opt = SgdMomentum::new(1.0, 0.5, 0.0);
+        let dims = [1usize];
+        let mut w = vec![0.0f32];
+        let mut g = vec![1.0f32];
+        // Step 1: v = 1, w = -1. Step 2: v = 1.5, w = -2.5.
+        {
+            let mut p = [Param { dims: &dims, value: &mut w, grad: &mut g }];
+            opt.step(&mut p);
+        }
+        assert_eq!(w, vec![-1.0]);
+        {
+            let mut p = [Param { dims: &dims, value: &mut w, grad: &mut g }];
+            opt.step(&mut p);
+        }
+        assert_eq!(w, vec![-2.5]);
+    }
+
+    #[test]
+    fn weight_decay_pulls_toward_zero() {
+        let mut opt = SgdMomentum::new(0.1, 0.0, 1.0);
+        let dims = [1usize];
+        let mut w = vec![10.0f32];
+        let mut g = vec![0.0f32];
+        let mut p = [Param { dims: &dims, value: &mut w, grad: &mut g }];
+        opt.step(&mut p);
+        assert_eq!(w, vec![9.0]);
+    }
+
+    #[test]
+    fn schedule_warmup_and_decay() {
+        let s = LrSchedule::new(1.0, 5, vec![(10, 0.1), (20, 0.1)]);
+        assert!((s.lr_at(0) - 0.2).abs() < 1e-6);
+        assert!((s.lr_at(4) - 1.0).abs() < 1e-6);
+        assert!((s.lr_at(5) - 1.0).abs() < 1e-6);
+        assert!((s.lr_at(10) - 0.1).abs() < 1e-6);
+        assert!((s.lr_at(25) - 0.01).abs() < 1e-6);
+    }
+
+    #[test]
+    fn paper_schedule_scales() {
+        let s = LrSchedule::paper_cifar(0.1, 300);
+        assert!(s.lr_at(0) < 0.1); // warming up
+        assert!((s.lr_at(100) - 0.1).abs() < 1e-6);
+        assert!((s.lr_at(160) - 0.01).abs() < 1e-6);
+        assert!((s.lr_at(299) - 0.001).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,136 @@
+//! A minimal N-dimensional `f32` tensor for activations.
+//!
+//! The weight math lives in `acp-tensor`'s [`acp_tensor::Matrix`]; this
+//! type only carries activations between layers (batches of vectors or
+//! images) with explicit shapes.
+
+use serde::{Deserialize, Serialize};
+
+/// A dense row-major activation tensor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    dims: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a zero tensor of the given shape.
+    pub fn zeros(dims: &[usize]) -> Self {
+        let n = dims.iter().product();
+        Tensor { dims: dims.to_vec(), data: vec![0.0; n] }
+    }
+
+    /// Wraps a buffer with a shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer length does not match the shape.
+    pub fn from_vec(dims: &[usize], data: Vec<f32>) -> Self {
+        assert_eq!(
+            dims.iter().product::<usize>(),
+            data.len(),
+            "tensor shape {dims:?} does not match buffer length {}",
+            data.len()
+        );
+        Tensor { dims: dims.to_vec(), data }
+    }
+
+    /// Tensor shape.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Leading dimension (the batch size, by convention).
+    pub fn batch(&self) -> usize {
+        self.dims.first().copied().unwrap_or(0)
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` for empty tensors.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrows the flat buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutably borrows the flat buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Reinterprets with a new shape of equal element count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element counts differ.
+    pub fn reshape(mut self, dims: &[usize]) -> Tensor {
+        assert_eq!(
+            dims.iter().product::<usize>(),
+            self.data.len(),
+            "cannot reshape {:?} ({} elems) to {dims:?}",
+            self.dims,
+            self.data.len()
+        );
+        self.dims = dims.to_vec();
+        self
+    }
+
+    /// The `i`-th slice along the leading dimension (e.g. one sample of a
+    /// batch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn sample(&self, i: usize) -> &[f32] {
+        let stride = self.data.len() / self.dims[0].max(1);
+        &self.data[i * stride..(i + 1) * stride]
+    }
+
+    /// Mutable variant of [`Tensor::sample`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn sample_mut(&mut self, i: usize) -> &mut [f32] {
+        let stride = self.data.len() / self.dims[0].max(1);
+        &mut self.data[i * stride..(i + 1) * stride]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_and_data() {
+        let t = Tensor::from_vec(&[2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(t.batch(), 2);
+        assert_eq!(t.sample(1), &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec(&[2, 2], vec![1.0, 2.0, 3.0, 4.0]).reshape(&[4]);
+        assert_eq!(t.dims(), &[4]);
+        assert_eq!(t.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn bad_shape_panics() {
+        Tensor::from_vec(&[2, 2], vec![1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot reshape")]
+    fn bad_reshape_panics() {
+        Tensor::zeros(&[2, 2]).reshape(&[3]);
+    }
+}

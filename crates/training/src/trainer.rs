@@ -1,0 +1,250 @@
+//! Data-parallel training across in-process workers with real collectives —
+//! the engine behind the convergence experiments (Figs. 6–7).
+
+use acp_collectives::{Communicator, ThreadGroup};
+use acp_core::{DistributedOptimizer, GradViewMut};
+use acp_tensor::rng::seeded_rng;
+use rand::seq::SliceRandom;
+
+use crate::dataset::Dataset;
+use crate::loss::{accuracy, softmax_cross_entropy};
+use crate::model::Sequential;
+use crate::optim::{LrSchedule, SgdMomentum};
+use crate::tensor4::Tensor;
+
+/// Training-run configuration.
+#[derive(Debug, Clone)]
+pub struct TrainConfig {
+    /// Number of passes over each worker's shard.
+    pub epochs: usize,
+    /// Per-worker mini-batch size.
+    pub batch_size: usize,
+    /// Learning-rate schedule.
+    pub schedule: LrSchedule,
+    /// Momentum coefficient (paper: 0.9).
+    pub momentum: f32,
+    /// Weight decay.
+    pub weight_decay: f32,
+    /// Seed for shuffling (model init seeds live in the model builder).
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 10,
+            batch_size: 32,
+            schedule: LrSchedule::new(0.1, 0, Vec::new()),
+            momentum: 0.9,
+            weight_decay: 0.0,
+            seed: 42,
+        }
+    }
+}
+
+/// Per-epoch metrics (rank 0's view; all ranks agree).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochStats {
+    /// Epoch index (0-based).
+    pub epoch: usize,
+    /// Mean training loss over the epoch's batches.
+    pub train_loss: f32,
+    /// Accuracy on the full test split.
+    pub test_accuracy: f32,
+    /// Learning rate used this epoch.
+    pub lr: f32,
+}
+
+/// Builds the `[batch, …sample_dims]` input tensor and label vector for a
+/// set of sample indices.
+fn make_batch(
+    data: &Dataset,
+    indices: &[usize],
+    train: bool,
+) -> (Tensor, Vec<usize>) {
+    let feature_len = data.feature_len();
+    let mut x = Vec::with_capacity(indices.len() * feature_len);
+    let mut y = Vec::with_capacity(indices.len());
+    for &i in indices {
+        let (f, label) = if train { data.train_sample(i) } else { data.test_sample(i) };
+        x.extend_from_slice(f);
+        y.push(label);
+    }
+    let mut dims = vec![indices.len()];
+    dims.extend_from_slice(data.sample_dims());
+    (Tensor::from_vec(&dims, x), y)
+}
+
+/// Evaluates test accuracy over the full test split.
+fn evaluate(model: &mut Sequential, data: &Dataset, batch_size: usize) -> f32 {
+    let n = data.test_len();
+    if n == 0 {
+        return 0.0;
+    }
+    let mut correct_weighted = 0.0f32;
+    let mut start = 0usize;
+    while start < n {
+        let end = (start + batch_size).min(n);
+        let indices: Vec<usize> = (start..end).collect();
+        let (x, y) = make_batch(data, &indices, false);
+        let logits = model.forward(&x);
+        correct_weighted += accuracy(&logits, &y) * indices.len() as f32;
+        start = end;
+    }
+    correct_weighted / n as f32
+}
+
+/// Trains `world` data-parallel workers, each aggregating gradients through
+/// its own instance of the supplied [`DistributedOptimizer`], and returns
+/// rank 0's per-epoch history.
+///
+/// Every worker builds the model from `model_builder` (which must be
+/// deterministic so initial weights agree), trains on a disjoint shard of
+/// `data`, and evaluates on the shared test split.
+///
+/// # Panics
+///
+/// Panics if a worker thread fails (collective error or panic) — the
+/// trainer is for controlled experiments, not fault tolerance.
+pub fn train_distributed<MB, AB, A>(
+    world: usize,
+    data: &Dataset,
+    model_builder: MB,
+    aggregator_builder: AB,
+    cfg: &TrainConfig,
+) -> Vec<EpochStats>
+where
+    MB: Fn() -> Sequential + Sync,
+    AB: Fn() -> A + Sync,
+    A: DistributedOptimizer,
+{
+    let histories = ThreadGroup::run(world, |mut comm| {
+        let mut model = model_builder();
+        let mut aggregator = aggregator_builder();
+        let mut sgd = SgdMomentum::new(cfg.schedule.lr_at(0), cfg.momentum, cfg.weight_decay);
+        let shard = data.shard_indices(comm.rank(), comm.world_size());
+        let mut history = Vec::with_capacity(cfg.epochs);
+        for epoch in 0..cfg.epochs {
+            let lr = cfg.schedule.lr_at(epoch);
+            sgd.set_lr(lr);
+            // Per-rank, per-epoch shuffle of the local shard.
+            let mut order = shard.clone();
+            let mut rng =
+                seeded_rng(cfg.seed ^ (epoch as u64) << 20 ^ comm.rank() as u64);
+            order.shuffle(&mut rng);
+            let mut loss_sum = 0.0f64;
+            let mut batches = 0usize;
+            for chunk in order.chunks(cfg.batch_size) {
+                let (x, y) = make_batch(data, chunk, true);
+                let logits = model.forward(&x);
+                let (loss, dlogits) = softmax_cross_entropy(&logits, &y);
+                model.backward(&dlogits);
+                let mut params = model.params();
+                let mut views: Vec<GradViewMut<'_>> = params
+                    .iter_mut()
+                    .map(|p| GradViewMut { dims: p.dims, grad: &mut *p.grad })
+                    .collect();
+                aggregator
+                    .aggregate(&mut views, &mut comm)
+                    .expect("gradient aggregation failed");
+                sgd.step(&mut params);
+                loss_sum += loss as f64;
+                batches += 1;
+            }
+            let test_accuracy = evaluate(&mut model, data, cfg.batch_size.max(1));
+            history.push(EpochStats {
+                epoch,
+                train_loss: (loss_sum / batches.max(1) as f64) as f32,
+                test_accuracy,
+                lr,
+            });
+        }
+        history
+    });
+    histories.into_iter().next().expect("at least one worker")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::mlp;
+    use acp_core::{AcpSgdAggregator, AcpSgdConfig, SSgdAggregator};
+
+    fn quick_cfg(epochs: usize) -> TrainConfig {
+        TrainConfig {
+            epochs,
+            batch_size: 16,
+            schedule: LrSchedule::new(0.1, 0, Vec::new()),
+            ..TrainConfig::default()
+        }
+    }
+
+    #[test]
+    fn ssgd_learns_gaussian_clusters() {
+        let data = Dataset::gaussian_clusters(4, 8, 60, 0.3, 11);
+        let history = train_distributed(
+            2,
+            &data,
+            || mlp(&[8, 16, 4], 5),
+            SSgdAggregator::new,
+            &quick_cfg(8),
+        );
+        let last = history.last().unwrap();
+        assert!(last.test_accuracy > 0.9, "accuracy {}", last.test_accuracy);
+        assert!(last.train_loss < history[0].train_loss);
+    }
+
+    #[test]
+    fn acp_matches_ssgd_on_easy_task() {
+        let data = Dataset::gaussian_clusters(4, 8, 60, 0.3, 13);
+        let cfg = quick_cfg(8);
+        let ssgd = train_distributed(2, &data, || mlp(&[8, 16, 4], 5), SSgdAggregator::new, &cfg);
+        let acp = train_distributed(
+            2,
+            &data,
+            || mlp(&[8, 16, 4], 5),
+            || AcpSgdAggregator::new(AcpSgdConfig { rank: 4, ..Default::default() }),
+            &cfg,
+        );
+        let s = ssgd.last().unwrap().test_accuracy;
+        let a = acp.last().unwrap().test_accuracy;
+        assert!(a > s - 0.07, "ACP accuracy {a} far below S-SGD {s}");
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let data = Dataset::gaussian_clusters(3, 6, 30, 0.2, 17);
+        let cfg = quick_cfg(3);
+        let run = || {
+            train_distributed(2, &data, || mlp(&[6, 12, 3], 9), SSgdAggregator::new, &cfg)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn history_length_matches_epochs() {
+        let data = Dataset::gaussian_clusters(2, 4, 20, 0.2, 19);
+        let history =
+            train_distributed(1, &data, || mlp(&[4, 2], 1), SSgdAggregator::new, &quick_cfg(4));
+        assert_eq!(history.len(), 4);
+        assert_eq!(history[3].epoch, 3);
+    }
+
+    #[test]
+    fn lr_schedule_is_applied() {
+        let data = Dataset::gaussian_clusters(2, 4, 20, 0.2, 23);
+        let cfg = TrainConfig {
+            epochs: 4,
+            batch_size: 8,
+            schedule: LrSchedule::new(0.2, 2, vec![(3, 0.1)]),
+            ..TrainConfig::default()
+        };
+        let history =
+            train_distributed(1, &data, || mlp(&[4, 2], 1), SSgdAggregator::new, &cfg);
+        assert!((history[0].lr - 0.1).abs() < 1e-6); // warmup 1/2
+        assert!((history[1].lr - 0.2).abs() < 1e-6);
+        assert!((history[3].lr - 0.02).abs() < 1e-6); // decayed
+    }
+}

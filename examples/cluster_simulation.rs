@@ -1,0 +1,45 @@
+//! Simulated 32-GPU / 10 GbE cluster study: where does each aggregation
+//! strategy spend its iteration, and who wins on which model? Reproduces
+//! the core of Table III with full breakdowns and a schedule timeline.
+//!
+//! ```text
+//! cargo run -p acp-bench --example cluster_simulation
+//! ```
+
+use acp_models::Model;
+use acp_simulator::trace::{render_text, trace};
+use acp_simulator::{simulate, ExperimentConfig, Strategy};
+
+fn main() {
+    println!("32 GPUs, 10GbE, paper batch sizes — simulated iteration breakdowns\n");
+    for model in Model::evaluation_models() {
+        let rank = model.paper_rank();
+        println!("{model} (rank {rank}):");
+        println!("  {:<11} {:>8} {:>8} {:>9} {:>8}", "method", "total", "ff&bp", "compress", "comm");
+        for strategy in [
+            Strategy::SSgd,
+            Strategy::PowerSgd { rank },
+            Strategy::PowerSgdStar { rank },
+            Strategy::AcpSgd { rank },
+        ] {
+            let cfg = ExperimentConfig::paper_testbed(model, strategy);
+            let r = simulate(&cfg).expect("paper configurations fit in memory");
+            println!(
+                "  {:<11} {:>6.0}ms {:>6.0}ms {:>7.0}ms {:>6.0}ms",
+                strategy.label(),
+                r.total * 1e3,
+                r.ffbp * 1e3,
+                r.compression.max(0.0) * 1e3,
+                r.non_overlapped_comm * 1e3
+            );
+        }
+        println!();
+    }
+
+    // A schedule timeline (Fig. 4 style): ACP-SGD's all-reduces ride under
+    // the backward pass.
+    println!("ACP-SGD schedule on ResNet-152 (F=forward B=backward C=compress A=all-reduce):");
+    let cfg = ExperimentConfig::paper_testbed(Model::ResNet152, Strategy::AcpSgd { rank: 4 });
+    let entries = trace(&cfg).expect("in-memory trace");
+    print!("{}", render_text(&entries, 76));
+}
