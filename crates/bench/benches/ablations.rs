@@ -18,7 +18,14 @@ fn ablation_alternate(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_alternate_1024x512_r8");
     g.sample_size(20);
     g.bench_function("full_power_iteration", |b| {
-        let mut ps = PowerSgd::new(1024, 512, PowerSgdConfig { rank: 8, ..Default::default() });
+        let mut ps = PowerSgd::new(
+            1024,
+            512,
+            PowerSgdConfig {
+                rank: 8,
+                ..Default::default()
+            },
+        );
         b.iter(|| {
             let p = ps.compute_p(&m);
             let q = ps.compute_q(p);
@@ -26,7 +33,14 @@ fn ablation_alternate(c: &mut Criterion) {
         });
     });
     g.bench_function("alternate_acp", |b| {
-        let mut acp = AcpSgd::new(1024, 512, AcpSgdConfig { rank: 8, ..Default::default() });
+        let mut acp = AcpSgd::new(
+            1024,
+            512,
+            AcpSgdConfig {
+                rank: 8,
+                ..Default::default()
+            },
+        );
         b.iter(|| {
             let f = acp.compress(&m);
             acp.finish(f)
@@ -42,7 +56,11 @@ fn ablation_ef(c: &mut Criterion) {
     g.sample_size(20);
     for (name, ef) in [("with_ef", true), ("without_ef", false)] {
         g.bench_function(name, |b| {
-            let cfg = AcpSgdConfig { rank: 8, error_feedback: ef, ..Default::default() };
+            let cfg = AcpSgdConfig {
+                rank: 8,
+                error_feedback: ef,
+                ..Default::default()
+            };
             let mut acp = AcpSgd::new(512, 512, cfg);
             b.iter(|| {
                 let f = acp.compress(&m);
@@ -59,17 +77,12 @@ fn ablation_buffer_scaling(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_buffer_scaling_bertlarge_r256");
     g.sample_size(10);
     g.bench_function("scaled_25mb_default", |b| {
-        let cfg = ExperimentConfig::paper_testbed(
-            Model::BertLarge,
-            Strategy::AcpSgd { rank: 256 },
-        );
+        let cfg = ExperimentConfig::paper_testbed(Model::BertLarge, Strategy::AcpSgd { rank: 256 });
         b.iter(|| simulate(&cfg).unwrap().total)
     });
     g.bench_function("full_fusion_1500mb", |b| {
-        let mut cfg = ExperimentConfig::paper_testbed(
-            Model::BertLarge,
-            Strategy::AcpSgd { rank: 256 },
-        );
+        let mut cfg =
+            ExperimentConfig::paper_testbed(Model::BertLarge, Strategy::AcpSgd { rank: 256 });
         cfg.buffer_bytes = 1500 * 1024 * 1024;
         b.iter(|| simulate(&cfg).unwrap().total)
     });

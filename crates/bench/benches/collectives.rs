@@ -67,5 +67,10 @@ fn bench_fusion_effect(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_all_reduce, bench_all_gather, bench_fusion_effect);
+criterion_group!(
+    benches,
+    bench_all_reduce,
+    bench_all_gather,
+    bench_fusion_effect
+);
 criterion_main!(benches);

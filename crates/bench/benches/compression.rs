@@ -29,11 +29,7 @@ fn bench_elementwise_compressors(c: &mut Criterion) {
         b.iter(|| comp.compress(&grad));
     });
     group.bench_function("topk_sampled_0.1%", |b| {
-        let mut comp = TopK::with_selection(
-            n / 1000,
-            acp_compression::TopKSelection::Sampled,
-            3,
-        );
+        let mut comp = TopK::with_selection(n / 1000, acp_compression::TopKSelection::Sampled, 3);
         b.iter(|| comp.compress(&grad));
     });
     group.bench_function("randomk_0.1%", |b| {
@@ -57,7 +53,14 @@ fn bench_low_rank(c: &mut Criterion) {
     for rank in [4usize, 32] {
         let m = Matrix::random_std_normal(512, 512, 1);
         group.bench_with_input(BenchmarkId::new("powersgd", rank), &rank, |b, &r| {
-            let mut ps = PowerSgd::new(512, 512, PowerSgdConfig { rank: r, ..Default::default() });
+            let mut ps = PowerSgd::new(
+                512,
+                512,
+                PowerSgdConfig {
+                    rank: r,
+                    ..Default::default()
+                },
+            );
             b.iter(|| {
                 let p = ps.compute_p(&m);
                 let q = ps.compute_q(p);
@@ -65,7 +68,14 @@ fn bench_low_rank(c: &mut Criterion) {
             });
         });
         group.bench_with_input(BenchmarkId::new("acpsgd", rank), &rank, |b, &r| {
-            let mut acp = AcpSgd::new(512, 512, AcpSgdConfig { rank: r, ..Default::default() });
+            let mut acp = AcpSgd::new(
+                512,
+                512,
+                AcpSgdConfig {
+                    rank: r,
+                    ..Default::default()
+                },
+            );
             b.iter(|| {
                 let f = acp.compress(&m);
                 acp.finish(f)

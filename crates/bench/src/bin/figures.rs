@@ -7,6 +7,7 @@
 //!   table1 table2 table3
 //!   fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11a fig11b fig12 fig13
 //!   headline   (abstract speedup numbers)
+//!   telemetry  (instrumented ACP-SGD run: per-step metrics + summary)
 //!   all        (everything; convergence at the quick epoch count)
 //! ```
 //!
@@ -29,6 +30,38 @@ fn headline() -> String {
          (paper: 4.06x / 9.42x)\n\
          ACP-SGD speedups over Power-SGD: avg {avg_p:.2}x, max {max_p:.2}x \
          (paper: 1.34x / 2.11x)\n"
+    )
+}
+
+/// A short instrumented 4-worker ACP-SGD run: per-step telemetry table for
+/// rank 0 plus the aggregated counter/series summary.
+fn telemetry() -> String {
+    use acp_core::{build_optimizer, AcpSgdConfig, Aggregator};
+    use acp_telemetry::{render_step_table, summary};
+    use acp_training::dataset::Dataset;
+    use acp_training::model::mlp;
+    use acp_training::trainer::{train_distributed_instrumented, TrainConfig};
+
+    let data = Dataset::gaussian_clusters(4, 8, 60, 0.3, 11);
+    let cfg = TrainConfig {
+        epochs: 2,
+        batch_size: 16,
+        ..TrainConfig::default()
+    };
+    let spec = Aggregator::AcpSgd(AcpSgdConfig::default().with_rank(4));
+    let report = train_distributed_instrumented(
+        4,
+        &data,
+        || mlp(&[8, 16, 4], 5),
+        || build_optimizer(&spec),
+        &cfg,
+    );
+    let rank0 = &report.ranks[0];
+    let shown = rank0.steps.len().min(8);
+    format!(
+        "Instrumented ACP-SGD, 4 workers (rank 0, first {shown} steps)\n{}\n{}",
+        render_step_table(&rank0.steps[..shown]),
+        summary::render(&rank0.snapshot)
     )
 }
 
@@ -62,6 +95,7 @@ fn run(name: &str, epochs: usize) -> Option<String> {
             timing::ext_tuned_buffers().render()
         ),
         "headline" => headline(),
+        "telemetry" => telemetry(),
         _ => return None,
     };
     Some(out)
@@ -70,10 +104,31 @@ fn run(name: &str, epochs: usize) -> Option<String> {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let epochs = parse_epochs(&args);
-    let names: Vec<&str> = args.iter().map(String::as_str).filter(|a| !a.starts_with("--")).collect();
+    let names: Vec<&str> = args
+        .iter()
+        .map(String::as_str)
+        .filter(|a| !a.starts_with("--"))
+        .collect();
     let all = [
-        "table1", "table2", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "table3", "fig8",
-        "fig9", "fig10", "fig11a", "fig11b", "fig12", "fig13", "ext-scaling", "ext-tune",
+        "table1",
+        "table2",
+        "fig2",
+        "fig3",
+        "fig4",
+        "fig5",
+        "fig6",
+        "fig7",
+        "table3",
+        "fig8",
+        "fig9",
+        "fig10",
+        "fig11a",
+        "fig11b",
+        "fig12",
+        "fig13",
+        "ext-scaling",
+        "ext-tune",
+        "telemetry",
         "headline",
     ];
     let selected: Vec<&str> = if names.is_empty() || names.contains(&"all") {
@@ -89,10 +144,7 @@ fn main() {
         match run(name, epochs) {
             Some(out) => println!("{out}"),
             None => {
-                eprintln!(
-                    "unknown experiment '{name}'; valid: {} all",
-                    all.join(" ")
-                );
+                eprintln!("unknown experiment '{name}'; valid: {} all", all.join(" "));
                 std::process::exit(2);
             }
         }

@@ -9,7 +9,7 @@
 //! error feedback or query reuse is disabled.
 
 use acp_core::{
-    AcpSgdAggregator, AcpSgdConfig, PowerSgdAggregator, PowerSgdAggregatorConfig, SSgdAggregator,
+    AcpSgdAggregator, AcpSgdConfig, PowerSgdAggregator, PowerSgdConfig, SSgdAggregator,
 };
 use acp_training::dataset::Dataset;
 use acp_training::model::{mlp, small_cnn, Sequential};
@@ -144,14 +144,24 @@ pub fn run_variant(
             world,
             &data,
             || task.model(),
-            || PowerSgdAggregator::new(PowerSgdAggregatorConfig { rank, ..Default::default() }),
+            || {
+                PowerSgdAggregator::new(PowerSgdConfig {
+                    rank,
+                    ..Default::default()
+                })
+            },
             &cfg,
         ),
         ConvergenceVariant::AcpSgd => train_distributed(
             world,
             &data,
             || task.model(),
-            || AcpSgdAggregator::new(AcpSgdConfig { rank, ..Default::default() }),
+            || {
+                AcpSgdAggregator::new(AcpSgdConfig {
+                    rank,
+                    ..Default::default()
+                })
+            },
             &cfg,
         ),
         ConvergenceVariant::AcpNoEf => train_distributed(
@@ -171,11 +181,20 @@ pub fn run_variant(
             world,
             &data,
             || task.model(),
-            || AcpSgdAggregator::new(AcpSgdConfig { rank, reuse: false, ..Default::default() }),
+            || {
+                AcpSgdAggregator::new(AcpSgdConfig {
+                    rank,
+                    reuse: false,
+                    ..Default::default()
+                })
+            },
             &cfg,
         ),
     };
-    ConvergenceCurve { label: variant.label().to_string(), history }
+    ConvergenceCurve {
+        label: variant.label().to_string(),
+        history,
+    }
 }
 
 /// Fig. 6: S-SGD vs Power-SGD vs ACP-SGD on both tasks (4 workers, the
@@ -209,8 +228,10 @@ fn run_tasks(
         .into_iter()
         .map(|task| {
             let rank = rank_of(task);
-            let curves =
-                variants.iter().map(|&v| run_variant(task, v, 4, epochs, rank)).collect();
+            let curves = variants
+                .iter()
+                .map(|&v| run_variant(task, v, 4, epochs, rank))
+                .collect();
             (task, curves)
         })
         .collect()

@@ -75,7 +75,14 @@ pub fn table2() -> TextTable {
         format!("{:.0}x", tp.compression_ratio()),
     ]);
     // Power-SGD: all-reduce of (n+m)r elements.
-    let ps = PowerSgd::new(1024, 1024, PowerSgdConfig { rank: RANK, ..Default::default() });
+    let ps = PowerSgd::new(
+        1024,
+        1024,
+        PowerSgdConfig {
+            rank: RANK,
+            ..Default::default()
+        },
+    );
     let nc = 4 * ps.transmitted_elements();
     let power_vol = 2.0 * (P as f64 - 1.0) / P as f64 * nc as f64;
     t.push_row([
@@ -86,7 +93,14 @@ pub fn table2() -> TextTable {
         format!("{:.0}x", (4 * N) as f64 / nc as f64),
     ]);
     // ACP-SGD: one factor per step, half of Power-SGD's volume.
-    let acp = AcpSgd::new(1024, 1024, AcpSgdConfig { rank: RANK, ..Default::default() });
+    let acp = AcpSgd::new(
+        1024,
+        1024,
+        AcpSgdConfig {
+            rank: RANK,
+            ..Default::default()
+        },
+    );
     let nc_acp = 4 * acp.transmitted_elements();
     let acp_vol = 2.0 * (P as f64 - 1.0) / P as f64 * nc_acp as f64;
     t.push_row([

@@ -14,7 +14,10 @@ impl TextTable {
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
-        TextTable { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row (padded or truncated to the header width).

@@ -43,7 +43,9 @@ impl TimingGrid {
     ///
     /// Panics if the indices are out of range or the cell is OOM.
     pub fn total(&self, row: usize, col: usize) -> f64 {
-        self.cell(row, col).expect("configuration ran out of memory").total
+        self.cell(row, col)
+            .expect("configuration ran out of memory")
+            .total
     }
 
     /// Renders total iteration times (ms) as a table.
@@ -121,7 +123,12 @@ fn characterization_methods(model: Model) -> Vec<(String, Strategy)> {
         ("S-SGD".into(), Strategy::SSgd),
         ("Sign-SGD".into(), Strategy::SignSgd),
         ("Top-k SGD".into(), Strategy::TopkSgd { density: 0.001 }),
-        ("Power-SGD".into(), Strategy::PowerSgd { rank: model.paper_rank() }),
+        (
+            "Power-SGD".into(),
+            Strategy::PowerSgd {
+                rank: model.paper_rank(),
+            },
+        ),
     ]
 }
 
@@ -174,9 +181,8 @@ pub fn fig2() -> TimingGrid {
         &Model::evaluation_models(),
         characterization_methods,
     );
-    g.note = Some(
-        "OOM: Sign-SGD exceeds GPU memory on BERT-Large (as in the paper, §III-B).".into(),
-    );
+    g.note =
+        Some("OOM: Sign-SGD exceeds GPU memory on BERT-Large (as in the paper, §III-B).".into());
     g
 }
 
@@ -236,7 +242,10 @@ pub fn fig9() -> TimingGrid {
         title: "Fig. 9: system optimizations step-by-step (ms)".to_string(),
         row_label: "model method".to_string(),
         rows,
-        cols: OptLevel::all().iter().map(|o| o.label().to_string()).collect(),
+        cols: OptLevel::all()
+            .iter()
+            .map(|o| o.label().to_string())
+            .collect(),
         cells,
         note: Some("Power-SGD here denotes the hook implementation (Power-SGD*).".into()),
     }
@@ -373,8 +382,11 @@ pub fn fig12() -> TimingGrid {
 }
 
 /// Network tiers swept in Fig. 13.
-pub const FIG13_TIERS: [NetworkTier; 3] =
-    [NetworkTier::OneGbE, NetworkTier::TenGbE, NetworkTier::HundredGbIb];
+pub const FIG13_TIERS: [NetworkTier; 3] = [
+    NetworkTier::OneGbE,
+    NetworkTier::TenGbE,
+    NetworkTier::HundredGbIb,
+];
 
 /// Fig. 13: effect of network bandwidth (ResNet-50 and BERT-Base, 32 GPUs).
 pub fn fig13() -> TimingGrid {
@@ -415,8 +427,14 @@ pub fn ext_scaling() -> TimingGrid {
     let mut rows = Vec::new();
     let mut cells = Vec::new();
     for (name, strategy) in [
-        ("Top-k SGD".to_string(), Strategy::TopkSgd { density: 0.001 }),
-        ("gTop-k SGD".to_string(), Strategy::GTopkSgd { density: 0.001 }),
+        (
+            "Top-k SGD".to_string(),
+            Strategy::TopkSgd { density: 0.001 },
+        ),
+        (
+            "gTop-k SGD".to_string(),
+            Strategy::GTopkSgd { density: 0.001 },
+        ),
         ("ACP-SGD".to_string(), Strategy::AcpSgd { rank: 32 }),
     ] {
         rows.push(name);
@@ -435,8 +453,7 @@ pub fn ext_scaling() -> TimingGrid {
         cols: FIG12_WORKERS.iter().map(|w| format!("{w} GPUs")).collect(),
         cells,
         note: Some(
-            "gTop-k replaces Top-k's O(kp) all-gather with an O(k log p) sparse all-reduce."
-                .into(),
+            "gTop-k replaces Top-k's O(kp) all-gather with an O(k log p) sparse all-reduce.".into(),
         ),
     }
 }
@@ -483,7 +500,12 @@ pub fn headline_speedups() -> (f64, f64, f64, f64) {
     }
     let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
     let max = |v: &[f64]| v.iter().fold(0.0f64, |m, &x| m.max(x));
-    (avg(&over_ssgd), max(&over_ssgd), avg(&over_power), max(&over_power))
+    (
+        avg(&over_ssgd),
+        max(&over_ssgd),
+        avg(&over_power),
+        max(&over_power),
+    )
 }
 
 #[cfg(test)]
@@ -557,7 +579,11 @@ mod tests {
 
     #[test]
     fn renders_are_nonempty() {
-        for s in [fig3().render_breakdowns(), fig9().render_totals(), fig11a().render_totals()] {
+        for s in [
+            fig3().render_breakdowns(),
+            fig9().render_totals(),
+            fig11a().render_totals(),
+        ] {
             assert!(s.lines().count() > 3, "{s}");
         }
     }

@@ -9,6 +9,7 @@
 
 use std::fmt;
 
+use acp_telemetry::{keys, noop, RecorderHandle, Span};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 
 /// Reduction operator applied element-wise by [`Communicator::all_reduce`].
@@ -25,7 +26,7 @@ pub enum ReduceOp {
 
 /// Error raised by collective operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub enum CollectiveError {
+pub enum CommError {
     /// A peer sent a payload whose length differs from ours — the ranks
     /// called the collective with inconsistent buffer sizes.
     LengthMismatch {
@@ -47,26 +48,50 @@ pub enum CollectiveError {
         /// Size of the group.
         world_size: usize,
     },
+    /// A point-to-point operation addressed a rank outside the group.
+    InvalidRank {
+        /// The out-of-range rank.
+        rank: usize,
+        /// Size of the group.
+        world_size: usize,
+    },
+    /// A worker thread of a [`ThreadGroup`] panicked before producing a
+    /// result.
+    WorkerPanicked,
 }
 
-impl fmt::Display for CollectiveError {
+impl fmt::Display for CommError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CollectiveError::LengthMismatch { expected, actual } => {
-                write!(f, "peer payload length {actual} does not match local length {expected}")
+            CommError::LengthMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "peer payload length {actual} does not match local length {expected}"
+                )
             }
-            CollectiveError::PeerDisconnected => write!(f, "a peer disconnected mid-collective"),
-            CollectiveError::ProtocolMismatch => {
+            CommError::PeerDisconnected => write!(f, "a peer disconnected mid-collective"),
+            CommError::ProtocolMismatch => {
                 write!(f, "peer payload type does not match the running collective")
             }
-            CollectiveError::InvalidRoot { root, world_size } => {
-                write!(f, "root rank {root} out of range for world size {world_size}")
+            CommError::InvalidRoot { root, world_size } => {
+                write!(
+                    f,
+                    "root rank {root} out of range for world size {world_size}"
+                )
             }
+            CommError::InvalidRank { rank, world_size } => {
+                write!(f, "rank {rank} out of range for world size {world_size}")
+            }
+            CommError::WorkerPanicked => write!(f, "a worker thread panicked"),
         }
     }
 }
 
-impl std::error::Error for CollectiveError {}
+impl std::error::Error for CommError {}
+
+/// Former name of [`CommError`].
+#[deprecated(since = "0.2.0", note = "renamed to `CommError`")]
+pub type CollectiveError = CommError;
 
 /// Collective communication interface shared by the trainer and optimizers.
 ///
@@ -88,7 +113,7 @@ pub trait Communicator: Send {
     ///
     /// Returns an error if ranks disagree on buffer length or a peer
     /// disconnects.
-    fn all_reduce(&mut self, buf: &mut [f32], op: ReduceOp) -> Result<(), CollectiveError>;
+    fn all_reduce(&mut self, buf: &mut [f32], op: ReduceOp) -> Result<(), CommError>;
 
     /// Gathers each rank's `send` buffer; returns the concatenation in rank
     /// order (`world_size * send.len()` elements).
@@ -97,7 +122,7 @@ pub trait Communicator: Send {
     ///
     /// Returns an error if ranks disagree on buffer length or a peer
     /// disconnects.
-    fn all_gather_f32(&mut self, send: &[f32]) -> Result<Vec<f32>, CollectiveError>;
+    fn all_gather_f32(&mut self, send: &[f32]) -> Result<Vec<f32>, CommError>;
 
     /// [`Communicator::all_gather_f32`] for `u32` payloads (bit-packed signs,
     /// sparse indices).
@@ -106,7 +131,7 @@ pub trait Communicator: Send {
     ///
     /// Returns an error if ranks disagree on buffer length or a peer
     /// disconnects.
-    fn all_gather_u32(&mut self, send: &[u32]) -> Result<Vec<u32>, CollectiveError>;
+    fn all_gather_u32(&mut self, send: &[u32]) -> Result<Vec<u32>, CommError>;
 
     /// Copies `buf` on `root` into `buf` on every other rank.
     ///
@@ -114,18 +139,26 @@ pub trait Communicator: Send {
     ///
     /// Returns an error for an out-of-range root, mismatched lengths, or a
     /// disconnected peer.
-    fn broadcast(&mut self, buf: &mut [f32], root: usize) -> Result<(), CollectiveError>;
+    fn broadcast(&mut self, buf: &mut [f32], root: usize) -> Result<(), CommError>;
 
     /// Blocks until every rank has entered the barrier.
     ///
     /// # Errors
     ///
     /// Returns an error if a peer disconnects.
-    fn barrier(&mut self) -> Result<(), CollectiveError>;
+    fn barrier(&mut self) -> Result<(), CommError>;
 
     /// Total payload bytes this rank has transmitted so far (excluding
     /// barrier tokens) — used to verify the Table II volume formulas.
     fn bytes_sent(&self) -> u64;
+
+    /// Attaches a telemetry recorder. An instrumented communicator reports
+    /// wire bytes ([`keys::COMM_BYTES_SENT`] / [`keys::COMM_BYTES_RECV`]) and
+    /// per-collective latencies to it; the default implementation ignores
+    /// the handle, so transports without instrumentation keep compiling.
+    fn set_recorder(&mut self, recorder: RecorderHandle) {
+        let _ = recorder;
+    }
 
     /// Sparse all-reduce with top-k truncation (the SparCML / gTop-k
     /// collective): sums the ranks' sparse `(indices, values)` vectors and
@@ -146,7 +179,7 @@ pub trait Communicator: Send {
         indices: &[u32],
         values: &[f32],
         k: usize,
-    ) -> Result<(Vec<u32>, Vec<f32>), CollectiveError> {
+    ) -> Result<(Vec<u32>, Vec<f32>), CommError> {
         let gathered_idx = self.all_gather_u32(indices)?;
         let gathered_val = self.all_gather_f32(values)?;
         let mut map = std::collections::BTreeMap::new();
@@ -159,14 +192,13 @@ pub trait Communicator: Send {
 
 /// Keeps the `k` largest-magnitude entries of a coordinate map, returned
 /// in ascending coordinate order.
-fn truncate_topk(
-    map: std::collections::BTreeMap<u32, f32>,
-    k: usize,
-) -> (Vec<u32>, Vec<f32>) {
+fn truncate_topk(map: std::collections::BTreeMap<u32, f32>, k: usize) -> (Vec<u32>, Vec<f32>) {
     let mut entries: Vec<(u32, f32)> = map.into_iter().collect();
     if entries.len() > k {
         entries.select_nth_unstable_by(k - 1, |a, b| {
-            b.1.abs().partial_cmp(&a.1.abs()).unwrap_or(std::cmp::Ordering::Equal)
+            b.1.abs()
+                .partial_cmp(&a.1.abs())
+                .unwrap_or(std::cmp::Ordering::Equal)
         });
         entries.truncate(k);
         entries.sort_unstable_by_key(|e| e.0);
@@ -188,7 +220,7 @@ fn truncate_topk(
 /// let mut buf = vec![1.0, 2.0];
 /// comm.all_reduce(&mut buf, ReduceOp::Sum)?;
 /// assert_eq!(buf, vec![1.0, 2.0]);
-/// # Ok::<(), acp_collectives::CollectiveError>(())
+/// # Ok::<(), acp_collectives::CommError>(())
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct LocalCommunicator {
@@ -211,26 +243,29 @@ impl Communicator for LocalCommunicator {
         1
     }
 
-    fn all_reduce(&mut self, _buf: &mut [f32], _op: ReduceOp) -> Result<(), CollectiveError> {
+    fn all_reduce(&mut self, _buf: &mut [f32], _op: ReduceOp) -> Result<(), CommError> {
         Ok(())
     }
 
-    fn all_gather_f32(&mut self, send: &[f32]) -> Result<Vec<f32>, CollectiveError> {
+    fn all_gather_f32(&mut self, send: &[f32]) -> Result<Vec<f32>, CommError> {
         Ok(send.to_vec())
     }
 
-    fn all_gather_u32(&mut self, send: &[u32]) -> Result<Vec<u32>, CollectiveError> {
+    fn all_gather_u32(&mut self, send: &[u32]) -> Result<Vec<u32>, CommError> {
         Ok(send.to_vec())
     }
 
-    fn broadcast(&mut self, _buf: &mut [f32], root: usize) -> Result<(), CollectiveError> {
+    fn broadcast(&mut self, _buf: &mut [f32], root: usize) -> Result<(), CommError> {
         if root != 0 {
-            return Err(CollectiveError::InvalidRoot { root, world_size: 1 });
+            return Err(CommError::InvalidRoot {
+                root,
+                world_size: 1,
+            });
         }
         Ok(())
     }
 
-    fn barrier(&mut self) -> Result<(), CollectiveError> {
+    fn barrier(&mut self) -> Result<(), CommError> {
         Ok(())
     }
 
@@ -271,7 +306,6 @@ const RECV_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(30);
 /// all-reduce), recursive doubling (latency-optimal), and sparse
 /// collectives. All collectives are SPMD: every rank of the group must
 /// call the same sequence of operations.
-#[derive(Debug)]
 pub struct ThreadCommunicator {
     rank: usize,
     world_size: usize,
@@ -282,29 +316,87 @@ pub struct ThreadCommunicator {
     /// Out-of-order messages buffered per source rank.
     pending: Vec<std::collections::VecDeque<RingMsg>>,
     bytes_sent: u64,
+    /// Telemetry sink; [`acp_telemetry::NoopRecorder`] unless attached via
+    /// [`Communicator::set_recorder`].
+    recorder: RecorderHandle,
+}
+
+impl fmt::Debug for ThreadCommunicator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ThreadCommunicator")
+            .field("rank", &self.rank)
+            .field("world_size", &self.world_size)
+            .field("bytes_sent", &self.bytes_sent)
+            .finish_non_exhaustive()
+    }
 }
 
 impl ThreadCommunicator {
-    fn send_to(&mut self, dest: usize, msg: RingMsg) -> Result<(), CollectiveError> {
-        self.bytes_sent += msg.payload_bytes();
+    fn send_to(&mut self, dest: usize, msg: RingMsg) -> Result<(), CommError> {
+        if dest >= self.peers.len() {
+            return Err(CommError::InvalidRank {
+                rank: dest,
+                world_size: self.world_size,
+            });
+        }
+        let bytes = msg.payload_bytes();
+        self.bytes_sent += bytes;
+        if self.recorder.enabled() {
+            self.recorder.add(keys::COMM_BYTES_SENT, bytes);
+        }
         self.peers[dest]
             .send((self.rank, msg))
-            .map_err(|_| CollectiveError::PeerDisconnected)
+            .map_err(|_| CommError::PeerDisconnected)
     }
 
-    fn recv_from(&mut self, src: usize) -> Result<RingMsg, CollectiveError> {
+    fn recv_from(&mut self, src: usize) -> Result<RingMsg, CommError> {
+        if src >= self.pending.len() {
+            return Err(CommError::InvalidRank {
+                rank: src,
+                world_size: self.world_size,
+            });
+        }
         if let Some(msg) = self.pending[src].pop_front() {
             return Ok(msg);
         }
         loop {
             match self.inbox.recv_timeout(RECV_TIMEOUT) {
-                Ok((from, msg)) if from == src => return Ok(msg),
-                Ok((from, msg)) => self.pending[from].push_back(msg),
+                Ok((from, msg)) => {
+                    // Count at inbox receipt so buffered out-of-order
+                    // messages are still counted exactly once.
+                    if self.recorder.enabled() {
+                        self.recorder
+                            .add(keys::COMM_BYTES_RECV, msg.payload_bytes());
+                    }
+                    if from == src {
+                        return Ok(msg);
+                    }
+                    self.pending[from].push_back(msg);
+                }
                 Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {
-                    return Err(CollectiveError::PeerDisconnected)
+                    return Err(CommError::PeerDisconnected)
                 }
             }
         }
+    }
+
+    /// Emits per-collective telemetry: one [`keys::COMM_CALLS`] tick, a
+    /// latency observation under `key`, and a span on this rank's track.
+    fn record_collective(&self, name: &'static str, key: &str, start_us: u64) {
+        if !self.recorder.enabled() {
+            return;
+        }
+        let end_us = self.recorder.now_us();
+        self.recorder.add(keys::COMM_CALLS, 1);
+        self.recorder
+            .observe(key, end_us.saturating_sub(start_us) as f64);
+        self.recorder.span(Span {
+            name,
+            cat: keys::CAT_COMM,
+            track: self.rank as u64,
+            start_us,
+            end_us,
+        });
     }
 
     fn next_rank(&self) -> usize {
@@ -315,38 +407,40 @@ impl ThreadCommunicator {
         (self.rank + self.world_size - 1) % self.world_size
     }
 
-    fn send(&mut self, msg: RingMsg) -> Result<(), CollectiveError> {
+    fn send(&mut self, msg: RingMsg) -> Result<(), CommError> {
         let next = self.next_rank();
         self.send_to(next, msg)
     }
 
-    fn recv(&mut self) -> Result<RingMsg, CollectiveError> {
+    fn recv(&mut self) -> Result<RingMsg, CommError> {
         let prev = self.prev_rank();
         self.recv_from(prev)
     }
 
-    fn expect_f32(msg: RingMsg, expected: usize) -> Result<Vec<f32>, CollectiveError> {
+    fn expect_f32(msg: RingMsg, expected: usize) -> Result<Vec<f32>, CommError> {
         match msg {
             RingMsg::F32(v) if v.len() == expected => Ok(v),
-            RingMsg::F32(v) => {
-                Err(CollectiveError::LengthMismatch { expected, actual: v.len() })
-            }
-            _ => Err(CollectiveError::ProtocolMismatch),
+            RingMsg::F32(v) => Err(CommError::LengthMismatch {
+                expected,
+                actual: v.len(),
+            }),
+            _ => Err(CommError::ProtocolMismatch),
         }
     }
 
-    fn recv_f32(&mut self, expected: usize) -> Result<Vec<f32>, CollectiveError> {
+    fn recv_f32(&mut self, expected: usize) -> Result<Vec<f32>, CommError> {
         let msg = self.recv()?;
         Self::expect_f32(msg, expected)
     }
 
-    fn recv_u32(&mut self, expected: usize) -> Result<Vec<u32>, CollectiveError> {
+    fn recv_u32(&mut self, expected: usize) -> Result<Vec<u32>, CommError> {
         match self.recv()? {
             RingMsg::U32(v) if v.len() == expected => Ok(v),
-            RingMsg::U32(v) => {
-                Err(CollectiveError::LengthMismatch { expected, actual: v.len() })
-            }
-            _ => Err(CollectiveError::ProtocolMismatch),
+            RingMsg::U32(v) => Err(CommError::LengthMismatch {
+                expected,
+                actual: v.len(),
+            }),
+            _ => Err(CommError::ProtocolMismatch),
         }
     }
 
@@ -358,11 +452,7 @@ impl ThreadCommunicator {
     /// # Errors
     ///
     /// Returns an error on disconnect or mismatched lengths.
-    pub fn send_recv_f32(
-        &mut self,
-        peer: usize,
-        send: &[f32],
-    ) -> Result<Vec<f32>, CollectiveError> {
+    pub fn send_recv_f32(&mut self, peer: usize, send: &[f32]) -> Result<Vec<f32>, CommError> {
         self.send_to(peer, RingMsg::F32(send.to_vec()))?;
         let msg = self.recv_from(peer)?;
         Self::expect_f32(msg, send.len())
@@ -383,7 +473,18 @@ impl ThreadCommunicator {
         &mut self,
         buf: &mut [f32],
         op: ReduceOp,
-    ) -> Result<(), CollectiveError> {
+    ) -> Result<(), CommError> {
+        let start_us = self.recorder.now_us();
+        let result = self.all_reduce_recursive_doubling_impl(buf, op);
+        self.record_collective("all_reduce_rd", keys::COMM_ALL_REDUCE_US, start_us);
+        result
+    }
+
+    fn all_reduce_recursive_doubling_impl(
+        &mut self,
+        buf: &mut [f32],
+        op: ReduceOp,
+    ) -> Result<(), CommError> {
         let p = self.world_size;
         if p == 1 {
             return Ok(());
@@ -448,18 +549,8 @@ impl ThreadCommunicator {
         let end = (chunk + 1) * len / p;
         start..end
     }
-}
 
-impl Communicator for ThreadCommunicator {
-    fn rank(&self) -> usize {
-        self.rank
-    }
-
-    fn world_size(&self) -> usize {
-        self.world_size
-    }
-
-    fn all_reduce(&mut self, buf: &mut [f32], op: ReduceOp) -> Result<(), CollectiveError> {
+    fn all_reduce_ring(&mut self, buf: &mut [f32], op: ReduceOp) -> Result<(), CommError> {
         let p = self.world_size;
         if p == 1 {
             return Ok(());
@@ -510,7 +601,7 @@ impl Communicator for ThreadCommunicator {
         Ok(())
     }
 
-    fn all_gather_f32(&mut self, send: &[f32]) -> Result<Vec<f32>, CollectiveError> {
+    fn all_gather_f32_impl(&mut self, send: &[f32]) -> Result<Vec<f32>, CommError> {
         let p = self.world_size;
         let k = send.len();
         let r = self.rank;
@@ -527,7 +618,7 @@ impl Communicator for ThreadCommunicator {
         Ok(out)
     }
 
-    fn all_gather_u32(&mut self, send: &[u32]) -> Result<Vec<u32>, CollectiveError> {
+    fn all_gather_u32_impl(&mut self, send: &[u32]) -> Result<Vec<u32>, CommError> {
         let p = self.world_size;
         let k = send.len();
         let r = self.rank;
@@ -544,10 +635,13 @@ impl Communicator for ThreadCommunicator {
         Ok(out)
     }
 
-    fn broadcast(&mut self, buf: &mut [f32], root: usize) -> Result<(), CollectiveError> {
+    fn broadcast_impl(&mut self, buf: &mut [f32], root: usize) -> Result<(), CommError> {
         let p = self.world_size;
         if root >= p {
-            return Err(CollectiveError::InvalidRoot { root, world_size: p });
+            return Err(CommError::InvalidRoot {
+                root,
+                world_size: p,
+            });
         }
         if p == 1 {
             return Ok(());
@@ -567,7 +661,7 @@ impl Communicator for ThreadCommunicator {
         Ok(())
     }
 
-    fn barrier(&mut self) -> Result<(), CollectiveError> {
+    fn barrier_impl(&mut self) -> Result<(), CommError> {
         let p = self.world_size;
         if p == 1 {
             return Ok(());
@@ -579,12 +673,12 @@ impl Communicator for ThreadCommunicator {
                 self.send(RingMsg::Token)?;
                 match self.recv()? {
                     RingMsg::Token => {}
-                    _ => return Err(CollectiveError::ProtocolMismatch),
+                    _ => return Err(CommError::ProtocolMismatch),
                 }
             } else {
                 match self.recv()? {
                     RingMsg::Token => {}
-                    _ => return Err(CollectiveError::ProtocolMismatch),
+                    _ => return Err(CommError::ProtocolMismatch),
                 }
                 self.send(RingMsg::Token)?;
             }
@@ -592,18 +686,14 @@ impl Communicator for ThreadCommunicator {
         Ok(())
     }
 
-    fn bytes_sent(&self) -> u64 {
-        self.bytes_sent
-    }
-
-    fn global_topk(
+    fn global_topk_impl(
         &mut self,
         indices: &[u32],
         values: &[f32],
         k: usize,
-    ) -> Result<(Vec<u32>, Vec<f32>), CollectiveError> {
+    ) -> Result<(Vec<u32>, Vec<f32>), CommError> {
         if indices.len() != values.len() {
-            return Err(CollectiveError::LengthMismatch {
+            return Err(CommError::LengthMismatch {
                 expected: indices.len(),
                 actual: values.len(),
             });
@@ -629,17 +719,16 @@ impl Communicator for ThreadCommunicator {
         };
         let rem = p - pow2;
         let r = self.rank;
-        let merge = |map: &mut std::collections::BTreeMap<u32, f32>,
-                     idx: Vec<u32>,
-                     val: Vec<f32>| {
-            for (i, v) in idx.into_iter().zip(val) {
-                *map.entry(i).or_insert(0.0) += v;
-            }
-        };
-        let recv_sparse = |msg: RingMsg| -> Result<(Vec<u32>, Vec<f32>), CollectiveError> {
+        let merge =
+            |map: &mut std::collections::BTreeMap<u32, f32>, idx: Vec<u32>, val: Vec<f32>| {
+                for (i, v) in idx.into_iter().zip(val) {
+                    *map.entry(i).or_insert(0.0) += v;
+                }
+            };
+        let recv_sparse = |msg: RingMsg| -> Result<(Vec<u32>, Vec<f32>), CommError> {
             match msg {
                 RingMsg::Sparse(i, v) => Ok((i, v)),
-                _ => Err(CollectiveError::ProtocolMismatch),
+                _ => Err(CommError::ProtocolMismatch),
             }
         };
         if r >= pow2 {
@@ -678,6 +767,70 @@ impl Communicator for ThreadCommunicator {
     }
 }
 
+impl Communicator for ThreadCommunicator {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn world_size(&self) -> usize {
+        self.world_size
+    }
+
+    fn all_reduce(&mut self, buf: &mut [f32], op: ReduceOp) -> Result<(), CommError> {
+        let start_us = self.recorder.now_us();
+        let result = self.all_reduce_ring(buf, op);
+        self.record_collective("all_reduce", keys::COMM_ALL_REDUCE_US, start_us);
+        result
+    }
+
+    fn all_gather_f32(&mut self, send: &[f32]) -> Result<Vec<f32>, CommError> {
+        let start_us = self.recorder.now_us();
+        let result = self.all_gather_f32_impl(send);
+        self.record_collective("all_gather_f32", keys::COMM_ALL_GATHER_US, start_us);
+        result
+    }
+
+    fn all_gather_u32(&mut self, send: &[u32]) -> Result<Vec<u32>, CommError> {
+        let start_us = self.recorder.now_us();
+        let result = self.all_gather_u32_impl(send);
+        self.record_collective("all_gather_u32", keys::COMM_ALL_GATHER_US, start_us);
+        result
+    }
+
+    fn broadcast(&mut self, buf: &mut [f32], root: usize) -> Result<(), CommError> {
+        let start_us = self.recorder.now_us();
+        let result = self.broadcast_impl(buf, root);
+        self.record_collective("broadcast", keys::COMM_BROADCAST_US, start_us);
+        result
+    }
+
+    fn barrier(&mut self) -> Result<(), CommError> {
+        // Untimed: barriers move no payload, and timing them would skew the
+        // communication series with pure synchronization waits.
+        self.barrier_impl()
+    }
+
+    fn bytes_sent(&self) -> u64 {
+        self.bytes_sent
+    }
+
+    fn set_recorder(&mut self, recorder: RecorderHandle) {
+        self.recorder = recorder;
+    }
+
+    fn global_topk(
+        &mut self,
+        indices: &[u32],
+        values: &[f32],
+        k: usize,
+    ) -> Result<(Vec<u32>, Vec<f32>), CommError> {
+        let start_us = self.recorder.now_us();
+        let result = self.global_topk_impl(indices, values, k);
+        self.record_collective("global_topk", keys::COMM_GLOBAL_TOPK_US, start_us);
+        result
+    }
+}
+
 /// Factory for ring communicator groups backed by worker threads.
 #[derive(Debug)]
 pub struct ThreadGroup {
@@ -691,6 +844,7 @@ impl ThreadGroup {
     /// # Panics
     ///
     /// Panics if `world_size == 0`.
+    #[allow(clippy::new_ret_no_self)] // constructs the whole group, not a ThreadGroup value
     pub fn new(world_size: usize) -> Vec<ThreadCommunicator> {
         assert!(world_size > 0, "world_size must be positive");
         let mut inboxes = Vec::with_capacity(world_size);
@@ -708,8 +862,11 @@ impl ThreadGroup {
                 world_size,
                 peers: senders.clone(),
                 inbox,
-                pending: (0..world_size).map(|_| std::collections::VecDeque::new()).collect(),
+                pending: (0..world_size)
+                    .map(|_| std::collections::VecDeque::new())
+                    .collect(),
                 bytes_sent: 0,
+                recorder: noop(),
             })
             .collect()
     }
@@ -719,12 +876,37 @@ impl ThreadGroup {
     ///
     /// # Panics
     ///
-    /// Panics if any worker panics, or if `world_size == 0`.
+    /// Panics if any worker panics, or if `world_size == 0`. Use
+    /// [`ThreadGroup::try_run`] to observe worker failures as errors.
     pub fn run<T, F>(world_size: usize, f: F) -> Vec<T>
     where
         T: Send,
         F: Fn(ThreadCommunicator) -> T + Sync,
     {
+        ThreadGroup::try_run(world_size, f).expect("worker thread panicked")
+    }
+
+    /// [`ThreadGroup::run`] without the panic: a panicking worker surfaces
+    /// as [`CommError::WorkerPanicked`] instead of propagating.
+    ///
+    /// The remaining workers still run to completion (a dead peer shows up
+    /// on their collective paths as [`CommError::PeerDisconnected`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CommError::WorkerPanicked`] if any worker thread panicked,
+    /// and [`CommError::InvalidRank`] if `world_size == 0`.
+    pub fn try_run<T, F>(world_size: usize, f: F) -> Result<Vec<T>, CommError>
+    where
+        T: Send,
+        F: Fn(ThreadCommunicator) -> T + Sync,
+    {
+        if world_size == 0 {
+            return Err(CommError::InvalidRank {
+                rank: 0,
+                world_size: 0,
+            });
+        }
         let comms = ThreadGroup::new(world_size);
         std::thread::scope(|scope| {
             let handles: Vec<_> = comms
@@ -733,7 +915,7 @@ impl ThreadGroup {
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("worker thread panicked"))
+                .map(|h| h.join().map_err(|_| CommError::WorkerPanicked))
                 .collect()
         })
     }
@@ -883,7 +1065,13 @@ mod tests {
             comm.broadcast(&mut buf, 5)
         });
         for r in results {
-            assert_eq!(r, Err(CollectiveError::InvalidRoot { root: 5, world_size: 2 }));
+            assert_eq!(
+                r,
+                Err(CommError::InvalidRoot {
+                    root: 5,
+                    world_size: 2
+                })
+            );
         }
     }
 
@@ -939,10 +1127,9 @@ mod tests {
             let mut buf = vec![0.0f32; if comm.rank() == 0 { 10 } else { 12 }];
             comm.all_reduce(&mut buf, ReduceOp::Sum)
         });
-        assert!(results.iter().any(|r| matches!(
-            r,
-            Err(CollectiveError::LengthMismatch { .. })
-        )));
+        assert!(results
+            .iter()
+            .any(|r| matches!(r, Err(CommError::LengthMismatch { .. }))));
     }
 
     #[test]
@@ -979,7 +1166,8 @@ mod tests {
                 let expected = reference_reduce(&inputs, ReduceOp::Sum);
                 let results = ThreadGroup::run(p, |mut comm| {
                     let mut buf = inputs[comm.rank()].clone();
-                    comm.all_reduce_recursive_doubling(&mut buf, ReduceOp::Sum).unwrap();
+                    comm.all_reduce_recursive_doubling(&mut buf, ReduceOp::Sum)
+                        .unwrap();
                     buf
                 });
                 for buf in results {
@@ -996,7 +1184,8 @@ mod tests {
         let p = 6;
         let results = ThreadGroup::run(p, |mut comm| {
             let mut buf = vec![comm.rank() as f32; 4];
-            comm.all_reduce_recursive_doubling(&mut buf, ReduceOp::Mean).unwrap();
+            comm.all_reduce_recursive_doubling(&mut buf, ReduceOp::Mean)
+                .unwrap();
             buf
         });
         for buf in results {
@@ -1031,8 +1220,7 @@ mod tests {
             let contributions: Vec<(Vec<u32>, Vec<f32>)> = (0..p)
                 .map(|r| {
                     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(r as u64 + 99);
-                    let mut idx: Vec<u32> =
-                        (0..8).map(|_| rng.gen_range(0..40u32)).collect();
+                    let mut idx: Vec<u32> = (0..8).map(|_| rng.gen_range(0..40u32)).collect();
                     idx.sort_unstable();
                     idx.dedup();
                     let val = idx.iter().map(|_| rng.gen_range(-3.0f32..3.0)).collect();
@@ -1053,9 +1241,7 @@ mod tests {
     #[test]
     fn local_communicator_global_topk_truncates() {
         let mut comm = LocalCommunicator::new();
-        let (idx, val) = comm
-            .global_topk(&[3, 9, 1], &[1.0, -5.0, 0.5], 2)
-            .unwrap();
+        let (idx, val) = comm.global_topk(&[3, 9, 1], &[1.0, -5.0, 0.5], 2).unwrap();
         assert_eq!(idx, vec![3, 9]);
         assert_eq!(val, vec![1.0, -5.0]);
     }

@@ -45,7 +45,11 @@ pub struct AlphaBetaCost {
 impl AlphaBetaCost {
     /// Creates a cost model from bandwidth in Gb/s and latencies in seconds.
     pub fn from_bandwidth_gbps(gbps: f64, alpha: f64, launch: f64) -> Self {
-        AlphaBetaCost { alpha, beta: 8.0 / (gbps * 1e9), launch }
+        AlphaBetaCost {
+            alpha,
+            beta: 8.0 / (gbps * 1e9),
+            launch,
+        }
     }
 }
 
@@ -120,7 +124,10 @@ impl ClusterCost {
     /// Panics if `workers == 0`.
     pub fn new(workers: usize, tier: NetworkTier) -> Self {
         assert!(workers > 0, "cluster must have at least one worker");
-        ClusterCost { workers, cost: tier.cost() }
+        ClusterCost {
+            workers,
+            cost: tier.cost(),
+        }
     }
 
     /// Creates a cost model with explicit α–β parameters.
@@ -240,7 +247,10 @@ mod tests {
         let c = cluster32();
         assert!(c.all_reduce_time(2 * MB) > c.all_reduce_time(MB));
         assert!(c.all_reduce_time(MB) > c.all_reduce_time(0));
-        assert!(c.all_reduce_time(0) > 0.0, "zero payload still pays startup");
+        assert!(
+            c.all_reduce_time(0) > 0.0,
+            "zero payload still pays startup"
+        );
     }
 
     #[test]
@@ -253,7 +263,10 @@ mod tests {
         assert!(one_big < two_small);
         // And in the right ballpark of the paper's quote (2.0 ms / 1.2 ms):
         // within 3x.
-        assert!(two_small > 0.6e-3 && two_small < 6e-3, "two small: {two_small}");
+        assert!(
+            two_small > 0.6e-3 && two_small < 6e-3,
+            "two small: {two_small}"
+        );
         assert!(one_big > 0.3e-3 && one_big < 3.6e-3, "one big: {one_big}");
     }
 
@@ -263,8 +276,7 @@ mod tests {
         // fused 169 ms (97.5 MB, ~161 tensors, 4 fused buffers).
         let c = cluster32();
         let total_bytes = (97.5 * MB as f64) as usize;
-        let unfused: f64 =
-            (0..161).map(|_| c.all_reduce_time(total_bytes / 161)).sum();
+        let unfused: f64 = (0..161).map(|_| c.all_reduce_time(total_bytes / 161)).sum();
         let fused: f64 = (0..4).map(|_| c.all_reduce_time(total_bytes / 4)).sum();
         assert!((unfused - 0.243).abs() < 0.06, "unfused = {unfused}");
         assert!((fused - 0.169).abs() < 0.04, "fused = {fused}");

@@ -41,7 +41,9 @@
 pub mod communicator;
 pub mod cost;
 
+#[allow(deprecated)]
+pub use communicator::CollectiveError;
 pub use communicator::{
-    CollectiveError, Communicator, LocalCommunicator, ReduceOp, ThreadCommunicator, ThreadGroup,
+    CommError, Communicator, LocalCommunicator, ReduceOp, ThreadCommunicator, ThreadGroup,
 };
 pub use cost::{AlphaBetaCost, ClusterCost, NetworkTier};

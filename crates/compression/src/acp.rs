@@ -129,7 +129,18 @@ impl AcpSgd {
         let p = Matrix::random_std_normal(n, rank, cfg.seed ^ P_SEED_SALT);
         let q = Matrix::random_std_normal(m, rank, cfg.seed);
         let error = cfg.error_feedback.then(|| Matrix::zeros(n, m));
-        AcpSgd { n, m, rank, cfg, p, q, error, step: 0, query: None, mid_step: false }
+        AcpSgd {
+            n,
+            m,
+            rank,
+            cfg,
+            p,
+            q,
+            error,
+            step: 0,
+            query: None,
+            mid_step: false,
+        }
     }
 
     /// Effective rank (requested rank clamped to the matrix dimensions).
@@ -165,7 +176,10 @@ impl AcpSgd {
     /// Panics if the gradient shape differs from construction or
     /// [`AcpSgd::finish`] for the previous step was skipped.
     pub fn compress(&mut self, grad: &Matrix) -> Matrix {
-        assert!(!self.mid_step, "compress called before finishing the previous step");
+        assert!(
+            !self.mid_step,
+            "compress called before finishing the previous step"
+        );
         assert_eq!(
             (grad.rows(), grad.cols()),
             (self.n, self.m),
@@ -273,7 +287,11 @@ impl AcpSgd {
         let matmul = 2 * n * m * r;
         // The orthogonalized side alternates: amortized (n+m)/2 rows.
         let ortho = (n + m) * r * r;
-        let ef = if self.cfg.error_feedback { 2 * n * m * r } else { 0 };
+        let ef = if self.cfg.error_feedback {
+            2 * n * m * r
+        } else {
+            0
+        };
         matmul + ortho + ef
     }
 
@@ -306,7 +324,14 @@ mod tests {
     #[test]
     fn alternates_p_and_q() {
         let grad = Matrix::random_std_normal(10, 7, 1);
-        let mut acp = AcpSgd::new(10, 7, AcpSgdConfig { rank: 3, ..Default::default() });
+        let mut acp = AcpSgd::new(
+            10,
+            7,
+            AcpSgdConfig {
+                rank: 3,
+                ..Default::default()
+            },
+        );
         assert_eq!(acp.next_side(), FactorSide::P);
         let f1 = acp.compress(&grad);
         assert_eq!((f1.rows(), f1.cols()), (10, 3));
@@ -325,7 +350,11 @@ mod tests {
         // (EF off: error feedback trades per-step fidelity for cumulative
         // fidelity, which error_feedback_identity_holds verifies.)
         let truth = low_rank_matrix(20, 15, 2, 5);
-        let cfg = AcpSgdConfig { rank: 2, error_feedback: false, ..Default::default() };
+        let cfg = AcpSgdConfig {
+            rank: 2,
+            error_feedback: false,
+            ..Default::default()
+        };
         let mut acp = AcpSgd::new(20, 15, cfg);
         let mut approx = Matrix::zeros(20, 15);
         for _ in 0..6 {
@@ -340,7 +369,14 @@ mod tests {
         // With EF the per-step approximation also improves over time (the
         // residual mass is re-injected and progressively transmitted).
         let truth = low_rank_matrix(20, 15, 2, 5);
-        let mut acp = AcpSgd::new(20, 15, AcpSgdConfig { rank: 2, ..Default::default() });
+        let mut acp = AcpSgd::new(
+            20,
+            15,
+            AcpSgdConfig {
+                rank: 2,
+                ..Default::default()
+            },
+        );
         let mut early = 0.0;
         let mut late = 0.0;
         for step in 0..40 {
@@ -353,14 +389,24 @@ mod tests {
                 late = err;
             }
         }
-        assert!(late < early, "late error {late} should beat early error {early}");
+        assert!(
+            late < early,
+            "late error {late} should beat early error {early}"
+        );
     }
 
     #[test]
     fn error_feedback_identity_holds() {
         // M + E_{t-1} = M̂_t + E_t exactly on a single worker.
         let grad = Matrix::random_std_normal(12, 9, 8);
-        let mut acp = AcpSgd::new(12, 9, AcpSgdConfig { rank: 2, ..Default::default() });
+        let mut acp = AcpSgd::new(
+            12,
+            9,
+            AcpSgdConfig {
+                rank: 2,
+                ..Default::default()
+            },
+        );
         let mut prev_err = Matrix::zeros(12, 9);
         for _ in 0..5 {
             let before = &grad + &prev_err;
@@ -382,14 +428,28 @@ mod tests {
         use crate::powersgd::{PowerSgd, PowerSgdConfig};
         let truth = Matrix::random_std_normal(30, 20, 3);
         let k = 4;
-        let mut ps = PowerSgd::new(30, 20, PowerSgdConfig { rank: 4, ..Default::default() });
+        let mut ps = PowerSgd::new(
+            30,
+            20,
+            PowerSgdConfig {
+                rank: 4,
+                ..Default::default()
+            },
+        );
         let mut ps_approx = Matrix::zeros(30, 20);
         for _ in 0..k {
             let p = ps.compute_p(&truth);
             let q = ps.compute_q(p);
             ps_approx = ps.finish(q);
         }
-        let mut acp = AcpSgd::new(30, 20, AcpSgdConfig { rank: 4, ..Default::default() });
+        let mut acp = AcpSgd::new(
+            30,
+            20,
+            AcpSgdConfig {
+                rank: 4,
+                ..Default::default()
+            },
+        );
         let mut acp_approx = Matrix::zeros(30, 20);
         for _ in 0..2 * k {
             acp_approx = single_worker_step(&mut acp, &truth);
@@ -405,8 +465,22 @@ mod tests {
     #[test]
     fn transmitted_elements_halved_vs_powersgd() {
         use crate::powersgd::{PowerSgd, PowerSgdConfig};
-        let acp = AcpSgd::new(100, 60, AcpSgdConfig { rank: 4, ..Default::default() });
-        let ps = PowerSgd::new(100, 60, PowerSgdConfig { rank: 4, ..Default::default() });
+        let acp = AcpSgd::new(
+            100,
+            60,
+            AcpSgdConfig {
+                rank: 4,
+                ..Default::default()
+            },
+        );
+        let ps = PowerSgd::new(
+            100,
+            60,
+            PowerSgdConfig {
+                rank: 4,
+                ..Default::default()
+            },
+        );
         // P step: 400 vs Power-SGD's 640 per step; amortized over P+Q steps
         // ACP transmits (100+60)*4/2 = 320 = half of 640.
         assert_eq!(acp.transmitted_elements(), 400);
@@ -416,8 +490,22 @@ mod tests {
     #[test]
     fn compress_flops_about_half_of_powersgd() {
         use crate::powersgd::{PowerSgd, PowerSgdConfig};
-        let acp = AcpSgd::new(512, 512, AcpSgdConfig { rank: 16, ..Default::default() });
-        let ps = PowerSgd::new(512, 512, PowerSgdConfig { rank: 16, ..Default::default() });
+        let acp = AcpSgd::new(
+            512,
+            512,
+            AcpSgdConfig {
+                rank: 16,
+                ..Default::default()
+            },
+        );
+        let ps = PowerSgd::new(
+            512,
+            512,
+            PowerSgdConfig {
+                rank: 16,
+                ..Default::default()
+            },
+        );
         let ratio = ps.compress_flops() as f64 / acp.compress_flops() as f64;
         assert!((1.3..=1.7).contains(&ratio), "flops ratio {ratio}");
     }
@@ -432,7 +520,14 @@ mod tests {
 
     #[test]
     fn rank_clamps_to_dimensions() {
-        let acp = AcpSgd::new(3, 5, AcpSgdConfig { rank: 64, ..Default::default() });
+        let acp = AcpSgd::new(
+            3,
+            5,
+            AcpSgdConfig {
+                rank: 64,
+                ..Default::default()
+            },
+        );
         assert_eq!(acp.rank(), 3);
     }
 

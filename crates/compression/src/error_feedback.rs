@@ -46,7 +46,10 @@ pub struct ErrorFeedback<C> {
 impl<C: Compressor> ErrorFeedback<C> {
     /// Wraps `inner` with a fresh (zero) residual.
     pub fn new(inner: C) -> Self {
-        ErrorFeedback { inner, residual: Vec::new() }
+        ErrorFeedback {
+            inner,
+            residual: Vec::new(),
+        }
     }
 
     /// Borrows the wrapped compressor.
@@ -80,8 +83,11 @@ impl<C: Compressor> Compressor for ErrorFeedback<C> {
             self.residual = vec![0.0; grad.len()];
         }
         // g' = g + e
-        let corrected: Vec<f32> =
-            grad.iter().zip(&self.residual).map(|(g, e)| g + e).collect();
+        let corrected: Vec<f32> = grad
+            .iter()
+            .zip(&self.residual)
+            .map(|(g, e)| g + e)
+            .collect();
         let payload = self.inner.compress(&corrected);
         // e <- g' - decompress(c)
         let mut approx = vec![0.0; grad.len()];
@@ -127,7 +133,10 @@ mod tests {
                 }
             }
         }
-        assert!(transmitted_small, "EF never let the small coordinate through");
+        assert!(
+            transmitted_small,
+            "EF never let the small coordinate through"
+        );
     }
 
     #[test]
@@ -164,8 +173,7 @@ mod tests {
             }
         }
         // true_sum = sent_sum + residual
-        let residual: Vec<f32> =
-            true_sum.iter().zip(&sent_sum).map(|(t, s)| t - s).collect();
+        let residual: Vec<f32> = true_sum.iter().zip(&sent_sum).map(|(t, s)| t - s).collect();
         let res_norm: f32 = residual.iter().map(|v| v * v).sum::<f32>().sqrt();
         assert!((res_norm - ef.residual_norm()).abs() < 1e-5);
     }

@@ -72,13 +72,22 @@ impl Payload {
         match self {
             Payload::Dense(v) => 4 * v.len(),
             Payload::Signs { words, .. } => 4 * words.len() + 8,
-            Payload::Sparse { indices, values, .. } => 4 * indices.len() + 4 * values.len() + 4,
-            Payload::Quantized { levels, num_levels, .. } => {
+            Payload::Sparse {
+                indices, values, ..
+            } => 4 * indices.len() + 4 * values.len() + 4,
+            Payload::Quantized {
+                levels, num_levels, ..
+            } => {
                 // Levels need ceil(log2(2s+1)) bits each.
                 let bits = bits_per_level(*num_levels);
                 (levels.len() * bits).div_ceil(8) + 8
             }
-            Payload::QuantizedBuckets { levels, num_levels, scales, .. } => {
+            Payload::QuantizedBuckets {
+                levels,
+                num_levels,
+                scales,
+                ..
+            } => {
                 let bits = bits_per_level(*num_levels);
                 (levels.len() * bits).div_ceil(8) + 4 * scales.len() + 8
             }
@@ -122,7 +131,11 @@ mod tests {
 
     #[test]
     fn signs_pack_32_to_1() {
-        let p = Payload::Signs { words: vec![0; 32], len: 1024, scale: 1.0 };
+        let p = Payload::Signs {
+            words: vec![0; 32],
+            len: 1024,
+            scale: 1.0,
+        };
         assert_eq!(p.dense_len(), 1024);
         // 1024 floats = 4096 bytes -> 128 bytes + 8 header.
         assert_eq!(p.wire_bytes(), 136);
@@ -131,7 +144,11 @@ mod tests {
 
     #[test]
     fn sparse_counts_both_arrays() {
-        let p = Payload::Sparse { indices: vec![0; 5], values: vec![0.0; 5], len: 5000 };
+        let p = Payload::Sparse {
+            indices: vec![0; 5],
+            values: vec![0.0; 5],
+            len: 5000,
+        };
         assert_eq!(p.wire_bytes(), 44);
         // 5000*4 / 44 ≈ 454x.
         assert!(p.compression_ratio() > 400.0);
@@ -145,13 +162,21 @@ mod tests {
         assert_eq!(bits_per_level(4), 4);
         // s=127 -> 255 states -> 8 bits.
         assert_eq!(bits_per_level(127), 8);
-        let p = Payload::Quantized { levels: vec![0; 100], num_levels: 1, scale: 1.0 };
+        let p = Payload::Quantized {
+            levels: vec![0; 100],
+            num_levels: 1,
+            scale: 1.0,
+        };
         assert_eq!(p.wire_bytes(), 25 + 8);
     }
 
     #[test]
     fn low_rank_dense_len_is_product() {
-        let p = Payload::LowRank { data: vec![0.0; 8], rows: 100, cols: 4 };
+        let p = Payload::LowRank {
+            data: vec![0.0; 8],
+            rows: 100,
+            cols: 4,
+        };
         assert_eq!(p.dense_len(), 400);
         assert_eq!(p.wire_bytes(), 32);
     }

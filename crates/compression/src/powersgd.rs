@@ -196,7 +196,10 @@ impl PowerSgd {
             "aggregated P has the wrong shape"
         );
         self.cfg.ortho.apply(&mut p_reduced);
-        let corrected = self.corrected.take().expect("corrected gradient cached by compute_p");
+        let corrected = self
+            .corrected
+            .take()
+            .expect("corrected gradient cached by compute_p");
         let q = corrected.matmul_tn(&p_reduced);
         if self.error.is_some() {
             // E ← (M + E) − P̂ Q_localᵀ, with the local (pre-reduce) Q so the
@@ -242,7 +245,11 @@ impl PowerSgd {
         let (n, m, r) = (self.n as u64, self.m as u64, self.rank as u64);
         let matmuls = 2 * 2 * n * m * r;
         let ortho = 2 * n * r * r;
-        let ef = if self.cfg.error_feedback { 2 * n * m * r } else { 0 };
+        let ef = if self.cfg.error_feedback {
+            2 * n * m * r
+        } else {
+            0
+        };
         matmuls + ortho + ef
     }
 
@@ -274,7 +281,14 @@ mod tests {
         // A fixed rank-2 matrix compressed at rank 2 must be recovered to
         // high accuracy once the power iteration converges.
         let truth = low_rank_matrix(20, 15, 2, 5);
-        let mut ps = PowerSgd::new(20, 15, PowerSgdConfig { rank: 2, ..Default::default() });
+        let mut ps = PowerSgd::new(
+            20,
+            15,
+            PowerSgdConfig {
+                rank: 2,
+                ..Default::default()
+            },
+        );
         let mut approx = Matrix::zeros(20, 15);
         for _ in 0..6 {
             approx = single_worker_step(&mut ps, &truth);
@@ -287,7 +301,14 @@ mod tests {
     fn error_feedback_identity_holds() {
         // Single worker: M + E_{t-1} = M̂_t + E_t exactly (per Algorithm 2).
         let grad = Matrix::random_std_normal(12, 9, 8);
-        let mut ps = PowerSgd::new(12, 9, PowerSgdConfig { rank: 2, ..Default::default() });
+        let mut ps = PowerSgd::new(
+            12,
+            9,
+            PowerSgdConfig {
+                rank: 2,
+                ..Default::default()
+            },
+        );
         let mut prev_err = Matrix::zeros(12, 9);
         for _ in 0..4 {
             let before = &grad + &prev_err;
@@ -302,7 +323,11 @@ mod tests {
     #[test]
     fn without_error_feedback_residual_stays_zero() {
         let grad = Matrix::random_std_normal(6, 5, 1);
-        let cfg = PowerSgdConfig { rank: 1, error_feedback: false, ..Default::default() };
+        let cfg = PowerSgdConfig {
+            rank: 1,
+            error_feedback: false,
+            ..Default::default()
+        };
         let mut ps = PowerSgd::new(6, 5, cfg);
         single_worker_step(&mut ps, &grad);
         assert_eq!(ps.error_norm(), 0.0);
@@ -313,7 +338,12 @@ mod tests {
         let truth = low_rank_matrix(24, 18, 3, 77);
         let steps = 5;
         let run = |reuse: bool| {
-            let cfg = PowerSgdConfig { rank: 3, reuse, error_feedback: false, ..Default::default() };
+            let cfg = PowerSgdConfig {
+                rank: 3,
+                reuse,
+                error_feedback: false,
+                ..Default::default()
+            };
             let mut ps = PowerSgd::new(24, 18, cfg);
             let mut last = Matrix::zeros(24, 18);
             for _ in 0..steps {
@@ -331,7 +361,14 @@ mod tests {
 
     #[test]
     fn rank_clamps_to_dimensions() {
-        let ps = PowerSgd::new(3, 5, PowerSgdConfig { rank: 64, ..Default::default() });
+        let ps = PowerSgd::new(
+            3,
+            5,
+            PowerSgdConfig {
+                rank: 64,
+                ..Default::default()
+            },
+        );
         assert_eq!(ps.rank(), 3);
     }
 
@@ -344,7 +381,14 @@ mod tests {
 
     #[test]
     fn transmitted_elements_formula() {
-        let ps = PowerSgd::new(100, 50, PowerSgdConfig { rank: 4, ..Default::default() });
+        let ps = PowerSgd::new(
+            100,
+            50,
+            PowerSgdConfig {
+                rank: 4,
+                ..Default::default()
+            },
+        );
         assert_eq!(ps.transmitted_elements(), 600);
         assert!(ps.compress_flops() > 0);
     }

@@ -60,7 +60,11 @@ impl Qsgd {
         assert!(levels > 0, "levels must be positive");
         assert!(levels <= 127, "levels must fit in i8 magnitude");
         assert!(bucket > 0, "bucket must be positive");
-        Qsgd { levels, bucket, rng: ChaCha8Rng::seed_from_u64(seed) }
+        Qsgd {
+            levels,
+            bucket,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
     }
 
     /// Number of levels per sign `s`.
@@ -109,11 +113,18 @@ impl Compressor for Qsgd {
 
     fn decompress(&self, payload: &Payload, out: &mut [f32]) {
         match payload {
-            Payload::QuantizedBuckets { levels, num_levels, bucket, scales } => {
+            Payload::QuantizedBuckets {
+                levels,
+                num_levels,
+                bucket,
+                scales,
+            } => {
                 assert_eq!(out.len(), levels.len(), "output length mismatch");
                 let s = *num_levels as f32;
-                for ((ochunk, lchunk), &scale) in
-                    out.chunks_mut(*bucket).zip(levels.chunks(*bucket)).zip(scales)
+                for ((ochunk, lchunk), &scale) in out
+                    .chunks_mut(*bucket)
+                    .zip(levels.chunks(*bucket))
+                    .zip(scales)
                 {
                     for (o, &l) in ochunk.iter_mut().zip(lchunk) {
                         *o = l as f32 / s * scale;
@@ -121,7 +132,11 @@ impl Compressor for Qsgd {
                 }
             }
             // Accept the flat variant too (TernGrad shares the alphabet).
-            Payload::Quantized { levels, num_levels, scale } => {
+            Payload::Quantized {
+                levels,
+                num_levels,
+                scale,
+            } => {
                 assert_eq!(out.len(), levels.len(), "output length mismatch");
                 let s = *num_levels as f32;
                 for (o, &l) in out.iter_mut().zip(levels) {
@@ -158,10 +173,7 @@ mod tests {
         }
         for (a, &g) in acc.iter().zip(&grad) {
             let mean = a / trials as f64;
-            assert!(
-                (mean - g as f64).abs() < 0.02,
-                "E[decode] = {mean} vs {g}"
-            );
+            assert!((mean - g as f64).abs() < 0.02, "E[decode] = {mean} vs {g}");
         }
     }
 

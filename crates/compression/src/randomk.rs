@@ -82,12 +82,20 @@ impl Compressor for RandomK {
         let indices = self.coordinates(grad.len(), self.step);
         self.step += 1;
         let values = indices.iter().map(|&i| grad[i as usize]).collect();
-        Payload::Sparse { indices, values, len: grad.len() }
+        Payload::Sparse {
+            indices,
+            values,
+            len: grad.len(),
+        }
     }
 
     fn decompress(&self, payload: &Payload, out: &mut [f32]) {
         match payload {
-            Payload::Sparse { indices, values, len } => {
+            Payload::Sparse {
+                indices,
+                values,
+                len,
+            } => {
                 assert_eq!(out.len(), *len, "output length mismatch");
                 out.fill(0.0);
                 for (&i, &v) in indices.iter().zip(values) {

@@ -113,14 +113,20 @@ mod tests {
     #[test]
     fn low_rank_ratio_pure_matrix() {
         // 1000 x 1000 at rank 4: 1e6 / 8000 = 125x.
-        let shapes = [MatrixShape::Matrix { rows: 1000, cols: 1000 }];
+        let shapes = [MatrixShape::Matrix {
+            rows: 1000,
+            cols: 1000,
+        }];
         assert!((low_rank_ratio(shapes, 4) - 125.0).abs() < 1e-9);
     }
 
     #[test]
     fn vectors_dilute_the_ratio() {
         let shapes = [
-            MatrixShape::Matrix { rows: 1000, cols: 1000 },
+            MatrixShape::Matrix {
+                rows: 1000,
+                cols: 1000,
+            },
             MatrixShape::Vector { len: 100_000 },
         ];
         let r = low_rank_ratio(shapes, 4);

@@ -85,7 +85,11 @@ impl SignSgd {
         out: &mut [f32],
     ) {
         let words_per_rank = len.div_ceil(32);
-        assert_eq!(gathered.len(), words_per_rank * world_size, "gathered length mismatch");
+        assert_eq!(
+            gathered.len(),
+            words_per_rank * world_size,
+            "gathered length mismatch"
+        );
         assert_eq!(scales.len(), world_size, "scales length mismatch");
         assert_eq!(out.len(), len, "output length mismatch");
         let mean_scale = scales.iter().sum::<f32>() / world_size as f32;
@@ -115,7 +119,11 @@ impl Compressor for SignSgd {
         } else {
             1.0
         };
-        Payload::Signs { words: Self::pack(grad), len: grad.len(), scale }
+        Payload::Signs {
+            words: Self::pack(grad),
+            len: grad.len(),
+            scale,
+        }
     }
 
     fn decompress(&self, payload: &Payload, out: &mut [f32]) {
@@ -201,7 +209,9 @@ mod tests {
 
     #[test]
     fn non_multiple_of_32_lengths() {
-        let grad: Vec<f32> = (0..45).map(|i| if i % 3 == 0 { -1.0 } else { 1.0 }).collect();
+        let grad: Vec<f32> = (0..45)
+            .map(|i| if i % 3 == 0 { -1.0 } else { 1.0 })
+            .collect();
         let mut c = SignSgd::plain();
         let rt = c.round_trip(&grad);
         for (i, v) in rt.iter().enumerate() {

@@ -31,7 +31,9 @@ pub struct TernGrad {
 impl TernGrad {
     /// Creates a TernGrad compressor with the given rounding seed.
     pub fn new(seed: u64) -> Self {
-        TernGrad { rng: ChaCha8Rng::seed_from_u64(seed) }
+        TernGrad {
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
     }
 }
 
@@ -45,7 +47,11 @@ impl Compressor for TernGrad {
         let mut levels = Vec::with_capacity(grad.len());
         if max == 0.0 {
             levels.resize(grad.len(), 0i8);
-            return Payload::Quantized { levels, num_levels: 1, scale: 0.0 };
+            return Payload::Quantized {
+                levels,
+                num_levels: 1,
+                scale: 0.0,
+            };
         }
         for &g in grad {
             let keep = self.rng.gen::<f32>() < g.abs() / max;
@@ -57,12 +63,20 @@ impl Compressor for TernGrad {
                 1
             });
         }
-        Payload::Quantized { levels, num_levels: 1, scale: max }
+        Payload::Quantized {
+            levels,
+            num_levels: 1,
+            scale: max,
+        }
     }
 
     fn decompress(&self, payload: &Payload, out: &mut [f32]) {
         match payload {
-            Payload::Quantized { levels, num_levels: 1, scale } => {
+            Payload::Quantized {
+                levels,
+                num_levels: 1,
+                scale,
+            } => {
                 assert_eq!(out.len(), levels.len(), "output length mismatch");
                 for (o, &l) in out.iter_mut().zip(levels) {
                     *o = l as f32 * scale;
@@ -82,7 +96,11 @@ mod tests {
         let mut c = TernGrad::new(3);
         let p = c.compress(&[0.5, -0.9, 0.1, 0.0]);
         match &p {
-            Payload::Quantized { levels, num_levels, scale } => {
+            Payload::Quantized {
+                levels,
+                num_levels,
+                scale,
+            } => {
                 assert_eq!(*num_levels, 1);
                 assert!((*scale - 0.9).abs() < 1e-6);
                 assert!(levels.iter().all(|&l| l == -1 || l == 0 || l == 1));

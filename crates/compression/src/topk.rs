@@ -70,7 +70,11 @@ impl TopK {
     pub fn with_selection(k: usize, selection: TopKSelection, seed: u64) -> Self {
         assert!(k > 0, "k must be positive");
         use rand::SeedableRng;
-        TopK { k, selection, rng: ChaCha8Rng::seed_from_u64(seed) }
+        TopK {
+            k,
+            selection,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
     }
 
     /// The configured number of elements to keep.
@@ -156,12 +160,7 @@ impl TopK {
     /// # Panics
     ///
     /// Panics if array lengths disagree or an index is out of bounds.
-    pub fn scatter_average(
-        indices: &[u32],
-        values: &[f32],
-        world_size: usize,
-        out: &mut [f32],
-    ) {
+    pub fn scatter_average(indices: &[u32], values: &[f32], world_size: usize, out: &mut [f32]) {
         assert_eq!(indices.len(), values.len(), "index/value length mismatch");
         out.fill(0.0);
         let inv = 1.0 / world_size as f32;
@@ -185,12 +184,20 @@ impl Compressor for TopK {
             TopKSelection::Sampled => self.select_sampled(grad),
         };
         let values = indices.iter().map(|&i| grad[i as usize]).collect();
-        Payload::Sparse { indices, values, len: grad.len() }
+        Payload::Sparse {
+            indices,
+            values,
+            len: grad.len(),
+        }
     }
 
     fn decompress(&self, payload: &Payload, out: &mut [f32]) {
         match payload {
-            Payload::Sparse { indices, values, len } => {
+            Payload::Sparse {
+                indices,
+                values,
+                len,
+            } => {
                 assert_eq!(out.len(), *len, "output length mismatch");
                 out.fill(0.0);
                 for (&i, &v) in indices.iter().zip(values) {
@@ -211,7 +218,11 @@ mod tests {
         let mut c = TopK::new(3);
         let p = c.compress(&[1.0, -10.0, 2.0, 0.5, 9.0, -3.0]);
         match &p {
-            Payload::Sparse { indices, values, len } => {
+            Payload::Sparse {
+                indices,
+                values,
+                len,
+            } => {
                 assert_eq!(*len, 6);
                 assert_eq!(indices, &vec![1, 4, 5]);
                 assert_eq!(values, &vec![-10.0, 9.0, -3.0]);
@@ -240,10 +251,9 @@ mod tests {
         let pe = exact.compress(&grad);
         let ps = sampled.compress(&grad);
         let (ne, ns) = match (&pe, &ps) {
-            (
-                Payload::Sparse { values: ve, .. },
-                Payload::Sparse { values: vs, .. },
-            ) => (ve.len(), vs.len()),
+            (Payload::Sparse { values: ve, .. }, Payload::Sparse { values: vs, .. }) => {
+                (ve.len(), vs.len())
+            }
             _ => panic!("wrong payloads"),
         };
         assert_eq!(ne, k);

@@ -3,11 +3,12 @@
 
 use acp_collectives::{Communicator, ReduceOp};
 use acp_compression::acp::{AcpSgd, AcpSgdConfig as AcpCompressionConfig, FactorSide};
+use acp_telemetry::{RecorderCell, RecorderHandle};
 use acp_tensor::{Matrix, MatrixShape};
 
 use crate::error::CoreError;
 use crate::fusion::FlatPacker;
-use crate::optimizer::{check_shapes, DistributedOptimizer, GradViewMut};
+use crate::optimizer::{check_shapes, record_step_metrics, DistributedOptimizer, GradViewMut};
 
 /// Configuration of [`AcpSgdAggregator`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -31,14 +32,57 @@ pub struct AcpSgdConfig {
 
 impl Default for AcpSgdConfig {
     fn default() -> Self {
-        AcpSgdConfig { rank: 4, error_feedback: true, reuse: true, seed: 42, warm_start_steps: 0 }
+        AcpSgdConfig {
+            rank: 4,
+            error_feedback: true,
+            reuse: true,
+            seed: 42,
+            warm_start_steps: 0,
+        }
+    }
+}
+
+impl AcpSgdConfig {
+    /// Sets the factorization rank.
+    pub fn with_rank(mut self, rank: usize) -> Self {
+        self.rank = rank;
+        self
+    }
+
+    /// Enables or disables error feedback.
+    pub fn with_error_feedback(mut self, error_feedback: bool) -> Self {
+        self.error_feedback = error_feedback;
+        self
+    }
+
+    /// Enables or disables query reuse.
+    pub fn with_reuse(mut self, reuse: bool) -> Self {
+        self.reuse = reuse;
+        self
+    }
+
+    /// Sets the base seed for factor initialization.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the number of uncompressed warm-start steps.
+    pub fn with_warm_start_steps(mut self, steps: u64) -> Self {
+        self.warm_start_steps = steps;
+        self
     }
 }
 
 /// Per-tensor compression state.
 #[derive(Debug)]
+#[allow(clippy::large_enum_variant)] // few instances, one per tensor
 enum LrState {
-    Matrix { rows: usize, cols: usize, state: AcpSgd },
+    Matrix {
+        rows: usize,
+        cols: usize,
+        state: AcpSgd,
+    },
     Vector,
 }
 
@@ -61,6 +105,7 @@ pub struct AcpSgdAggregator {
     shapes: Vec<Vec<usize>>,
     packer: FlatPacker,
     steps: u64,
+    recorder: RecorderCell,
 }
 
 impl AcpSgdAggregator {
@@ -73,6 +118,7 @@ impl AcpSgdAggregator {
             shapes: Vec::new(),
             packer: FlatPacker::new(),
             steps: 0,
+            recorder: RecorderCell::default(),
         }
     }
 
@@ -122,7 +168,11 @@ impl AcpSgdAggregator {
                         seed: self.cfg.seed ^ (i as u64).wrapping_mul(0x9E3779B9),
                         ..AcpCompressionConfig::default()
                     };
-                    LrState::Matrix { rows, cols, state: AcpSgd::new(rows, cols, cfg) }
+                    LrState::Matrix {
+                        rows,
+                        cols,
+                        state: AcpSgd::new(rows, cols, cfg),
+                    }
                 }
                 MatrixShape::Vector { .. } => LrState::Vector,
             })
@@ -141,6 +191,9 @@ impl DistributedOptimizer for AcpSgdAggregator {
         comm: &mut dyn Communicator,
     ) -> Result<(), CoreError> {
         check_shapes(&mut self.shapes, grads)?;
+        let enabled = self.recorder.enabled();
+        let step_start = self.recorder.now_us();
+        let dense_bytes: u64 = grads.iter().map(|g| 4 * g.grad.len() as u64).sum();
         if self.in_warm_start() {
             // Exact averaging during warm start (one fused all-reduce, no
             // compression state touched).
@@ -148,10 +201,21 @@ impl DistributedOptimizer for AcpSgdAggregator {
             comm.all_reduce(self.packer.buffer_mut(), ReduceOp::Mean)?;
             self.packer.unpack(grads.iter_mut().map(|g| &mut *g.grad));
             self.steps += 1;
+            if enabled {
+                record_step_metrics(
+                    &*self.recorder,
+                    dense_bytes,
+                    dense_bytes,
+                    0,
+                    step_start,
+                    None,
+                );
+            }
             return Ok(());
         }
         self.init_states(grads);
         // Compress every matrix into this step's factor.
+        let compress_start = self.recorder.now_us();
         let mut factors: Vec<Matrix> = Vec::new();
         for (g, st) in grads.iter().zip(self.states.iter_mut()) {
             if let LrState::Matrix { rows, cols, state } = st {
@@ -160,6 +224,7 @@ impl DistributedOptimizer for AcpSgdAggregator {
                 factors.push(state.compress(&m));
             }
         }
+        let mut compress_us = self.recorder.now_us().saturating_sub(compress_start);
         // One fused mean all-reduce: factors + raw vector gradients.
         {
             let mut slices: Vec<&[f32]> = Vec::new();
@@ -174,6 +239,7 @@ impl DistributedOptimizer for AcpSgdAggregator {
             }
             self.packer.pack(slices);
         }
+        let payload_bytes = 4 * self.packer.buffer_mut().len() as u64;
         comm.all_reduce(self.packer.buffer_mut(), ReduceOp::Mean)?;
         {
             let mut dests: Vec<&mut [f32]> = Vec::new();
@@ -189,6 +255,7 @@ impl DistributedOptimizer for AcpSgdAggregator {
             self.packer.unpack(dests);
         }
         // Decompress with the aggregated factor.
+        let decompress_start = self.recorder.now_us();
         let mut f_iter = factors.into_iter();
         for (g, st) in grads.iter_mut().zip(self.states.iter_mut()) {
             if let LrState::Matrix { state, .. } = st {
@@ -197,8 +264,27 @@ impl DistributedOptimizer for AcpSgdAggregator {
                 g.grad.copy_from_slice(approx.as_slice());
             }
         }
+        compress_us += self.recorder.now_us().saturating_sub(decompress_start);
         self.steps += 1;
+        if enabled {
+            let residual = self
+                .cfg
+                .error_feedback
+                .then(|| self.total_error_norm() as f64);
+            record_step_metrics(
+                &*self.recorder,
+                dense_bytes,
+                payload_bytes,
+                compress_us,
+                step_start,
+                residual,
+            );
+        }
         Ok(())
+    }
+
+    fn set_recorder(&mut self, recorder: RecorderHandle) {
+        self.recorder.set(recorder);
     }
 }
 
@@ -216,10 +302,16 @@ mod tests {
         let mut comm = LocalCommunicator::new();
         let dims = [4usize, 3];
         let mut g = vec![1.0f32; 12];
-        let mut views = [GradViewMut { dims: &dims, grad: &mut g }];
+        let mut views = [GradViewMut {
+            dims: &dims,
+            grad: &mut g,
+        }];
         opt.aggregate(&mut views, &mut comm).unwrap();
         assert_eq!(opt.next_side(), Some(FactorSide::Q));
-        let mut views = [GradViewMut { dims: &dims, grad: &mut g }];
+        let mut views = [GradViewMut {
+            dims: &dims,
+            grad: &mut g,
+        }];
         opt.aggregate(&mut views, &mut comm).unwrap();
         assert_eq!(opt.next_side(), Some(FactorSide::P));
     }
@@ -230,13 +322,20 @@ mod tests {
         let b = Matrix::random_std_normal(6, 2, 2);
         let truth = a.matmul_nt(&b);
         let results = ThreadGroup::run(3, |mut comm| {
-            let cfg = AcpSgdConfig { rank: 2, error_feedback: false, ..Default::default() };
+            let cfg = AcpSgdConfig {
+                rank: 2,
+                error_feedback: false,
+                ..Default::default()
+            };
             let mut opt = AcpSgdAggregator::new(cfg);
             let dims = [8usize, 6];
             let mut out = Vec::new();
             for _ in 0..10 {
                 let mut g = truth.as_slice().to_vec();
-                let mut views = [GradViewMut { dims: &dims, grad: &mut g }];
+                let mut views = [GradViewMut {
+                    dims: &dims,
+                    grad: &mut g,
+                }];
                 opt.aggregate(&mut views, &mut comm).unwrap();
                 out = g;
             }
@@ -258,8 +357,14 @@ mod tests {
             let dw = [5usize, 6];
             let db = [5usize];
             let mut views = [
-                GradViewMut { dims: &dw, grad: &mut w },
-                GradViewMut { dims: &db, grad: &mut bias },
+                GradViewMut {
+                    dims: &dw,
+                    grad: &mut w,
+                },
+                GradViewMut {
+                    dims: &db,
+                    grad: &mut bias,
+                },
             ];
             opt.aggregate(&mut views, &mut comm).unwrap();
             (w, bias)
@@ -277,12 +382,18 @@ mod tests {
     #[test]
     fn error_feedback_conserves_gradient_mass() {
         use acp_collectives::LocalCommunicator;
-        let mut opt = AcpSgdAggregator::new(AcpSgdConfig { rank: 1, ..Default::default() });
+        let mut opt = AcpSgdAggregator::new(AcpSgdConfig {
+            rank: 1,
+            ..Default::default()
+        });
         let mut comm = LocalCommunicator::new();
         let dims = [4usize, 4];
         let grad: Vec<f32> = (0..16).map(|i| (i as f32 * 0.7).cos()).collect();
         let mut g = grad.clone();
-        let mut views = [GradViewMut { dims: &dims, grad: &mut g }];
+        let mut views = [GradViewMut {
+            dims: &dims,
+            grad: &mut g,
+        }];
         opt.aggregate(&mut views, &mut comm).unwrap();
         let diff: f32 = grad
             .iter()
@@ -297,12 +408,12 @@ mod tests {
     fn matches_powersgd_quality_on_static_gradient() {
         // Convergence-quality parity on a fixed gradient: ACP after 2k
         // steps ≈ Power-SGD after k steps.
-        use crate::powersgd::{PowerSgdAggregator, PowerSgdAggregatorConfig};
+        use crate::powersgd::{PowerSgdAggregator, PowerSgdConfig};
         use acp_collectives::LocalCommunicator;
         let truth = Matrix::random_std_normal(12, 10, 7);
         let dims = [12usize, 10];
         let mut comm = LocalCommunicator::new();
-        let mut power = PowerSgdAggregator::new(PowerSgdAggregatorConfig {
+        let mut power = PowerSgdAggregator::new(PowerSgdConfig {
             rank: 3,
             error_feedback: false,
             ..Default::default()
@@ -310,7 +421,10 @@ mod tests {
         let mut p_out = Vec::new();
         for _ in 0..4 {
             let mut g = truth.as_slice().to_vec();
-            let mut views = [GradViewMut { dims: &dims, grad: &mut g }];
+            let mut views = [GradViewMut {
+                dims: &dims,
+                grad: &mut g,
+            }];
             power.aggregate(&mut views, &mut comm).unwrap();
             p_out = g;
         }
@@ -322,7 +436,10 @@ mod tests {
         let mut a_out = Vec::new();
         for _ in 0..8 {
             let mut g = truth.as_slice().to_vec();
-            let mut views = [GradViewMut { dims: &dims, grad: &mut g }];
+            let mut views = [GradViewMut {
+                dims: &dims,
+                grad: &mut g,
+            }];
             acp.aggregate(&mut views, &mut comm).unwrap();
             a_out = g;
         }
@@ -334,14 +451,21 @@ mod tests {
     #[test]
     fn warm_start_uses_exact_averaging() {
         let results = ThreadGroup::run(2, |mut comm| {
-            let cfg = AcpSgdConfig { rank: 1, warm_start_steps: 2, ..Default::default() };
+            let cfg = AcpSgdConfig {
+                rank: 1,
+                warm_start_steps: 2,
+                ..Default::default()
+            };
             let mut opt = AcpSgdAggregator::new(cfg);
             let dims = [3usize, 3];
             let mut outputs = Vec::new();
             for step in 0..3 {
                 assert_eq!(opt.in_warm_start(), step < 2);
                 let mut g = vec![comm.rank() as f32 + step as f32; 9];
-                let mut views = [GradViewMut { dims: &dims, grad: &mut g }];
+                let mut views = [GradViewMut {
+                    dims: &dims,
+                    grad: &mut g,
+                }];
                 opt.aggregate(&mut views, &mut comm).unwrap();
                 outputs.push(g);
             }
@@ -364,7 +488,10 @@ mod tests {
             let mut opt = AcpSgdAggregator::new(AcpSgdConfig::default());
             let mut b = vec![comm.rank() as f32; 4];
             let db = [4usize];
-            let mut views = [GradViewMut { dims: &db, grad: &mut b }];
+            let mut views = [GradViewMut {
+                dims: &db,
+                grad: &mut b,
+            }];
             opt.aggregate(&mut views, &mut comm).unwrap();
             assert_eq!(opt.next_side(), None);
             b

@@ -16,10 +16,11 @@
 
 use acp_collectives::Communicator;
 use acp_compression::{Compressor, Payload, TopK};
+use acp_telemetry::{RecorderCell, RecorderHandle};
 
 use crate::error::CoreError;
 use crate::fusion::FlatPacker;
-use crate::optimizer::{check_shapes, DistributedOptimizer, GradViewMut};
+use crate::optimizer::{check_shapes, record_step_metrics, DistributedOptimizer, GradViewMut};
 
 /// Configuration for [`DgcAggregator`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -35,7 +36,31 @@ pub struct DgcConfig {
 
 impl Default for DgcConfig {
     fn default() -> Self {
-        DgcConfig { density: 0.001, momentum: 0.9, clip_norm: None }
+        DgcConfig {
+            density: 0.001,
+            momentum: 0.9,
+            clip_norm: None,
+        }
+    }
+}
+
+impl DgcConfig {
+    /// Sets the selection density.
+    pub fn with_density(mut self, density: f64) -> Self {
+        self.density = density;
+        self
+    }
+
+    /// Sets the momentum-correction coefficient.
+    pub fn with_momentum(mut self, momentum: f32) -> Self {
+        self.momentum = momentum;
+        self
+    }
+
+    /// Sets (or clears) the L2 gradient clip.
+    pub fn with_clip_norm(mut self, clip_norm: Option<f32>) -> Self {
+        self.clip_norm = clip_norm;
+        self
     }
 }
 
@@ -53,6 +78,7 @@ pub struct DgcAggregator {
     accum: Vec<f32>,
     packer: FlatPacker,
     shapes: Vec<Vec<usize>>,
+    recorder: RecorderCell,
 }
 
 impl DgcAggregator {
@@ -62,7 +88,10 @@ impl DgcAggregator {
     ///
     /// Panics if the density is not in `(0, 1]` or momentum is negative.
     pub fn new(cfg: DgcConfig) -> Self {
-        assert!(cfg.density > 0.0 && cfg.density <= 1.0, "density must be in (0, 1]");
+        assert!(
+            cfg.density > 0.0 && cfg.density <= 1.0,
+            "density must be in (0, 1]"
+        );
         assert!(cfg.momentum >= 0.0, "momentum must be non-negative");
         DgcAggregator {
             cfg,
@@ -70,6 +99,7 @@ impl DgcAggregator {
             accum: Vec::new(),
             packer: FlatPacker::new(),
             shapes: Vec::new(),
+            recorder: RecorderCell::default(),
         }
     }
 
@@ -90,6 +120,8 @@ impl DistributedOptimizer for DgcAggregator {
         comm: &mut dyn Communicator,
     ) -> Result<(), CoreError> {
         check_shapes(&mut self.shapes, grads)?;
+        let enabled = self.recorder.enabled();
+        let step_start = self.recorder.now_us();
         self.packer.pack(grads.iter().map(|g| &*g.grad));
         let mut flat = self.packer.buffer_mut().to_vec();
         let n = flat.len();
@@ -114,10 +146,15 @@ impl DistributedOptimizer for DgcAggregator {
         }
         // Select top-k of the accumulated tensor.
         let k = ((self.cfg.density * n as f64).ceil() as usize).clamp(1, n);
+        let compress_start = self.recorder.now_us();
         let mut selector = TopK::new(k);
         let payload = selector.compress(&self.accum);
+        let mut compress_us = self.recorder.now_us().saturating_sub(compress_start);
+        let payload_bytes = payload.wire_bytes() as u64;
         let (indices, values) = match payload {
-            Payload::Sparse { indices, values, .. } => (indices, values),
+            Payload::Sparse {
+                indices, values, ..
+            } => (indices, values),
             _ => unreachable!("TopK produces sparse payloads"),
         };
         // Momentum factor masking: clear u and v at transmitted coords.
@@ -129,15 +166,33 @@ impl DistributedOptimizer for DgcAggregator {
         // as in the reference implementation).
         let gathered_idx = comm.all_gather_u32(&indices)?;
         let gathered_val = comm.all_gather_f32(&values)?;
+        let scatter_start = self.recorder.now_us();
         let mut dense = vec![0.0f32; n];
         TopK::scatter_average(&gathered_idx, &gathered_val, comm.world_size(), &mut dense);
+        compress_us += self.recorder.now_us().saturating_sub(scatter_start);
         let mut offset = 0usize;
         for g in grads.iter_mut() {
             let len = g.grad.len();
             g.grad.copy_from_slice(&dense[offset..offset + len]);
             offset += len;
         }
+        if enabled {
+            // DGC's error feedback lives in the accumulated tensor.
+            let residual = Some(self.accumulated_norm() as f64);
+            record_step_metrics(
+                &*self.recorder,
+                4 * n as u64,
+                payload_bytes,
+                compress_us,
+                step_start,
+                residual,
+            );
+        }
         Ok(())
+    }
+
+    fn set_recorder(&mut self, recorder: RecorderHandle) {
+        self.recorder.set(recorder);
     }
 }
 
@@ -149,7 +204,10 @@ mod tests {
     fn step(opt: &mut DgcAggregator, comm: &mut LocalCommunicator, grad: &[f32]) -> Vec<f32> {
         let mut g = grad.to_vec();
         let dims = [grad.len()];
-        let mut views = [GradViewMut { dims: &dims, grad: &mut g }];
+        let mut views = [GradViewMut {
+            dims: &dims,
+            grad: &mut g,
+        }];
         opt.aggregate(&mut views, comm).unwrap();
         g
     }
@@ -190,7 +248,10 @@ mod tests {
         let g2 = step(&mut opt, &mut comm, &grad);
         assert_eq!(g2, vec![1.0, 0.0, 0.0]);
         let g3 = step(&mut opt, &mut comm, &grad);
-        assert!(g3[1] > 1.0, "accumulated coordinate should transmit: {g3:?}");
+        assert!(
+            g3[1] > 1.0,
+            "accumulated coordinate should transmit: {g3:?}"
+        );
         assert_eq!(g3[0], 0.0, "coordinate 0 loses the round it is overtaken");
     }
 
@@ -236,9 +297,11 @@ mod tests {
         let results = ThreadGroup::run(3, |mut comm| {
             let mut opt = DgcAggregator::new(DgcConfig::default());
             let dims = [6usize];
-            let mut g: Vec<f32> =
-                (0..6).map(|i| (i + comm.rank()) as f32 * 0.5).collect();
-            let mut views = [GradViewMut { dims: &dims, grad: &mut g }];
+            let mut g: Vec<f32> = (0..6).map(|i| (i + comm.rank()) as f32 * 0.5).collect();
+            let mut views = [GradViewMut {
+                dims: &dims,
+                grad: &mut g,
+            }];
             opt.aggregate(&mut views, &mut comm).unwrap();
             g
         });
@@ -250,6 +313,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "density")]
     fn bad_density_panics() {
-        DgcAggregator::new(DgcConfig { density: 0.0, ..Default::default() });
+        DgcAggregator::new(DgcConfig {
+            density: 0.0,
+            ..Default::default()
+        });
     }
 }

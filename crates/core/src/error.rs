@@ -1,13 +1,13 @@
 //! Error type shared by the distributed aggregators.
 
-use acp_collectives::CollectiveError;
+use acp_collectives::CommError;
 use std::fmt;
 
 /// Error returned by [`crate::DistributedOptimizer::aggregate`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CoreError {
     /// A collective operation failed (peer loss, inconsistent calls).
-    Collective(CollectiveError),
+    Collective(CommError),
     /// The set of gradient tensors changed shape between steps — per-tensor
     /// compression state (queries, residuals) is keyed by position and
     /// shape.
@@ -25,7 +25,11 @@ impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CoreError::Collective(e) => write!(f, "collective failed: {e}"),
-            CoreError::ShapeChanged { index, expected, actual } => write!(
+            CoreError::ShapeChanged {
+                index,
+                expected,
+                actual,
+            } => write!(
                 f,
                 "gradient tensor {index} changed shape: expected {expected:?}, got {actual:?}"
             ),
@@ -43,8 +47,8 @@ impl std::error::Error for CoreError {
 }
 
 #[doc(hidden)]
-impl From<CollectiveError> for CoreError {
-    fn from(e: CollectiveError) -> Self {
+impl From<CommError> for CoreError {
+    fn from(e: CommError) -> Self {
         CoreError::Collective(e)
     }
 }
@@ -55,17 +59,21 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = CoreError::from(CollectiveError::PeerDisconnected);
+        let e = CoreError::from(CommError::PeerDisconnected);
         assert!(e.to_string().contains("collective failed"));
-        let s = CoreError::ShapeChanged { index: 2, expected: vec![3], actual: vec![4] }
-            .to_string();
+        let s = CoreError::ShapeChanged {
+            index: 2,
+            expected: vec![3],
+            actual: vec![4],
+        }
+        .to_string();
         assert!(s.contains("tensor 2"));
     }
 
     #[test]
     fn source_chain() {
         use std::error::Error;
-        let e = CoreError::from(CollectiveError::PeerDisconnected);
+        let e = CoreError::from(CommError::PeerDisconnected);
         assert!(e.source().is_some());
     }
 }

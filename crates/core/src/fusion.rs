@@ -94,11 +94,19 @@ impl FlatPacker {
         for d in dests {
             let start = self.offsets[idx];
             let end = self.offsets[idx + 1];
-            assert_eq!(d.len(), end - start, "unpack layout mismatch at slice {idx}");
+            assert_eq!(
+                d.len(),
+                end - start,
+                "unpack layout mismatch at slice {idx}"
+            );
             d.copy_from_slice(&self.buffer[start..end]);
             idx += 1;
         }
-        assert_eq!(idx + 1, self.offsets.len(), "unpack consumed {idx} of expected slices");
+        assert_eq!(
+            idx + 1,
+            self.offsets.len(),
+            "unpack consumed {idx} of expected slices"
+        );
     }
 
     /// Borrows the packed buffer mutably (e.g. to all-reduce it in place).

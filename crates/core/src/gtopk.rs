@@ -9,10 +9,11 @@
 
 use acp_collectives::Communicator;
 use acp_compression::{Compressor, ErrorFeedback, Payload, TopK};
+use acp_telemetry::{RecorderCell, RecorderHandle};
 
 use crate::error::CoreError;
 use crate::fusion::FlatPacker;
-use crate::optimizer::{check_shapes, DistributedOptimizer, GradViewMut};
+use crate::optimizer::{check_shapes, record_step_metrics, DistributedOptimizer, GradViewMut};
 
 /// Global-top-k sparsified aggregator.
 ///
@@ -26,6 +27,7 @@ pub struct GTopkSgdAggregator {
     compressor: Option<ErrorFeedback<TopK>>,
     packer: FlatPacker,
     shapes: Vec<Vec<usize>>,
+    recorder: RecorderCell,
 }
 
 impl GTopkSgdAggregator {
@@ -42,6 +44,7 @@ impl GTopkSgdAggregator {
             compressor: None,
             packer: FlatPacker::new(),
             shapes: Vec::new(),
+            recorder: RecorderCell::default(),
         }
     }
 
@@ -62,6 +65,8 @@ impl DistributedOptimizer for GTopkSgdAggregator {
         comm: &mut dyn Communicator,
     ) -> Result<(), CoreError> {
         check_shapes(&mut self.shapes, grads)?;
+        let enabled = self.recorder.enabled();
+        let step_start = self.recorder.now_us();
         self.packer.pack(grads.iter().map(|g| &*g.grad));
         let flat = self.packer.buffer_mut().to_vec();
         let n = flat.len();
@@ -69,24 +74,46 @@ impl DistributedOptimizer for GTopkSgdAggregator {
         let compressor = self
             .compressor
             .get_or_insert_with(|| ErrorFeedback::new(TopK::new(k)));
+        let compress_start = self.recorder.now_us();
         let payload = compressor.compress(&flat);
+        let mut compress_us = self.recorder.now_us().saturating_sub(compress_start);
+        let payload_bytes = payload.wire_bytes() as u64;
         let (indices, values) = match payload {
-            Payload::Sparse { indices, values, .. } => (indices, values),
+            Payload::Sparse {
+                indices, values, ..
+            } => (indices, values),
             _ => unreachable!("TopK produces sparse payloads"),
         };
         let (global_idx, global_val) = comm.global_topk(&indices, &values, k)?;
+        let fill_start = self.recorder.now_us();
         let mut dense = vec![0.0f32; n];
         let inv = 1.0 / comm.world_size() as f32;
         for (&i, &v) in global_idx.iter().zip(&global_val) {
             dense[i as usize] = v * inv;
         }
+        compress_us += self.recorder.now_us().saturating_sub(fill_start);
         let mut offset = 0usize;
         for g in grads.iter_mut() {
             let len = g.grad.len();
             g.grad.copy_from_slice(&dense[offset..offset + len]);
             offset += len;
         }
+        if enabled {
+            let residual = self.compressor.as_ref().map(|c| c.residual_norm() as f64);
+            record_step_metrics(
+                &*self.recorder,
+                4 * n as u64,
+                payload_bytes,
+                compress_us,
+                step_start,
+                residual,
+            );
+        }
         Ok(())
+    }
+
+    fn set_recorder(&mut self, recorder: RecorderHandle) {
+        self.recorder.set(recorder);
     }
 }
 
@@ -105,7 +132,10 @@ mod tests {
             g[0] = 4.0;
             g[1 + comm.rank()] = 1.0 + r * 0.1;
             let dims = [8usize];
-            let mut views = [GradViewMut { dims: &dims, grad: &mut g }];
+            let mut views = [GradViewMut {
+                dims: &dims,
+                grad: &mut g,
+            }];
             opt.aggregate(&mut views, &mut comm).unwrap();
             g
         });
@@ -126,7 +156,10 @@ mod tests {
         let mut comm = LocalCommunicator::new();
         let dims = [4usize];
         let mut g = vec![1.0, -9.0, 2.0, 8.0];
-        let mut views = [GradViewMut { dims: &dims, grad: &mut g }];
+        let mut views = [GradViewMut {
+            dims: &dims,
+            grad: &mut g,
+        }];
         opt.aggregate(&mut views, &mut comm).unwrap();
         assert_eq!(g, vec![0.0, -9.0, 0.0, 8.0]);
     }
@@ -138,7 +171,10 @@ mod tests {
         let mut comm = LocalCommunicator::new();
         let dims = [4usize];
         let mut g = vec![5.0, 1.0, 1.0, 1.0];
-        let mut views = [GradViewMut { dims: &dims, grad: &mut g }];
+        let mut views = [GradViewMut {
+            dims: &dims,
+            grad: &mut g,
+        }];
         opt.aggregate(&mut views, &mut comm).unwrap();
         assert!(opt.compressor.as_ref().unwrap().residual_norm() > 1.0);
     }
@@ -152,9 +188,13 @@ mod tests {
             let dims = [5usize, 4];
             let mut last = Vec::new();
             for step in 0..5 {
-                let mut g: Vec<f32> =
-                    (0..20).map(|i| ((i + step + comm.rank()) as f32 * 0.3).sin()).collect();
-                let mut views = [GradViewMut { dims: &dims, grad: &mut g }];
+                let mut g: Vec<f32> = (0..20)
+                    .map(|i| ((i + step + comm.rank()) as f32 * 0.3).sin())
+                    .collect();
+                let mut views = [GradViewMut {
+                    dims: &dims,
+                    grad: &mut g,
+                }];
                 opt.aggregate(&mut views, &mut comm).unwrap();
                 last = g;
             }

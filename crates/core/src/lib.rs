@@ -47,6 +47,7 @@
 pub mod acpsgd;
 pub mod dgc;
 pub mod error;
+pub mod factory;
 pub mod fusion;
 pub mod gtopk;
 pub mod optimizer;
@@ -55,13 +56,20 @@ pub mod signsgd;
 pub mod ssgd;
 pub mod topksgd;
 
+// One consistent re-export surface: every aggregator with its config, the
+// factory entry point, and the supporting trait/error/fusion machinery.
 pub use acpsgd::{AcpSgdAggregator, AcpSgdConfig};
 pub use dgc::{DgcAggregator, DgcConfig};
 pub use error::CoreError;
-pub use gtopk::GTopkSgdAggregator;
+pub use factory::{build_optimizer, Aggregator};
 pub use fusion::{bucket_ranges, FlatPacker};
+pub use gtopk::GTopkSgdAggregator;
 pub use optimizer::{DistributedOptimizer, GradViewMut};
-pub use powersgd::{PowerSgdAggregator, PowerSgdAggregatorConfig};
-pub use signsgd::SignSgdAggregator;
-pub use ssgd::SSgdAggregator;
-pub use topksgd::TopkSgdAggregator;
+pub use powersgd::{PowerSgdAggregator, PowerSgdConfig};
+pub use signsgd::{SignSgdAggregator, SignSgdConfig};
+pub use ssgd::{SSgdAggregator, DEFAULT_BUFFER_BYTES};
+pub use topksgd::{TopkSgdAggregator, TopkSgdConfig};
+
+/// Former name of [`PowerSgdConfig`], kept for one release.
+#[allow(deprecated)]
+pub use powersgd::PowerSgdAggregatorConfig;

@@ -1,6 +1,7 @@
 //! The [`DistributedOptimizer`] trait.
 
 use acp_collectives::Communicator;
+use acp_telemetry::RecorderHandle;
 
 use crate::error::CoreError;
 
@@ -43,6 +44,62 @@ pub trait DistributedOptimizer: Send {
         grads: &mut [GradViewMut<'_>],
         comm: &mut dyn Communicator,
     ) -> Result<(), CoreError>;
+
+    /// Attaches a telemetry recorder. Instrumented aggregators report
+    /// per-step compression time, payload/dense bytes, compression ratio
+    /// and error-feedback residual norms (see `acp_telemetry::keys`); the
+    /// default ignores the handle.
+    fn set_recorder(&mut self, recorder: RecorderHandle) {
+        let _ = recorder;
+    }
+}
+
+impl DistributedOptimizer for Box<dyn DistributedOptimizer> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn aggregate(
+        &mut self,
+        grads: &mut [GradViewMut<'_>],
+        comm: &mut dyn Communicator,
+    ) -> Result<(), CoreError> {
+        (**self).aggregate(grads, comm)
+    }
+
+    fn set_recorder(&mut self, recorder: RecorderHandle) {
+        (**self).set_recorder(recorder)
+    }
+}
+
+/// Records one aggregation step's standard telemetry: dense/payload bytes,
+/// compression ratio, compression time, optional error-feedback residual
+/// norm, and total step latency. Callers should skip the call (and any
+/// norm computation feeding it) when the recorder is disabled.
+pub(crate) fn record_step_metrics(
+    rec: &dyn acp_telemetry::Recorder,
+    dense_bytes: u64,
+    payload_bytes: u64,
+    compress_us: u64,
+    step_start_us: u64,
+    residual_norm: Option<f64>,
+) {
+    use acp_telemetry::keys;
+    rec.add(keys::COMPRESS_DENSE_BYTES, dense_bytes);
+    rec.add(keys::COMPRESS_PAYLOAD_BYTES, payload_bytes);
+    rec.observe(
+        keys::COMPRESS_RATIO,
+        dense_bytes as f64 / payload_bytes.max(1) as f64,
+    );
+    rec.observe(keys::COMPRESS_TIME_US, compress_us as f64);
+    if let Some(norm) = residual_norm {
+        rec.observe(keys::EF_RESIDUAL_NORM, norm);
+    }
+    let end_us = rec.now_us();
+    rec.observe(
+        keys::STEP_AGGREGATE_US,
+        end_us.saturating_sub(step_start_us) as f64,
+    );
 }
 
 /// Validates that the tensor list matches the shapes recorded on the first
@@ -83,17 +140,26 @@ mod tests {
         let mut recorded = Vec::new();
         let mut a = vec![0.0f32; 6];
         let dims = [2usize, 3];
-        let views = [GradViewMut { dims: &dims, grad: &mut a }];
+        let views = [GradViewMut {
+            dims: &dims,
+            grad: &mut a,
+        }];
         check_shapes(&mut recorded, &views).unwrap();
         assert_eq!(recorded, vec![vec![2, 3]]);
         // Same shape passes again.
         let mut b = vec![0.0f32; 6];
-        let views = [GradViewMut { dims: &dims, grad: &mut b }];
+        let views = [GradViewMut {
+            dims: &dims,
+            grad: &mut b,
+        }];
         check_shapes(&mut recorded, &views).unwrap();
         // Different shape fails.
         let bad_dims = [3usize, 2];
         let mut c = vec![0.0f32; 6];
-        let views = [GradViewMut { dims: &bad_dims, grad: &mut c }];
+        let views = [GradViewMut {
+            dims: &bad_dims,
+            grad: &mut c,
+        }];
         assert!(matches!(
             check_shapes(&mut recorded, &views),
             Err(CoreError::ShapeChanged { index: 0, .. })

@@ -2,16 +2,17 @@
 //! (Algorithm 1 wired to a real communicator).
 
 use acp_collectives::{Communicator, ReduceOp};
-use acp_compression::powersgd::{PowerSgd, PowerSgdConfig};
+use acp_compression::powersgd::{PowerSgd, PowerSgdConfig as PowerSgdCompressionConfig};
+use acp_telemetry::{RecorderCell, RecorderHandle};
 use acp_tensor::{Matrix, MatrixShape};
 
 use crate::error::CoreError;
 use crate::fusion::FlatPacker;
-use crate::optimizer::{check_shapes, DistributedOptimizer, GradViewMut};
+use crate::optimizer::{check_shapes, record_step_metrics, DistributedOptimizer, GradViewMut};
 
 /// Configuration of [`PowerSgdAggregator`].
 #[derive(Debug, Clone, Copy, PartialEq)]
-pub struct PowerSgdAggregatorConfig {
+pub struct PowerSgdConfig {
     /// Factorization rank.
     pub rank: usize,
     /// Maintain per-matrix error-feedback residuals.
@@ -25,9 +26,9 @@ pub struct PowerSgdAggregatorConfig {
     pub warm_start_steps: u64,
 }
 
-impl Default for PowerSgdAggregatorConfig {
+impl Default for PowerSgdConfig {
     fn default() -> Self {
-        PowerSgdAggregatorConfig {
+        PowerSgdConfig {
             rank: 4,
             error_feedback: true,
             reuse: true,
@@ -37,11 +38,52 @@ impl Default for PowerSgdAggregatorConfig {
     }
 }
 
+impl PowerSgdConfig {
+    /// Sets the factorization rank.
+    pub fn with_rank(mut self, rank: usize) -> Self {
+        self.rank = rank;
+        self
+    }
+
+    /// Enables or disables error feedback.
+    pub fn with_error_feedback(mut self, error_feedback: bool) -> Self {
+        self.error_feedback = error_feedback;
+        self
+    }
+
+    /// Enables or disables query reuse.
+    pub fn with_reuse(mut self, reuse: bool) -> Self {
+        self.reuse = reuse;
+        self
+    }
+
+    /// Sets the base seed for query initialization.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the number of uncompressed warm-start steps.
+    pub fn with_warm_start_steps(mut self, steps: u64) -> Self {
+        self.warm_start_steps = steps;
+        self
+    }
+}
+
+/// Former name of [`PowerSgdConfig`].
+#[deprecated(since = "0.2.0", note = "renamed to `PowerSgdConfig`")]
+pub type PowerSgdAggregatorConfig = PowerSgdConfig;
+
 /// Per-tensor compression state.
 #[derive(Debug)]
+#[allow(clippy::large_enum_variant)] // few instances, one per tensor
 enum LrState {
     /// Matrix-shaped tensor compressed with Power-SGD.
-    Matrix { rows: usize, cols: usize, state: PowerSgd },
+    Matrix {
+        rows: usize,
+        cols: usize,
+        state: PowerSgd,
+    },
     /// Vector tensor transmitted uncompressed.
     Vector,
 }
@@ -55,23 +97,25 @@ enum LrState {
 /// cost ACP-SGD removes.
 #[derive(Debug)]
 pub struct PowerSgdAggregator {
-    cfg: PowerSgdAggregatorConfig,
+    cfg: PowerSgdConfig,
     states: Vec<LrState>,
     shapes: Vec<Vec<usize>>,
     packer: FlatPacker,
     steps: u64,
+    recorder: RecorderCell,
 }
 
 impl PowerSgdAggregator {
     /// Creates the aggregator; per-tensor state initializes lazily on the
     /// first [`DistributedOptimizer::aggregate`] call.
-    pub fn new(cfg: PowerSgdAggregatorConfig) -> Self {
+    pub fn new(cfg: PowerSgdConfig) -> Self {
         PowerSgdAggregator {
             cfg,
             states: Vec::new(),
             shapes: Vec::new(),
             packer: FlatPacker::new(),
             steps: 0,
+            recorder: RecorderCell::default(),
         }
     }
 
@@ -100,16 +144,20 @@ impl PowerSgdAggregator {
             .enumerate()
             .map(|(i, g)| match MatrixShape::from_tensor_shape(g.dims) {
                 MatrixShape::Matrix { rows, cols } => {
-                    let cfg = PowerSgdConfig {
+                    let cfg = PowerSgdCompressionConfig {
                         rank: self.cfg.rank,
                         error_feedback: self.cfg.error_feedback,
                         reuse: self.cfg.reuse,
                         // Distinct per-tensor streams, identical across
                         // ranks.
                         seed: self.cfg.seed ^ (i as u64).wrapping_mul(0x9E3779B9),
-                        ..PowerSgdConfig::default()
+                        ..PowerSgdCompressionConfig::default()
                     };
-                    LrState::Matrix { rows, cols, state: PowerSgd::new(rows, cols, cfg) }
+                    LrState::Matrix {
+                        rows,
+                        cols,
+                        state: PowerSgd::new(rows, cols, cfg),
+                    }
                 }
                 MatrixShape::Vector { .. } => LrState::Vector,
             })
@@ -128,15 +176,29 @@ impl DistributedOptimizer for PowerSgdAggregator {
         comm: &mut dyn Communicator,
     ) -> Result<(), CoreError> {
         check_shapes(&mut self.shapes, grads)?;
+        let enabled = self.recorder.enabled();
+        let step_start = self.recorder.now_us();
+        let dense_bytes: u64 = grads.iter().map(|g| 4 * g.grad.len() as u64).sum();
         if self.in_warm_start() {
             self.packer.pack(grads.iter().map(|g| &*g.grad));
             comm.all_reduce(self.packer.buffer_mut(), ReduceOp::Mean)?;
             self.packer.unpack(grads.iter_mut().map(|g| &mut *g.grad));
             self.steps += 1;
+            if enabled {
+                record_step_metrics(
+                    &*self.recorder,
+                    dense_bytes,
+                    dense_bytes,
+                    0,
+                    step_start,
+                    None,
+                );
+            }
             return Ok(());
         }
         self.init_states(grads);
         // Phase 1: local P factors.
+        let compress_start = self.recorder.now_us();
         let mut p_factors: Vec<Matrix> = Vec::new();
         for (g, st) in grads.iter().zip(self.states.iter_mut()) {
             if let LrState::Matrix { rows, cols, state } = st {
@@ -145,6 +207,7 @@ impl DistributedOptimizer for PowerSgdAggregator {
                 p_factors.push(state.compute_p(&m));
             }
         }
+        let mut compress_us = self.recorder.now_us().saturating_sub(compress_start);
         // Fused all-reduce of the P factors and the raw vector gradients.
         {
             let mut slices: Vec<&[f32]> = Vec::new();
@@ -159,6 +222,7 @@ impl DistributedOptimizer for PowerSgdAggregator {
             }
             self.packer.pack(slices);
         }
+        let mut payload_bytes = 4 * self.packer.buffer_mut().len() as u64;
         comm.all_reduce(self.packer.buffer_mut(), ReduceOp::Mean)?;
         {
             let mut dests: Vec<&mut [f32]> = Vec::new();
@@ -174,6 +238,7 @@ impl DistributedOptimizer for PowerSgdAggregator {
             self.packer.unpack(dests);
         }
         // Phase 2: Q factors from the aggregated Ps.
+        let q_start = self.recorder.now_us();
         let mut q_factors: Vec<Matrix> = Vec::new();
         {
             let mut p_iter = p_factors.into_iter();
@@ -184,12 +249,16 @@ impl DistributedOptimizer for PowerSgdAggregator {
                 }
             }
         }
+        compress_us += self.recorder.now_us().saturating_sub(q_start);
         if !q_factors.is_empty() {
             self.packer.pack(q_factors.iter().map(Matrix::as_slice));
+            payload_bytes += 4 * self.packer.buffer_mut().len() as u64;
             comm.all_reduce(self.packer.buffer_mut(), ReduceOp::Mean)?;
-            self.packer.unpack(q_factors.iter_mut().map(Matrix::as_mut_slice));
+            self.packer
+                .unpack(q_factors.iter_mut().map(Matrix::as_mut_slice));
         }
         // Decompress into the gradient views.
+        let decompress_start = self.recorder.now_us();
         let mut q_iter = q_factors.into_iter();
         for (g, st) in grads.iter_mut().zip(self.states.iter_mut()) {
             if let LrState::Matrix { state, .. } = st {
@@ -198,8 +267,27 @@ impl DistributedOptimizer for PowerSgdAggregator {
                 g.grad.copy_from_slice(approx.as_slice());
             }
         }
+        compress_us += self.recorder.now_us().saturating_sub(decompress_start);
         self.steps += 1;
+        if enabled {
+            let residual = self
+                .cfg
+                .error_feedback
+                .then(|| self.total_error_norm() as f64);
+            record_step_metrics(
+                &*self.recorder,
+                dense_bytes,
+                payload_bytes,
+                compress_us,
+                step_start,
+                residual,
+            );
+        }
         Ok(())
+    }
+
+    fn set_recorder(&mut self, recorder: RecorderHandle) {
+        self.recorder.set(recorder);
     }
 }
 
@@ -218,7 +306,7 @@ mod tests {
         let b = Matrix::random_std_normal(6, 2, 2);
         let truth = a.matmul_nt(&b); // 8x6 rank 2
         let results = ThreadGroup::run(3, |mut comm| {
-            let cfg = PowerSgdAggregatorConfig {
+            let cfg = PowerSgdConfig {
                 rank: 2,
                 error_feedback: false,
                 ..Default::default()
@@ -228,7 +316,10 @@ mod tests {
             let mut out = Vec::new();
             for _ in 0..6 {
                 let mut g = truth.as_slice().to_vec();
-                let mut views = [GradViewMut { dims: &dims, grad: &mut g }];
+                let mut views = [GradViewMut {
+                    dims: &dims,
+                    grad: &mut g,
+                }];
                 opt.aggregate(&mut views, &mut comm).unwrap();
                 out = g;
             }
@@ -243,15 +334,21 @@ mod tests {
     #[test]
     fn vectors_are_plainly_averaged() {
         let results = ThreadGroup::run(2, |mut comm| {
-            let mut opt = PowerSgdAggregator::new(PowerSgdAggregatorConfig::default());
+            let mut opt = PowerSgdAggregator::new(PowerSgdConfig::default());
             let r = comm.rank() as f32;
             let mut w = vec![r; 12]; // 4x3 matrix
             let mut b = vec![10.0 * (r + 1.0); 3]; // bias vector
             let dw = [4usize, 3];
             let db = [3usize];
             let mut views = [
-                GradViewMut { dims: &dw, grad: &mut w },
-                GradViewMut { dims: &db, grad: &mut b },
+                GradViewMut {
+                    dims: &dw,
+                    grad: &mut w,
+                },
+                GradViewMut {
+                    dims: &db,
+                    grad: &mut b,
+                },
             ];
             opt.aggregate(&mut views, &mut comm).unwrap();
             b
@@ -264,11 +361,14 @@ mod tests {
     #[test]
     fn all_ranks_receive_identical_gradients() {
         let results = ThreadGroup::run(4, |mut comm| {
-            let mut opt = PowerSgdAggregator::new(PowerSgdAggregatorConfig::default());
+            let mut opt = PowerSgdAggregator::new(PowerSgdConfig::default());
             let r = comm.rank() as f32 + 1.0;
             let mut g: Vec<f32> = (0..30).map(|i| (i as f32).sin() * r).collect();
             let dims = [5usize, 6];
-            let mut views = [GradViewMut { dims: &dims, grad: &mut g }];
+            let mut views = [GradViewMut {
+                dims: &dims,
+                grad: &mut g,
+            }];
             opt.aggregate(&mut views, &mut comm).unwrap();
             g
         });
@@ -283,7 +383,7 @@ mod tests {
     fn error_feedback_conserves_gradient_mass() {
         // Single worker: transmitted + residual accounts for the gradient.
         use acp_collectives::LocalCommunicator;
-        let mut opt = PowerSgdAggregator::new(PowerSgdAggregatorConfig {
+        let mut opt = PowerSgdAggregator::new(PowerSgdConfig {
             rank: 1,
             ..Default::default()
         });
@@ -291,7 +391,10 @@ mod tests {
         let dims = [4usize, 4];
         let grad: Vec<f32> = (0..16).map(|i| (i as f32 * 0.7).cos()).collect();
         let mut g = grad.clone();
-        let mut views = [GradViewMut { dims: &dims, grad: &mut g }];
+        let mut views = [GradViewMut {
+            dims: &dims,
+            grad: &mut g,
+        }];
         opt.aggregate(&mut views, &mut comm).unwrap();
         // ||grad - transmitted|| == residual norm (EF identity, step 1).
         let diff: f32 = grad

@@ -7,10 +7,26 @@
 
 use acp_collectives::Communicator;
 use acp_compression::{Compressor, ErrorFeedback, Payload, SignSgd};
+use acp_telemetry::{RecorderCell, RecorderHandle};
 
 use crate::error::CoreError;
 use crate::fusion::FlatPacker;
-use crate::optimizer::{check_shapes, DistributedOptimizer, GradViewMut};
+use crate::optimizer::{check_shapes, record_step_metrics, DistributedOptimizer, GradViewMut};
+
+/// Configuration of [`SignSgdAggregator`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SignSgdConfig {
+    /// Maintain an error-feedback residual (EF-SGD of Karimireddy et al.).
+    pub error_feedback: bool,
+}
+
+impl SignSgdConfig {
+    /// Enables or disables error feedback.
+    pub fn with_error_feedback(mut self, error_feedback: bool) -> Self {
+        self.error_feedback = error_feedback;
+        self
+    }
+}
 
 /// Sign-SGD majority-vote aggregator.
 ///
@@ -23,6 +39,7 @@ pub struct SignSgdAggregator {
     error_feedback: bool,
     packer: FlatPacker,
     shapes: Vec<Vec<usize>>,
+    recorder: RecorderCell,
 }
 
 impl SignSgdAggregator {
@@ -33,13 +50,26 @@ impl SignSgdAggregator {
             error_feedback: false,
             packer: FlatPacker::new(),
             shapes: Vec::new(),
+            recorder: RecorderCell::default(),
         }
     }
 
     /// Sign-SGD with an error-feedback residual (EF-SGD of Karimireddy et
     /// al.).
     pub fn with_error_feedback() -> Self {
-        SignSgdAggregator { error_feedback: true, ..SignSgdAggregator::new() }
+        SignSgdAggregator {
+            error_feedback: true,
+            ..SignSgdAggregator::new()
+        }
+    }
+
+    /// Creates the aggregator from a [`SignSgdConfig`].
+    pub fn from_config(cfg: SignSgdConfig) -> Self {
+        if cfg.error_feedback {
+            SignSgdAggregator::with_error_feedback()
+        } else {
+            SignSgdAggregator::new()
+        }
     }
 }
 
@@ -60,8 +90,11 @@ impl DistributedOptimizer for SignSgdAggregator {
         comm: &mut dyn Communicator,
     ) -> Result<(), CoreError> {
         check_shapes(&mut self.shapes, grads)?;
+        let enabled = self.recorder.enabled();
+        let step_start = self.recorder.now_us();
         self.packer.pack(grads.iter().map(|g| &*g.grad));
         let flat = self.packer.buffer_mut().to_vec();
+        let compress_start = self.recorder.now_us();
         let payload = if self.error_feedback {
             self.compressor.compress(&flat)
         } else {
@@ -69,12 +102,15 @@ impl DistributedOptimizer for SignSgdAggregator {
             let mut raw = SignSgd::scaled();
             raw.compress(&flat)
         };
+        let mut compress_us = self.recorder.now_us().saturating_sub(compress_start);
+        let payload_bytes = payload.wire_bytes() as u64;
         let (words, len, scale) = match payload {
             Payload::Signs { words, len, scale } => (words, len, scale),
             _ => unreachable!("SignSgd produces sign payloads"),
         };
         let gathered_words = comm.all_gather_u32(&words)?;
         let gathered_scales = comm.all_gather_f32(&[scale])?;
+        let vote_start = self.recorder.now_us();
         let mut voted = vec![0.0f32; len];
         SignSgd::majority_vote(
             &gathered_words,
@@ -83,6 +119,7 @@ impl DistributedOptimizer for SignSgdAggregator {
             comm.world_size(),
             &mut voted,
         );
+        compress_us += self.recorder.now_us().saturating_sub(vote_start);
         // Write the voted gradient back through the packer layout.
         self.packer.pack([voted.as_slice()]);
         let mut offset = 0usize;
@@ -91,7 +128,25 @@ impl DistributedOptimizer for SignSgdAggregator {
             g.grad.copy_from_slice(&voted[offset..offset + n]);
             offset += n;
         }
+        if enabled {
+            let dense_bytes = 4 * flat.len() as u64;
+            let residual = self
+                .error_feedback
+                .then(|| self.compressor.residual_norm() as f64);
+            record_step_metrics(
+                &*self.recorder,
+                dense_bytes,
+                payload_bytes,
+                compress_us,
+                step_start,
+                residual,
+            );
+        }
         Ok(())
+    }
+
+    fn set_recorder(&mut self, recorder: RecorderHandle) {
+        self.recorder.set(recorder);
     }
 }
 
@@ -108,7 +163,10 @@ mod tests {
             let sign = if comm.rank() == 0 { -1.0 } else { 1.0 };
             let mut g = vec![2.0 * sign; 4];
             let dims = [4usize];
-            let mut views = [GradViewMut { dims: &dims, grad: &mut g }];
+            let mut views = [GradViewMut {
+                dims: &dims,
+                grad: &mut g,
+            }];
             opt.aggregate(&mut views, &mut comm).unwrap();
             g
         });
@@ -125,7 +183,10 @@ mod tests {
             let r = comm.rank() as f32;
             let mut g: Vec<f32> = (0..37).map(|i| (i as f32 - 18.0) * (r + 1.0)).collect();
             let dims = [37usize];
-            let mut views = [GradViewMut { dims: &dims, grad: &mut g }];
+            let mut views = [GradViewMut {
+                dims: &dims,
+                grad: &mut g,
+            }];
             opt.aggregate(&mut views, &mut comm).unwrap();
             g
         });
@@ -145,7 +206,10 @@ mod tests {
         let dims = [3usize];
         for _ in 0..3 {
             let mut g = vec![0.5, -2.0, 0.1];
-            let mut views = [GradViewMut { dims: &dims, grad: &mut g }];
+            let mut views = [GradViewMut {
+                dims: &dims,
+                grad: &mut g,
+            }];
             opt.aggregate(&mut views, &mut comm).unwrap();
         }
         assert!(opt.compressor.residual_norm() > 0.0);
@@ -160,8 +224,14 @@ mod tests {
             let da = [2usize];
             let db = [1usize];
             let mut views = [
-                GradViewMut { dims: &da, grad: &mut a },
-                GradViewMut { dims: &db, grad: &mut b },
+                GradViewMut {
+                    dims: &da,
+                    grad: &mut a,
+                },
+                GradViewMut {
+                    dims: &db,
+                    grad: &mut b,
+                },
             ];
             opt.aggregate(&mut views, &mut comm).unwrap();
             (a, b)

@@ -2,10 +2,11 @@
 //! tensor fusion over ring all-reduce (PyTorch-DDP semantics).
 
 use acp_collectives::{Communicator, ReduceOp};
+use acp_telemetry::{RecorderCell, RecorderHandle};
 
 use crate::error::CoreError;
 use crate::fusion::{bucket_ranges, FlatPacker};
-use crate::optimizer::{check_shapes, DistributedOptimizer, GradViewMut};
+use crate::optimizer::{check_shapes, record_step_metrics, DistributedOptimizer, GradViewMut};
 
 /// Default DDP fusion buffer: 25 MB.
 pub const DEFAULT_BUFFER_BYTES: usize = 25 * 1024 * 1024;
@@ -33,6 +34,7 @@ pub struct SSgdAggregator {
     buffer_bytes: usize,
     packer: FlatPacker,
     shapes: Vec<Vec<usize>>,
+    recorder: RecorderCell,
 }
 
 impl SSgdAggregator {
@@ -44,7 +46,12 @@ impl SSgdAggregator {
     /// Creates the aggregator with an explicit fusion buffer capacity
     /// (0 disables fusion).
     pub fn with_buffer_bytes(buffer_bytes: usize) -> Self {
-        SSgdAggregator { buffer_bytes, packer: FlatPacker::new(), shapes: Vec::new() }
+        SSgdAggregator {
+            buffer_bytes,
+            packer: FlatPacker::new(),
+            shapes: Vec::new(),
+            recorder: RecorderCell::default(),
+        }
     }
 }
 
@@ -59,13 +66,33 @@ impl DistributedOptimizer for SSgdAggregator {
         comm: &mut dyn Communicator,
     ) -> Result<(), CoreError> {
         check_shapes(&mut self.shapes, grads)?;
+        let enabled = self.recorder.enabled();
+        let step_start = self.recorder.now_us();
         let sizes: Vec<usize> = grads.iter().map(|g| 4 * g.grad.len()).collect();
         for range in bucket_ranges(&sizes, self.buffer_bytes) {
-            self.packer.pack(grads[range.clone()].iter().map(|g| &*g.grad));
+            self.packer
+                .pack(grads[range.clone()].iter().map(|g| &*g.grad));
             comm.all_reduce(self.packer.buffer_mut(), ReduceOp::Mean)?;
-            self.packer.unpack(grads[range].iter_mut().map(|g| &mut *g.grad));
+            self.packer
+                .unpack(grads[range].iter_mut().map(|g| &mut *g.grad));
+        }
+        if enabled {
+            // Uncompressed baseline: payload == dense, zero compression time.
+            let dense_bytes: u64 = sizes.iter().map(|&s| s as u64).sum();
+            record_step_metrics(
+                &*self.recorder,
+                dense_bytes,
+                dense_bytes,
+                0,
+                step_start,
+                None,
+            );
         }
         Ok(())
+    }
+
+    fn set_recorder(&mut self, recorder: RecorderHandle) {
+        self.recorder.set(recorder);
     }
 }
 
@@ -85,8 +112,14 @@ mod tests {
             let da = [2usize];
             let db = [3usize];
             let mut views = [
-                GradViewMut { dims: &da, grad: &mut a },
-                GradViewMut { dims: &db, grad: &mut b },
+                GradViewMut {
+                    dims: &da,
+                    grad: &mut a,
+                },
+                GradViewMut {
+                    dims: &db,
+                    grad: &mut b,
+                },
             ];
             opt.aggregate(&mut views, &mut comm).unwrap();
             (a, b)
@@ -109,8 +142,14 @@ mod tests {
             let da = [5usize];
             let db = [7usize];
             let mut views = [
-                GradViewMut { dims: &da, grad: &mut a },
-                GradViewMut { dims: &db, grad: &mut b },
+                GradViewMut {
+                    dims: &da,
+                    grad: &mut a,
+                },
+                GradViewMut {
+                    dims: &db,
+                    grad: &mut b,
+                },
             ];
             opt.aggregate(&mut views, &mut comm).unwrap();
             (a, b)
@@ -128,11 +167,17 @@ mod tests {
         let mut comm = LocalCommunicator::new();
         let dims = [2usize];
         let mut g = vec![0.0f32; 2];
-        let mut views = [GradViewMut { dims: &dims, grad: &mut g }];
+        let mut views = [GradViewMut {
+            dims: &dims,
+            grad: &mut g,
+        }];
         opt.aggregate(&mut views, &mut comm).unwrap();
         let bad = [3usize];
         let mut g2 = vec![0.0f32; 3];
-        let mut views = [GradViewMut { dims: &bad, grad: &mut g2 }];
+        let mut views = [GradViewMut {
+            dims: &bad,
+            grad: &mut g2,
+        }];
         assert!(opt.aggregate(&mut views, &mut comm).is_err());
     }
 }

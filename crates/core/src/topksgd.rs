@@ -3,10 +3,43 @@
 
 use acp_collectives::Communicator;
 use acp_compression::{Compressor, ErrorFeedback, Payload, TopK};
+use acp_telemetry::{RecorderCell, RecorderHandle};
 
 use crate::error::CoreError;
 use crate::fusion::FlatPacker;
-use crate::optimizer::{check_shapes, DistributedOptimizer, GradViewMut};
+use crate::optimizer::{check_shapes, record_step_metrics, DistributedOptimizer, GradViewMut};
+
+/// Configuration of [`TopkSgdAggregator`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TopkSgdConfig {
+    /// Fraction of gradient elements kept per step (paper: 0.001).
+    pub density: f64,
+    /// Maintain an error-feedback residual (Stich et al.).
+    pub error_feedback: bool,
+}
+
+impl Default for TopkSgdConfig {
+    fn default() -> Self {
+        TopkSgdConfig {
+            density: 0.001,
+            error_feedback: true,
+        }
+    }
+}
+
+impl TopkSgdConfig {
+    /// Sets the selection density.
+    pub fn with_density(mut self, density: f64) -> Self {
+        self.density = density;
+        self
+    }
+
+    /// Enables or disables error feedback.
+    pub fn with_error_feedback(mut self, error_feedback: bool) -> Self {
+        self.error_feedback = error_feedback;
+        self
+    }
+}
 
 /// Top-k sparsified aggregator.
 ///
@@ -22,6 +55,7 @@ pub struct TopkSgdAggregator {
     compressor: Option<ErrorFeedback<TopK>>,
     packer: FlatPacker,
     shapes: Vec<Vec<usize>>,
+    recorder: RecorderCell,
 }
 
 impl TopkSgdAggregator {
@@ -39,6 +73,7 @@ impl TopkSgdAggregator {
             compressor: None,
             packer: FlatPacker::new(),
             shapes: Vec::new(),
+            recorder: RecorderCell::default(),
         }
     }
 
@@ -49,7 +84,23 @@ impl TopkSgdAggregator {
     ///
     /// Panics if `density` is not in `(0, 1]`.
     pub fn with_error_feedback(density: f64) -> Self {
-        TopkSgdAggregator { error_feedback: true, ..TopkSgdAggregator::new(density) }
+        TopkSgdAggregator {
+            error_feedback: true,
+            ..TopkSgdAggregator::new(density)
+        }
+    }
+
+    /// Creates the aggregator from a [`TopkSgdConfig`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured density is not in `(0, 1]`.
+    pub fn from_config(cfg: TopkSgdConfig) -> Self {
+        if cfg.error_feedback {
+            TopkSgdAggregator::with_error_feedback(cfg.density)
+        } else {
+            TopkSgdAggregator::new(cfg.density)
+        }
     }
 
     /// The configured selection density.
@@ -69,6 +120,8 @@ impl DistributedOptimizer for TopkSgdAggregator {
         comm: &mut dyn Communicator,
     ) -> Result<(), CoreError> {
         check_shapes(&mut self.shapes, grads)?;
+        let enabled = self.recorder.enabled();
+        let step_start = self.recorder.now_us();
         self.packer.pack(grads.iter().map(|g| &*g.grad));
         let flat = self.packer.buffer_mut().to_vec();
         let n = flat.len();
@@ -76,27 +129,53 @@ impl DistributedOptimizer for TopkSgdAggregator {
         let compressor = self
             .compressor
             .get_or_insert_with(|| ErrorFeedback::new(TopK::new(k)));
+        let compress_start = self.recorder.now_us();
         let payload = if self.error_feedback {
             compressor.compress(&flat)
         } else {
             let mut raw = TopK::new(k);
             raw.compress(&flat)
         };
+        let mut compress_us = self.recorder.now_us().saturating_sub(compress_start);
+        let payload_bytes = payload.wire_bytes() as u64;
         let (indices, values) = match payload {
-            Payload::Sparse { indices, values, .. } => (indices, values),
+            Payload::Sparse {
+                indices, values, ..
+            } => (indices, values),
             _ => unreachable!("TopK produces sparse payloads"),
         };
         let gathered_idx = comm.all_gather_u32(&indices)?;
         let gathered_val = comm.all_gather_f32(&values)?;
+        let scatter_start = self.recorder.now_us();
         let mut dense = vec![0.0f32; n];
         TopK::scatter_average(&gathered_idx, &gathered_val, comm.world_size(), &mut dense);
+        compress_us += self.recorder.now_us().saturating_sub(scatter_start);
         let mut offset = 0usize;
         for g in grads.iter_mut() {
             let len = g.grad.len();
             g.grad.copy_from_slice(&dense[offset..offset + len]);
             offset += len;
         }
+        if enabled {
+            let residual = self.error_feedback.then(|| {
+                self.compressor
+                    .as_ref()
+                    .map_or(0.0, |c| c.residual_norm() as f64)
+            });
+            record_step_metrics(
+                &*self.recorder,
+                4 * n as u64,
+                payload_bytes,
+                compress_us,
+                step_start,
+                residual,
+            );
+        }
         Ok(())
+    }
+
+    fn set_recorder(&mut self, recorder: RecorderHandle) {
+        self.recorder.set(recorder);
     }
 }
 
@@ -117,7 +196,10 @@ mod tests {
                 vec![0.0, 0.1, 6.0, 0.0]
             };
             let dims = [4usize];
-            let mut views = [GradViewMut { dims: &dims, grad: &mut g }];
+            let mut views = [GradViewMut {
+                dims: &dims,
+                grad: &mut g,
+            }];
             opt.aggregate(&mut views, &mut comm).unwrap();
             g
         });
@@ -132,7 +214,10 @@ mod tests {
             let mut opt = TopkSgdAggregator::new(0.5); // k = 1 of 2
             let mut g = vec![2.0 + comm.rank() as f32 * 2.0, 0.0];
             let dims = [2usize];
-            let mut views = [GradViewMut { dims: &dims, grad: &mut g }];
+            let mut views = [GradViewMut {
+                dims: &dims,
+                grad: &mut g,
+            }];
             opt.aggregate(&mut views, &mut comm).unwrap();
             g
         });
@@ -148,11 +233,17 @@ mod tests {
         let mut comm = LocalCommunicator::new();
         let dims = [4usize];
         let mut g = vec![10.0, 1.0, 1.0, 1.0];
-        let mut views = [GradViewMut { dims: &dims, grad: &mut g }];
+        let mut views = [GradViewMut {
+            dims: &dims,
+            grad: &mut g,
+        }];
         opt.aggregate(&mut views, &mut comm).unwrap();
         // Three dropped 1.0s live in the residual.
         let residual = opt.compressor.as_ref().unwrap().residual_norm();
-        assert!((residual - 3.0f32.sqrt()).abs() < 1e-5, "residual {residual}");
+        assert!(
+            (residual - 3.0f32.sqrt()).abs() < 1e-5,
+            "residual {residual}"
+        );
     }
 
     #[test]

@@ -48,8 +48,7 @@ impl ModelSpec {
     /// calibrated point — adequate for the compute-bound batch range the
     /// paper sweeps).
     pub fn ffbp_seconds(&self, batch_size: usize) -> f64 {
-        self.ffbp_seconds_at_default_batch * batch_size as f64
-            / self.default_batch_size as f64
+        self.ffbp_seconds_at_default_batch * batch_size as f64 / self.default_batch_size as f64
     }
 
     /// Number of tensors the low-rank methods compress (matrices).
@@ -96,7 +95,12 @@ impl Model {
 
     /// The four models of the timing evaluation (Figs. 2–3, Table III).
     pub fn evaluation_models() -> [Model; 4] {
-        [Model::ResNet50, Model::ResNet152, Model::BertBase, Model::BertLarge]
+        [
+            Model::ResNet50,
+            Model::ResNet152,
+            Model::BertBase,
+            Model::BertLarge,
+        ]
     }
 
     /// The Power-SGD / ACP-SGD rank the paper pairs with this model
@@ -141,10 +145,16 @@ impl Builder {
     /// filter plus (optionally) batch-norm weight/bias vectors.
     fn conv(&mut self, name: &str, cin: usize, cout: usize, k: usize, out_hw: usize, bn: bool) {
         let flops = 2 * k as u64 * k as u64 * cin as u64 * cout as u64 * (out_hw * out_hw) as u64;
-        self.layers.push(LayerSpec::new(format!("{name}.weight"), vec![cout, cin, k, k], flops));
+        self.layers.push(LayerSpec::new(
+            format!("{name}.weight"),
+            vec![cout, cin, k, k],
+            flops,
+        ));
         if bn {
-            self.layers.push(LayerSpec::new(format!("{name}.bn.weight"), vec![cout], 0));
-            self.layers.push(LayerSpec::new(format!("{name}.bn.bias"), vec![cout], 0));
+            self.layers
+                .push(LayerSpec::new(format!("{name}.bn.weight"), vec![cout], 0));
+            self.layers
+                .push(LayerSpec::new(format!("{name}.bn.bias"), vec![cout], 0));
         }
     }
 
@@ -153,19 +163,27 @@ impl Builder {
     /// sequence length for transformers).
     fn linear(&mut self, name: &str, in_f: usize, out_f: usize, tokens: usize) {
         let flops = 2 * in_f as u64 * out_f as u64 * tokens as u64;
-        self.layers.push(LayerSpec::new(format!("{name}.weight"), vec![out_f, in_f], flops));
-        self.layers.push(LayerSpec::new(format!("{name}.bias"), vec![out_f], 0));
+        self.layers.push(LayerSpec::new(
+            format!("{name}.weight"),
+            vec![out_f, in_f],
+            flops,
+        ));
+        self.layers
+            .push(LayerSpec::new(format!("{name}.bias"), vec![out_f], 0));
     }
 
     /// LayerNorm weight + bias.
     fn layer_norm(&mut self, name: &str, dim: usize) {
-        self.layers.push(LayerSpec::new(format!("{name}.weight"), vec![dim], 0));
-        self.layers.push(LayerSpec::new(format!("{name}.bias"), vec![dim], 0));
+        self.layers
+            .push(LayerSpec::new(format!("{name}.weight"), vec![dim], 0));
+        self.layers
+            .push(LayerSpec::new(format!("{name}.bias"), vec![dim], 0));
     }
 
     /// Embedding table (no FLOPs — lookups).
     fn embedding(&mut self, name: &str, rows: usize, dim: usize) {
-        self.layers.push(LayerSpec::new(format!("{name}.weight"), vec![rows, dim], 0));
+        self.layers
+            .push(LayerSpec::new(format!("{name}.weight"), vec![rows, dim], 0));
     }
 }
 
@@ -176,8 +194,10 @@ fn bottleneck_resnet(name: &'static str, blocks: [usize; 4], batch: usize, ffbp:
     let widths = [64usize, 128, 256, 512];
     let spatial = [56usize, 28, 14, 7];
     let mut in_ch = 64;
-    for (stage, (&n_blocks, (&width, &hw))) in
-        blocks.iter().zip(widths.iter().zip(spatial.iter())).enumerate()
+    for (stage, (&n_blocks, (&width, &hw))) in blocks
+        .iter()
+        .zip(widths.iter().zip(spatial.iter()))
+        .enumerate()
     {
         let out_ch = width * 4;
         for block in 0..n_blocks {
@@ -236,7 +256,11 @@ fn bert(name: &'static str, hidden: usize, layers: usize, batch: usize, ffbp: f6
             vec![hidden, hidden],
             out_flops,
         ));
-        b.layers.push(LayerSpec::new(format!("{p}.attn.output.bias"), vec![hidden], 0));
+        b.layers.push(LayerSpec::new(
+            format!("{p}.attn.output.bias"),
+            vec![hidden],
+            0,
+        ));
         b.layer_norm(&format!("{p}.attn.ln"), hidden);
         b.linear(&format!("{p}.ffn.intermediate"), hidden, intermediate, SEQ);
         b.linear(&format!("{p}.ffn.output"), intermediate, hidden, SEQ);
@@ -265,8 +289,13 @@ pub fn bert_large() -> ModelSpec {
 pub fn vgg16_cifar() -> ModelSpec {
     let mut b = Builder::new();
     // (channels, convs-in-stage, output spatial size on 32x32 inputs)
-    let stages: [(usize, usize, usize); 5] =
-        [(64, 2, 32), (128, 2, 16), (256, 3, 8), (512, 3, 4), (512, 3, 2)];
+    let stages: [(usize, usize, usize); 5] = [
+        (64, 2, 32),
+        (128, 2, 16),
+        (256, 3, 8),
+        (512, 3, 4),
+        (512, 3, 2),
+    ];
     let mut in_ch = 3;
     for (stage, &(ch, convs, hw)) in stages.iter().enumerate() {
         for c in 0..convs {
@@ -406,6 +435,9 @@ mod tests {
     fn bert_large_is_about_1282mb() {
         // Fig. 10 quotes 1282.6 MB of parameters for BERT-Large.
         let mb = bert_large().grad_bytes() as f64 / (1024.0 * 1024.0);
-        assert!((1270.0..1290.0).contains(&mb), "BERT-Large gradient {mb} MB");
+        assert!(
+            (1270.0..1290.0).contains(&mb),
+            "BERT-Large gradient {mb} MB"
+        );
     }
 }

@@ -25,7 +25,11 @@ pub struct LayerSpec {
 impl LayerSpec {
     /// Creates a parameter entry.
     pub fn new(name: impl Into<String>, dims: Vec<usize>, fwd_flops_per_sample: u64) -> Self {
-        LayerSpec { name: name.into(), dims, fwd_flops_per_sample }
+        LayerSpec {
+            name: name.into(),
+            dims,
+            fwd_flops_per_sample,
+        }
     }
 
     /// Number of elements in the tensor.
@@ -68,7 +72,13 @@ mod tests {
         let l = LayerSpec::new("conv", vec![64, 3, 7, 7], 1_000_000);
         assert_eq!(l.numel(), 64 * 3 * 49);
         assert!(l.is_compressible());
-        assert_eq!(l.matrix_shape(), MatrixShape::Matrix { rows: 64, cols: 147 });
+        assert_eq!(
+            l.matrix_shape(),
+            MatrixShape::Matrix {
+                rows: 64,
+                cols: 147
+            }
+        );
     }
 
     #[test]

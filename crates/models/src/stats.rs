@@ -48,7 +48,10 @@ pub fn model_stats(model: Model) -> ModelStats {
 
 /// All four rows of Table I.
 pub fn table1() -> Vec<ModelStats> {
-    Model::evaluation_models().into_iter().map(model_stats).collect()
+    Model::evaluation_models()
+        .into_iter()
+        .map(model_stats)
+        .collect()
 }
 
 #[cfg(test)]
@@ -61,28 +64,44 @@ mod tests {
         // regime (the exact figure depends on which tensors the reference
         // implementation reshapes).
         let s = model_stats(Model::ResNet50);
-        assert!((40.0..90.0).contains(&s.power_ratio), "ratio {}", s.power_ratio);
+        assert!(
+            (40.0..90.0).contains(&s.power_ratio),
+            "ratio {}",
+            s.power_ratio
+        );
         assert_eq!(s.rank, 4);
     }
 
     #[test]
     fn resnet152_power_ratio_near_53x() {
         let s = model_stats(Model::ResNet152);
-        assert!((35.0..75.0).contains(&s.power_ratio), "ratio {}", s.power_ratio);
+        assert!(
+            (35.0..75.0).contains(&s.power_ratio),
+            "ratio {}",
+            s.power_ratio
+        );
     }
 
     #[test]
     fn bert_base_power_ratio_near_16x() {
         // Table I: 16× at rank 32.
         let s = model_stats(Model::BertBase);
-        assert!((10.0..22.0).contains(&s.power_ratio), "ratio {}", s.power_ratio);
+        assert!(
+            (10.0..22.0).contains(&s.power_ratio),
+            "ratio {}",
+            s.power_ratio
+        );
         assert_eq!(s.rank, 32);
     }
 
     #[test]
     fn bert_large_power_ratio_near_21x() {
         let s = model_stats(Model::BertLarge);
-        assert!((14.0..28.0).contains(&s.power_ratio), "ratio {}", s.power_ratio);
+        assert!(
+            (14.0..28.0).contains(&s.power_ratio),
+            "ratio {}",
+            s.power_ratio
+        );
     }
 
     #[test]

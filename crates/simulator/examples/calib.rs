@@ -8,7 +8,10 @@ fn main() {
         (Model::BertBase, [805.0, 236.0, 292.0, 193.0]),
         (Model::BertLarge, [2307.0, 392.0, 516.0, 245.0]),
     ];
-    println!("{:<12} {:>8} {:>8} {:>8} {:>8}   (paper in parens)", "model", "S-SGD", "Power", "Power*", "ACP");
+    println!(
+        "{:<12} {:>8} {:>8} {:>8} {:>8}   (paper in parens)",
+        "model", "S-SGD", "Power", "Power*", "ACP"
+    );
     for (model, p) in paper {
         let r = model.paper_rank();
         let strategies = [
@@ -19,7 +22,9 @@ fn main() {
         ];
         print!("{:<12}", model.label());
         for (s, pv) in strategies.iter().zip(p) {
-            let t = simulate(&ExperimentConfig::paper_testbed(model, *s)).unwrap().total_ms();
+            let t = simulate(&ExperimentConfig::paper_testbed(model, *s))
+                .unwrap()
+                .total_ms();
             print!(" {:>4.0}({:>4.0})", t, pv);
         }
         println!();
@@ -27,7 +32,11 @@ fn main() {
     // Fig 9 check: ResNet-152 + BERT-Large, naive/wfbp/wfbptf
     for model in [Model::ResNet152, Model::BertLarge] {
         let r = model.paper_rank();
-        for s in [Strategy::SSgd, Strategy::PowerSgdStar { rank: r }, Strategy::AcpSgd { rank: r }] {
+        for s in [
+            Strategy::SSgd,
+            Strategy::PowerSgdStar { rank: r },
+            Strategy::AcpSgd { rank: r },
+        ] {
             let mut cfg = ExperimentConfig::paper_testbed(model, s);
             print!("{} {:<10}", model.label(), s.label());
             for opt in acp_simulator::OptLevel::all() {

@@ -35,14 +35,22 @@ pub fn pack_buckets(payload_bytes: &[usize], buffer_bytes: usize) -> Vec<Bucket>
     }
     if buffer_bytes == 0 {
         for (i, &b) in payload_bytes.iter().enumerate() {
-            buckets.push(Bucket { tensor_indices: vec![i], payload_bytes: b });
+            buckets.push(Bucket {
+                tensor_indices: vec![i],
+                payload_bytes: b,
+            });
         }
         return buckets;
     }
-    let mut current = Bucket { tensor_indices: Vec::new(), payload_bytes: 0 };
+    let mut current = Bucket {
+        tensor_indices: Vec::new(),
+        payload_bytes: 0,
+    };
     for (i, &b) in payload_bytes.iter().enumerate() {
         if !current.tensor_indices.is_empty() && current.payload_bytes + b > buffer_bytes {
-            buckets.push(std::mem::take(&mut current.tensor_indices).into_bucket(current.payload_bytes));
+            buckets.push(
+                std::mem::take(&mut current.tensor_indices).into_bucket(current.payload_bytes),
+            );
             current.payload_bytes = 0;
         }
         current.tensor_indices.push(i);
@@ -60,7 +68,10 @@ trait IntoBucket {
 
 impl IntoBucket for Vec<usize> {
     fn into_bucket(self, payload_bytes: usize) -> Bucket {
-        Bucket { tensor_indices: self, payload_bytes }
+        Bucket {
+            tensor_indices: self,
+            payload_bytes,
+        }
     }
 }
 
@@ -153,8 +164,10 @@ mod tests {
     fn buckets_partition_all_tensors_in_order() {
         let payloads: Vec<usize> = (1..=50).map(|i| i * 7).collect();
         let buckets = pack_buckets(&payloads, 100);
-        let flattened: Vec<usize> =
-            buckets.iter().flat_map(|b| b.tensor_indices.iter().copied()).collect();
+        let flattened: Vec<usize> = buckets
+            .iter()
+            .flat_map(|b| b.tensor_indices.iter().copied())
+            .collect();
         let expected: Vec<usize> = (0..50).collect();
         assert_eq!(flattened, expected);
         let total: usize = buckets.iter().map(|b| b.payload_bytes).sum();

@@ -101,7 +101,11 @@ impl HardwareProfile {
     /// Same GPU profile with a different cluster size / interconnect
     /// (Figs. 12–13).
     pub fn with_cluster(workers: usize, network: NetworkTier) -> Self {
-        HardwareProfile { workers, network, ..HardwareProfile::paper_testbed() }
+        HardwareProfile {
+            workers,
+            network,
+            ..HardwareProfile::paper_testbed()
+        }
     }
 
     /// Cost calculator for this cluster.

@@ -84,12 +84,21 @@ impl Schedule {
         duration: f64,
         deps: Vec<TaskId>,
     ) -> TaskId {
-        assert!(duration.is_finite() && duration >= 0.0, "invalid duration {duration}");
+        assert!(
+            duration.is_finite() && duration >= 0.0,
+            "invalid duration {duration}"
+        );
         let id = self.tasks.len();
         for &d in &deps {
             assert!(d < id, "dependency {d} not yet defined for task {id}");
         }
-        self.tasks.push(Task { label: label.into(), resource, kind, duration, deps });
+        self.tasks.push(Task {
+            label: label.into(),
+            resource,
+            kind,
+            duration,
+            deps,
+        });
         id
     }
 
@@ -155,17 +164,14 @@ impl Schedule {
                 let better = match best {
                     None => true,
                     Some((bs, bid)) => {
-                        start < bs
-                            || (start == bs
-                                && (prio(id), id) < (prio(bid), bid))
+                        start < bs || (start == bs && (prio(id), id) < (prio(bid), bid))
                     }
                 };
                 if better {
                     best = Some((start, id));
                 }
             }
-            let (start, id) =
-                best.expect("dependency cycle or forward reference in task DAG");
+            let (start, id) = best.expect("dependency cycle or forward reference in task DAG");
             let finish = start + self.tasks[id].duration;
             placed[id] = Some(Placement { start, finish });
             match self.tasks[id].resource {
@@ -174,7 +180,10 @@ impl Schedule {
             }
             remaining -= 1;
         }
-        placed.into_iter().map(|p| p.expect("all tasks placed")).collect()
+        placed
+            .into_iter()
+            .map(|p| p.expect("all tasks placed"))
+            .collect()
     }
 
     /// Convenience: schedules and returns the makespan (latest finish).
@@ -184,7 +193,11 @@ impl Schedule {
 
     /// Sum of durations of tasks of `kind` (independent of placement).
     pub fn total_duration(&self, kind: TaskKind) -> f64 {
-        self.tasks.iter().filter(|t| t.kind == kind).map(|t| t.duration).sum()
+        self.tasks
+            .iter()
+            .filter(|t| t.kind == kind)
+            .map(|t| t.duration)
+            .sum()
     }
 }
 
@@ -212,7 +225,13 @@ mod tests {
     fn dependencies_are_honored() {
         let mut s = Schedule::new();
         let a = s.push("a", Resource::Compute, TaskKind::Backward, 1.0, vec![]);
-        let b = s.push("b", Resource::Network, TaskKind::Communication, 1.0, vec![a]);
+        let b = s.push(
+            "b",
+            Resource::Network,
+            TaskKind::Communication,
+            1.0,
+            vec![a],
+        );
         s.push("c", Resource::Compute, TaskKind::Compression, 1.0, vec![b]);
         // a: 0-1, b: 1-2, c: 2-3.
         assert!((s.makespan() - 3.0).abs() < 1e-12);
@@ -226,9 +245,21 @@ mod tests {
         // second layer's backward — the Fig. 1(b) schedule.
         let mut s = Schedule::new();
         let b2 = s.push("M2", Resource::Compute, TaskKind::Backward, 1.0, vec![]);
-        s.push("A2", Resource::Network, TaskKind::Communication, 1.0, vec![b2]);
+        s.push(
+            "A2",
+            Resource::Network,
+            TaskKind::Communication,
+            1.0,
+            vec![b2],
+        );
         let b1 = s.push("M1", Resource::Compute, TaskKind::Backward, 1.0, vec![b2]);
-        s.push("A1", Resource::Network, TaskKind::Communication, 1.0, vec![b1]);
+        s.push(
+            "A1",
+            Resource::Network,
+            TaskKind::Communication,
+            1.0,
+            vec![b1],
+        );
         // M2: 0-1, M1: 1-2, A2: 1-2, A1: 2-3 => makespan 3 (vs 4 unoverlapped).
         assert!((s.makespan() - 3.0).abs() < 1e-12);
     }
@@ -238,9 +269,27 @@ mod tests {
         // A network task that only becomes ready late must not delay an
         // already-ready one submitted after it.
         let mut s = Schedule::new();
-        let slow = s.push("slow-dep", Resource::Compute, TaskKind::Backward, 5.0, vec![]);
-        s.push("late", Resource::Network, TaskKind::Communication, 1.0, vec![slow]);
-        s.push("early", Resource::Network, TaskKind::Communication, 1.0, vec![]);
+        let slow = s.push(
+            "slow-dep",
+            Resource::Compute,
+            TaskKind::Backward,
+            5.0,
+            vec![],
+        );
+        s.push(
+            "late",
+            Resource::Network,
+            TaskKind::Communication,
+            1.0,
+            vec![slow],
+        );
+        s.push(
+            "early",
+            Resource::Network,
+            TaskKind::Communication,
+            1.0,
+            vec![],
+        );
         let p = s.run();
         assert_eq!(p[2].start, 0.0, "early task should run first");
         assert_eq!(p[1].start, 5.0);

@@ -70,7 +70,10 @@ pub enum SimError {
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SimError::OutOfMemory { required_bytes, available_bytes } => write!(
+            SimError::OutOfMemory {
+                required_bytes,
+                available_bytes,
+            } => write!(
                 f,
                 "out of GPU memory: needs {:.1} GB, device has {:.1} GB",
                 *required_bytes as f64 / 1e9,
@@ -184,7 +187,10 @@ struct Costs {
 
 impl Costs {
     fn new(hw: HardwareProfile) -> Self {
-        Costs { hw, cluster: hw.cluster_cost() }
+        Costs {
+            hw,
+            cluster: hw.cluster_cost(),
+        }
     }
 
     fn all_reduce(&self, bytes: usize) -> f64 {
@@ -375,9 +381,12 @@ pub(crate) fn build_schedule(
     let bucket_dep = |bucket: &Bucket| -> TaskId {
         match cfg.opt {
             OptLevel::Naive => last_bwd,
-            OptLevel::Wfbp | OptLevel::WfbpTf => {
-                bucket.tensor_indices.iter().map(|&i| bwd_ids[i]).max().unwrap_or(last_bwd)
-            }
+            OptLevel::Wfbp | OptLevel::WfbpTf => bucket
+                .tensor_indices
+                .iter()
+                .map(|&i| bwd_ids[i])
+                .max()
+                .unwrap_or(last_bwd),
         }
     };
 
@@ -406,11 +415,14 @@ pub(crate) fn build_schedule(
                 + 4.0 * costs.hw.gpu.kernel_overhead;
             let rounds = (cfg.hardware.workers as f64).log2().ceil();
             // Per-round merge of ~2k sparse entries on the compute stream.
-            let decode = costs.elementwise(2.0 * rounds * k as f64)
-                + costs.hw.gpu.kernel_overhead;
-            let c = s.push("Compress", Resource::Compute, TaskKind::Compression, compress, vec![
-                last_bwd,
-            ]);
+            let decode = costs.elementwise(2.0 * rounds * k as f64) + costs.hw.gpu.kernel_overhead;
+            let c = s.push(
+                "Compress",
+                Resource::Compute,
+                TaskKind::Compression,
+                compress,
+                vec![last_bwd],
+            );
             let g = s.push(
                 "GTopk",
                 Resource::Network,
@@ -418,7 +430,13 @@ pub(crate) fn build_schedule(
                 costs.cluster.gtopk_time(k),
                 vec![c],
             );
-            s.push("Decode", Resource::Compute, TaskKind::Compression, decode, vec![g]);
+            s.push(
+                "Decode",
+                Resource::Compute,
+                TaskKind::Compression,
+                decode,
+                vec![g],
+            );
         }
         Strategy::SignSgd | Strategy::TopkSgd { .. } => {
             // Per §III-A the gradients are packed together after BP, then
@@ -428,8 +446,7 @@ pub(crate) fn build_schedule(
             let n = total_dense as f64 / 4.0;
             let (compress, payload, decode) = match cfg.strategy {
                 Strategy::SignSgd => {
-                    let compress =
-                        costs.elementwise(2.0 * n) + 2.0 * costs.hw.gpu.kernel_overhead;
+                    let compress = costs.elementwise(2.0 * n) + 2.0 * costs.hw.gpu.kernel_overhead;
                     // Packed signs: N bits = N/8 bytes per rank.
                     let payload = (n / 8.0) as usize;
                     // Unpack every rank's words + vote.
@@ -447,15 +464,19 @@ pub(crate) fn build_schedule(
                     let k = (density * n) as usize;
                     let payload = 8 * k; // values + indices
                     let p = cfg.hardware.workers as f64;
-                    let decode = costs.elementwise(2.0 * p * k as f64)
-                        + costs.hw.gpu.kernel_overhead;
+                    let decode =
+                        costs.elementwise(2.0 * p * k as f64) + costs.hw.gpu.kernel_overhead;
                     (compress, payload, decode)
                 }
                 _ => unreachable!(),
             };
-            let c = s.push("Compress", Resource::Compute, TaskKind::Compression, compress, vec![
-                last_bwd,
-            ]);
+            let c = s.push(
+                "Compress",
+                Resource::Compute,
+                TaskKind::Compression,
+                compress,
+                vec![last_bwd],
+            );
             let g = s.push(
                 "AllGather",
                 Resource::Network,
@@ -463,7 +484,13 @@ pub(crate) fn build_schedule(
                 costs.all_gather(payload),
                 vec![c],
             );
-            s.push("Decode", Resource::Compute, TaskKind::Compression, decode, vec![g]);
+            s.push(
+                "Decode",
+                Resource::Compute,
+                TaskKind::Compression,
+                decode,
+                vec![g],
+            );
         }
         Strategy::PowerSgd { rank } => {
             // Original implementation: pack after BP, then per bucket
@@ -479,7 +506,11 @@ pub(crate) fn build_schedule(
                 &infos,
                 &buckets,
                 rank,
-                PowerPenalties { compute: 1.0, comm: 1.0, ov_scale },
+                PowerPenalties {
+                    compute: 1.0,
+                    comm: 1.0,
+                    ov_scale,
+                },
                 |_| last_bwd,
             );
         }
@@ -490,7 +521,11 @@ pub(crate) fn build_schedule(
             // interference on both.
             let buckets = strategy_buckets(&dense_payloads, cfg.opt, cfg.buffer_bytes);
             let penalties = match cfg.opt {
-                OptLevel::Naive => PowerPenalties { compute: 1.0, comm: 1.0, ov_scale: 1.0 },
+                OptLevel::Naive => PowerPenalties {
+                    compute: 1.0,
+                    comm: 1.0,
+                    ov_scale: 1.0,
+                },
                 OptLevel::Wfbp => PowerPenalties {
                     compute: costs.hw.gpu.interference_penalty,
                     comm: costs.hw.gpu.comm_interference_penalty,
@@ -577,8 +612,7 @@ fn emit_power_buckets(
     dep_of: impl Fn(&Bucket) -> TaskId,
 ) {
     for (bi, bucket) in buckets.iter().enumerate() {
-        let tensors: Vec<&TensorInfo> =
-            bucket.tensor_indices.iter().map(|&i| &infos[i]).collect();
+        let tensors: Vec<&TensorInfo> = bucket.tensor_indices.iter().map(|&i| &infos[i]).collect();
         let dep = dep_of(bucket);
         let pc = s.push(
             format!("P{bi}"),
@@ -651,7 +685,10 @@ pub fn simulate(cfg: &ExperimentConfig) -> Result<IterationReport, SimError> {
             let q = IterationReport::from_schedule(&build_schedule(cfg, AcpSide::Q)?);
             Ok(IterationReport::average(p, q))
         }
-        _ => Ok(IterationReport::from_schedule(&build_schedule(cfg, AcpSide::P)?)),
+        _ => Ok(IterationReport::from_schedule(&build_schedule(
+            cfg,
+            AcpSide::P,
+        )?)),
     }
 }
 
@@ -683,7 +720,10 @@ mod tests {
         // wins on the BERTs.
         let p50 = run(Model::ResNet50, Strategy::PowerSgd { rank: 4 }).total;
         let s50 = run(Model::ResNet50, Strategy::SSgd).total;
-        assert!(p50 > s50, "ResNet-50: Power-SGD {p50} should lose to S-SGD {s50}");
+        assert!(
+            p50 > s50,
+            "ResNet-50: Power-SGD {p50} should lose to S-SGD {s50}"
+        );
         for model in [Model::BertBase, Model::BertLarge] {
             let p = run(model, Strategy::PowerSgd { rank: 32 }).total;
             let s = run(model, Strategy::SSgd).total;
@@ -770,7 +810,10 @@ mod tests {
         assert!(a_wfbp < a_naive, "ACP WFBP {a_wfbp} vs naive {a_naive}");
         let p_naive = mk(Strategy::PowerSgdStar { rank: 4 }, OptLevel::Naive);
         let p_wfbp = mk(Strategy::PowerSgdStar { rank: 4 }, OptLevel::Wfbp);
-        assert!(p_wfbp > p_naive, "Power-SGD* WFBP {p_wfbp} should exceed naive {p_naive}");
+        assert!(
+            p_wfbp > p_naive,
+            "Power-SGD* WFBP {p_wfbp} should exceed naive {p_naive}"
+        );
     }
 
     #[test]
@@ -803,7 +846,10 @@ mod tests {
         assert!(acp64 / acp8 < 1.3, "ACP scaling {}", acp64 / acp8);
         let sign8 = time_at(8, Strategy::SignSgd);
         let sign64 = time_at(64, Strategy::SignSgd);
-        assert!(sign64 / sign8 > acp64 / acp8, "all-gather should scale worse");
+        assert!(
+            sign64 / sign8 > acp64 / acp8,
+            "all-gather should scale worse"
+        );
     }
 
     #[test]
@@ -837,7 +883,10 @@ mod tests {
         let (p32, a32) = at(32);
         let (p256, a256) = at(256);
         assert!(p256 > p32 && a256 > a32, "rank raises cost");
-        assert!(p256 / a256 > p32 / a32 * 0.9, "ACP advantage persists at high rank");
+        assert!(
+            p256 / a256 > p32 / a32 * 0.9,
+            "ACP advantage persists at high rank"
+        );
     }
 
     #[test]
@@ -853,10 +902,16 @@ mod tests {
         let topk64 = time_at(64, Strategy::TopkSgd { density: 0.001 });
         let g8 = time_at(8, Strategy::GTopkSgd { density: 0.001 });
         let g64 = time_at(64, Strategy::GTopkSgd { density: 0.001 });
-        assert!(g64 < topk64, "gTop-k comm {g64} should beat Top-k {topk64} at 64 GPUs");
+        assert!(
+            g64 < topk64,
+            "gTop-k comm {g64} should beat Top-k {topk64} at 64 GPUs"
+        );
         let topk_growth = topk64 / topk8.max(1e-9);
         let g_growth = g64 / g8.max(1e-9);
-        assert!(g_growth < topk_growth, "gTop-k growth {g_growth} vs Top-k {topk_growth}");
+        assert!(
+            g_growth < topk_growth,
+            "gTop-k growth {g_growth} vs Top-k {topk_growth}"
+        );
     }
 
     #[test]
@@ -873,10 +928,8 @@ mod tests {
         // Fig. 10: at rank 256 the default 25 MB buffer beats both no-TF
         // (0 MB) and full-TF (1500 MB).
         let at = |buffer_mb: usize| {
-            let mut cfg = ExperimentConfig::paper_testbed(
-                Model::BertLarge,
-                Strategy::AcpSgd { rank: 256 },
-            );
+            let mut cfg =
+                ExperimentConfig::paper_testbed(Model::BertLarge, Strategy::AcpSgd { rank: 256 });
             cfg.buffer_bytes = buffer_mb * 1024 * 1024;
             if buffer_mb == 0 {
                 cfg.opt = OptLevel::Wfbp; // 0 MB = no fusion

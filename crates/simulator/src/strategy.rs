@@ -132,6 +132,9 @@ mod tests {
 
     #[test]
     fn all_opt_levels_ordered() {
-        assert_eq!(OptLevel::all(), [OptLevel::Naive, OptLevel::Wfbp, OptLevel::WfbpTf]);
+        assert_eq!(
+            OptLevel::all(),
+            [OptLevel::Naive, OptLevel::Wfbp, OptLevel::WfbpTf]
+        );
     }
 }

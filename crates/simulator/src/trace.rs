@@ -42,16 +42,26 @@ pub fn trace(cfg: &ExperimentConfig) -> Result<Vec<TraceEntry>, SimError> {
             finish: p.finish,
         })
         .collect();
-    entries.sort_by(|a, b| a.start.partial_cmp(&b.start).unwrap_or(std::cmp::Ordering::Equal));
+    entries.sort_by(|a, b| {
+        a.start
+            .partial_cmp(&b.start)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     Ok(entries)
 }
 
 /// Renders a trace as a fixed-width text timeline (one row per resource),
 /// the form Fig. 4 is drawn in.
 pub fn render_text(entries: &[TraceEntry], width: usize) -> String {
-    let end = entries.iter().fold(0.0f64, |m, e| m.max(e.finish)).max(1e-9);
+    let end = entries
+        .iter()
+        .fold(0.0f64, |m, e| m.max(e.finish))
+        .max(1e-9);
     let mut rows = String::new();
-    for (resource, title) in [(Resource::Compute, "compute"), (Resource::Network, "network")] {
+    for (resource, title) in [
+        (Resource::Compute, "compute"),
+        (Resource::Network, "network"),
+    ] {
         let mut row = vec![b'.'; width];
         for e in entries.iter().filter(|e| e.resource == resource) {
             let a = ((e.start / end) * width as f64) as usize;
@@ -69,6 +79,38 @@ pub fn render_text(entries: &[TraceEntry], width: usize) -> String {
         rows.push_str(&format!("{title:>8} |{}|\n", String::from_utf8_lossy(&row)));
     }
     rows
+}
+
+/// Converts a simulated timeline to Chrome-trace JSON
+/// (`chrome://tracing` / Perfetto): one process, one track per resource,
+/// categories matching the telemetry conventions (`comm`, `compress`,
+/// `compute`).
+pub fn to_chrome_trace(entries: &[TraceEntry]) -> String {
+    use acp_telemetry::ChromeTraceBuilder;
+    let mut trace = ChromeTraceBuilder::new();
+    trace.process_name(0, "simulated iteration");
+    trace.thread_name(0, 0, "compute");
+    trace.thread_name(0, 1, "network");
+    for e in entries {
+        let tid = match e.resource {
+            Resource::Compute => 0,
+            Resource::Network => 1,
+        };
+        let cat = match e.kind {
+            TaskKind::Forward | TaskKind::Backward => "compute",
+            TaskKind::Compression => "compress",
+            TaskKind::Communication => "comm",
+        };
+        trace.complete(
+            &e.label,
+            cat,
+            0,
+            tid,
+            e.start * 1e6,
+            (e.finish - e.start) * 1e6,
+        );
+    }
+    trace.build()
 }
 
 #[cfg(test)]
@@ -97,19 +139,16 @@ mod tests {
             .iter()
             .filter(|e| e.kind == TaskKind::Backward)
             .fold(0.0f64, |m, e| m.max(e.finish));
-        let overlapped = t.iter().any(|e| {
-            e.kind == TaskKind::Communication && e.start < last_backward_finish
-        });
+        let overlapped = t
+            .iter()
+            .any(|e| e.kind == TaskKind::Communication && e.start < last_backward_finish);
         assert!(overlapped, "no communication overlapped back-propagation");
     }
 
     #[test]
     fn powersgd_naive_trace_does_not_overlap_backward() {
         // Fig. 4(a): the original Power-SGD communicates only after BP.
-        let cfg = ExperimentConfig::paper_testbed(
-            Model::ResNet152,
-            Strategy::PowerSgd { rank: 4 },
-        );
+        let cfg = ExperimentConfig::paper_testbed(Model::ResNet152, Strategy::PowerSgd { rank: 4 });
         let t = trace(&cfg).unwrap();
         let last_backward_finish = t
             .iter()
@@ -122,6 +161,18 @@ mod tests {
                 e.label
             );
         }
+    }
+
+    #[test]
+    fn chrome_export_covers_every_task() {
+        let cfg = ExperimentConfig::paper_testbed(Model::ResNet50, Strategy::AcpSgd { rank: 4 });
+        let t = trace(&cfg).unwrap();
+        let json = to_chrome_trace(&t);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        // 2 metadata thread names + 1 process name + one event per task.
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), t.len());
+        assert!(json.contains("\"cat\":\"comm\""));
+        assert!(json.contains("\"cat\":\"compute\""));
     }
 
     #[test]

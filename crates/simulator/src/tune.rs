@@ -61,17 +61,27 @@ pub fn tune_buffer_size(cfg: &ExperimentConfig) -> Result<TunedBuffer, SimError>
         candidates.push(b);
         b *= 4;
     }
-    let mut best = TunedBuffer { buffer_bytes: 0, iteration_seconds: f64::INFINITY };
+    let mut best = TunedBuffer {
+        buffer_bytes: 0,
+        iteration_seconds: f64::INFINITY,
+    };
     let mut best_idx = 0usize;
     for (i, &cand) in candidates.iter().enumerate() {
         let t = time_at(cfg, cand)?;
         if t < best.iteration_seconds {
-            best = TunedBuffer { buffer_bytes: cand, iteration_seconds: t };
+            best = TunedBuffer {
+                buffer_bytes: cand,
+                iteration_seconds: t,
+            };
             best_idx = i;
         }
     }
     // Refine between the neighbours of the best coarse point.
-    let mut lo = if best_idx == 0 { 0 } else { candidates[best_idx - 1] };
+    let mut lo = if best_idx == 0 {
+        0
+    } else {
+        candidates[best_idx - 1]
+    };
     let mut hi = candidates.get(best_idx + 1).copied().unwrap_or(full * 2);
     for _ in 0..6 {
         let mid1 = lo + (hi - lo) / 3;
@@ -82,10 +92,16 @@ pub fn tune_buffer_size(cfg: &ExperimentConfig) -> Result<TunedBuffer, SimError>
         let t1 = time_at(cfg, mid1)?;
         let t2 = time_at(cfg, mid2)?;
         if t1 < best.iteration_seconds {
-            best = TunedBuffer { buffer_bytes: mid1, iteration_seconds: t1 };
+            best = TunedBuffer {
+                buffer_bytes: mid1,
+                iteration_seconds: t1,
+            };
         }
         if t2 < best.iteration_seconds {
-            best = TunedBuffer { buffer_bytes: mid2, iteration_seconds: t2 };
+            best = TunedBuffer {
+                buffer_bytes: mid2,
+                iteration_seconds: t2,
+            };
         }
         if t1 <= t2 {
             hi = mid2;
@@ -104,10 +120,7 @@ mod tests {
 
     #[test]
     fn tuned_buffer_beats_extremes() {
-        let cfg = ExperimentConfig::paper_testbed(
-            Model::BertLarge,
-            Strategy::AcpSgd { rank: 256 },
-        );
+        let cfg = ExperimentConfig::paper_testbed(Model::BertLarge, Strategy::AcpSgd { rank: 256 });
         let best = tune_buffer_size(&cfg).unwrap();
         let no_tf = time_at(&cfg, 0).unwrap();
         let full_tf = time_at(&cfg, 1500 * 1024 * 1024).unwrap();
@@ -120,10 +133,7 @@ mod tests {
         // The paper's claim (§IV-B / Fig. 10): the scaled default is close
         // to the tuned optimum.
         for rank in [32usize, 256] {
-            let cfg = ExperimentConfig::paper_testbed(
-                Model::BertLarge,
-                Strategy::AcpSgd { rank },
-            );
+            let cfg = ExperimentConfig::paper_testbed(Model::BertLarge, Strategy::AcpSgd { rank });
             let best = tune_buffer_size(&cfg).unwrap();
             let default = time_at(&cfg, 25 * 1024 * 1024).unwrap();
             assert!(

@@ -1,0 +1,229 @@
+//! Chrome-trace (`chrome://tracing` / Perfetto) JSON export.
+//!
+//! Emits the JSON Array-of-events format: complete events (`"ph": "X"`)
+//! with microsecond timestamps, plus metadata events naming processes and
+//! threads. The JSON is written by hand — no serializer dependency — and is
+//! accepted by `chrome://tracing`, Perfetto and `speedscope`.
+
+use crate::recorder::{InMemoryRecorder, SpanRecord};
+
+/// Builds a Chrome-trace JSON document from spans.
+///
+/// ```
+/// use acp_telemetry::ChromeTraceBuilder;
+///
+/// let mut trace = ChromeTraceBuilder::new();
+/// trace.thread_name(0, 0, "worker 0");
+/// trace.complete("all_reduce", "comm", 0, 0, 10.0, 250.0);
+/// let json = trace.build();
+/// assert!(json.starts_with("{\"traceEvents\":["));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct ChromeTraceBuilder {
+    events: Vec<String>,
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats a float without scientific notation surprises for tracing UIs.
+fn num(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+impl ChromeTraceBuilder {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a complete ("X") event: a span with explicit start and duration,
+    /// both in microseconds.
+    pub fn complete(&mut self, name: &str, cat: &str, pid: u64, tid: u64, ts_us: f64, dur_us: f64) {
+        self.events.push(format!(
+            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":{},\"tid\":{}}}",
+            escape(name),
+            escape(cat),
+            num(ts_us),
+            num(dur_us),
+            pid,
+            tid,
+        ));
+    }
+
+    /// Adds an instant ("i") event at `ts_us`, e.g. a step boundary marker.
+    pub fn instant(&mut self, name: &str, cat: &str, pid: u64, tid: u64, ts_us: f64) {
+        self.events.push(format!(
+            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\"pid\":{},\"tid\":{}}}",
+            escape(name),
+            escape(cat),
+            num(ts_us),
+            pid,
+            tid,
+        ));
+    }
+
+    /// Names a process in the trace viewer.
+    pub fn process_name(&mut self, pid: u64, name: &str) {
+        self.events.push(format!(
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{},\"args\":{{\"name\":\"{}\"}}}}",
+            pid,
+            escape(name),
+        ));
+    }
+
+    /// Names a thread (track) in the trace viewer.
+    pub fn thread_name(&mut self, pid: u64, tid: u64, name: &str) {
+        self.events.push(format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{},\"tid\":{},\"args\":{{\"name\":\"{}\"}}}}",
+            pid,
+            tid,
+            escape(name),
+        ));
+    }
+
+    /// Adds every span from a recorder, using each span's track as the tid.
+    pub fn add_spans(&mut self, pid: u64, spans: &[SpanRecord]) {
+        for s in spans {
+            self.complete(
+                &s.name,
+                &s.cat,
+                pid,
+                s.track,
+                s.start_us as f64,
+                s.duration_us() as f64,
+            );
+        }
+    }
+
+    /// Convenience: a full trace from one recorder's spans.
+    pub fn from_recorder(rec: &InMemoryRecorder) -> Self {
+        let mut trace = Self::new();
+        trace.add_spans(0, &rec.spans());
+        trace
+    }
+
+    /// Number of events added so far.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events were added.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Serializes to the Chrome-trace JSON object format.
+    pub fn build(&self) -> String {
+        let mut out = String::from("{\"traceEvents\":[");
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('\n');
+            out.push_str(e);
+        }
+        out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+        out
+    }
+
+    /// Writes the JSON document to a file.
+    pub fn write_to(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.build())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{Recorder, Span};
+
+    /// Minimal structural validation: balanced braces/brackets and quotes
+    /// outside of strings — enough to catch malformed hand-built JSON.
+    fn check_json(s: &str) {
+        let mut depth_obj = 0i32;
+        let mut depth_arr = 0i32;
+        let mut in_str = false;
+        let mut esc = false;
+        for c in s.chars() {
+            if in_str {
+                if esc {
+                    esc = false;
+                } else if c == '\\' {
+                    esc = true;
+                } else if c == '"' {
+                    in_str = false;
+                }
+                continue;
+            }
+            match c {
+                '"' => in_str = true,
+                '{' => depth_obj += 1,
+                '}' => depth_obj -= 1,
+                '[' => depth_arr += 1,
+                ']' => depth_arr -= 1,
+                _ => {}
+            }
+            assert!(depth_obj >= 0 && depth_arr >= 0, "unbalanced JSON");
+        }
+        assert_eq!(depth_obj, 0);
+        assert_eq!(depth_arr, 0);
+        assert!(!in_str);
+    }
+
+    #[test]
+    fn builds_valid_json() {
+        let mut t = ChromeTraceBuilder::new();
+        t.process_name(0, "trainer");
+        t.thread_name(0, 1, "worker \"1\"");
+        t.complete("all_reduce", "comm", 0, 1, 0.0, 125.5);
+        t.instant("step", "framework", 0, 1, 125.5);
+        let json = t.build();
+        check_json(&json);
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"dur\":125.500"));
+        assert!(json.contains("worker \\\"1\\\""));
+    }
+
+    #[test]
+    fn from_recorder_maps_tracks_to_tids() {
+        let rec = InMemoryRecorder::new();
+        rec.span(Span {
+            name: "compress",
+            cat: "compress",
+            track: 3,
+            start_us: 10,
+            end_us: 40,
+        });
+        let trace = ChromeTraceBuilder::from_recorder(&rec);
+        assert_eq!(trace.len(), 1);
+        let json = trace.build();
+        check_json(&json);
+        assert!(json.contains("\"tid\":3"));
+        assert!(json.contains("\"dur\":30"));
+    }
+
+    #[test]
+    fn empty_trace_is_still_valid() {
+        let t = ChromeTraceBuilder::new();
+        assert!(t.is_empty());
+        check_json(&t.build());
+    }
+}

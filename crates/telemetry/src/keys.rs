@@ -1,0 +1,44 @@
+//! Standard metric keys shared across the stack.
+//!
+//! Using these constants (rather than ad-hoc strings) is what lets the
+//! trainer compute per-step deltas recorded by layers it does not know
+//! about, and lets tests reconcile recorded bytes against the analytic cost
+//! model in `acp-collectives::cost`.
+
+/// Counter: bytes sent by a rank over the wire (all collectives).
+pub const COMM_BYTES_SENT: &str = "comm.bytes_sent";
+/// Counter: bytes received by a rank over the wire (all collectives).
+pub const COMM_BYTES_RECV: &str = "comm.bytes_recv";
+/// Counter: number of collective calls issued.
+pub const COMM_CALLS: &str = "comm.calls";
+/// Series: wall-clock latency of each `all_reduce` call, microseconds.
+pub const COMM_ALL_REDUCE_US: &str = "comm.all_reduce_us";
+/// Series: wall-clock latency of each `all_gather` call, microseconds.
+pub const COMM_ALL_GATHER_US: &str = "comm.all_gather_us";
+/// Series: wall-clock latency of each `broadcast` call, microseconds.
+pub const COMM_BROADCAST_US: &str = "comm.broadcast_us";
+/// Series: wall-clock latency of each `global_topk` call, microseconds.
+pub const COMM_GLOBAL_TOPK_US: &str = "comm.global_topk_us";
+
+/// Series: time spent compressing (encode + decode) per step, microseconds.
+pub const COMPRESS_TIME_US: &str = "compress.time_us";
+/// Counter: compressed payload bytes produced (what would cross the wire).
+pub const COMPRESS_PAYLOAD_BYTES: &str = "compress.payload_bytes";
+/// Counter: dense gradient bytes the payloads stand in for.
+pub const COMPRESS_DENSE_BYTES: &str = "compress.dense_bytes";
+/// Series: dense-bytes / payload-bytes ratio per step (higher = smaller wire).
+pub const COMPRESS_RATIO: &str = "compress.ratio";
+
+/// Series: L2 norm of the error-feedback residual after each step.
+pub const EF_RESIDUAL_NORM: &str = "ef.residual_norm";
+
+/// Series: aggregate (compress + communicate) time per optimizer step,
+/// microseconds.
+pub const STEP_AGGREGATE_US: &str = "step.aggregate_us";
+
+/// Span category for communication work.
+pub const CAT_COMM: &str = "comm";
+/// Span category for compression work.
+pub const CAT_COMPRESS: &str = "compress";
+/// Span category for compute (forward/backward) work.
+pub const CAT_COMPUTE: &str = "compute";

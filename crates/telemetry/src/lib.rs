@@ -1,0 +1,58 @@
+//! Telemetry substrate for the ACP-SGD reproduction.
+//!
+//! The paper's evaluation hinges on *measured* quantities — wire bytes per
+//! collective, compression time vs. communication time, compression ratios,
+//! error-feedback residual magnitudes — and this crate is where those
+//! measurements live. Every layer of the stack records into one small
+//! [`Recorder`] interface:
+//!
+//! * `acp-collectives`' `ThreadCommunicator` counts bytes sent/received and
+//!   times each collective call;
+//! * every `acp-core` aggregator records compression time, payload bytes,
+//!   compression ratio and error-feedback residual norms per step;
+//! * `acp-training`'s trainer turns recorder deltas into per-step
+//!   [`StepReport`]s and per-epoch summaries.
+//!
+//! The default [`NoopRecorder`] makes all of this free when telemetry is
+//! off: every method is an empty default that inlines to nothing. The
+//! in-memory implementation ([`InMemoryRecorder`]) aggregates counters,
+//! value series and timed spans behind a mutex, and can be exported two
+//! ways:
+//!
+//! * [`chrome::ChromeTraceBuilder`] — `chrome://tracing` / Perfetto JSON,
+//!   for both simulator event traces and real training runs;
+//! * [`summary`] — aligned plain-text tables for terminals and logs.
+//!
+//! Recorded byte counts are designed to reconcile exactly with the analytic
+//! α–β cost model in `acp-collectives::cost`: a ring all-reduce of an
+//! `N`-byte buffer over `p` workers records `2(p−1)/p · N` bytes sent per
+//! rank, and an all-gather records `(p−1) · N` — the volumes of Table II of
+//! the paper. Integration tests in `acp-bench` assert this reconciliation.
+//!
+//! # Examples
+//!
+//! ```
+//! use acp_telemetry::{keys, InMemoryRecorder, Recorder};
+//! use std::sync::Arc;
+//!
+//! let rec = Arc::new(InMemoryRecorder::new());
+//! rec.add(keys::COMM_BYTES_SENT, 1024);
+//! rec.observe(keys::COMPRESS_TIME_US, 42.0);
+//! assert_eq!(rec.counter(keys::COMM_BYTES_SENT), 1024);
+//! assert_eq!(rec.values(keys::COMPRESS_TIME_US), vec![42.0]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod keys;
+pub mod recorder;
+pub mod report;
+pub mod summary;
+
+pub use chrome::ChromeTraceBuilder;
+pub use recorder::{
+    noop, InMemoryRecorder, MetricsSnapshot, NoopRecorder, Recorder, RecorderCell, RecorderHandle,
+    Span, SpanGuard, SpanRecord,
+};
+pub use report::{render_step_table, StepReport};

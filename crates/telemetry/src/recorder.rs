@@ -1,0 +1,405 @@
+//! The [`Recorder`] interface and its two implementations: the free
+//! [`NoopRecorder`] and the aggregating [`InMemoryRecorder`].
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// A completed timed span, as passed to [`Recorder::span`].
+///
+/// Times are microseconds relative to the recorder's epoch (its creation
+/// time for [`InMemoryRecorder`]); `track` distinguishes concurrent
+/// timelines (one per worker rank, or compute vs. network in the simulator)
+/// and becomes the thread id in Chrome-trace export.
+#[derive(Clone, Copy, Debug)]
+pub struct Span<'a> {
+    /// Human-readable label, e.g. `"all_reduce"` or `"compress"`.
+    pub name: &'a str,
+    /// Category, e.g. `"comm"` or `"compress"`; used for trace filtering.
+    pub cat: &'a str,
+    /// Timeline the span belongs to (worker rank or simulated resource).
+    pub track: u64,
+    /// Start time in microseconds since the recorder's epoch.
+    pub start_us: u64,
+    /// End time in microseconds since the recorder's epoch.
+    pub end_us: u64,
+}
+
+/// An owned [`Span`], as stored by [`InMemoryRecorder`].
+#[derive(Clone, Debug)]
+pub struct SpanRecord {
+    /// Human-readable label.
+    pub name: String,
+    /// Category.
+    pub cat: String,
+    /// Timeline the span belongs to.
+    pub track: u64,
+    /// Start time in microseconds since the recorder's epoch.
+    pub start_us: u64,
+    /// End time in microseconds since the recorder's epoch.
+    pub end_us: u64,
+}
+
+impl SpanRecord {
+    /// Span duration in microseconds.
+    pub fn duration_us(&self) -> u64 {
+        self.end_us.saturating_sub(self.start_us)
+    }
+}
+
+/// Sink for metrics emitted by communicators, aggregators and trainers.
+///
+/// All methods take `&self` so a single recorder can be shared across worker
+/// threads as an `Arc<dyn Recorder>`; implementations handle their own
+/// synchronization. Every method has an empty default, so a no-op recorder
+/// costs nothing and new methods never break implementors.
+pub trait Recorder: Send + Sync {
+    /// Whether this recorder keeps data. Callers may skip measurement work
+    /// (e.g. norm computations) when this is `false`.
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    /// Adds `delta` to the monotonic counter named `key`.
+    fn add(&self, key: &str, delta: u64) {
+        let _ = (key, delta);
+    }
+
+    /// Appends `value` to the series named `key`.
+    fn observe(&self, key: &str, value: f64) {
+        let _ = (key, value);
+    }
+
+    /// Records a completed timed span.
+    fn span(&self, span: Span<'_>) {
+        let _ = span;
+    }
+
+    /// Microseconds since this recorder's epoch (0 when disabled). Use this
+    /// for span timestamps so all tracks share one clock.
+    fn now_us(&self) -> u64 {
+        0
+    }
+}
+
+/// Shared handle to a recorder; cheap to clone and thread through a stack.
+pub type RecorderHandle = Arc<dyn Recorder>;
+
+/// The recorder that records nothing; the default everywhere.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {}
+
+/// A fresh handle to the no-op recorder.
+pub fn noop() -> RecorderHandle {
+    Arc::new(NoopRecorder)
+}
+
+#[derive(Default)]
+struct Inner {
+    counters: BTreeMap<String, u64>,
+    values: BTreeMap<String, Vec<f64>>,
+    spans: Vec<SpanRecord>,
+}
+
+/// Recorder that aggregates everything in memory behind a mutex.
+///
+/// Counters and value series are keyed by the constants in [`crate::keys`]
+/// (plus any ad-hoc keys callers invent). Read sides ([`counter`],
+/// [`values`], [`snapshot`]) clone data out, so holding results does not
+/// block writers.
+///
+/// [`counter`]: InMemoryRecorder::counter
+/// [`values`]: InMemoryRecorder::values
+/// [`snapshot`]: InMemoryRecorder::snapshot
+pub struct InMemoryRecorder {
+    epoch: Instant,
+    inner: Mutex<Inner>,
+}
+
+impl Default for InMemoryRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl InMemoryRecorder {
+    /// Creates an empty recorder whose epoch is "now".
+    pub fn new() -> Self {
+        InMemoryRecorder {
+            epoch: Instant::now(),
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // A poisoned mutex only means another thread panicked mid-record;
+        // the data is still sound for reporting.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Current value of a counter (0 if never written).
+    pub fn counter(&self, key: &str) -> u64 {
+        self.lock().counters.get(key).copied().unwrap_or(0)
+    }
+
+    /// All observations recorded under `key`, in order.
+    pub fn values(&self, key: &str) -> Vec<f64> {
+        self.lock().values.get(key).cloned().unwrap_or_default()
+    }
+
+    /// Sum of the observations recorded under `key`.
+    pub fn value_sum(&self, key: &str) -> f64 {
+        self.lock()
+            .values
+            .get(key)
+            .map(|v| v.iter().sum())
+            .unwrap_or(0.0)
+    }
+
+    /// All spans recorded so far, in recording order.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        self.lock().spans.clone()
+    }
+
+    /// A point-in-time copy of every counter, series and span.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.lock();
+        MetricsSnapshot {
+            counters: inner.counters.clone(),
+            values: inner.values.clone(),
+            spans: inner.spans.clone(),
+        }
+    }
+
+    /// Clears all recorded data but keeps the epoch, so span timestamps
+    /// from before and after a reset remain comparable.
+    pub fn reset(&self) {
+        let mut inner = self.lock();
+        inner.counters.clear();
+        inner.values.clear();
+        inner.spans.clear();
+    }
+}
+
+impl Recorder for InMemoryRecorder {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn add(&self, key: &str, delta: u64) {
+        let mut inner = self.lock();
+        match inner.counters.get_mut(key) {
+            Some(c) => *c += delta,
+            None => {
+                inner.counters.insert(key.to_string(), delta);
+            }
+        }
+    }
+
+    fn observe(&self, key: &str, value: f64) {
+        let mut inner = self.lock();
+        match inner.values.get_mut(key) {
+            Some(v) => v.push(value),
+            None => {
+                inner.values.insert(key.to_string(), vec![value]);
+            }
+        }
+    }
+
+    fn span(&self, span: Span<'_>) {
+        self.lock().spans.push(SpanRecord {
+            name: span.name.to_string(),
+            cat: span.cat.to_string(),
+            track: span.track,
+            start_us: span.start_us,
+            end_us: span.end_us,
+        });
+    }
+
+    fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+}
+
+/// A [`RecorderHandle`] that is `Default` (no-op) and `Debug`, convenient
+/// as a field of derive-heavy structs (aggregators, trainers).
+///
+/// Dereferences to `dyn Recorder`, so `cell.add(...)` works directly.
+#[derive(Clone)]
+pub struct RecorderCell(RecorderHandle);
+
+impl RecorderCell {
+    /// Wraps a handle.
+    pub fn new(handle: RecorderHandle) -> Self {
+        RecorderCell(handle)
+    }
+
+    /// A clone of the wrapped handle.
+    pub fn handle(&self) -> RecorderHandle {
+        Arc::clone(&self.0)
+    }
+
+    /// Replaces the wrapped handle.
+    pub fn set(&mut self, handle: RecorderHandle) {
+        self.0 = handle;
+    }
+}
+
+impl Default for RecorderCell {
+    fn default() -> Self {
+        RecorderCell(noop())
+    }
+}
+
+impl fmt::Debug for RecorderCell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RecorderCell")
+            .field("enabled", &self.0.enabled())
+            .finish()
+    }
+}
+
+impl std::ops::Deref for RecorderCell {
+    type Target = dyn Recorder;
+
+    fn deref(&self) -> &Self::Target {
+        &*self.0
+    }
+}
+
+impl From<RecorderHandle> for RecorderCell {
+    fn from(handle: RecorderHandle) -> Self {
+        RecorderCell(handle)
+    }
+}
+
+/// Point-in-time copy of an [`InMemoryRecorder`]'s contents.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsSnapshot {
+    /// Counter name → value.
+    pub counters: BTreeMap<String, u64>,
+    /// Series name → observations in recording order.
+    pub values: BTreeMap<String, Vec<f64>>,
+    /// All recorded spans.
+    pub spans: Vec<SpanRecord>,
+}
+
+/// Times a region and records it as a [`Span`] when dropped.
+///
+/// ```
+/// use acp_telemetry::{InMemoryRecorder, Recorder, SpanGuard};
+///
+/// let rec = InMemoryRecorder::new();
+/// {
+///     let _g = SpanGuard::start(&rec, "all_reduce", "comm", 0);
+///     // ... timed work ...
+/// }
+/// assert_eq!(rec.spans().len(), 1);
+/// ```
+pub struct SpanGuard<'a> {
+    rec: &'a dyn Recorder,
+    name: &'a str,
+    cat: &'a str,
+    track: u64,
+    start_us: u64,
+}
+
+impl<'a> SpanGuard<'a> {
+    /// Starts timing; the span is recorded when the guard drops.
+    pub fn start(rec: &'a dyn Recorder, name: &'a str, cat: &'a str, track: u64) -> Self {
+        SpanGuard {
+            rec,
+            name,
+            cat,
+            track,
+            start_us: rec.now_us(),
+        }
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        self.rec.span(Span {
+            name: self.name,
+            cat: self.cat,
+            track: self.track,
+            start_us: self.start_us,
+            end_us: self.rec.now_us(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let rec = InMemoryRecorder::new();
+        rec.add("x", 3);
+        rec.add("x", 4);
+        assert_eq!(rec.counter("x"), 7);
+        assert_eq!(rec.counter("missing"), 0);
+    }
+
+    #[test]
+    fn values_preserve_order() {
+        let rec = InMemoryRecorder::new();
+        rec.observe("t", 1.0);
+        rec.observe("t", 2.5);
+        assert_eq!(rec.values("t"), vec![1.0, 2.5]);
+        assert!((rec.value_sum("t") - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noop_is_inert() {
+        let rec = NoopRecorder;
+        assert!(!rec.enabled());
+        rec.add("x", 1);
+        rec.observe("y", 1.0);
+        assert_eq!(rec.now_us(), 0);
+    }
+
+    #[test]
+    fn span_guard_records_on_drop() {
+        let rec = InMemoryRecorder::new();
+        {
+            let _g = SpanGuard::start(&rec, "work", "compute", 2);
+        }
+        let spans = rec.spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "work");
+        assert_eq!(spans[0].track, 2);
+        assert!(spans[0].end_us >= spans[0].start_us);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let rec = Arc::new(InMemoryRecorder::new());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let rec = Arc::clone(&rec);
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        rec.add("hits", 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(rec.counter("hits"), 400);
+    }
+
+    #[test]
+    fn reset_clears_data() {
+        let rec = InMemoryRecorder::new();
+        rec.add("x", 1);
+        rec.observe("y", 1.0);
+        rec.reset();
+        assert_eq!(rec.counter("x"), 0);
+        assert!(rec.values("y").is_empty());
+        assert!(rec.snapshot().spans.is_empty());
+    }
+}

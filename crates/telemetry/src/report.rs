@@ -1,0 +1,175 @@
+//! Per-step training reports and their table rendering.
+
+/// Telemetry for one optimizer step of one rank, assembled by the trainer
+/// from recorder deltas.
+///
+/// Byte fields are per-rank: `wire_bytes` is what this rank physically sent
+/// through its communicator during the step (for ring all-reduce this is
+/// `2(p−1)/p` of the buffer size, per Table II of the paper), while
+/// `payload_bytes` / `dense_bytes` describe the compressed representation
+/// independent of the collective used to move it.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct StepReport {
+    /// Epoch this step belongs to (0-based).
+    pub epoch: usize,
+    /// Step index within the epoch (0-based).
+    pub step: usize,
+    /// Bytes this rank sent over the wire during the step.
+    pub wire_bytes: u64,
+    /// Compressed payload bytes produced by the aggregator this step.
+    pub payload_bytes: u64,
+    /// Dense gradient bytes the payload stands in for.
+    pub dense_bytes: u64,
+    /// Time spent in compression (encode/decode) this step, microseconds.
+    pub compress_us: f64,
+    /// Time spent inside collective calls this step, microseconds.
+    pub comm_us: f64,
+    /// L2 norm of the error-feedback residual after the step, if the
+    /// aggregator maintains one.
+    pub residual_norm: Option<f64>,
+    /// Mini-batch training loss, if the caller tracks one.
+    pub loss: Option<f64>,
+}
+
+impl StepReport {
+    /// Dense-to-payload compression ratio (higher = smaller wire format);
+    /// 1.0 when nothing was compressed.
+    pub fn compression_ratio(&self) -> f64 {
+        if self.payload_bytes == 0 {
+            1.0
+        } else {
+            self.dense_bytes as f64 / self.payload_bytes as f64
+        }
+    }
+}
+
+/// Renders step reports as an aligned plain-text table.
+///
+/// ```
+/// use acp_telemetry::StepReport;
+///
+/// let steps = vec![StepReport { epoch: 0, step: 0, wire_bytes: 1536,
+///     payload_bytes: 2048, dense_bytes: 4096, compress_us: 120.0,
+///     comm_us: 80.0, residual_norm: Some(0.5), loss: Some(2.3) }];
+/// let table = acp_telemetry::render_step_table(&steps);
+/// assert!(table.contains("ratio"));
+/// ```
+pub fn render_step_table(steps: &[StepReport]) -> String {
+    let mut rows: Vec<Vec<String>> = vec![vec![
+        "epoch".into(),
+        "step".into(),
+        "wire KiB".into(),
+        "payload KiB".into(),
+        "ratio".into(),
+        "compress ms".into(),
+        "comm ms".into(),
+        "residual".into(),
+        "loss".into(),
+    ]];
+    for s in steps {
+        rows.push(vec![
+            s.epoch.to_string(),
+            s.step.to_string(),
+            format!("{:.1}", s.wire_bytes as f64 / 1024.0),
+            format!("{:.1}", s.payload_bytes as f64 / 1024.0),
+            format!("{:.1}x", s.compression_ratio()),
+            format!("{:.3}", s.compress_us / 1e3),
+            format!("{:.3}", s.comm_us / 1e3),
+            s.residual_norm
+                .map(|r| format!("{r:.4}"))
+                .unwrap_or_else(|| "-".into()),
+            s.loss
+                .map(|l| format!("{l:.4}"))
+                .unwrap_or_else(|| "-".into()),
+        ]);
+    }
+    render_aligned(&rows)
+}
+
+/// Right-aligns every column to its widest cell; first row is the header,
+/// separated by a dashed rule.
+pub(crate) fn render_aligned(rows: &[Vec<String>]) -> String {
+    if rows.is_empty() {
+        return String::new();
+    }
+    let cols = rows.iter().map(|r| r.len()).max().unwrap_or(0);
+    let mut widths = vec![0usize; cols];
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    for (ri, row) in rows.iter().enumerate() {
+        let mut line = String::new();
+        for (i, cell) in row.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            for _ in 0..widths[i].saturating_sub(cell.len()) {
+                line.push(' ');
+            }
+            line.push_str(cell);
+        }
+        out.push_str(line.trim_end());
+        out.push('\n');
+        if ri == 0 {
+            let total: usize = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+            out.push_str(&"-".repeat(total));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_handles_zero_payload() {
+        let s = StepReport::default();
+        assert_eq!(s.compression_ratio(), 1.0);
+        let s = StepReport {
+            dense_bytes: 4096,
+            payload_bytes: 1024,
+            ..StepReport::default()
+        };
+        assert_eq!(s.compression_ratio(), 4.0);
+    }
+
+    #[test]
+    fn table_aligns_columns() {
+        let steps = vec![
+            StepReport {
+                epoch: 0,
+                step: 0,
+                wire_bytes: 1536,
+                payload_bytes: 2048,
+                dense_bytes: 409600,
+                compress_us: 120.0,
+                comm_us: 80.0,
+                residual_norm: Some(0.5),
+                loss: Some(2.3),
+            },
+            StepReport {
+                epoch: 10,
+                step: 123,
+                wire_bytes: 1536000,
+                payload_bytes: 2048,
+                dense_bytes: 409600,
+                compress_us: 120.0,
+                comm_us: 80.0,
+                residual_norm: None,
+                loss: None,
+            },
+        ];
+        let table = render_step_table(&steps);
+        let lines: Vec<&str> = table.lines().collect();
+        assert_eq!(lines.len(), 4); // header + rule + 2 rows
+        assert!(lines[0].contains("ratio"));
+        assert!(lines[3].contains('-')); // missing residual/loss render as -
+                                         // Columns align: header and rows end at the same width.
+        assert_eq!(lines[1].len(), lines[0].len());
+    }
+}

@@ -1,0 +1,92 @@
+//! Aligned plain-text summaries of a [`MetricsSnapshot`].
+
+use crate::recorder::MetricsSnapshot;
+use crate::report::render_aligned;
+
+fn stats(values: &[f64]) -> (usize, f64, f64, f64) {
+    let n = values.len();
+    if n == 0 {
+        return (0, 0.0, 0.0, 0.0);
+    }
+    let sum: f64 = values.iter().sum();
+    let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    (n, sum / n as f64, min, max)
+}
+
+/// Renders every counter and value series in a snapshot as two aligned
+/// tables (counters first, then series with count/mean/min/max).
+///
+/// ```
+/// use acp_telemetry::{keys, InMemoryRecorder, Recorder};
+///
+/// let rec = InMemoryRecorder::new();
+/// rec.add(keys::COMM_BYTES_SENT, 4096);
+/// rec.observe(keys::COMM_ALL_REDUCE_US, 120.0);
+/// let text = acp_telemetry::summary::render(&rec.snapshot());
+/// assert!(text.contains("comm.bytes_sent"));
+/// ```
+pub fn render(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    if !snapshot.counters.is_empty() {
+        let mut rows = vec![vec!["counter".to_string(), "value".to_string()]];
+        for (key, value) in &snapshot.counters {
+            rows.push(vec![key.clone(), value.to_string()]);
+        }
+        out.push_str(&render_aligned(&rows));
+    }
+    if !snapshot.values.is_empty() {
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        let mut rows = vec![vec![
+            "series".to_string(),
+            "count".to_string(),
+            "mean".to_string(),
+            "min".to_string(),
+            "max".to_string(),
+        ]];
+        for (key, values) in &snapshot.values {
+            let (n, mean, min, max) = stats(values);
+            rows.push(vec![
+                key.clone(),
+                n.to_string(),
+                format!("{mean:.3}"),
+                format!("{min:.3}"),
+                format!("{max:.3}"),
+            ]);
+        }
+        out.push_str(&render_aligned(&rows));
+    }
+    if !snapshot.spans.is_empty() {
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        out.push_str(&format!("spans recorded: {}\n", snapshot.spans.len()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{InMemoryRecorder, Recorder};
+
+    #[test]
+    fn renders_counters_and_series() {
+        let rec = InMemoryRecorder::new();
+        rec.add("comm.bytes_sent", 100);
+        rec.add("comm.calls", 2);
+        rec.observe("comm.all_reduce_us", 10.0);
+        rec.observe("comm.all_reduce_us", 30.0);
+        let text = render(&rec.snapshot());
+        assert!(text.contains("comm.bytes_sent"));
+        assert!(text.contains("100"));
+        assert!(text.contains("20.000")); // mean of 10 and 30
+    }
+
+    #[test]
+    fn empty_snapshot_renders_empty() {
+        assert!(render(&MetricsSnapshot::default()).is_empty());
+    }
+}

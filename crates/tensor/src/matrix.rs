@@ -31,7 +31,10 @@ impl fmt::Display for MatrixError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MatrixError::LengthMismatch { expected, actual } => {
-                write!(f, "buffer length {actual} does not match rows*cols = {expected}")
+                write!(
+                    f,
+                    "buffer length {actual} does not match rows*cols = {expected}"
+                )
             }
             MatrixError::DimMismatch { op, lhs, rhs } => write!(
                 f,
@@ -69,7 +72,11 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a zero-filled `rows × cols` matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates the `n × n` identity matrix.
@@ -88,7 +95,10 @@ impl Matrix {
     /// Returns [`MatrixError::LengthMismatch`] if `data.len() != rows * cols`.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Result<Self, MatrixError> {
         if data.len() != rows * cols {
-            return Err(MatrixError::LengthMismatch { expected: rows * cols, actual: data.len() });
+            return Err(MatrixError::LengthMismatch {
+                expected: rows * cols,
+                actual: data.len(),
+            });
         }
         Ok(Matrix { rows, cols, data })
     }
@@ -106,7 +116,11 @@ impl Matrix {
             assert_eq!(row.len(), c, "all rows must have the same length");
             data.extend_from_slice(row);
         }
-        Matrix { rows: r, cols: c, data }
+        Matrix {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Number of rows.
@@ -150,7 +164,10 @@ impl Matrix {
     ///
     /// Panics if the indices are out of bounds.
     pub fn get(&self, r: usize, c: usize) -> f32 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         self.data[r * self.cols + c]
     }
 
@@ -160,7 +177,10 @@ impl Matrix {
     ///
     /// Panics if the indices are out of bounds.
     pub fn set(&mut self, r: usize, c: usize, v: f32) {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         self.data[r * self.cols + c] = v;
     }
 
@@ -326,7 +346,11 @@ impl Matrix {
     ///
     /// Panics if the dimensions differ.
     pub fn max_abs_diff(&self, other: &Matrix) -> f32 {
-        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "max_abs_diff shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "max_abs_diff shape mismatch"
+        );
         self.data
             .iter()
             .zip(&other.data)
@@ -353,7 +377,11 @@ impl Add<&Matrix> for &Matrix {
 
 impl AddAssign<&Matrix> for Matrix {
     fn add_assign(&mut self, rhs: &Matrix) {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "add shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "add shape mismatch"
+        );
         for (a, b) in self.data.iter_mut().zip(&rhs.data) {
             *a += b;
         }
@@ -372,7 +400,11 @@ impl Sub<&Matrix> for &Matrix {
 
 impl SubAssign<&Matrix> for Matrix {
     fn sub_assign(&mut self, rhs: &Matrix) {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "sub shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "sub shape mismatch"
+        );
         for (a, b) in self.data.iter_mut().zip(&rhs.data) {
             *a -= b;
         }
@@ -395,7 +427,12 @@ impl fmt::Display for Matrix {
         for r in 0..self.rows.min(8) {
             let row = self.row(r);
             let cells: Vec<String> = row.iter().take(8).map(|v| format!("{v:>9.4}")).collect();
-            writeln!(f, "  [{}{}]", cells.join(", "), if self.cols > 8 { ", …" } else { "" })?;
+            writeln!(
+                f,
+                "  [{}{}]",
+                cells.join(", "),
+                if self.cols > 8 { ", …" } else { "" }
+            )?;
         }
         if self.rows > 8 {
             writeln!(f, "  …")?;
@@ -423,7 +460,13 @@ mod tests {
     fn from_vec_checks_length() {
         assert!(Matrix::from_vec(2, 2, vec![1.0; 4]).is_ok());
         let err = Matrix::from_vec(2, 2, vec![1.0; 3]).unwrap_err();
-        assert_eq!(err, MatrixError::LengthMismatch { expected: 4, actual: 3 });
+        assert_eq!(
+            err,
+            MatrixError::LengthMismatch {
+                expected: 4,
+                actual: 3
+            }
+        );
     }
 
     #[test]
@@ -438,7 +481,10 @@ mod tests {
     fn try_matmul_rejects_bad_dims() {
         let a = Matrix::zeros(2, 3);
         let b = Matrix::zeros(2, 3);
-        assert!(matches!(a.try_matmul(&b), Err(MatrixError::DimMismatch { .. })));
+        assert!(matches!(
+            a.try_matmul(&b),
+            Err(MatrixError::DimMismatch { .. })
+        ));
     }
 
     #[test]

@@ -188,8 +188,8 @@ pub fn orthogonalize_householder(m: &Matrix) -> Matrix {
                     dot += vi * a.get(i, c);
                 }
                 let scale = 2.0 * dot / vnorm2;
-                for i in k..n {
-                    let val = a.get(i, c) - scale * v[i];
+                for (i, &vi) in v.iter().enumerate().take(n).skip(k) {
+                    let val = a.get(i, c) - scale * vi;
                     a.set(i, c, val);
                 }
             }
@@ -214,8 +214,8 @@ pub fn orthogonalize_householder(m: &Matrix) -> Matrix {
                 dot += vi * q.get(i, c);
             }
             let scale = 2.0 * dot / vnorm2;
-            for i in k..n {
-                let val = q.get(i, c) - scale * v[i];
+            for (i, &vi) in v.iter().enumerate().take(n).skip(k) {
+                let val = q.get(i, c) - scale * vi;
                 q.set(i, c, val);
             }
         }

@@ -103,7 +103,10 @@ mod tests {
     fn linear_weight_is_matrix() {
         assert_eq!(
             MatrixShape::from_tensor_shape(&[768, 3072]),
-            MatrixShape::Matrix { rows: 768, cols: 3072 }
+            MatrixShape::Matrix {
+                rows: 768,
+                cols: 3072
+            }
         );
     }
 
@@ -111,19 +114,31 @@ mod tests {
     fn conv_filter_flattens_trailing_dims() {
         assert_eq!(
             MatrixShape::from_tensor_shape(&[256, 128, 3, 3]),
-            MatrixShape::Matrix { rows: 256, cols: 128 * 9 }
+            MatrixShape::Matrix {
+                rows: 256,
+                cols: 128 * 9
+            }
         );
     }
 
     #[test]
     fn bias_is_vector() {
-        assert_eq!(MatrixShape::from_tensor_shape(&[512]), MatrixShape::Vector { len: 512 });
+        assert_eq!(
+            MatrixShape::from_tensor_shape(&[512]),
+            MatrixShape::Vector { len: 512 }
+        );
     }
 
     #[test]
     fn unit_dims_degenerate_to_vector() {
-        assert_eq!(MatrixShape::from_tensor_shape(&[1, 100]), MatrixShape::Vector { len: 100 });
-        assert_eq!(MatrixShape::from_tensor_shape(&[100, 1]), MatrixShape::Vector { len: 100 });
+        assert_eq!(
+            MatrixShape::from_tensor_shape(&[1, 100]),
+            MatrixShape::Vector { len: 100 }
+        );
+        assert_eq!(
+            MatrixShape::from_tensor_shape(&[100, 1]),
+            MatrixShape::Vector { len: 100 }
+        );
     }
 
     #[test]
@@ -138,7 +153,10 @@ mod tests {
     #[test]
     fn low_rank_ratio_matches_formula() {
         // 100x200 at rank 4: 20000 / (400 + 800) = 16.67x.
-        let s = MatrixShape::Matrix { rows: 100, cols: 200 };
+        let s = MatrixShape::Matrix {
+            rows: 100,
+            cols: 200,
+        };
         let ratio = s.low_rank_ratio(4);
         assert!((ratio - 20000.0 / 1200.0).abs() < 1e-9);
         assert_eq!(MatrixShape::Vector { len: 10 }.low_rank_ratio(4), 1.0);

@@ -79,8 +79,12 @@ mod tests {
         let m = Matrix::random_std_normal(200, 200, 7);
         let n = m.len() as f64;
         let mean: f64 = m.as_slice().iter().map(|&v| v as f64).sum::<f64>() / n;
-        let var: f64 =
-            m.as_slice().iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>() / n;
+        let var: f64 = m
+            .as_slice()
+            .iter()
+            .map(|&v| (v as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n;
         assert!(mean.abs() < 0.02, "mean {mean} too far from 0");
         assert!((var - 1.0).abs() < 0.05, "variance {var} too far from 1");
     }

@@ -79,7 +79,12 @@ pub fn mse(x: &[f32], y: &[f32]) -> f32 {
 pub fn relative_error(x: &[f32], y: &[f32]) -> f32 {
     assert_eq!(x.len(), y.len(), "relative_error length mismatch");
     let denom = norm2(x);
-    let diff: f32 = x.iter().zip(y).map(|(a, b)| (a - b) * (a - b)).sum::<f32>().sqrt();
+    let diff: f32 = x
+        .iter()
+        .zip(y)
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum::<f32>()
+        .sqrt();
     if denom == 0.0 {
         if diff == 0.0 {
             0.0

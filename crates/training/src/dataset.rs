@@ -55,7 +55,14 @@ impl Dataset {
         };
         let (train_x, train_y) = gen(&mut rng, n_per_class);
         let (test_x, test_y) = gen(&mut rng, n_per_class.div_ceil(4));
-        Dataset { sample_dims: vec![dim], train_x, train_y, test_x, test_y, num_classes }
+        Dataset {
+            sample_dims: vec![dim],
+            train_x,
+            train_y,
+            test_x,
+            test_y,
+            num_classes,
+        }
     }
 
     /// Concentric rings in 2-D lifted to `dim` dimensions through a random
@@ -82,7 +89,14 @@ impl Dataset {
         };
         let (train_x, train_y) = gen(&mut rng, n_per_class);
         let (test_x, test_y) = gen(&mut rng, n_per_class.div_ceil(4));
-        Dataset { sample_dims: vec![dim], train_x, train_y, test_x, test_y, num_classes }
+        Dataset {
+            sample_dims: vec![dim],
+            train_x,
+            train_y,
+            test_x,
+            test_y,
+            num_classes,
+        }
     }
 
     /// Image-shaped samples (`channels × hw × hw`): each class has a fixed

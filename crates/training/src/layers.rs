@@ -127,8 +127,16 @@ impl Layer for Dense {
 
     fn params(&mut self) -> Vec<Param<'_>> {
         vec![
-            Param { dims: &self.w_dims, value: &mut self.w, grad: &mut self.gw },
-            Param { dims: &self.b_dims, value: &mut self.b, grad: &mut self.gb },
+            Param {
+                dims: &self.w_dims,
+                value: &mut self.w,
+                grad: &mut self.gw,
+            },
+            Param {
+                dims: &self.b_dims,
+                value: &mut self.b,
+                grad: &mut self.gb,
+            },
         ]
     }
 }
@@ -274,7 +282,11 @@ impl Conv2d {
 impl Layer for Conv2d {
     fn forward(&mut self, input: &Tensor) -> Tensor {
         let dims = input.dims();
-        assert_eq!(dims.len(), 4, "conv input must be [batch, c, h, w], got {dims:?}");
+        assert_eq!(
+            dims.len(),
+            4,
+            "conv input must be [batch, c, h, w], got {dims:?}"
+        );
         let (batch, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
         assert_eq!(c, self.in_c, "conv channel mismatch");
         let wm = Matrix::from_vec(self.out_c, self.in_c * self.k * self.k, self.w.clone())
@@ -327,8 +339,16 @@ impl Layer for Conv2d {
 
     fn params(&mut self) -> Vec<Param<'_>> {
         vec![
-            Param { dims: &self.w_dims, value: &mut self.w, grad: &mut self.gw },
-            Param { dims: &self.b_dims, value: &mut self.b, grad: &mut self.gb },
+            Param {
+                dims: &self.w_dims,
+                value: &mut self.w,
+                grad: &mut self.gw,
+            },
+            Param {
+                dims: &self.b_dims,
+                value: &mut self.b,
+                grad: &mut self.gb,
+            },
         ]
     }
 }
@@ -351,7 +371,10 @@ impl Layer for AvgPool2 {
         let dims = input.dims();
         assert_eq!(dims.len(), 4, "pool input must be 4-D, got {dims:?}");
         let (batch, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
-        assert!(h % 2 == 0 && w % 2 == 0, "pool needs even spatial dims, got {h}x{w}");
+        assert!(
+            h % 2 == 0 && w % 2 == 0,
+            "pool needs even spatial dims, got {h}x{w}"
+        );
         self.in_dims = dims.to_vec();
         let (oh, ow) = (h / 2, w / 2);
         let mut out = Tensor::zeros(&[batch, c, oh, ow]);
@@ -377,8 +400,12 @@ impl Layer for AvgPool2 {
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         assert!(!self.in_dims.is_empty(), "backward before forward");
-        let (batch, c, h, w) =
-            (self.in_dims[0], self.in_dims[1], self.in_dims[2], self.in_dims[3]);
+        let (batch, c, h, w) = (
+            self.in_dims[0],
+            self.in_dims[1],
+            self.in_dims[2],
+            self.in_dims[3],
+        );
         let (oh, ow) = (h / 2, w / 2);
         let mut dx = Tensor::zeros(&self.in_dims);
         for bi in 0..batch {
@@ -496,6 +523,7 @@ mod tests {
         d.backward(&ones);
         let analytic = d.gw.clone();
         let eps = 1e-2f32;
+        #[allow(clippy::needless_range_loop)] // the loop both perturbs w[i] and reads analytic[i]
         for i in 0..d.w.len() {
             d.w[i] += eps;
             let f_plus: f32 = d.forward(&x).as_slice().iter().sum();

@@ -49,4 +49,7 @@ pub mod trainer;
 pub use dataset::Dataset;
 pub use model::{mlp, small_cnn, Sequential};
 pub use optim::{LrSchedule, SgdMomentum};
-pub use trainer::{train_distributed, EpochStats, TrainConfig};
+pub use trainer::{
+    train_distributed, train_distributed_instrumented, EpochStats, RankTelemetry, TrainConfig,
+    TrainReport,
+};

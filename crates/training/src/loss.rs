@@ -11,14 +11,21 @@ use crate::tensor4::Tensor;
 /// Panics if shapes disagree or a label is out of range.
 pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
     let dims = logits.dims();
-    assert_eq!(dims.len(), 2, "logits must be [batch, classes], got {dims:?}");
+    assert_eq!(
+        dims.len(),
+        2,
+        "logits must be [batch, classes], got {dims:?}"
+    );
     let (batch, classes) = (dims[0], dims[1]);
     assert_eq!(labels.len(), batch, "label count mismatch");
     let mut grad = Tensor::zeros(dims);
     let mut loss = 0.0f64;
     let inv_batch = 1.0 / batch as f32;
     for (bi, &label) in labels.iter().enumerate() {
-        assert!(label < classes, "label {label} out of range for {classes} classes");
+        assert!(
+            label < classes,
+            "label {label} out of range for {classes} classes"
+        );
         let row = logits.sample(bi);
         let max = row.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
         let exp: Vec<f32> = row.iter().map(|&v| (v - max).exp()).collect();
@@ -108,8 +115,7 @@ mod tests {
 
     #[test]
     fn accuracy_counts_argmax() {
-        let logits =
-            Tensor::from_vec(&[2, 2], vec![1.0, 0.0, 0.0, 1.0]);
+        let logits = Tensor::from_vec(&[2, 2], vec![1.0, 0.0, 0.0, 1.0]);
         assert_eq!(accuracy(&logits, &[0, 1]), 1.0);
         assert_eq!(accuracy(&logits, &[1, 0]), 0.0);
         assert_eq!(accuracy(&logits, &[0, 0]), 0.5);

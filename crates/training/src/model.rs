@@ -62,7 +62,10 @@ impl Sequential {
 ///
 /// Panics if fewer than two widths are given.
 pub fn mlp(dims: &[usize], seed: u64) -> Sequential {
-    assert!(dims.len() >= 2, "mlp needs at least input and output widths");
+    assert!(
+        dims.len() >= 2,
+        "mlp needs at least input and output widths"
+    );
     let mut rng = seeded_rng(seed);
     let mut layers: Vec<Box<dyn Layer>> = Vec::new();
     for (i, pair) in dims.windows(2).enumerate() {

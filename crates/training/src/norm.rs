@@ -83,8 +83,10 @@ impl Layer for BatchNorm {
                 }
             }
         }
-        let inv_std: Vec<f32> =
-            var.iter().map(|v| 1.0 / (v / count + self.eps).sqrt()).collect();
+        let inv_std: Vec<f32> = var
+            .iter()
+            .map(|v| 1.0 / (v / count + self.eps).sqrt())
+            .collect();
         let mut x_hat = Tensor::zeros(&dims);
         let mut out = Tensor::zeros(&dims);
         {
@@ -106,8 +108,7 @@ impl Layer for BatchNorm {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let (x_hat, inv_std, dims) =
-            self.cache.take().expect("backward before forward");
+        let (x_hat, inv_std, dims) = self.cache.take().expect("backward before forward");
         let (channels, spatial) = self.channel_layout(&dims);
         let batch = dims[0];
         let count = (batch * spatial) as f32;
@@ -135,7 +136,8 @@ impl Layer for BatchNorm {
             for c in 0..channels {
                 for s in 0..spatial {
                     let idx = b * per_sample + c * spatial + s;
-                    d[idx] = self.gamma[c] * inv_std[c]
+                    d[idx] = self.gamma[c]
+                        * inv_std[c]
                         * (dy[idx] - sum_dy[c] / count - xh[idx] * sum_dy_xhat[c] / count);
                 }
             }
@@ -145,8 +147,16 @@ impl Layer for BatchNorm {
 
     fn params(&mut self) -> Vec<Param<'_>> {
         vec![
-            Param { dims: &self.dims_vec, value: &mut self.gamma, grad: &mut self.ggamma },
-            Param { dims: &self.dims_vec, value: &mut self.beta, grad: &mut self.gbeta },
+            Param {
+                dims: &self.dims_vec,
+                value: &mut self.gamma,
+                grad: &mut self.ggamma,
+            },
+            Param {
+                dims: &self.dims_vec,
+                value: &mut self.beta,
+                grad: &mut self.gbeta,
+            },
         ]
     }
 }
@@ -248,7 +258,12 @@ mod tests {
         fill_std_normal(x.as_mut_slice(), &mut rng);
         let w: Vec<f32> = (0..12).map(|i| ((i as f32) * 0.7).sin() + 0.2).collect();
         let loss = |bn: &mut BatchNorm, x: &Tensor| -> f32 {
-            bn.forward(x).as_slice().iter().zip(&w).map(|(y, wi)| y * wi).sum()
+            bn.forward(x)
+                .as_slice()
+                .iter()
+                .zip(&w)
+                .map(|(y, wi)| y * wi)
+                .sum()
         };
         let _ = loss(&mut bn, &x);
         let grad_t = Tensor::from_vec(&[4, 3], w.clone());

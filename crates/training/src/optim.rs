@@ -16,7 +16,12 @@ pub struct SgdMomentum {
 impl SgdMomentum {
     /// Creates the optimizer (paper: momentum 0.9).
     pub fn new(lr: f32, momentum: f32, weight_decay: f32) -> Self {
-        SgdMomentum { lr, momentum, weight_decay, velocity: Vec::new() }
+        SgdMomentum {
+            lr,
+            momentum,
+            weight_decay,
+            velocity: Vec::new(),
+        }
     }
 
     /// Current learning rate.
@@ -64,7 +69,11 @@ pub struct LrSchedule {
 impl LrSchedule {
     /// Creates a schedule.
     pub fn new(base_lr: f32, warmup_epochs: usize, decays: Vec<(usize, f32)>) -> Self {
-        LrSchedule { base_lr, warmup_epochs, decays }
+        LrSchedule {
+            base_lr,
+            warmup_epochs,
+            decays,
+        }
     }
 
     /// The paper's CIFAR schedule scaled to `epochs` total: warmup 5,
@@ -104,12 +113,20 @@ mod tests {
         let mut g = vec![1.0f32];
         // Step 1: v = 1, w = -1. Step 2: v = 1.5, w = -2.5.
         {
-            let mut p = [Param { dims: &dims, value: &mut w, grad: &mut g }];
+            let mut p = [Param {
+                dims: &dims,
+                value: &mut w,
+                grad: &mut g,
+            }];
             opt.step(&mut p);
         }
         assert_eq!(w, vec![-1.0]);
         {
-            let mut p = [Param { dims: &dims, value: &mut w, grad: &mut g }];
+            let mut p = [Param {
+                dims: &dims,
+                value: &mut w,
+                grad: &mut g,
+            }];
             opt.step(&mut p);
         }
         assert_eq!(w, vec![-2.5]);
@@ -121,7 +138,11 @@ mod tests {
         let dims = [1usize];
         let mut w = vec![10.0f32];
         let mut g = vec![0.0f32];
-        let mut p = [Param { dims: &dims, value: &mut w, grad: &mut g }];
+        let mut p = [Param {
+            dims: &dims,
+            value: &mut w,
+            grad: &mut g,
+        }];
         opt.step(&mut p);
         assert_eq!(w, vec![9.0]);
     }

@@ -17,7 +17,10 @@ impl Tensor {
     /// Creates a zero tensor of the given shape.
     pub fn zeros(dims: &[usize]) -> Self {
         let n = dims.iter().product();
-        Tensor { dims: dims.to_vec(), data: vec![0.0; n] }
+        Tensor {
+            dims: dims.to_vec(),
+            data: vec![0.0; n],
+        }
     }
 
     /// Wraps a buffer with a shape.
@@ -32,7 +35,10 @@ impl Tensor {
             "tensor shape {dims:?} does not match buffer length {}",
             data.len()
         );
-        Tensor { dims: dims.to_vec(), data }
+        Tensor {
+            dims: dims.to_vec(),
+            data,
+        }
     }
 
     /// Tensor shape.

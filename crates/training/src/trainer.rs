@@ -1,8 +1,11 @@
 //! Data-parallel training across in-process workers with real collectives —
 //! the engine behind the convergence experiments (Figs. 6–7).
 
+use std::sync::Arc;
+
 use acp_collectives::{Communicator, ThreadGroup};
 use acp_core::{DistributedOptimizer, GradViewMut};
+use acp_telemetry::{keys, InMemoryRecorder, MetricsSnapshot, StepReport};
 use acp_tensor::rng::seeded_rng;
 use rand::seq::SliceRandom;
 
@@ -55,18 +58,104 @@ pub struct EpochStats {
     pub lr: f32,
 }
 
+/// Telemetry gathered for one worker rank during an instrumented run.
+#[derive(Clone, Debug)]
+pub struct RankTelemetry {
+    /// Worker rank the data belongs to.
+    pub rank: usize,
+    /// One report per optimizer step, in step order.
+    pub steps: Vec<StepReport>,
+    /// Final state of the rank's recorder (counters, series, spans) —
+    /// feed the spans to `acp_telemetry::ChromeTraceBuilder` for a trace.
+    pub snapshot: MetricsSnapshot,
+}
+
+/// Result of [`train_distributed_instrumented`]: the usual per-epoch
+/// history plus per-rank step telemetry.
+#[derive(Clone, Debug)]
+pub struct TrainReport {
+    /// Rank 0's per-epoch metrics (all ranks agree).
+    pub history: Vec<EpochStats>,
+    /// Per-rank telemetry, indexed by rank.
+    pub ranks: Vec<RankTelemetry>,
+}
+
+/// Tracks recorder counters/series between steps so each [`StepReport`]
+/// carries per-step deltas rather than running totals.
+struct StepDeltas {
+    wire_bytes: u64,
+    payload_bytes: u64,
+    dense_bytes: u64,
+    compress_us: f64,
+    comm_us: f64,
+    residuals_seen: usize,
+}
+
+impl StepDeltas {
+    fn new() -> Self {
+        StepDeltas {
+            wire_bytes: 0,
+            payload_bytes: 0,
+            dense_bytes: 0,
+            compress_us: 0.0,
+            comm_us: 0.0,
+            residuals_seen: 0,
+        }
+    }
+
+    fn comm_us_total(rec: &InMemoryRecorder) -> f64 {
+        rec.value_sum(keys::COMM_ALL_REDUCE_US)
+            + rec.value_sum(keys::COMM_ALL_GATHER_US)
+            + rec.value_sum(keys::COMM_BROADCAST_US)
+            + rec.value_sum(keys::COMM_GLOBAL_TOPK_US)
+    }
+
+    /// Reads the recorder and emits the delta since the previous call.
+    fn take(&mut self, rec: &InMemoryRecorder, epoch: usize, step: usize) -> StepReport {
+        let wire = rec.counter(keys::COMM_BYTES_SENT);
+        let payload = rec.counter(keys::COMPRESS_PAYLOAD_BYTES);
+        let dense = rec.counter(keys::COMPRESS_DENSE_BYTES);
+        let compress = rec.value_sum(keys::COMPRESS_TIME_US);
+        let comm = Self::comm_us_total(rec);
+        let residuals = rec.values(keys::EF_RESIDUAL_NORM);
+        let residual_norm = if residuals.len() > self.residuals_seen {
+            residuals.last().copied()
+        } else {
+            None
+        };
+        let report = StepReport {
+            epoch,
+            step,
+            wire_bytes: wire - self.wire_bytes,
+            payload_bytes: payload - self.payload_bytes,
+            dense_bytes: dense - self.dense_bytes,
+            compress_us: compress - self.compress_us,
+            comm_us: comm - self.comm_us,
+            residual_norm,
+            loss: None,
+        };
+        self.wire_bytes = wire;
+        self.payload_bytes = payload;
+        self.dense_bytes = dense;
+        self.compress_us = compress;
+        self.comm_us = comm;
+        self.residuals_seen = residuals.len();
+        report
+    }
+}
+
 /// Builds the `[batch, …sample_dims]` input tensor and label vector for a
 /// set of sample indices.
-fn make_batch(
-    data: &Dataset,
-    indices: &[usize],
-    train: bool,
-) -> (Tensor, Vec<usize>) {
+fn make_batch(data: &Dataset, indices: &[usize], train: bool) -> (Tensor, Vec<usize>) {
     let feature_len = data.feature_len();
     let mut x = Vec::with_capacity(indices.len() * feature_len);
     let mut y = Vec::with_capacity(indices.len());
     for &i in indices {
-        let (f, label) = if train { data.train_sample(i) } else { data.test_sample(i) };
+        let (f, label) = if train {
+            data.train_sample(i)
+        } else {
+            data.test_sample(i)
+        };
         x.extend_from_slice(f);
         y.push(label);
     }
@@ -118,50 +207,125 @@ where
     AB: Fn() -> A + Sync,
     A: DistributedOptimizer,
 {
-    let histories = ThreadGroup::run(world, |mut comm| {
-        let mut model = model_builder();
-        let mut aggregator = aggregator_builder();
-        let mut sgd = SgdMomentum::new(cfg.schedule.lr_at(0), cfg.momentum, cfg.weight_decay);
-        let shard = data.shard_indices(comm.rank(), comm.world_size());
-        let mut history = Vec::with_capacity(cfg.epochs);
-        for epoch in 0..cfg.epochs {
-            let lr = cfg.schedule.lr_at(epoch);
-            sgd.set_lr(lr);
-            // Per-rank, per-epoch shuffle of the local shard.
-            let mut order = shard.clone();
-            let mut rng =
-                seeded_rng(cfg.seed ^ (epoch as u64) << 20 ^ comm.rank() as u64);
-            order.shuffle(&mut rng);
-            let mut loss_sum = 0.0f64;
-            let mut batches = 0usize;
-            for chunk in order.chunks(cfg.batch_size) {
-                let (x, y) = make_batch(data, chunk, true);
-                let logits = model.forward(&x);
-                let (loss, dlogits) = softmax_cross_entropy(&logits, &y);
-                model.backward(&dlogits);
-                let mut params = model.params();
-                let mut views: Vec<GradViewMut<'_>> = params
-                    .iter_mut()
-                    .map(|p| GradViewMut { dims: p.dims, grad: &mut *p.grad })
-                    .collect();
-                aggregator
-                    .aggregate(&mut views, &mut comm)
-                    .expect("gradient aggregation failed");
-                sgd.step(&mut params);
-                loss_sum += loss as f64;
-                batches += 1;
-            }
-            let test_accuracy = evaluate(&mut model, data, cfg.batch_size.max(1));
-            history.push(EpochStats {
-                epoch,
-                train_loss: (loss_sum / batches.max(1) as f64) as f32,
-                test_accuracy,
-                lr,
-            });
-        }
-        history
+    let results = ThreadGroup::run(world, |comm| {
+        train_worker(comm, data, &model_builder, &aggregator_builder, cfg, false).0
     });
-    histories.into_iter().next().expect("at least one worker")
+    results.into_iter().next().expect("at least one worker")
+}
+
+/// Like [`train_distributed`], but attaches an
+/// [`InMemoryRecorder`] to every rank's communicator *and* aggregator and
+/// returns per-step [`StepReport`]s plus the raw per-rank
+/// [`MetricsSnapshot`]s alongside the epoch history.
+///
+/// # Panics
+///
+/// Panics if a worker thread fails (collective error or panic).
+pub fn train_distributed_instrumented<MB, AB, A>(
+    world: usize,
+    data: &Dataset,
+    model_builder: MB,
+    aggregator_builder: AB,
+    cfg: &TrainConfig,
+) -> TrainReport
+where
+    MB: Fn() -> Sequential + Sync,
+    AB: Fn() -> A + Sync,
+    A: DistributedOptimizer,
+{
+    let results = ThreadGroup::run(world, |comm| {
+        train_worker(comm, data, &model_builder, &aggregator_builder, cfg, true)
+    });
+    let mut history = Vec::new();
+    let mut ranks = Vec::with_capacity(results.len());
+    for (rank, (h, telemetry)) in results.into_iter().enumerate() {
+        if rank == 0 {
+            history = h;
+        }
+        ranks.push(telemetry.expect("instrumented run records every rank"));
+    }
+    TrainReport { history, ranks }
+}
+
+/// One rank's training loop; `instrument` controls whether a recorder is
+/// attached and step reports are assembled.
+fn train_worker<MB, AB, A>(
+    mut comm: acp_collectives::ThreadCommunicator,
+    data: &Dataset,
+    model_builder: &MB,
+    aggregator_builder: &AB,
+    cfg: &TrainConfig,
+    instrument: bool,
+) -> (Vec<EpochStats>, Option<RankTelemetry>)
+where
+    MB: Fn() -> Sequential + Sync,
+    AB: Fn() -> A + Sync,
+    A: DistributedOptimizer,
+{
+    let mut model = model_builder();
+    let mut aggregator = aggregator_builder();
+    let recorder = if instrument {
+        let rec = Arc::new(InMemoryRecorder::new());
+        comm.set_recorder(rec.clone());
+        aggregator.set_recorder(rec.clone());
+        Some(rec)
+    } else {
+        None
+    };
+    let rank = comm.rank();
+    let mut deltas = StepDeltas::new();
+    let mut steps: Vec<StepReport> = Vec::new();
+    let mut sgd = SgdMomentum::new(cfg.schedule.lr_at(0), cfg.momentum, cfg.weight_decay);
+    let shard = data.shard_indices(rank, comm.world_size());
+    let mut history = Vec::with_capacity(cfg.epochs);
+    for epoch in 0..cfg.epochs {
+        let lr = cfg.schedule.lr_at(epoch);
+        sgd.set_lr(lr);
+        // Per-rank, per-epoch shuffle of the local shard.
+        let mut order = shard.clone();
+        let mut rng = seeded_rng(cfg.seed ^ (epoch as u64) << 20 ^ rank as u64);
+        order.shuffle(&mut rng);
+        let mut loss_sum = 0.0f64;
+        let mut batches = 0usize;
+        for chunk in order.chunks(cfg.batch_size) {
+            let (x, y) = make_batch(data, chunk, true);
+            let logits = model.forward(&x);
+            let (loss, dlogits) = softmax_cross_entropy(&logits, &y);
+            model.backward(&dlogits);
+            let mut params = model.params();
+            let mut views: Vec<GradViewMut<'_>> = params
+                .iter_mut()
+                .map(|p| GradViewMut {
+                    dims: p.dims,
+                    grad: &mut *p.grad,
+                })
+                .collect();
+            aggregator
+                .aggregate(&mut views, &mut comm)
+                .expect("gradient aggregation failed");
+            sgd.step(&mut params);
+            if let Some(rec) = &recorder {
+                let mut report = deltas.take(rec, epoch, batches);
+                report.loss = Some(loss as f64);
+                steps.push(report);
+            }
+            loss_sum += loss as f64;
+            batches += 1;
+        }
+        let test_accuracy = evaluate(&mut model, data, cfg.batch_size.max(1));
+        history.push(EpochStats {
+            epoch,
+            train_loss: (loss_sum / batches.max(1) as f64) as f32,
+            test_accuracy,
+            lr,
+        });
+    }
+    let telemetry = recorder.map(|rec| RankTelemetry {
+        rank,
+        steps,
+        snapshot: rec.snapshot(),
+    });
+    (history, telemetry)
 }
 
 #[cfg(test)]
@@ -203,7 +367,12 @@ mod tests {
             2,
             &data,
             || mlp(&[8, 16, 4], 5),
-            || AcpSgdAggregator::new(AcpSgdConfig { rank: 4, ..Default::default() }),
+            || {
+                AcpSgdAggregator::new(AcpSgdConfig {
+                    rank: 4,
+                    ..Default::default()
+                })
+            },
             &cfg,
         );
         let s = ssgd.last().unwrap().test_accuracy;
@@ -215,9 +384,7 @@ mod tests {
     fn training_is_deterministic() {
         let data = Dataset::gaussian_clusters(3, 6, 30, 0.2, 17);
         let cfg = quick_cfg(3);
-        let run = || {
-            train_distributed(2, &data, || mlp(&[6, 12, 3], 9), SSgdAggregator::new, &cfg)
-        };
+        let run = || train_distributed(2, &data, || mlp(&[6, 12, 3], 9), SSgdAggregator::new, &cfg);
         let a = run();
         let b = run();
         assert_eq!(a, b);
@@ -226,10 +393,37 @@ mod tests {
     #[test]
     fn history_length_matches_epochs() {
         let data = Dataset::gaussian_clusters(2, 4, 20, 0.2, 19);
-        let history =
-            train_distributed(1, &data, || mlp(&[4, 2], 1), SSgdAggregator::new, &quick_cfg(4));
+        let history = train_distributed(
+            1,
+            &data,
+            || mlp(&[4, 2], 1),
+            SSgdAggregator::new,
+            &quick_cfg(4),
+        );
         assert_eq!(history.len(), 4);
         assert_eq!(history[3].epoch, 3);
+    }
+
+    #[test]
+    fn instrumented_run_reports_per_step_telemetry() {
+        let data = Dataset::gaussian_clusters(2, 4, 20, 0.2, 29);
+        let cfg = quick_cfg(2);
+        let report =
+            train_distributed_instrumented(2, &data, || mlp(&[4, 2], 1), SSgdAggregator::new, &cfg);
+        assert_eq!(report.ranks.len(), 2);
+        for rank in &report.ranks {
+            assert!(!rank.steps.is_empty());
+            for s in &rank.steps {
+                assert!(s.wire_bytes > 0, "ring all-reduce sends bytes");
+                // S-SGD is uncompressed: payload == dense, ratio 1.
+                assert_eq!(s.payload_bytes, s.dense_bytes);
+                assert!(s.loss.is_some());
+            }
+            assert!(rank.snapshot.counters.contains_key("comm.bytes_sent"));
+        }
+        // Telemetry must not perturb training: history matches a plain run.
+        let plain = train_distributed(2, &data, || mlp(&[4, 2], 1), SSgdAggregator::new, &cfg);
+        assert_eq!(report.history, plain);
     }
 
     #[test]
@@ -241,8 +435,7 @@ mod tests {
             schedule: LrSchedule::new(0.2, 2, vec![(3, 0.1)]),
             ..TrainConfig::default()
         };
-        let history =
-            train_distributed(1, &data, || mlp(&[4, 2], 1), SSgdAggregator::new, &cfg);
+        let history = train_distributed(1, &data, || mlp(&[4, 2], 1), SSgdAggregator::new, &cfg);
         assert!((history[0].lr - 0.1).abs() < 1e-6); // warmup 1/2
         assert!((history[1].lr - 0.2).abs() < 1e-6);
         assert!((history[3].lr - 0.02).abs() < 1e-6); // decayed

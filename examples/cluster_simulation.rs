@@ -4,18 +4,31 @@
 //!
 //! ```text
 //! cargo run -p acp-bench --example cluster_simulation
+//! cargo run -p acp-bench --example cluster_simulation -- --trace sim.json
 //! ```
+//!
+//! With `--trace PATH` the ResNet-152 ACP-SGD schedule is also written as
+//! Chrome-trace JSON (compute and network tracks).
 
 use acp_models::Model;
-use acp_simulator::trace::{render_text, trace};
+use acp_simulator::trace::{render_text, to_chrome_trace, trace};
 use acp_simulator::{simulate, ExperimentConfig, Strategy};
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let trace_path = args
+        .windows(2)
+        .find(|w| w[0] == "--trace")
+        .map(|w| std::path::PathBuf::from(&w[1]));
+
     println!("32 GPUs, 10GbE, paper batch sizes — simulated iteration breakdowns\n");
     for model in Model::evaluation_models() {
         let rank = model.paper_rank();
         println!("{model} (rank {rank}):");
-        println!("  {:<11} {:>8} {:>8} {:>9} {:>8}", "method", "total", "ff&bp", "compress", "comm");
+        println!(
+            "  {:<11} {:>8} {:>8} {:>9} {:>8}",
+            "method", "total", "ff&bp", "compress", "comm"
+        );
         for strategy in [
             Strategy::SSgd,
             Strategy::PowerSgd { rank },
@@ -42,4 +55,16 @@ fn main() {
     let cfg = ExperimentConfig::paper_testbed(Model::ResNet152, Strategy::AcpSgd { rank: 4 });
     let entries = trace(&cfg).expect("in-memory trace");
     print!("{}", render_text(&entries, 76));
+
+    if let Some(path) = trace_path {
+        if let Err(e) = std::fs::write(&path, to_chrome_trace(&entries)) {
+            eprintln!("failed to write trace to {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        println!(
+            "\nwrote Chrome trace ({} tasks) to {}",
+            entries.len(),
+            path.display()
+        );
+    }
 }

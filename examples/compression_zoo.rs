@@ -31,12 +31,18 @@ fn main() {
     let dense_bytes = 4 * grad.len();
 
     println!("gradient: {n}x{m} f32 = {dense_bytes} bytes\n");
-    println!("{:<22} {:>12} {:>9} {:>10}", "method", "wire size", "ratio", "rel. err");
+    println!(
+        "{:<22} {:>12} {:>9} {:>10}",
+        "method", "wire size", "ratio", "rel. err"
+    );
 
     // Element-wise compressors through the common trait.
     let mut zoo: Vec<(&str, Box<dyn Compressor>)> = vec![
         ("signsgd (scaled)", Box::new(SignSgd::scaled())),
-        ("signsgd + EF", Box::new(ErrorFeedback::new(SignSgd::scaled()))),
+        (
+            "signsgd + EF",
+            Box::new(ErrorFeedback::new(SignSgd::scaled())),
+        ),
         ("topk 1%", Box::new(TopK::new(grad.len() / 100))),
         ("randomk 1%", Box::new(RandomK::new(grad.len() / 100, 5))),
         ("qsgd s=4", Box::new(Qsgd::new(4, 5))),
@@ -46,14 +52,26 @@ fn main() {
         let payload = comp.compress(&grad);
         let mut out = vec![0.0f32; grad.len()];
         comp.decompress(&payload, &mut out);
-        report_line(name, payload.wire_bytes(), dense_bytes, relative_error(&grad, &out));
+        report_line(
+            name,
+            payload.wire_bytes(),
+            dense_bytes,
+            relative_error(&grad, &out),
+        );
     }
 
     // Low-rank state machines (per-step payload; error after 4 steps on the
     // same gradient, so the power iteration has converged a little).
     for rank in [4usize, 32] {
-        let mut ps =
-            PowerSgd::new(n, m, PowerSgdConfig { rank, error_feedback: false, ..Default::default() });
+        let mut ps = PowerSgd::new(
+            n,
+            m,
+            PowerSgdConfig {
+                rank,
+                error_feedback: false,
+                ..Default::default()
+            },
+        );
         let mut approx = Matrix::zeros(n, m);
         for _ in 0..4 {
             let p = ps.compute_p(&grad_mat);
@@ -66,8 +84,15 @@ fn main() {
             dense_bytes,
             relative_error(&grad, approx.as_slice()),
         );
-        let mut acp =
-            AcpSgd::new(n, m, AcpSgdConfig { rank, error_feedback: false, ..Default::default() });
+        let mut acp = AcpSgd::new(
+            n,
+            m,
+            AcpSgdConfig {
+                rank,
+                error_feedback: false,
+                ..Default::default()
+            },
+        );
         let mut approx = Matrix::zeros(n, m);
         for _ in 0..8 {
             let f = acp.compress(&grad_mat);

@@ -1,20 +1,31 @@
 //! Data-parallel training across four in-process workers, comparing
 //! S-SGD, Power-SGD and ACP-SGD end to end — a miniature of the paper's
-//! convergence experiment (Fig. 6).
+//! convergence experiment (Fig. 6) — with per-step telemetry for the
+//! ACP-SGD run.
 //!
 //! ```text
 //! cargo run --release -p acp-bench --example distributed_training
+//! cargo run --release -p acp-bench --example distributed_training -- --trace trace.json
 //! ```
+//!
+//! With `--trace PATH` the ACP-SGD run's communication/compression spans
+//! are written as Chrome-trace JSON (load in `chrome://tracing` or
+//! Perfetto, one track per worker rank).
 
-use acp_core::{
-    AcpSgdAggregator, AcpSgdConfig, PowerSgdAggregator, PowerSgdAggregatorConfig, SSgdAggregator,
-};
+use acp_core::{build_optimizer, AcpSgdConfig, Aggregator, PowerSgdConfig};
+use acp_telemetry::{render_step_table, summary, ChromeTraceBuilder};
 use acp_training::dataset::Dataset;
 use acp_training::model::mlp;
-use acp_training::trainer::{train_distributed, TrainConfig};
+use acp_training::trainer::{train_distributed, train_distributed_instrumented, TrainConfig};
 use acp_training::LrSchedule;
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let trace_path = args
+        .windows(2)
+        .find(|w| w[0] == "--trace")
+        .map(|w| std::path::PathBuf::from(&w[1]));
+
     let workers = 4;
     let epochs = 25;
     let data = Dataset::rings(3, 16, 300, 1234);
@@ -29,13 +40,26 @@ fn main() {
     let model = || mlp(&[16, 64, 32, 3], 99);
 
     println!("training {workers} data-parallel workers on the rings task, {epochs} epochs\n");
-    let ssgd = train_distributed(workers, &data, model, SSgdAggregator::new, &cfg);
-    let power = train_distributed(workers, &data, model, || {
-        PowerSgdAggregator::new(PowerSgdAggregatorConfig { rank: 4, ..Default::default() })
-    }, &cfg);
-    let acp = train_distributed(workers, &data, model, || {
-        AcpSgdAggregator::new(AcpSgdConfig { rank: 4, ..Default::default() })
-    }, &cfg);
+    let ssgd = train_distributed(
+        workers,
+        &data,
+        model,
+        || build_optimizer(&Aggregator::Ssgd),
+        &cfg,
+    );
+    let power_spec = Aggregator::PowerSgd(PowerSgdConfig::default().with_rank(4));
+    let power = train_distributed(workers, &data, model, || build_optimizer(&power_spec), &cfg);
+    // One epoch of exact averaging before compression kicks in (§ warm
+    // start in the paper); without it the alternating factors start from
+    // a random projection and this small model can settle at chance.
+    let acp_spec = Aggregator::AcpSgd(
+        AcpSgdConfig::default()
+            .with_rank(4)
+            .with_warm_start_steps(8),
+    );
+    let report =
+        train_distributed_instrumented(workers, &data, model, || build_optimizer(&acp_spec), &cfg);
+    let acp = &report.history;
 
     println!("epoch  S-SGD acc  Power-SGD acc  ACP-SGD acc");
     for e in (0..epochs).step_by(4).chain([epochs - 1]) {
@@ -51,4 +75,34 @@ fn main() {
         acp.last().unwrap().test_accuracy,
     );
     println!("(the paper's Fig. 6 claim: all three converge to the same accuracy)");
+
+    // Per-step telemetry of the ACP-SGD run, rank 0's first steps.
+    let rank0 = &report.ranks[0];
+    let shown = rank0.steps.len().min(8);
+    println!("\nACP-SGD per-step telemetry (rank 0, first {shown} steps):");
+    print!("{}", render_step_table(&rank0.steps[..shown]));
+    println!("\nACP-SGD metrics summary (rank 0, whole run):");
+    print!("{}", summary::render(&rank0.snapshot));
+
+    if let Some(path) = trace_path {
+        // One process, one track per rank. Each rank's recorder has its own
+        // epoch (thread start), so tracks are aligned only approximately.
+        let mut trace = ChromeTraceBuilder::new();
+        trace.process_name(0, "acp-sgd training");
+        for rank in &report.ranks {
+            trace.thread_name(0, rank.rank as u64, &format!("rank {}", rank.rank));
+            trace.add_spans(0, &rank.snapshot.spans);
+        }
+        match trace.write_to(&path) {
+            Ok(()) => println!(
+                "\nwrote Chrome trace ({} events) to {}",
+                trace.len(),
+                path.display()
+            ),
+            Err(e) => {
+                eprintln!("failed to write trace to {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
 }

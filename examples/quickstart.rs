@@ -23,7 +23,14 @@ fn main() {
     // ACP-SGD at rank 4 with error feedback and query reuse (the paper's
     // configuration). On a single worker the all-reduce is the identity, so
     // compress -> finish is a full compression round trip.
-    let mut acp = AcpSgd::new(64, 32, AcpSgdConfig { rank: 4, ..Default::default() });
+    let mut acp = AcpSgd::new(
+        64,
+        32,
+        AcpSgdConfig {
+            rank: 4,
+            ..Default::default()
+        },
+    );
     println!("step  side  transmitted  rel.error  residual");
     for step in 1..=8 {
         let side = acp.next_side();

@@ -1,0 +1,60 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! The collectives crate only uses `crossbeam::channel`'s unbounded MPSC
+//! channels; `std::sync::mpsc` provides the identical surface (cloneable
+//! senders, `recv_timeout`, the same error enums), so this shim simply
+//! re-exports it under crossbeam's module layout.
+
+pub mod channel {
+    //! Unbounded channels with timeouts, API-compatible with
+    //! `crossbeam::channel` for the operations this workspace uses.
+
+    pub use std::sync::mpsc::{Receiver, RecvTimeoutError, SendError, Sender, TryRecvError};
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{unbounded, RecvTimeoutError};
+    use std::time::Duration;
+
+    #[test]
+    fn send_recv_roundtrip() {
+        let (tx, rx) = unbounded();
+        tx.send(7usize).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_secs(1)).unwrap(), 7);
+    }
+
+    #[test]
+    fn timeout_and_disconnect_are_distinct() {
+        let (tx, rx) = unbounded::<usize>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(1)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(1)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn senders_clone_across_threads() {
+        let (tx, rx) = unbounded();
+        std::thread::scope(|s| {
+            for i in 0..4usize {
+                let tx = tx.clone();
+                s.spawn(move || tx.send(i).unwrap());
+            }
+        });
+        drop(tx);
+        let mut got: Vec<usize> = rx.iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+    }
+}

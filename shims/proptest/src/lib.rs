@@ -1,0 +1,254 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API this workspace uses —
+//! [`strategy::Strategy`] with `prop_map`/`prop_flat_map`/`boxed`, range and
+//! tuple strategies, [`strategy::Just`], [`collection::vec`], the
+//! [`proptest!`]/[`prop_assert!`]/[`prop_assert_eq!`]/[`prop_assume!`]/
+//! [`prop_oneof!`] macros, and [`test_runner::ProptestConfig`] — on top of a
+//! deterministic SplitMix64 sampler seeded from the test name.
+//!
+//! Differences from the real crate: no shrinking (a failing case reports the
+//! sampled inputs but is not minimized), no persistence files, and rejection
+//! via `prop_assume!` is bounded by a fixed retry budget per test.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod collection {
+    //! Strategies for collections (`vec` only).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Anything usable as the size specifier of [`vec`]: a fixed length or a
+    /// (half-open or inclusive) range of lengths.
+    pub trait SampleLen {
+        /// Draws a length from this specifier.
+        fn sample_len(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SampleLen for usize {
+        fn sample_len(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SampleLen for core::ops::Range<usize> {
+        fn sample_len(&self, rng: &mut TestRng) -> usize {
+            assert!(!self.is_empty(), "empty length range for collection::vec");
+            self.start + (rng.next_u64() as usize) % (self.end - self.start)
+        }
+    }
+
+    impl SampleLen for core::ops::RangeInclusive<usize> {
+        fn sample_len(&self, rng: &mut TestRng) -> usize {
+            assert!(!self.is_empty(), "empty length range for collection::vec");
+            let span = *self.end() - *self.start() + 1;
+            *self.start() + (rng.next_u64() as usize) % span
+        }
+    }
+
+    /// Strategy producing `Vec<S::Value>` with lengths drawn from `len`.
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    /// Generates vectors whose elements are drawn from `element` and whose
+    /// length is drawn from `len`.
+    pub fn vec<S: Strategy, L: SampleLen>(element: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy, L: SampleLen> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.len.sample_len(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop imports mirroring `proptest::prelude`.
+
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that samples the strategies `cases` times and runs the
+/// body against each sample.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = ($cfg:expr);
+     $($(#[$meta:meta])*
+       fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $cfg;
+                let mut rng = $crate::test_runner::TestRng::from_name(stringify!($name));
+                let mut completed: u32 = 0;
+                let mut attempts: u32 = 0;
+                while completed < config.cases {
+                    attempts += 1;
+                    if attempts > config.cases.saturating_mul(64).max(1024) {
+                        panic!(
+                            "proptest {}: too many rejected cases ({} of {} completed)",
+                            stringify!($name), completed, config.cases
+                        );
+                    }
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);)*
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    match outcome {
+                        ::std::result::Result::Ok(()) => completed += 1,
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject) => {}
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!("proptest {} failed: {}", stringify!($name), msg)
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (not the
+/// process) so the runner can report which sampled inputs broke it.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("{} at {}:{}", stringify!($cond), file!(), line!()),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("{} ({}) at {}:{}", stringify!($cond), format!($($fmt)+), file!(), line!()),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let lhs = &$lhs;
+        let rhs = &$rhs;
+        if !(lhs == rhs) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(format!(
+                "{} == {}: {:?} != {:?} at {}:{}",
+                stringify!($lhs), stringify!($rhs), lhs, rhs, file!(), line!(),
+            )));
+        }
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let lhs = &$lhs;
+        let rhs = &$rhs;
+        if !(lhs == rhs) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(format!(
+                "{} == {} ({}): {:?} != {:?} at {}:{}",
+                stringify!($lhs), stringify!($rhs), format!($($fmt)+), lhs, rhs, file!(), line!(),
+            )));
+        }
+    }};
+}
+
+/// Rejects the current case (the runner draws a fresh sample) when the
+/// precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Picks uniformly among several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::from_name("ranges_stay_in_bounds");
+        for _ in 0..1000 {
+            let x = (5usize..17).sample(&mut rng);
+            assert!((5..17).contains(&x));
+            let y = (1usize..=8).sample(&mut rng);
+            assert!((1..=8).contains(&y));
+            let f = (-2.0f32..3.0).sample(&mut rng);
+            assert!((-2.0..3.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn map_flat_map_compose() {
+        let mut rng = TestRng::from_name("map_flat_map_compose");
+        let strat = (1usize..=4, 1usize..=4).prop_flat_map(|(r, c)| {
+            crate::collection::vec(0.0f32..1.0, r * c).prop_map(move |v| (r, c, v))
+        });
+        for _ in 0..200 {
+            let (r, c, v) = strat.sample(&mut rng);
+            assert_eq!(v.len(), r * c);
+        }
+    }
+
+    #[test]
+    fn oneof_covers_all_branches() {
+        let strat = prop_oneof![Just(1u8), Just(2u8), Just(3u8)];
+        let mut rng = TestRng::from_name("oneof_covers_all_branches");
+        let mut seen = [false; 4];
+        for _ in 0..100 {
+            seen[strat.sample(&mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The runner itself: assume filters, asserts pass, args bind.
+        #[test]
+        fn runner_smoke(a in 0usize..100, b in 0usize..100) {
+            prop_assume!(a != b);
+            let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+            prop_assert!(lo < hi, "{lo} vs {hi}");
+            prop_assert_eq!(lo.max(hi), hi);
+        }
+    }
+}

@@ -1,0 +1,292 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace-local
+//! shim provides the (small) subset of the `rand` 0.8 API the repository
+//! uses: [`RngCore`]/[`Rng`]/[`SeedableRng`], uniform `gen`/`gen_range`
+//! sampling for the scalar types that appear in the codebase, and
+//! [`seq::SliceRandom`] shuffling. Streams are deterministic per seed, which
+//! is all the reproduction relies on (rank-identical replays), but the
+//! generator is *not* the reference ChaCha/StdRng bitstream.
+
+/// Low-level generator interface: a source of uniformly distributed bits.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Deterministic construction from a seed.
+pub trait SeedableRng: Sized {
+    /// Creates a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from the generator's raw bits
+/// (the shim's version of `rand`'s `Standard` distribution).
+pub trait UniformSample: Sized {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl UniformSample for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl UniformSample for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl UniformSample for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+impl UniformSample for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 24 mantissa bits -> uniform in [0, 1).
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl UniformSample for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 mantissa bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Scalars supporting uniform sampling from a half-open or inclusive range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform draw from `[lo, hi)` (`inclusive = false`) or `[lo, hi]`.
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(
+                rng: &mut R,
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+            ) -> Self {
+                let span = if inclusive {
+                    (hi as i128 - lo as i128 + 1) as u128
+                } else {
+                    assert!(lo < hi, "gen_range called with empty range");
+                    (hi as i128 - lo as i128) as u128
+                };
+                // Modulo bias is < 2^-64 for the ranges used here.
+                let offset = (rng.next_u64() as u128) % span;
+                (lo as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_sample_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(
+                rng: &mut R,
+                lo: Self,
+                hi: Self,
+                _inclusive: bool,
+            ) -> Self {
+                assert!(lo < hi, "gen_range called with empty range");
+                let unit = <$t as UniformSample>::sample(rng);
+                lo + (hi - lo) * unit
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_float!(f32, f64);
+
+/// Range argument accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_range(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_range(rng, lo, hi, true)
+    }
+}
+
+/// User-facing generator interface, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value uniformly over the type's natural domain
+    /// (`[0, 1)` for floats, the full range for integers).
+    fn gen<T: UniformSample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Samples uniformly from `range`.
+    fn gen_range<T, RA>(&mut self, range: RA) -> T
+    where
+        Self: Sized,
+        T: SampleUniform,
+        RA: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod seq {
+    //! Slice shuffling (the shim's `rand::seq`).
+
+    use super::{Rng, RngCore};
+
+    /// Shuffling operations on slices.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Fisher–Yates shuffle of the whole slice.
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+        /// Shuffles a random `amount`-element prefix into place and returns
+        /// `(prefix, rest)`.
+        fn partial_shuffle<R: Rng + ?Sized>(
+            &mut self,
+            rng: &mut R,
+            amount: usize,
+        ) -> (&mut [Self::Item], &mut [Self::Item]);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            let _ = self.partial_shuffle(rng, self.len());
+        }
+
+        fn partial_shuffle<R: Rng + ?Sized>(
+            &mut self,
+            rng: &mut R,
+            amount: usize,
+        ) -> (&mut [T], &mut [T]) {
+            let len = self.len();
+            let amount = amount.min(len);
+            for i in 0..amount {
+                let j = uniform_index(rng, len - i) + i;
+                self.swap(i, j);
+            }
+            self.split_at_mut(amount)
+        }
+    }
+
+    fn uniform_index<R: RngCore + ?Sized>(rng: &mut R, n: usize) -> usize {
+        if n <= 1 {
+            0
+        } else {
+            (rng.next_u64() % n as u64) as usize
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::seq::SliceRandom;
+    use super::*;
+
+    struct Lcg(u64);
+
+    impl RngCore for Lcg {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            self.0
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = Lcg(7);
+        for _ in 0..1000 {
+            let x: f32 = rng.gen_range(-2.0f32..3.0);
+            assert!((-2.0..3.0).contains(&x));
+            let n: usize = rng.gen_range(0..10usize);
+            assert!(n < 10);
+            let m: usize = rng.gen_range(1..=4usize);
+            assert!((1..=4).contains(&m));
+        }
+    }
+
+    #[test]
+    fn unit_floats_in_unit_interval() {
+        let mut rng = Lcg(3);
+        for _ in 0..1000 {
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+            let g: f32 = rng.gen();
+            assert!((0.0..1.0).contains(&g));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Lcg(11);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn partial_shuffle_splits_at_amount() {
+        let mut rng = Lcg(13);
+        let mut v: Vec<usize> = (0..10).collect();
+        let (head, tail) = v.partial_shuffle(&mut rng, 4);
+        assert_eq!(head.len(), 4);
+        assert_eq!(tail.len(), 6);
+    }
+}

@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace annotates public data types with
+//! `#[derive(Serialize, Deserialize)]` but never serializes them (no format
+//! crate is in the tree). This shim keeps those annotations compiling
+//! offline: the traits are empty markers and the derives expand to nothing.
+//! Swapping in the real `serde` is a one-line change in the workspace
+//! manifest.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

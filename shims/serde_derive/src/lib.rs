@@ -1,0 +1,23 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Nothing in this workspace actually serializes (there is no `serde_json`
+//! or bincode in the tree); the `#[derive(Serialize, Deserialize)]`
+//! annotations exist so downstream users could plug real serde in. These
+//! derives therefore expand to nothing, keeping the annotations compiling
+//! without the real proc-macro stack.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` (including `#[serde(...)]` helper
+/// attributes) and expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` (including `#[serde(...)]` helper
+/// attributes) and expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

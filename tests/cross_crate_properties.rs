@@ -193,7 +193,10 @@ fn sign_aggregator_matches_majority_reference() {
         let mut opt = SignSgdAggregator::new();
         let mut g = grads[comm.rank()].clone();
         let dims = [3usize];
-        let mut views = [GradViewMut { dims: &dims, grad: &mut g }];
+        let mut views = [GradViewMut {
+            dims: &dims,
+            grad: &mut g,
+        }];
         opt.aggregate(&mut views, &mut comm).unwrap();
         g
     });

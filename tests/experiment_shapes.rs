@@ -30,8 +30,16 @@ fn fig2_compression_methods_fail_on_resnets() {
     let ssgd = g.total(rn50, 0);
     let sign = g.total(rn50, 1);
     let topk = g.total(rn50, 2);
-    assert!(sign / ssgd > 1.2 && sign / ssgd < 2.5, "sign ratio {}", sign / ssgd);
-    assert!(topk / ssgd > 1.2 && topk / ssgd < 2.5, "topk ratio {}", topk / ssgd);
+    assert!(
+        sign / ssgd > 1.2 && sign / ssgd < 2.5,
+        "sign ratio {}",
+        sign / ssgd
+    );
+    assert!(
+        topk / ssgd > 1.2 && topk / ssgd < 2.5,
+        "topk ratio {}",
+        topk / ssgd
+    );
     // Power-SGD is the best compression method on every model where all run.
     for r in 0..g.rows.len() {
         let power = g.total(r, 3);
@@ -50,7 +58,10 @@ fn fig3_breakdown_structure() {
     // ~180ms compute).
     let bb = 1;
     let ssgd = g.cell(bb, 0).unwrap();
-    assert!(ssgd.non_overlapped_comm > ssgd.ffbp, "comm should dominate on BERT-Base");
+    assert!(
+        ssgd.non_overlapped_comm > ssgd.ffbp,
+        "comm should dominate on BERT-Base"
+    );
     // S-SGD on ResNet-50 hides most communication.
     let rn = g.cell(0, 0).unwrap();
     assert!(rn.non_overlapped_comm < 0.3 * rn.total);
@@ -106,7 +117,10 @@ fn fig9_wfbp_and_tf_effects() {
         assert!(tf < wfbp, "{name}: TF must improve on WFBP");
         assert!(tf < naive, "{name}: full optimization must beat naive");
         if name.contains("Power-SGD") {
-            assert!(wfbp > naive, "{name}: WFBP should hurt Power-SGD (paper: 13% slower)");
+            assert!(
+                wfbp > naive,
+                "{name}: WFBP should hurt Power-SGD (paper: 13% slower)"
+            );
         } else {
             assert!(wfbp < naive, "{name}: WFBP should help {name}");
         }
@@ -114,7 +128,10 @@ fn fig9_wfbp_and_tf_effects() {
     // TF speedup over WFBP is largest for Power-SGD (paper: 2.16x).
     let p_tf_speedup = g.total(1, 1) / g.total(1, 2);
     let s_tf_speedup = g.total(0, 1) / g.total(0, 2);
-    assert!(p_tf_speedup > s_tf_speedup, "{p_tf_speedup} vs {s_tf_speedup}");
+    assert!(
+        p_tf_speedup > s_tf_speedup,
+        "{p_tf_speedup} vs {s_tf_speedup}"
+    );
 }
 
 #[test]
@@ -125,7 +142,13 @@ fn fig10_acp_robust_to_buffer_size() {
     let best = (0..g.cols.len())
         .map(|c| g.total(acp32, c))
         .fold(f64::INFINITY, f64::min);
-    let at25 = g.total(acp32, timing::FIG10_BUFFER_MB.iter().position(|&b| b == 25).unwrap());
+    let at25 = g.total(
+        acp32,
+        timing::FIG10_BUFFER_MB
+            .iter()
+            .position(|&b| b == 25)
+            .unwrap(),
+    );
     assert!(at25 < 1.2 * best, "25MB {at25} vs best {best}");
     // ACP beats Power-SGD* at every buffer size and rank.
     for c in 0..g.cols.len() {
@@ -146,7 +169,10 @@ fn fig11_hyperparameter_trends() {
         }
     }
     for r in 0..a.rows.len() {
-        assert!(a.total(r, 1) > a.total(r, 0), "batch 32 should take longer than 16");
+        assert!(
+            a.total(r, 1) > a.total(r, 0),
+            "batch 32 should take longer than 16"
+        );
     }
     // The ACP/S-SGD gap shrinks as batch grows (paper: 2.4x at b16, 1.6x
     // at b32).
@@ -164,7 +190,10 @@ fn fig11_hyperparameter_trends() {
     }
     let adv_r32 = b.total(0, 0) / b.total(1, 0);
     let adv_r256 = b.total(0, 3) / b.total(1, 3);
-    assert!(adv_r256 > adv_r32, "ACP advantage {adv_r32} -> {adv_r256} should grow with rank");
+    assert!(
+        adv_r256 > adv_r32,
+        "ACP advantage {adv_r32} -> {adv_r256} should grow with rank"
+    );
 }
 
 #[test]
@@ -183,10 +212,16 @@ fn fig13_bandwidth_crossover() {
     // ResNet-50 rows 0..3: on 1GbE compression wins big; speedups shrink
     // with bandwidth (paper: 7.1x on 1GbE for ACP over S-SGD).
     let rn_speedup_1gbe = g.total(0, 0) / g.total(2, 0);
-    assert!(rn_speedup_1gbe > 3.0, "ResNet-50 1GbE speedup {rn_speedup_1gbe}");
+    assert!(
+        rn_speedup_1gbe > 3.0,
+        "ResNet-50 1GbE speedup {rn_speedup_1gbe}"
+    );
     // BERT-Base on 1GbE: paper reports 23.9x for ACP.
     let bb_speedup_1gbe = g.total(3, 0) / g.total(5, 0);
-    assert!(bb_speedup_1gbe > 10.0, "BERT-Base 1GbE speedup {bb_speedup_1gbe}");
+    assert!(
+        bb_speedup_1gbe > 10.0,
+        "BERT-Base 1GbE speedup {bb_speedup_1gbe}"
+    );
     // ACP still ahead on 100Gb IB (paper: ~40% on BERT-Base).
     let bb_speedup_ib = g.total(3, 2) / g.total(5, 2);
     assert!(bb_speedup_ib > 1.1, "BERT-Base IB speedup {bb_speedup_ib}");
