@@ -6,11 +6,20 @@
 //! reduce-scatter followed by ring all-gather, so the per-rank transmitted
 //! volume is the bandwidth-optimal `2 (p−1)/p · N` of Table II, which the
 //! tests verify byte-for-byte through [`Communicator::bytes_sent`].
+//!
+//! The collective *algorithms* live in [`crate::ring`], generic over the
+//! [`Transport`] point-to-point interface; this module provides the
+//! in-process channel backend. `acp-net` provides the TCP backend over the
+//! same algorithms.
 
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 use acp_telemetry::{keys, noop, RecorderHandle, Span};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+
+use crate::ring::{self, Transport, WireMsg};
 
 /// Reduction operator applied element-wise by [`Communicator::all_reduce`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -58,6 +67,17 @@ pub enum CommError {
     /// A worker thread of a [`ThreadGroup`] panicked before producing a
     /// result.
     WorkerPanicked,
+    /// A collective exceeded its deadline without the peer being observed
+    /// dead — a hung or straggling rank, surfaced instead of blocking.
+    Timeout {
+        /// The operation that timed out (e.g. `"recv"`, `"connect"`).
+        op: &'static str,
+        /// How long the operation waited before giving up, milliseconds.
+        waited_ms: u64,
+    },
+    /// A transport-level I/O failure (TCP backend: reset, refused,
+    /// unreachable, malformed frame).
+    Io(String),
 }
 
 impl fmt::Display for CommError {
@@ -83,6 +103,10 @@ impl fmt::Display for CommError {
                 write!(f, "rank {rank} out of range for world size {world_size}")
             }
             CommError::WorkerPanicked => write!(f, "a worker thread panicked"),
+            CommError::Timeout { op, waited_ms } => {
+                write!(f, "{op} timed out after {waited_ms} ms")
+            }
+            CommError::Io(msg) => write!(f, "transport I/O error: {msg}"),
         }
     }
 }
@@ -186,25 +210,16 @@ pub trait Communicator: Send {
         for (&i, &v) in gathered_idx.iter().zip(&gathered_val) {
             *map.entry(i).or_insert(0.0f32) += v;
         }
-        Ok(truncate_topk(map, k))
+        Ok(ring::truncate_topk(map, k))
     }
 }
 
-/// Keeps the `k` largest-magnitude entries of a coordinate map, returned
-/// in ascending coordinate order.
-fn truncate_topk(map: std::collections::BTreeMap<u32, f32>, k: usize) -> (Vec<u32>, Vec<f32>) {
-    let mut entries: Vec<(u32, f32)> = map.into_iter().collect();
-    if entries.len() > k {
-        entries.select_nth_unstable_by(k - 1, |a, b| {
-            b.1.abs()
-                .partial_cmp(&a.1.abs())
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
-        entries.truncate(k);
-        entries.sort_unstable_by_key(|e| e.0);
-    }
-    entries.into_iter().unzip()
-}
+/// How long a rank waits on a peer before concluding it died.
+const RECV_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(30);
+
+/// Poll interval of the receive loop; bounds how long a rank can block
+/// after a peer panics before it observes the group's panic flag.
+const PANIC_POLL: std::time::Duration = std::time::Duration::from_millis(20);
 
 /// Trivial [`Communicator`] for a single-process group of size 1.
 ///
@@ -274,30 +289,6 @@ impl Communicator for LocalCommunicator {
     }
 }
 
-/// Message exchanged between workers.
-#[derive(Debug)]
-enum RingMsg {
-    F32(Vec<f32>),
-    U32(Vec<u32>),
-    /// Sparse (indices, values) pair for the gTop-k collective.
-    Sparse(Vec<u32>, Vec<f32>),
-    Token,
-}
-
-impl RingMsg {
-    fn payload_bytes(&self) -> u64 {
-        match self {
-            RingMsg::F32(v) => 4 * v.len() as u64,
-            RingMsg::U32(v) => 4 * v.len() as u64,
-            RingMsg::Sparse(i, v) => 4 * (i.len() + v.len()) as u64,
-            RingMsg::Token => 0,
-        }
-    }
-}
-
-/// How long a rank waits on a peer before concluding it died.
-const RECV_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(30);
-
 /// A worker-thread endpoint of a communicator group.
 ///
 /// Created in bulk by [`ThreadGroup::new`] (one per rank) and moved into the
@@ -310,11 +301,15 @@ pub struct ThreadCommunicator {
     rank: usize,
     world_size: usize,
     /// Sender to each rank's inbox (index = destination rank).
-    peers: Vec<Sender<(usize, RingMsg)>>,
+    peers: Vec<Sender<(usize, WireMsg)>>,
     /// This rank's inbox.
-    inbox: Receiver<(usize, RingMsg)>,
+    inbox: Receiver<(usize, WireMsg)>,
     /// Out-of-order messages buffered per source rank.
-    pending: Vec<std::collections::VecDeque<RingMsg>>,
+    pending: Vec<std::collections::VecDeque<WireMsg>>,
+    /// Set by any rank of the group whose worker thread panics; receive
+    /// loops poll it so peers observe the death within [`PANIC_POLL`]
+    /// instead of blocking out the full [`RECV_TIMEOUT`].
+    panicked: Arc<AtomicBool>,
     bytes_sent: u64,
     /// Telemetry sink; [`acp_telemetry::NoopRecorder`] unless attached via
     /// [`Communicator::set_recorder`].
@@ -331,8 +326,28 @@ impl fmt::Debug for ThreadCommunicator {
     }
 }
 
-impl ThreadCommunicator {
-    fn send_to(&mut self, dest: usize, msg: RingMsg) -> Result<(), CommError> {
+impl Drop for ThreadCommunicator {
+    fn drop(&mut self) {
+        // A communicator dropped during unwind means its worker died
+        // mid-collective; flag the group so peers blocked in `recv_from`
+        // fail fast with `WorkerPanicked` instead of waiting out the
+        // 30-second peer timeout.
+        if std::thread::panicking() {
+            self.panicked.store(true, Ordering::SeqCst);
+        }
+    }
+}
+
+impl Transport for ThreadCommunicator {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn world_size(&self) -> usize {
+        self.world_size
+    }
+
+    fn send_to(&mut self, dest: usize, msg: WireMsg) -> Result<(), CommError> {
         if dest >= self.peers.len() {
             return Err(CommError::InvalidRank {
                 rank: dest,
@@ -349,7 +364,7 @@ impl ThreadCommunicator {
             .map_err(|_| CommError::PeerDisconnected)
     }
 
-    fn recv_from(&mut self, src: usize) -> Result<RingMsg, CommError> {
+    fn recv_from(&mut self, src: usize) -> Result<WireMsg, CommError> {
         if src >= self.pending.len() {
             return Err(CommError::InvalidRank {
                 rank: src,
@@ -359,8 +374,12 @@ impl ThreadCommunicator {
         if let Some(msg) = self.pending[src].pop_front() {
             return Ok(msg);
         }
+        let deadline = std::time::Instant::now() + RECV_TIMEOUT;
         loop {
-            match self.inbox.recv_timeout(RECV_TIMEOUT) {
+            if self.panicked.load(Ordering::SeqCst) {
+                return Err(CommError::WorkerPanicked);
+            }
+            match self.inbox.recv_timeout(PANIC_POLL) {
                 Ok((from, msg)) => {
                     // Count at inbox receipt so buffered out-of-order
                     // messages are still counted exactly once.
@@ -373,11 +392,30 @@ impl ThreadCommunicator {
                     }
                     self.pending[from].push_back(msg);
                 }
-                Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {
-                    return Err(CommError::PeerDisconnected)
+                Err(RecvTimeoutError::Timeout) => {
+                    if std::time::Instant::now() >= deadline {
+                        return Err(CommError::PeerDisconnected);
+                    }
                 }
+                Err(RecvTimeoutError::Disconnected) => return Err(CommError::PeerDisconnected),
             }
         }
+    }
+}
+
+impl ThreadCommunicator {
+    /// This worker's rank in `[0, world_size)`.
+    ///
+    /// Inherent so callers need neither [`Communicator`] nor
+    /// [`Transport`] in scope (and so having both in scope stays
+    /// unambiguous).
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of workers in the group.
+    pub fn world_size(&self) -> usize {
+        self.world_size
     }
 
     /// Emits per-collective telemetry: one [`keys::COMM_CALLS`] tick, a
@@ -399,51 +437,6 @@ impl ThreadCommunicator {
         });
     }
 
-    fn next_rank(&self) -> usize {
-        (self.rank + 1) % self.world_size
-    }
-
-    fn prev_rank(&self) -> usize {
-        (self.rank + self.world_size - 1) % self.world_size
-    }
-
-    fn send(&mut self, msg: RingMsg) -> Result<(), CommError> {
-        let next = self.next_rank();
-        self.send_to(next, msg)
-    }
-
-    fn recv(&mut self) -> Result<RingMsg, CommError> {
-        let prev = self.prev_rank();
-        self.recv_from(prev)
-    }
-
-    fn expect_f32(msg: RingMsg, expected: usize) -> Result<Vec<f32>, CommError> {
-        match msg {
-            RingMsg::F32(v) if v.len() == expected => Ok(v),
-            RingMsg::F32(v) => Err(CommError::LengthMismatch {
-                expected,
-                actual: v.len(),
-            }),
-            _ => Err(CommError::ProtocolMismatch),
-        }
-    }
-
-    fn recv_f32(&mut self, expected: usize) -> Result<Vec<f32>, CommError> {
-        let msg = self.recv()?;
-        Self::expect_f32(msg, expected)
-    }
-
-    fn recv_u32(&mut self, expected: usize) -> Result<Vec<u32>, CommError> {
-        match self.recv()? {
-            RingMsg::U32(v) if v.len() == expected => Ok(v),
-            RingMsg::U32(v) => Err(CommError::LengthMismatch {
-                expected,
-                actual: v.len(),
-            }),
-            _ => Err(CommError::ProtocolMismatch),
-        }
-    }
-
     /// Simultaneously sends `send` to `peer` and receives their buffer of
     /// the same length — the pairwise exchange of butterfly algorithms.
     ///
@@ -453,9 +446,7 @@ impl ThreadCommunicator {
     ///
     /// Returns an error on disconnect or mismatched lengths.
     pub fn send_recv_f32(&mut self, peer: usize, send: &[f32]) -> Result<Vec<f32>, CommError> {
-        self.send_to(peer, RingMsg::F32(send.to_vec()))?;
-        let msg = self.recv_from(peer)?;
-        Self::expect_f32(msg, send.len())
+        ring::send_recv_f32(self, peer, send)
     }
 
     /// Latency-optimal all-reduce by recursive doubling: `⌈log₂ p⌉` rounds
@@ -475,295 +466,9 @@ impl ThreadCommunicator {
         op: ReduceOp,
     ) -> Result<(), CommError> {
         let start_us = self.recorder.now_us();
-        let result = self.all_reduce_recursive_doubling_impl(buf, op);
+        let result = ring::all_reduce_recursive_doubling(self, buf, op);
         self.record_collective("all_reduce_rd", keys::COMM_ALL_REDUCE_US, start_us);
         result
-    }
-
-    fn all_reduce_recursive_doubling_impl(
-        &mut self,
-        buf: &mut [f32],
-        op: ReduceOp,
-    ) -> Result<(), CommError> {
-        let p = self.world_size;
-        if p == 1 {
-            return Ok(());
-        }
-        let reduce = |dst: &mut [f32], src: &[f32], op: ReduceOp| match op {
-            ReduceOp::Sum | ReduceOp::Mean => {
-                for (d, s) in dst.iter_mut().zip(src) {
-                    *d += s;
-                }
-            }
-            ReduceOp::Max => {
-                for (d, s) in dst.iter_mut().zip(src) {
-                    *d = d.max(*s);
-                }
-            }
-        };
-        // Largest power of two <= p.
-        let pow2 = 1usize << (usize::BITS - 1 - (p.leading_zeros().max(1))).min(63);
-        let pow2 = if pow2 > p { pow2 >> 1 } else { pow2 };
-        let rem = p - pow2;
-        let r = self.rank;
-        // Pre-fold: ranks >= pow2 send to (rank - pow2); partners reduce.
-        if r >= pow2 {
-            self.send_to(r - pow2, RingMsg::F32(buf.to_vec()))?;
-        } else if r < rem {
-            let msg = self.recv_from(r + pow2)?;
-            let incoming = Self::expect_f32(msg, buf.len())?;
-            reduce(buf, &incoming, op);
-        }
-        // Butterfly over the pow2 group.
-        if r < pow2 {
-            let mut dist = 1usize;
-            while dist < pow2 {
-                let peer = r ^ dist;
-                let incoming = self.send_recv_f32(peer, buf)?;
-                reduce(buf, &incoming, op);
-                dist <<= 1;
-            }
-        }
-        // Post-fold: send results back to the folded ranks.
-        if r < rem {
-            self.send_to(r + pow2, RingMsg::F32(buf.to_vec()))?;
-        } else if r >= pow2 {
-            let msg = self.recv_from(r - pow2)?;
-            let incoming = Self::expect_f32(msg, buf.len())?;
-            buf.copy_from_slice(&incoming);
-        }
-        if op == ReduceOp::Mean {
-            let inv = 1.0 / p as f32;
-            for v in buf.iter_mut() {
-                *v *= inv;
-            }
-        }
-        Ok(())
-    }
-
-    /// Chunk boundaries for splitting `len` elements into `world_size` nearly
-    /// equal contiguous ranges.
-    fn chunk_range(&self, len: usize, chunk: usize) -> std::ops::Range<usize> {
-        let p = self.world_size;
-        let start = chunk * len / p;
-        let end = (chunk + 1) * len / p;
-        start..end
-    }
-
-    fn all_reduce_ring(&mut self, buf: &mut [f32], op: ReduceOp) -> Result<(), CommError> {
-        let p = self.world_size;
-        if p == 1 {
-            return Ok(());
-        }
-        let r = self.rank;
-        let len = buf.len();
-        // Phase 1: ring reduce-scatter. After p-1 steps rank r owns the fully
-        // reduced chunk (r+1) mod p.
-        for s in 0..p - 1 {
-            let send_idx = (r + p - s) % p;
-            let recv_idx = (r + p - s - 1) % p;
-            let send_range = self.chunk_range(len, send_idx);
-            let payload = buf[send_range].to_vec();
-            self.send(RingMsg::F32(payload))?;
-            let recv_range = self.chunk_range(len, recv_idx);
-            let incoming = self.recv_f32(recv_range.len())?;
-            let dst = &mut buf[recv_range];
-            match op {
-                ReduceOp::Sum | ReduceOp::Mean => {
-                    for (d, x) in dst.iter_mut().zip(&incoming) {
-                        *d += x;
-                    }
-                }
-                ReduceOp::Max => {
-                    for (d, x) in dst.iter_mut().zip(&incoming) {
-                        *d = d.max(*x);
-                    }
-                }
-            }
-        }
-        // Phase 2: ring all-gather of the reduced chunks.
-        for s in 0..p - 1 {
-            let send_idx = (r + 1 + p - s) % p;
-            let recv_idx = (r + p - s) % p;
-            let send_range = self.chunk_range(len, send_idx);
-            let payload = buf[send_range].to_vec();
-            self.send(RingMsg::F32(payload))?;
-            let recv_range = self.chunk_range(len, recv_idx);
-            let incoming = self.recv_f32(recv_range.len())?;
-            buf[recv_range].copy_from_slice(&incoming);
-        }
-        if op == ReduceOp::Mean {
-            let inv = 1.0 / p as f32;
-            for v in buf.iter_mut() {
-                *v *= inv;
-            }
-        }
-        Ok(())
-    }
-
-    fn all_gather_f32_impl(&mut self, send: &[f32]) -> Result<Vec<f32>, CommError> {
-        let p = self.world_size;
-        let k = send.len();
-        let r = self.rank;
-        let mut out = vec![0.0f32; p * k];
-        out[r * k..(r + 1) * k].copy_from_slice(send);
-        for s in 0..p - 1 {
-            let send_slot = (r + p - s) % p;
-            let recv_slot = (r + p - s - 1) % p;
-            let payload = out[send_slot * k..(send_slot + 1) * k].to_vec();
-            self.send(RingMsg::F32(payload))?;
-            let incoming = self.recv_f32(k)?;
-            out[recv_slot * k..(recv_slot + 1) * k].copy_from_slice(&incoming);
-        }
-        Ok(out)
-    }
-
-    fn all_gather_u32_impl(&mut self, send: &[u32]) -> Result<Vec<u32>, CommError> {
-        let p = self.world_size;
-        let k = send.len();
-        let r = self.rank;
-        let mut out = vec![0u32; p * k];
-        out[r * k..(r + 1) * k].copy_from_slice(send);
-        for s in 0..p - 1 {
-            let send_slot = (r + p - s) % p;
-            let recv_slot = (r + p - s - 1) % p;
-            let payload = out[send_slot * k..(send_slot + 1) * k].to_vec();
-            self.send(RingMsg::U32(payload))?;
-            let incoming = self.recv_u32(k)?;
-            out[recv_slot * k..(recv_slot + 1) * k].copy_from_slice(&incoming);
-        }
-        Ok(out)
-    }
-
-    fn broadcast_impl(&mut self, buf: &mut [f32], root: usize) -> Result<(), CommError> {
-        let p = self.world_size;
-        if root >= p {
-            return Err(CommError::InvalidRoot {
-                root,
-                world_size: p,
-            });
-        }
-        if p == 1 {
-            return Ok(());
-        }
-        // Pipeline around the ring: root sends, each rank forwards unless its
-        // successor is the root.
-        let next_is_root = (self.rank + 1) % p == root;
-        if self.rank == root {
-            self.send(RingMsg::F32(buf.to_vec()))?;
-        } else {
-            let incoming = self.recv_f32(buf.len())?;
-            buf.copy_from_slice(&incoming);
-            if !next_is_root {
-                self.send(RingMsg::F32(incoming))?;
-            }
-        }
-        Ok(())
-    }
-
-    fn barrier_impl(&mut self) -> Result<(), CommError> {
-        let p = self.world_size;
-        if p == 1 {
-            return Ok(());
-        }
-        // Two token trips around the ring: after the first, every rank has
-        // entered; the second releases them.
-        for _round in 0..2 {
-            if self.rank == 0 {
-                self.send(RingMsg::Token)?;
-                match self.recv()? {
-                    RingMsg::Token => {}
-                    _ => return Err(CommError::ProtocolMismatch),
-                }
-            } else {
-                match self.recv()? {
-                    RingMsg::Token => {}
-                    _ => return Err(CommError::ProtocolMismatch),
-                }
-                self.send(RingMsg::Token)?;
-            }
-        }
-        Ok(())
-    }
-
-    fn global_topk_impl(
-        &mut self,
-        indices: &[u32],
-        values: &[f32],
-        k: usize,
-    ) -> Result<(Vec<u32>, Vec<f32>), CommError> {
-        if indices.len() != values.len() {
-            return Err(CommError::LengthMismatch {
-                expected: indices.len(),
-                actual: values.len(),
-            });
-        }
-        let p = self.world_size;
-        let mut map: std::collections::BTreeMap<u32, f32> = std::collections::BTreeMap::new();
-        for (&i, &v) in indices.iter().zip(values) {
-            *map.entry(i).or_insert(0.0) += v;
-        }
-        if p == 1 {
-            return Ok(truncate_topk(map, k));
-        }
-        // gTop-k butterfly: exchange sparse sets with rank ^ 2^s, merge,
-        // truncate to k each round. Requires a power-of-two group; fold
-        // the remainder like recursive doubling.
-        let pow2 = {
-            let x = 1usize << (usize::BITS - 1 - p.leading_zeros());
-            if x > p {
-                x >> 1
-            } else {
-                x
-            }
-        };
-        let rem = p - pow2;
-        let r = self.rank;
-        let merge =
-            |map: &mut std::collections::BTreeMap<u32, f32>, idx: Vec<u32>, val: Vec<f32>| {
-                for (i, v) in idx.into_iter().zip(val) {
-                    *map.entry(i).or_insert(0.0) += v;
-                }
-            };
-        let recv_sparse = |msg: RingMsg| -> Result<(Vec<u32>, Vec<f32>), CommError> {
-            match msg {
-                RingMsg::Sparse(i, v) => Ok((i, v)),
-                _ => Err(CommError::ProtocolMismatch),
-            }
-        };
-        if r >= pow2 {
-            let (idx, val): (Vec<u32>, Vec<f32>) = map.into_iter().unzip();
-            self.send_to(r - pow2, RingMsg::Sparse(idx, val))?;
-            // Wait for the final result.
-            let msg = self.recv_from(r - pow2)?;
-            let (idx, val) = recv_sparse(msg)?;
-            return Ok((idx, val));
-        }
-        if r < rem {
-            let msg = self.recv_from(r + pow2)?;
-            let (idx, val) = recv_sparse(msg)?;
-            merge(&mut map, idx, val);
-        }
-        let mut dist = 1usize;
-        while dist < pow2 {
-            let peer = r ^ dist;
-            let (send_idx, send_val): (Vec<u32>, Vec<f32>) =
-                map.iter().map(|(&i, &v)| (i, v)).unzip();
-            self.send_to(peer, RingMsg::Sparse(send_idx, send_val))?;
-            let msg = self.recv_from(peer)?;
-            let (idx, val) = recv_sparse(msg)?;
-            merge(&mut map, idx, val);
-            // Per-round truncation is what keeps gTop-k's traffic at
-            // O(k log p) — and what makes it approximate.
-            let (ti, tv) = truncate_topk(std::mem::take(&mut map), k);
-            map = ti.into_iter().zip(tv).collect();
-            dist <<= 1;
-        }
-        let (idx, val) = truncate_topk(map, k);
-        if r < rem {
-            self.send_to(r + pow2, RingMsg::Sparse(idx.clone(), val.clone()))?;
-        }
-        Ok((idx, val))
     }
 }
 
@@ -778,28 +483,28 @@ impl Communicator for ThreadCommunicator {
 
     fn all_reduce(&mut self, buf: &mut [f32], op: ReduceOp) -> Result<(), CommError> {
         let start_us = self.recorder.now_us();
-        let result = self.all_reduce_ring(buf, op);
+        let result = ring::all_reduce(self, buf, op);
         self.record_collective("all_reduce", keys::COMM_ALL_REDUCE_US, start_us);
         result
     }
 
     fn all_gather_f32(&mut self, send: &[f32]) -> Result<Vec<f32>, CommError> {
         let start_us = self.recorder.now_us();
-        let result = self.all_gather_f32_impl(send);
+        let result = ring::all_gather_f32(self, send);
         self.record_collective("all_gather_f32", keys::COMM_ALL_GATHER_US, start_us);
         result
     }
 
     fn all_gather_u32(&mut self, send: &[u32]) -> Result<Vec<u32>, CommError> {
         let start_us = self.recorder.now_us();
-        let result = self.all_gather_u32_impl(send);
+        let result = ring::all_gather_u32(self, send);
         self.record_collective("all_gather_u32", keys::COMM_ALL_GATHER_US, start_us);
         result
     }
 
     fn broadcast(&mut self, buf: &mut [f32], root: usize) -> Result<(), CommError> {
         let start_us = self.recorder.now_us();
-        let result = self.broadcast_impl(buf, root);
+        let result = ring::broadcast(self, buf, root);
         self.record_collective("broadcast", keys::COMM_BROADCAST_US, start_us);
         result
     }
@@ -807,7 +512,7 @@ impl Communicator for ThreadCommunicator {
     fn barrier(&mut self) -> Result<(), CommError> {
         // Untimed: barriers move no payload, and timing them would skew the
         // communication series with pure synchronization waits.
-        self.barrier_impl()
+        ring::barrier(self)
     }
 
     fn bytes_sent(&self) -> u64 {
@@ -825,7 +530,7 @@ impl Communicator for ThreadCommunicator {
         k: usize,
     ) -> Result<(Vec<u32>, Vec<f32>), CommError> {
         let start_us = self.recorder.now_us();
-        let result = self.global_topk_impl(indices, values, k);
+        let result = ring::global_topk_butterfly(self, indices, values, k);
         self.record_collective("global_topk", keys::COMM_GLOBAL_TOPK_US, start_us);
         result
     }
@@ -854,6 +559,7 @@ impl ThreadGroup {
             senders.push(tx);
             inboxes.push(rx);
         }
+        let panicked = Arc::new(AtomicBool::new(false));
         inboxes
             .into_iter()
             .enumerate()
@@ -865,6 +571,7 @@ impl ThreadGroup {
                 pending: (0..world_size)
                     .map(|_| std::collections::VecDeque::new())
                     .collect(),
+                panicked: Arc::clone(&panicked),
                 bytes_sent: 0,
                 recorder: noop(),
             })
@@ -889,8 +596,11 @@ impl ThreadGroup {
     /// [`ThreadGroup::run`] without the panic: a panicking worker surfaces
     /// as [`CommError::WorkerPanicked`] instead of propagating.
     ///
-    /// The remaining workers still run to completion (a dead peer shows up
-    /// on their collective paths as [`CommError::PeerDisconnected`]).
+    /// The remaining workers still run to completion: a rank that dies
+    /// mid-collective shows up on its peers' collective paths as
+    /// [`CommError::WorkerPanicked`] (observed via the group's panic flag
+    /// within a bounded poll interval) or [`CommError::PeerDisconnected`]
+    /// (a send to the dead rank's dropped inbox) — never a hang.
     ///
     /// # Errors
     ///
@@ -1261,5 +971,64 @@ mod tests {
             comm.broadcast(&mut b, 1).unwrap();
             assert!(b.iter().all(|&v| v == 7.0));
         });
+    }
+
+    #[test]
+    fn worker_panic_mid_collective_surfaces_within_bounded_wait() {
+        // Regression test for the hang-hardening: rank 1 dies mid
+        // all-reduce; the survivors must fail fast with a structured error
+        // (WorkerPanicked via the group's panic flag, or PeerDisconnected
+        // for sends addressed at the dead inbox) — far sooner than the
+        // 30-second peer timeout, let alone "forever".
+        let start = std::time::Instant::now();
+        let result = ThreadGroup::try_run(3, |mut comm| {
+            if comm.rank() == 1 {
+                // Die after peers have committed to the collective.
+                std::thread::sleep(std::time::Duration::from_millis(30));
+                panic!("injected worker death");
+            }
+            let mut buf = vec![comm.rank() as f32; 64];
+            comm.all_reduce(&mut buf, ReduceOp::Sum)
+        });
+        assert_eq!(result, Err(CommError::WorkerPanicked));
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(10),
+            "survivors blocked {:?} — panic flag not observed",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn surviving_ranks_observe_worker_panicked_error() {
+        // Same scenario, but capture the survivors' error values: at least
+        // one rank must see WorkerPanicked (the flag), and every survivor
+        // must see *some* structured error rather than a result.
+        let errors = std::sync::Mutex::new(Vec::new());
+        let _ = ThreadGroup::try_run(3, |mut comm| {
+            if comm.rank() == 1 {
+                std::thread::sleep(std::time::Duration::from_millis(30));
+                panic!("injected worker death");
+            }
+            let mut buf = vec![comm.rank() as f32; 64];
+            let r = comm.all_reduce(&mut buf, ReduceOp::Sum);
+            errors.lock().unwrap().push((comm.rank(), r));
+        });
+        let errors = errors.into_inner().unwrap();
+        assert_eq!(errors.len(), 2, "both survivors must finish");
+        for (rank, r) in &errors {
+            assert!(
+                matches!(
+                    r,
+                    Err(CommError::WorkerPanicked) | Err(CommError::PeerDisconnected)
+                ),
+                "rank {rank} got {r:?}"
+            );
+        }
+        assert!(
+            errors
+                .iter()
+                .any(|(_, r)| matches!(r, Err(CommError::WorkerPanicked))),
+            "no survivor observed the panic flag: {errors:?}"
+        );
     }
 }

@@ -53,7 +53,8 @@ impl AlphaBetaCost {
     }
 }
 
-/// The three interconnects evaluated in the paper (Fig. 13).
+/// The three interconnects evaluated in the paper (Fig. 13), plus the
+/// loopback-TCP tier of `acp-net`'s local multi-process backend.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum NetworkTier {
     /// Inexpensive commodity 1 Gb/s Ethernet.
@@ -62,6 +63,12 @@ pub enum NetworkTier {
     TenGbE,
     /// High-bandwidth 100 Gb/s InfiniBand.
     HundredGbIb,
+    /// Kernel loopback TCP between processes on one host — what the
+    /// `acp-net` backend's `launch_local` runs over. No physical NIC:
+    /// bandwidth is memcpy-limited (tens of Gb/s) and the per-message
+    /// latency is the syscall + TCP-stack cost, so it behaves like a very
+    /// fast, very low-launch-cost Ethernet.
+    Loopback,
 }
 
 impl NetworkTier {
@@ -78,6 +85,11 @@ impl NetworkTier {
             // which is what lets ACP-SGD still beat S-SGD by ~40% on
             // BERT-Base over InfiniBand (Fig. 13).
             NetworkTier::HundredGbIb => AlphaBetaCost::from_bandwidth_gbps(30.0, 1.5e-6, 20e-6),
+            // Loopback moves bytes through the kernel, not a NIC: ~40 Gb/s
+            // effective for framed streams, ~5 µs per message (two
+            // syscalls + scheduler wakeup), negligible launch cost since
+            // there is no device handshake.
+            NetworkTier::Loopback => AlphaBetaCost::from_bandwidth_gbps(40.0, 5e-6, 5e-6),
         }
     }
 
@@ -87,6 +99,7 @@ impl NetworkTier {
             NetworkTier::OneGbE => "1GbE",
             NetworkTier::TenGbE => "10GbE",
             NetworkTier::HundredGbIb => "100GbIB",
+            NetworkTier::Loopback => "loopback",
         }
     }
 }
@@ -351,6 +364,30 @@ mod tests {
     fn labels() {
         assert_eq!(NetworkTier::OneGbE.label(), "1GbE");
         assert_eq!(format!("{}", NetworkTier::HundredGbIb), "100GbIB");
+        assert_eq!(NetworkTier::Loopback.label(), "loopback");
+    }
+
+    #[test]
+    fn loopback_beats_ethernet_tiers() {
+        // Loopback's per-message cost (two syscalls) undercuts the
+        // kernel-TCP-over-NIC Ethernet tiers at every size, while RDMA on
+        // the InfiniBand tier still wins on per-message latency.
+        for bytes in [4 * 1024, 10 * MB] {
+            let lo = ClusterCost::new(4, NetworkTier::Loopback).all_reduce_time(bytes);
+            for tier in [NetworkTier::OneGbE, NetworkTier::TenGbE] {
+                assert!(
+                    lo < ClusterCost::new(4, tier).all_reduce_time(bytes),
+                    "loopback slower than {tier} at {bytes} bytes"
+                );
+            }
+        }
+        let small = 4 * 1024;
+        let ib = ClusterCost::new(4, NetworkTier::HundredGbIb).all_reduce_time(small);
+        let lo = ClusterCost::new(4, NetworkTier::Loopback).all_reduce_time(small);
+        assert!(
+            ib < lo,
+            "RDMA per-message cost should beat loopback syscalls"
+        );
     }
 
     #[test]

@@ -40,6 +40,7 @@
 
 pub mod communicator;
 pub mod cost;
+pub mod ring;
 
 #[allow(deprecated)]
 pub use communicator::CollectiveError;
@@ -47,3 +48,4 @@ pub use communicator::{
     CommError, Communicator, LocalCommunicator, ReduceOp, ThreadCommunicator, ThreadGroup,
 };
 pub use cost::{AlphaBetaCost, ClusterCost, NetworkTier};
+pub use ring::{Transport, WireMsg};

@@ -1,0 +1,498 @@
+//! Backend-agnostic collective algorithms over a point-to-point transport.
+//!
+//! The ring and butterfly algorithms (chunked ring all-reduce, ring
+//! all-gather, pipelined broadcast, token barrier, recursive doubling,
+//! gTop-k merge) are written once here, generically over [`Transport`] —
+//! the minimal point-to-point interface a backend must provide. Both
+//! [`crate::ThreadCommunicator`] (in-process channels) and `acp-net`'s
+//! `TcpCommunicator` (real sockets) implement [`Transport`] and run *these
+//! same functions*, which is what makes the two backends bit-exact with
+//! each other: the floating-point reduction order is identical by
+//! construction, not by testing alone.
+
+use crate::communicator::{CommError, ReduceOp};
+
+/// A typed message exchanged between ranks by the collective algorithms.
+///
+/// Backends serialize this however they like (in-process channels move it
+/// directly; the TCP backend length-prefix-frames it). `payload_bytes`
+/// defines the wire-volume accounting used by the Table II reconciliation
+/// tests: payload only, no framing overhead, and barrier tokens are free.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireMsg {
+    /// Dense `f32` payload (all-reduce chunks, broadcast, all-gather).
+    F32(Vec<f32>),
+    /// Dense `u32` payload (bit-packed signs, sparse indices).
+    U32(Vec<u32>),
+    /// Sparse (indices, values) pair for the gTop-k collective.
+    Sparse(Vec<u32>, Vec<f32>),
+    /// Zero-byte synchronization token (barrier).
+    Token,
+}
+
+impl WireMsg {
+    /// Payload bytes this message contributes to the Table II volume
+    /// accounting (4 bytes per element, tokens free).
+    pub fn payload_bytes(&self) -> u64 {
+        match self {
+            WireMsg::F32(v) => 4 * v.len() as u64,
+            WireMsg::U32(v) => 4 * v.len() as u64,
+            WireMsg::Sparse(i, v) => 4 * (i.len() + v.len()) as u64,
+            WireMsg::Token => 0,
+        }
+    }
+}
+
+/// Point-to-point message transport between the ranks of a group.
+///
+/// This is the narrow waist between collective *algorithms* (this module)
+/// and collective *backends* (threads, TCP). Implementations must deliver
+/// messages between any pair of ranks reliably and in order per
+/// (sender, receiver) pair; they are free to fail with structured
+/// [`CommError`]s (timeout, I/O, peer loss), which the algorithms
+/// propagate unchanged.
+pub trait Transport {
+    /// This endpoint's rank in `[0, world_size)`.
+    fn rank(&self) -> usize;
+
+    /// Number of ranks in the group.
+    fn world_size(&self) -> usize;
+
+    /// Sends `msg` to `dest`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `dest` is out of range, unreachable on this
+    /// topology, or the link fails.
+    fn send_to(&mut self, dest: usize, msg: WireMsg) -> Result<(), CommError>;
+
+    /// Receives the next message from `src` (blocking, subject to the
+    /// backend's deadline).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on timeout, disconnect, or an out-of-range `src`.
+    fn recv_from(&mut self, src: usize) -> Result<WireMsg, CommError>;
+}
+
+fn next_rank<T: Transport + ?Sized>(t: &T) -> usize {
+    (t.rank() + 1) % t.world_size()
+}
+
+fn prev_rank<T: Transport + ?Sized>(t: &T) -> usize {
+    (t.rank() + t.world_size() - 1) % t.world_size()
+}
+
+/// Unwraps an `F32` message of length `expected`.
+pub(crate) fn expect_f32(msg: WireMsg, expected: usize) -> Result<Vec<f32>, CommError> {
+    match msg {
+        WireMsg::F32(v) if v.len() == expected => Ok(v),
+        WireMsg::F32(v) => Err(CommError::LengthMismatch {
+            expected,
+            actual: v.len(),
+        }),
+        _ => Err(CommError::ProtocolMismatch),
+    }
+}
+
+fn expect_u32(msg: WireMsg, expected: usize) -> Result<Vec<u32>, CommError> {
+    match msg {
+        WireMsg::U32(v) if v.len() == expected => Ok(v),
+        WireMsg::U32(v) => Err(CommError::LengthMismatch {
+            expected,
+            actual: v.len(),
+        }),
+        _ => Err(CommError::ProtocolMismatch),
+    }
+}
+
+fn recv_f32<T: Transport + ?Sized>(
+    t: &mut T,
+    src: usize,
+    expected: usize,
+) -> Result<Vec<f32>, CommError> {
+    let msg = t.recv_from(src)?;
+    expect_f32(msg, expected)
+}
+
+fn recv_u32<T: Transport + ?Sized>(
+    t: &mut T,
+    src: usize,
+    expected: usize,
+) -> Result<Vec<u32>, CommError> {
+    let msg = t.recv_from(src)?;
+    expect_u32(msg, expected)
+}
+
+/// Chunk boundaries for splitting `len` elements into `world_size` nearly
+/// equal contiguous ranges.
+fn chunk_range(len: usize, chunk: usize, world_size: usize) -> std::ops::Range<usize> {
+    let start = chunk * len / world_size;
+    let end = (chunk + 1) * len / world_size;
+    start..end
+}
+
+fn reduce_into(dst: &mut [f32], src: &[f32], op: ReduceOp) {
+    match op {
+        ReduceOp::Sum | ReduceOp::Mean => {
+            for (d, s) in dst.iter_mut().zip(src) {
+                *d += s;
+            }
+        }
+        ReduceOp::Max => {
+            for (d, s) in dst.iter_mut().zip(src) {
+                *d = d.max(*s);
+            }
+        }
+    }
+}
+
+/// Bandwidth-optimal ring all-reduce: chunked reduce-scatter followed by
+/// ring all-gather; per-rank transmitted volume `2(p−1)/p · N` (Table II).
+///
+/// # Errors
+///
+/// Returns an error on disconnect, timeout, or inconsistent buffer lengths.
+pub fn all_reduce<T: Transport + ?Sized>(
+    t: &mut T,
+    buf: &mut [f32],
+    op: ReduceOp,
+) -> Result<(), CommError> {
+    let p = t.world_size();
+    if p == 1 {
+        return Ok(());
+    }
+    let r = t.rank();
+    let (next, prev) = (next_rank(t), prev_rank(t));
+    let len = buf.len();
+    // Phase 1: ring reduce-scatter. After p-1 steps rank r owns the fully
+    // reduced chunk (r+1) mod p.
+    for s in 0..p - 1 {
+        let send_idx = (r + p - s) % p;
+        let recv_idx = (r + p - s - 1) % p;
+        let send_range = chunk_range(len, send_idx, p);
+        let payload = buf[send_range].to_vec();
+        t.send_to(next, WireMsg::F32(payload))?;
+        let recv_range = chunk_range(len, recv_idx, p);
+        let incoming = recv_f32(t, prev, recv_range.len())?;
+        reduce_into(&mut buf[recv_range], &incoming, op);
+    }
+    // Phase 2: ring all-gather of the reduced chunks.
+    for s in 0..p - 1 {
+        let send_idx = (r + 1 + p - s) % p;
+        let recv_idx = (r + p - s) % p;
+        let send_range = chunk_range(len, send_idx, p);
+        let payload = buf[send_range].to_vec();
+        t.send_to(next, WireMsg::F32(payload))?;
+        let recv_range = chunk_range(len, recv_idx, p);
+        let incoming = recv_f32(t, prev, recv_range.len())?;
+        buf[recv_range].copy_from_slice(&incoming);
+    }
+    if op == ReduceOp::Mean {
+        let inv = 1.0 / p as f32;
+        for v in buf.iter_mut() {
+            *v *= inv;
+        }
+    }
+    Ok(())
+}
+
+/// Ring all-gather of `f32` payloads; returns the concatenation in rank
+/// order.
+///
+/// # Errors
+///
+/// Returns an error on disconnect, timeout, or inconsistent lengths.
+pub fn all_gather_f32<T: Transport + ?Sized>(
+    t: &mut T,
+    send: &[f32],
+) -> Result<Vec<f32>, CommError> {
+    let p = t.world_size();
+    let k = send.len();
+    let r = t.rank();
+    let (next, prev) = (next_rank(t), prev_rank(t));
+    let mut out = vec![0.0f32; p * k];
+    out[r * k..(r + 1) * k].copy_from_slice(send);
+    for s in 0..p - 1 {
+        let send_slot = (r + p - s) % p;
+        let recv_slot = (r + p - s - 1) % p;
+        let payload = out[send_slot * k..(send_slot + 1) * k].to_vec();
+        t.send_to(next, WireMsg::F32(payload))?;
+        let incoming = recv_f32(t, prev, k)?;
+        out[recv_slot * k..(recv_slot + 1) * k].copy_from_slice(&incoming);
+    }
+    Ok(out)
+}
+
+/// Ring all-gather of `u32` payloads; returns the concatenation in rank
+/// order.
+///
+/// # Errors
+///
+/// Returns an error on disconnect, timeout, or inconsistent lengths.
+pub fn all_gather_u32<T: Transport + ?Sized>(
+    t: &mut T,
+    send: &[u32],
+) -> Result<Vec<u32>, CommError> {
+    let p = t.world_size();
+    let k = send.len();
+    let r = t.rank();
+    let (next, prev) = (next_rank(t), prev_rank(t));
+    let mut out = vec![0u32; p * k];
+    out[r * k..(r + 1) * k].copy_from_slice(send);
+    for s in 0..p - 1 {
+        let send_slot = (r + p - s) % p;
+        let recv_slot = (r + p - s - 1) % p;
+        let payload = out[send_slot * k..(send_slot + 1) * k].to_vec();
+        t.send_to(next, WireMsg::U32(payload))?;
+        let incoming = recv_u32(t, prev, k)?;
+        out[recv_slot * k..(recv_slot + 1) * k].copy_from_slice(&incoming);
+    }
+    Ok(out)
+}
+
+/// Pipelined ring broadcast: the root sends, each rank forwards unless its
+/// successor is the root.
+///
+/// # Errors
+///
+/// Returns an error for an out-of-range root, mismatched lengths, or a
+/// dead peer.
+pub fn broadcast<T: Transport + ?Sized>(
+    t: &mut T,
+    buf: &mut [f32],
+    root: usize,
+) -> Result<(), CommError> {
+    let p = t.world_size();
+    if root >= p {
+        return Err(CommError::InvalidRoot {
+            root,
+            world_size: p,
+        });
+    }
+    if p == 1 {
+        return Ok(());
+    }
+    let (next, prev) = (next_rank(t), prev_rank(t));
+    let next_is_root = next == root;
+    if t.rank() == root {
+        t.send_to(next, WireMsg::F32(buf.to_vec()))?;
+    } else {
+        let incoming = recv_f32(t, prev, buf.len())?;
+        buf.copy_from_slice(&incoming);
+        if !next_is_root {
+            t.send_to(next, WireMsg::F32(incoming))?;
+        }
+    }
+    Ok(())
+}
+
+/// Ring barrier: two token trips around the ring — after the first every
+/// rank has entered, the second releases them.
+///
+/// # Errors
+///
+/// Returns an error if a peer disconnects or times out.
+pub fn barrier<T: Transport + ?Sized>(t: &mut T) -> Result<(), CommError> {
+    let p = t.world_size();
+    if p == 1 {
+        return Ok(());
+    }
+    let (next, prev) = (next_rank(t), prev_rank(t));
+    for _round in 0..2 {
+        if t.rank() == 0 {
+            t.send_to(next, WireMsg::Token)?;
+            match t.recv_from(prev)? {
+                WireMsg::Token => {}
+                _ => return Err(CommError::ProtocolMismatch),
+            }
+        } else {
+            match t.recv_from(prev)? {
+                WireMsg::Token => {}
+                _ => return Err(CommError::ProtocolMismatch),
+            }
+            t.send_to(next, WireMsg::Token)?;
+        }
+    }
+    Ok(())
+}
+
+/// Simultaneously sends `send` to `peer` and receives their buffer of the
+/// same length — the pairwise exchange of butterfly algorithms.
+///
+/// Both sides must call this with each other's rank. Requires a topology
+/// where `peer` is directly reachable (full mesh, or neighbours on a ring).
+///
+/// # Errors
+///
+/// Returns an error on disconnect or mismatched lengths.
+pub fn send_recv_f32<T: Transport + ?Sized>(
+    t: &mut T,
+    peer: usize,
+    send: &[f32],
+) -> Result<Vec<f32>, CommError> {
+    t.send_to(peer, WireMsg::F32(send.to_vec()))?;
+    let msg = t.recv_from(peer)?;
+    expect_f32(msg, send.len())
+}
+
+/// Largest power of two `<= p`.
+fn pow2_floor(p: usize) -> usize {
+    let x = 1usize << (usize::BITS - 1 - p.leading_zeros());
+    if x > p {
+        x >> 1
+    } else {
+        x
+    }
+}
+
+/// Latency-optimal all-reduce by recursive doubling: `⌈log₂ p⌉` rounds of
+/// full-buffer pairwise exchanges (`T = log₂(p)(α + Nβ)`), versus the
+/// ring's `2(p−1)` messages of `N/p`. Preferable for small tensors — the
+/// start-up-cost regime tensor fusion addresses.
+///
+/// Non-power-of-two groups fold the extra ranks onto partners before and
+/// after the butterfly. Requires a full-mesh-capable transport.
+///
+/// # Errors
+///
+/// Returns an error on disconnect or inconsistent buffer lengths.
+pub fn all_reduce_recursive_doubling<T: Transport + ?Sized>(
+    t: &mut T,
+    buf: &mut [f32],
+    op: ReduceOp,
+) -> Result<(), CommError> {
+    let p = t.world_size();
+    if p == 1 {
+        return Ok(());
+    }
+    let pow2 = pow2_floor(p);
+    let rem = p - pow2;
+    let r = t.rank();
+    // Pre-fold: ranks >= pow2 send to (rank - pow2); partners reduce.
+    if r >= pow2 {
+        t.send_to(r - pow2, WireMsg::F32(buf.to_vec()))?;
+    } else if r < rem {
+        let msg = t.recv_from(r + pow2)?;
+        let incoming = expect_f32(msg, buf.len())?;
+        reduce_into(buf, &incoming, op);
+    }
+    // Butterfly over the pow2 group.
+    if r < pow2 {
+        let mut dist = 1usize;
+        while dist < pow2 {
+            let peer = r ^ dist;
+            let incoming = send_recv_f32(t, peer, buf)?;
+            reduce_into(buf, &incoming, op);
+            dist <<= 1;
+        }
+    }
+    // Post-fold: send results back to the folded ranks.
+    if r < rem {
+        t.send_to(r + pow2, WireMsg::F32(buf.to_vec()))?;
+    } else if r >= pow2 {
+        let msg = t.recv_from(r - pow2)?;
+        let incoming = expect_f32(msg, buf.len())?;
+        buf.copy_from_slice(&incoming);
+    }
+    if op == ReduceOp::Mean {
+        let inv = 1.0 / p as f32;
+        for v in buf.iter_mut() {
+            *v *= inv;
+        }
+    }
+    Ok(())
+}
+
+/// Keeps the `k` largest-magnitude entries of a coordinate map, returned
+/// in ascending coordinate order.
+pub fn truncate_topk(map: std::collections::BTreeMap<u32, f32>, k: usize) -> (Vec<u32>, Vec<f32>) {
+    let mut entries: Vec<(u32, f32)> = map.into_iter().collect();
+    if entries.len() > k {
+        entries.select_nth_unstable_by(k - 1, |a, b| {
+            b.1.abs()
+                .partial_cmp(&a.1.abs())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        entries.truncate(k);
+        entries.sort_unstable_by_key(|e| e.0);
+    }
+    entries.into_iter().unzip()
+}
+
+/// The `O(k log p)` gTop-k sparse all-reduce (Shi et al., ICDCS 2019):
+/// butterfly exchange of sparse sets with per-round truncation to `k`.
+/// Approximate — coordinates that are individually small everywhere can be
+/// dropped even if their sum is large. Requires a full-mesh-capable
+/// transport.
+///
+/// # Errors
+///
+/// Returns an error on disconnect or inconsistent calls.
+pub fn global_topk_butterfly<T: Transport + ?Sized>(
+    t: &mut T,
+    indices: &[u32],
+    values: &[f32],
+    k: usize,
+) -> Result<(Vec<u32>, Vec<f32>), CommError> {
+    if indices.len() != values.len() {
+        return Err(CommError::LengthMismatch {
+            expected: indices.len(),
+            actual: values.len(),
+        });
+    }
+    let p = t.world_size();
+    let mut map: std::collections::BTreeMap<u32, f32> = std::collections::BTreeMap::new();
+    for (&i, &v) in indices.iter().zip(values) {
+        *map.entry(i).or_insert(0.0) += v;
+    }
+    if p == 1 {
+        return Ok(truncate_topk(map, k));
+    }
+    let pow2 = pow2_floor(p);
+    let rem = p - pow2;
+    let r = t.rank();
+    let merge = |map: &mut std::collections::BTreeMap<u32, f32>, idx: Vec<u32>, val: Vec<f32>| {
+        for (i, v) in idx.into_iter().zip(val) {
+            *map.entry(i).or_insert(0.0) += v;
+        }
+    };
+    let recv_sparse = |msg: WireMsg| -> Result<(Vec<u32>, Vec<f32>), CommError> {
+        match msg {
+            WireMsg::Sparse(i, v) => Ok((i, v)),
+            _ => Err(CommError::ProtocolMismatch),
+        }
+    };
+    if r >= pow2 {
+        let (idx, val): (Vec<u32>, Vec<f32>) = map.into_iter().unzip();
+        t.send_to(r - pow2, WireMsg::Sparse(idx, val))?;
+        // Wait for the final result.
+        let msg = t.recv_from(r - pow2)?;
+        let (idx, val) = recv_sparse(msg)?;
+        return Ok((idx, val));
+    }
+    if r < rem {
+        let msg = t.recv_from(r + pow2)?;
+        let (idx, val) = recv_sparse(msg)?;
+        merge(&mut map, idx, val);
+    }
+    let mut dist = 1usize;
+    while dist < pow2 {
+        let peer = r ^ dist;
+        let (send_idx, send_val): (Vec<u32>, Vec<f32>) = map.iter().map(|(&i, &v)| (i, v)).unzip();
+        t.send_to(peer, WireMsg::Sparse(send_idx, send_val))?;
+        let msg = t.recv_from(peer)?;
+        let (idx, val) = recv_sparse(msg)?;
+        merge(&mut map, idx, val);
+        // Per-round truncation is what keeps gTop-k's traffic at
+        // O(k log p) — and what makes it approximate.
+        let (ti, tv) = truncate_topk(std::mem::take(&mut map), k);
+        map = ti.into_iter().zip(tv).collect();
+        dist <<= 1;
+    }
+    let (idx, val) = truncate_topk(map, k);
+    if r < rem {
+        t.send_to(r + pow2, WireMsg::Sparse(idx.clone(), val.clone()))?;
+    }
+    Ok((idx, val))
+}

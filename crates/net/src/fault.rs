@@ -1,0 +1,130 @@
+//! Deterministic fault injection for the TCP backend.
+//!
+//! Three independent knobs, all off by default:
+//!
+//! * **delay** — sleep before every frame send: models a slow link and
+//!   shifts latencies without changing results;
+//! * **drop** — before every `n`-th frame, deliberately close the link and
+//!   reconnect before sending: exercises the retry / re-accept path end to
+//!   end (the receiver sees EOF mid-collective and must recover);
+//! * **straggler** — sleep once at the *start* of every collective:
+//!   models a slow rank, the failure mode that dominates synchronous SGD
+//!   at scale.
+//!
+//! Configure in code via the builders, or via environment variables for
+//! multi-process runs launched with [`crate::launch::launch_local`]:
+//!
+//! | variable | meaning |
+//! |---|---|
+//! | `ACP_NET_FAULT_RANK` | apply faults only on this rank (default: all) |
+//! | `ACP_NET_FAULT_DELAY_US` | per-frame send delay, microseconds |
+//! | `ACP_NET_FAULT_DROP_EVERY` | close + reconnect before every n-th frame |
+//! | `ACP_NET_FAULT_STRAGGLER_US` | per-collective delay, microseconds |
+
+use std::time::Duration;
+
+/// Fault plan applied by a [`crate::TcpCommunicator`]. See the module docs
+/// for the semantics of each knob.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultInjector {
+    /// Sleep this long before every frame send.
+    pub send_delay: Option<Duration>,
+    /// Close the link and reconnect before every `n`-th frame send
+    /// (connector-role links only; see [`crate::TcpCommunicator`] docs).
+    pub drop_every: Option<u64>,
+    /// Sleep this long at the start of every collective call.
+    pub straggler_delay: Option<Duration>,
+}
+
+impl FaultInjector {
+    /// A plan with every fault disabled.
+    pub fn none() -> Self {
+        FaultInjector::default()
+    }
+
+    /// Enables the per-frame send delay.
+    pub fn with_send_delay(mut self, delay: Duration) -> Self {
+        self.send_delay = Some(delay);
+        self
+    }
+
+    /// Enables drop-then-reconnect before every `n`-th frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn with_drop_every(mut self, n: u64) -> Self {
+        assert!(n > 0, "drop_every must be at least 1");
+        self.drop_every = Some(n);
+        self
+    }
+
+    /// Enables the per-collective straggler delay.
+    pub fn with_straggler_delay(mut self, delay: Duration) -> Self {
+        self.straggler_delay = Some(delay);
+        self
+    }
+
+    /// Whether any fault is enabled.
+    pub fn is_active(&self) -> bool {
+        self.send_delay.is_some() || self.drop_every.is_some() || self.straggler_delay.is_some()
+    }
+
+    /// Reads the fault plan for `rank` from the `ACP_NET_FAULT_*`
+    /// environment variables. Unset or unparsable variables leave their
+    /// knob disabled; if `ACP_NET_FAULT_RANK` is set and differs from
+    /// `rank`, the plan is empty.
+    pub fn from_env(rank: usize) -> Self {
+        let target = std::env::var("ACP_NET_FAULT_RANK")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok());
+        if let Some(target) = target {
+            if target != rank {
+                return FaultInjector::none();
+            }
+        }
+        let us = |name: &str| {
+            std::env::var(name)
+                .ok()
+                .and_then(|v| v.parse::<u64>().ok())
+                .filter(|&v| v > 0)
+                .map(Duration::from_micros)
+        };
+        FaultInjector {
+            send_delay: us("ACP_NET_FAULT_DELAY_US"),
+            drop_every: std::env::var("ACP_NET_FAULT_DROP_EVERY")
+                .ok()
+                .and_then(|v| v.parse::<u64>().ok())
+                .filter(|&v| v > 0),
+            straggler_delay: us("ACP_NET_FAULT_STRAGGLER_US"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_inert() {
+        assert!(!FaultInjector::none().is_active());
+    }
+
+    #[test]
+    fn builders_compose() {
+        let f = FaultInjector::none()
+            .with_send_delay(Duration::from_millis(1))
+            .with_drop_every(3)
+            .with_straggler_delay(Duration::from_millis(5));
+        assert!(f.is_active());
+        assert_eq!(f.drop_every, Some(3));
+        assert_eq!(f.send_delay, Some(Duration::from_millis(1)));
+        assert_eq!(f.straggler_delay, Some(Duration::from_millis(5)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn drop_every_zero_panics() {
+        let _ = FaultInjector::none().with_drop_every(0);
+    }
+}

@@ -1,0 +1,232 @@
+//! Length-prefixed wire framing for [`WireMsg`] over a byte stream.
+//!
+//! Every frame is `[tag: u8][lengths: u32 LE…][payload bytes]`:
+//!
+//! ```text
+//! F32    = 0x01  [count u32] [count × f32 LE]
+//! U32    = 0x02  [count u32] [count × u32 LE]
+//! Sparse = 0x03  [n_idx u32] [n_val u32] [n_idx × u32 LE] [n_val × f32 LE]
+//! Token  = 0x04  (no payload)
+//! Hello  = 0x05  [rank u32]   — link handshake, never seen by collectives
+//! ```
+//!
+//! Frames are serialized into one buffer and written with a single
+//! `write_all`, so a frame is either fully queued to the kernel or the
+//! link errors — there is no mid-frame interleaving on the send side.
+//! Element counts are capped at [`MAX_ELEMS`] so a corrupt or truncated
+//! header cannot trigger a multi-gigabyte allocation.
+
+use std::io::{self, Read, Write};
+
+use acp_collectives::WireMsg;
+
+const TAG_F32: u8 = 0x01;
+const TAG_U32: u8 = 0x02;
+const TAG_SPARSE: u8 = 0x03;
+const TAG_TOKEN: u8 = 0x04;
+const TAG_HELLO: u8 = 0x05;
+
+/// Upper bound on per-frame element counts (1 Gi elements = 4 GiB payload);
+/// anything larger is treated as a corrupt frame.
+pub const MAX_ELEMS: u32 = 1 << 30;
+
+/// A frame as read off the wire: either a collective message or the
+/// link-establishment handshake.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// A collective payload.
+    Msg(WireMsg),
+    /// Link handshake carrying the sender's rank.
+    Hello(u32),
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f32s(buf: &mut Vec<u8>, vals: &[f32]) {
+    buf.reserve(vals.len() * 4);
+    for v in vals {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+fn put_u32s(buf: &mut Vec<u8>, vals: &[u32]) {
+    buf.reserve(vals.len() * 4);
+    for v in vals {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Serializes `frame` into a fresh buffer (header + payload).
+pub fn encode(frame: &Frame) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(16);
+    match frame {
+        Frame::Msg(WireMsg::F32(v)) => {
+            buf.push(TAG_F32);
+            put_u32(&mut buf, v.len() as u32);
+            put_f32s(&mut buf, v);
+        }
+        Frame::Msg(WireMsg::U32(v)) => {
+            buf.push(TAG_U32);
+            put_u32(&mut buf, v.len() as u32);
+            put_u32s(&mut buf, v);
+        }
+        Frame::Msg(WireMsg::Sparse(idx, val)) => {
+            buf.push(TAG_SPARSE);
+            put_u32(&mut buf, idx.len() as u32);
+            put_u32(&mut buf, val.len() as u32);
+            put_u32s(&mut buf, idx);
+            put_f32s(&mut buf, val);
+        }
+        Frame::Msg(WireMsg::Token) => buf.push(TAG_TOKEN),
+        Frame::Hello(rank) => {
+            buf.push(TAG_HELLO);
+            put_u32(&mut buf, *rank);
+        }
+    }
+    buf
+}
+
+/// Writes one frame to `w` with a single `write_all`.
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error (including timeouts as
+/// `WouldBlock`/`TimedOut`).
+pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> io::Result<()> {
+    w.write_all(&encode(frame))
+}
+
+fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_len<R: Read>(r: &mut R) -> io::Result<usize> {
+    let n = read_u32(r)?;
+    if n > MAX_ELEMS {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {n} exceeds the {MAX_ELEMS}-element cap"),
+        ));
+    }
+    Ok(n as usize)
+}
+
+fn read_f32s<R: Read>(r: &mut R, n: usize) -> io::Result<Vec<f32>> {
+    let mut bytes = vec![0u8; n * 4];
+    r.read_exact(&mut bytes)?;
+    Ok(bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect())
+}
+
+fn read_u32s<R: Read>(r: &mut R, n: usize) -> io::Result<Vec<u32>> {
+    let mut bytes = vec![0u8; n * 4];
+    r.read_exact(&mut bytes)?;
+    Ok(bytes
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect())
+}
+
+/// Reads one frame from `r` (blocking, subject to the stream's read
+/// timeout).
+///
+/// # Errors
+///
+/// Propagates I/O errors; an unknown tag or an oversized length surfaces
+/// as `InvalidData`.
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Frame> {
+    let mut tag = [0u8; 1];
+    r.read_exact(&mut tag)?;
+    match tag[0] {
+        TAG_F32 => {
+            let n = read_len(r)?;
+            Ok(Frame::Msg(WireMsg::F32(read_f32s(r, n)?)))
+        }
+        TAG_U32 => {
+            let n = read_len(r)?;
+            Ok(Frame::Msg(WireMsg::U32(read_u32s(r, n)?)))
+        }
+        TAG_SPARSE => {
+            let n_idx = read_len(r)?;
+            let n_val = read_len(r)?;
+            let idx = read_u32s(r, n_idx)?;
+            let val = read_f32s(r, n_val)?;
+            Ok(Frame::Msg(WireMsg::Sparse(idx, val)))
+        }
+        TAG_TOKEN => Ok(Frame::Msg(WireMsg::Token)),
+        TAG_HELLO => Ok(Frame::Hello(read_u32(r)?)),
+        other => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unknown frame tag {other:#04x}"),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(frame: Frame) {
+        let bytes = encode(&frame);
+        let mut cursor = io::Cursor::new(bytes);
+        assert_eq!(read_frame(&mut cursor).unwrap(), frame);
+    }
+
+    #[test]
+    fn frames_roundtrip() {
+        roundtrip(Frame::Msg(WireMsg::F32(vec![1.5, -2.25, f32::MIN])));
+        roundtrip(Frame::Msg(WireMsg::F32(Vec::new())));
+        roundtrip(Frame::Msg(WireMsg::U32(vec![0, 7, u32::MAX])));
+        roundtrip(Frame::Msg(WireMsg::Sparse(vec![3, 9], vec![0.5, -1.0])));
+        roundtrip(Frame::Msg(WireMsg::Sparse(Vec::new(), Vec::new())));
+        roundtrip(Frame::Msg(WireMsg::Token));
+        roundtrip(Frame::Hello(42));
+    }
+
+    #[test]
+    fn f32_payload_is_bit_exact() {
+        // NaN payloads and signed zeros must survive the wire untouched.
+        let vals = vec![f32::NAN, -0.0, 0.0, f32::INFINITY];
+        let bytes = encode(&Frame::Msg(WireMsg::F32(vals.clone())));
+        let mut cursor = io::Cursor::new(bytes);
+        match read_frame(&mut cursor).unwrap() {
+            Frame::Msg(WireMsg::F32(got)) => {
+                assert_eq!(got.len(), vals.len());
+                for (a, b) in got.iter().zip(&vals) {
+                    assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+            other => panic!("wrong frame: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_frame_is_an_error() {
+        let mut bytes = encode(&Frame::Msg(WireMsg::F32(vec![1.0, 2.0])));
+        bytes.truncate(bytes.len() - 3);
+        let mut cursor = io::Cursor::new(bytes);
+        assert!(read_frame(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn unknown_tag_is_an_error() {
+        let mut cursor = io::Cursor::new(vec![0xEEu8]);
+        let err = read_frame(&mut cursor).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_without_allocating() {
+        let mut bytes = vec![TAG_F32];
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        let mut cursor = io::Cursor::new(bytes);
+        let err = read_frame(&mut cursor).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+}

@@ -1,0 +1,886 @@
+//! The TCP transport: topology wiring, retry, deadlines, reconnect.
+//!
+//! A [`TcpCommunicator`] is one rank's endpoint of a multi-process group.
+//! Every rank owns a listener; links are wired either as a **ring** (each
+//! rank connects to its successor and accepts from its predecessor — all
+//! the trait's collectives are ring algorithms, so two links suffice) or
+//! as a **full mesh** (every pair connected once — required for the
+//! butterfly collectives: recursive doubling and the gTop-k sparse
+//! all-reduce).
+//!
+//! Fault semantics:
+//!
+//! * connection establishment retries with bounded exponential backoff
+//!   ([`RetryPolicy`]) and surfaces [`CommError::Timeout`] when exhausted;
+//! * every receive is bounded by [`TcpConfig::op_deadline`] — a dead or
+//!   straggling peer produces [`CommError::Timeout`], never a hang;
+//! * a link that breaks mid-collective is re-established once per
+//!   operation (connector side re-connects, acceptor side re-accepts and
+//!   re-validates the hello handshake); a second failure surfaces as
+//!   [`CommError::PeerDisconnected`] / [`CommError::Io`];
+//! * injected drops ([`FaultInjector::drop_every`]) deliberately close a
+//!   connector-role link at a frame boundary and ride the same
+//!   reconnect path, so the retry machinery is exercised by tests rather
+//!   than trusted.
+//!
+//! After any error a communicator's collective state is undefined (a peer
+//! may have partially progressed); callers should tear the group down.
+
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+use acp_collectives::ring::{self, Transport, WireMsg};
+use acp_collectives::{CommError, Communicator, ReduceOp};
+use acp_telemetry::{keys, noop, RecorderHandle, Span};
+
+use crate::fault::FaultInjector;
+use crate::frame::{read_frame, write_frame, Frame};
+
+/// Bounded exponential backoff for connection establishment (and
+/// re-establishment after a drop).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum connect attempts before giving up.
+    pub max_attempts: u32,
+    /// Backoff before the second attempt; doubles each retry.
+    pub initial_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+    /// Per-attempt TCP connect timeout.
+    pub attempt_timeout: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 20,
+            initial_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(500),
+            attempt_timeout: Duration::from_secs(2),
+        }
+    }
+}
+
+/// How the ranks are wired together.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Topology {
+    /// Two links per rank: connect to the successor, accept from the
+    /// predecessor. Supports every [`Communicator`] collective (they are
+    /// all ring algorithms); `O(p)` sockets in total.
+    #[default]
+    Ring,
+    /// One link per pair (`O(p²)` sockets): additionally supports the
+    /// butterfly collectives (gTop-k sparse all-reduce, recursive
+    /// doubling) and direct point-to-point exchange.
+    FullMesh,
+}
+
+/// Configuration of one rank's [`TcpCommunicator`].
+#[derive(Debug, Clone)]
+pub struct TcpConfig {
+    /// This rank in `[0, world_size)`.
+    pub rank: usize,
+    /// Number of ranks in the group.
+    pub world_size: usize,
+    /// Listener address of every rank, indexed by rank.
+    pub peers: Vec<SocketAddr>,
+    /// Link wiring.
+    pub topology: Topology,
+    /// Connection-establishment retry policy.
+    pub retry: RetryPolicy,
+    /// Deadline applied to every blocking receive (and to link
+    /// re-establishment); `Duration::ZERO` disables the deadline.
+    pub op_deadline: Duration,
+    /// Fault plan (inert by default).
+    pub fault: FaultInjector,
+}
+
+impl TcpConfig {
+    /// A loopback group: rank `i` listens on `127.0.0.1:(base_port + i)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `world_size == 0`, `rank >= world_size`, or the port
+    /// range overflows `u16`.
+    pub fn local(rank: usize, world_size: usize, base_port: u16) -> Self {
+        assert!(world_size > 0, "world_size must be positive");
+        assert!(rank < world_size, "rank {rank} >= world size {world_size}");
+        let peers = (0..world_size)
+            .map(|i| {
+                let port = base_port
+                    .checked_add(i as u16)
+                    .expect("port range overflows u16");
+                SocketAddr::from(([127, 0, 0, 1], port))
+            })
+            .collect();
+        TcpConfig {
+            rank,
+            world_size,
+            peers,
+            topology: Topology::Ring,
+            retry: RetryPolicy::default(),
+            op_deadline: Duration::from_secs(30),
+            fault: FaultInjector::none(),
+        }
+    }
+
+    /// Sets the link wiring.
+    pub fn with_topology(mut self, topology: Topology) -> Self {
+        self.topology = topology;
+        self
+    }
+
+    /// Sets the per-receive deadline (`Duration::ZERO` disables it).
+    pub fn with_op_deadline(mut self, deadline: Duration) -> Self {
+        self.op_deadline = deadline;
+        self
+    }
+
+    /// Sets the connection retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Sets the fault plan.
+    pub fn with_fault(mut self, fault: FaultInjector) -> Self {
+        self.fault = fault;
+        self
+    }
+}
+
+/// Which side of a link this rank is; determines who re-establishes a
+/// broken connection (connector dials again, acceptor re-accepts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LinkRole {
+    /// This rank dialed the peer's listener.
+    Connector,
+    /// This rank accepted the peer's dial on its own listener.
+    Acceptor,
+}
+
+/// One established connection to a peer rank.
+#[derive(Debug)]
+struct Link {
+    peer: usize,
+    role: LinkRole,
+    stream: TcpStream,
+}
+
+/// The wired-up links of one rank.
+#[derive(Debug)]
+enum Wiring {
+    /// `world_size == 1`: no links, collectives are identities.
+    Single,
+    /// Ring: a dedicated outgoing link to the successor and incoming link
+    /// from the predecessor (distinct sockets even when they are the same
+    /// peer, i.e. `world_size == 2`).
+    Ring {
+        /// Link to `(rank + 1) % p`; all sends go here.
+        out: Link,
+        /// Link from `(rank − 1) % p`; all receives come from here.
+        inn: Link,
+    },
+    /// Full mesh: one duplex link per peer, indexed by rank (`None` at
+    /// our own slot).
+    Mesh(Vec<Option<Link>>),
+}
+
+fn timeout_ms(started: Instant) -> u64 {
+    started.elapsed().as_millis().max(1) as u64
+}
+
+/// Maps an I/O failure to a structured [`CommError`].
+fn map_io(op: &'static str, started: Instant, e: &io::Error) -> CommError {
+    match e.kind() {
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => CommError::Timeout {
+            op,
+            waited_ms: timeout_ms(started),
+        },
+        io::ErrorKind::UnexpectedEof
+        | io::ErrorKind::ConnectionReset
+        | io::ErrorKind::ConnectionAborted
+        | io::ErrorKind::BrokenPipe => CommError::PeerDisconnected,
+        _ => CommError::Io(format!("{op}: {e}")),
+    }
+}
+
+/// Whether an I/O error means "the link is gone" (worth one reconnect
+/// attempt) as opposed to a timeout or a protocol problem.
+fn is_disconnect(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::UnexpectedEof
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::BrokenPipe
+            | io::ErrorKind::NotConnected
+    )
+}
+
+fn configure_stream(stream: &TcpStream, op_deadline: Duration) -> io::Result<()> {
+    stream.set_nodelay(true)?;
+    let t = if op_deadline.is_zero() {
+        None
+    } else {
+        Some(op_deadline)
+    };
+    stream.set_read_timeout(t)?;
+    stream.set_write_timeout(t)?;
+    Ok(())
+}
+
+/// Dials `addr` with bounded exponential backoff.
+fn connect_with_retry(
+    addr: &SocketAddr,
+    retry: &RetryPolicy,
+    op_deadline: Duration,
+) -> Result<TcpStream, CommError> {
+    let started = Instant::now();
+    let mut backoff = retry.initial_backoff;
+    let mut last_err: Option<io::Error> = None;
+    for attempt in 0..retry.max_attempts.max(1) {
+        if attempt > 0 {
+            std::thread::sleep(backoff);
+            backoff = (backoff * 2).min(retry.max_backoff);
+        }
+        match TcpStream::connect_timeout(addr, retry.attempt_timeout) {
+            Ok(stream) => {
+                configure_stream(&stream, op_deadline)
+                    .map_err(|e| map_io("configure", started, &e))?;
+                return Ok(stream);
+            }
+            Err(e) => last_err = Some(e),
+        }
+    }
+    match last_err {
+        Some(e)
+            if matches!(
+                e.kind(),
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+            ) =>
+        {
+            Err(CommError::Timeout {
+                op: "connect",
+                waited_ms: timeout_ms(started),
+            })
+        }
+        Some(e) => Err(CommError::Io(format!(
+            "connect to {addr} failed after {} attempts: {e}",
+            retry.max_attempts.max(1)
+        ))),
+        None => unreachable!("at least one connect attempt is made"),
+    }
+}
+
+/// Accepts one connection, polling until `deadline`.
+fn accept_with_deadline(listener: &TcpListener, deadline: Instant) -> io::Result<TcpStream> {
+    listener.set_nonblocking(true)?;
+    let result = loop {
+        match listener.accept() {
+            Ok((stream, _)) => break Ok(stream),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                if Instant::now() >= deadline {
+                    break Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "no incoming connection before the deadline",
+                    ));
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(e) => break Err(e),
+        }
+    };
+    listener.set_nonblocking(false)?;
+    let stream = result?;
+    stream.set_nonblocking(false)?;
+    Ok(stream)
+}
+
+/// Reads the hello handshake off a fresh stream and checks the peer rank.
+fn expect_hello(stream: &mut TcpStream, expected: Option<usize>) -> Result<usize, CommError> {
+    let started = Instant::now();
+    match read_frame(stream) {
+        Ok(Frame::Hello(rank)) => {
+            let rank = rank as usize;
+            if let Some(expected) = expected {
+                if rank != expected {
+                    return Err(CommError::Io(format!(
+                        "hello from rank {rank}, expected rank {expected}"
+                    )));
+                }
+            }
+            Ok(rank)
+        }
+        Ok(other) => Err(CommError::Io(format!(
+            "expected hello handshake, got {other:?}"
+        ))),
+        Err(e) => Err(map_io("hello", started, &e)),
+    }
+}
+
+fn send_hello(stream: &mut TcpStream, rank: usize) -> Result<(), CommError> {
+    let started = Instant::now();
+    write_frame(stream, &Frame::Hello(rank as u32)).map_err(|e| map_io("hello", started, &e))
+}
+
+/// A multi-process TCP endpoint implementing [`Communicator`].
+///
+/// Runs the *same* generic ring algorithms as
+/// [`acp_collectives::ThreadCommunicator`] (see [`acp_collectives::ring`]),
+/// so results are bit-exact across backends. Telemetry flows through the
+/// same recorder keys, so wire bytes reconcile against the Table II cost
+/// model regardless of transport.
+pub struct TcpCommunicator {
+    rank: usize,
+    world_size: usize,
+    peers: Vec<SocketAddr>,
+    topology: Topology,
+    retry: RetryPolicy,
+    op_deadline: Duration,
+    fault: FaultInjector,
+    listener: TcpListener,
+    wiring: Wiring,
+    /// Frames sent so far — drives the deterministic drop injector.
+    frames_sent: u64,
+    bytes_sent: u64,
+    recorder: RecorderHandle,
+}
+
+impl std::fmt::Debug for TcpCommunicator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpCommunicator")
+            .field("rank", &self.rank)
+            .field("world_size", &self.world_size)
+            .field("topology", &self.topology)
+            .field("bytes_sent", &self.bytes_sent)
+            .finish_non_exhaustive()
+    }
+}
+
+impl TcpCommunicator {
+    /// Binds this rank's listener and wires up the group.
+    ///
+    /// Blocks until every link is established (all ranks must be started
+    /// within the retry budget) and returns structured errors — never
+    /// hangs past the configured deadlines.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CommError::Io`] if the listener cannot bind and
+    /// [`CommError::Timeout`] if peers do not appear in time.
+    pub fn connect(cfg: TcpConfig) -> Result<Self, CommError> {
+        let addr = cfg.peers[cfg.rank];
+        let started = Instant::now();
+        let mut backoff = cfg.retry.initial_backoff;
+        let mut listener = None;
+        // Rebinding a recently used port can hit TIME_WAIT; retry like a
+        // connection.
+        for attempt in 0..cfg.retry.max_attempts.max(1) {
+            if attempt > 0 {
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(cfg.retry.max_backoff);
+            }
+            match TcpListener::bind(addr) {
+                Ok(l) => {
+                    listener = Some(l);
+                    break;
+                }
+                Err(e) if e.kind() == io::ErrorKind::AddrInUse => continue,
+                Err(e) => return Err(map_io("bind", started, &e)),
+            }
+        }
+        let listener =
+            listener.ok_or_else(|| CommError::Io(format!("bind {addr}: address still in use")))?;
+        Self::with_listener(cfg, listener)
+    }
+
+    /// Wires up the group over an already bound listener (used by tests
+    /// that pre-bind on ephemeral ports to avoid collisions).
+    ///
+    /// # Errors
+    ///
+    /// As for [`TcpCommunicator::connect`].
+    pub fn with_listener(cfg: TcpConfig, listener: TcpListener) -> Result<Self, CommError> {
+        let TcpConfig {
+            rank,
+            world_size,
+            peers,
+            topology,
+            retry,
+            op_deadline,
+            fault,
+        } = cfg;
+        if world_size == 0 || rank >= world_size || peers.len() != world_size {
+            return Err(CommError::InvalidRank { rank, world_size });
+        }
+        let mut comm = TcpCommunicator {
+            rank,
+            world_size,
+            peers,
+            topology,
+            retry,
+            op_deadline,
+            fault,
+            listener,
+            wiring: Wiring::Single,
+            frames_sent: 0,
+            bytes_sent: 0,
+            recorder: noop(),
+        };
+        comm.wiring = comm.establish()?;
+        Ok(comm)
+    }
+
+    /// This worker's rank in `[0, world_size)`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of workers in the group.
+    pub fn world_size(&self) -> usize {
+        self.world_size
+    }
+
+    /// The deadline used for link establishment: generous enough for the
+    /// whole retry schedule, but never unbounded.
+    fn establish_deadline(&self) -> Instant {
+        let budget = if self.op_deadline.is_zero() {
+            Duration::from_secs(30)
+        } else {
+            self.op_deadline
+        };
+        Instant::now() + budget
+    }
+
+    fn dial(&self, peer: usize) -> Result<Link, CommError> {
+        let mut stream = connect_with_retry(&self.peers[peer], &self.retry, self.op_deadline)?;
+        send_hello(&mut stream, self.rank)?;
+        Ok(Link {
+            peer,
+            role: LinkRole::Connector,
+            stream,
+        })
+    }
+
+    fn accept_from(&self, expected: Option<usize>) -> Result<Link, CommError> {
+        let started = Instant::now();
+        let mut stream = accept_with_deadline(&self.listener, self.establish_deadline())
+            .map_err(|e| map_io("accept", started, &e))?;
+        configure_stream(&stream, self.op_deadline).map_err(|e| map_io("accept", started, &e))?;
+        let peer = expect_hello(&mut stream, expected)?;
+        Ok(Link {
+            peer,
+            role: LinkRole::Acceptor,
+            stream,
+        })
+    }
+
+    fn establish(&mut self) -> Result<Wiring, CommError> {
+        let p = self.world_size;
+        let r = self.rank;
+        if p == 1 {
+            return Ok(Wiring::Single);
+        }
+        match self.topology {
+            Topology::Ring => {
+                // Connect to the successor first: `connect` completes at
+                // the kernel level as soon as the peer's listener is bound
+                // (the backlog holds it), so no rank blocks another's
+                // dial and the cycle cannot deadlock.
+                let next = (r + 1) % p;
+                let prev = (r + p - 1) % p;
+                let out = self.dial(next)?;
+                let inn = self.accept_from(Some(prev))?;
+                Ok(Wiring::Ring { out, inn })
+            }
+            Topology::FullMesh => {
+                let mut links: Vec<Option<Link>> = (0..p).map(|_| None).collect();
+                // Deterministic pair orientation: the higher rank dials.
+                for (q, slot) in links.iter_mut().enumerate().take(r) {
+                    *slot = Some(self.dial(q)?);
+                }
+                for _ in r + 1..p {
+                    let link = self.accept_from(None)?;
+                    let peer = link.peer;
+                    if peer <= r || peer >= p || links[peer].is_some() {
+                        return Err(CommError::Io(format!(
+                            "unexpected hello from rank {peer} during mesh establishment"
+                        )));
+                    }
+                    links[peer] = Some(link);
+                }
+                Ok(Wiring::Mesh(links))
+            }
+        }
+    }
+
+    /// Deliberately closes a connector-role link and reconnects — the
+    /// drop-injection path, also used to recover from send failures.
+    fn reconnect(
+        peers: &[SocketAddr],
+        retry: &RetryPolicy,
+        op_deadline: Duration,
+        rank: usize,
+        link: &mut Link,
+    ) -> Result<(), CommError> {
+        debug_assert_eq!(link.role, LinkRole::Connector);
+        let _ = link.stream.shutdown(Shutdown::Both);
+        let mut stream = connect_with_retry(&peers[link.peer], retry, op_deadline)?;
+        send_hello(&mut stream, rank)?;
+        link.stream = stream;
+        Ok(())
+    }
+
+    /// Re-accepts a broken acceptor-role link (the peer reconnects after
+    /// an injected drop) and re-validates the handshake.
+    fn reaccept(
+        listener: &TcpListener,
+        op_deadline: Duration,
+        link: &mut Link,
+    ) -> Result<(), CommError> {
+        debug_assert_eq!(link.role, LinkRole::Acceptor);
+        let _ = link.stream.shutdown(Shutdown::Both);
+        let started = Instant::now();
+        let budget = if op_deadline.is_zero() {
+            Duration::from_secs(30)
+        } else {
+            op_deadline
+        };
+        let mut stream = accept_with_deadline(listener, Instant::now() + budget)
+            .map_err(|e| map_io("re-accept", started, &e))?;
+        configure_stream(&stream, op_deadline).map_err(|e| map_io("re-accept", started, &e))?;
+        expect_hello(&mut stream, Some(link.peer))?;
+        link.stream = stream;
+        Ok(())
+    }
+
+    /// Emits per-collective telemetry: one [`keys::COMM_CALLS`] tick, a
+    /// latency observation under `key`, and a span on this rank's track —
+    /// the same shape `ThreadCommunicator` records, so traces and
+    /// reconciliation tests work unchanged over TCP.
+    fn record_collective(&self, name: &'static str, key: &str, start_us: u64) {
+        if !self.recorder.enabled() {
+            return;
+        }
+        let end_us = self.recorder.now_us();
+        self.recorder.add(keys::COMM_CALLS, 1);
+        self.recorder
+            .observe(key, end_us.saturating_sub(start_us) as f64);
+        self.recorder.span(Span {
+            name,
+            cat: keys::CAT_COMM,
+            track: self.rank as u64,
+            start_us,
+            end_us,
+        });
+    }
+
+    /// Applies the straggler fault at the top of every collective.
+    fn straggle(&self) {
+        if let Some(delay) = self.fault.straggler_delay {
+            std::thread::sleep(delay);
+        }
+    }
+}
+
+/// Which direction a link resolution is for (affects which ring link is
+/// selected and the error message).
+#[derive(Debug, Clone, Copy)]
+enum Dir {
+    Send,
+    Recv,
+}
+
+/// Resolves the link used to reach `peer`, as a free function over the
+/// wiring so callers can keep disjoint borrows of the other fields.
+fn resolve_link(
+    wiring: &mut Wiring,
+    rank: usize,
+    world_size: usize,
+    peer: usize,
+    dir: Dir,
+) -> Result<&mut Link, CommError> {
+    let p = world_size;
+    if peer >= p || peer == rank {
+        return Err(CommError::InvalidRank {
+            rank: peer,
+            world_size: p,
+        });
+    }
+    match wiring {
+        Wiring::Single => Err(CommError::InvalidRank {
+            rank: peer,
+            world_size: p,
+        }),
+        Wiring::Ring { out, inn } => {
+            let (link, wanted) = match dir {
+                Dir::Send => (out, (rank + 1) % p),
+                Dir::Recv => (inn, (rank + p - 1) % p),
+            };
+            if peer == wanted {
+                Ok(link)
+            } else {
+                Err(CommError::Io(format!(
+                    "rank {peer} unreachable from rank {rank} on ring topology \
+                     (use Topology::FullMesh for butterfly collectives)"
+                )))
+            }
+        }
+        Wiring::Mesh(links) => links[peer].as_mut().ok_or(CommError::PeerDisconnected),
+    }
+}
+
+impl Transport for TcpCommunicator {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn world_size(&self) -> usize {
+        self.world_size
+    }
+
+    fn send_to(&mut self, dest: usize, msg: WireMsg) -> Result<(), CommError> {
+        if let Some(delay) = self.fault.send_delay {
+            std::thread::sleep(delay);
+        }
+        self.frames_sent += 1;
+        let inject_drop = self
+            .fault
+            .drop_every
+            .is_some_and(|n| self.frames_sent.is_multiple_of(n));
+        let bytes = msg.payload_bytes();
+        let frame = Frame::Msg(msg);
+        let started = Instant::now();
+        // Destructure for disjoint field borrows: the link lives in
+        // `wiring`, while reconnection needs `peers`/`retry`.
+        let TcpCommunicator {
+            rank,
+            world_size,
+            peers,
+            retry,
+            op_deadline,
+            wiring,
+            ..
+        } = self;
+        let (rank, world_size, op_deadline) = (*rank, *world_size, *op_deadline);
+        let link = resolve_link(wiring, rank, world_size, dest, Dir::Send)?;
+        if inject_drop && link.role == LinkRole::Connector {
+            // Drop at a frame boundary and ride the normal reconnect path;
+            // the peer sees EOF and re-accepts.
+            Self::reconnect(peers, retry, op_deadline, rank, link)?;
+        }
+        match write_frame(&mut link.stream, &frame) {
+            Ok(()) => {}
+            Err(e) if is_disconnect(&e) && link.role == LinkRole::Connector => {
+                // One reconnect-and-resend attempt; frames are written
+                // atomically, so the failed frame was not partially
+                // consumed by the peer.
+                Self::reconnect(peers, retry, op_deadline, rank, link)?;
+                write_frame(&mut link.stream, &frame).map_err(|e| map_io("send", started, &e))?;
+            }
+            Err(e) => return Err(map_io("send", started, &e)),
+        }
+        self.bytes_sent += bytes;
+        if self.recorder.enabled() {
+            self.recorder.add(keys::COMM_BYTES_SENT, bytes);
+        }
+        Ok(())
+    }
+
+    fn recv_from(&mut self, src: usize) -> Result<WireMsg, CommError> {
+        let started = Instant::now();
+        // One recovery attempt per receive: a broken link is
+        // re-established according to our role, then the read is retried.
+        let mut recovered = false;
+        loop {
+            let TcpCommunicator {
+                rank,
+                world_size,
+                peers,
+                retry,
+                op_deadline,
+                listener,
+                wiring,
+                ..
+            } = self;
+            let (rank, world_size, op_deadline) = (*rank, *world_size, *op_deadline);
+            let link = resolve_link(wiring, rank, world_size, src, Dir::Recv)?;
+            match read_frame(&mut link.stream) {
+                Ok(Frame::Msg(msg)) => {
+                    if self.recorder.enabled() {
+                        self.recorder
+                            .add(keys::COMM_BYTES_RECV, msg.payload_bytes());
+                    }
+                    return Ok(msg);
+                }
+                // A stray hello can only follow a reconnect that raced our
+                // read; consume it and keep reading.
+                Ok(Frame::Hello(_)) => continue,
+                Err(e) if is_disconnect(&e) && !recovered => {
+                    recovered = true;
+                    match link.role {
+                        LinkRole::Acceptor => Self::reaccept(listener, op_deadline, link)?,
+                        LinkRole::Connector => {
+                            Self::reconnect(peers, retry, op_deadline, rank, link)?;
+                        }
+                    }
+                }
+                Err(e) => return Err(map_io("recv", started, &e)),
+            }
+        }
+    }
+}
+
+impl Communicator for TcpCommunicator {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn world_size(&self) -> usize {
+        self.world_size
+    }
+
+    fn all_reduce(&mut self, buf: &mut [f32], op: ReduceOp) -> Result<(), CommError> {
+        self.straggle();
+        let start_us = self.recorder.now_us();
+        let result = ring::all_reduce(self, buf, op);
+        self.record_collective("all_reduce", keys::COMM_ALL_REDUCE_US, start_us);
+        result
+    }
+
+    fn all_gather_f32(&mut self, send: &[f32]) -> Result<Vec<f32>, CommError> {
+        self.straggle();
+        let start_us = self.recorder.now_us();
+        let result = ring::all_gather_f32(self, send);
+        self.record_collective("all_gather_f32", keys::COMM_ALL_GATHER_US, start_us);
+        result
+    }
+
+    fn all_gather_u32(&mut self, send: &[u32]) -> Result<Vec<u32>, CommError> {
+        self.straggle();
+        let start_us = self.recorder.now_us();
+        let result = ring::all_gather_u32(self, send);
+        self.record_collective("all_gather_u32", keys::COMM_ALL_GATHER_US, start_us);
+        result
+    }
+
+    fn broadcast(&mut self, buf: &mut [f32], root: usize) -> Result<(), CommError> {
+        self.straggle();
+        let start_us = self.recorder.now_us();
+        let result = ring::broadcast(self, buf, root);
+        self.record_collective("broadcast", keys::COMM_BROADCAST_US, start_us);
+        result
+    }
+
+    fn barrier(&mut self) -> Result<(), CommError> {
+        self.straggle();
+        // Untimed, as in the thread backend: barriers move no payload.
+        ring::barrier(self)
+    }
+
+    fn bytes_sent(&self) -> u64 {
+        self.bytes_sent
+    }
+
+    fn set_recorder(&mut self, recorder: RecorderHandle) {
+        self.recorder = recorder;
+    }
+
+    fn global_topk(
+        &mut self,
+        indices: &[u32],
+        values: &[f32],
+        k: usize,
+    ) -> Result<(Vec<u32>, Vec<f32>), CommError> {
+        self.straggle();
+        let start_us = self.recorder.now_us();
+        let result = match self.topology {
+            // Butterfly needs arbitrary pairs — mesh only.
+            Topology::FullMesh => ring::global_topk_butterfly(self, indices, values, k),
+            // On a ring, fall back to the exact gather-and-truncate
+            // collective (the Communicator trait's default algorithm).
+            Topology::Ring => (|| {
+                let gathered_idx = ring::all_gather_u32(self, indices)?;
+                let gathered_val = ring::all_gather_f32(self, values)?;
+                let mut map = std::collections::BTreeMap::new();
+                for (&i, &v) in gathered_idx.iter().zip(&gathered_val) {
+                    *map.entry(i).or_insert(0.0f32) += v;
+                }
+                Ok(ring::truncate_topk(map, k))
+            })(),
+        };
+        self.record_collective("global_topk", keys::COMM_GLOBAL_TOPK_US, start_us);
+        result
+    }
+}
+
+/// Test/bench harness mirroring `ThreadGroup::run`: binds `world_size`
+/// listeners on ephemeral loopback ports, wires the group in worker
+/// threads (real sockets, one process), and returns the per-rank results.
+///
+/// # Panics
+///
+/// Panics if a listener cannot bind, a worker panics, or establishment
+/// fails.
+pub fn run_local<T, F>(world_size: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(TcpCommunicator) -> T + Sync,
+{
+    run_local_with(world_size, |_rank, cfg| cfg, f)
+}
+
+/// [`run_local`] with a per-rank configuration hook (fault plans,
+/// deadlines, topology).
+///
+/// # Panics
+///
+/// As for [`run_local`]. The hook must not change `rank`, `world_size`
+/// or `peers`.
+pub fn run_local_with<T, F, G>(world_size: usize, tweak: G, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(TcpCommunicator) -> T + Sync,
+    G: Fn(usize, TcpConfig) -> TcpConfig + Sync,
+{
+    assert!(world_size > 0, "world_size must be positive");
+    let listeners: Vec<TcpListener> = (0..world_size)
+        .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind ephemeral loopback port"))
+        .collect();
+    let peers: Vec<SocketAddr> = listeners
+        .iter()
+        .map(|l| l.local_addr().expect("listener has a local addr"))
+        .collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = listeners
+            .into_iter()
+            .enumerate()
+            .map(|(rank, listener)| {
+                let peers = peers.clone();
+                let tweak = &tweak;
+                let f = &f;
+                scope.spawn(move || {
+                    let mut cfg = TcpConfig {
+                        rank,
+                        world_size,
+                        peers,
+                        topology: Topology::Ring,
+                        retry: RetryPolicy::default(),
+                        op_deadline: Duration::from_secs(20),
+                        fault: FaultInjector::none(),
+                    };
+                    cfg = tweak(rank, cfg);
+                    let comm =
+                        TcpCommunicator::with_listener(cfg, listener).expect("establish group");
+                    f(comm)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("tcp worker panicked"))
+            .collect()
+    })
+}

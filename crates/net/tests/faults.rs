@@ -1,0 +1,289 @@
+//! Fault-injection tests: every injected failure must end in either a
+//! successful retry (correct results, no data loss) or a *structured*
+//! `CommError` within a bounded wait — never a hang and never silent
+//! corruption. Each test carries its own wall-clock bound well below the
+//! harness timeout.
+
+use std::time::{Duration, Instant};
+
+use acp_collectives::{CommError, Communicator, ReduceOp, Transport, WireMsg};
+use acp_net::{run_local_with, FaultInjector, RetryPolicy, TcpCommunicator, TcpConfig};
+
+fn expected_sum(world: usize, len: usize) -> Vec<f32> {
+    // Each rank contributes `rank + 1` everywhere.
+    let total: f32 = (1..=world).map(|r| r as f32).sum();
+    vec![total; len]
+}
+
+/// Injected link drops on one rank are absorbed by reconnect + resend:
+/// several consecutive all-reduces still produce exact results.
+#[test]
+fn injected_drops_are_recovered_by_reconnect() {
+    let world = 4;
+    let len = 257; // odd length => uneven ring chunks
+    let started = Instant::now();
+    let results = run_local_with(
+        world,
+        |rank, cfg| {
+            if rank == 1 {
+                // Close + reconnect the outgoing link before every 5th frame.
+                cfg.with_fault(FaultInjector::none().with_drop_every(5))
+            } else {
+                cfg
+            }
+        },
+        |mut comm| {
+            let mut out = Vec::new();
+            for _ in 0..4 {
+                let mut buf = vec![comm.rank() as f32 + 1.0; len];
+                comm.all_reduce(&mut buf, ReduceOp::Sum).unwrap();
+                out.push(buf);
+            }
+            out
+        },
+    );
+    assert!(
+        started.elapsed() < Duration::from_secs(30),
+        "drops must not stall"
+    );
+    let expected = expected_sum(world, len);
+    for per_rank in results {
+        for buf in per_rank {
+            assert_eq!(buf, expected);
+        }
+    }
+}
+
+/// Drops on *every* rank at once (each rank's outgoing ring link is
+/// connector-role, so all four links churn) still converge.
+#[test]
+fn drops_on_every_rank_still_converge() {
+    let world = 4;
+    let results = run_local_with(
+        world,
+        |_rank, cfg| cfg.with_fault(FaultInjector::none().with_drop_every(7)),
+        |mut comm| {
+            let mut buf = vec![comm.rank() as f32 + 1.0; 64];
+            comm.all_reduce(&mut buf, ReduceOp::Sum).unwrap();
+            comm.barrier().unwrap();
+            buf
+        },
+    );
+    let expected = expected_sum(world, 64);
+    for buf in results {
+        assert_eq!(buf, expected);
+    }
+}
+
+/// A per-frame send delay slows the collective but changes nothing else.
+#[test]
+fn send_delay_shifts_latency_only() {
+    let world = 2;
+    let results = run_local_with(
+        world,
+        |_rank, cfg| {
+            cfg.with_fault(FaultInjector::none().with_send_delay(Duration::from_millis(2)))
+        },
+        |mut comm| {
+            let mut buf = vec![comm.rank() as f32 + 1.0; 33];
+            comm.all_reduce(&mut buf, ReduceOp::Sum).unwrap();
+            buf
+        },
+    );
+    for buf in results {
+        assert_eq!(buf, expected_sum(world, 33));
+    }
+}
+
+/// A straggler rank delays everyone (synchronous collectives can go no
+/// faster than the slowest rank) but results stay exact.
+#[test]
+fn straggler_slows_the_group_without_corrupting_it() {
+    let world = 3;
+    let delay = Duration::from_millis(50);
+    let started = Instant::now();
+    let results = run_local_with(
+        world,
+        |rank, cfg| {
+            if rank == 2 {
+                cfg.with_fault(FaultInjector::none().with_straggler_delay(delay))
+            } else {
+                cfg
+            }
+        },
+        |mut comm| {
+            let mut buf = vec![comm.rank() as f32 + 1.0; 16];
+            comm.all_reduce(&mut buf, ReduceOp::Sum).unwrap();
+            buf
+        },
+    );
+    assert!(
+        started.elapsed() >= delay,
+        "the straggler gates the collective"
+    );
+    for buf in results {
+        assert_eq!(buf, expected_sum(world, 16));
+    }
+}
+
+/// A rank that never shows up for the collective surfaces as a structured
+/// timeout on its peer within the configured deadline — not a hang.
+#[test]
+fn absent_peer_times_out_with_structured_error() {
+    let deadline = Duration::from_millis(200);
+    let started = Instant::now();
+    let results = run_local_with(
+        2,
+        move |_rank, cfg| cfg.with_op_deadline(deadline),
+        |mut comm| {
+            if comm.rank() == 1 {
+                // Holds its links open but never participates.
+                std::thread::sleep(Duration::from_millis(600));
+                return Ok(());
+            }
+            let mut buf = vec![1.0f32; 8];
+            comm.all_reduce(&mut buf, ReduceOp::Sum)
+        },
+    );
+    assert!(
+        started.elapsed() < Duration::from_secs(10),
+        "timeout must be bounded by the deadline, not the harness"
+    );
+    match &results[0] {
+        Err(CommError::Timeout { op, waited_ms }) => {
+            assert_eq!(*op, "recv");
+            assert!(*waited_ms as u128 >= deadline.as_millis());
+        }
+        other => panic!("expected Timeout, got {other:?}"),
+    }
+    assert_eq!(results[1], Ok(()));
+}
+
+/// A peer that exits outright (sockets closed) surfaces as a structured
+/// error — disconnect or timeout depending on who wins the race — within
+/// the deadline.
+#[test]
+fn dead_peer_is_a_structured_error_not_a_hang() {
+    let started = Instant::now();
+    let results = run_local_with(
+        2,
+        |_rank, cfg| cfg.with_op_deadline(Duration::from_millis(300)),
+        |mut comm| {
+            if comm.rank() == 1 {
+                return Ok(()); // Drops the communicator: EOF on rank 0's links.
+            }
+            std::thread::sleep(Duration::from_millis(50)); // let the peer die first
+            let mut buf = vec![1.0f32; 8];
+            comm.all_reduce(&mut buf, ReduceOp::Sum)
+        },
+    );
+    assert!(started.elapsed() < Duration::from_secs(10));
+    match &results[0] {
+        Err(CommError::Timeout { .. } | CommError::PeerDisconnected | CommError::Io(_)) => {}
+        other => panic!("expected a structured comm error, got {other:?}"),
+    }
+}
+
+/// Ranks that start hundreds of milliseconds apart still form the group:
+/// connection establishment retries with backoff until the late listener
+/// appears.
+#[test]
+fn connect_retries_absorb_startup_skew() {
+    // Find a free consecutive port pair by binding ephemerally first.
+    let probe = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let base = probe.local_addr().unwrap().port();
+    drop(probe);
+    let cfg = move |rank: usize| {
+        TcpConfig::local(rank, 2, base).with_retry(RetryPolicy {
+            max_attempts: 40,
+            initial_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(100),
+            attempt_timeout: Duration::from_secs(2),
+        })
+    };
+    let handle = std::thread::spawn(move || {
+        // Rank 1 shows up late: its listener does not exist yet when
+        // rank 0 first dials.
+        std::thread::sleep(Duration::from_millis(250));
+        let mut comm = TcpCommunicator::connect(cfg(1)).expect("late rank joins");
+        let mut buf = vec![2.0f32; 4];
+        comm.all_reduce(&mut buf, ReduceOp::Sum).unwrap();
+        buf
+    });
+    let mut comm = TcpCommunicator::connect(cfg(0)).expect("early rank retries until join");
+    let mut buf = vec![1.0f32; 4];
+    comm.all_reduce(&mut buf, ReduceOp::Sum).unwrap();
+    assert_eq!(buf, vec![3.0; 4]);
+    assert_eq!(handle.join().unwrap(), vec![3.0; 4]);
+}
+
+/// On a ring topology, point-to-point traffic to a non-neighbour is a
+/// structured error telling the caller to use the mesh.
+#[test]
+fn ring_topology_rejects_non_neighbour_traffic() {
+    let results = run_local_with(
+        4,
+        |_rank, cfg| cfg,
+        |mut comm| {
+            if comm.rank() == 0 {
+                Transport::send_to(&mut comm, 2, WireMsg::Token)
+            } else {
+                Ok(())
+            }
+        },
+    );
+    match &results[0] {
+        Err(CommError::Io(msg)) => assert!(msg.contains("unreachable"), "got: {msg}"),
+        other => panic!("expected Io(unreachable), got {other:?}"),
+    }
+}
+
+/// Exhausted connect retries end in a structured error, not an endless
+/// loop: dialing a group whose peers never appear fails within the retry
+/// budget.
+#[test]
+fn exhausted_retries_surface_structured_error() {
+    let probe = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let base = probe.local_addr().unwrap().port();
+    drop(probe);
+    let cfg = TcpConfig::local(0, 2, base).with_retry(RetryPolicy {
+        max_attempts: 3,
+        initial_backoff: Duration::from_millis(1),
+        max_backoff: Duration::from_millis(4),
+        attempt_timeout: Duration::from_millis(200),
+    });
+    let started = Instant::now();
+    let err = TcpCommunicator::connect(cfg).expect_err("no peer ever appears");
+    assert!(started.elapsed() < Duration::from_secs(5));
+    match err {
+        CommError::Io(_) | CommError::Timeout { .. } => {}
+        other => panic!("expected Io or Timeout, got {other:?}"),
+    }
+}
+
+/// The fault injector leaves telemetry intact: bytes sent with faults on
+/// equal bytes sent with faults off (drops resend whole frames, which is
+/// invisible at the payload accounting level — the resent frame replaces
+/// one the peer never consumed).
+#[test]
+fn drop_faults_do_not_skew_byte_accounting() {
+    let clean = run_local_with(
+        2,
+        |_rank, cfg| cfg,
+        |mut comm| {
+            let mut buf = vec![1.0f32; 100];
+            comm.all_reduce(&mut buf, ReduceOp::Sum).unwrap();
+            comm.bytes_sent()
+        },
+    );
+    let faulty = run_local_with(
+        2,
+        |_rank, cfg| cfg.with_fault(FaultInjector::none().with_drop_every(3)),
+        |mut comm| {
+            let mut buf = vec![1.0f32; 100];
+            comm.all_reduce(&mut buf, ReduceOp::Sum).unwrap();
+            comm.bytes_sent()
+        },
+    );
+    assert_eq!(clean, faulty);
+}

@@ -50,6 +50,6 @@ pub use dataset::Dataset;
 pub use model::{mlp, small_cnn, Sequential};
 pub use optim::{LrSchedule, SgdMomentum};
 pub use trainer::{
-    train_distributed, train_distributed_instrumented, EpochStats, RankTelemetry, TrainConfig,
-    TrainReport,
+    train_distributed, train_distributed_instrumented, train_rank, EpochStats, RankTelemetry,
+    TrainConfig, TrainReport,
 };

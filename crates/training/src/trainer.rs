@@ -208,7 +208,7 @@ where
     A: DistributedOptimizer,
 {
     let results = ThreadGroup::run(world, |comm| {
-        train_worker(comm, data, &model_builder, &aggregator_builder, cfg, false).0
+        train_rank(comm, data, &model_builder, &aggregator_builder, cfg, false).0
     });
     results.into_iter().next().expect("at least one worker")
 }
@@ -234,7 +234,7 @@ where
     A: DistributedOptimizer,
 {
     let results = ThreadGroup::run(world, |comm| {
-        train_worker(comm, data, &model_builder, &aggregator_builder, cfg, true)
+        train_rank(comm, data, &model_builder, &aggregator_builder, cfg, true)
     });
     let mut history = Vec::new();
     let mut ranks = Vec::with_capacity(results.len());
@@ -247,10 +247,17 @@ where
     TrainReport { history, ranks }
 }
 
-/// One rank's training loop; `instrument` controls whether a recorder is
-/// attached and step reports are assembled.
-fn train_worker<MB, AB, A>(
-    mut comm: acp_collectives::ThreadCommunicator,
+/// One rank's training loop over any [`Communicator`] backend;
+/// `instrument` controls whether a recorder is attached and step reports
+/// are assembled.
+///
+/// [`train_distributed`] runs this on in-process thread workers; a
+/// multi-process launcher (e.g. `acp-net`'s TCP backend) calls it directly
+/// from each worker process with its own communicator. Every rank must use
+/// the same deterministic `model_builder`, dataset and config, or the
+/// collectives will disagree.
+pub fn train_rank<C, MB, AB, A>(
+    mut comm: C,
     data: &Dataset,
     model_builder: &MB,
     aggregator_builder: &AB,
@@ -258,6 +265,7 @@ fn train_worker<MB, AB, A>(
     instrument: bool,
 ) -> (Vec<EpochStats>, Option<RankTelemetry>)
 where
+    C: Communicator,
     MB: Fn() -> Sequential + Sync,
     AB: Fn() -> A + Sync,
     A: DistributedOptimizer,

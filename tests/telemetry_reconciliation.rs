@@ -36,6 +36,31 @@ fn recorded_ring_all_reduce_bytes_match_cost_model() {
     }
 }
 
+/// The same Table II identity must hold over real sockets: ring all-reduce
+/// on the TCP backend records exactly `2(p−1)/p · N` payload bytes per
+/// rank (the loopback tier models the transport, but the volume term is
+/// transport-independent), and the recorder agrees with the
+/// communicator's own counter.
+#[test]
+fn recorded_tcp_all_reduce_bytes_match_cost_model() {
+    let n = 840usize; // divisible by 2, 3, 4, 6, 8
+    for p in [2usize, 3, 4, 8] {
+        let cost = ClusterCost::new(p, NetworkTier::Loopback);
+        let expected = cost.all_reduce_volume(4 * n);
+        let results = acp_net::run_local(p, |mut comm| {
+            let rec = Arc::new(InMemoryRecorder::new());
+            comm.set_recorder(rec.clone());
+            let mut buf = vec![comm.rank() as f32; n];
+            comm.all_reduce(&mut buf, ReduceOp::Sum).unwrap();
+            (rec.counter(keys::COMM_BYTES_SENT), comm.bytes_sent())
+        });
+        for (recorded, counted) in results {
+            assert_eq!(recorded as f64, expected, "world size {p}");
+            assert_eq!(recorded, counted, "recorder and bytes_sent disagree");
+        }
+    }
+}
+
 /// All-gather: every rank's recorded bytes equal `(p−1) · N`.
 #[test]
 fn recorded_all_gather_bytes_match_cost_model() {
