@@ -8,6 +8,7 @@
 //!   fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11a fig11b fig12 fig13
 //!   headline   (abstract speedup numbers)
 //!   telemetry  (instrumented ACP-SGD run: per-step metrics + summary)
+//!   overlap    (WFBP overlap: measured vs simulated; writes BENCH_overlap.json)
 //!   all        (everything; convergence at the quick epoch count)
 //! ```
 //!
@@ -65,6 +66,20 @@ fn telemetry() -> String {
     )
 }
 
+/// Blocking-vs-pipelined comparison on the real thread backend plus the
+/// simulated Fig. 9 levels; also writes `BENCH_overlap.json` to the cwd.
+/// The measured run is capped at 4 epochs regardless of `--epochs`.
+fn overlap_bench(epochs: usize) -> String {
+    use acp_bench::overlap;
+    let report = overlap::run(epochs.min(4));
+    let text = overlap::render(&report);
+    let path = "BENCH_overlap.json";
+    match std::fs::write(path, overlap::to_json(&report)) {
+        Ok(()) => format!("{text}\nwrote {path}"),
+        Err(e) => format!("{text}\nfailed to write {path}: {e}"),
+    }
+}
+
 fn run(name: &str, epochs: usize) -> Option<String> {
     let out = match name {
         "table1" => format!("Table I\n{}", statics::table1().render()),
@@ -96,6 +111,7 @@ fn run(name: &str, epochs: usize) -> Option<String> {
         ),
         "headline" => headline(),
         "telemetry" => telemetry(),
+        "overlap" => overlap_bench(epochs),
         _ => return None,
     };
     Some(out)
@@ -129,6 +145,7 @@ fn main() {
         "ext-scaling",
         "ext-tune",
         "telemetry",
+        "overlap",
         "headline",
     ];
     let selected: Vec<&str> = if names.is_empty() || names.contains(&"all") {

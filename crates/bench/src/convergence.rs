@@ -86,6 +86,7 @@ impl ConvergenceTask {
             momentum: 0.9,
             weight_decay: 1e-4,
             seed: 42,
+            ..TrainConfig::default()
         }
     }
 

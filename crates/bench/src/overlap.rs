@@ -1,0 +1,211 @@
+//! The overlap benchmark behind `figures overlap`: the same 4-worker
+//! ACP-SGD training run with and without wait-free backpropagation on the
+//! real thread backend, its span-level overlap accounting, and the
+//! simulator's Naive / WFBP / WFBP+TF levels (Fig. 9) for reconciliation.
+//! `figures overlap` also writes the result as `BENCH_overlap.json`.
+
+use std::time::Instant;
+
+use acp_core::{AcpSgdAggregator, AcpSgdConfig};
+use acp_models::Model;
+use acp_simulator::{simulate, ExperimentConfig, OptLevel, Strategy};
+use acp_telemetry::{analysis, keys};
+use acp_training::dataset::Dataset;
+use acp_training::model::mlp;
+use acp_training::trainer::{train_distributed_instrumented, TrainConfig};
+
+/// One simulated optimization level (paper testbed, ResNet-18).
+#[derive(Debug, Clone)]
+pub struct SimLevel {
+    /// Level label (`Naive`, `WFBP`, `WFBP+TF`).
+    pub level: String,
+    /// Simulated iteration time, seconds.
+    pub total_s: f64,
+    /// Simulated exposed (non-overlapped) communication, seconds.
+    pub exposed_comm_s: f64,
+}
+
+/// Measured + simulated results of the overlap benchmark.
+#[derive(Debug, Clone)]
+pub struct OverlapReport {
+    /// Worker count of the measured runs.
+    pub workers: usize,
+    /// Epochs of the measured runs.
+    pub epochs: usize,
+    /// Wall time of the blocking (`overlap = false`) training run, seconds.
+    pub blocking_wall_s: f64,
+    /// Wall time of the pipelined (WFBP) training run, seconds.
+    pub overlapped_wall_s: f64,
+    /// Comm time hidden behind backward in the pipelined run (µs, summed
+    /// over ranks).
+    pub overlapped_hidden_us: u64,
+    /// Comm time hidden behind backward in the blocking run (structurally
+    /// zero).
+    pub blocking_hidden_us: u64,
+    /// Total collective busy time of the pipelined run (µs, summed over
+    /// ranks).
+    pub comm_busy_us: u64,
+    /// Simulated Fig. 9 levels for qualitative reconciliation.
+    pub sim: Vec<SimLevel>,
+}
+
+fn measured_run(epochs: usize, workers: usize, overlap: bool) -> (f64, u64, u64) {
+    let data = Dataset::gaussian_clusters(4, 32, 60, 0.3, 41);
+    let cfg = TrainConfig {
+        epochs,
+        batch_size: 16,
+        overlap,
+        ..TrainConfig::default()
+    };
+    let start = Instant::now();
+    let report = train_distributed_instrumented(
+        workers,
+        &data,
+        || mlp(&[32, 256, 256, 128, 4], 11),
+        || {
+            AcpSgdAggregator::new(AcpSgdConfig {
+                rank: 4,
+                buffer_bytes: 16 * 1024, // several buckets per step
+                ..Default::default()
+            })
+        },
+        &cfg,
+    );
+    let wall = start.elapsed().as_secs_f64();
+    let hidden = report
+        .ranks
+        .iter()
+        .map(|r| analysis::overlap_us(&r.snapshot.spans, keys::CAT_COMM, keys::SPAN_BACKWARD))
+        .sum();
+    let busy = report
+        .ranks
+        .iter()
+        .map(|r| analysis::busy_us(&r.snapshot.spans, keys::CAT_COMM))
+        .sum();
+    (wall, hidden, busy)
+}
+
+/// Runs the measured comparison and the Fig. 9 simulation.
+pub fn run(epochs: usize) -> OverlapReport {
+    let workers = 4usize;
+    let (blocking_wall_s, blocking_hidden_us, _) = measured_run(epochs, workers, false);
+    let (overlapped_wall_s, overlapped_hidden_us, comm_busy_us) =
+        measured_run(epochs, workers, true);
+    let strategy = Strategy::AcpSgd { rank: 4 };
+    let sim = OptLevel::all()
+        .into_iter()
+        .map(|opt| {
+            let mut cfg = ExperimentConfig::paper_testbed(Model::ResNet18Cifar, strategy);
+            cfg.opt = opt;
+            let r = simulate(&cfg).expect("ResNet-18 fits the paper testbed");
+            SimLevel {
+                level: opt.label().to_string(),
+                total_s: r.total,
+                exposed_comm_s: r.non_overlapped_comm,
+            }
+        })
+        .collect();
+    OverlapReport {
+        workers,
+        epochs,
+        blocking_wall_s,
+        overlapped_wall_s,
+        overlapped_hidden_us,
+        blocking_hidden_us,
+        comm_busy_us,
+        sim,
+    }
+}
+
+/// Human-readable rendering for the terminal.
+pub fn render(r: &OverlapReport) -> String {
+    let mut out = format!(
+        "Overlap benchmark: ACP-SGD, {} thread workers, {} epochs\n\
+         blocking   wall {:>8.3} s   comm hidden behind backward {:>8} µs\n\
+         pipelined  wall {:>8.3} s   comm hidden behind backward {:>8} µs \
+         (of {} µs comm busy)\n\nSimulated Fig. 9 levels (ResNet-18, paper testbed):\n",
+        r.workers,
+        r.epochs,
+        r.blocking_wall_s,
+        r.blocking_hidden_us,
+        r.overlapped_wall_s,
+        r.overlapped_hidden_us,
+        r.comm_busy_us,
+    );
+    for s in &r.sim {
+        out.push_str(&format!(
+            "  {:<8} total {:>8.2} ms   exposed comm {:>8.2} ms\n",
+            s.level,
+            s.total_s * 1e3,
+            s.exposed_comm_s * 1e3
+        ));
+    }
+    out
+}
+
+/// Serializes the report as JSON (`BENCH_overlap.json`).
+pub fn to_json(r: &OverlapReport) -> String {
+    let sim: Vec<String> = r
+        .sim
+        .iter()
+        .map(|s| {
+            format!(
+                "{{\"level\":{:?},\"total_s\":{:.6},\"exposed_comm_s\":{:.6}}}",
+                s.level, s.total_s, s.exposed_comm_s
+            )
+        })
+        .collect();
+    format!(
+        "{{\"measured\":{{\"backend\":\"thread\",\"workers\":{},\"epochs\":{},\
+         \"blocking_wall_s\":{:.6},\"overlapped_wall_s\":{:.6},\
+         \"blocking_hidden_us\":{},\"overlapped_hidden_us\":{},\
+         \"comm_busy_us\":{}}},\"simulated\":[{}]}}\n",
+        r.workers,
+        r.epochs,
+        r.blocking_wall_s,
+        r.overlapped_wall_s,
+        r.blocking_hidden_us,
+        r.overlapped_hidden_us,
+        r.comm_busy_us,
+        sim.join(",")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_renders_and_serializes() {
+        let r = OverlapReport {
+            workers: 4,
+            epochs: 2,
+            blocking_wall_s: 1.5,
+            overlapped_wall_s: 1.2,
+            overlapped_hidden_us: 420,
+            blocking_hidden_us: 0,
+            comm_busy_us: 900,
+            sim: vec![SimLevel {
+                level: "Naive".into(),
+                total_s: 0.054,
+                exposed_comm_s: 0.022,
+            }],
+        };
+        let text = render(&r);
+        assert!(text.contains("pipelined"));
+        assert!(text.contains("Naive"));
+        let json = to_json(&r);
+        assert!(json.contains("\"overlapped_hidden_us\":420"));
+        assert!(json.contains("\"level\":\"Naive\""));
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn quick_run_measures_overlap() {
+        let r = run(1);
+        assert_eq!(r.blocking_hidden_us, 0, "blocking run hides no comm");
+        assert!(r.comm_busy_us > 0);
+        assert_eq!(r.sim.len(), 3);
+        assert!(r.sim[2].exposed_comm_s < r.sim[0].exposed_comm_s);
+    }
+}

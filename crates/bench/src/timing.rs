@@ -421,7 +421,7 @@ pub fn fig13() -> TimingGrid {
 
 /// Extension experiment: Top-k (all-gather) vs gTop-k (sparse all-reduce)
 /// vs ACP-SGD scaling from 8 to 64 GPUs on BERT-Base — the related-work
-/// comparison the paper points at ([33]).
+/// comparison the paper points at (reference \[33\]).
 pub fn ext_scaling() -> TimingGrid {
     let model = Model::BertBase;
     let mut rows = Vec::new();

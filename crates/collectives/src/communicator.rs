@@ -13,12 +13,16 @@
 //! same algorithms.
 
 use std::fmt;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use acp_telemetry::{keys, noop, RecorderHandle, Span};
+use acp_telemetry::{keys, noop, RecorderHandle};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 
+use crate::nonblocking::{
+    execute_collective, execute_via_blocking, CollectiveOp, CollectiveResult, CommWorker,
+    PendingOp, WorkerTransport,
+};
 use crate::ring::{self, Transport, WireMsg};
 
 /// Reduction operator applied element-wise by [`Communicator::all_reduce`].
@@ -212,6 +216,28 @@ pub trait Communicator: Send {
         }
         Ok(ring::truncate_topk(map, k))
     }
+
+    /// Dispatches a collective for asynchronous completion; redeem the
+    /// returned handle with [`PendingOp::wait`].
+    ///
+    /// The default implementation executes synchronously through the
+    /// blocking methods and returns an already-resolved handle, so every
+    /// backend supports the non-blocking API. Worker-backed communicators
+    /// ([`ThreadCommunicator`], `acp-net`'s `TcpCommunicator`) override it
+    /// to run the collective on a per-rank comm worker thread, overlapping
+    /// it with the caller's compute. Operations complete in submission
+    /// order on every backend, so interleaving dispatched and blocking
+    /// calls preserves the SPMD contract.
+    fn dispatch(&mut self, op: CollectiveOp) -> PendingOp {
+        PendingOp::ready(execute_via_blocking(self, op))
+    }
+
+    /// Non-blocking all-reduce: consumes this rank's contribution and
+    /// returns a handle whose [`PendingOp::wait`] yields the reduced
+    /// buffer ([`CollectiveResult::F32`]).
+    fn all_reduce_start(&mut self, buf: Vec<f32>, op: ReduceOp) -> PendingOp {
+        self.dispatch(CollectiveOp::AllReduce { buf, op })
+    }
 }
 
 /// How long a rank waits on a peer before concluding it died.
@@ -300,19 +326,40 @@ impl Communicator for LocalCommunicator {
 pub struct ThreadCommunicator {
     rank: usize,
     world_size: usize,
+    /// The mailbox transport; `Some` until the comm worker takes it.
+    inner: Option<ThreadTransport>,
+    /// Per-rank comm worker, spawned lazily by the first dispatched
+    /// operation; once running, *every* collective (blocking included)
+    /// routes through it so submission order stays FIFO-total.
+    worker: Option<CommWorker>,
+    /// Set by any rank of the group whose worker thread panics; receive
+    /// loops poll it so peers observe the death within [`PANIC_POLL`]
+    /// instead of blocking out the full [`RECV_TIMEOUT`].
+    panicked: Arc<AtomicBool>,
+    /// Shared with the transport so `bytes_sent` stays readable after the
+    /// transport moves into the worker thread.
+    bytes_sent: Arc<AtomicU64>,
+    /// Telemetry sink; [`acp_telemetry::NoopRecorder`] unless attached via
+    /// [`Communicator::set_recorder`].
+    recorder: RecorderHandle,
+}
+
+/// The mailbox transport state of one rank. Lives inside the
+/// [`ThreadCommunicator`] until a comm worker is spawned, then moves into
+/// the worker thread (collectives keep running the same [`ring`]
+/// algorithms on it either way).
+struct ThreadTransport {
+    rank: usize,
+    world_size: usize,
     /// Sender to each rank's inbox (index = destination rank).
     peers: Vec<Sender<(usize, WireMsg)>>,
     /// This rank's inbox.
     inbox: Receiver<(usize, WireMsg)>,
     /// Out-of-order messages buffered per source rank.
     pending: Vec<std::collections::VecDeque<WireMsg>>,
-    /// Set by any rank of the group whose worker thread panics; receive
-    /// loops poll it so peers observe the death within [`PANIC_POLL`]
-    /// instead of blocking out the full [`RECV_TIMEOUT`].
+    /// The group's shared panic flag (see [`ThreadCommunicator`]).
     panicked: Arc<AtomicBool>,
-    bytes_sent: u64,
-    /// Telemetry sink; [`acp_telemetry::NoopRecorder`] unless attached via
-    /// [`Communicator::set_recorder`].
+    bytes_sent: Arc<AtomicU64>,
     recorder: RecorderHandle,
 }
 
@@ -321,7 +368,7 @@ impl fmt::Debug for ThreadCommunicator {
         f.debug_struct("ThreadCommunicator")
             .field("rank", &self.rank)
             .field("world_size", &self.world_size)
-            .field("bytes_sent", &self.bytes_sent)
+            .field("bytes_sent", &self.bytes_sent.load(Ordering::SeqCst))
             .finish_non_exhaustive()
     }
 }
@@ -338,7 +385,17 @@ impl Drop for ThreadCommunicator {
     }
 }
 
-impl Transport for ThreadCommunicator {
+impl Drop for ThreadTransport {
+    fn drop(&mut self) {
+        // Same flagging from the comm worker's side: if the worker thread
+        // unwinds mid-collective, its transport drop tells the group.
+        if std::thread::panicking() {
+            self.panicked.store(true, Ordering::SeqCst);
+        }
+    }
+}
+
+impl Transport for ThreadTransport {
     fn rank(&self) -> usize {
         self.rank
     }
@@ -355,7 +412,7 @@ impl Transport for ThreadCommunicator {
             });
         }
         let bytes = msg.payload_bytes();
-        self.bytes_sent += bytes;
+        self.bytes_sent.fetch_add(bytes, Ordering::SeqCst);
         if self.recorder.enabled() {
             self.recorder.add(keys::COMM_BYTES_SENT, bytes);
         }
@@ -403,6 +460,16 @@ impl Transport for ThreadCommunicator {
     }
 }
 
+impl WorkerTransport for ThreadTransport {
+    fn recorder(&self) -> &RecorderHandle {
+        &self.recorder
+    }
+
+    fn set_recorder(&mut self, recorder: RecorderHandle) {
+        self.recorder = recorder;
+    }
+}
+
 impl ThreadCommunicator {
     /// This worker's rank in `[0, world_size)`.
     ///
@@ -418,23 +485,28 @@ impl ThreadCommunicator {
         self.world_size
     }
 
-    /// Emits per-collective telemetry: one [`keys::COMM_CALLS`] tick, a
-    /// latency observation under `key`, and a span on this rank's track.
-    fn record_collective(&self, name: &'static str, key: &str, start_us: u64) {
-        if !self.recorder.enabled() {
-            return;
+    /// Runs one collective to completion: inline on the transport before
+    /// a worker exists, or as submit-and-wait once one is running (so a
+    /// blocking call can never overtake dispatched operations).
+    fn run_op(&mut self, op: CollectiveOp) -> Result<CollectiveResult, CommError> {
+        match (&self.worker, self.inner.as_mut()) {
+            (Some(worker), _) => worker.submit(op).wait(),
+            (None, Some(transport)) => execute_collective(transport, op),
+            // Unreachable: the transport only leaves when a worker spawns.
+            (None, None) => Err(CommError::WorkerPanicked),
         }
-        let end_us = self.recorder.now_us();
-        self.recorder.add(keys::COMM_CALLS, 1);
-        self.recorder
-            .observe(key, end_us.saturating_sub(start_us) as f64);
-        self.recorder.span(Span {
-            name,
-            cat: keys::CAT_COMM,
-            track: self.rank as u64,
-            start_us,
-            end_us,
-        });
+    }
+
+    /// Spawns the comm worker on first use, moving the transport into it.
+    fn ensure_worker(&mut self) -> &CommWorker {
+        if self.worker.is_none() {
+            let transport = self
+                .inner
+                .take()
+                .expect("transport is present until the worker takes it");
+            self.worker = Some(CommWorker::spawn(transport));
+        }
+        self.worker.as_ref().expect("worker just spawned")
     }
 
     /// Simultaneously sends `send` to `peer` and receives their buffer of
@@ -446,7 +518,11 @@ impl ThreadCommunicator {
     ///
     /// Returns an error on disconnect or mismatched lengths.
     pub fn send_recv_f32(&mut self, peer: usize, send: &[f32]) -> Result<Vec<f32>, CommError> {
-        ring::send_recv_f32(self, peer, send)
+        self.run_op(CollectiveOp::SendRecvF32 {
+            peer,
+            send: send.to_vec(),
+        })?
+        .into_f32()
     }
 
     /// Latency-optimal all-reduce by recursive doubling: `⌈log₂ p⌉` rounds
@@ -465,10 +541,14 @@ impl ThreadCommunicator {
         buf: &mut [f32],
         op: ReduceOp,
     ) -> Result<(), CommError> {
-        let start_us = self.recorder.now_us();
-        let result = ring::all_reduce_recursive_doubling(self, buf, op);
-        self.record_collective("all_reduce_rd", keys::COMM_ALL_REDUCE_US, start_us);
-        result
+        let out = self
+            .run_op(CollectiveOp::AllReduceRd {
+                buf: buf.to_vec(),
+                op,
+            })?
+            .into_f32()?;
+        buf.copy_from_slice(&out);
+        Ok(())
     }
 }
 
@@ -482,45 +562,58 @@ impl Communicator for ThreadCommunicator {
     }
 
     fn all_reduce(&mut self, buf: &mut [f32], op: ReduceOp) -> Result<(), CommError> {
-        let start_us = self.recorder.now_us();
-        let result = ring::all_reduce(self, buf, op);
-        self.record_collective("all_reduce", keys::COMM_ALL_REDUCE_US, start_us);
-        result
+        let out = self
+            .run_op(CollectiveOp::AllReduce {
+                buf: buf.to_vec(),
+                op,
+            })?
+            .into_f32()?;
+        buf.copy_from_slice(&out);
+        Ok(())
     }
 
     fn all_gather_f32(&mut self, send: &[f32]) -> Result<Vec<f32>, CommError> {
-        let start_us = self.recorder.now_us();
-        let result = ring::all_gather_f32(self, send);
-        self.record_collective("all_gather_f32", keys::COMM_ALL_GATHER_US, start_us);
-        result
+        self.run_op(CollectiveOp::AllGatherF32 {
+            send: send.to_vec(),
+        })?
+        .into_f32()
     }
 
     fn all_gather_u32(&mut self, send: &[u32]) -> Result<Vec<u32>, CommError> {
-        let start_us = self.recorder.now_us();
-        let result = ring::all_gather_u32(self, send);
-        self.record_collective("all_gather_u32", keys::COMM_ALL_GATHER_US, start_us);
-        result
+        self.run_op(CollectiveOp::AllGatherU32 {
+            send: send.to_vec(),
+        })?
+        .into_u32()
     }
 
     fn broadcast(&mut self, buf: &mut [f32], root: usize) -> Result<(), CommError> {
-        let start_us = self.recorder.now_us();
-        let result = ring::broadcast(self, buf, root);
-        self.record_collective("broadcast", keys::COMM_BROADCAST_US, start_us);
-        result
+        let out = self
+            .run_op(CollectiveOp::Broadcast {
+                buf: buf.to_vec(),
+                root,
+            })?
+            .into_f32()?;
+        buf.copy_from_slice(&out);
+        Ok(())
     }
 
     fn barrier(&mut self) -> Result<(), CommError> {
         // Untimed: barriers move no payload, and timing them would skew the
         // communication series with pure synchronization waits.
-        ring::barrier(self)
+        self.run_op(CollectiveOp::Barrier).map(|_| ())
     }
 
     fn bytes_sent(&self) -> u64 {
-        self.bytes_sent
+        self.bytes_sent.load(Ordering::SeqCst)
     }
 
     fn set_recorder(&mut self, recorder: RecorderHandle) {
-        self.recorder = recorder;
+        self.recorder = Arc::clone(&recorder);
+        match (&self.worker, self.inner.as_mut()) {
+            (Some(worker), _) => worker.set_recorder(recorder),
+            (None, Some(transport)) => transport.recorder = recorder,
+            (None, None) => {}
+        }
     }
 
     fn global_topk(
@@ -529,10 +622,16 @@ impl Communicator for ThreadCommunicator {
         values: &[f32],
         k: usize,
     ) -> Result<(Vec<u32>, Vec<f32>), CommError> {
-        let start_us = self.recorder.now_us();
-        let result = ring::global_topk_butterfly(self, indices, values, k);
-        self.record_collective("global_topk", keys::COMM_GLOBAL_TOPK_US, start_us);
-        result
+        self.run_op(CollectiveOp::GlobalTopk {
+            indices: indices.to_vec(),
+            values: values.to_vec(),
+            k,
+        })?
+        .into_sparse()
+    }
+
+    fn dispatch(&mut self, op: CollectiveOp) -> PendingOp {
+        self.ensure_worker().submit(op)
     }
 }
 
@@ -563,17 +662,28 @@ impl ThreadGroup {
         inboxes
             .into_iter()
             .enumerate()
-            .map(|(rank, inbox)| ThreadCommunicator {
-                rank,
-                world_size,
-                peers: senders.clone(),
-                inbox,
-                pending: (0..world_size)
-                    .map(|_| std::collections::VecDeque::new())
-                    .collect(),
-                panicked: Arc::clone(&panicked),
-                bytes_sent: 0,
-                recorder: noop(),
+            .map(|(rank, inbox)| {
+                let bytes_sent = Arc::new(AtomicU64::new(0));
+                ThreadCommunicator {
+                    rank,
+                    world_size,
+                    inner: Some(ThreadTransport {
+                        rank,
+                        world_size,
+                        peers: senders.clone(),
+                        inbox,
+                        pending: (0..world_size)
+                            .map(|_| std::collections::VecDeque::new())
+                            .collect(),
+                        panicked: Arc::clone(&panicked),
+                        bytes_sent: Arc::clone(&bytes_sent),
+                        recorder: noop(),
+                    }),
+                    worker: None,
+                    panicked: Arc::clone(&panicked),
+                    bytes_sent,
+                    recorder: noop(),
+                }
             })
             .collect()
     }
@@ -1030,5 +1140,122 @@ mod tests {
                 .any(|(_, r)| matches!(r, Err(CommError::WorkerPanicked))),
             "no survivor observed the panic flag: {errors:?}"
         );
+    }
+
+    #[test]
+    fn dispatched_all_reduce_is_bit_exact_with_blocking() {
+        let p = 4;
+        let inputs = random_inputs(p, 97, 123);
+        let blocking = ThreadGroup::run(p, |mut comm| {
+            let mut buf = inputs[comm.rank()].clone();
+            comm.all_reduce(&mut buf, ReduceOp::Mean).unwrap();
+            buf
+        });
+        let dispatched = ThreadGroup::run(p, |mut comm| {
+            let pending = comm.all_reduce_start(inputs[comm.rank()].clone(), ReduceOp::Mean);
+            pending.wait().unwrap().into_f32().unwrap()
+        });
+        for (a, b) in blocking.iter().zip(&dispatched) {
+            assert_eq!(
+                a.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                b.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            );
+        }
+    }
+
+    #[test]
+    fn multiple_in_flight_ops_complete_in_fifo_order() {
+        let p = 3;
+        let results = ThreadGroup::run(p, |mut comm| {
+            let r = comm.rank();
+            let ops = vec![
+                comm.dispatch(CollectiveOp::AllReduce {
+                    buf: vec![r as f32; 5],
+                    op: ReduceOp::Sum,
+                }),
+                comm.dispatch(CollectiveOp::AllGatherU32 {
+                    send: vec![r as u32],
+                }),
+                comm.dispatch(CollectiveOp::AllReduce {
+                    buf: vec![1.0; 2],
+                    op: ReduceOp::Sum,
+                }),
+            ];
+            crate::nonblocking::wait_all(ops).unwrap()
+        });
+        for out in results {
+            assert_eq!(out[0], CollectiveResult::F32(vec![3.0; 5]));
+            assert_eq!(out[1], CollectiveResult::U32(vec![0, 1, 2]));
+            assert_eq!(out[2], CollectiveResult::F32(vec![3.0; 2]));
+        }
+    }
+
+    #[test]
+    fn blocking_calls_after_dispatch_route_through_the_worker() {
+        // Once a worker exists, a blocking collective must queue behind
+        // the dispatched ones rather than race them on the transport.
+        let p = 4;
+        let results = ThreadGroup::run(p, |mut comm| {
+            let pending = comm.all_reduce_start(vec![comm.rank() as f32; 8], ReduceOp::Max);
+            let mut buf = vec![1.0f32; 4];
+            comm.all_reduce(&mut buf, ReduceOp::Sum).unwrap();
+            let first = pending.wait().unwrap().into_f32().unwrap();
+            (first, buf)
+        });
+        for (first, second) in results {
+            assert_eq!(first, vec![3.0; 8]);
+            assert_eq!(second, vec![4.0; 4]);
+        }
+    }
+
+    #[test]
+    fn wait_surfaces_structured_error_when_peer_dies() {
+        // A peer that panics with ops in flight must surface as a
+        // structured error at `wait`, never a hang.
+        let start = std::time::Instant::now();
+        let result = ThreadGroup::try_run(3, |mut comm| {
+            if comm.rank() == 1 {
+                std::thread::sleep(std::time::Duration::from_millis(30));
+                panic!("injected worker death");
+            }
+            let pending = comm.all_reduce_start(vec![comm.rank() as f32; 64], ReduceOp::Sum);
+            pending.wait().map(|_| ())
+        });
+        assert_eq!(result, Err(CommError::WorkerPanicked));
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(10),
+            "waiters blocked {:?} — panic flag not observed",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn local_communicator_dispatch_resolves_immediately() {
+        let mut comm = LocalCommunicator::new();
+        let pending = comm.all_reduce_start(vec![2.0, 3.0], ReduceOp::Mean);
+        assert_eq!(pending.wait().unwrap().into_f32().unwrap(), vec![2.0, 3.0]);
+        let pending = comm.dispatch(CollectiveOp::Barrier);
+        assert_eq!(pending.wait().unwrap(), CollectiveResult::Unit);
+    }
+
+    #[test]
+    fn telemetry_attached_after_worker_spawn_still_records() {
+        use acp_telemetry::InMemoryRecorder;
+        let recs: Vec<_> = (0..2).map(|_| Arc::new(InMemoryRecorder::new())).collect();
+        ThreadGroup::run(2, |mut comm| {
+            // Spawn the worker first, then attach the recorder.
+            comm.all_reduce_start(vec![1.0; 16], ReduceOp::Sum)
+                .wait()
+                .unwrap();
+            comm.set_recorder(recs[comm.rank()].clone());
+            comm.all_reduce_start(vec![1.0; 16], ReduceOp::Sum)
+                .wait()
+                .unwrap();
+        });
+        for rec in &recs {
+            assert_eq!(rec.counter(keys::COMM_CALLS), 1);
+            assert!(rec.counter(keys::COMM_BYTES_SENT) > 0);
+            assert_eq!(rec.spans().len(), 1);
+        }
     }
 }

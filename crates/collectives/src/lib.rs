@@ -40,6 +40,7 @@
 
 pub mod communicator;
 pub mod cost;
+pub mod nonblocking;
 pub mod ring;
 
 #[allow(deprecated)]
@@ -48,4 +49,7 @@ pub use communicator::{
     CommError, Communicator, LocalCommunicator, ReduceOp, ThreadCommunicator, ThreadGroup,
 };
 pub use cost::{AlphaBetaCost, ClusterCost, NetworkTier};
+pub use nonblocking::{
+    wait_all, CollectiveOp, CollectiveResult, CommWorker, PendingOp, TopkMode, WorkerTransport,
+};
 pub use ring::{Transport, WireMsg};

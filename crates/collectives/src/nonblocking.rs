@@ -1,0 +1,469 @@
+//! Non-blocking collectives: operation descriptors, pending-operation
+//! handles, and the per-rank comm worker thread.
+//!
+//! The blocking [`Communicator`] methods and the
+//! non-blocking `dispatch`/`wait` path execute the *same* generic
+//! [`ring`] algorithms — a blocking call is literally
+//! `dispatch` + [`PendingOp::wait`] once a worker is running — so the two
+//! paths are bit-exact with each other by construction, on every backend.
+//!
+//! A backend opts into the worker by implementing [`WorkerTransport`] and
+//! moving its transport state into [`CommWorker::spawn`]. The worker owns
+//! the transport, drains submitted operations strictly in FIFO order (so
+//! the SPMD contract — every rank issues the same collectives in the same
+//! order — is preserved no matter how many operations are in flight), and
+//! replies through the per-operation channel a [`PendingOp`] wraps.
+//!
+//! Error propagation is structured end to end: a ring algorithm error is
+//! sent through the reply channel and surfaces at [`PendingOp::wait`]; a
+//! worker that dies drops the reply sender, which `wait` maps to
+//! [`CommError::WorkerPanicked`]. Transport deadlines bound every receive,
+//! so `wait` never hangs on a dead peer.
+
+use acp_telemetry::{keys, RecorderHandle, Span};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use crate::communicator::{CommError, Communicator, ReduceOp};
+use crate::ring::{self, Transport};
+
+/// One collective operation, with its input payload moved in.
+///
+/// Inputs are owned (`Vec`, not slices) so an operation can be shipped to
+/// the comm worker thread while the caller keeps computing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CollectiveOp {
+    /// Element-wise reduction of `buf` across ranks; resolves to
+    /// [`CollectiveResult::F32`] with the reduced buffer.
+    AllReduce {
+        /// This rank's contribution; consumed by the operation.
+        buf: Vec<f32>,
+        /// Reduction operator.
+        op: ReduceOp,
+    },
+    /// Latency-optimal recursive-doubling all-reduce (butterfly); resolves
+    /// to [`CollectiveResult::F32`]. Requires a transport whose topology
+    /// supports arbitrary pairwise exchange.
+    AllReduceRd {
+        /// This rank's contribution; consumed by the operation.
+        buf: Vec<f32>,
+        /// Reduction operator.
+        op: ReduceOp,
+    },
+    /// Rank-order concatenation of every rank's `send`; resolves to
+    /// [`CollectiveResult::F32`] of `world_size * send.len()` elements.
+    AllGatherF32 {
+        /// This rank's contribution.
+        send: Vec<f32>,
+    },
+    /// [`CollectiveOp::AllGatherF32`] for `u32` payloads; resolves to
+    /// [`CollectiveResult::U32`].
+    AllGatherU32 {
+        /// This rank's contribution.
+        send: Vec<u32>,
+    },
+    /// Copies `buf` on `root` to every rank; resolves to
+    /// [`CollectiveResult::F32`] with the root's buffer.
+    Broadcast {
+        /// Payload on the root; sized-but-arbitrary elsewhere.
+        buf: Vec<f32>,
+        /// Originating rank.
+        root: usize,
+    },
+    /// Sparse all-reduce with top-k truncation; resolves to
+    /// [`CollectiveResult::Sparse`].
+    GlobalTopk {
+        /// This rank's sparse coordinate indices.
+        indices: Vec<u32>,
+        /// This rank's values, parallel to `indices`.
+        values: Vec<f32>,
+        /// Number of coordinates to keep globally.
+        k: usize,
+    },
+    /// Pairwise exchange with `peer` (both sides must submit it); resolves
+    /// to [`CollectiveResult::F32`] with the peer's buffer.
+    SendRecvF32 {
+        /// The partner rank.
+        peer: usize,
+        /// This rank's outgoing buffer.
+        send: Vec<f32>,
+    },
+    /// Synchronization point; resolves to [`CollectiveResult::Unit`].
+    Barrier,
+}
+
+/// The typed result a completed [`CollectiveOp`] resolves to.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CollectiveResult {
+    /// Dense `f32` payload (all-reduce, all-gather, broadcast, exchange).
+    F32(Vec<f32>),
+    /// Dense `u32` payload (all-gather of indices or bit-packed signs).
+    U32(Vec<u32>),
+    /// Sparse (indices, values) pair from the gTop-k collective.
+    Sparse(Vec<u32>, Vec<f32>),
+    /// No payload (barrier).
+    Unit,
+}
+
+impl CollectiveResult {
+    /// Unwraps an `F32` result.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CommError::ProtocolMismatch`] if the result holds a
+    /// different payload type.
+    pub fn into_f32(self) -> Result<Vec<f32>, CommError> {
+        match self {
+            CollectiveResult::F32(v) => Ok(v),
+            _ => Err(CommError::ProtocolMismatch),
+        }
+    }
+
+    /// Unwraps a `U32` result.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CommError::ProtocolMismatch`] if the result holds a
+    /// different payload type.
+    pub fn into_u32(self) -> Result<Vec<u32>, CommError> {
+        match self {
+            CollectiveResult::U32(v) => Ok(v),
+            _ => Err(CommError::ProtocolMismatch),
+        }
+    }
+
+    /// Unwraps a `Sparse` result.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CommError::ProtocolMismatch`] if the result holds a
+    /// different payload type.
+    pub fn into_sparse(self) -> Result<(Vec<u32>, Vec<f32>), CommError> {
+        match self {
+            CollectiveResult::Sparse(i, v) => Ok((i, v)),
+            _ => Err(CommError::ProtocolMismatch),
+        }
+    }
+}
+
+enum PendingState {
+    /// Resolved at dispatch time (synchronous default path).
+    Ready(Result<CollectiveResult, CommError>),
+    /// In flight on a comm worker; resolved by the reply channel.
+    InFlight(Receiver<Result<CollectiveResult, CommError>>),
+}
+
+/// Handle to a dispatched collective; redeem it with [`PendingOp::wait`].
+///
+/// Dropping a handle without waiting abandons the *result*, not the
+/// operation: the comm worker still executes it (the SPMD order across
+/// ranks is unaffected), and its reply is discarded.
+#[must_use = "a dispatched collective completes at `wait`; dropping the handle discards its result"]
+pub struct PendingOp {
+    state: PendingState,
+}
+
+impl std::fmt::Debug for PendingOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = match &self.state {
+            PendingState::Ready(_) => "ready",
+            PendingState::InFlight(_) => "in-flight",
+        };
+        f.debug_struct("PendingOp").field("state", &state).finish()
+    }
+}
+
+impl PendingOp {
+    /// Wraps an already-computed result — the synchronous default path of
+    /// [`Communicator::dispatch`], used by backends without a comm worker.
+    pub fn ready(result: Result<CollectiveResult, CommError>) -> Self {
+        PendingOp {
+            state: PendingState::Ready(result),
+        }
+    }
+
+    pub(crate) fn in_flight(rx: Receiver<Result<CollectiveResult, CommError>>) -> Self {
+        PendingOp {
+            state: PendingState::InFlight(rx),
+        }
+    }
+
+    /// Blocks until the operation completes and returns its result.
+    ///
+    /// Never hangs: transport deadlines bound every receive inside the
+    /// collective, so a dead or straggling peer surfaces as a structured
+    /// error ([`CommError::Timeout`], [`CommError::PeerDisconnected`],
+    /// [`CommError::WorkerPanicked`]) within the transport's timeout.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the collective's error; a comm worker that died before
+    /// replying surfaces as [`CommError::WorkerPanicked`].
+    pub fn wait(self) -> Result<CollectiveResult, CommError> {
+        match self.state {
+            PendingState::Ready(result) => result,
+            // A dropped reply sender means the worker thread is gone.
+            PendingState::InFlight(rx) => rx.recv().unwrap_or(Err(CommError::WorkerPanicked)),
+        }
+    }
+}
+
+/// Waits for every handle in submission order and collects the results.
+///
+/// # Errors
+///
+/// Returns the first error encountered; remaining handles are dropped
+/// (their operations still complete on the worker, results discarded).
+pub fn wait_all(
+    ops: impl IntoIterator<Item = PendingOp>,
+) -> Result<Vec<CollectiveResult>, CommError> {
+    ops.into_iter().map(PendingOp::wait).collect()
+}
+
+/// Which global top-k algorithm a transport's topology supports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TopkMode {
+    /// The `O(k log p)` recursive-doubling merge (needs arbitrary pairs).
+    #[default]
+    Butterfly,
+    /// Exact gather-and-truncate over two ring all-gathers (ring-only
+    /// topologies).
+    GatherTruncate,
+}
+
+/// A point-to-point transport that can be moved into a [`CommWorker`].
+///
+/// Extends [`Transport`] with the per-backend hooks the worker needs to
+/// execute collectives exactly as the backend's blocking path would:
+/// telemetry wiring, pre-collective fault hooks, and topology-dependent
+/// algorithm selection.
+pub trait WorkerTransport: Transport + Send {
+    /// The telemetry recorder collective latencies and spans go to.
+    fn recorder(&self) -> &RecorderHandle;
+
+    /// Replaces the telemetry recorder (delivered to a running worker via
+    /// [`CommWorker::set_recorder`]).
+    fn set_recorder(&mut self, recorder: RecorderHandle);
+
+    /// Called at the top of every collective (fault-injection hook; the
+    /// TCP backend applies its straggler delay here).
+    fn prepare(&mut self) {}
+
+    /// Which global top-k algorithm this transport runs.
+    fn topk_mode(&self) -> TopkMode {
+        TopkMode::Butterfly
+    }
+}
+
+/// Emits the per-collective telemetry triple every backend records: one
+/// [`keys::COMM_CALLS`] tick, a latency observation under `key`, and a
+/// span on `track`'s timeline.
+fn record_collective(
+    rec: &RecorderHandle,
+    track: u64,
+    name: &'static str,
+    key: &'static str,
+    start_us: u64,
+) {
+    if !rec.enabled() {
+        return;
+    }
+    let end_us = rec.now_us();
+    rec.add(keys::COMM_CALLS, 1);
+    rec.observe(key, end_us.saturating_sub(start_us) as f64);
+    rec.span(Span {
+        name,
+        cat: keys::CAT_COMM,
+        track,
+        start_us,
+        end_us,
+    });
+}
+
+/// Exact global top-k over two all-gathers: sum contributions per
+/// coordinate, keep the `k` largest magnitudes (the [`Communicator`]
+/// trait's default algorithm, shared here with ring-topology transports).
+fn gather_truncate_topk<T: Transport + ?Sized>(
+    t: &mut T,
+    indices: &[u32],
+    values: &[f32],
+    k: usize,
+) -> Result<(Vec<u32>, Vec<f32>), CommError> {
+    let gathered_idx = ring::all_gather_u32(t, indices)?;
+    let gathered_val = ring::all_gather_f32(t, values)?;
+    let mut map = std::collections::BTreeMap::new();
+    for (&i, &v) in gathered_idx.iter().zip(&gathered_val) {
+        *map.entry(i).or_insert(0.0f32) += v;
+    }
+    Ok(ring::truncate_topk(map, k))
+}
+
+/// Runs one collective on a transport, with the same telemetry the
+/// blocking [`Communicator`] methods emit (barrier and pairwise exchange
+/// stay untimed — they move no accountable payload).
+///
+/// This is *the* execution path for worker-backed communicators, used by
+/// both their blocking methods and their dispatched operations.
+///
+/// # Errors
+///
+/// Propagates the ring algorithm's structured [`CommError`].
+pub fn execute_collective<T: WorkerTransport + ?Sized>(
+    t: &mut T,
+    op: CollectiveOp,
+) -> Result<CollectiveResult, CommError> {
+    t.prepare();
+    let rec = t.recorder().clone();
+    let track = t.rank() as u64;
+    let start_us = rec.now_us();
+    let (name, key, result) = match op {
+        CollectiveOp::AllReduce { mut buf, op } => (
+            "all_reduce",
+            keys::COMM_ALL_REDUCE_US,
+            ring::all_reduce(t, &mut buf, op).map(|()| CollectiveResult::F32(buf)),
+        ),
+        CollectiveOp::AllReduceRd { mut buf, op } => (
+            "all_reduce_rd",
+            keys::COMM_ALL_REDUCE_US,
+            ring::all_reduce_recursive_doubling(t, &mut buf, op)
+                .map(|()| CollectiveResult::F32(buf)),
+        ),
+        CollectiveOp::AllGatherF32 { send } => (
+            "all_gather_f32",
+            keys::COMM_ALL_GATHER_US,
+            ring::all_gather_f32(t, &send).map(CollectiveResult::F32),
+        ),
+        CollectiveOp::AllGatherU32 { send } => (
+            "all_gather_u32",
+            keys::COMM_ALL_GATHER_US,
+            ring::all_gather_u32(t, &send).map(CollectiveResult::U32),
+        ),
+        CollectiveOp::Broadcast { mut buf, root } => (
+            "broadcast",
+            keys::COMM_BROADCAST_US,
+            ring::broadcast(t, &mut buf, root).map(|()| CollectiveResult::F32(buf)),
+        ),
+        CollectiveOp::GlobalTopk { indices, values, k } => (
+            "global_topk",
+            keys::COMM_GLOBAL_TOPK_US,
+            match t.topk_mode() {
+                TopkMode::Butterfly => ring::global_topk_butterfly(t, &indices, &values, k),
+                TopkMode::GatherTruncate => gather_truncate_topk(t, &indices, &values, k),
+            }
+            .map(|(i, v)| CollectiveResult::Sparse(i, v)),
+        ),
+        CollectiveOp::SendRecvF32 { peer, send } => {
+            return ring::send_recv_f32(t, peer, &send).map(CollectiveResult::F32);
+        }
+        CollectiveOp::Barrier => {
+            return ring::barrier(t).map(|()| CollectiveResult::Unit);
+        }
+    };
+    record_collective(&rec, track, name, key, start_us);
+    result
+}
+
+/// Runs one collective through a communicator's *blocking* trait methods —
+/// the synchronous fallback behind [`Communicator::dispatch`]'s default
+/// implementation, for backends without a comm worker.
+///
+/// # Errors
+///
+/// Propagates the blocking collective's error. [`CollectiveOp::AllReduceRd`]
+/// and [`CollectiveOp::SendRecvF32`] need transport-level pairwise exchange
+/// and surface [`CommError::ProtocolMismatch`] here.
+pub fn execute_via_blocking<C: Communicator + ?Sized>(
+    comm: &mut C,
+    op: CollectiveOp,
+) -> Result<CollectiveResult, CommError> {
+    match op {
+        CollectiveOp::AllReduce { mut buf, op } => {
+            comm.all_reduce(&mut buf, op)?;
+            Ok(CollectiveResult::F32(buf))
+        }
+        CollectiveOp::AllGatherF32 { send } => {
+            comm.all_gather_f32(&send).map(CollectiveResult::F32)
+        }
+        CollectiveOp::AllGatherU32 { send } => {
+            comm.all_gather_u32(&send).map(CollectiveResult::U32)
+        }
+        CollectiveOp::Broadcast { mut buf, root } => {
+            comm.broadcast(&mut buf, root)?;
+            Ok(CollectiveResult::F32(buf))
+        }
+        CollectiveOp::GlobalTopk { indices, values, k } => comm
+            .global_topk(&indices, &values, k)
+            .map(|(i, v)| CollectiveResult::Sparse(i, v)),
+        CollectiveOp::Barrier => {
+            comm.barrier()?;
+            Ok(CollectiveResult::Unit)
+        }
+        CollectiveOp::AllReduceRd { .. } | CollectiveOp::SendRecvF32 { .. } => {
+            Err(CommError::ProtocolMismatch)
+        }
+    }
+}
+
+enum WorkerMsg {
+    Op {
+        op: CollectiveOp,
+        reply: Sender<Result<CollectiveResult, CommError>>,
+    },
+    SetRecorder(RecorderHandle),
+}
+
+/// Handle to a per-rank comm worker thread that owns a transport and
+/// drains submitted collectives in FIFO order.
+///
+/// Dropping the handle closes the submission channel; the worker finishes
+/// in-flight operations, then exits and drops the transport (releasing its
+/// links/channels, which is what peers observe as a clean departure).
+pub struct CommWorker {
+    tx: Sender<WorkerMsg>,
+}
+
+impl std::fmt::Debug for CommWorker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CommWorker").finish_non_exhaustive()
+    }
+}
+
+impl CommWorker {
+    /// Moves `transport` into a new worker thread and returns the
+    /// submission handle.
+    pub fn spawn<T: WorkerTransport + 'static>(mut transport: T) -> CommWorker {
+        let (tx, rx) = unbounded::<WorkerMsg>();
+        std::thread::Builder::new()
+            .name(format!("acp-comm-{}", transport.rank()))
+            .spawn(move || {
+                while let Ok(msg) = rx.recv() {
+                    match msg {
+                        WorkerMsg::Op { op, reply } => {
+                            let result = execute_collective(&mut transport, op);
+                            // The submitter may have dropped its handle;
+                            // the operation still ran, keeping SPMD order.
+                            let _ = reply.send(result);
+                        }
+                        WorkerMsg::SetRecorder(recorder) => transport.set_recorder(recorder),
+                    }
+                }
+            })
+            .expect("spawn comm worker thread");
+        CommWorker { tx }
+    }
+
+    /// Enqueues one collective and returns its handle.
+    pub fn submit(&self, op: CollectiveOp) -> PendingOp {
+        let (reply, rx) = unbounded();
+        match self.tx.send(WorkerMsg::Op { op, reply }) {
+            Ok(()) => PendingOp::in_flight(rx),
+            // The worker is gone; resolve immediately instead of hanging.
+            Err(_) => PendingOp::ready(Err(CommError::WorkerPanicked)),
+        }
+    }
+
+    /// Forwards a recorder swap to the worker (applied after the
+    /// operations already in its queue, like any other submission).
+    pub fn set_recorder(&self, recorder: RecorderHandle) {
+        let _ = self.tx.send(WorkerMsg::SetRecorder(recorder));
+    }
+}

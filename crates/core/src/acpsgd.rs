@@ -1,14 +1,14 @@
 //! The ACP-SGD distributed aggregator: **one** fused all-reduce per step
 //! (Algorithms 1–2 wired to a real communicator).
 
-use acp_collectives::{Communicator, ReduceOp};
+use acp_collectives::{CollectiveOp, CollectiveResult, Communicator, ReduceOp};
 use acp_compression::acp::{AcpSgd, AcpSgdConfig as AcpCompressionConfig, FactorSide};
 use acp_telemetry::{RecorderCell, RecorderHandle};
 use acp_tensor::{Matrix, MatrixShape};
 
 use crate::error::CoreError;
-use crate::fusion::FlatPacker;
-use crate::optimizer::{check_shapes, record_step_metrics, DistributedOptimizer, GradViewMut};
+use crate::optimizer::{DistributedOptimizer, GradViewMut};
+use crate::pipeline::{run_step, Bucket, BucketCodec, FusedPipeline, Round, DEFAULT_BUFFER_BYTES};
 
 /// Configuration of [`AcpSgdAggregator`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -28,6 +28,8 @@ pub struct AcpSgdConfig {
     /// warm start of PyTorch's PowerSGD hook, which avoids compressing the
     /// large, fast-changing early-training gradients.
     pub warm_start_steps: u64,
+    /// Tensor-fusion buffer capacity in bytes (0 disables fusion).
+    pub buffer_bytes: usize,
 }
 
 impl Default for AcpSgdConfig {
@@ -38,6 +40,7 @@ impl Default for AcpSgdConfig {
             reuse: true,
             seed: 42,
             warm_start_steps: 0,
+            buffer_bytes: DEFAULT_BUFFER_BYTES,
         }
     }
 }
@@ -72,6 +75,12 @@ impl AcpSgdConfig {
         self.warm_start_steps = steps;
         self
     }
+
+    /// Sets the tensor-fusion buffer capacity in bytes.
+    pub fn with_buffer_bytes(mut self, buffer_bytes: usize) -> Self {
+        self.buffer_bytes = buffer_bytes;
+        self
+    }
 }
 
 /// Per-tensor compression state.
@@ -86,14 +95,180 @@ enum LrState {
     Vector,
 }
 
+/// Per-bucket codec state: one [`LrState`] per tensor in the bucket, plus
+/// the local factors in flight between `encode` and `decode`.
+#[derive(Debug)]
+struct AcpBucketState {
+    states: Vec<LrState>,
+    factors: Vec<Matrix>,
+}
+
+/// The ACP-SGD bucket codec: one fused mean all-reduce per bucket carrying
+/// this step's low-rank factors (matrices) and raw gradients (vectors).
+#[derive(Debug)]
+struct AcpCodec {
+    cfg: AcpSgdConfig,
+    /// Exact averaging this step (warm start)?
+    warm: bool,
+    buckets: Vec<Option<AcpBucketState>>,
+}
+
+impl AcpCodec {
+    fn state_for(&mut self, bucket: &Bucket) -> &mut AcpBucketState {
+        if self.buckets.len() <= bucket.index {
+            self.buckets.resize_with(bucket.index + 1, || None);
+        }
+        let cfg = self.cfg;
+        let tensors_start = bucket.tensors.start;
+        let dims = &bucket.dims;
+        self.buckets[bucket.index].get_or_insert_with(|| {
+            let states = dims
+                .iter()
+                .enumerate()
+                .map(|(slot, d)| match MatrixShape::from_tensor_shape(d) {
+                    MatrixShape::Matrix { rows, cols } => {
+                        // Seed by *global* tensor index so per-tensor random
+                        // streams are identical across ranks and independent
+                        // of the bucket layout.
+                        let i = tensors_start + slot;
+                        let ccfg = AcpCompressionConfig {
+                            rank: cfg.rank,
+                            error_feedback: cfg.error_feedback,
+                            reuse: cfg.reuse,
+                            seed: cfg.seed ^ (i as u64).wrapping_mul(0x9E3779B9),
+                            ..AcpCompressionConfig::default()
+                        };
+                        LrState::Matrix {
+                            rows,
+                            cols,
+                            state: AcpSgd::new(rows, cols, ccfg),
+                        }
+                    }
+                    MatrixShape::Vector { .. } => LrState::Vector,
+                })
+                .collect();
+            AcpBucketState {
+                states,
+                factors: Vec::new(),
+            }
+        })
+    }
+
+    fn total_error_norm(&self) -> f32 {
+        self.buckets
+            .iter()
+            .flatten()
+            .flat_map(|b| &b.states)
+            .map(|s| match s {
+                LrState::Matrix { state, .. } => state.error_norm(),
+                LrState::Vector => 0.0,
+            })
+            .sum()
+    }
+
+    fn next_side(&self) -> Option<FactorSide> {
+        self.buckets
+            .iter()
+            .flatten()
+            .flat_map(|b| &b.states)
+            .find_map(|s| match s {
+                LrState::Matrix { state, .. } => Some(state.next_side()),
+                LrState::Vector => None,
+            })
+    }
+}
+
+impl BucketCodec for AcpCodec {
+    fn encode(&mut self, bucket: &mut Bucket) -> Vec<CollectiveOp> {
+        if self.warm {
+            // Exact averaging during warm start; no compression state
+            // touched, so the fallback never perturbs the factor schedule.
+            bucket.payload_bytes += 4 * bucket.elems as u64;
+            return vec![CollectiveOp::AllReduce {
+                buf: std::mem::take(&mut bucket.data),
+                op: ReduceOp::Mean,
+            }];
+        }
+        let offsets = bucket.offsets.clone();
+        let data = std::mem::take(&mut bucket.data);
+        let st = self.state_for(bucket);
+        st.factors.clear();
+        // One fused payload: this step's factor per matrix, raw data per
+        // vector.
+        let mut buf = Vec::new();
+        for (slot, lr) in st.states.iter_mut().enumerate() {
+            let seg = &data[offsets[slot]..offsets[slot + 1]];
+            match lr {
+                LrState::Matrix { rows, cols, state } => {
+                    let m = Matrix::from_vec(*rows, *cols, seg.to_vec())
+                        .expect("shape checked against dims");
+                    let f = state.compress(&m);
+                    buf.extend_from_slice(f.as_slice());
+                    st.factors.push(f);
+                }
+                LrState::Vector => buf.extend_from_slice(seg),
+            }
+        }
+        bucket.payload_bytes += 4 * buf.len() as u64;
+        vec![CollectiveOp::AllReduce {
+            buf,
+            op: ReduceOp::Mean,
+        }]
+    }
+
+    fn decode(
+        &mut self,
+        bucket: &mut Bucket,
+        results: Vec<CollectiveResult>,
+    ) -> Result<Round, CoreError> {
+        let reduced = results
+            .into_iter()
+            .next()
+            .expect("one op per round")
+            .into_f32()
+            .map_err(CoreError::from)?;
+        if self.warm {
+            bucket.data = reduced;
+            return Ok(Round::Done);
+        }
+        let st = self.buckets[bucket.index]
+            .as_mut()
+            .expect("decode follows encode");
+        let mut out = vec![0.0f32; bucket.elems];
+        let mut factors = std::mem::take(&mut st.factors).into_iter();
+        let mut pos = 0usize;
+        for (slot, lr) in st.states.iter_mut().enumerate() {
+            let (start, end) = (bucket.offsets[slot], bucket.offsets[slot + 1]);
+            match lr {
+                LrState::Matrix { state, .. } => {
+                    let mut f_hat = factors.next().expect("factor per matrix");
+                    let n = f_hat.as_slice().len();
+                    f_hat.as_mut_slice().copy_from_slice(&reduced[pos..pos + n]);
+                    pos += n;
+                    let approx = state.finish(f_hat);
+                    out[start..end].copy_from_slice(approx.as_slice());
+                }
+                LrState::Vector => {
+                    let n = end - start;
+                    out[start..end].copy_from_slice(&reduced[pos..pos + n]);
+                    pos += n;
+                }
+            }
+        }
+        bucket.data = out;
+        Ok(Round::Done)
+    }
+}
+
 /// ACP-SGD aggregator over real collectives.
 ///
 /// Per step each matrix gradient is compressed into *one* low-rank factor
 /// (`P` on odd steps, `Q` on even steps); the factors and the uncompressed
-/// vector gradients are fused into a single mean all-reduce, after which
-/// every rank decompresses the identical `P Qᵀ` approximation. Exactly one
-/// non-blocking collective per step — the property that lets the paper
-/// apply WFBP and tensor fusion.
+/// vector gradients are fused into a single mean all-reduce per bucket,
+/// after which every rank decompresses the identical `P Qᵀ` approximation.
+/// Exactly one non-blocking collective per bucket per step — the property
+/// that lets the paper apply WFBP and tensor fusion, both available here
+/// through the shared [`FusedPipeline`].
 ///
 /// # Examples
 ///
@@ -101,9 +276,8 @@ enum LrState {
 #[derive(Debug)]
 pub struct AcpSgdAggregator {
     cfg: AcpSgdConfig,
-    states: Vec<LrState>,
-    shapes: Vec<Vec<usize>>,
-    packer: FlatPacker,
+    pipeline: FusedPipeline,
+    codec: AcpCodec,
     steps: u64,
     recorder: RecorderCell,
 }
@@ -114,9 +288,12 @@ impl AcpSgdAggregator {
     pub fn new(cfg: AcpSgdConfig) -> Self {
         AcpSgdAggregator {
             cfg,
-            states: Vec::new(),
-            shapes: Vec::new(),
-            packer: FlatPacker::new(),
+            pipeline: FusedPipeline::new(cfg.buffer_bytes),
+            codec: AcpCodec {
+                cfg,
+                warm: cfg.warm_start_steps > 0,
+                buckets: Vec::new(),
+            },
             steps: 0,
             recorder: RecorderCell::default(),
         }
@@ -135,48 +312,12 @@ impl AcpSgdAggregator {
     /// Which factor the next step will transmit (`None` before the first
     /// step or for models with no matrix parameters).
     pub fn next_side(&self) -> Option<FactorSide> {
-        self.states.iter().find_map(|s| match s {
-            LrState::Matrix { state, .. } => Some(state.next_side()),
-            LrState::Vector => None,
-        })
+        self.codec.next_side()
     }
 
     /// Sum of per-matrix error-feedback residual norms (diagnostics).
     pub fn total_error_norm(&self) -> f32 {
-        self.states
-            .iter()
-            .map(|s| match s {
-                LrState::Matrix { state, .. } => state.error_norm(),
-                LrState::Vector => 0.0,
-            })
-            .sum()
-    }
-
-    fn init_states(&mut self, grads: &[GradViewMut<'_>]) {
-        if !self.states.is_empty() {
-            return;
-        }
-        self.states = grads
-            .iter()
-            .enumerate()
-            .map(|(i, g)| match MatrixShape::from_tensor_shape(g.dims) {
-                MatrixShape::Matrix { rows, cols } => {
-                    let cfg = AcpCompressionConfig {
-                        rank: self.cfg.rank,
-                        error_feedback: self.cfg.error_feedback,
-                        reuse: self.cfg.reuse,
-                        seed: self.cfg.seed ^ (i as u64).wrapping_mul(0x9E3779B9),
-                        ..AcpCompressionConfig::default()
-                    };
-                    LrState::Matrix {
-                        rows,
-                        cols,
-                        state: AcpSgd::new(rows, cols, cfg),
-                    }
-                }
-                MatrixShape::Vector { .. } => LrState::Vector,
-            })
-            .collect();
+        self.codec.total_error_norm()
     }
 }
 
@@ -190,101 +331,47 @@ impl DistributedOptimizer for AcpSgdAggregator {
         grads: &mut [GradViewMut<'_>],
         comm: &mut dyn Communicator,
     ) -> Result<(), CoreError> {
-        check_shapes(&mut self.shapes, grads)?;
-        let enabled = self.recorder.enabled();
-        let step_start = self.recorder.now_us();
-        let dense_bytes: u64 = grads.iter().map(|g| 4 * g.grad.len() as u64).sum();
-        if self.in_warm_start() {
-            // Exact averaging during warm start (one fused all-reduce, no
-            // compression state touched).
-            self.packer.pack(grads.iter().map(|g| &*g.grad));
-            comm.all_reduce(self.packer.buffer_mut(), ReduceOp::Mean)?;
-            self.packer.unpack(grads.iter_mut().map(|g| &mut *g.grad));
-            self.steps += 1;
-            if enabled {
-                record_step_metrics(
-                    &*self.recorder,
-                    dense_bytes,
-                    dense_bytes,
-                    0,
-                    step_start,
-                    None,
-                );
-            }
-            return Ok(());
-        }
-        self.init_states(grads);
-        // Compress every matrix into this step's factor.
-        let compress_start = self.recorder.now_us();
-        let mut factors: Vec<Matrix> = Vec::new();
-        for (g, st) in grads.iter().zip(self.states.iter_mut()) {
-            if let LrState::Matrix { rows, cols, state } = st {
-                let m = Matrix::from_vec(*rows, *cols, g.grad.to_vec())
-                    .expect("shape checked against dims");
-                factors.push(state.compress(&m));
-            }
-        }
-        let mut compress_us = self.recorder.now_us().saturating_sub(compress_start);
-        // One fused mean all-reduce: factors + raw vector gradients.
-        {
-            let mut slices: Vec<&[f32]> = Vec::new();
-            let mut f_iter = factors.iter();
-            for (g, st) in grads.iter().zip(&self.states) {
-                match st {
-                    LrState::Matrix { .. } => {
-                        slices.push(f_iter.next().expect("factor per matrix").as_slice())
-                    }
-                    LrState::Vector => slices.push(g.grad),
-                }
-            }
-            self.packer.pack(slices);
-        }
-        let payload_bytes = 4 * self.packer.buffer_mut().len() as u64;
-        comm.all_reduce(self.packer.buffer_mut(), ReduceOp::Mean)?;
-        {
-            let mut dests: Vec<&mut [f32]> = Vec::new();
-            let mut f_iter = factors.iter_mut();
-            for (g, st) in grads.iter_mut().zip(&self.states) {
-                match st {
-                    LrState::Matrix { .. } => {
-                        dests.push(f_iter.next().expect("factor per matrix").as_mut_slice())
-                    }
-                    LrState::Vector => dests.push(g.grad),
-                }
-            }
-            self.packer.unpack(dests);
-        }
-        // Decompress with the aggregated factor.
-        let decompress_start = self.recorder.now_us();
-        let mut f_iter = factors.into_iter();
-        for (g, st) in grads.iter_mut().zip(self.states.iter_mut()) {
-            if let LrState::Matrix { state, .. } = st {
-                let f_hat = f_iter.next().expect("factor per matrix");
-                let approx = state.finish(f_hat);
-                g.grad.copy_from_slice(approx.as_slice());
-            }
-        }
-        compress_us += self.recorder.now_us().saturating_sub(decompress_start);
+        self.codec.warm = self.in_warm_start();
+        let warm = self.codec.warm;
+        let ef = self.cfg.error_feedback;
+        run_step(
+            &mut self.pipeline,
+            &mut self.codec,
+            &self.recorder,
+            grads,
+            comm,
+            |codec: &AcpCodec| (!warm && ef).then(|| codec.total_error_norm() as f64),
+        )?;
         self.steps += 1;
-        if enabled {
-            let residual = self
-                .cfg
-                .error_feedback
-                .then(|| self.total_error_norm() as f64);
-            record_step_metrics(
-                &*self.recorder,
-                dense_bytes,
-                payload_bytes,
-                compress_us,
-                step_start,
-                residual,
-            );
-        }
         Ok(())
     }
 
     fn set_recorder(&mut self, recorder: RecorderHandle) {
         self.recorder.set(recorder);
+    }
+
+    fn supports_overlap(&self) -> bool {
+        true
+    }
+
+    fn push_ready(
+        &mut self,
+        index: usize,
+        dims: &[usize],
+        grad: &[f32],
+        comm: &mut dyn Communicator,
+    ) -> Result<(), CoreError> {
+        self.codec.warm = self.in_warm_start();
+        self.pipeline
+            .push(&mut self.codec, index, dims, grad, comm, &*self.recorder)
+    }
+
+    fn finish_overlap(
+        &mut self,
+        grads: &mut [GradViewMut<'_>],
+        comm: &mut dyn Communicator,
+    ) -> Result<(), CoreError> {
+        self.aggregate(grads, comm)
     }
 }
 
@@ -498,6 +585,63 @@ mod tests {
         });
         for b in results {
             assert_eq!(b, vec![0.5; 4]);
+        }
+    }
+
+    #[test]
+    fn overlapped_pushes_match_blocking_bitwise() {
+        // WFBP-style pushes (reverse order, like backward) must produce
+        // bit-identical results to blocking aggregation across steps, even
+        // with tiny buckets and compression state in play.
+        let run = |overlapped: bool| {
+            ThreadGroup::run(3, move |mut comm| {
+                let cfg = AcpSgdConfig::default().with_rank(2).with_buffer_bytes(64);
+                let mut opt = AcpSgdAggregator::new(cfg);
+                let dims = [vec![4usize, 4], vec![6usize], vec![3usize, 5]];
+                let mut out = Vec::new();
+                for step in 0..4 {
+                    let r = comm.rank() as f32 + 1.0;
+                    let s = step as f32 + 1.0;
+                    let mut grads: Vec<Vec<f32>> = dims
+                        .iter()
+                        .enumerate()
+                        .map(|(t, d)| {
+                            let n: usize = d.iter().product();
+                            (0..n)
+                                .map(|i| ((i + t) as f32 * 0.37 * r + s).sin())
+                                .collect()
+                        })
+                        .collect();
+                    if overlapped {
+                        for i in (0..dims.len()).rev() {
+                            let g = grads[i].clone();
+                            opt.push_ready(i, &dims[i], &g, &mut comm).unwrap();
+                        }
+                        let mut views: Vec<GradViewMut<'_>> = dims
+                            .iter()
+                            .zip(grads.iter_mut())
+                            .map(|(d, g)| GradViewMut { dims: d, grad: g })
+                            .collect();
+                        opt.finish_overlap(&mut views, &mut comm).unwrap();
+                    } else {
+                        let mut views: Vec<GradViewMut<'_>> = dims
+                            .iter()
+                            .zip(grads.iter_mut())
+                            .map(|(d, g)| GradViewMut { dims: d, grad: g })
+                            .collect();
+                        opt.aggregate(&mut views, &mut comm).unwrap();
+                    }
+                    out = grads.concat();
+                }
+                out
+            })
+        };
+        let blocking = run(false);
+        let overlapped = run(true);
+        for (b, o) in blocking.iter().zip(&overlapped) {
+            for (x, y) in b.iter().zip(o) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
         }
     }
 }

@@ -1,5 +1,5 @@
 //! Deep Gradient Compression (Lin et al., ICLR 2018 — the paper's
-//! reference [19]): Top-k sparsification with the three techniques that
+//! reference \[19\]): Top-k sparsification with the three techniques that
 //! made aggressive sparsification train reliably:
 //!
 //! * **momentum correction** — accumulate local momentum *before*
@@ -12,15 +12,17 @@
 //!   coordinates to avoid double-counting and staleness.
 //!
 //! (Gradient clipping from the original recipe is exposed as an optional
-//! L2 clip on the incoming gradient.)
+//! L2 clip on the incoming gradient; with tensor fusion the clip applies
+//! per fusion bucket, which coincides with the global clip whenever the
+//! model fits one bucket — the default 25 MB buffer in practice.)
 
-use acp_collectives::Communicator;
+use acp_collectives::{CollectiveOp, CollectiveResult, Communicator};
 use acp_compression::{Compressor, Payload, TopK};
 use acp_telemetry::{RecorderCell, RecorderHandle};
 
 use crate::error::CoreError;
-use crate::fusion::FlatPacker;
-use crate::optimizer::{check_shapes, record_step_metrics, DistributedOptimizer, GradViewMut};
+use crate::optimizer::{DistributedOptimizer, GradViewMut};
+use crate::pipeline::{run_step, Bucket, BucketCodec, FusedPipeline, Round, DEFAULT_BUFFER_BYTES};
 
 /// Configuration for [`DgcAggregator`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -32,6 +34,8 @@ pub struct DgcConfig {
     /// Optional L2 clip applied to each incoming local gradient (None
     /// disables clipping).
     pub clip_norm: Option<f32>,
+    /// Tensor-fusion buffer capacity in bytes (0 disables fusion).
+    pub buffer_bytes: usize,
 }
 
 impl Default for DgcConfig {
@@ -40,6 +44,7 @@ impl Default for DgcConfig {
             density: 0.001,
             momentum: 0.9,
             clip_norm: None,
+            buffer_bytes: DEFAULT_BUFFER_BYTES,
         }
     }
 }
@@ -62,6 +67,117 @@ impl DgcConfig {
         self.clip_norm = clip_norm;
         self
     }
+
+    /// Sets the tensor-fusion buffer capacity in bytes.
+    pub fn with_buffer_bytes(mut self, buffer_bytes: usize) -> Self {
+        self.buffer_bytes = buffer_bytes;
+        self
+    }
+}
+
+/// Per-bucket DGC state: momentum-corrected velocity `u` and accumulated
+/// unsent gradient `v`.
+#[derive(Debug)]
+struct DgcBucketState {
+    velocity: Vec<f32>,
+    accum: Vec<f32>,
+}
+
+/// The DGC bucket codec: clip → momentum correction → accumulate → top-k of
+/// the accumulator → mask, one sparse all-gather pair per bucket.
+#[derive(Debug)]
+struct DgcCodec {
+    cfg: DgcConfig,
+    buckets: Vec<Option<DgcBucketState>>,
+}
+
+impl DgcCodec {
+    fn accumulated_norm(&self) -> f32 {
+        self.buckets
+            .iter()
+            .flatten()
+            .flat_map(|b| &b.accum)
+            .map(|v| v * v)
+            .sum::<f32>()
+            .sqrt()
+    }
+
+    #[cfg(test)]
+    fn accumulated_sum(&self) -> f32 {
+        self.buckets.iter().flatten().flat_map(|b| &b.accum).sum()
+    }
+}
+
+impl BucketCodec for DgcCodec {
+    fn encode(&mut self, bucket: &mut Bucket) -> Vec<CollectiveOp> {
+        let mut data = std::mem::take(&mut bucket.data);
+        let n = bucket.elems;
+        if self.buckets.len() <= bucket.index {
+            self.buckets.resize_with(bucket.index + 1, || None);
+        }
+        let st = self.buckets[bucket.index].get_or_insert_with(|| DgcBucketState {
+            velocity: vec![0.0; n],
+            accum: vec![0.0; n],
+        });
+        // Optional gradient clipping (DGC clips before accumulation).
+        if let Some(clip) = self.cfg.clip_norm {
+            let norm = data.iter().map(|v| v * v).sum::<f32>().sqrt();
+            if norm > clip {
+                let scale = clip / norm;
+                for v in &mut data {
+                    *v *= scale;
+                }
+            }
+        }
+        // Momentum correction + local accumulation.
+        for ((u, v), g) in st.velocity.iter_mut().zip(&mut st.accum).zip(&data) {
+            *u = self.cfg.momentum * *u + g;
+            *v += *u;
+        }
+        // Select top-k of the accumulated tensor.
+        let k = ((self.cfg.density * n as f64).ceil() as usize).clamp(1, n);
+        let payload = TopK::new(k).compress(&st.accum);
+        bucket.payload_bytes += payload.wire_bytes() as u64;
+        let (indices, values) = match payload {
+            Payload::Sparse {
+                indices, values, ..
+            } => (indices, values),
+            _ => unreachable!("TopK produces sparse payloads"),
+        };
+        // Momentum factor masking: clear u and v at transmitted coords.
+        for &i in &indices {
+            st.velocity[i as usize] = 0.0;
+            st.accum[i as usize] = 0.0;
+        }
+        // Aggregate the sparse selections (all-gather + scatter average,
+        // as in the reference implementation).
+        vec![
+            CollectiveOp::AllGatherU32 { send: indices },
+            CollectiveOp::AllGatherF32 { send: values },
+        ]
+    }
+
+    fn decode(
+        &mut self,
+        bucket: &mut Bucket,
+        results: Vec<CollectiveResult>,
+    ) -> Result<Round, CoreError> {
+        let mut results = results.into_iter();
+        let gathered_idx = results
+            .next()
+            .expect("two ops per round")
+            .into_u32()
+            .map_err(CoreError::from)?;
+        let gathered_val = results
+            .next()
+            .expect("two ops per round")
+            .into_f32()
+            .map_err(CoreError::from)?;
+        let mut dense = vec![0.0f32; bucket.elems];
+        TopK::scatter_average(&gathered_idx, &gathered_val, bucket.world_size, &mut dense);
+        bucket.data = dense;
+        Ok(Round::Done)
+    }
 }
 
 /// Deep-Gradient-Compression aggregator.
@@ -71,13 +187,8 @@ impl DgcConfig {
 /// momentum — the momentum lives inside the aggregator).
 #[derive(Debug)]
 pub struct DgcAggregator {
-    cfg: DgcConfig,
-    /// Momentum-corrected velocity `u` over the packed gradient.
-    velocity: Vec<f32>,
-    /// Accumulated unsent gradient `v`.
-    accum: Vec<f32>,
-    packer: FlatPacker,
-    shapes: Vec<Vec<usize>>,
+    pipeline: FusedPipeline,
+    codec: DgcCodec,
     recorder: RecorderCell,
 }
 
@@ -94,18 +205,18 @@ impl DgcAggregator {
         );
         assert!(cfg.momentum >= 0.0, "momentum must be non-negative");
         DgcAggregator {
-            cfg,
-            velocity: Vec::new(),
-            accum: Vec::new(),
-            packer: FlatPacker::new(),
-            shapes: Vec::new(),
+            pipeline: FusedPipeline::new(cfg.buffer_bytes),
+            codec: DgcCodec {
+                cfg,
+                buckets: Vec::new(),
+            },
             recorder: RecorderCell::default(),
         }
     }
 
     /// L2 norm of the accumulated unsent gradient (diagnostics).
     pub fn accumulated_norm(&self) -> f32 {
-        self.accum.iter().map(|v| v * v).sum::<f32>().sqrt()
+        self.codec.accumulated_norm()
     }
 }
 
@@ -119,80 +230,42 @@ impl DistributedOptimizer for DgcAggregator {
         grads: &mut [GradViewMut<'_>],
         comm: &mut dyn Communicator,
     ) -> Result<(), CoreError> {
-        check_shapes(&mut self.shapes, grads)?;
-        let enabled = self.recorder.enabled();
-        let step_start = self.recorder.now_us();
-        self.packer.pack(grads.iter().map(|g| &*g.grad));
-        let mut flat = self.packer.buffer_mut().to_vec();
-        let n = flat.len();
-        if self.velocity.len() != n {
-            self.velocity = vec![0.0; n];
-            self.accum = vec![0.0; n];
-        }
-        // Optional gradient clipping (DGC clips before accumulation).
-        if let Some(clip) = self.cfg.clip_norm {
-            let norm = flat.iter().map(|v| v * v).sum::<f32>().sqrt();
-            if norm > clip {
-                let scale = clip / norm;
-                for v in &mut flat {
-                    *v *= scale;
-                }
-            }
-        }
-        // Momentum correction + local accumulation.
-        for ((u, v), g) in self.velocity.iter_mut().zip(&mut self.accum).zip(&flat) {
-            *u = self.cfg.momentum * *u + g;
-            *v += *u;
-        }
-        // Select top-k of the accumulated tensor.
-        let k = ((self.cfg.density * n as f64).ceil() as usize).clamp(1, n);
-        let compress_start = self.recorder.now_us();
-        let mut selector = TopK::new(k);
-        let payload = selector.compress(&self.accum);
-        let mut compress_us = self.recorder.now_us().saturating_sub(compress_start);
-        let payload_bytes = payload.wire_bytes() as u64;
-        let (indices, values) = match payload {
-            Payload::Sparse {
-                indices, values, ..
-            } => (indices, values),
-            _ => unreachable!("TopK produces sparse payloads"),
-        };
-        // Momentum factor masking: clear u and v at transmitted coords.
-        for &i in &indices {
-            self.velocity[i as usize] = 0.0;
-            self.accum[i as usize] = 0.0;
-        }
-        // Aggregate the sparse selections (all-gather + scatter average,
-        // as in the reference implementation).
-        let gathered_idx = comm.all_gather_u32(&indices)?;
-        let gathered_val = comm.all_gather_f32(&values)?;
-        let scatter_start = self.recorder.now_us();
-        let mut dense = vec![0.0f32; n];
-        TopK::scatter_average(&gathered_idx, &gathered_val, comm.world_size(), &mut dense);
-        compress_us += self.recorder.now_us().saturating_sub(scatter_start);
-        let mut offset = 0usize;
-        for g in grads.iter_mut() {
-            let len = g.grad.len();
-            g.grad.copy_from_slice(&dense[offset..offset + len]);
-            offset += len;
-        }
-        if enabled {
+        run_step(
+            &mut self.pipeline,
+            &mut self.codec,
+            &self.recorder,
+            grads,
+            comm,
             // DGC's error feedback lives in the accumulated tensor.
-            let residual = Some(self.accumulated_norm() as f64);
-            record_step_metrics(
-                &*self.recorder,
-                4 * n as u64,
-                payload_bytes,
-                compress_us,
-                step_start,
-                residual,
-            );
-        }
-        Ok(())
+            |codec: &DgcCodec| Some(codec.accumulated_norm() as f64),
+        )
     }
 
     fn set_recorder(&mut self, recorder: RecorderHandle) {
         self.recorder.set(recorder);
+    }
+
+    fn supports_overlap(&self) -> bool {
+        true
+    }
+
+    fn push_ready(
+        &mut self,
+        index: usize,
+        dims: &[usize],
+        grad: &[f32],
+        comm: &mut dyn Communicator,
+    ) -> Result<(), CoreError> {
+        self.pipeline
+            .push(&mut self.codec, index, dims, grad, comm, &*self.recorder)
+    }
+
+    fn finish_overlap(
+        &mut self,
+        grads: &mut [GradViewMut<'_>],
+        comm: &mut dyn Communicator,
+    ) -> Result<(), CoreError> {
+        self.aggregate(grads, comm)
     }
 }
 
@@ -219,7 +292,7 @@ mod tests {
         let mut opt = DgcAggregator::new(DgcConfig {
             density: 0.5,
             momentum: 0.9,
-            clip_norm: None,
+            ..Default::default()
         });
         let mut comm = LocalCommunicator::new();
         let g1 = step(&mut opt, &mut comm, &[1.0, 0.0]);
@@ -236,7 +309,7 @@ mod tests {
         let mut opt = DgcAggregator::new(DgcConfig {
             density: 0.3, // k = ceil(0.9) = 1 of 3
             momentum: 0.0,
-            clip_norm: None,
+            ..Default::default()
         });
         let mut comm = LocalCommunicator::new();
         let grad = [1.0f32, 0.45, 0.0];
@@ -262,7 +335,7 @@ mod tests {
         let mut opt = DgcAggregator::new(DgcConfig {
             density: 0.5,
             momentum: 0.0,
-            clip_norm: None,
+            ..Default::default()
         });
         let mut comm = LocalCommunicator::new();
         let mut total = 0.0f32;
@@ -272,7 +345,7 @@ mod tests {
         }
         // True mass over 10 steps is 20; decoded total plus what remains
         // accumulated must equal it.
-        let remaining: f32 = opt.accum.iter().sum();
+        let remaining = opt.codec.accumulated_sum();
         assert!(
             (total + remaining - 20.0).abs() < 1e-4,
             "decoded {total} + pending {remaining} != 20"
@@ -285,6 +358,7 @@ mod tests {
             density: 1.0,
             momentum: 0.0,
             clip_norm: Some(1.0),
+            ..Default::default()
         });
         let mut comm = LocalCommunicator::new();
         let g = step(&mut opt, &mut comm, &[30.0, 40.0]);

@@ -19,6 +19,14 @@ pub enum CoreError {
         /// Shape seen now.
         actual: Vec<usize>,
     },
+    /// The *number* of gradient tensors changed between steps (a model was
+    /// rebuilt, or layers were frozen mid-training).
+    TensorCountChanged {
+        /// Tensor count seen at first aggregation.
+        expected: usize,
+        /// Tensor count seen now.
+        actual: usize,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -33,6 +41,10 @@ impl fmt::Display for CoreError {
                 f,
                 "gradient tensor {index} changed shape: expected {expected:?}, got {actual:?}"
             ),
+            CoreError::TensorCountChanged { expected, actual } => write!(
+                f,
+                "gradient tensor count changed: expected {expected}, got {actual}"
+            ),
         }
     }
 }
@@ -41,7 +53,7 @@ impl std::error::Error for CoreError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             CoreError::Collective(e) => Some(e),
-            CoreError::ShapeChanged { .. } => None,
+            CoreError::ShapeChanged { .. } | CoreError::TensorCountChanged { .. } => None,
         }
     }
 }
@@ -68,6 +80,13 @@ mod tests {
         }
         .to_string();
         assert!(s.contains("tensor 2"));
+        let s = CoreError::TensorCountChanged {
+            expected: 4,
+            actual: 3,
+        }
+        .to_string();
+        assert!(s.contains("expected 4"));
+        assert!(s.contains("got 3"));
     }
 
     #[test]

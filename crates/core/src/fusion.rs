@@ -182,4 +182,58 @@ mod tests {
         let mut d = vec![0.0f32; 2];
         p.unpack([d.as_mut_slice()]);
     }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// The ranges partition `0..len` in order for every capacity.
+            #[test]
+            fn ranges_partition_in_order(
+                sizes in proptest::collection::vec(1usize..100_000, 0..48),
+                capacity in 0usize..300_000,
+            ) {
+                let ranges = bucket_ranges(&sizes, capacity);
+                let mut next = 0usize;
+                for r in &ranges {
+                    prop_assert_eq!(r.start, next);
+                    prop_assert!(r.end > r.start, "empty bucket {:?}", r);
+                    next = r.end;
+                }
+                prop_assert_eq!(next, sizes.len());
+            }
+
+            /// With nonzero capacity every bucket fits, except a singleton
+            /// holding one oversize tensor.
+            #[test]
+            fn capacity_respected_except_oversize_singletons(
+                sizes in proptest::collection::vec(1usize..100_000, 1..48),
+                capacity in 1usize..300_000,
+            ) {
+                for r in bucket_ranges(&sizes, capacity) {
+                    let bytes: usize = sizes[r.start..r.end].iter().sum();
+                    prop_assert!(
+                        bytes <= capacity || r.len() == 1,
+                        "bucket {:?} holds {} bytes over capacity {}",
+                        r, bytes, capacity
+                    );
+                }
+            }
+
+            /// Capacity 0 disables fusion: one singleton bucket per tensor.
+            #[test]
+            fn zero_capacity_gives_singletons(
+                sizes in proptest::collection::vec(1usize..100_000, 0..48),
+            ) {
+                let ranges = bucket_ranges(&sizes, 0);
+                prop_assert_eq!(ranges.len(), sizes.len());
+                for (i, r) in ranges.into_iter().enumerate() {
+                    prop_assert_eq!(r, i..i + 1);
+                }
+            }
+        }
+    }
 }

@@ -1,19 +1,79 @@
-//! gTop-k SGD (Shi et al., ICDCS 2019 — the paper's reference [33]):
+//! gTop-k SGD (Shi et al., ICDCS 2019 — the paper's reference \[33\]):
 //! global top-k sparsification over the `O(k log p)` sparse all-reduce
 //! collective instead of Top-k's `O(k p)` all-gather.
 //!
 //! The paper's related-work section points at gTop-k as the
 //! sparse-communication fix for Top-k's all-gather scaling; this aggregator
-//! implements it over [`Communicator::global_topk`] so the scaling
-//! difference is measurable (see the `ext_scaling` experiment).
+//! implements it over the [`CollectiveOp::GlobalTopk`] collective so the
+//! scaling difference is measurable (see the `ext_scaling` experiment).
 
-use acp_collectives::Communicator;
+use acp_collectives::{CollectiveOp, CollectiveResult, Communicator};
 use acp_compression::{Compressor, ErrorFeedback, Payload, TopK};
 use acp_telemetry::{RecorderCell, RecorderHandle};
 
 use crate::error::CoreError;
-use crate::fusion::FlatPacker;
-use crate::optimizer::{check_shapes, record_step_metrics, DistributedOptimizer, GradViewMut};
+use crate::optimizer::{DistributedOptimizer, GradViewMut};
+use crate::pipeline::{run_step, Bucket, BucketCodec, FusedPipeline, Round, DEFAULT_BUFFER_BYTES};
+
+/// The gTop-k bucket codec: local top-k selection with error feedback, then
+/// one sparse global-top-k collective per bucket.
+#[derive(Debug)]
+struct GTopkCodec {
+    density: f64,
+    buckets: Vec<Option<ErrorFeedback<TopK>>>,
+}
+
+impl GTopkCodec {
+    fn residual_norm(&self) -> f32 {
+        self.buckets
+            .iter()
+            .flatten()
+            .map(ErrorFeedback::residual_norm)
+            .sum()
+    }
+}
+
+impl BucketCodec for GTopkCodec {
+    fn encode(&mut self, bucket: &mut Bucket) -> Vec<CollectiveOp> {
+        let data = std::mem::take(&mut bucket.data);
+        let n = bucket.elems;
+        let k = ((self.density * n as f64).ceil() as usize).clamp(1, n);
+        if self.buckets.len() <= bucket.index {
+            self.buckets.resize_with(bucket.index + 1, || None);
+        }
+        let payload = self.buckets[bucket.index]
+            .get_or_insert_with(|| ErrorFeedback::new(TopK::new(k)))
+            .compress(&data);
+        bucket.payload_bytes += payload.wire_bytes() as u64;
+        let (indices, values) = match payload {
+            Payload::Sparse {
+                indices, values, ..
+            } => (indices, values),
+            _ => unreachable!("TopK produces sparse payloads"),
+        };
+        vec![CollectiveOp::GlobalTopk { indices, values, k }]
+    }
+
+    fn decode(
+        &mut self,
+        bucket: &mut Bucket,
+        results: Vec<CollectiveResult>,
+    ) -> Result<Round, CoreError> {
+        let (global_idx, global_val) = results
+            .into_iter()
+            .next()
+            .expect("one op per round")
+            .into_sparse()
+            .map_err(CoreError::from)?;
+        let mut dense = vec![0.0f32; bucket.elems];
+        let inv = 1.0 / bucket.world_size as f32;
+        for (&i, &v) in global_idx.iter().zip(&global_val) {
+            dense[i as usize] = v * inv;
+        }
+        bucket.data = dense;
+        Ok(Round::Done)
+    }
+}
 
 /// Global-top-k sparsified aggregator.
 ///
@@ -24,26 +84,37 @@ use crate::optimizer::{check_shapes, record_step_metrics, DistributedOptimizer, 
 #[derive(Debug)]
 pub struct GTopkSgdAggregator {
     density: f64,
-    compressor: Option<ErrorFeedback<TopK>>,
-    packer: FlatPacker,
-    shapes: Vec<Vec<usize>>,
+    pipeline: FusedPipeline,
+    codec: GTopkCodec,
     recorder: RecorderCell,
 }
 
 impl GTopkSgdAggregator {
     /// Creates a gTop-k aggregator keeping `density` of the gradient
-    /// elements, with error feedback.
+    /// elements, with error feedback and the default fusion buffer.
     ///
     /// # Panics
     ///
     /// Panics if `density` is not in `(0, 1]`.
     pub fn new(density: f64) -> Self {
+        GTopkSgdAggregator::with_buffer_bytes(density, DEFAULT_BUFFER_BYTES)
+    }
+
+    /// Like [`GTopkSgdAggregator::new`] with an explicit fusion buffer
+    /// capacity in bytes (0 disables fusion).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `density` is not in `(0, 1]`.
+    pub fn with_buffer_bytes(density: f64, buffer_bytes: usize) -> Self {
         assert!(density > 0.0 && density <= 1.0, "density must be in (0, 1]");
         GTopkSgdAggregator {
             density,
-            compressor: None,
-            packer: FlatPacker::new(),
-            shapes: Vec::new(),
+            pipeline: FusedPipeline::new(buffer_bytes),
+            codec: GTopkCodec {
+                density,
+                buckets: Vec::new(),
+            },
             recorder: RecorderCell::default(),
         }
     }
@@ -51,6 +122,11 @@ impl GTopkSgdAggregator {
     /// The configured selection density.
     pub fn density(&self) -> f64 {
         self.density
+    }
+
+    /// Sum of per-bucket error-feedback residual norms.
+    pub fn residual_norm(&self) -> f32 {
+        self.codec.residual_norm()
     }
 }
 
@@ -64,56 +140,41 @@ impl DistributedOptimizer for GTopkSgdAggregator {
         grads: &mut [GradViewMut<'_>],
         comm: &mut dyn Communicator,
     ) -> Result<(), CoreError> {
-        check_shapes(&mut self.shapes, grads)?;
-        let enabled = self.recorder.enabled();
-        let step_start = self.recorder.now_us();
-        self.packer.pack(grads.iter().map(|g| &*g.grad));
-        let flat = self.packer.buffer_mut().to_vec();
-        let n = flat.len();
-        let k = ((self.density * n as f64).ceil() as usize).clamp(1, n);
-        let compressor = self
-            .compressor
-            .get_or_insert_with(|| ErrorFeedback::new(TopK::new(k)));
-        let compress_start = self.recorder.now_us();
-        let payload = compressor.compress(&flat);
-        let mut compress_us = self.recorder.now_us().saturating_sub(compress_start);
-        let payload_bytes = payload.wire_bytes() as u64;
-        let (indices, values) = match payload {
-            Payload::Sparse {
-                indices, values, ..
-            } => (indices, values),
-            _ => unreachable!("TopK produces sparse payloads"),
-        };
-        let (global_idx, global_val) = comm.global_topk(&indices, &values, k)?;
-        let fill_start = self.recorder.now_us();
-        let mut dense = vec![0.0f32; n];
-        let inv = 1.0 / comm.world_size() as f32;
-        for (&i, &v) in global_idx.iter().zip(&global_val) {
-            dense[i as usize] = v * inv;
-        }
-        compress_us += self.recorder.now_us().saturating_sub(fill_start);
-        let mut offset = 0usize;
-        for g in grads.iter_mut() {
-            let len = g.grad.len();
-            g.grad.copy_from_slice(&dense[offset..offset + len]);
-            offset += len;
-        }
-        if enabled {
-            let residual = self.compressor.as_ref().map(|c| c.residual_norm() as f64);
-            record_step_metrics(
-                &*self.recorder,
-                4 * n as u64,
-                payload_bytes,
-                compress_us,
-                step_start,
-                residual,
-            );
-        }
-        Ok(())
+        run_step(
+            &mut self.pipeline,
+            &mut self.codec,
+            &self.recorder,
+            grads,
+            comm,
+            |codec: &GTopkCodec| Some(codec.residual_norm() as f64),
+        )
     }
 
     fn set_recorder(&mut self, recorder: RecorderHandle) {
         self.recorder.set(recorder);
+    }
+
+    fn supports_overlap(&self) -> bool {
+        true
+    }
+
+    fn push_ready(
+        &mut self,
+        index: usize,
+        dims: &[usize],
+        grad: &[f32],
+        comm: &mut dyn Communicator,
+    ) -> Result<(), CoreError> {
+        self.pipeline
+            .push(&mut self.codec, index, dims, grad, comm, &*self.recorder)
+    }
+
+    fn finish_overlap(
+        &mut self,
+        grads: &mut [GradViewMut<'_>],
+        comm: &mut dyn Communicator,
+    ) -> Result<(), CoreError> {
+        self.aggregate(grads, comm)
     }
 }
 
@@ -176,7 +237,7 @@ mod tests {
             grad: &mut g,
         }];
         opt.aggregate(&mut views, &mut comm).unwrap();
-        assert!(opt.compressor.as_ref().unwrap().residual_norm() > 1.0);
+        assert!(opt.residual_norm() > 1.0);
     }
 
     #[test]

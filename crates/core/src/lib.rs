@@ -51,6 +51,7 @@ pub mod factory;
 pub mod fusion;
 pub mod gtopk;
 pub mod optimizer;
+pub mod pipeline;
 pub mod powersgd;
 pub mod signsgd;
 pub mod ssgd;
@@ -65,6 +66,7 @@ pub use factory::{build_optimizer, Aggregator};
 pub use fusion::{bucket_ranges, FlatPacker};
 pub use gtopk::GTopkSgdAggregator;
 pub use optimizer::{DistributedOptimizer, GradViewMut};
+pub use pipeline::{Bucket, BucketCodec, FusedPipeline, Round, StepStats};
 pub use powersgd::{PowerSgdAggregator, PowerSgdConfig};
 pub use signsgd::{SignSgdAggregator, SignSgdConfig};
 pub use ssgd::{SSgdAggregator, DEFAULT_BUFFER_BYTES};

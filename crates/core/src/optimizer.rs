@@ -52,6 +52,63 @@ pub trait DistributedOptimizer: Send {
     fn set_recorder(&mut self, recorder: RecorderHandle) {
         let _ = recorder;
     }
+
+    /// Whether this optimizer can overlap aggregation with backward
+    /// compute (wait-free backpropagation): [`push_ready`] dispatches each
+    /// fusion bucket's collective as soon as its last gradient arrives,
+    /// and [`finish_overlap`] drains the in-flight work. When `false`, the
+    /// overlap path degenerates to a blocking [`aggregate`] call inside
+    /// `finish_overlap` and [`push_ready`] is a no-op.
+    ///
+    /// [`aggregate`]: DistributedOptimizer::aggregate
+    /// [`push_ready`]: DistributedOptimizer::push_ready
+    /// [`finish_overlap`]: DistributedOptimizer::finish_overlap
+    fn supports_overlap(&self) -> bool {
+        false
+    }
+
+    /// Offers one tensor's *ready* gradient to an overlapped step.
+    /// `index` is the tensor's position in the full forward-order gradient
+    /// list that [`finish_overlap`] will later receive; gradients may be
+    /// pushed in any order (backward produces them deepest-layer-first).
+    ///
+    /// Pushing is an optimization, never an obligation: tensors not pushed
+    /// are picked up from the gradient views at `finish_overlap` time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ShapeChanged`] if `dims` disagrees with the
+    /// shape recorded for `index` on the first step.
+    ///
+    /// [`finish_overlap`]: DistributedOptimizer::finish_overlap
+    fn push_ready(
+        &mut self,
+        index: usize,
+        dims: &[usize],
+        grad: &[f32],
+        comm: &mut dyn Communicator,
+    ) -> Result<(), CoreError> {
+        let _ = (index, dims, grad, comm);
+        Ok(())
+    }
+
+    /// Completes an overlapped step begun with [`push_ready`] calls,
+    /// replacing `grads` with the aggregated gradients (same contract as
+    /// [`aggregate`]). The default falls back to a blocking `aggregate`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`aggregate`].
+    ///
+    /// [`aggregate`]: DistributedOptimizer::aggregate
+    /// [`push_ready`]: DistributedOptimizer::push_ready
+    fn finish_overlap(
+        &mut self,
+        grads: &mut [GradViewMut<'_>],
+        comm: &mut dyn Communicator,
+    ) -> Result<(), CoreError> {
+        self.aggregate(grads, comm)
+    }
 }
 
 impl DistributedOptimizer for Box<dyn DistributedOptimizer> {
@@ -69,6 +126,28 @@ impl DistributedOptimizer for Box<dyn DistributedOptimizer> {
 
     fn set_recorder(&mut self, recorder: RecorderHandle) {
         (**self).set_recorder(recorder)
+    }
+
+    fn supports_overlap(&self) -> bool {
+        (**self).supports_overlap()
+    }
+
+    fn push_ready(
+        &mut self,
+        index: usize,
+        dims: &[usize],
+        grad: &[f32],
+        comm: &mut dyn Communicator,
+    ) -> Result<(), CoreError> {
+        (**self).push_ready(index, dims, grad, comm)
+    }
+
+    fn finish_overlap(
+        &mut self,
+        grads: &mut [GradViewMut<'_>],
+        comm: &mut dyn Communicator,
+    ) -> Result<(), CoreError> {
+        (**self).finish_overlap(grads, comm)
     }
 }
 
@@ -113,10 +192,9 @@ pub(crate) fn check_shapes(
         return Ok(());
     }
     if recorded.len() != grads.len() {
-        return Err(CoreError::ShapeChanged {
-            index: recorded.len().min(grads.len()),
-            expected: recorded.last().cloned().unwrap_or_default(),
-            actual: vec![],
+        return Err(CoreError::TensorCountChanged {
+            expected: recorded.len(),
+            actual: grads.len(),
         });
     }
     for (i, (rec, g)) in recorded.iter().zip(grads).enumerate() {
@@ -170,6 +248,38 @@ mod tests {
     fn check_shapes_rejects_count_change() {
         let mut recorded = vec![vec![2usize]];
         let views: [GradViewMut<'_>; 0] = [];
-        assert!(check_shapes(&mut recorded, &views).is_err());
+        assert!(matches!(
+            check_shapes(&mut recorded, &views),
+            Err(CoreError::TensorCountChanged {
+                expected: 1,
+                actual: 0,
+            })
+        ));
+    }
+
+    #[test]
+    fn check_shapes_count_error_reports_both_counts() {
+        // Growth as well as shrinkage must be caught, with the counts (not
+        // a bogus per-tensor shape) in the error.
+        let mut recorded = vec![vec![2usize]];
+        let mut a = vec![0.0f32; 2];
+        let mut b = vec![0.0f32; 2];
+        let dims = [2usize];
+        let views = [
+            GradViewMut {
+                dims: &dims,
+                grad: &mut a,
+            },
+            GradViewMut {
+                dims: &dims,
+                grad: &mut b,
+            },
+        ];
+        match check_shapes(&mut recorded, &views) {
+            Err(CoreError::TensorCountChanged { expected, actual }) => {
+                assert_eq!((expected, actual), (1, 2));
+            }
+            other => panic!("expected TensorCountChanged, got {other:?}"),
+        }
     }
 }

@@ -1,14 +1,14 @@
 //! Power-SGD distributed aggregation: two fused all-reduces per step
 //! (Algorithm 1 wired to a real communicator).
 
-use acp_collectives::{Communicator, ReduceOp};
+use acp_collectives::{CollectiveOp, CollectiveResult, Communicator, ReduceOp};
 use acp_compression::powersgd::{PowerSgd, PowerSgdConfig as PowerSgdCompressionConfig};
 use acp_telemetry::{RecorderCell, RecorderHandle};
 use acp_tensor::{Matrix, MatrixShape};
 
 use crate::error::CoreError;
-use crate::fusion::FlatPacker;
-use crate::optimizer::{check_shapes, record_step_metrics, DistributedOptimizer, GradViewMut};
+use crate::optimizer::{DistributedOptimizer, GradViewMut};
+use crate::pipeline::{run_step, Bucket, BucketCodec, FusedPipeline, Round, DEFAULT_BUFFER_BYTES};
 
 /// Configuration of [`PowerSgdAggregator`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -24,6 +24,8 @@ pub struct PowerSgdConfig {
     /// Number of initial steps aggregated uncompressed (the
     /// `start_powerSGD_iter` warm start of PyTorch's PowerSGD hook).
     pub warm_start_steps: u64,
+    /// Tensor-fusion buffer capacity in bytes (0 disables fusion).
+    pub buffer_bytes: usize,
 }
 
 impl Default for PowerSgdConfig {
@@ -34,6 +36,7 @@ impl Default for PowerSgdConfig {
             reuse: true,
             seed: 42,
             warm_start_steps: 0,
+            buffer_bytes: DEFAULT_BUFFER_BYTES,
         }
     }
 }
@@ -68,6 +71,12 @@ impl PowerSgdConfig {
         self.warm_start_steps = steps;
         self
     }
+
+    /// Sets the tensor-fusion buffer capacity in bytes.
+    pub fn with_buffer_bytes(mut self, buffer_bytes: usize) -> Self {
+        self.buffer_bytes = buffer_bytes;
+        self
+    }
 }
 
 /// Former name of [`PowerSgdConfig`].
@@ -88,19 +97,211 @@ enum LrState {
     Vector,
 }
 
+/// Per-bucket codec state: per-tensor compression state plus the factors
+/// and partial output in flight between rounds.
+#[derive(Debug)]
+struct PowerBucketState {
+    states: Vec<LrState>,
+    p_factors: Vec<Matrix>,
+    q_factors: Vec<Matrix>,
+    out: Vec<f32>,
+    in_q_round: bool,
+}
+
+/// The Power-SGD bucket codec: round one all-reduces the fused `P` factors
+/// plus raw vectors, round two (dispatched from `decode` via
+/// [`Round::Next`]) all-reduces the fused `Q` factors.
+#[derive(Debug)]
+struct PowerCodec {
+    cfg: PowerSgdConfig,
+    /// Exact averaging this step (warm start)?
+    warm: bool,
+    buckets: Vec<Option<PowerBucketState>>,
+}
+
+impl PowerCodec {
+    fn state_for(&mut self, bucket: &Bucket) -> &mut PowerBucketState {
+        if self.buckets.len() <= bucket.index {
+            self.buckets.resize_with(bucket.index + 1, || None);
+        }
+        let cfg = self.cfg;
+        let tensors_start = bucket.tensors.start;
+        let dims = &bucket.dims;
+        self.buckets[bucket.index].get_or_insert_with(|| {
+            let states = dims
+                .iter()
+                .enumerate()
+                .map(|(slot, d)| match MatrixShape::from_tensor_shape(d) {
+                    MatrixShape::Matrix { rows, cols } => {
+                        // Seed by *global* tensor index: distinct per-tensor
+                        // streams, identical across ranks and bucket layouts.
+                        let i = tensors_start + slot;
+                        let ccfg = PowerSgdCompressionConfig {
+                            rank: cfg.rank,
+                            error_feedback: cfg.error_feedback,
+                            reuse: cfg.reuse,
+                            seed: cfg.seed ^ (i as u64).wrapping_mul(0x9E3779B9),
+                            ..PowerSgdCompressionConfig::default()
+                        };
+                        LrState::Matrix {
+                            rows,
+                            cols,
+                            state: PowerSgd::new(rows, cols, ccfg),
+                        }
+                    }
+                    MatrixShape::Vector { .. } => LrState::Vector,
+                })
+                .collect();
+            PowerBucketState {
+                states,
+                p_factors: Vec::new(),
+                q_factors: Vec::new(),
+                out: Vec::new(),
+                in_q_round: false,
+            }
+        })
+    }
+
+    fn total_error_norm(&self) -> f32 {
+        self.buckets
+            .iter()
+            .flatten()
+            .flat_map(|b| &b.states)
+            .map(|s| match s {
+                LrState::Matrix { state, .. } => state.error_norm(),
+                LrState::Vector => 0.0,
+            })
+            .sum()
+    }
+}
+
+impl BucketCodec for PowerCodec {
+    fn encode(&mut self, bucket: &mut Bucket) -> Vec<CollectiveOp> {
+        if self.warm {
+            bucket.payload_bytes += 4 * bucket.elems as u64;
+            return vec![CollectiveOp::AllReduce {
+                buf: std::mem::take(&mut bucket.data),
+                op: ReduceOp::Mean,
+            }];
+        }
+        let offsets = bucket.offsets.clone();
+        let elems = bucket.elems;
+        let data = std::mem::take(&mut bucket.data);
+        let st = self.state_for(bucket);
+        st.p_factors.clear();
+        st.q_factors.clear();
+        st.out = vec![0.0f32; elems];
+        st.in_q_round = false;
+        // Phase 1 payload: local P factor per matrix, raw data per vector.
+        let mut buf = Vec::new();
+        for (slot, lr) in st.states.iter_mut().enumerate() {
+            let seg = &data[offsets[slot]..offsets[slot + 1]];
+            match lr {
+                LrState::Matrix { rows, cols, state } => {
+                    let m = Matrix::from_vec(*rows, *cols, seg.to_vec())
+                        .expect("shape checked against dims");
+                    let p = state.compute_p(&m);
+                    buf.extend_from_slice(p.as_slice());
+                    st.p_factors.push(p);
+                }
+                LrState::Vector => buf.extend_from_slice(seg),
+            }
+        }
+        bucket.payload_bytes += 4 * buf.len() as u64;
+        vec![CollectiveOp::AllReduce {
+            buf,
+            op: ReduceOp::Mean,
+        }]
+    }
+
+    fn decode(
+        &mut self,
+        bucket: &mut Bucket,
+        results: Vec<CollectiveResult>,
+    ) -> Result<Round, CoreError> {
+        let reduced = results
+            .into_iter()
+            .next()
+            .expect("one op per round")
+            .into_f32()
+            .map_err(CoreError::from)?;
+        if self.warm {
+            bucket.data = reduced;
+            return Ok(Round::Done);
+        }
+        let st = self.buckets[bucket.index]
+            .as_mut()
+            .expect("decode follows encode");
+        if !st.in_q_round {
+            // Round 1 result: aggregated Ps + exact vector means. Compute
+            // the local Q factors and (if any matrices) go one more round.
+            let mut p_factors = std::mem::take(&mut st.p_factors).into_iter();
+            let mut pos = 0usize;
+            let mut q_buf = Vec::new();
+            for (slot, lr) in st.states.iter_mut().enumerate() {
+                let (start, end) = (bucket.offsets[slot], bucket.offsets[slot + 1]);
+                match lr {
+                    LrState::Matrix { state, .. } => {
+                        let mut p_hat = p_factors.next().expect("factor per matrix");
+                        let n = p_hat.as_slice().len();
+                        p_hat.as_mut_slice().copy_from_slice(&reduced[pos..pos + n]);
+                        pos += n;
+                        let q = state.compute_q(p_hat);
+                        q_buf.extend_from_slice(q.as_slice());
+                        st.q_factors.push(q);
+                    }
+                    LrState::Vector => {
+                        let n = end - start;
+                        st.out[start..end].copy_from_slice(&reduced[pos..pos + n]);
+                        pos += n;
+                    }
+                }
+            }
+            if st.q_factors.is_empty() {
+                bucket.data = std::mem::take(&mut st.out);
+                return Ok(Round::Done);
+            }
+            bucket.payload_bytes += 4 * q_buf.len() as u64;
+            st.in_q_round = true;
+            return Ok(Round::Next(vec![CollectiveOp::AllReduce {
+                buf: q_buf,
+                op: ReduceOp::Mean,
+            }]));
+        }
+        // Round 2 result: aggregated Qs. Decompress into the output.
+        st.in_q_round = false;
+        let mut q_factors = std::mem::take(&mut st.q_factors).into_iter();
+        let mut pos = 0usize;
+        for (slot, lr) in st.states.iter_mut().enumerate() {
+            let (start, end) = (bucket.offsets[slot], bucket.offsets[slot + 1]);
+            if let LrState::Matrix { state, .. } = lr {
+                let mut q_hat = q_factors.next().expect("factor per matrix");
+                let n = q_hat.as_slice().len();
+                q_hat.as_mut_slice().copy_from_slice(&reduced[pos..pos + n]);
+                pos += n;
+                let approx = state.finish(q_hat);
+                st.out[start..end].copy_from_slice(approx.as_slice());
+            }
+        }
+        bucket.data = std::mem::take(&mut st.out);
+        Ok(Round::Done)
+    }
+}
+
 /// Power-SGD aggregator over real collectives.
 ///
-/// Per step: compute every matrix's `P` factor, all-reduce the fused `P`
-/// factors together with the uncompressed vector gradients, orthogonalize
-/// and compute the `Q` factors, all-reduce the fused `Q`s, decompress. Two
-/// collectives per step, the second blocked on the first — the structural
-/// cost ACP-SGD removes.
+/// Per step and bucket: compute every matrix's `P` factor, all-reduce the
+/// fused `P` factors together with the uncompressed vector gradients,
+/// orthogonalize and compute the `Q` factors, all-reduce the fused `Q`s,
+/// decompress. Two collectives per bucket, the second blocked on the first
+/// — the structural cost ACP-SGD removes. Runs on the shared
+/// [`FusedPipeline`], so buckets still overlap with each other (and with
+/// backward compute under WFBP) even though each bucket's rounds serialize.
 #[derive(Debug)]
 pub struct PowerSgdAggregator {
     cfg: PowerSgdConfig,
-    states: Vec<LrState>,
-    shapes: Vec<Vec<usize>>,
-    packer: FlatPacker,
+    pipeline: FusedPipeline,
+    codec: PowerCodec,
     steps: u64,
     recorder: RecorderCell,
 }
@@ -111,9 +312,12 @@ impl PowerSgdAggregator {
     pub fn new(cfg: PowerSgdConfig) -> Self {
         PowerSgdAggregator {
             cfg,
-            states: Vec::new(),
-            shapes: Vec::new(),
-            packer: FlatPacker::new(),
+            pipeline: FusedPipeline::new(cfg.buffer_bytes),
+            codec: PowerCodec {
+                cfg,
+                warm: cfg.warm_start_steps > 0,
+                buckets: Vec::new(),
+            },
             steps: 0,
             recorder: RecorderCell::default(),
         }
@@ -126,42 +330,7 @@ impl PowerSgdAggregator {
 
     /// Sum of per-matrix error-feedback residual norms (diagnostics).
     pub fn total_error_norm(&self) -> f32 {
-        self.states
-            .iter()
-            .map(|s| match s {
-                LrState::Matrix { state, .. } => state.error_norm(),
-                LrState::Vector => 0.0,
-            })
-            .sum()
-    }
-
-    fn init_states(&mut self, grads: &[GradViewMut<'_>]) {
-        if !self.states.is_empty() {
-            return;
-        }
-        self.states = grads
-            .iter()
-            .enumerate()
-            .map(|(i, g)| match MatrixShape::from_tensor_shape(g.dims) {
-                MatrixShape::Matrix { rows, cols } => {
-                    let cfg = PowerSgdCompressionConfig {
-                        rank: self.cfg.rank,
-                        error_feedback: self.cfg.error_feedback,
-                        reuse: self.cfg.reuse,
-                        // Distinct per-tensor streams, identical across
-                        // ranks.
-                        seed: self.cfg.seed ^ (i as u64).wrapping_mul(0x9E3779B9),
-                        ..PowerSgdCompressionConfig::default()
-                    };
-                    LrState::Matrix {
-                        rows,
-                        cols,
-                        state: PowerSgd::new(rows, cols, cfg),
-                    }
-                }
-                MatrixShape::Vector { .. } => LrState::Vector,
-            })
-            .collect();
+        self.codec.total_error_norm()
     }
 }
 
@@ -175,119 +344,47 @@ impl DistributedOptimizer for PowerSgdAggregator {
         grads: &mut [GradViewMut<'_>],
         comm: &mut dyn Communicator,
     ) -> Result<(), CoreError> {
-        check_shapes(&mut self.shapes, grads)?;
-        let enabled = self.recorder.enabled();
-        let step_start = self.recorder.now_us();
-        let dense_bytes: u64 = grads.iter().map(|g| 4 * g.grad.len() as u64).sum();
-        if self.in_warm_start() {
-            self.packer.pack(grads.iter().map(|g| &*g.grad));
-            comm.all_reduce(self.packer.buffer_mut(), ReduceOp::Mean)?;
-            self.packer.unpack(grads.iter_mut().map(|g| &mut *g.grad));
-            self.steps += 1;
-            if enabled {
-                record_step_metrics(
-                    &*self.recorder,
-                    dense_bytes,
-                    dense_bytes,
-                    0,
-                    step_start,
-                    None,
-                );
-            }
-            return Ok(());
-        }
-        self.init_states(grads);
-        // Phase 1: local P factors.
-        let compress_start = self.recorder.now_us();
-        let mut p_factors: Vec<Matrix> = Vec::new();
-        for (g, st) in grads.iter().zip(self.states.iter_mut()) {
-            if let LrState::Matrix { rows, cols, state } = st {
-                let m = Matrix::from_vec(*rows, *cols, g.grad.to_vec())
-                    .expect("shape checked against dims");
-                p_factors.push(state.compute_p(&m));
-            }
-        }
-        let mut compress_us = self.recorder.now_us().saturating_sub(compress_start);
-        // Fused all-reduce of the P factors and the raw vector gradients.
-        {
-            let mut slices: Vec<&[f32]> = Vec::new();
-            let mut p_iter = p_factors.iter();
-            for (g, st) in grads.iter().zip(&self.states) {
-                match st {
-                    LrState::Matrix { .. } => {
-                        slices.push(p_iter.next().expect("factor per matrix").as_slice())
-                    }
-                    LrState::Vector => slices.push(g.grad),
-                }
-            }
-            self.packer.pack(slices);
-        }
-        let mut payload_bytes = 4 * self.packer.buffer_mut().len() as u64;
-        comm.all_reduce(self.packer.buffer_mut(), ReduceOp::Mean)?;
-        {
-            let mut dests: Vec<&mut [f32]> = Vec::new();
-            let mut p_iter = p_factors.iter_mut();
-            for (g, st) in grads.iter_mut().zip(&self.states) {
-                match st {
-                    LrState::Matrix { .. } => {
-                        dests.push(p_iter.next().expect("factor per matrix").as_mut_slice())
-                    }
-                    LrState::Vector => dests.push(g.grad),
-                }
-            }
-            self.packer.unpack(dests);
-        }
-        // Phase 2: Q factors from the aggregated Ps.
-        let q_start = self.recorder.now_us();
-        let mut q_factors: Vec<Matrix> = Vec::new();
-        {
-            let mut p_iter = p_factors.into_iter();
-            for st in self.states.iter_mut() {
-                if let LrState::Matrix { state, .. } = st {
-                    let p_hat = p_iter.next().expect("factor per matrix");
-                    q_factors.push(state.compute_q(p_hat));
-                }
-            }
-        }
-        compress_us += self.recorder.now_us().saturating_sub(q_start);
-        if !q_factors.is_empty() {
-            self.packer.pack(q_factors.iter().map(Matrix::as_slice));
-            payload_bytes += 4 * self.packer.buffer_mut().len() as u64;
-            comm.all_reduce(self.packer.buffer_mut(), ReduceOp::Mean)?;
-            self.packer
-                .unpack(q_factors.iter_mut().map(Matrix::as_mut_slice));
-        }
-        // Decompress into the gradient views.
-        let decompress_start = self.recorder.now_us();
-        let mut q_iter = q_factors.into_iter();
-        for (g, st) in grads.iter_mut().zip(self.states.iter_mut()) {
-            if let LrState::Matrix { state, .. } = st {
-                let q_hat = q_iter.next().expect("factor per matrix");
-                let approx = state.finish(q_hat);
-                g.grad.copy_from_slice(approx.as_slice());
-            }
-        }
-        compress_us += self.recorder.now_us().saturating_sub(decompress_start);
+        self.codec.warm = self.in_warm_start();
+        let warm = self.codec.warm;
+        let ef = self.cfg.error_feedback;
+        run_step(
+            &mut self.pipeline,
+            &mut self.codec,
+            &self.recorder,
+            grads,
+            comm,
+            |codec: &PowerCodec| (!warm && ef).then(|| codec.total_error_norm() as f64),
+        )?;
         self.steps += 1;
-        if enabled {
-            let residual = self
-                .cfg
-                .error_feedback
-                .then(|| self.total_error_norm() as f64);
-            record_step_metrics(
-                &*self.recorder,
-                dense_bytes,
-                payload_bytes,
-                compress_us,
-                step_start,
-                residual,
-            );
-        }
         Ok(())
     }
 
     fn set_recorder(&mut self, recorder: RecorderHandle) {
         self.recorder.set(recorder);
+    }
+
+    fn supports_overlap(&self) -> bool {
+        true
+    }
+
+    fn push_ready(
+        &mut self,
+        index: usize,
+        dims: &[usize],
+        grad: &[f32],
+        comm: &mut dyn Communicator,
+    ) -> Result<(), CoreError> {
+        self.codec.warm = self.in_warm_start();
+        self.pipeline
+            .push(&mut self.codec, index, dims, grad, comm, &*self.recorder)
+    }
+
+    fn finish_overlap(
+        &mut self,
+        grads: &mut [GradViewMut<'_>],
+        comm: &mut dyn Communicator,
+    ) -> Result<(), CoreError> {
+        self.aggregate(grads, comm)
     }
 }
 
@@ -404,5 +501,62 @@ mod tests {
             .sum::<f32>()
             .sqrt();
         assert!((diff - opt.total_error_norm()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn overlapped_pushes_match_blocking_bitwise() {
+        // The two-round (P then Q) dependency must survive WFBP pushes and
+        // multi-bucket plans bit-exactly.
+        let run = |overlapped: bool| {
+            ThreadGroup::run(3, move |mut comm| {
+                let cfg = PowerSgdConfig::default().with_rank(2).with_buffer_bytes(64);
+                let mut opt = PowerSgdAggregator::new(cfg);
+                let dims = [vec![4usize, 4], vec![6usize], vec![3usize, 5]];
+                let mut out = Vec::new();
+                for step in 0..4 {
+                    let r = comm.rank() as f32 + 1.0;
+                    let s = step as f32 + 1.0;
+                    let mut grads: Vec<Vec<f32>> = dims
+                        .iter()
+                        .enumerate()
+                        .map(|(t, d)| {
+                            let n: usize = d.iter().product();
+                            (0..n)
+                                .map(|i| ((i + t) as f32 * 0.37 * r + s).sin())
+                                .collect()
+                        })
+                        .collect();
+                    let mut views: Vec<GradViewMut<'_>>;
+                    if overlapped {
+                        for i in (0..dims.len()).rev() {
+                            let g = grads[i].clone();
+                            opt.push_ready(i, &dims[i], &g, &mut comm).unwrap();
+                        }
+                        views = dims
+                            .iter()
+                            .zip(grads.iter_mut())
+                            .map(|(d, g)| GradViewMut { dims: d, grad: g })
+                            .collect();
+                        opt.finish_overlap(&mut views, &mut comm).unwrap();
+                    } else {
+                        views = dims
+                            .iter()
+                            .zip(grads.iter_mut())
+                            .map(|(d, g)| GradViewMut { dims: d, grad: g })
+                            .collect();
+                        opt.aggregate(&mut views, &mut comm).unwrap();
+                    }
+                    out = grads.concat();
+                }
+                out
+            })
+        };
+        let blocking = run(false);
+        let overlapped = run(true);
+        for (b, o) in blocking.iter().zip(&overlapped) {
+            for (x, y) in b.iter().zip(o) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
     }
 }

@@ -1,23 +1,34 @@
 //! Sign-SGD with majority vote over all-gather (§III), with optional error
 //! feedback.
 //!
-//! The gradients are packed together before compression, as the paper's
+//! Gradients are fused per bucket before compression, as the paper's
 //! evaluation configures (§III-A), so one bit-packed payload and one scale
-//! travel per step.
+//! travel per bucket per step.
 
-use acp_collectives::Communicator;
+use acp_collectives::{CollectiveOp, CollectiveResult, Communicator};
 use acp_compression::{Compressor, ErrorFeedback, Payload, SignSgd};
 use acp_telemetry::{RecorderCell, RecorderHandle};
 
 use crate::error::CoreError;
-use crate::fusion::FlatPacker;
-use crate::optimizer::{check_shapes, record_step_metrics, DistributedOptimizer, GradViewMut};
+use crate::optimizer::{DistributedOptimizer, GradViewMut};
+use crate::pipeline::{run_step, Bucket, BucketCodec, FusedPipeline, Round, DEFAULT_BUFFER_BYTES};
 
 /// Configuration of [`SignSgdAggregator`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SignSgdConfig {
     /// Maintain an error-feedback residual (EF-SGD of Karimireddy et al.).
     pub error_feedback: bool,
+    /// Tensor-fusion buffer capacity in bytes (0 disables fusion).
+    pub buffer_bytes: usize,
+}
+
+impl Default for SignSgdConfig {
+    fn default() -> Self {
+        SignSgdConfig {
+            error_feedback: false,
+            buffer_bytes: DEFAULT_BUFFER_BYTES,
+        }
+    }
 }
 
 impl SignSgdConfig {
@@ -25,6 +36,85 @@ impl SignSgdConfig {
     pub fn with_error_feedback(mut self, error_feedback: bool) -> Self {
         self.error_feedback = error_feedback;
         self
+    }
+
+    /// Sets the tensor-fusion buffer capacity in bytes.
+    pub fn with_buffer_bytes(mut self, buffer_bytes: usize) -> Self {
+        self.buffer_bytes = buffer_bytes;
+        self
+    }
+}
+
+/// The Sign-SGD bucket codec: one bit-packed sign payload plus one scale
+/// per bucket, all-gathered and majority-voted.
+#[derive(Debug)]
+struct SignCodec {
+    error_feedback: bool,
+    /// Per-bucket error-feedback compressors (unused on the raw path).
+    buckets: Vec<Option<ErrorFeedback<SignSgd>>>,
+}
+
+impl SignCodec {
+    fn residual_norm(&self) -> f32 {
+        self.buckets
+            .iter()
+            .flatten()
+            .map(ErrorFeedback::residual_norm)
+            .sum()
+    }
+}
+
+impl BucketCodec for SignCodec {
+    fn encode(&mut self, bucket: &mut Bucket) -> Vec<CollectiveOp> {
+        let data = std::mem::take(&mut bucket.data);
+        let payload = if self.error_feedback {
+            if self.buckets.len() <= bucket.index {
+                self.buckets.resize_with(bucket.index + 1, || None);
+            }
+            self.buckets[bucket.index]
+                .get_or_insert_with(|| ErrorFeedback::new(SignSgd::scaled()))
+                .compress(&data)
+        } else {
+            // Bypass the residual: compress the raw gradient.
+            SignSgd::scaled().compress(&data)
+        };
+        bucket.payload_bytes += payload.wire_bytes() as u64;
+        let (words, scale) = match payload {
+            Payload::Signs { words, scale, .. } => (words, scale),
+            _ => unreachable!("SignSgd produces sign payloads"),
+        };
+        vec![
+            CollectiveOp::AllGatherU32 { send: words },
+            CollectiveOp::AllGatherF32 { send: vec![scale] },
+        ]
+    }
+
+    fn decode(
+        &mut self,
+        bucket: &mut Bucket,
+        results: Vec<CollectiveResult>,
+    ) -> Result<Round, CoreError> {
+        let mut results = results.into_iter();
+        let gathered_words = results
+            .next()
+            .expect("two ops per round")
+            .into_u32()
+            .map_err(CoreError::from)?;
+        let gathered_scales = results
+            .next()
+            .expect("two ops per round")
+            .into_f32()
+            .map_err(CoreError::from)?;
+        let mut voted = vec![0.0f32; bucket.elems];
+        SignSgd::majority_vote(
+            &gathered_words,
+            &gathered_scales,
+            bucket.elems,
+            bucket.world_size,
+            &mut voted,
+        );
+        bucket.data = voted;
+        Ok(Round::Done)
     }
 }
 
@@ -35,41 +125,39 @@ impl SignSgdConfig {
 /// why [`SignSgdAggregator::with_error_feedback`] matters for convergence.
 #[derive(Debug)]
 pub struct SignSgdAggregator {
-    compressor: ErrorFeedback<SignSgd>,
-    error_feedback: bool,
-    packer: FlatPacker,
-    shapes: Vec<Vec<usize>>,
+    pipeline: FusedPipeline,
+    codec: SignCodec,
     recorder: RecorderCell,
 }
 
 impl SignSgdAggregator {
     /// Plain scaled Sign-SGD without error feedback.
     pub fn new() -> Self {
-        SignSgdAggregator {
-            compressor: ErrorFeedback::new(SignSgd::scaled()),
-            error_feedback: false,
-            packer: FlatPacker::new(),
-            shapes: Vec::new(),
-            recorder: RecorderCell::default(),
-        }
+        SignSgdAggregator::from_config(SignSgdConfig::default())
     }
 
     /// Sign-SGD with an error-feedback residual (EF-SGD of Karimireddy et
     /// al.).
     pub fn with_error_feedback() -> Self {
-        SignSgdAggregator {
-            error_feedback: true,
-            ..SignSgdAggregator::new()
-        }
+        SignSgdAggregator::from_config(SignSgdConfig::default().with_error_feedback(true))
     }
 
     /// Creates the aggregator from a [`SignSgdConfig`].
     pub fn from_config(cfg: SignSgdConfig) -> Self {
-        if cfg.error_feedback {
-            SignSgdAggregator::with_error_feedback()
-        } else {
-            SignSgdAggregator::new()
+        SignSgdAggregator {
+            pipeline: FusedPipeline::new(cfg.buffer_bytes),
+            codec: SignCodec {
+                error_feedback: cfg.error_feedback,
+                buckets: Vec::new(),
+            },
+            recorder: RecorderCell::default(),
         }
+    }
+
+    /// Sum of per-bucket error-feedback residual norms (zero without error
+    /// feedback).
+    pub fn residual_norm(&self) -> f32 {
+        self.codec.residual_norm()
     }
 }
 
@@ -89,64 +177,42 @@ impl DistributedOptimizer for SignSgdAggregator {
         grads: &mut [GradViewMut<'_>],
         comm: &mut dyn Communicator,
     ) -> Result<(), CoreError> {
-        check_shapes(&mut self.shapes, grads)?;
-        let enabled = self.recorder.enabled();
-        let step_start = self.recorder.now_us();
-        self.packer.pack(grads.iter().map(|g| &*g.grad));
-        let flat = self.packer.buffer_mut().to_vec();
-        let compress_start = self.recorder.now_us();
-        let payload = if self.error_feedback {
-            self.compressor.compress(&flat)
-        } else {
-            // Bypass the residual: compress the raw gradient.
-            let mut raw = SignSgd::scaled();
-            raw.compress(&flat)
-        };
-        let mut compress_us = self.recorder.now_us().saturating_sub(compress_start);
-        let payload_bytes = payload.wire_bytes() as u64;
-        let (words, len, scale) = match payload {
-            Payload::Signs { words, len, scale } => (words, len, scale),
-            _ => unreachable!("SignSgd produces sign payloads"),
-        };
-        let gathered_words = comm.all_gather_u32(&words)?;
-        let gathered_scales = comm.all_gather_f32(&[scale])?;
-        let vote_start = self.recorder.now_us();
-        let mut voted = vec![0.0f32; len];
-        SignSgd::majority_vote(
-            &gathered_words,
-            &gathered_scales,
-            len,
-            comm.world_size(),
-            &mut voted,
-        );
-        compress_us += self.recorder.now_us().saturating_sub(vote_start);
-        // Write the voted gradient back through the packer layout.
-        self.packer.pack([voted.as_slice()]);
-        let mut offset = 0usize;
-        for g in grads.iter_mut() {
-            let n = g.grad.len();
-            g.grad.copy_from_slice(&voted[offset..offset + n]);
-            offset += n;
-        }
-        if enabled {
-            let dense_bytes = 4 * flat.len() as u64;
-            let residual = self
-                .error_feedback
-                .then(|| self.compressor.residual_norm() as f64);
-            record_step_metrics(
-                &*self.recorder,
-                dense_bytes,
-                payload_bytes,
-                compress_us,
-                step_start,
-                residual,
-            );
-        }
-        Ok(())
+        let ef = self.codec.error_feedback;
+        run_step(
+            &mut self.pipeline,
+            &mut self.codec,
+            &self.recorder,
+            grads,
+            comm,
+            |codec: &SignCodec| ef.then(|| codec.residual_norm() as f64),
+        )
     }
 
     fn set_recorder(&mut self, recorder: RecorderHandle) {
         self.recorder.set(recorder);
+    }
+
+    fn supports_overlap(&self) -> bool {
+        true
+    }
+
+    fn push_ready(
+        &mut self,
+        index: usize,
+        dims: &[usize],
+        grad: &[f32],
+        comm: &mut dyn Communicator,
+    ) -> Result<(), CoreError> {
+        self.pipeline
+            .push(&mut self.codec, index, dims, grad, comm, &*self.recorder)
+    }
+
+    fn finish_overlap(
+        &mut self,
+        grads: &mut [GradViewMut<'_>],
+        comm: &mut dyn Communicator,
+    ) -> Result<(), CoreError> {
+        self.aggregate(grads, comm)
     }
 }
 
@@ -212,7 +278,7 @@ mod tests {
             }];
             opt.aggregate(&mut views, &mut comm).unwrap();
         }
-        assert!(opt.compressor.residual_norm() > 0.0);
+        assert!(opt.residual_norm() > 0.0);
     }
 
     #[test]
@@ -240,5 +306,39 @@ mod tests {
             assert!(a[0] > 0.0 && a[1] < 0.0);
             assert!(b[0] < 0.0);
         }
+    }
+
+    #[test]
+    fn tiny_buckets_still_agree() {
+        // Per-tensor buckets: each tensor votes with its own scale, ranks
+        // still agree bit-for-bit.
+        let results = ThreadGroup::run(3, |mut comm| {
+            let cfg = SignSgdConfig::default()
+                .with_error_feedback(true)
+                .with_buffer_bytes(1);
+            let mut opt = SignSgdAggregator::from_config(cfg);
+            let r = comm.rank() as f32;
+            let mut a: Vec<f32> = (0..9).map(|i| (i as f32 - 4.0) * (r + 1.0)).collect();
+            let mut b = vec![-1.0f32 - r; 5];
+            let da = [9usize];
+            let db = [5usize];
+            let mut views = [
+                GradViewMut {
+                    dims: &da,
+                    grad: &mut a,
+                },
+                GradViewMut {
+                    dims: &db,
+                    grad: &mut b,
+                },
+            ];
+            opt.aggregate(&mut views, &mut comm).unwrap();
+            (a, b)
+        });
+        for (a, b) in &results[1..] {
+            assert_eq!(a, &results[0].0);
+            assert_eq!(b, &results[0].1);
+        }
+        assert!(results[0].1.iter().all(|v| *v < 0.0));
     }
 }

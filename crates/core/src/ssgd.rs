@@ -1,15 +1,42 @@
 //! The well-optimized S-SGD baseline: uncompressed gradient averaging with
 //! tensor fusion over ring all-reduce (PyTorch-DDP semantics).
 
-use acp_collectives::{Communicator, ReduceOp};
+use acp_collectives::{CollectiveOp, CollectiveResult, Communicator, ReduceOp};
 use acp_telemetry::{RecorderCell, RecorderHandle};
 
 use crate::error::CoreError;
-use crate::fusion::{bucket_ranges, FlatPacker};
-use crate::optimizer::{check_shapes, record_step_metrics, DistributedOptimizer, GradViewMut};
+use crate::optimizer::{DistributedOptimizer, GradViewMut};
+use crate::pipeline::{run_step, Bucket, BucketCodec, FusedPipeline, Round};
 
-/// Default DDP fusion buffer: 25 MB.
-pub const DEFAULT_BUFFER_BYTES: usize = 25 * 1024 * 1024;
+pub use crate::pipeline::DEFAULT_BUFFER_BYTES;
+
+/// Codec: one fused mean all-reduce per bucket, no compression.
+#[derive(Debug, Default)]
+pub(crate) struct MeanCodec;
+
+impl BucketCodec for MeanCodec {
+    fn encode(&mut self, bucket: &mut Bucket) -> Vec<CollectiveOp> {
+        bucket.payload_bytes += 4 * bucket.elems as u64;
+        vec![CollectiveOp::AllReduce {
+            buf: std::mem::take(&mut bucket.data),
+            op: ReduceOp::Mean,
+        }]
+    }
+
+    fn decode(
+        &mut self,
+        bucket: &mut Bucket,
+        results: Vec<CollectiveResult>,
+    ) -> Result<Round, CoreError> {
+        bucket.data = results
+            .into_iter()
+            .next()
+            .expect("one op per round")
+            .into_f32()
+            .map_err(CoreError::from)?;
+        Ok(Round::Done)
+    }
+}
 
 /// Uncompressed gradient-averaging aggregator.
 ///
@@ -31,9 +58,8 @@ pub const DEFAULT_BUFFER_BYTES: usize = 25 * 1024 * 1024;
 /// ```
 #[derive(Debug, Default)]
 pub struct SSgdAggregator {
-    buffer_bytes: usize,
-    packer: FlatPacker,
-    shapes: Vec<Vec<usize>>,
+    pipeline: FusedPipeline,
+    codec: MeanCodec,
     recorder: RecorderCell,
 }
 
@@ -47,9 +73,8 @@ impl SSgdAggregator {
     /// (0 disables fusion).
     pub fn with_buffer_bytes(buffer_bytes: usize) -> Self {
         SSgdAggregator {
-            buffer_bytes,
-            packer: FlatPacker::new(),
-            shapes: Vec::new(),
+            pipeline: FusedPipeline::new(buffer_bytes),
+            codec: MeanCodec,
             recorder: RecorderCell::default(),
         }
     }
@@ -65,34 +90,41 @@ impl DistributedOptimizer for SSgdAggregator {
         grads: &mut [GradViewMut<'_>],
         comm: &mut dyn Communicator,
     ) -> Result<(), CoreError> {
-        check_shapes(&mut self.shapes, grads)?;
-        let enabled = self.recorder.enabled();
-        let step_start = self.recorder.now_us();
-        let sizes: Vec<usize> = grads.iter().map(|g| 4 * g.grad.len()).collect();
-        for range in bucket_ranges(&sizes, self.buffer_bytes) {
-            self.packer
-                .pack(grads[range.clone()].iter().map(|g| &*g.grad));
-            comm.all_reduce(self.packer.buffer_mut(), ReduceOp::Mean)?;
-            self.packer
-                .unpack(grads[range].iter_mut().map(|g| &mut *g.grad));
-        }
-        if enabled {
-            // Uncompressed baseline: payload == dense, zero compression time.
-            let dense_bytes: u64 = sizes.iter().map(|&s| s as u64).sum();
-            record_step_metrics(
-                &*self.recorder,
-                dense_bytes,
-                dense_bytes,
-                0,
-                step_start,
-                None,
-            );
-        }
-        Ok(())
+        run_step(
+            &mut self.pipeline,
+            &mut self.codec,
+            &self.recorder,
+            grads,
+            comm,
+            |_| None,
+        )
     }
 
     fn set_recorder(&mut self, recorder: RecorderHandle) {
         self.recorder.set(recorder);
+    }
+
+    fn supports_overlap(&self) -> bool {
+        true
+    }
+
+    fn push_ready(
+        &mut self,
+        index: usize,
+        dims: &[usize],
+        grad: &[f32],
+        comm: &mut dyn Communicator,
+    ) -> Result<(), CoreError> {
+        self.pipeline
+            .push(&mut self.codec, index, dims, grad, comm, &*self.recorder)
+    }
+
+    fn finish_overlap(
+        &mut self,
+        grads: &mut [GradViewMut<'_>],
+        comm: &mut dyn Communicator,
+    ) -> Result<(), CoreError> {
+        self.aggregate(grads, comm)
     }
 }
 
@@ -179,5 +211,54 @@ mod tests {
             grad: &mut g2,
         }];
         assert!(opt.aggregate(&mut views, &mut comm).is_err());
+    }
+
+    #[test]
+    fn overlapped_pushes_match_blocking_bitwise() {
+        let run = |overlapped: bool| {
+            ThreadGroup::run(3, move |mut comm| {
+                let mut opt = SSgdAggregator::with_buffer_bytes(16);
+                let r = comm.rank() as f32;
+                let dims = [vec![3usize], vec![2usize], vec![4usize]];
+                let mut out = Vec::new();
+                for step in 0..3 {
+                    let s = step as f32;
+                    let mut grads = [
+                        vec![r * 0.5 + s; 3],
+                        vec![r - s; 2],
+                        vec![(r + 1.0) * (s + 1.0); 4],
+                    ];
+                    if overlapped {
+                        assert!(opt.supports_overlap());
+                        for i in (0..3).rev() {
+                            let g = grads[i].clone();
+                            opt.push_ready(i, &dims[i], &g, &mut comm).unwrap();
+                        }
+                        let mut views: Vec<GradViewMut<'_>> = dims
+                            .iter()
+                            .zip(grads.iter_mut())
+                            .map(|(d, g)| GradViewMut { dims: d, grad: g })
+                            .collect();
+                        opt.finish_overlap(&mut views, &mut comm).unwrap();
+                    } else {
+                        let mut views: Vec<GradViewMut<'_>> = dims
+                            .iter()
+                            .zip(grads.iter_mut())
+                            .map(|(d, g)| GradViewMut { dims: d, grad: g })
+                            .collect();
+                        opt.aggregate(&mut views, &mut comm).unwrap();
+                    }
+                    out = grads.concat();
+                }
+                out
+            })
+        };
+        let blocking = run(false);
+        let overlapped = run(true);
+        for (b, o) in blocking.iter().zip(&overlapped) {
+            for (x, y) in b.iter().zip(o) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
     }
 }

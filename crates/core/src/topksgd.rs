@@ -1,13 +1,13 @@
 //! Top-k SGD over all-gather with scatter-average (§III), with optional
 //! error feedback.
 
-use acp_collectives::Communicator;
+use acp_collectives::{CollectiveOp, CollectiveResult, Communicator};
 use acp_compression::{Compressor, ErrorFeedback, Payload, TopK};
 use acp_telemetry::{RecorderCell, RecorderHandle};
 
 use crate::error::CoreError;
-use crate::fusion::FlatPacker;
-use crate::optimizer::{check_shapes, record_step_metrics, DistributedOptimizer, GradViewMut};
+use crate::optimizer::{DistributedOptimizer, GradViewMut};
+use crate::pipeline::{run_step, Bucket, BucketCodec, FusedPipeline, Round, DEFAULT_BUFFER_BYTES};
 
 /// Configuration of [`TopkSgdAggregator`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -16,6 +16,8 @@ pub struct TopkSgdConfig {
     pub density: f64,
     /// Maintain an error-feedback residual (Stich et al.).
     pub error_feedback: bool,
+    /// Tensor-fusion buffer capacity in bytes (0 disables fusion).
+    pub buffer_bytes: usize,
 }
 
 impl Default for TopkSgdConfig {
@@ -23,6 +25,7 @@ impl Default for TopkSgdConfig {
         TopkSgdConfig {
             density: 0.001,
             error_feedback: true,
+            buffer_bytes: DEFAULT_BUFFER_BYTES,
         }
     }
 }
@@ -39,22 +42,101 @@ impl TopkSgdConfig {
         self.error_feedback = error_feedback;
         self
     }
+
+    /// Sets the tensor-fusion buffer capacity in bytes.
+    pub fn with_buffer_bytes(mut self, buffer_bytes: usize) -> Self {
+        self.buffer_bytes = buffer_bytes;
+        self
+    }
+}
+
+/// The Top-k bucket codec: the `k = density × n` largest-magnitude elements
+/// of each bucket travel as coordinate/value pairs over all-gather and the
+/// union is scatter-averaged.
+#[derive(Debug)]
+struct TopkCodec {
+    density: f64,
+    error_feedback: bool,
+    /// Per-bucket error-feedback compressors (unused on the raw path).
+    buckets: Vec<Option<ErrorFeedback<TopK>>>,
+}
+
+impl TopkCodec {
+    fn k_for(&self, n: usize) -> usize {
+        ((self.density * n as f64).ceil() as usize).clamp(1, n)
+    }
+
+    fn residual_norm(&self) -> f32 {
+        self.buckets
+            .iter()
+            .flatten()
+            .map(ErrorFeedback::residual_norm)
+            .sum()
+    }
+}
+
+impl BucketCodec for TopkCodec {
+    fn encode(&mut self, bucket: &mut Bucket) -> Vec<CollectiveOp> {
+        let data = std::mem::take(&mut bucket.data);
+        let k = self.k_for(bucket.elems);
+        let payload = if self.error_feedback {
+            if self.buckets.len() <= bucket.index {
+                self.buckets.resize_with(bucket.index + 1, || None);
+            }
+            self.buckets[bucket.index]
+                .get_or_insert_with(|| ErrorFeedback::new(TopK::new(k)))
+                .compress(&data)
+        } else {
+            TopK::new(k).compress(&data)
+        };
+        bucket.payload_bytes += payload.wire_bytes() as u64;
+        let (indices, values) = match payload {
+            Payload::Sparse {
+                indices, values, ..
+            } => (indices, values),
+            _ => unreachable!("TopK produces sparse payloads"),
+        };
+        vec![
+            CollectiveOp::AllGatherU32 { send: indices },
+            CollectiveOp::AllGatherF32 { send: values },
+        ]
+    }
+
+    fn decode(
+        &mut self,
+        bucket: &mut Bucket,
+        results: Vec<CollectiveResult>,
+    ) -> Result<Round, CoreError> {
+        let mut results = results.into_iter();
+        let gathered_idx = results
+            .next()
+            .expect("two ops per round")
+            .into_u32()
+            .map_err(CoreError::from)?;
+        let gathered_val = results
+            .next()
+            .expect("two ops per round")
+            .into_f32()
+            .map_err(CoreError::from)?;
+        let mut dense = vec![0.0f32; bucket.elems];
+        TopK::scatter_average(&gathered_idx, &gathered_val, bucket.world_size, &mut dense);
+        bucket.data = dense;
+        Ok(Round::Done)
+    }
 }
 
 /// Top-k sparsified aggregator.
 ///
-/// Gradients are packed together, the `k` largest-magnitude elements (k =
-/// density × N, exact selection so every rank contributes the same payload
+/// Gradients are fused per bucket, the `k` largest-magnitude elements (k =
+/// density × n, exact selection so every rank contributes the same payload
 /// length) are all-gathered with their coordinates, and the union is
 /// scatter-averaged — the paper's Top-k SGD with multiple-sampling replaced
 /// by exact selection for bit-stable distributed state.
 #[derive(Debug)]
 pub struct TopkSgdAggregator {
     density: f64,
-    error_feedback: bool,
-    compressor: Option<ErrorFeedback<TopK>>,
-    packer: FlatPacker,
-    shapes: Vec<Vec<usize>>,
+    pipeline: FusedPipeline,
+    codec: TopkCodec,
     recorder: RecorderCell,
 }
 
@@ -66,15 +148,11 @@ impl TopkSgdAggregator {
     ///
     /// Panics if `density` is not in `(0, 1]`.
     pub fn new(density: f64) -> Self {
-        assert!(density > 0.0 && density <= 1.0, "density must be in (0, 1]");
-        TopkSgdAggregator {
-            density,
-            error_feedback: false,
-            compressor: None,
-            packer: FlatPacker::new(),
-            shapes: Vec::new(),
-            recorder: RecorderCell::default(),
-        }
+        TopkSgdAggregator::from_config(
+            TopkSgdConfig::default()
+                .with_density(density)
+                .with_error_feedback(false),
+        )
     }
 
     /// Top-k with an error-feedback residual (the configuration that makes
@@ -84,10 +162,7 @@ impl TopkSgdAggregator {
     ///
     /// Panics if `density` is not in `(0, 1]`.
     pub fn with_error_feedback(density: f64) -> Self {
-        TopkSgdAggregator {
-            error_feedback: true,
-            ..TopkSgdAggregator::new(density)
-        }
+        TopkSgdAggregator::from_config(TopkSgdConfig::default().with_density(density))
     }
 
     /// Creates the aggregator from a [`TopkSgdConfig`].
@@ -96,16 +171,31 @@ impl TopkSgdAggregator {
     ///
     /// Panics if the configured density is not in `(0, 1]`.
     pub fn from_config(cfg: TopkSgdConfig) -> Self {
-        if cfg.error_feedback {
-            TopkSgdAggregator::with_error_feedback(cfg.density)
-        } else {
-            TopkSgdAggregator::new(cfg.density)
+        assert!(
+            cfg.density > 0.0 && cfg.density <= 1.0,
+            "density must be in (0, 1]"
+        );
+        TopkSgdAggregator {
+            density: cfg.density,
+            pipeline: FusedPipeline::new(cfg.buffer_bytes),
+            codec: TopkCodec {
+                density: cfg.density,
+                error_feedback: cfg.error_feedback,
+                buckets: Vec::new(),
+            },
+            recorder: RecorderCell::default(),
         }
     }
 
     /// The configured selection density.
     pub fn density(&self) -> f64 {
         self.density
+    }
+
+    /// Sum of per-bucket error-feedback residual norms (zero without error
+    /// feedback).
+    pub fn residual_norm(&self) -> f32 {
+        self.codec.residual_norm()
     }
 }
 
@@ -119,63 +209,42 @@ impl DistributedOptimizer for TopkSgdAggregator {
         grads: &mut [GradViewMut<'_>],
         comm: &mut dyn Communicator,
     ) -> Result<(), CoreError> {
-        check_shapes(&mut self.shapes, grads)?;
-        let enabled = self.recorder.enabled();
-        let step_start = self.recorder.now_us();
-        self.packer.pack(grads.iter().map(|g| &*g.grad));
-        let flat = self.packer.buffer_mut().to_vec();
-        let n = flat.len();
-        let k = ((self.density * n as f64).ceil() as usize).clamp(1, n);
-        let compressor = self
-            .compressor
-            .get_or_insert_with(|| ErrorFeedback::new(TopK::new(k)));
-        let compress_start = self.recorder.now_us();
-        let payload = if self.error_feedback {
-            compressor.compress(&flat)
-        } else {
-            let mut raw = TopK::new(k);
-            raw.compress(&flat)
-        };
-        let mut compress_us = self.recorder.now_us().saturating_sub(compress_start);
-        let payload_bytes = payload.wire_bytes() as u64;
-        let (indices, values) = match payload {
-            Payload::Sparse {
-                indices, values, ..
-            } => (indices, values),
-            _ => unreachable!("TopK produces sparse payloads"),
-        };
-        let gathered_idx = comm.all_gather_u32(&indices)?;
-        let gathered_val = comm.all_gather_f32(&values)?;
-        let scatter_start = self.recorder.now_us();
-        let mut dense = vec![0.0f32; n];
-        TopK::scatter_average(&gathered_idx, &gathered_val, comm.world_size(), &mut dense);
-        compress_us += self.recorder.now_us().saturating_sub(scatter_start);
-        let mut offset = 0usize;
-        for g in grads.iter_mut() {
-            let len = g.grad.len();
-            g.grad.copy_from_slice(&dense[offset..offset + len]);
-            offset += len;
-        }
-        if enabled {
-            let residual = self.error_feedback.then(|| {
-                self.compressor
-                    .as_ref()
-                    .map_or(0.0, |c| c.residual_norm() as f64)
-            });
-            record_step_metrics(
-                &*self.recorder,
-                4 * n as u64,
-                payload_bytes,
-                compress_us,
-                step_start,
-                residual,
-            );
-        }
-        Ok(())
+        let ef = self.codec.error_feedback;
+        run_step(
+            &mut self.pipeline,
+            &mut self.codec,
+            &self.recorder,
+            grads,
+            comm,
+            |codec: &TopkCodec| ef.then(|| codec.residual_norm() as f64),
+        )
     }
 
     fn set_recorder(&mut self, recorder: RecorderHandle) {
         self.recorder.set(recorder);
+    }
+
+    fn supports_overlap(&self) -> bool {
+        true
+    }
+
+    fn push_ready(
+        &mut self,
+        index: usize,
+        dims: &[usize],
+        grad: &[f32],
+        comm: &mut dyn Communicator,
+    ) -> Result<(), CoreError> {
+        self.pipeline
+            .push(&mut self.codec, index, dims, grad, comm, &*self.recorder)
+    }
+
+    fn finish_overlap(
+        &mut self,
+        grads: &mut [GradViewMut<'_>],
+        comm: &mut dyn Communicator,
+    ) -> Result<(), CoreError> {
+        self.aggregate(grads, comm)
     }
 }
 
@@ -239,7 +308,7 @@ mod tests {
         }];
         opt.aggregate(&mut views, &mut comm).unwrap();
         // Three dropped 1.0s live in the residual.
-        let residual = opt.compressor.as_ref().unwrap().residual_norm();
+        let residual = opt.residual_norm();
         assert!(
             (residual - 3.0f32.sqrt()).abs() < 1e-5,
             "residual {residual}"
@@ -250,5 +319,39 @@ mod tests {
     #[should_panic(expected = "density")]
     fn bad_density_panics() {
         TopkSgdAggregator::new(0.0);
+    }
+
+    #[test]
+    fn per_bucket_selection_matches_layout() {
+        // With per-tensor buckets, k applies per bucket: each tensor keeps
+        // its own top element.
+        let results = ThreadGroup::run(2, |mut comm| {
+            let cfg = TopkSgdConfig::default()
+                .with_density(0.25)
+                .with_error_feedback(false)
+                .with_buffer_bytes(1);
+            let mut opt = TopkSgdAggregator::from_config(cfg);
+            let r = comm.rank() as f32;
+            let mut a = vec![4.0 + r, 0.1, 0.0, 0.0];
+            let mut b = vec![0.0, -6.0 - r, 0.2, 0.0];
+            let da = [4usize];
+            let db = [4usize];
+            let mut views = [
+                GradViewMut {
+                    dims: &da,
+                    grad: &mut a,
+                },
+                GradViewMut {
+                    dims: &db,
+                    grad: &mut b,
+                },
+            ];
+            opt.aggregate(&mut views, &mut comm).unwrap();
+            (a, b)
+        });
+        for (a, b) in results {
+            assert_eq!(a, vec![4.5, 0.0, 0.0, 0.0]);
+            assert_eq!(b, vec![0.0, -6.5, 0.0, 0.0]);
+        }
     }
 }

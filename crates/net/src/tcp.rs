@@ -28,11 +28,17 @@
 
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use acp_collectives::ring::{self, Transport, WireMsg};
-use acp_collectives::{CommError, Communicator, ReduceOp};
-use acp_telemetry::{keys, noop, RecorderHandle, Span};
+use acp_collectives::nonblocking::execute_collective;
+use acp_collectives::ring::{Transport, WireMsg};
+use acp_collectives::{
+    CollectiveOp, CollectiveResult, CommError, CommWorker, Communicator, PendingOp, ReduceOp,
+    TopkMode, WorkerTransport,
+};
+use acp_telemetry::{keys, noop, RecorderHandle};
 
 use crate::fault::FaultInjector;
 use crate::frame::{read_frame, write_frame, Frame};
@@ -335,6 +341,26 @@ fn send_hello(stream: &mut TcpStream, rank: usize) -> Result<(), CommError> {
 pub struct TcpCommunicator {
     rank: usize,
     world_size: usize,
+    topology: Topology,
+    /// The socket transport; `Some` until the comm worker takes it.
+    inner: Option<TcpTransport>,
+    /// Per-rank comm worker, spawned lazily by the first dispatched
+    /// operation; once running, every collective (blocking included)
+    /// routes through it so submission order stays FIFO-total.
+    worker: Option<CommWorker>,
+    /// Shared with the transport so `bytes_sent` stays readable after the
+    /// transport moves into the worker thread.
+    bytes_sent: Arc<AtomicU64>,
+    recorder: RecorderHandle,
+}
+
+/// The socket transport state of one rank. Lives inside the
+/// [`TcpCommunicator`] until a comm worker is spawned, then moves into the
+/// worker thread; collectives run the same ring algorithms on it either
+/// way.
+struct TcpTransport {
+    rank: usize,
+    world_size: usize,
     peers: Vec<SocketAddr>,
     topology: Topology,
     retry: RetryPolicy,
@@ -344,7 +370,7 @@ pub struct TcpCommunicator {
     wiring: Wiring,
     /// Frames sent so far — drives the deterministic drop injector.
     frames_sent: u64,
-    bytes_sent: u64,
+    bytes_sent: Arc<AtomicU64>,
     recorder: RecorderHandle,
 }
 
@@ -354,7 +380,7 @@ impl std::fmt::Debug for TcpCommunicator {
             .field("rank", &self.rank)
             .field("world_size", &self.world_size)
             .field("topology", &self.topology)
-            .field("bytes_sent", &self.bytes_sent)
+            .field("bytes_sent", &self.bytes_sent.load(Ordering::SeqCst))
             .finish_non_exhaustive()
     }
 }
@@ -415,7 +441,8 @@ impl TcpCommunicator {
         if world_size == 0 || rank >= world_size || peers.len() != world_size {
             return Err(CommError::InvalidRank { rank, world_size });
         }
-        let mut comm = TcpCommunicator {
+        let bytes_sent = Arc::new(AtomicU64::new(0));
+        let mut transport = TcpTransport {
             rank,
             world_size,
             peers,
@@ -426,11 +453,19 @@ impl TcpCommunicator {
             listener,
             wiring: Wiring::Single,
             frames_sent: 0,
-            bytes_sent: 0,
+            bytes_sent: Arc::clone(&bytes_sent),
             recorder: noop(),
         };
-        comm.wiring = comm.establish()?;
-        Ok(comm)
+        transport.wiring = transport.establish()?;
+        Ok(TcpCommunicator {
+            rank,
+            world_size,
+            topology,
+            inner: Some(transport),
+            worker: None,
+            bytes_sent,
+            recorder: noop(),
+        })
     }
 
     /// This worker's rank in `[0, world_size)`.
@@ -443,6 +478,32 @@ impl TcpCommunicator {
         self.world_size
     }
 
+    /// Runs one collective to completion: inline on the transport before
+    /// a worker exists, or as submit-and-wait once one is running (so a
+    /// blocking call can never overtake dispatched operations).
+    fn run_op(&mut self, op: CollectiveOp) -> Result<CollectiveResult, CommError> {
+        match (&self.worker, self.inner.as_mut()) {
+            (Some(worker), _) => worker.submit(op).wait(),
+            (None, Some(transport)) => execute_collective(transport, op),
+            // Unreachable: the transport only leaves when a worker spawns.
+            (None, None) => Err(CommError::WorkerPanicked),
+        }
+    }
+
+    /// Spawns the comm worker on first use, moving the transport into it.
+    fn ensure_worker(&mut self) -> &CommWorker {
+        if self.worker.is_none() {
+            let transport = self
+                .inner
+                .take()
+                .expect("transport is present until the worker takes it");
+            self.worker = Some(CommWorker::spawn(transport));
+        }
+        self.worker.as_ref().expect("worker just spawned")
+    }
+}
+
+impl TcpTransport {
     /// The deadline used for link establishment: generous enough for the
     /// whole retry schedule, but never unbounded.
     fn establish_deadline(&self) -> Instant {
@@ -555,32 +616,30 @@ impl TcpCommunicator {
         link.stream = stream;
         Ok(())
     }
+}
 
-    /// Emits per-collective telemetry: one [`keys::COMM_CALLS`] tick, a
-    /// latency observation under `key`, and a span on this rank's track —
-    /// the same shape `ThreadCommunicator` records, so traces and
-    /// reconciliation tests work unchanged over TCP.
-    fn record_collective(&self, name: &'static str, key: &str, start_us: u64) {
-        if !self.recorder.enabled() {
-            return;
-        }
-        let end_us = self.recorder.now_us();
-        self.recorder.add(keys::COMM_CALLS, 1);
-        self.recorder
-            .observe(key, end_us.saturating_sub(start_us) as f64);
-        self.recorder.span(Span {
-            name,
-            cat: keys::CAT_COMM,
-            track: self.rank as u64,
-            start_us,
-            end_us,
-        });
+impl WorkerTransport for TcpTransport {
+    fn recorder(&self) -> &RecorderHandle {
+        &self.recorder
+    }
+
+    fn set_recorder(&mut self, recorder: RecorderHandle) {
+        self.recorder = recorder;
     }
 
     /// Applies the straggler fault at the top of every collective.
-    fn straggle(&self) {
+    fn prepare(&mut self) {
         if let Some(delay) = self.fault.straggler_delay {
             std::thread::sleep(delay);
+        }
+    }
+
+    fn topk_mode(&self) -> TopkMode {
+        match self.topology {
+            // Butterfly needs arbitrary pairs — mesh only. On a ring, fall
+            // back to the exact gather-and-truncate collective.
+            Topology::FullMesh => TopkMode::Butterfly,
+            Topology::Ring => TopkMode::GatherTruncate,
         }
     }
 }
@@ -632,7 +691,7 @@ fn resolve_link(
     }
 }
 
-impl Transport for TcpCommunicator {
+impl Transport for TcpTransport {
     fn rank(&self) -> usize {
         self.rank
     }
@@ -655,7 +714,7 @@ impl Transport for TcpCommunicator {
         let started = Instant::now();
         // Destructure for disjoint field borrows: the link lives in
         // `wiring`, while reconnection needs `peers`/`retry`.
-        let TcpCommunicator {
+        let TcpTransport {
             rank,
             world_size,
             peers,
@@ -682,7 +741,7 @@ impl Transport for TcpCommunicator {
             }
             Err(e) => return Err(map_io("send", started, &e)),
         }
-        self.bytes_sent += bytes;
+        self.bytes_sent.fetch_add(bytes, Ordering::SeqCst);
         if self.recorder.enabled() {
             self.recorder.add(keys::COMM_BYTES_SENT, bytes);
         }
@@ -695,7 +754,7 @@ impl Transport for TcpCommunicator {
         // re-established according to our role, then the read is retried.
         let mut recovered = false;
         loop {
-            let TcpCommunicator {
+            let TcpTransport {
                 rank,
                 world_size,
                 peers,
@@ -733,6 +792,37 @@ impl Transport for TcpCommunicator {
     }
 }
 
+/// Point-to-point access for callers that drive the transport directly
+/// (topology diagnostics, tests). Unavailable once the comm worker owns
+/// the transport — use the collective API then.
+impl Transport for TcpCommunicator {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn world_size(&self) -> usize {
+        self.world_size
+    }
+
+    fn send_to(&mut self, dest: usize, msg: WireMsg) -> Result<(), CommError> {
+        match self.inner.as_mut() {
+            Some(transport) => transport.send_to(dest, msg),
+            None => Err(CommError::Io(
+                "transport is owned by the comm worker; use the collective API".into(),
+            )),
+        }
+    }
+
+    fn recv_from(&mut self, src: usize) -> Result<WireMsg, CommError> {
+        match self.inner.as_mut() {
+            Some(transport) => transport.recv_from(src),
+            None => Err(CommError::Io(
+                "transport is owned by the comm worker; use the collective API".into(),
+            )),
+        }
+    }
+}
+
 impl Communicator for TcpCommunicator {
     fn rank(&self) -> usize {
         self.rank
@@ -743,49 +833,57 @@ impl Communicator for TcpCommunicator {
     }
 
     fn all_reduce(&mut self, buf: &mut [f32], op: ReduceOp) -> Result<(), CommError> {
-        self.straggle();
-        let start_us = self.recorder.now_us();
-        let result = ring::all_reduce(self, buf, op);
-        self.record_collective("all_reduce", keys::COMM_ALL_REDUCE_US, start_us);
-        result
+        let out = self
+            .run_op(CollectiveOp::AllReduce {
+                buf: buf.to_vec(),
+                op,
+            })?
+            .into_f32()?;
+        buf.copy_from_slice(&out);
+        Ok(())
     }
 
     fn all_gather_f32(&mut self, send: &[f32]) -> Result<Vec<f32>, CommError> {
-        self.straggle();
-        let start_us = self.recorder.now_us();
-        let result = ring::all_gather_f32(self, send);
-        self.record_collective("all_gather_f32", keys::COMM_ALL_GATHER_US, start_us);
-        result
+        self.run_op(CollectiveOp::AllGatherF32 {
+            send: send.to_vec(),
+        })?
+        .into_f32()
     }
 
     fn all_gather_u32(&mut self, send: &[u32]) -> Result<Vec<u32>, CommError> {
-        self.straggle();
-        let start_us = self.recorder.now_us();
-        let result = ring::all_gather_u32(self, send);
-        self.record_collective("all_gather_u32", keys::COMM_ALL_GATHER_US, start_us);
-        result
+        self.run_op(CollectiveOp::AllGatherU32 {
+            send: send.to_vec(),
+        })?
+        .into_u32()
     }
 
     fn broadcast(&mut self, buf: &mut [f32], root: usize) -> Result<(), CommError> {
-        self.straggle();
-        let start_us = self.recorder.now_us();
-        let result = ring::broadcast(self, buf, root);
-        self.record_collective("broadcast", keys::COMM_BROADCAST_US, start_us);
-        result
+        let out = self
+            .run_op(CollectiveOp::Broadcast {
+                buf: buf.to_vec(),
+                root,
+            })?
+            .into_f32()?;
+        buf.copy_from_slice(&out);
+        Ok(())
     }
 
     fn barrier(&mut self) -> Result<(), CommError> {
-        self.straggle();
         // Untimed, as in the thread backend: barriers move no payload.
-        ring::barrier(self)
+        self.run_op(CollectiveOp::Barrier).map(|_| ())
     }
 
     fn bytes_sent(&self) -> u64 {
-        self.bytes_sent
+        self.bytes_sent.load(Ordering::SeqCst)
     }
 
     fn set_recorder(&mut self, recorder: RecorderHandle) {
-        self.recorder = recorder;
+        self.recorder = Arc::clone(&recorder);
+        match (&self.worker, self.inner.as_mut()) {
+            (Some(worker), _) => worker.set_recorder(recorder),
+            (None, Some(transport)) => transport.recorder = recorder,
+            (None, None) => {}
+        }
     }
 
     fn global_topk(
@@ -794,25 +892,16 @@ impl Communicator for TcpCommunicator {
         values: &[f32],
         k: usize,
     ) -> Result<(Vec<u32>, Vec<f32>), CommError> {
-        self.straggle();
-        let start_us = self.recorder.now_us();
-        let result = match self.topology {
-            // Butterfly needs arbitrary pairs — mesh only.
-            Topology::FullMesh => ring::global_topk_butterfly(self, indices, values, k),
-            // On a ring, fall back to the exact gather-and-truncate
-            // collective (the Communicator trait's default algorithm).
-            Topology::Ring => (|| {
-                let gathered_idx = ring::all_gather_u32(self, indices)?;
-                let gathered_val = ring::all_gather_f32(self, values)?;
-                let mut map = std::collections::BTreeMap::new();
-                for (&i, &v) in gathered_idx.iter().zip(&gathered_val) {
-                    *map.entry(i).or_insert(0.0f32) += v;
-                }
-                Ok(ring::truncate_topk(map, k))
-            })(),
-        };
-        self.record_collective("global_topk", keys::COMM_GLOBAL_TOPK_US, start_us);
-        result
+        self.run_op(CollectiveOp::GlobalTopk {
+            indices: indices.to_vec(),
+            values: values.to_vec(),
+            k,
+        })?
+        .into_sparse()
+    }
+
+    fn dispatch(&mut self, op: CollectiveOp) -> PendingOp {
+        self.ensure_worker().submit(op)
     }
 }
 

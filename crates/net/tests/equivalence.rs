@@ -9,7 +9,7 @@
 //! logic. Sums are additionally checked against a naive sequential
 //! reference within floating-point tolerance.
 
-use acp_collectives::{Communicator, ReduceOp, ThreadGroup};
+use acp_collectives::{wait_all, CollectiveOp, Communicator, ReduceOp, ThreadGroup};
 use acp_net::{run_local, run_local_with, Topology};
 use proptest::prelude::*;
 
@@ -171,6 +171,56 @@ proptest! {
         for rank in 0..world {
             prop_assert_eq!(&tcp[rank].0, &thread[rank].0);
             assert_bits_eq(&tcp[rank].1, &thread[rank].1, "global_topk tcp vs thread");
+        }
+    }
+
+    /// The non-blocking path (`all_reduce_start` + `wait`, with several
+    /// operations in flight) is bit-exact across backends *and* with the
+    /// blocking call — the comm worker runs the same ring algorithms in
+    /// the same submission order.
+    #[test]
+    fn all_reduce_start_matches_thread_backend_and_blocking(
+        world in 2usize..9,
+        len in 1usize..130,
+        seed in 0u64..1000,
+        op_tag in 0u8..3,
+    ) {
+        let op = op_from(op_tag);
+        let nonblocking_run = |mut comm: Box<dyn Communicator>| {
+            // Two operations in flight at once, redeemed in FIFO order.
+            let first = comm.all_reduce_start(input(comm.rank(), len, seed), op);
+            let second = comm.dispatch(CollectiveOp::AllReduce {
+                buf: input(comm.rank(), len, seed.wrapping_add(1)),
+                op,
+            });
+            let results = wait_all([first, second]).unwrap();
+            results
+                .into_iter()
+                .map(|r| r.into_f32().unwrap())
+                .collect::<Vec<_>>()
+        };
+        let blocking = ThreadGroup::run(world, |mut comm| {
+            let mut a = input(comm.rank(), len, seed);
+            comm.all_reduce(&mut a, op).unwrap();
+            let mut b = input(comm.rank(), len, seed.wrapping_add(1));
+            comm.all_reduce(&mut b, op).unwrap();
+            vec![a, b]
+        });
+        let thread = ThreadGroup::run(world, |comm| nonblocking_run(Box::new(comm)));
+        let tcp = run_local(world, |comm| nonblocking_run(Box::new(comm)));
+        for rank in 0..world {
+            for round in 0..2 {
+                assert_bits_eq(
+                    &tcp[rank][round],
+                    &thread[rank][round],
+                    "all_reduce_start tcp vs thread",
+                );
+                assert_bits_eq(
+                    &thread[rank][round],
+                    &blocking[rank][round],
+                    "all_reduce_start vs blocking",
+                );
+            }
         }
     }
 }

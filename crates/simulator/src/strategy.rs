@@ -16,7 +16,7 @@ pub enum Strategy {
         /// Fraction of gradient elements kept (paper: 0.001).
         density: f64,
     },
-    /// gTop-k SGD (extension, the paper's reference [33]): global top-k
+    /// gTop-k SGD (extension, the paper's reference \[33\]): global top-k
     /// over the `O(k log p)` sparse all-reduce instead of all-gather.
     GTopkSgd {
         /// Fraction of gradient elements kept.

@@ -1,0 +1,143 @@
+//! Post-hoc span analysis: how much communication hid behind compute.
+//!
+//! The trainer records one [`crate::keys::SPAN_BACKWARD`] span per step and
+//! the non-blocking comm worker records one [`crate::keys::CAT_COMM`] span
+//! per collective; intersecting the two timelines per track (worker rank)
+//! measures the wait-free-backpropagation overlap the paper's Figs. 8–9
+//! reason about. All functions take the flat span list of a
+//! [`crate::MetricsSnapshot`].
+
+use std::collections::BTreeMap;
+
+use crate::recorder::SpanRecord;
+
+/// Sorts intervals and merges any that touch or overlap.
+fn merged(mut intervals: Vec<(u64, u64)>) -> Vec<(u64, u64)> {
+    intervals.sort_unstable();
+    let mut out: Vec<(u64, u64)> = Vec::new();
+    for (start, end) in intervals {
+        match out.last_mut() {
+            Some(last) if start <= last.1 => last.1 = last.1.max(end),
+            _ => out.push((start, end)),
+        }
+    }
+    out
+}
+
+/// Total length of the intersection of two merged, sorted interval sets.
+fn intersection_us(a: &[(u64, u64)], b: &[(u64, u64)]) -> u64 {
+    let (mut i, mut j, mut total) = (0usize, 0usize, 0u64);
+    while i < a.len() && j < b.len() {
+        let lo = a[i].0.max(b[j].0);
+        let hi = a[i].1.min(b[j].1);
+        if lo < hi {
+            total += hi - lo;
+        }
+        if a[i].1 <= b[j].1 {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    total
+}
+
+/// Microseconds during which any span of category `cat` runs concurrently
+/// with any span named `name`, computed per track and summed — a rank's
+/// communication only hides behind that same rank's compute, so tracks
+/// never intersect each other.
+pub fn overlap_us(spans: &[SpanRecord], cat: &str, name: &str) -> u64 {
+    type Timelines = BTreeMap<u64, (Vec<(u64, u64)>, Vec<(u64, u64)>)>;
+    let mut by_track: Timelines = BTreeMap::new();
+    for s in spans {
+        let entry = by_track.entry(s.track).or_default();
+        if s.cat == cat {
+            entry.0.push((s.start_us, s.end_us));
+        }
+        if s.name == name {
+            entry.1.push((s.start_us, s.end_us));
+        }
+    }
+    by_track
+        .into_values()
+        .map(|(a, b)| intersection_us(&merged(a), &merged(b)))
+        .sum()
+}
+
+/// Total busy microseconds of spans with category `cat`: the per-track
+/// union (concurrent spans on one track count once), summed across tracks.
+pub fn busy_us(spans: &[SpanRecord], cat: &str) -> u64 {
+    let mut by_track: BTreeMap<u64, Vec<(u64, u64)>> = BTreeMap::new();
+    for s in spans.iter().filter(|s| s.cat == cat) {
+        by_track
+            .entry(s.track)
+            .or_default()
+            .push((s.start_us, s.end_us));
+    }
+    by_track
+        .into_values()
+        .flat_map(|iv| merged(iv).into_iter().map(|(s, e)| e - s))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(name: &str, cat: &str, track: u64, start_us: u64, end_us: u64) -> SpanRecord {
+        SpanRecord {
+            name: name.to_string(),
+            cat: cat.to_string(),
+            track,
+            start_us,
+            end_us,
+        }
+    }
+
+    #[test]
+    fn overlap_measures_intersection_only() {
+        let spans = vec![
+            span("backward", "compute", 0, 0, 100),
+            span("all_reduce", "comm", 0, 50, 150), // 50 µs inside backward
+            span("all_reduce", "comm", 0, 200, 300), // fully outside
+        ];
+        assert_eq!(overlap_us(&spans, "comm", "backward"), 50);
+    }
+
+    #[test]
+    fn overlap_is_per_track() {
+        let spans = vec![
+            span("backward", "compute", 0, 0, 100),
+            span("all_reduce", "comm", 1, 0, 100), // other rank's comm
+        ];
+        assert_eq!(overlap_us(&spans, "comm", "backward"), 0);
+    }
+
+    #[test]
+    fn overlapping_spans_count_once() {
+        let spans = vec![
+            span("backward", "compute", 0, 0, 100),
+            span("all_reduce", "comm", 0, 10, 60),
+            span("all_gather", "comm", 0, 40, 90), // overlaps the first op
+        ];
+        // Union of comm is [10, 90): 80 µs, all inside backward.
+        assert_eq!(overlap_us(&spans, "comm", "backward"), 80);
+        assert_eq!(busy_us(&spans, "comm"), 80);
+    }
+
+    #[test]
+    fn busy_sums_across_tracks() {
+        let spans = vec![span("a", "comm", 0, 0, 10), span("b", "comm", 1, 0, 30)];
+        assert_eq!(busy_us(&spans, "comm"), 40);
+        assert_eq!(busy_us(&spans, "compute"), 0);
+    }
+
+    #[test]
+    fn disjoint_sets_have_zero_overlap() {
+        let spans = vec![
+            span("backward", "compute", 0, 0, 100),
+            span("all_reduce", "comm", 0, 100, 200), // starts exactly at end
+        ];
+        assert_eq!(overlap_us(&spans, "comm", "backward"), 0);
+    }
+}

@@ -36,9 +36,30 @@ pub const EF_RESIDUAL_NORM: &str = "ef.residual_norm";
 /// microseconds.
 pub const STEP_AGGREGATE_US: &str = "step.aggregate_us";
 
+/// Counter: fusion buckets dispatched by the aggregation pipeline.
+pub const PIPELINE_BUCKETS: &str = "pipeline.buckets";
+/// Series: *exposed* wait time per fusion bucket, microseconds — the part
+/// of each bucket's communication the caller actually blocked on (zero
+/// when the collective finished while later buckets were still packing or
+/// backward was still running).
+pub const PIPELINE_EXPOSED_WAIT_US: &str = "pipeline.exposed_wait_us";
+
 /// Span category for communication work.
 pub const CAT_COMM: &str = "comm";
 /// Span category for compression work.
 pub const CAT_COMPRESS: &str = "compress";
 /// Span category for compute (forward/backward) work.
 pub const CAT_COMPUTE: &str = "compute";
+/// Span category for the fused-bucket pipeline (dispatch/wait bookkeeping,
+/// kept distinct from [`CAT_COMM`] so collective spans can be analyzed
+/// without double counting).
+pub const CAT_PIPELINE: &str = "pipeline";
+
+/// Span name for one bucket's compress-and-dispatch stage.
+pub const SPAN_BUCKET_DISPATCH: &str = "comm.bucket.dispatch";
+/// Span name for one bucket's wait-decompress-writeback stage.
+pub const SPAN_BUCKET_WAIT: &str = "comm.bucket.wait";
+/// Span name for one backward pass ([`CAT_COMPUTE`]). With overlap enabled
+/// the comm worker's [`CAT_COMM`] collective spans intersect these; without
+/// it they never do.
+pub const SPAN_BACKWARD: &str = "compute.backward";

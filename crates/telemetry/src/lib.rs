@@ -44,12 +44,14 @@
 
 #![warn(missing_docs)]
 
+pub mod analysis;
 pub mod chrome;
 pub mod keys;
 pub mod recorder;
 pub mod report;
 pub mod summary;
 
+pub use analysis::{busy_us, overlap_us};
 pub use chrome::ChromeTraceBuilder;
 pub use recorder::{
     noop, InMemoryRecorder, MetricsSnapshot, NoopRecorder, Recorder, RecorderCell, RecorderHandle,

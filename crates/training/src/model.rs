@@ -35,15 +35,43 @@ impl Sequential {
 
     /// Runs the backward pass, filling every parameter gradient.
     pub fn backward(&mut self, grad_out: &Tensor) {
+        self.backward_with(grad_out, |_, _| {});
+    }
+
+    /// Runs the backward pass, invoking `on_layer_ready` as each layer's
+    /// parameter gradients become final — i.e. immediately after that
+    /// layer's `backward`, while earlier (forward-order) layers are still
+    /// waiting to run.
+    ///
+    /// This is the wait-free-backpropagation hook: the callback receives
+    /// the layer's forward-order index and its parameters, letting a
+    /// gradient-aggregation pipeline dispatch communication for finished
+    /// layers concurrently with the rest of the backward pass. Layers are
+    /// visited in reverse forward order (output first).
+    pub fn backward_with<F>(&mut self, grad_out: &Tensor, mut on_layer_ready: F)
+    where
+        F: FnMut(usize, &mut [Param<'_>]),
+    {
         let mut g = grad_out.clone();
-        for layer in self.layers.iter_mut().rev() {
+        for (index, layer) in self.layers.iter_mut().enumerate().rev() {
             g = layer.backward(&g);
+            let mut params = layer.params();
+            on_layer_ready(index, &mut params);
         }
     }
 
     /// Borrows all parameters in forward-layer order.
     pub fn params(&mut self) -> Vec<Param<'_>> {
         self.layers.iter_mut().flat_map(|l| l.params()).collect()
+    }
+
+    /// Number of parameter tensors held by each layer, in forward order.
+    ///
+    /// Prefix-summing this gives the global forward-order parameter index
+    /// of each layer's first tensor — the index space [`Sequential::params`]
+    /// and the `backward_with` callback agree on.
+    pub fn params_per_layer(&mut self) -> Vec<usize> {
+        self.layers.iter_mut().map(|l| l.params().len()).collect()
     }
 
     /// Total number of trainable parameters.
@@ -187,6 +215,41 @@ mod tests {
         for p in m.params() {
             assert!(p.grad.iter().all(|g| g.is_finite()));
         }
+    }
+
+    #[test]
+    fn backward_with_visits_layers_in_reverse_with_global_indices() {
+        let mut m = mlp(&[4, 8, 2], 7);
+        let counts = m.params_per_layer();
+        assert_eq!(counts.iter().sum::<usize>(), m.params().len());
+        let x = Tensor::zeros(&[2, 4]);
+        let logits = m.forward(&x);
+        let (_, d) = softmax_cross_entropy(&logits, &[0, 1]);
+        let mut visited = Vec::new();
+        m.backward_with(&d, |i, params| visited.push((i, params.len())));
+        let expected: Vec<(usize, usize)> = counts.iter().copied().enumerate().rev().collect();
+        assert_eq!(visited, expected, "reverse forward order, every layer");
+    }
+
+    #[test]
+    fn backward_with_fills_same_gradients_as_backward() {
+        let x = Tensor::from_vec(&[2, 4], (0..8).map(|i| i as f32 * 0.25).collect());
+        let labels = [0usize, 1];
+        let grads = |hook: bool| {
+            let mut m = mlp(&[4, 8, 2], 11);
+            let logits = m.forward(&x);
+            let (_, d) = softmax_cross_entropy(&logits, &labels);
+            if hook {
+                m.backward_with(&d, |_, _| {});
+            } else {
+                m.backward(&d);
+            }
+            m.params()
+                .iter()
+                .flat_map(|p| p.grad.iter().copied())
+                .collect::<Vec<f32>>()
+        };
+        assert_eq!(grads(true), grads(false));
     }
 
     #[test]

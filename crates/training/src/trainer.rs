@@ -5,7 +5,7 @@ use std::sync::Arc;
 
 use acp_collectives::{Communicator, ThreadGroup};
 use acp_core::{DistributedOptimizer, GradViewMut};
-use acp_telemetry::{keys, InMemoryRecorder, MetricsSnapshot, StepReport};
+use acp_telemetry::{keys, InMemoryRecorder, MetricsSnapshot, Recorder, Span, StepReport};
 use acp_tensor::rng::seeded_rng;
 use rand::seq::SliceRandom;
 
@@ -30,6 +30,11 @@ pub struct TrainConfig {
     pub weight_decay: f32,
     /// Seed for shuffling (model init seeds live in the model builder).
     pub seed: u64,
+    /// Overlap gradient communication with backward compute (wait-free
+    /// backpropagation) when the aggregator supports it. The aggregated
+    /// result is bit-identical either way; disable to measure the
+    /// unoverlapped baseline.
+    pub overlap: bool,
 }
 
 impl Default for TrainConfig {
@@ -41,6 +46,7 @@ impl Default for TrainConfig {
             momentum: 0.9,
             weight_decay: 0.0,
             seed: 42,
+            overlap: true,
         }
     }
 }
@@ -281,6 +287,21 @@ where
         None
     };
     let rank = comm.rank();
+    let overlap = cfg.overlap && aggregator.supports_overlap();
+    // Global forward-order index of each layer's first parameter tensor —
+    // the index space `push_ready` expects.
+    let layer_offsets: Vec<usize> = {
+        let mut acc = 0usize;
+        model
+            .params_per_layer()
+            .into_iter()
+            .map(|count| {
+                let start = acc;
+                acc += count;
+                start
+            })
+            .collect()
+    };
     let mut deltas = StepDeltas::new();
     let mut steps: Vec<StepReport> = Vec::new();
     let mut sgd = SgdMomentum::new(cfg.schedule.lr_at(0), cfg.momentum, cfg.weight_decay);
@@ -299,7 +320,31 @@ where
             let (x, y) = make_batch(data, chunk, true);
             let logits = model.forward(&x);
             let (loss, dlogits) = softmax_cross_entropy(&logits, &y);
-            model.backward(&dlogits);
+            let backward_start = recorder.as_ref().map(|rec| rec.now_us());
+            if overlap {
+                // Wait-free backpropagation: hand each layer's gradients to
+                // the aggregation pipeline the moment its backward finishes,
+                // so full buckets communicate while earlier layers compute.
+                model.backward_with(&dlogits, |layer, params| {
+                    let base = layer_offsets[layer];
+                    for (slot, p) in params.iter_mut().enumerate() {
+                        aggregator
+                            .push_ready(base + slot, p.dims, p.grad, &mut comm)
+                            .expect("gradient dispatch failed");
+                    }
+                });
+            } else {
+                model.backward(&dlogits);
+            }
+            if let (Some(rec), Some(start_us)) = (&recorder, backward_start) {
+                rec.span(Span {
+                    name: keys::SPAN_BACKWARD,
+                    cat: keys::CAT_COMPUTE,
+                    track: rank as u64,
+                    start_us,
+                    end_us: rec.now_us(),
+                });
+            }
             let mut params = model.params();
             let mut views: Vec<GradViewMut<'_>> = params
                 .iter_mut()
@@ -308,9 +353,15 @@ where
                     grad: &mut *p.grad,
                 })
                 .collect();
-            aggregator
-                .aggregate(&mut views, &mut comm)
-                .expect("gradient aggregation failed");
+            if overlap {
+                aggregator
+                    .finish_overlap(&mut views, &mut comm)
+                    .expect("gradient aggregation failed");
+            } else {
+                aggregator
+                    .aggregate(&mut views, &mut comm)
+                    .expect("gradient aggregation failed");
+            }
             sgd.step(&mut params);
             if let Some(rec) = &recorder {
                 let mut report = deltas.take(rec, epoch, batches);
@@ -432,6 +483,52 @@ mod tests {
         // Telemetry must not perturb training: history matches a plain run.
         let plain = train_distributed(2, &data, || mlp(&[4, 2], 1), SSgdAggregator::new, &cfg);
         assert_eq!(report.history, plain);
+    }
+
+    #[test]
+    fn overlapped_training_matches_blocking_bitwise() {
+        // WFBP is a scheduling change, not a numerical one: with small
+        // fusion buckets (so pushes interleave with compute) the per-epoch
+        // history must match the blocking path bit for bit.
+        let data = Dataset::gaussian_clusters(3, 6, 30, 0.2, 17);
+        let overlapped = quick_cfg(3);
+        let blocking = TrainConfig {
+            overlap: false,
+            ..overlapped.clone()
+        };
+        let model = || mlp(&[6, 12, 3], 9);
+        let agg = || {
+            AcpSgdAggregator::new(AcpSgdConfig {
+                rank: 2,
+                warm_start_steps: 2,
+                buffer_bytes: 256, // several buckets per step
+                ..Default::default()
+            })
+        };
+        let a = train_distributed(2, &data, model, agg, &overlapped);
+        let b = train_distributed(2, &data, model, agg, &blocking);
+        assert_eq!(a, b);
+        let s = train_distributed(2, &data, model, SSgdAggregator::new, &overlapped);
+        let t = train_distributed(2, &data, model, SSgdAggregator::new, &blocking);
+        assert_eq!(s, t);
+    }
+
+    #[test]
+    fn backward_spans_are_recorded_when_instrumented() {
+        use acp_telemetry::keys;
+        let data = Dataset::gaussian_clusters(2, 4, 20, 0.2, 29);
+        let cfg = quick_cfg(2);
+        let report =
+            train_distributed_instrumented(2, &data, || mlp(&[4, 2], 1), SSgdAggregator::new, &cfg);
+        for rank in &report.ranks {
+            let backward = rank
+                .snapshot
+                .spans
+                .iter()
+                .filter(|s| s.name == keys::SPAN_BACKWARD && s.cat == keys::CAT_COMPUTE)
+                .count();
+            assert_eq!(backward, rank.steps.len(), "one backward span per step");
+        }
     }
 
     #[test]

@@ -21,7 +21,9 @@
 //! comparison. `--min-accuracy X` makes the run exit non-zero if S-SGD
 //! ends below `X` or ACP-SGD ends more than 0.1 below S-SGD — the CI
 //! convergence gate. Fault injection rides along through the
-//! `ACP_NET_FAULT_*` variables (see `acp-net`'s docs).
+//! `ACP_NET_FAULT_*` variables (see `acp-net`'s docs). `--no-overlap`
+//! disables wait-free backpropagation (gradients then aggregate in one
+//! blocking call after backward); accuracy is identical either way.
 //!
 //! With `--trace PATH` communication/compression spans are written as
 //! Chrome-trace JSON (load in `chrome://tracing` or Perfetto, one track
@@ -42,6 +44,7 @@ struct Args {
     epochs: usize,
     min_accuracy: f32,
     trace_path: Option<std::path::PathBuf>,
+    overlap: bool,
 }
 
 fn parse_args() -> Args {
@@ -60,6 +63,7 @@ fn parse_args() -> Args {
             .parse()
             .expect("--min-accuracy takes a float"),
         trace_path: value_of("--trace").map(std::path::PathBuf::from),
+        overlap: !raw.iter().any(|a| a == "--no-overlap"),
     }
 }
 
@@ -74,6 +78,7 @@ fn experiment(epochs: usize) -> (Dataset, TrainConfig, impl Fn() -> Sequential +
         momentum: 0.9,
         weight_decay: 0.0,
         seed: 42,
+        ..TrainConfig::default()
     };
     (data, cfg, || mlp(&[16, 64, 32, 3], 99))
 }
@@ -108,7 +113,8 @@ fn accuracy_gate(ssgd_final: f32, acp_final: f32, min_accuracy: f32) -> i32 {
 fn run_tcp_worker(cfg: TcpConfig, args: &Args) -> i32 {
     let (rank, world) = (cfg.rank, cfg.world_size);
     let base_port = cfg.peers[0].port();
-    let (data, train_cfg, model) = experiment(args.epochs);
+    let (data, mut train_cfg, model) = experiment(args.epochs);
+    train_cfg.overlap = args.overlap;
 
     let comm = TcpCommunicator::connect(cfg).expect("worker joins S-SGD group");
     let (ssgd, _) = train_rank(
@@ -218,7 +224,8 @@ fn pick_base_port(count: u16) -> u16 {
 fn run_thread_backend(args: &Args) -> i32 {
     let workers = args.workers;
     let epochs = args.epochs;
-    let (data, cfg, model) = experiment(epochs);
+    let (data, mut cfg, model) = experiment(epochs);
+    cfg.overlap = args.overlap;
 
     println!("training {workers} data-parallel workers on the rings task, {epochs} epochs\n");
     let ssgd = train_distributed(

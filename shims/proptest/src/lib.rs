@@ -20,7 +20,7 @@ pub mod collection {
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;
 
-    /// Anything usable as the size specifier of [`vec`]: a fixed length or a
+    /// Anything usable as the size specifier of [`vec()`](fn@vec): a fixed length or a
     /// (half-open or inclusive) range of lengths.
     pub trait SampleLen {
         /// Draws a length from this specifier.

@@ -20,6 +20,7 @@ fn rings_config(epochs: usize) -> (Dataset, TrainConfig) {
         momentum: 0.9,
         weight_decay: 0.0,
         seed: 7,
+        ..TrainConfig::default()
     };
     (data, cfg)
 }
@@ -104,6 +105,7 @@ fn acp_without_error_feedback_is_worse() {
         momentum: 0.9,
         weight_decay: 1e-4,
         seed: 7,
+        ..TrainConfig::default()
     };
     let model = || small_cnn(3, 8, 10, 99);
     let with_ef = train_distributed(
@@ -205,6 +207,7 @@ fn signsgd_with_error_feedback_learns() {
         momentum: 0.9,
         weight_decay: 0.0,
         seed: 7,
+        ..TrainConfig::default()
     };
     let h = train_distributed(
         4,
@@ -232,6 +235,7 @@ fn cnn_trains_with_acp_sgd() {
         momentum: 0.9,
         weight_decay: 0.0,
         seed: 9,
+        ..TrainConfig::default()
     };
     let h = train_distributed(
         2,
@@ -282,6 +286,7 @@ fn dgc_learns_with_aggressive_sparsity() {
         momentum: 0.0,
         weight_decay: 0.0,
         seed: 7,
+        ..TrainConfig::default()
     };
     let h = train_distributed(
         4,
@@ -292,6 +297,7 @@ fn dgc_learns_with_aggressive_sparsity() {
                 density: 0.02,
                 momentum: 0.9,
                 clip_norm: Some(5.0),
+                ..Default::default()
             })
         },
         &cfg,
@@ -312,6 +318,7 @@ fn resnet_tiny_trains_with_acp_and_warm_start() {
         momentum: 0.9,
         weight_decay: 1e-4,
         seed: 3,
+        ..TrainConfig::default()
     };
     let h = train_distributed(
         2,
