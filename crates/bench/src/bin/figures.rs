@@ -9,6 +9,7 @@
 //!   headline   (abstract speedup numbers)
 //!   telemetry  (instrumented ACP-SGD run: per-step metrics + summary)
 //!   overlap    (WFBP overlap: measured vs simulated; writes BENCH_overlap.json)
+//!   tuning     (closed-loop autotuner on local TCP; writes BENCH_tuning.json)
 //!   all        (everything; convergence at the quick epoch count)
 //! ```
 //!
@@ -80,6 +81,21 @@ fn overlap_bench(epochs: usize) -> String {
     }
 }
 
+/// Calibrates the α–β model on a live 4-rank TCP group, then compares the
+/// default 25 MB fusion buffer against the auto-tuned size; also writes
+/// `BENCH_tuning.json` to the cwd. The measured runs are capped at 2 epochs
+/// regardless of `--epochs`.
+fn tuning_bench(epochs: usize) -> String {
+    use acp_bench::tuning;
+    let report = tuning::run(epochs.min(2));
+    let text = tuning::render(&report);
+    let path = "BENCH_tuning.json";
+    match std::fs::write(path, tuning::to_json(&report)) {
+        Ok(()) => format!("{text}\nwrote {path}"),
+        Err(e) => format!("{text}\nfailed to write {path}: {e}"),
+    }
+}
+
 fn run(name: &str, epochs: usize) -> Option<String> {
     let out = match name {
         "table1" => format!("Table I\n{}", statics::table1().render()),
@@ -112,6 +128,7 @@ fn run(name: &str, epochs: usize) -> Option<String> {
         "headline" => headline(),
         "telemetry" => telemetry(),
         "overlap" => overlap_bench(epochs),
+        "tuning" => tuning_bench(epochs),
         _ => return None,
     };
     Some(out)
@@ -146,6 +163,7 @@ fn main() {
         "ext-tune",
         "telemetry",
         "overlap",
+        "tuning",
         "headline",
     ];
     let selected: Vec<&str> = if names.is_empty() || names.contains(&"all") {

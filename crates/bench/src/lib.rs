@@ -24,5 +24,6 @@ pub mod overlap;
 pub mod statics;
 pub mod table;
 pub mod timing;
+pub mod tuning;
 
 pub use table::TextTable;

@@ -53,6 +53,19 @@ impl AlphaBetaCost {
     }
 }
 
+impl From<acp_telemetry::FittedAlphaBeta> for AlphaBetaCost {
+    /// A calibration fit from live telemetry drops in for a tier preset —
+    /// the fit targets exactly the model [`ClusterCost`] evaluates, so the
+    /// conversion is a plain re-labeling.
+    fn from(fit: acp_telemetry::FittedAlphaBeta) -> Self {
+        AlphaBetaCost {
+            alpha: fit.alpha,
+            beta: fit.beta,
+            launch: fit.launch,
+        }
+    }
+}
+
 /// The three interconnects evaluated in the paper (Fig. 13), plus the
 /// loopback-TCP tier of `acp-net`'s local multi-process backend.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -394,5 +407,35 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn zero_workers_panics() {
         ClusterCost::new(0, NetworkTier::TenGbE);
+    }
+
+    #[test]
+    fn calibration_fit_round_trips_through_cluster_cost() {
+        // Samples generated from a ClusterCost, fitted by the telemetry
+        // calibration, must reproduce that ClusterCost's predictions — the
+        // fit and the simulator price collectives with the same formulas.
+        use acp_telemetry::{fit_alpha_beta, CollectiveKind, CollectiveSample};
+        let truth = ClusterCost::new(4, NetworkTier::TenGbE);
+        let mut samples = Vec::new();
+        for bytes in [16 * 1024usize, 256 * 1024, 4 * MB] {
+            samples.push(CollectiveSample {
+                kind: CollectiveKind::AllReduce,
+                bytes: bytes as u64,
+                seconds: truth.all_reduce_time(bytes),
+            });
+            samples.push(CollectiveSample {
+                kind: CollectiveKind::AllGather,
+                bytes: bytes as u64,
+                seconds: truth.all_gather_time(bytes),
+            });
+        }
+        let fit = fit_alpha_beta(4, &samples).unwrap();
+        let fitted = ClusterCost::with_cost(4, AlphaBetaCost::from(fit));
+        for bytes in [8 * 1024usize, MB, 64 * MB] {
+            let (got, want) = (fitted.all_reduce_time(bytes), truth.all_reduce_time(bytes));
+            assert!((got - want).abs() / want < 1e-6, "AR {got} vs {want}");
+            let (got, want) = (fitted.all_gather_time(bytes), truth.all_gather_time(bytes));
+            assert!((got - want).abs() / want < 1e-6, "AG {got} vs {want}");
+        }
     }
 }

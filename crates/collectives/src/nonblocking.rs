@@ -150,13 +150,20 @@ enum PendingState {
     Ready(Result<CollectiveResult, CommError>),
     /// In flight on a comm worker; resolved by the reply channel.
     InFlight(Receiver<Result<CollectiveResult, CommError>>),
+    /// Consumed by [`PendingOp::wait`] or drained by `Drop`.
+    Taken,
 }
 
 /// Handle to a dispatched collective; redeem it with [`PendingOp::wait`].
 ///
 /// Dropping a handle without waiting abandons the *result*, not the
 /// operation: the comm worker still executes it (the SPMD order across
-/// ranks is unaffected), and its reply is discarded.
+/// ranks is unaffected), and its reply is discarded. The drop *blocks*
+/// until the operation completes on the worker — an error path that bails
+/// out of an overlapped step therefore stays synchronous with its own comm
+/// worker instead of racing ahead (tearing down the communicator, or
+/// submitting the next step's collectives) while peers are still inside
+/// the abandoned collective.
 #[must_use = "a dispatched collective completes at `wait`; dropping the handle discards its result"]
 pub struct PendingOp {
     state: PendingState,
@@ -167,6 +174,7 @@ impl std::fmt::Debug for PendingOp {
         let state = match &self.state {
             PendingState::Ready(_) => "ready",
             PendingState::InFlight(_) => "in-flight",
+            PendingState::Taken => "taken",
         };
         f.debug_struct("PendingOp").field("state", &state).finish()
     }
@@ -198,11 +206,26 @@ impl PendingOp {
     ///
     /// Propagates the collective's error; a comm worker that died before
     /// replying surfaces as [`CommError::WorkerPanicked`].
-    pub fn wait(self) -> Result<CollectiveResult, CommError> {
-        match self.state {
+    pub fn wait(mut self) -> Result<CollectiveResult, CommError> {
+        match std::mem::replace(&mut self.state, PendingState::Taken) {
             PendingState::Ready(result) => result,
             // A dropped reply sender means the worker thread is gone.
             PendingState::InFlight(rx) => rx.recv().unwrap_or(Err(CommError::WorkerPanicked)),
+            PendingState::Taken => unreachable!("wait consumes the handle"),
+        }
+    }
+}
+
+impl Drop for PendingOp {
+    fn drop(&mut self) {
+        if let PendingState::InFlight(rx) = std::mem::replace(&mut self.state, PendingState::Taken)
+        {
+            // Drain the reply so the drop is synchronous with the worker
+            // (see the type docs). The worker's own receives are bounded by
+            // transport deadlines, so this wait terminates even with dead
+            // peers; the generous cap only guards against a wedged worker
+            // thread, where abandoning the reply is the lesser evil.
+            let _ = rx.recv_timeout(std::time::Duration::from_secs(60));
         }
     }
 }
@@ -211,8 +234,9 @@ impl PendingOp {
 ///
 /// # Errors
 ///
-/// Returns the first error encountered; remaining handles are dropped
-/// (their operations still complete on the worker, results discarded).
+/// Returns the first error encountered; remaining handles are dropped,
+/// which blocks until their operations complete on the worker (results
+/// discarded) — the error return leaves no collectives still in flight.
 pub fn wait_all(
     ops: impl IntoIterator<Item = PendingOp>,
 ) -> Result<Vec<CollectiveResult>, CommError> {
@@ -254,14 +278,18 @@ pub trait WorkerTransport: Transport + Send {
     }
 }
 
-/// Emits the per-collective telemetry triple every backend records: one
-/// [`keys::COMM_CALLS`] tick, a latency observation under `key`, and a
-/// span on `track`'s timeline.
+/// Emits the per-collective telemetry every backend records: one
+/// [`keys::COMM_CALLS`] tick, a latency observation under `key`, a payload
+/// size under `bytes_key` (index-parallel with the latency series — the
+/// pairing the α–β calibration fit relies on), and a span on `track`'s
+/// timeline.
 fn record_collective(
     rec: &RecorderHandle,
     track: u64,
     name: &'static str,
     key: &'static str,
+    bytes_key: &'static str,
+    bytes: u64,
     start_us: u64,
 ) {
     if !rec.enabled() {
@@ -270,6 +298,7 @@ fn record_collective(
     let end_us = rec.now_us();
     rec.add(keys::COMM_CALLS, 1);
     rec.observe(key, end_us.saturating_sub(start_us) as f64);
+    rec.observe(bytes_key, bytes as f64);
     rec.span(Span {
         name,
         cat: keys::CAT_COMM,
@@ -315,36 +344,49 @@ pub fn execute_collective<T: WorkerTransport + ?Sized>(
     let rec = t.recorder().clone();
     let track = t.rank() as u64;
     let start_us = rec.now_us();
-    let (name, key, result) = match op {
+    let (name, key, bytes_key, bytes, result) = match op {
         CollectiveOp::AllReduce { mut buf, op } => (
             "all_reduce",
             keys::COMM_ALL_REDUCE_US,
+            keys::COMM_ALL_REDUCE_BYTES,
+            4 * buf.len() as u64,
             ring::all_reduce(t, &mut buf, op).map(|()| CollectiveResult::F32(buf)),
         ),
         CollectiveOp::AllReduceRd { mut buf, op } => (
             "all_reduce_rd",
             keys::COMM_ALL_REDUCE_US,
+            keys::COMM_ALL_REDUCE_BYTES,
+            4 * buf.len() as u64,
             ring::all_reduce_recursive_doubling(t, &mut buf, op)
                 .map(|()| CollectiveResult::F32(buf)),
         ),
         CollectiveOp::AllGatherF32 { send } => (
             "all_gather_f32",
             keys::COMM_ALL_GATHER_US,
+            keys::COMM_ALL_GATHER_BYTES,
+            4 * send.len() as u64,
             ring::all_gather_f32(t, &send).map(CollectiveResult::F32),
         ),
         CollectiveOp::AllGatherU32 { send } => (
             "all_gather_u32",
             keys::COMM_ALL_GATHER_US,
+            keys::COMM_ALL_GATHER_BYTES,
+            4 * send.len() as u64,
             ring::all_gather_u32(t, &send).map(CollectiveResult::U32),
         ),
         CollectiveOp::Broadcast { mut buf, root } => (
             "broadcast",
             keys::COMM_BROADCAST_US,
+            keys::COMM_BROADCAST_BYTES,
+            4 * buf.len() as u64,
             ring::broadcast(t, &mut buf, root).map(|()| CollectiveResult::F32(buf)),
         ),
         CollectiveOp::GlobalTopk { indices, values, k } => (
             "global_topk",
             keys::COMM_GLOBAL_TOPK_US,
+            keys::COMM_GLOBAL_TOPK_BYTES,
+            // (index, value) pairs this rank contributes.
+            8 * indices.len() as u64,
             match t.topk_mode() {
                 TopkMode::Butterfly => ring::global_topk_butterfly(t, &indices, &values, k),
                 TopkMode::GatherTruncate => gather_truncate_topk(t, &indices, &values, k),
@@ -358,7 +400,7 @@ pub fn execute_collective<T: WorkerTransport + ?Sized>(
             return ring::barrier(t).map(|()| CollectiveResult::Unit);
         }
     };
-    record_collective(&rec, track, name, key, start_us);
+    record_collective(&rec, track, name, key, bytes_key, bytes, start_us);
     result
 }
 

@@ -326,6 +326,13 @@ impl DistributedOptimizer for AcpSgdAggregator {
         "acpsgd"
     }
 
+    fn set_buffer_bytes(&mut self, buffer_bytes: usize) {
+        self.pipeline.set_buffer_bytes(buffer_bytes);
+        // Per-bucket factor state is keyed by bucket index; a new plan
+        // means new buckets, so the old queries/residuals are dropped.
+        self.codec.buckets.clear();
+    }
+
     fn aggregate(
         &mut self,
         grads: &mut [GradViewMut<'_>],

@@ -135,6 +135,11 @@ impl DistributedOptimizer for GTopkSgdAggregator {
         "gtopk"
     }
 
+    fn set_buffer_bytes(&mut self, buffer_bytes: usize) {
+        self.pipeline.set_buffer_bytes(buffer_bytes);
+        self.codec.buckets.clear();
+    }
+
     fn aggregate(
         &mut self,
         grads: &mut [GradViewMut<'_>],

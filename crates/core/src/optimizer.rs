@@ -109,6 +109,16 @@ pub trait DistributedOptimizer: Send {
     ) -> Result<(), CoreError> {
         self.aggregate(grads, comm)
     }
+
+    /// Reconfigures the fusion buffer capacity in bytes (`0` disables
+    /// fusion), discarding any bucket plan and per-bucket compression
+    /// state so the next step rebuilds them — how the closed-loop
+    /// autotuner applies its tuned size before epoch 1. Must be called
+    /// between steps, never mid-overlap. The default ignores the request
+    /// (aggregators without a fusion pipeline have nothing to re-plan).
+    fn set_buffer_bytes(&mut self, buffer_bytes: usize) {
+        let _ = buffer_bytes;
+    }
 }
 
 impl DistributedOptimizer for Box<dyn DistributedOptimizer> {
@@ -148,6 +158,10 @@ impl DistributedOptimizer for Box<dyn DistributedOptimizer> {
         comm: &mut dyn Communicator,
     ) -> Result<(), CoreError> {
         (**self).finish_overlap(grads, comm)
+    }
+
+    fn set_buffer_bytes(&mut self, buffer_bytes: usize) {
+        (**self).set_buffer_bytes(buffer_bytes)
     }
 }
 

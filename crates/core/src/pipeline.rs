@@ -168,6 +168,34 @@ impl FusedPipeline {
         self.buckets.len()
     }
 
+    /// Reconfigures the fusion buffer capacity, discarding the bucket plan
+    /// so the next step rebuilds it — the closed-loop autotuner applies
+    /// its tuned size through this between profiling and epoch 1. A no-op
+    /// when the capacity is unchanged. The recorded tensor shapes are
+    /// kept, so shape/count-change detection still works across the
+    /// re-plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called mid-step (after a `push`, before its `finish`),
+    /// when collectives may be in flight against the old plan.
+    pub fn set_buffer_bytes(&mut self, buffer_bytes: usize) {
+        if buffer_bytes == self.buffer_bytes {
+            return;
+        }
+        assert!(
+            !self.step_open,
+            "cannot re-plan fusion buckets while a step is open"
+        );
+        self.buffer_bytes = buffer_bytes;
+        self.buckets.clear();
+        self.tensor_to_bucket.clear();
+        self.inflight.clear();
+        self.pushed.clear();
+        self.pushed_count.clear();
+        self.dispatched.clear();
+    }
+
     fn ensure_plan(&mut self, grads: &[GradViewMut<'_>]) {
         if !self.buckets.is_empty() || grads.is_empty() {
             return;
@@ -682,6 +710,76 @@ mod tests {
         assert_eq!(dispatch, 4);
         assert_eq!(wait, 4);
         assert!(spans.iter().filter(|s| s.cat == keys::CAT_PIPELINE).count() >= 8);
+    }
+
+    #[test]
+    fn error_mid_overlap_drains_inflight_collectives_on_all_ranks() {
+        // Regression (ISSUE 4): before `PendingOp` had a `Drop` impl, an
+        // early-error return from the overlapped path abandoned the
+        // in-flight collective, letting the erroring rank race ahead of
+        // its own comm worker (and wedge peers blocked inside the ring).
+        // Every rank errors out mid-overlap here; the test terminating
+        // with all three errors observed *is* the assertion.
+        let errs = ThreadGroup::run(3, |mut comm| {
+            let mut pipeline = FusedPipeline::new(0); // one bucket per tensor
+            let mut codec = MeanCodec;
+            let r = comm.rank() as f32;
+            let dims = vec![vec![2usize], vec![2usize]];
+            // Step 1: blocking, builds the plan.
+            let mut grads = vec![vec![r; 2], vec![r; 2]];
+            let mut v = views(&dims, &mut grads);
+            pipeline
+                .finish(&mut codec, &mut v, &mut comm, &*noop())
+                .unwrap();
+            // Step 2, WFBP order: the deepest tensor's bucket dispatches
+            // its collective the moment it is pushed...
+            pipeline
+                .push(&mut codec, 1, &dims[1], &[r; 2], &mut comm, &*noop())
+                .unwrap();
+            // ...then a shape change errors out of the step with that
+            // collective still in flight. Dropping the pipeline (and its
+            // PendingOp) must drain it before this rank moves on.
+            let err = pipeline
+                .push(&mut codec, 0, &[3], &[0.0; 3], &mut comm, &*noop())
+                .unwrap_err();
+            matches!(err, CoreError::ShapeChanged { index: 0, .. })
+        });
+        assert_eq!(errs, vec![true, true, true]);
+    }
+
+    #[test]
+    fn set_buffer_bytes_rebuilds_the_plan() {
+        let results = ThreadGroup::run(2, |mut comm| {
+            let mut pipeline = FusedPipeline::new(0); // one bucket per tensor
+            let mut codec = MeanCodec;
+            let r = comm.rank() as f32;
+            let dims = vec![vec![2usize], vec![2usize], vec![2usize]];
+            let mut grads = vec![vec![r; 2], vec![r; 2], vec![r; 2]];
+            let mut v = views(&dims, &mut grads);
+            pipeline
+                .finish(&mut codec, &mut v, &mut comm, &*noop())
+                .unwrap();
+            assert_eq!(pipeline.num_buckets(), 3);
+            // Retune: everything fits one bucket now; results must still
+            // be the mean, and the old plan must be fully discarded.
+            pipeline.set_buffer_bytes(DEFAULT_BUFFER_BYTES);
+            assert_eq!(pipeline.num_buckets(), 0);
+            let mut grads = vec![vec![r; 2], vec![10.0 * r; 2], vec![r + 2.0; 2]];
+            let mut v = views(&dims, &mut grads);
+            pipeline
+                .finish(&mut codec, &mut v, &mut comm, &*noop())
+                .unwrap();
+            assert_eq!(pipeline.num_buckets(), 1);
+            // Setting the same capacity again keeps the plan.
+            pipeline.set_buffer_bytes(DEFAULT_BUFFER_BYTES);
+            assert_eq!(pipeline.num_buckets(), 1);
+            grads
+        });
+        for g in results {
+            assert_eq!(g[0], vec![0.5; 2]); // mean of 0,1
+            assert_eq!(g[1], vec![5.0; 2]);
+            assert_eq!(g[2], vec![2.5; 2]);
+        }
     }
 
     #[test]

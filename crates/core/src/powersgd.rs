@@ -339,6 +339,11 @@ impl DistributedOptimizer for PowerSgdAggregator {
         "powersgd"
     }
 
+    fn set_buffer_bytes(&mut self, buffer_bytes: usize) {
+        self.pipeline.set_buffer_bytes(buffer_bytes);
+        self.codec.buckets.clear();
+    }
+
     fn aggregate(
         &mut self,
         grads: &mut [GradViewMut<'_>],

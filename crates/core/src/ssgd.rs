@@ -85,6 +85,10 @@ impl DistributedOptimizer for SSgdAggregator {
         "ssgd"
     }
 
+    fn set_buffer_bytes(&mut self, buffer_bytes: usize) {
+        self.pipeline.set_buffer_bytes(buffer_bytes);
+    }
+
     fn aggregate(
         &mut self,
         grads: &mut [GradViewMut<'_>],

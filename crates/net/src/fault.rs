@@ -20,8 +20,23 @@
 //! | `ACP_NET_FAULT_DELAY_US` | per-frame send delay, microseconds |
 //! | `ACP_NET_FAULT_DROP_EVERY` | close + reconnect before every n-th frame |
 //! | `ACP_NET_FAULT_STRAGGLER_US` | per-collective delay, microseconds |
+//!
+//! Malformed values (e.g. `ACP_NET_FAULT_DROP_EVERY=5x`) are structured
+//! configuration errors, not silently-disabled faults — see
+//! [`FaultInjector::from_env`].
 
 use std::time::Duration;
+
+use crate::launch::parse_env;
+
+/// Apply faults only on this rank (default: all ranks).
+pub const ENV_FAULT_RANK: &str = "ACP_NET_FAULT_RANK";
+/// Per-frame send delay, microseconds (0 = disabled).
+pub const ENV_FAULT_DELAY_US: &str = "ACP_NET_FAULT_DELAY_US";
+/// Close + reconnect before every n-th frame send (0 = disabled).
+pub const ENV_FAULT_DROP_EVERY: &str = "ACP_NET_FAULT_DROP_EVERY";
+/// Per-collective straggler delay, microseconds (0 = disabled).
+pub const ENV_FAULT_STRAGGLER_US: &str = "ACP_NET_FAULT_STRAGGLER_US";
 
 /// Fault plan applied by a [`crate::TcpCommunicator`]. See the module docs
 /// for the semantics of each knob.
@@ -71,33 +86,33 @@ impl FaultInjector {
     }
 
     /// Reads the fault plan for `rank` from the `ACP_NET_FAULT_*`
-    /// environment variables. Unset or unparsable variables leave their
-    /// knob disabled; if `ACP_NET_FAULT_RANK` is set and differs from
-    /// `rank`, the plan is empty.
-    pub fn from_env(rank: usize) -> Self {
-        let target = std::env::var("ACP_NET_FAULT_RANK")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok());
+    /// environment variables. Unset variables leave their knob disabled,
+    /// and an explicit `0` disables a knob too; if `ACP_NET_FAULT_RANK`
+    /// is set and differs from `rank`, the plan is empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns `"NAME=value is not a valid value"` when a variable is set
+    /// but unparsable (e.g. `ACP_NET_FAULT_DROP_EVERY=5x`). A fault plan
+    /// you asked for but mistyped must fail the run loudly — silently
+    /// disabling the fault would make the injection test pass vacuously.
+    /// Every variable is validated even when the plan targets a different
+    /// rank, so a typo surfaces on all ranks.
+    pub fn from_env(rank: usize) -> Result<Self, String> {
+        let target: Option<usize> = parse_env(ENV_FAULT_RANK)?;
+        let delay: Option<u64> = parse_env(ENV_FAULT_DELAY_US)?;
+        let drop: Option<u64> = parse_env(ENV_FAULT_DROP_EVERY)?;
+        let straggler: Option<u64> = parse_env(ENV_FAULT_STRAGGLER_US)?;
         if let Some(target) = target {
             if target != rank {
-                return FaultInjector::none();
+                return Ok(FaultInjector::none());
             }
         }
-        let us = |name: &str| {
-            std::env::var(name)
-                .ok()
-                .and_then(|v| v.parse::<u64>().ok())
-                .filter(|&v| v > 0)
-                .map(Duration::from_micros)
-        };
-        FaultInjector {
-            send_delay: us("ACP_NET_FAULT_DELAY_US"),
-            drop_every: std::env::var("ACP_NET_FAULT_DROP_EVERY")
-                .ok()
-                .and_then(|v| v.parse::<u64>().ok())
-                .filter(|&v| v > 0),
-            straggler_delay: us("ACP_NET_FAULT_STRAGGLER_US"),
-        }
+        Ok(FaultInjector {
+            send_delay: delay.filter(|&v| v > 0).map(Duration::from_micros),
+            drop_every: drop.filter(|&v| v > 0),
+            straggler_delay: straggler.filter(|&v| v > 0).map(Duration::from_micros),
+        })
     }
 }
 
@@ -126,5 +141,84 @@ mod tests {
     #[should_panic(expected = "at least 1")]
     fn drop_every_zero_panics() {
         let _ = FaultInjector::none().with_drop_every(0);
+    }
+
+    use crate::launch::testenv::with_env;
+
+    const ALL_UNSET: [(&str, Option<&str>); 4] = [
+        (ENV_FAULT_RANK, None),
+        (ENV_FAULT_DELAY_US, None),
+        (ENV_FAULT_DROP_EVERY, None),
+        (ENV_FAULT_STRAGGLER_US, None),
+    ];
+
+    #[test]
+    fn empty_env_is_inert() {
+        with_env(&ALL_UNSET, || {
+            assert_eq!(FaultInjector::from_env(0), Ok(FaultInjector::none()));
+        });
+    }
+
+    #[test]
+    fn valid_env_builds_the_plan() {
+        let mut vars = ALL_UNSET;
+        vars[1].1 = Some("250");
+        vars[2].1 = Some("5");
+        vars[3].1 = Some("1000");
+        with_env(&vars, || {
+            let f = FaultInjector::from_env(3).unwrap();
+            assert_eq!(f.send_delay, Some(Duration::from_micros(250)));
+            assert_eq!(f.drop_every, Some(5));
+            assert_eq!(f.straggler_delay, Some(Duration::from_micros(1000)));
+        });
+    }
+
+    #[test]
+    fn malformed_value_is_a_loud_error_not_a_disabled_fault() {
+        // Regression (ISSUE 4): `ACP_NET_FAULT_DROP_EVERY=5x` used to
+        // silently disable the fault, making injection tests pass
+        // vacuously. It must be a configuration error naming the variable.
+        let mut vars = ALL_UNSET;
+        vars[2].1 = Some("5x");
+        with_env(&vars, || {
+            let err = FaultInjector::from_env(0).unwrap_err();
+            assert!(
+                err.contains("ACP_NET_FAULT_DROP_EVERY=5x"),
+                "error should name the bad setting: {err}"
+            );
+        });
+    }
+
+    #[test]
+    fn malformed_values_fail_on_non_target_ranks_too() {
+        let mut vars = ALL_UNSET;
+        vars[0].1 = Some("1");
+        vars[1].1 = Some("fast");
+        with_env(&vars, || {
+            assert!(FaultInjector::from_env(0).is_err());
+            assert!(FaultInjector::from_env(1).is_err());
+        });
+    }
+
+    #[test]
+    fn zero_explicitly_disables_a_knob() {
+        let mut vars = ALL_UNSET;
+        vars[2].1 = Some("0");
+        with_env(&vars, || {
+            let f = FaultInjector::from_env(0).unwrap();
+            assert_eq!(f.drop_every, None);
+            assert!(!f.is_active());
+        });
+    }
+
+    #[test]
+    fn rank_targeting_leaves_other_ranks_inert() {
+        let mut vars = ALL_UNSET;
+        vars[0].1 = Some("2");
+        vars[2].1 = Some("7");
+        with_env(&vars, || {
+            assert!(!FaultInjector::from_env(0).unwrap().is_active());
+            assert_eq!(FaultInjector::from_env(2).unwrap().drop_every, Some(7));
+        });
     }
 }

@@ -21,7 +21,7 @@ pub const ENV_WORLD_SIZE: &str = "ACP_NET_WORLD_SIZE";
 /// Rank 0's listener port; rank `i` listens on `base_port + i`.
 pub const ENV_BASE_PORT: &str = "ACP_NET_BASE_PORT";
 
-fn parse_env<T: std::str::FromStr>(name: &str) -> Result<Option<T>, String> {
+pub(crate) fn parse_env<T: std::str::FromStr>(name: &str) -> Result<Option<T>, String> {
     match std::env::var(name) {
         Ok(v) => v
             .parse::<T>()
@@ -66,7 +66,7 @@ impl TcpConfig {
         let base_port = base_port
             .ok_or_else(|| format!("{ENV_BASE_PORT} must be set when {ENV_RANK} is set"))?;
         let cfg =
-            TcpConfig::local(rank, world, base_port).with_fault(FaultInjector::from_env(rank));
+            TcpConfig::local(rank, world, base_port).with_fault(FaultInjector::from_env(rank)?);
         Ok(Some(cfg))
     }
 }
@@ -159,15 +159,14 @@ pub fn launch_local(
     Ok(group)
 }
 
+// Env-var tests mutate process-global state; sharing one lock across every
+// test module that touches `ACP_NET_*` variables (this one and
+// `crate::fault`) keeps them from interleaving under the parallel runner.
 #[cfg(test)]
-mod tests {
-    use super::*;
-
-    // Env-var tests mutate process-global state; the `ENV_LOCK` keeps them
-    // from interleaving with each other under the parallel test runner.
+pub(crate) mod testenv {
     static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
-    fn with_env<R>(vars: &[(&str, Option<&str>)], f: impl FnOnce() -> R) -> R {
+    pub(crate) fn with_env<R>(vars: &[(&str, Option<&str>)], f: impl FnOnce() -> R) -> R {
         let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         let saved: Vec<(String, Option<String>)> = vars
             .iter()
@@ -188,6 +187,12 @@ mod tests {
         }
         result
     }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testenv::with_env;
+    use super::*;
 
     #[test]
     fn absent_env_is_not_a_worker() {

@@ -3,7 +3,7 @@
 //! All constants are fitted to the microbenchmarks the paper itself quotes
 //! (DESIGN.md §7) and then reused unchanged across every experiment.
 
-use acp_collectives::{ClusterCost, NetworkTier};
+use acp_collectives::{AlphaBetaCost, ClusterCost, NetworkTier};
 use serde::{Deserialize, Serialize};
 
 /// Compute-side cost model of one worker GPU (RTX 2080 Ti class).
@@ -85,6 +85,11 @@ pub struct HardwareProfile {
     /// underutilizes Ethernet links; calibrated so Sign-SGD's communication
     /// exceeds S-SGD's on BERT-Base as the paper measures).
     pub allgather_efficiency: f64,
+    /// Measured α–β parameters fitted from live telemetry by the
+    /// closed-loop autotuner. When present they replace the `network`
+    /// tier's hand-calibrated constants in [`Self::cluster_cost`]; the tier
+    /// presets remain for the paper-pinned experiments.
+    pub calibrated: Option<AlphaBetaCost>,
 }
 
 impl HardwareProfile {
@@ -95,6 +100,7 @@ impl HardwareProfile {
             workers: 32,
             network: NetworkTier::TenGbE,
             allgather_efficiency: 0.5,
+            calibrated: None,
         }
     }
 
@@ -108,9 +114,20 @@ impl HardwareProfile {
         }
     }
 
-    /// Cost calculator for this cluster.
+    /// Same profile with measured α–β parameters overriding the tier
+    /// presets (closed-loop autotuning).
+    pub fn with_calibrated(mut self, cost: AlphaBetaCost) -> Self {
+        self.calibrated = Some(cost);
+        self
+    }
+
+    /// Cost calculator for this cluster; uses the calibrated α–β
+    /// parameters when present, the `network` tier presets otherwise.
     pub fn cluster_cost(&self) -> ClusterCost {
-        ClusterCost::new(self.workers, self.network)
+        match self.calibrated {
+            Some(cost) => ClusterCost::with_cost(self.workers, cost),
+            None => ClusterCost::new(self.workers, self.network),
+        }
     }
 }
 
@@ -130,6 +147,23 @@ mod tests {
         assert_eq!(hw.workers, 32);
         assert_eq!(hw.network, NetworkTier::TenGbE);
         assert_eq!(hw.cluster_cost().workers(), 32);
+    }
+
+    #[test]
+    fn calibrated_parameters_override_the_tier() {
+        let measured = AlphaBetaCost {
+            alpha: 20e-6,
+            beta: 2e-9,
+            launch: 80e-6,
+        };
+        let hw = HardwareProfile::paper_testbed().with_calibrated(measured);
+        assert_eq!(hw.cluster_cost().alpha_beta(), measured);
+        // The tier presets stay in force without a calibration.
+        let stock = HardwareProfile::paper_testbed();
+        assert_eq!(
+            stock.cluster_cost().alpha_beta(),
+            NetworkTier::TenGbE.cost()
+        );
     }
 
     #[test]

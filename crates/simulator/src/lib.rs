@@ -50,5 +50,9 @@ pub mod trace;
 pub mod tune;
 
 pub use hardware::{GpuProfile, HardwareProfile};
-pub use sim::{simulate, ExperimentConfig, IterationReport, SimError};
+pub use sim::{simulate, simulate_with_spec, ExperimentConfig, IterationReport, SimError};
 pub use strategy::{OptLevel, Strategy};
+pub use tune::{
+    tune_buffer_size, tune_buffer_size_with_spec, tune_rank, tune_rank_with_spec, TunedBuffer,
+    TunedRank,
+};

@@ -351,8 +351,18 @@ pub(crate) fn build_schedule(
     cfg: &ExperimentConfig,
     acp_side: AcpSide,
 ) -> Result<Schedule, SimError> {
-    let spec = cfg.model.spec();
-    let required = memory_required(&spec, &cfg.strategy, cfg.hardware.workers);
+    build_schedule_with_spec(cfg, &cfg.model.spec(), acp_side)
+}
+
+/// [`build_schedule`] with an explicit model description, so callers can
+/// simulate measured models that are not in the static catalog (the
+/// autotuner profiles the live training model); `cfg.model` is ignored.
+pub(crate) fn build_schedule_with_spec(
+    cfg: &ExperimentConfig,
+    spec: &ModelSpec,
+    acp_side: AcpSide,
+) -> Result<Schedule, SimError> {
+    let required = memory_required(spec, &cfg.strategy, cfg.hardware.workers);
     if required > cfg.hardware.gpu.memory_bytes {
         return Err(SimError::OutOfMemory {
             required_bytes: required,
@@ -360,7 +370,7 @@ pub(crate) fn build_schedule(
         });
     }
     let costs = Costs::new(cfg.hardware);
-    let (fwd, infos) = tensor_infos(&spec, cfg.batch_size);
+    let (fwd, infos) = tensor_infos(spec, cfg.batch_size);
     // Power-SGD* under WFBP overlaps compression kernels with backward:
     // the backward pass itself slows down (Fig. 4(b)). Calibrated to the
     // paper's one-GPU measurement of ≈13% overall slowdown.
@@ -679,14 +689,32 @@ fn emit_power_buckets(
 /// Returns [`SimError::OutOfMemory`] when the strategy's working set
 /// exceeds device memory (Sign-SGD on BERT-Large).
 pub fn simulate(cfg: &ExperimentConfig) -> Result<IterationReport, SimError> {
+    simulate_with_spec(cfg, &cfg.model.spec())
+}
+
+/// [`simulate`] with an explicit model description instead of a catalog
+/// entry — the closed-loop autotuner builds a [`ModelSpec`] from the live
+/// training model's measured layer shapes and forward/backward time and
+/// simulates that. `cfg.model` is ignored.
+///
+/// # Errors
+///
+/// Same as [`simulate`].
+pub fn simulate_with_spec(
+    cfg: &ExperimentConfig,
+    spec: &ModelSpec,
+) -> Result<IterationReport, SimError> {
     match cfg.strategy {
         Strategy::AcpSgd { .. } => {
-            let p = IterationReport::from_schedule(&build_schedule(cfg, AcpSide::P)?);
-            let q = IterationReport::from_schedule(&build_schedule(cfg, AcpSide::Q)?);
+            let p =
+                IterationReport::from_schedule(&build_schedule_with_spec(cfg, spec, AcpSide::P)?);
+            let q =
+                IterationReport::from_schedule(&build_schedule_with_spec(cfg, spec, AcpSide::Q)?);
             Ok(IterationReport::average(p, q))
         }
-        _ => Ok(IterationReport::from_schedule(&build_schedule(
+        _ => Ok(IterationReport::from_schedule(&build_schedule_with_spec(
             cfg,
+            spec,
             AcpSide::P,
         )?)),
     }

@@ -1,4 +1,4 @@
-//! Automatic fusion-buffer-size tuning.
+//! Automatic fusion-buffer-size (and compression-rank) tuning.
 //!
 //! §IV-B notes that the buffer size "can be automatically tuned using e.g.
 //! Bayesian optimization" but that the scaled default is near-optimal.
@@ -6,9 +6,18 @@
 //! refinement over a log-spaced sweep of the simulated iteration time,
 //! which is unimodal in buffer size (too small ⇒ start-up costs dominate,
 //! too large ⇒ overlap lost).
+//!
+//! Both entry points come in two flavours: the plain versions
+//! ([`tune_buffer_size`], [`tune_rank`]) evaluate the catalog model named
+//! in the config, while the `_with_spec` variants take an explicit
+//! [`ModelSpec`] so the closed-loop autotuner can optimize a *measured*
+//! model (layer sizes and forward/backward time captured from a live run)
+//! on a [calibrated](crate::hardware::HardwareProfile::with_calibrated)
+//! hardware profile.
 
-use crate::sim::{simulate, ExperimentConfig, SimError};
-use crate::strategy::OptLevel;
+use crate::sim::{simulate_with_spec, ExperimentConfig, SimError};
+use crate::strategy::{OptLevel, Strategy};
+use acp_models::ModelSpec;
 
 /// Result of a buffer-size search.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -19,23 +28,43 @@ pub struct TunedBuffer {
     pub iteration_seconds: f64,
 }
 
+/// Result of a compression-rank search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TunedRank {
+    /// Best factorization rank found.
+    pub rank: usize,
+    /// Simulated iteration time at that rank (seconds).
+    pub iteration_seconds: f64,
+}
+
 /// Simulated iteration time for `cfg` at a given buffer size (0 bytes is
 /// interpreted as fusion off / pure WFBP, as in Fig. 10).
-fn time_at(cfg: &ExperimentConfig, buffer_bytes: usize) -> Result<f64, SimError> {
+fn time_at_spec(
+    cfg: &ExperimentConfig,
+    spec: &ModelSpec,
+    buffer_bytes: usize,
+) -> Result<f64, SimError> {
     let mut c = *cfg;
     c.buffer_bytes = buffer_bytes;
     if buffer_bytes == 0 {
         c.opt = OptLevel::Wfbp;
     }
-    Ok(simulate(&c)?.total)
+    Ok(simulate_with_spec(&c, spec)?.total)
 }
 
-/// Searches for the fusion buffer size minimizing simulated iteration time.
+#[cfg(test)]
+fn time_at(cfg: &ExperimentConfig, buffer_bytes: usize) -> Result<f64, SimError> {
+    time_at_spec(cfg, &cfg.model.spec(), buffer_bytes)
+}
+
+/// Searches for the fusion buffer size minimizing simulated iteration time
+/// for the catalog model named in `cfg`.
 ///
-/// Evaluates a log-spaced coarse sweep from 64 KB to the model's full
-/// gradient size (plus the fusion-off point), then refines around the best
-/// coarse point with two rounds of 3-point bisection. Costs ~20 simulator
-/// runs.
+/// Evaluates a log-spaced coarse sweep from 64 KB up to (and clamped at)
+/// the model's full gradient size, plus the fusion-off point, then refines
+/// around the best coarse point with rounds of 3-point bisection. Costs
+/// ~20 simulator runs. Buffers above the full gradient size are never
+/// evaluated: every such plan is the same single bucket as `full` itself.
 ///
 /// # Errors
 ///
@@ -53,13 +82,29 @@ fn time_at(cfg: &ExperimentConfig, buffer_bytes: usize) -> Result<f64, SimError>
 /// # Ok::<(), acp_simulator::SimError>(())
 /// ```
 pub fn tune_buffer_size(cfg: &ExperimentConfig) -> Result<TunedBuffer, SimError> {
-    let full = cfg.model.spec().grad_bytes();
-    // Coarse log sweep: 0 plus powers of 4 from 64 KB up to the gradient.
+    tune_buffer_size_with_spec(cfg, &cfg.model.spec())
+}
+
+/// [`tune_buffer_size`] over an explicit model spec (`cfg.model` is
+/// ignored) — the entry point the closed-loop autotuner uses with a
+/// measured model and calibrated hardware profile.
+pub fn tune_buffer_size_with_spec(
+    cfg: &ExperimentConfig,
+    spec: &ModelSpec,
+) -> Result<TunedBuffer, SimError> {
+    let full = spec.grad_bytes();
+    // Coarse log sweep: 0, powers of 4 from 64 KB strictly below the
+    // gradient size, then the gradient size itself. Models smaller than
+    // 64 KB get just [0, full] — a two-point sweep, no underflow, no
+    // above-gradient candidates.
     let mut candidates: Vec<usize> = vec![0];
     let mut b = 64 * 1024;
-    while b < full * 2 {
+    while b < full {
         candidates.push(b);
         b *= 4;
+    }
+    if full > 0 {
+        candidates.push(full);
     }
     let mut best = TunedBuffer {
         buffer_bytes: 0,
@@ -67,7 +112,7 @@ pub fn tune_buffer_size(cfg: &ExperimentConfig) -> Result<TunedBuffer, SimError>
     };
     let mut best_idx = 0usize;
     for (i, &cand) in candidates.iter().enumerate() {
-        let t = time_at(cfg, cand)?;
+        let t = time_at_spec(cfg, spec, cand)?;
         if t < best.iteration_seconds {
             best = TunedBuffer {
                 buffer_bytes: cand,
@@ -76,21 +121,22 @@ pub fn tune_buffer_size(cfg: &ExperimentConfig) -> Result<TunedBuffer, SimError>
             best_idx = i;
         }
     }
-    // Refine between the neighbours of the best coarse point.
+    // Refine between the neighbours of the best coarse point; the bracket
+    // never extends past the full gradient size.
     let mut lo = if best_idx == 0 {
         0
     } else {
         candidates[best_idx - 1]
     };
-    let mut hi = candidates.get(best_idx + 1).copied().unwrap_or(full * 2);
+    let mut hi = candidates.get(best_idx + 1).copied().unwrap_or(full);
     for _ in 0..6 {
         let mid1 = lo + (hi - lo) / 3;
         let mid2 = lo + 2 * (hi - lo) / 3;
         if mid1 == mid2 || mid1 == lo {
             break;
         }
-        let t1 = time_at(cfg, mid1)?;
-        let t2 = time_at(cfg, mid2)?;
+        let t1 = time_at_spec(cfg, spec, mid1)?;
+        let t2 = time_at_spec(cfg, spec, mid2)?;
         if t1 < best.iteration_seconds {
             best = TunedBuffer {
                 buffer_bytes: mid1,
@@ -112,11 +158,62 @@ pub fn tune_buffer_size(cfg: &ExperimentConfig) -> Result<TunedBuffer, SimError>
     Ok(best)
 }
 
+/// Searches the factorization rank minimizing simulated iteration time
+/// for a low-rank strategy (Power-SGD, Power-SGD*, ACP-SGD).
+///
+/// Sweeps powers of two from 1 up to 512. Returns `None` for strategies
+/// without a rank (S-SGD, sign/top-k families), where there is nothing to
+/// tune.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from the underlying simulations.
+pub fn tune_rank(cfg: &ExperimentConfig) -> Result<Option<TunedRank>, SimError> {
+    tune_rank_with_spec(cfg, &cfg.model.spec())
+}
+
+/// [`tune_rank`] over an explicit model spec (`cfg.model` is ignored).
+pub fn tune_rank_with_spec(
+    cfg: &ExperimentConfig,
+    spec: &ModelSpec,
+) -> Result<Option<TunedRank>, SimError> {
+    if cfg.strategy.rank().is_none() {
+        return Ok(None);
+    }
+    let mut best: Option<TunedRank> = None;
+    let mut rank = 1usize;
+    while rank <= 512 {
+        let mut c = *cfg;
+        c.strategy = with_rank(cfg.strategy, rank);
+        let t = simulate_with_spec(&c, spec)?.total;
+        if best.is_none_or(|b| t < b.iteration_seconds) {
+            best = Some(TunedRank {
+                rank,
+                iteration_seconds: t,
+            });
+        }
+        rank *= 2;
+    }
+    Ok(best)
+}
+
+/// The same strategy with its factorization rank replaced (identity for
+/// rank-free strategies).
+fn with_rank(strategy: Strategy, rank: usize) -> Strategy {
+    match strategy {
+        Strategy::PowerSgd { .. } => Strategy::PowerSgd { rank },
+        Strategy::PowerSgdStar { .. } => Strategy::PowerSgdStar { rank },
+        Strategy::AcpSgd { .. } => Strategy::AcpSgd { rank },
+        other => other,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sim::simulate;
     use crate::strategy::Strategy;
-    use acp_models::Model;
+    use acp_models::{LayerSpec, Model};
 
     #[test]
     fn tuned_buffer_beats_extremes() {
@@ -152,5 +249,65 @@ mod tests {
         // Tuned S-SGD is no slower than the default configuration.
         let default = simulate(&cfg).unwrap().total;
         assert!(best.iteration_seconds <= default * 1.001);
+    }
+
+    #[test]
+    fn sweep_never_exceeds_full_gradient_size() {
+        // Regression (ISSUE 4): the coarse sweep used to run to `full * 2`,
+        // wasting simulator runs on single-bucket-equivalent plans. Rebuild
+        // the candidate list the way the tuner does and check the clamp.
+        for model in [Model::BertLarge, Model::ResNet152] {
+            let full = model.spec().grad_bytes();
+            let mut candidates: Vec<usize> = vec![0];
+            let mut b = 64 * 1024;
+            while b < full {
+                candidates.push(b);
+                b *= 4;
+            }
+            candidates.push(full);
+            assert!(candidates.iter().all(|&c| c <= full));
+            // And the tuner's answer itself is within the model.
+            let cfg = ExperimentConfig::paper_testbed(model, Strategy::AcpSgd { rank: 32 });
+            let best = tune_buffer_size(&cfg).unwrap();
+            assert!(
+                best.buffer_bytes <= full,
+                "{} > {}",
+                best.buffer_bytes,
+                full
+            );
+        }
+    }
+
+    #[test]
+    fn tiny_models_are_tunable() {
+        // Regression (ISSUE 4): models smaller than the 64 KB sweep floor
+        // used to produce a degenerate candidate list. A 4 KB model must
+        // tune cleanly and never get a buffer beyond its gradient.
+        let spec = ModelSpec {
+            name: "tiny-mlp",
+            layers: vec![
+                LayerSpec::new("fc1", vec![16, 32], 1024),
+                LayerSpec::new("fc2", vec![32, 16], 1024),
+            ],
+            default_batch_size: 8,
+            ffbp_seconds_at_default_batch: 1e-4,
+        };
+        let cfg = ExperimentConfig::paper_testbed(Model::ResNet152, Strategy::AcpSgd { rank: 4 });
+        let best = tune_buffer_size_with_spec(&cfg, &spec).unwrap();
+        assert!(best.buffer_bytes <= spec.grad_bytes());
+        assert!(best.iteration_seconds > 0.0);
+    }
+
+    #[test]
+    fn rank_sweep_prefers_moderate_ranks() {
+        let cfg = ExperimentConfig::paper_testbed(Model::BertLarge, Strategy::AcpSgd { rank: 32 });
+        let best = tune_rank(&cfg).unwrap().expect("acp-sgd has a rank");
+        assert!(best.rank >= 1 && best.rank <= 512);
+        // The tuned rank is no slower than the configured rank.
+        let configured = simulate(&cfg).unwrap().total;
+        assert!(best.iteration_seconds <= configured * 1.001);
+        // Rank-free strategies have nothing to tune.
+        let ssgd = ExperimentConfig::paper_testbed(Model::ResNet152, Strategy::SSgd);
+        assert!(tune_rank(&ssgd).unwrap().is_none());
     }
 }

@@ -1,0 +1,426 @@
+//! Least-squares calibration of the α–β communication cost model from
+//! recorded collective telemetry.
+//!
+//! The simulator prices collectives with the standard α–β model
+//! (`acp-collectives::cost`, Table II of the paper):
+//!
+//! ```text
+//! T_allreduce(n) = launch + 2(p−1)·α + 2(p−1)/p · n · β
+//! T_allgather(k) = launch + (p−1)·α +  (p−1)    · k · β
+//! ```
+//!
+//! The communicators record a latency *and* a payload-size observation per
+//! collective call (index-parallel series, see [`crate::keys`]); this
+//! module turns those series into [`CollectiveSample`]s and fits
+//! `(α, β, launch)` to them by linear least squares over the model's design
+//! rows. The fitted parameters plug straight back into the simulator's
+//! hardware profile, closing the loop between what a backend measures and
+//! what the buffer-size tuner optimizes.
+//!
+//! Mixing both collective kinds in one profiling run is what makes the
+//! three parameters separately identifiable: with a single kind the α and
+//! `launch` columns are collinear and the fit falls back to a two-parameter
+//! model with `launch = 0` (the sum is still recovered, attributed to α).
+
+use crate::keys;
+use crate::recorder::MetricsSnapshot;
+
+/// Which collective produced a sample — selects the α–β design row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CollectiveKind {
+    /// Ring all-reduce of an `n`-byte buffer.
+    AllReduce,
+    /// Ring all-gather where every rank contributes `n` bytes.
+    AllGather,
+}
+
+impl CollectiveKind {
+    /// The model's coefficient row `[coef_α, coef_β, coef_launch]` for a
+    /// payload of `bytes` over `world` ranks.
+    fn design_row(self, world: usize, bytes: f64) -> [f64; 3] {
+        let p = world as f64;
+        match self {
+            CollectiveKind::AllReduce => [2.0 * (p - 1.0), 2.0 * (p - 1.0) / p * bytes, 1.0],
+            CollectiveKind::AllGather => [p - 1.0, (p - 1.0) * bytes, 1.0],
+        }
+    }
+}
+
+/// One observed collective call: payload size and wall-clock duration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CollectiveSample {
+    /// The collective that ran.
+    pub kind: CollectiveKind,
+    /// Payload bytes (all-reduce: buffer size; all-gather: per-rank
+    /// contribution).
+    pub bytes: u64,
+    /// Measured wall-clock duration in seconds.
+    pub seconds: f64,
+}
+
+/// α–β parameters fitted from measured samples, in seconds (same semantics
+/// as `acp_collectives::AlphaBetaCost`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FittedAlphaBeta {
+    /// Per-hop message latency α (seconds).
+    pub alpha: f64,
+    /// Transfer cost β (seconds per byte).
+    pub beta: f64,
+    /// Fixed per-collective launch overhead (seconds).
+    pub launch: f64,
+    /// Number of samples the fit consumed.
+    pub samples: usize,
+}
+
+/// Why a calibration fit could not be produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CalibrationError {
+    /// Fewer samples than free parameters.
+    TooFewSamples {
+        /// Samples provided.
+        have: usize,
+        /// Minimum required.
+        need: usize,
+    },
+    /// A one-rank "cluster" performs no communication; there is nothing to
+    /// fit.
+    SingleWorker,
+    /// The samples do not constrain the parameters (e.g. every payload has
+    /// the same size, making α and β inseparable).
+    Degenerate,
+}
+
+impl std::fmt::Display for CalibrationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CalibrationError::TooFewSamples { have, need } => {
+                write!(f, "calibration needs at least {need} samples, got {have}")
+            }
+            CalibrationError::SingleWorker => {
+                write!(f, "cannot calibrate communication costs with one worker")
+            }
+            CalibrationError::Degenerate => {
+                write!(f, "samples do not constrain the cost parameters")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CalibrationError {}
+
+/// Extracts (size, latency) samples from a snapshot by zipping the
+/// index-parallel latency and byte series the communicators record
+/// ([`keys::COMM_ALL_REDUCE_US`] with [`keys::COMM_ALL_REDUCE_BYTES`], and
+/// the all-gather pair). Snapshots from instrumented runs that predate the
+/// byte series simply yield no samples.
+pub fn samples_from_snapshot(snapshot: &MetricsSnapshot) -> Vec<CollectiveSample> {
+    let mut samples = Vec::new();
+    let pairs = [
+        (
+            CollectiveKind::AllReduce,
+            keys::COMM_ALL_REDUCE_US,
+            keys::COMM_ALL_REDUCE_BYTES,
+        ),
+        (
+            CollectiveKind::AllGather,
+            keys::COMM_ALL_GATHER_US,
+            keys::COMM_ALL_GATHER_BYTES,
+        ),
+    ];
+    for (kind, us_key, bytes_key) in pairs {
+        let (Some(us), Some(bytes)) = (snapshot.values.get(us_key), snapshot.values.get(bytes_key))
+        else {
+            continue;
+        };
+        for (&t_us, &b) in us.iter().zip(bytes) {
+            samples.push(CollectiveSample {
+                kind,
+                bytes: b as u64,
+                seconds: t_us * 1e-6,
+            });
+        }
+    }
+    samples
+}
+
+/// Solves the `n×n` system `m · x = rhs` in place by Gaussian elimination
+/// with partial pivoting; `None` when (near-)singular.
+#[allow(clippy::needless_range_loop)] // index loops mirror the textbook elimination
+fn solve(mut m: Vec<Vec<f64>>, mut rhs: Vec<f64>) -> Option<Vec<f64>> {
+    let n = rhs.len();
+    for col in 0..n {
+        let pivot = (col..n).max_by(|&a, &b| m[a][col].abs().total_cmp(&m[b][col].abs()))?;
+        if m[pivot][col].abs() < 1e-30 {
+            return None;
+        }
+        m.swap(col, pivot);
+        rhs.swap(col, pivot);
+        for row in col + 1..n {
+            let f = m[row][col] / m[col][col];
+            for k in col..n {
+                m[row][k] -= f * m[col][k];
+            }
+            rhs[row] -= f * rhs[col];
+        }
+    }
+    let mut x = vec![0.0; n];
+    for col in (0..n).rev() {
+        let mut v = rhs[col];
+        for k in col + 1..n {
+            v -= m[col][k] * x[k];
+        }
+        x[col] = v / m[col][col];
+    }
+    Some(x)
+}
+
+/// Least squares over the selected design columns (`cols` indexes into the
+/// 3-column α/β/launch row); returns the full `[α, β, launch]` vector with
+/// unselected entries zero.
+#[allow(clippy::needless_range_loop)] // k×k normal-equation indexing reads as math
+fn fit_columns(world: usize, samples: &[CollectiveSample], cols: &[usize]) -> Option<[f64; 3]> {
+    let k = cols.len();
+    // Normal equations Aᵀ A x = Aᵀ y.
+    let mut ata = vec![vec![0.0f64; k]; k];
+    let mut aty = vec![0.0f64; k];
+    for s in samples {
+        let row = s.kind.design_row(world, s.bytes as f64);
+        for (i, &ci) in cols.iter().enumerate() {
+            for (j, &cj) in cols.iter().enumerate() {
+                ata[i][j] += row[ci] * row[cj];
+            }
+            aty[i] += row[ci] * s.seconds;
+        }
+    }
+    // β's column is scaled by payload bytes (~1e6 larger than the others),
+    // which makes the normal equations ill-conditioned in absolute terms;
+    // normalize each column to unit diagonal before solving.
+    let scale: Vec<f64> = (0..k).map(|i| ata[i][i].sqrt().max(1e-30)).collect();
+    for i in 0..k {
+        for j in 0..k {
+            ata[i][j] /= scale[i] * scale[j];
+        }
+        aty[i] /= scale[i];
+    }
+    // Reject numerically-degenerate systems (e.g. constant payload sizes):
+    // after normalization any honest system has off-diagonal < 1.
+    for i in 0..k {
+        for j in 0..k {
+            if i != j && ata[i][j].abs() > 1.0 - 1e-9 {
+                return None;
+            }
+        }
+    }
+    let x = solve(ata, aty)?;
+    let mut out = [0.0f64; 3];
+    for (i, &ci) in cols.iter().enumerate() {
+        out[ci] = x[i] / scale[i];
+    }
+    Some(out)
+}
+
+/// Fits `(α, β, launch)` to `samples` by least squares over the ring α–β
+/// design rows for a `world`-rank cluster. Negative estimates (possible
+/// under noise) are clamped to zero.
+///
+/// Falls back to a two-parameter fit with `launch = 0` when the
+/// three-parameter system is unidentifiable — which is always the case when
+/// all samples come from a single collective kind.
+///
+/// # Errors
+///
+/// [`CalibrationError::SingleWorker`] for `world < 2`,
+/// [`CalibrationError::TooFewSamples`] below 3 samples, and
+/// [`CalibrationError::Degenerate`] when the payload sizes do not vary
+/// enough to separate α from β.
+pub fn fit_alpha_beta(
+    world: usize,
+    samples: &[CollectiveSample],
+) -> Result<FittedAlphaBeta, CalibrationError> {
+    if world < 2 {
+        return Err(CalibrationError::SingleWorker);
+    }
+    if samples.len() < 3 {
+        return Err(CalibrationError::TooFewSamples {
+            have: samples.len(),
+            need: 3,
+        });
+    }
+    let both_kinds = samples.iter().any(|s| s.kind == CollectiveKind::AllReduce)
+        && samples.iter().any(|s| s.kind == CollectiveKind::AllGather);
+    let fitted = if both_kinds {
+        fit_columns(world, samples, &[0, 1, 2]).or_else(|| fit_columns(world, samples, &[0, 1]))
+    } else {
+        fit_columns(world, samples, &[0, 1])
+    };
+    let [alpha, beta, launch] = fitted.ok_or(CalibrationError::Degenerate)?;
+    Ok(FittedAlphaBeta {
+        alpha: alpha.max(0.0),
+        beta: beta.max(0.0),
+        launch: launch.max(0.0),
+        samples: samples.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{InMemoryRecorder, Recorder};
+    use std::sync::Arc;
+
+    /// Ground-truth model time for a sample under known parameters.
+    fn model_seconds(
+        kind: CollectiveKind,
+        world: usize,
+        bytes: u64,
+        alpha: f64,
+        beta: f64,
+        launch: f64,
+    ) -> f64 {
+        let [ca, cb, cl] = kind.design_row(world, bytes as f64);
+        ca * alpha + cb * beta + cl * launch
+    }
+
+    fn synthetic_samples(
+        world: usize,
+        alpha: f64,
+        beta: f64,
+        launch: f64,
+        noise: f64,
+    ) -> Vec<CollectiveSample> {
+        let mut samples = Vec::new();
+        let sizes = [4 * 1024u64, 64 * 1024, 512 * 1024, 4 * 1024 * 1024];
+        for (i, &bytes) in sizes.iter().enumerate() {
+            for rep in 0..3 {
+                for kind in [CollectiveKind::AllReduce, CollectiveKind::AllGather] {
+                    let t = model_seconds(kind, world, bytes, alpha, beta, launch);
+                    // Deterministic multiplicative jitter in ±noise.
+                    let jitter = 1.0 + noise * ((i * 7 + rep * 3) as f64).sin();
+                    samples.push(CollectiveSample {
+                        kind,
+                        bytes,
+                        seconds: t * jitter,
+                    });
+                }
+            }
+        }
+        samples
+    }
+
+    #[test]
+    fn exact_samples_recover_parameters_exactly() {
+        let (alpha, beta, launch) = (8e-6, 0.8e-9, 50e-6);
+        let samples = synthetic_samples(4, alpha, beta, launch, 0.0);
+        let fit = fit_alpha_beta(4, &samples).unwrap();
+        assert!(
+            (fit.alpha - alpha).abs() / alpha < 1e-6,
+            "α = {}",
+            fit.alpha
+        );
+        assert!((fit.beta - beta).abs() / beta < 1e-6, "β = {}", fit.beta);
+        assert!(
+            (fit.launch - launch).abs() / launch < 1e-6,
+            "launch = {}",
+            fit.launch
+        );
+        assert_eq!(fit.samples, samples.len());
+    }
+
+    #[test]
+    fn noisy_samples_recover_parameters_within_10_percent() {
+        // The acceptance property: synthetic spans from known α–β recover
+        // those parameters within 10% under realistic measurement jitter,
+        // across worker counts and network speeds.
+        for world in [2usize, 4, 8] {
+            for (alpha, beta, launch) in [
+                (8e-6, 0.8e-9, 50e-6),  // 10 GbE tier
+                (5e-6, 0.2e-9, 5e-6),   // loopback tier
+                (10e-6, 8.0e-9, 50e-6), // 1 GbE tier
+            ] {
+                let samples = synthetic_samples(world, alpha, beta, launch, 0.02);
+                let fit = fit_alpha_beta(world, &samples).unwrap();
+                for (got, want, name) in [
+                    (fit.alpha, alpha, "alpha"),
+                    (fit.beta, beta, "beta"),
+                    (fit.launch, launch, "launch"),
+                ] {
+                    assert!(
+                        (got - want).abs() / want < 0.10,
+                        "p={world}: {name} fitted {got} vs true {want}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_kind_falls_back_to_two_parameters() {
+        let (alpha, beta) = (10e-6, 1e-9);
+        let sizes = [8 * 1024u64, 128 * 1024, 2 * 1024 * 1024];
+        let samples: Vec<CollectiveSample> = sizes
+            .iter()
+            .map(|&bytes| CollectiveSample {
+                kind: CollectiveKind::AllReduce,
+                bytes,
+                seconds: model_seconds(CollectiveKind::AllReduce, 4, bytes, alpha, beta, 0.0),
+            })
+            .collect();
+        let fit = fit_alpha_beta(4, &samples).unwrap();
+        assert_eq!(fit.launch, 0.0);
+        assert!((fit.alpha - alpha).abs() / alpha < 1e-6);
+        assert!((fit.beta - beta).abs() / beta < 1e-6);
+    }
+
+    #[test]
+    fn constant_payload_size_is_degenerate() {
+        let samples: Vec<CollectiveSample> = (0..8)
+            .map(|_| CollectiveSample {
+                kind: CollectiveKind::AllReduce,
+                bytes: 1024,
+                seconds: 1e-3,
+            })
+            .collect();
+        assert_eq!(
+            fit_alpha_beta(4, &samples),
+            Err(CalibrationError::Degenerate)
+        );
+    }
+
+    #[test]
+    fn error_cases_are_reported() {
+        assert_eq!(fit_alpha_beta(1, &[]), Err(CalibrationError::SingleWorker));
+        assert_eq!(
+            fit_alpha_beta(4, &[]),
+            Err(CalibrationError::TooFewSamples { have: 0, need: 3 })
+        );
+    }
+
+    #[test]
+    fn samples_extract_from_parallel_series() {
+        let rec = Arc::new(InMemoryRecorder::new());
+        rec.observe(crate::keys::COMM_ALL_REDUCE_US, 120.0);
+        rec.observe(crate::keys::COMM_ALL_REDUCE_BYTES, 4096.0);
+        rec.observe(crate::keys::COMM_ALL_GATHER_US, 80.0);
+        rec.observe(crate::keys::COMM_ALL_GATHER_BYTES, 1024.0);
+        let samples = samples_from_snapshot(&rec.snapshot());
+        assert_eq!(
+            samples,
+            vec![
+                CollectiveSample {
+                    kind: CollectiveKind::AllReduce,
+                    bytes: 4096,
+                    seconds: 120.0 * 1e-6,
+                },
+                CollectiveSample {
+                    kind: CollectiveKind::AllGather,
+                    bytes: 1024,
+                    seconds: 80.0 * 1e-6,
+                },
+            ]
+        );
+        // A snapshot without byte series yields no samples.
+        let bare = Arc::new(InMemoryRecorder::new());
+        bare.observe(crate::keys::COMM_ALL_REDUCE_US, 120.0);
+        assert!(samples_from_snapshot(&bare.snapshot()).is_empty());
+    }
+}

@@ -20,6 +20,20 @@ pub const COMM_BROADCAST_US: &str = "comm.broadcast_us";
 /// Series: wall-clock latency of each `global_topk` call, microseconds.
 pub const COMM_GLOBAL_TOPK_US: &str = "comm.global_topk_us";
 
+/// Series: payload bytes of each `all_reduce` call, index-parallel with
+/// [`COMM_ALL_REDUCE_US`] — zipping the two series yields the
+/// (size, latency) samples the α–β calibration fit consumes.
+pub const COMM_ALL_REDUCE_BYTES: &str = "comm.all_reduce_bytes";
+/// Series: per-rank contributed bytes of each `all_gather` call,
+/// index-parallel with [`COMM_ALL_GATHER_US`].
+pub const COMM_ALL_GATHER_BYTES: &str = "comm.all_gather_bytes";
+/// Series: payload bytes of each `broadcast` call, index-parallel with
+/// [`COMM_BROADCAST_US`].
+pub const COMM_BROADCAST_BYTES: &str = "comm.broadcast_bytes";
+/// Series: per-rank candidate bytes of each `global_topk` call,
+/// index-parallel with [`COMM_GLOBAL_TOPK_US`].
+pub const COMM_GLOBAL_TOPK_BYTES: &str = "comm.global_topk_bytes";
+
 /// Series: time spent compressing (encode + decode) per step, microseconds.
 pub const COMPRESS_TIME_US: &str = "compress.time_us";
 /// Counter: compressed payload bytes produced (what would cross the wire).

@@ -45,6 +45,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod calibrate;
 pub mod chrome;
 pub mod keys;
 pub mod recorder;
@@ -52,6 +53,10 @@ pub mod report;
 pub mod summary;
 
 pub use analysis::{busy_us, overlap_us};
+pub use calibrate::{
+    fit_alpha_beta, samples_from_snapshot, CalibrationError, CollectiveKind, CollectiveSample,
+    FittedAlphaBeta,
+};
 pub use chrome::ChromeTraceBuilder;
 pub use recorder::{
     noop, InMemoryRecorder, MetricsSnapshot, NoopRecorder, Recorder, RecorderCell, RecorderHandle,

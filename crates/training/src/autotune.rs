@@ -1,0 +1,324 @@
+//! Closed-loop buffer-size autotuning (§IV-B "can be automatically tuned").
+//!
+//! The simulator's `tune_buffer_size` optimizes an analytic α–β cost model;
+//! this module closes the loop against what a *live* backend actually
+//! measures, in four steps run on every rank before epoch 1:
+//!
+//! 1. **Profile** — run a short schedule of graded all-reduce and
+//!    all-gather collectives with an [`InMemoryRecorder`] attached, giving
+//!    index-parallel (payload bytes, latency) series per collective kind.
+//! 2. **Calibrate** — feed the samples to
+//!    [`acp_telemetry::fit_alpha_beta`], recovering this cluster's α
+//!    (per-hop latency), β (per-byte transfer time) and per-call launch
+//!    overhead by least squares; time one real forward+backward pass for
+//!    the compute side and lift the live model's parameter list into a
+//!    measured [`ModelSpec`].
+//! 3. **Agree** — mean-all-reduce the fitted parameters so every rank tunes
+//!    the *same* calibrated config. Without this, ranks would fit slightly
+//!    different numbers from their own timings, pick different buffer
+//!    sizes, and build mismatched bucket plans — wedging the collectives.
+//! 4. **Tune** — run [`tune_buffer_size_with_spec`] (and the analogous
+//!    rank sweep for the low-rank strategies) on the calibrated profile and
+//!    apply the winning `buffer_bytes` to the aggregator's fused pipeline
+//!    via [`DistributedOptimizer::set_buffer_bytes`].
+//!
+//! Entry points: [`auto_tune_rank`] for direct use (benches, custom
+//! launchers), or [`crate::trainer::TrainConfig::auto_tune`] to run it
+//! automatically inside [`crate::trainer::train_rank`].
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use acp_collectives::{Communicator, ReduceOp};
+use acp_core::DistributedOptimizer;
+use acp_models::{LayerSpec, Model, ModelSpec};
+use acp_simulator::{
+    simulate_with_spec, tune_buffer_size_with_spec, tune_rank_with_spec, ExperimentConfig,
+    HardwareProfile, OptLevel, Strategy,
+};
+use acp_telemetry::{fit_alpha_beta, noop, samples_from_snapshot, InMemoryRecorder};
+
+use crate::dataset::Dataset;
+use crate::loss::softmax_cross_entropy;
+use crate::model::Sequential;
+use crate::trainer::{make_batch, TrainConfig};
+
+/// Payload sizes (bytes) of the profiling collectives; spanning ~3 decades
+/// keeps the α and β columns of the least-squares fit well conditioned.
+const PROFILE_SIZES: [usize; 4] = [4 * 1024, 32 * 1024, 256 * 1024, 1024 * 1024];
+
+/// Repetitions per size and kind; more samples average out scheduler noise.
+const PROFILE_REPS: usize = 3;
+
+/// Fusion-buffer default the tuned size is compared against (PyTorch DDP's
+/// 25 MB, the same default the aggregators use).
+const DEFAULT_BUFFER_BYTES: usize = 25 * 1024 * 1024;
+
+/// What one rank's profiling + calibration + tuning pass produced. All
+/// ranks return identical values (step 3 above).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AutoTuneReport {
+    /// Workers in the profiled group.
+    pub world: usize,
+    /// Fitted per-hop latency, seconds.
+    pub alpha: f64,
+    /// Fitted per-byte transfer time, seconds.
+    pub beta: f64,
+    /// Fitted per-collective launch overhead, seconds.
+    pub launch: f64,
+    /// Calibration samples the fit consumed.
+    pub samples: usize,
+    /// Measured forward+backward seconds for one local batch.
+    pub ffbp_seconds: f64,
+    /// The winning fusion buffer capacity, already applied to the
+    /// aggregator.
+    pub buffer_bytes: usize,
+    /// Simulated iteration seconds at the tuned buffer size.
+    pub predicted_tuned_seconds: f64,
+    /// Simulated iteration seconds at the 25 MB default.
+    pub predicted_default_seconds: f64,
+    /// Best factorization rank from the analogous rank sweep (low-rank
+    /// strategies only). Reported, not applied — changing the rank
+    /// mid-run would change convergence semantics, not just scheduling.
+    pub tuned_rank: Option<usize>,
+}
+
+/// Maps an aggregator's [`DistributedOptimizer::name`] onto the simulator
+/// strategy whose cost model prices it. The low-rank strategies default to
+/// rank 4 and the sparse ones to the paper's density 0.001; the buffer
+/// optimum is insensitive to these within their useful ranges.
+fn strategy_for(name: &str) -> Strategy {
+    match name {
+        "signsgd" => Strategy::SignSgd,
+        "topk" | "dgc" => Strategy::TopkSgd { density: 0.001 },
+        "gtopk" => Strategy::GTopkSgd { density: 0.001 },
+        "powersgd" => Strategy::PowerSgd { rank: 4 },
+        "acpsgd" => Strategy::AcpSgd { rank: 4 },
+        _ => Strategy::SSgd,
+    }
+}
+
+/// Runs the profiling schedule with a private recorder attached and fits
+/// α–β from the recorded samples. Leaves a no-op recorder on `comm`.
+fn profile_and_fit(comm: &mut dyn Communicator) -> Result<acp_telemetry::FittedAlphaBeta, String> {
+    let rec = Arc::new(InMemoryRecorder::new());
+    comm.set_recorder(rec.clone());
+    let mut run = || -> Result<(), String> {
+        comm.barrier().map_err(|e| e.to_string())?;
+        for _ in 0..PROFILE_REPS {
+            for bytes in PROFILE_SIZES {
+                let elems = bytes / 4;
+                let mut buf = vec![0.0f32; elems];
+                comm.all_reduce(&mut buf, ReduceOp::Sum)
+                    .map_err(|e| e.to_string())?;
+                let send = vec![0.0f32; elems];
+                comm.all_gather_f32(&send).map_err(|e| e.to_string())?;
+            }
+        }
+        Ok(())
+    };
+    let result = run();
+    comm.set_recorder(noop());
+    result?;
+    let samples = samples_from_snapshot(&rec.snapshot());
+    fit_alpha_beta(comm.world_size(), &samples).map_err(|e| e.to_string())
+}
+
+/// Times one forward+backward pass (after one warm-up pass) on a local
+/// batch, the compute half of the measured model spec.
+fn measure_ffbp(model: &mut Sequential, data: &Dataset, batch_size: usize) -> (usize, f64) {
+    let n = batch_size.min(data.train_len()).max(1);
+    let indices: Vec<usize> = (0..n).collect();
+    let (x, y) = make_batch(data, &indices, true);
+    let mut elapsed = 0.0;
+    for timed in [false, true] {
+        let start = Instant::now();
+        let logits = model.forward(&x);
+        let (_loss, dlogits) = softmax_cross_entropy(&logits, &y);
+        model.backward(&dlogits);
+        if timed {
+            elapsed = start.elapsed().as_secs_f64();
+        }
+    }
+    (n, elapsed.max(1e-6))
+}
+
+/// Lifts the live model's parameter list into a [`ModelSpec`] the simulator
+/// can schedule. Per-layer compute is apportioned by element count — the
+/// right first-order proxy for the dense layers of this training substrate.
+fn measured_spec(model: &mut Sequential, batch: usize, ffbp_seconds: f64) -> ModelSpec {
+    let layers = model
+        .params()
+        .iter()
+        .enumerate()
+        .map(|(i, p)| LayerSpec::new(format!("param{i}"), p.dims.to_vec(), p.grad.len() as u64))
+        .collect();
+    ModelSpec {
+        name: "measured",
+        layers,
+        default_batch_size: batch,
+        ffbp_seconds_at_default_batch: ffbp_seconds,
+    }
+}
+
+/// Profiles the live cluster, calibrates the α–β cost model, tunes the
+/// fusion buffer size on the calibrated simulator, and applies the result
+/// to `aggregator` — the closed-loop autotuner. Call before the first
+/// training step; every rank of the group must call it together (the
+/// profiling schedule and the consensus reduction are collectives).
+///
+/// Any recorder previously attached to `comm` is replaced by a no-op
+/// recorder; reattach after tuning if you want training telemetry.
+///
+/// # Errors
+///
+/// Returns a description when profiling collectives fail, the group has a
+/// single rank (nothing to calibrate), the fit is degenerate, or the
+/// simulator rejects the measured configuration. The aggregator is left
+/// untouched on error.
+pub fn auto_tune_rank(
+    comm: &mut dyn Communicator,
+    aggregator: &mut dyn DistributedOptimizer,
+    model: &mut Sequential,
+    data: &Dataset,
+    cfg: &TrainConfig,
+) -> Result<AutoTuneReport, String> {
+    let world = comm.world_size();
+    let fit = profile_and_fit(comm)?;
+    let (batch, ffbp) = measure_ffbp(model, data, cfg.batch_size);
+
+    // Consensus: every rank fitted slightly different numbers from its own
+    // timings; average them so all ranks tune the same config and end up
+    // with the same bucket plan.
+    let mut agreed = [
+        fit.alpha as f32,
+        fit.beta as f32,
+        fit.launch as f32,
+        ffbp as f32,
+    ];
+    comm.all_reduce(&mut agreed, ReduceOp::Mean)
+        .map_err(|e| e.to_string())?;
+    let [alpha, beta, launch, ffbp] = agreed.map(f64::from);
+
+    let spec = measured_spec(model, batch, ffbp);
+    let hardware = HardwareProfile::with_cluster(world, acp_collectives::NetworkTier::Loopback)
+        .with_calibrated(acp_collectives::AlphaBetaCost {
+            alpha,
+            beta,
+            launch,
+        });
+    let sim_cfg = ExperimentConfig {
+        model: Model::ResNet50, // ignored: every call goes through _with_spec
+        strategy: strategy_for(aggregator.name()),
+        opt: OptLevel::WfbpTf,
+        hardware,
+        batch_size: batch,
+        buffer_bytes: DEFAULT_BUFFER_BYTES,
+    };
+    let default_report = simulate_with_spec(&sim_cfg, &spec).map_err(|e| e.to_string())?;
+    let best = tune_buffer_size_with_spec(&sim_cfg, &spec).map_err(|e| e.to_string())?;
+    let tuned_rank = tune_rank_with_spec(&sim_cfg, &spec)
+        .map_err(|e| e.to_string())?
+        .map(|r| r.rank);
+
+    aggregator.set_buffer_bytes(best.buffer_bytes);
+    Ok(AutoTuneReport {
+        world,
+        alpha,
+        beta,
+        launch,
+        samples: fit.samples,
+        ffbp_seconds: ffbp,
+        buffer_bytes: best.buffer_bytes,
+        predicted_tuned_seconds: best.iteration_seconds,
+        predicted_default_seconds: default_report.total,
+        tuned_rank,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::mlp;
+    use crate::optim::LrSchedule;
+    use crate::trainer::train_distributed;
+    use acp_collectives::ThreadGroup;
+    use acp_core::{AcpSgdAggregator, AcpSgdConfig, SSgdAggregator};
+
+    #[test]
+    fn auto_tune_calibrates_and_applies_a_buffer() {
+        let data = Dataset::gaussian_clusters(4, 16, 40, 0.3, 31);
+        let cfg = TrainConfig {
+            batch_size: 16,
+            ..TrainConfig::default()
+        };
+        let reports = ThreadGroup::run(2, |mut comm| {
+            let mut model = mlp(&[16, 64, 4], 7);
+            let mut agg = SSgdAggregator::new();
+            auto_tune_rank(&mut comm, &mut agg, &mut model, &data, &cfg).unwrap()
+        });
+        let grad_bytes = {
+            let mut model = mlp(&[16, 64, 4], 7);
+            4 * model.params().iter().map(|p| p.grad.len()).sum::<usize>()
+        };
+        for r in &reports {
+            assert_eq!(r.world, 2);
+            assert!(r.alpha >= 0.0 && r.beta >= 0.0 && r.launch >= 0.0);
+            assert!(r.samples >= PROFILE_SIZES.len() * PROFILE_REPS);
+            assert!(r.buffer_bytes <= grad_bytes);
+            assert!(r.predicted_tuned_seconds > 0.0);
+            assert!(r.predicted_tuned_seconds <= r.predicted_default_seconds * 1.001);
+            assert_eq!(r.tuned_rank, None, "ssgd has no rank to sweep");
+        }
+        // Consensus: every rank applied the identical tuned buffer.
+        assert!(reports.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn auto_tune_reports_a_rank_sweep_for_low_rank_strategies() {
+        let data = Dataset::gaussian_clusters(4, 16, 40, 0.3, 37);
+        let cfg = TrainConfig {
+            batch_size: 16,
+            ..TrainConfig::default()
+        };
+        let reports = ThreadGroup::run(2, |mut comm| {
+            let mut model = mlp(&[16, 64, 4], 7);
+            let mut agg = AcpSgdAggregator::new(AcpSgdConfig {
+                rank: 2,
+                ..Default::default()
+            });
+            auto_tune_rank(&mut comm, &mut agg, &mut model, &data, &cfg).unwrap()
+        });
+        for r in &reports {
+            assert!(r.tuned_rank.is_some(), "acp-sgd sweeps its rank");
+        }
+    }
+
+    #[test]
+    fn single_rank_groups_cannot_calibrate() {
+        let data = Dataset::gaussian_clusters(2, 8, 20, 0.3, 41);
+        let cfg = TrainConfig::default();
+        let errs = ThreadGroup::run(1, |mut comm| {
+            let mut model = mlp(&[8, 2], 3);
+            let mut agg = SSgdAggregator::new();
+            auto_tune_rank(&mut comm, &mut agg, &mut model, &data, &cfg).unwrap_err()
+        });
+        assert!(errs[0].contains("one worker"), "{}", errs[0]);
+    }
+
+    #[test]
+    fn training_with_auto_tune_still_learns() {
+        let data = Dataset::gaussian_clusters(4, 8, 60, 0.3, 11);
+        let cfg = TrainConfig {
+            epochs: 8,
+            batch_size: 16,
+            schedule: LrSchedule::new(0.1, 0, Vec::new()),
+            auto_tune: true,
+            ..TrainConfig::default()
+        };
+        let history =
+            train_distributed(2, &data, || mlp(&[8, 16, 4], 5), SSgdAggregator::new, &cfg);
+        let last = history.last().unwrap();
+        assert!(last.test_accuracy > 0.9, "accuracy {}", last.test_accuracy);
+    }
+}

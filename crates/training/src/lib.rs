@@ -37,6 +37,7 @@
 
 #![warn(missing_docs)]
 
+pub mod autotune;
 pub mod dataset;
 pub mod layers;
 pub mod loss;
@@ -46,6 +47,7 @@ pub mod optim;
 pub mod tensor4;
 pub mod trainer;
 
+pub use autotune::{auto_tune_rank, AutoTuneReport};
 pub use dataset::Dataset;
 pub use model::{mlp, small_cnn, Sequential};
 pub use optim::{LrSchedule, SgdMomentum};

@@ -35,6 +35,12 @@ pub struct TrainConfig {
     /// result is bit-identical either way; disable to measure the
     /// unoverlapped baseline.
     pub overlap: bool,
+    /// Run the closed-loop autotuner before epoch 1: profile the live
+    /// cluster's collectives, fit α–β from the telemetry, tune the fusion
+    /// buffer size on the calibrated simulator and apply it to the
+    /// aggregator (see [`crate::autotune`]). Groups that cannot calibrate
+    /// (e.g. a single rank) keep the aggregator's configured buffer.
+    pub auto_tune: bool,
 }
 
 impl Default for TrainConfig {
@@ -47,6 +53,7 @@ impl Default for TrainConfig {
             weight_decay: 0.0,
             seed: 42,
             overlap: true,
+            auto_tune: false,
         }
     }
 }
@@ -152,7 +159,7 @@ impl StepDeltas {
 
 /// Builds the `[batch, …sample_dims]` input tensor and label vector for a
 /// set of sample indices.
-fn make_batch(data: &Dataset, indices: &[usize], train: bool) -> (Tensor, Vec<usize>) {
+pub(crate) fn make_batch(data: &Dataset, indices: &[usize], train: bool) -> (Tensor, Vec<usize>) {
     let feature_len = data.feature_len();
     let mut x = Vec::with_capacity(indices.len() * feature_len);
     let mut y = Vec::with_capacity(indices.len());
@@ -287,6 +294,21 @@ where
         None
     };
     let rank = comm.rank();
+    if cfg.auto_tune {
+        // The autotuner's profiling run attaches its own recorder; restore
+        // the training one (or none) afterwards so training telemetry is
+        // not polluted by profiling collectives.
+        let tuned =
+            crate::autotune::auto_tune_rank(&mut comm, &mut aggregator, &mut model, data, cfg);
+        if let Some(rec) = &recorder {
+            comm.set_recorder(rec.clone());
+        }
+        if let Err(e) = tuned {
+            if rank == 0 {
+                eprintln!("auto-tune skipped, keeping the configured buffer: {e}");
+            }
+        }
+    }
     let overlap = cfg.overlap && aggregator.supports_overlap();
     // Global forward-order index of each layer's first parameter tensor —
     // the index space `push_ready` expects.

@@ -24,6 +24,11 @@
 //! `ACP_NET_FAULT_*` variables (see `acp-net`'s docs). `--no-overlap`
 //! disables wait-free backpropagation (gradients then aggregate in one
 //! blocking call after backward); accuracy is identical either way.
+//! `--auto-tune` runs the closed-loop autotuner before epoch 1 of every
+//! training run: each group profiles its own collectives, fits the α–β
+//! cost model from the telemetry, and re-plans the fusion buffer at the
+//! tuned size (see `acp_training::autotune`); accuracy is unaffected —
+//! only the bucketing changes.
 //!
 //! With `--trace PATH` communication/compression spans are written as
 //! Chrome-trace JSON (load in `chrome://tracing` or Perfetto, one track
@@ -45,6 +50,7 @@ struct Args {
     min_accuracy: f32,
     trace_path: Option<std::path::PathBuf>,
     overlap: bool,
+    auto_tune: bool,
 }
 
 fn parse_args() -> Args {
@@ -64,6 +70,7 @@ fn parse_args() -> Args {
             .expect("--min-accuracy takes a float"),
         trace_path: value_of("--trace").map(std::path::PathBuf::from),
         overlap: !raw.iter().any(|a| a == "--no-overlap"),
+        auto_tune: raw.iter().any(|a| a == "--auto-tune"),
     }
 }
 
@@ -115,6 +122,7 @@ fn run_tcp_worker(cfg: TcpConfig, args: &Args) -> i32 {
     let base_port = cfg.peers[0].port();
     let (data, mut train_cfg, model) = experiment(args.epochs);
     train_cfg.overlap = args.overlap;
+    train_cfg.auto_tune = args.auto_tune;
 
     let comm = TcpCommunicator::connect(cfg).expect("worker joins S-SGD group");
     let (ssgd, _) = train_rank(
@@ -128,8 +136,14 @@ fn run_tcp_worker(cfg: TcpConfig, args: &Args) -> i32 {
 
     // Second group on the next port range; connect retries absorb the
     // skew between ranks finishing run one.
-    let cfg2 = TcpConfig::local(rank, world, base_port + world as u16)
-        .with_fault(acp_net::FaultInjector::from_env(rank));
+    let fault = match acp_net::FaultInjector::from_env(rank) {
+        Ok(fault) => fault,
+        Err(e) => {
+            eprintln!("invalid ACP_NET_FAULT_* environment: {e}");
+            return 2;
+        }
+    };
+    let cfg2 = TcpConfig::local(rank, world, base_port + world as u16).with_fault(fault);
     let comm = TcpCommunicator::connect(cfg2).expect("worker joins ACP-SGD group");
     let spec = acp_spec();
     let (acp, telemetry) = train_rank(
@@ -226,6 +240,7 @@ fn run_thread_backend(args: &Args) -> i32 {
     let epochs = args.epochs;
     let (data, mut cfg, model) = experiment(epochs);
     cfg.overlap = args.overlap;
+    cfg.auto_tune = args.auto_tune;
 
     println!("training {workers} data-parallel workers on the rings task, {epochs} epochs\n");
     let ssgd = train_distributed(
