@@ -24,6 +24,7 @@ use crate::nonblocking::{
     PendingOp, WorkerTransport,
 };
 use crate::ring::{self, Transport, WireMsg};
+use crate::schedule::{ScheduleCell, ScheduleSnapshot, ScheduleTracer, VerifyMode};
 
 /// Reduction operator applied element-wise by [`Communicator::all_reduce`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -82,6 +83,21 @@ pub enum CommError {
     /// A transport-level I/O failure (TCP backend: reset, refused,
     /// unreachable, malformed frame).
     Io(String),
+    /// The ranks' collective schedules diverged: a peer was executing a
+    /// different collective (or the same collective with different
+    /// history) when this rank received one of its messages. Raised by
+    /// [`VerifyMode::CrossCheck`] at the first divergent operation — instead of a hang, a misleading
+    /// `ProtocolMismatch`, or a silently wrong reduction.
+    ScheduleMismatch {
+        /// Schedule position where the divergence was detected (the
+        /// earlier of the two ranks' sequence numbers).
+        seq: u64,
+        /// The collective this rank was executing (`None` if it was not
+        /// inside a collective at all).
+        local: Option<crate::schedule::SchedulePoint>,
+        /// The collective the peer's message was tagged with.
+        peer: crate::schedule::SchedulePoint,
+    },
 }
 
 impl fmt::Display for CommError {
@@ -111,6 +127,14 @@ impl fmt::Display for CommError {
                 write!(f, "{op} timed out after {waited_ms} ms")
             }
             CommError::Io(msg) => write!(f, "transport I/O error: {msg}"),
+            CommError::ScheduleMismatch { seq, local, peer } => {
+                write!(f, "collective schedules diverged at op {seq}: ")?;
+                match local {
+                    Some(local) => write!(f, "this rank ran {local}")?,
+                    None => write!(f, "this rank ran no collective")?,
+                }
+                write!(f, " while a peer ran {peer}")
+            }
         }
     }
 }
@@ -238,6 +262,15 @@ pub trait Communicator: Send {
     fn all_reduce_start(&mut self, buf: Vec<f32>, op: ReduceOp) -> PendingOp {
         self.dispatch(CollectiveOp::AllReduce { buf, op })
     }
+
+    /// A point-in-time copy of this rank's collective-schedule trace (see
+    /// [`crate::schedule`]), or `None` for backends without a tracer. The
+    /// snapshot stays readable after errors and after the comm worker has
+    /// taken the transport — it is the input to cross-rank divergence
+    /// checks and `acp-verify check-trace` export.
+    fn schedule(&self) -> Option<ScheduleSnapshot> {
+        None
+    }
 }
 
 /// How long a rank waits on a peer before concluding it died.
@@ -339,6 +372,12 @@ pub struct ThreadCommunicator {
     /// Shared with the transport so `bytes_sent` stays readable after the
     /// transport moves into the worker thread.
     bytes_sent: Arc<AtomicU64>,
+    /// Schedule-trace state, shared with the transport's tracer so
+    /// [`Communicator::schedule`] stays readable after the transport moves
+    /// into the worker thread.
+    schedule: Arc<ScheduleCell>,
+    /// Schedule-verification mode this group was built with.
+    verify: VerifyMode,
     /// Telemetry sink; [`acp_telemetry::NoopRecorder`] unless attached via
     /// [`Communicator::set_recorder`].
     recorder: RecorderHandle,
@@ -361,6 +400,10 @@ struct ThreadTransport {
     panicked: Arc<AtomicBool>,
     bytes_sent: Arc<AtomicU64>,
     recorder: RecorderHandle,
+    /// Collective-schedule recorder (see [`crate::schedule`]); in
+    /// cross-check mode it also tags outgoing messages and verifies
+    /// incoming ones at delivery.
+    tracer: ScheduleTracer,
 }
 
 impl fmt::Debug for ThreadCommunicator {
@@ -416,6 +459,12 @@ impl Transport for ThreadTransport {
         if self.recorder.enabled() {
             self.recorder.add(keys::COMM_BYTES_SENT, bytes);
         }
+        // Cross-check mode: stamp the message with this rank's schedule
+        // position (tag bytes are framing, not payload — accounted above).
+        let msg = match self.tracer.tag() {
+            Some(tag) => WireMsg::Tagged(tag, Box::new(msg)),
+            None => msg,
+        };
         self.peers[dest]
             .send((self.rank, msg))
             .map_err(|_| CommError::PeerDisconnected)
@@ -429,7 +478,7 @@ impl Transport for ThreadTransport {
             });
         }
         if let Some(msg) = self.pending[src].pop_front() {
-            return Ok(msg);
+            return self.deliver(msg);
         }
         let deadline = std::time::Instant::now() + RECV_TIMEOUT;
         loop {
@@ -445,7 +494,7 @@ impl Transport for ThreadTransport {
                             .add(keys::COMM_BYTES_RECV, msg.payload_bytes());
                     }
                     if from == src {
-                        return Ok(msg);
+                        return self.deliver(msg);
                     }
                     self.pending[from].push_back(msg);
                 }
@@ -460,6 +509,20 @@ impl Transport for ThreadTransport {
     }
 }
 
+impl ThreadTransport {
+    /// Delivery-time schedule check (see [`crate::schedule::deliver_checked`]).
+    /// A mismatch also raises the group's abort flag so peers blocked
+    /// mid-collective unblock within [`PANIC_POLL`] instead of waiting out
+    /// the peer timeout.
+    fn deliver(&self, msg: WireMsg) -> Result<WireMsg, CommError> {
+        let out = crate::schedule::deliver_checked(&self.tracer, msg);
+        if matches!(out, Err(CommError::ScheduleMismatch { .. })) {
+            self.panicked.store(true, Ordering::SeqCst);
+        }
+        out
+    }
+}
+
 impl WorkerTransport for ThreadTransport {
     fn recorder(&self) -> &RecorderHandle {
         &self.recorder
@@ -467,6 +530,10 @@ impl WorkerTransport for ThreadTransport {
 
     fn set_recorder(&mut self, recorder: RecorderHandle) {
         self.recorder = recorder;
+    }
+
+    fn tracer(&mut self) -> Option<&mut ScheduleTracer> {
+        Some(&mut self.tracer)
     }
 }
 
@@ -503,9 +570,11 @@ impl ThreadCommunicator {
             let transport = self
                 .inner
                 .take()
+                // allow_verify(reason = "struct invariant: inner is Some until the worker takes it, and this branch only runs when worker is None")
                 .expect("transport is present until the worker takes it");
             self.worker = Some(CommWorker::spawn(transport));
         }
+        // allow_verify(reason = "assigned Some on the line above when absent")
         self.worker.as_ref().expect("worker just spawned")
     }
 
@@ -633,6 +702,13 @@ impl Communicator for ThreadCommunicator {
     fn dispatch(&mut self, op: CollectiveOp) -> PendingOp {
         self.ensure_worker().submit(op)
     }
+
+    fn schedule(&self) -> Option<ScheduleSnapshot> {
+        Some(
+            self.schedule
+                .snapshot(self.verify == VerifyMode::CrossCheck),
+        )
+    }
 }
 
 /// Factory for ring communicator groups backed by worker threads.
@@ -650,6 +726,18 @@ impl ThreadGroup {
     /// Panics if `world_size == 0`.
     #[allow(clippy::new_ret_no_self)] // constructs the whole group, not a ThreadGroup value
     pub fn new(world_size: usize) -> Vec<ThreadCommunicator> {
+        ThreadGroup::new_with(world_size, VerifyMode::default())
+    }
+
+    /// [`ThreadGroup::new`] with an explicit schedule-verification mode
+    /// (see [`crate::schedule`]). [`VerifyMode::CrossCheck`] makes a
+    /// divergent collective schedule fail fast with
+    /// [`CommError::ScheduleMismatch`] at the first divergent operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `world_size == 0`.
+    pub fn new_with(world_size: usize, verify: VerifyMode) -> Vec<ThreadCommunicator> {
         assert!(world_size > 0, "world_size must be positive");
         let mut inboxes = Vec::with_capacity(world_size);
         let mut senders = Vec::with_capacity(world_size);
@@ -664,6 +752,7 @@ impl ThreadGroup {
             .enumerate()
             .map(|(rank, inbox)| {
                 let bytes_sent = Arc::new(AtomicU64::new(0));
+                let schedule = Arc::new(ScheduleCell::default());
                 ThreadCommunicator {
                     rank,
                     world_size,
@@ -678,10 +767,13 @@ impl ThreadGroup {
                         panicked: Arc::clone(&panicked),
                         bytes_sent: Arc::clone(&bytes_sent),
                         recorder: noop(),
+                        tracer: ScheduleTracer::new(verify, Arc::clone(&schedule)),
                     }),
                     worker: None,
                     panicked: Arc::clone(&panicked),
                     bytes_sent,
+                    schedule,
+                    verify,
                     recorder: noop(),
                 }
             })
@@ -700,7 +792,43 @@ impl ThreadGroup {
         T: Send,
         F: Fn(ThreadCommunicator) -> T + Sync,
     {
+        // allow_verify(reason = "test harness entry point; worker panics are the caller's test failures, and try_run is the non-panicking form")
         ThreadGroup::try_run(world_size, f).expect("worker thread panicked")
+    }
+
+    /// [`ThreadGroup::try_run`] with an explicit schedule-verification
+    /// mode (see [`ThreadGroup::new_with`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CommError::WorkerPanicked`] if any worker thread panicked,
+    /// and [`CommError::InvalidRank`] if `world_size == 0`.
+    pub fn try_run_with<T, F>(
+        world_size: usize,
+        verify: VerifyMode,
+        f: F,
+    ) -> Result<Vec<T>, CommError>
+    where
+        T: Send,
+        F: Fn(ThreadCommunicator) -> T + Sync,
+    {
+        if world_size == 0 {
+            return Err(CommError::InvalidRank {
+                rank: 0,
+                world_size: 0,
+            });
+        }
+        let comms = ThreadGroup::new_with(world_size, verify);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = comms
+                .into_iter()
+                .map(|comm| scope.spawn(|| f(comm)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().map_err(|_| CommError::WorkerPanicked))
+                .collect()
+        })
     }
 
     /// [`ThreadGroup::run`] without the panic: a panicking worker surfaces
@@ -721,23 +849,7 @@ impl ThreadGroup {
         T: Send,
         F: Fn(ThreadCommunicator) -> T + Sync,
     {
-        if world_size == 0 {
-            return Err(CommError::InvalidRank {
-                rank: 0,
-                world_size: 0,
-            });
-        }
-        let comms = ThreadGroup::new(world_size);
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = comms
-                .into_iter()
-                .map(|comm| scope.spawn(|| f(comm)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().map_err(|_| CommError::WorkerPanicked))
-                .collect()
-        })
+        ThreadGroup::try_run_with(world_size, VerifyMode::default(), f)
     }
 }
 
@@ -1236,6 +1348,110 @@ mod tests {
         assert_eq!(pending.wait().unwrap().into_f32().unwrap(), vec![2.0, 3.0]);
         let pending = comm.dispatch(CollectiveOp::Barrier);
         assert_eq!(pending.wait().unwrap(), CollectiveResult::Unit);
+    }
+
+    #[test]
+    fn cross_check_mode_is_transparent_when_schedules_align() {
+        let p = 3;
+        let results = ThreadGroup::try_run_with(p, VerifyMode::CrossCheck, |mut comm| {
+            let mut buf = vec![comm.rank() as f32; 16];
+            comm.all_reduce(&mut buf, ReduceOp::Sum)?;
+            let gathered = comm.all_gather_u32(&[comm.rank() as u32])?;
+            assert_eq!(gathered, vec![0, 1, 2]);
+            comm.barrier()?;
+            let snap = comm.schedule().expect("thread backend records schedules");
+            Ok::<_, CommError>((buf, snap))
+        })
+        .unwrap();
+        let (buf0, snap0) = results[0].clone().unwrap();
+        assert!(buf0.iter().all(|&v| v == 3.0));
+        assert_eq!(snap0.seq, 3);
+        assert_eq!(snap0.entries.len(), 3, "cross-check keeps the full log");
+        for r in &results[1..] {
+            let (_, snap) = r.clone().unwrap();
+            assert_eq!(snap.digest, snap0.digest, "aligned ranks share a digest");
+            assert_eq!(snap.entries, snap0.entries);
+        }
+    }
+
+    #[test]
+    fn verify_mode_does_not_change_wire_volume_accounting() {
+        // Tag bytes are framing: the Table II reconciliation must hold in
+        // cross-check mode bit-for-bit.
+        let p = 4;
+        let n = 1024usize;
+        let results = ThreadGroup::try_run_with(p, VerifyMode::CrossCheck, |mut comm| {
+            let mut buf = vec![1.0f32; n];
+            comm.all_reduce(&mut buf, ReduceOp::Sum)
+                .map(|()| comm.bytes_sent())
+        })
+        .unwrap();
+        let expected = (2 * (p - 1) * n / p * 4) as u64;
+        for bytes in results {
+            assert_eq!(bytes.unwrap(), expected);
+        }
+    }
+
+    #[test]
+    fn skipped_collective_surfaces_as_schedule_mismatch_fast() {
+        // The desync scenario of the schedule verifier: rank 1 skips a
+        // bucket's all-reduce and goes straight to the barrier. Without
+        // verification this is a silent hang-until-timeout (or a corrupt
+        // reduction); with cross-check the first divergent collective is
+        // named, and every rank unblocks within the group's poll interval
+        // rather than the 30-second peer timeout.
+        let start = std::time::Instant::now();
+        let results = ThreadGroup::try_run_with(3, VerifyMode::CrossCheck, |mut comm| {
+            if comm.rank() != 1 {
+                let mut buf = vec![comm.rank() as f32; 64];
+                comm.all_reduce(&mut buf, ReduceOp::Sum)?;
+            }
+            comm.barrier()
+        })
+        .unwrap();
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(10),
+            "divergence took {:?} to surface",
+            start.elapsed()
+        );
+        let mismatch = results
+            .iter()
+            .find_map(|r| match r {
+                Err(CommError::ScheduleMismatch { seq, local, peer }) => {
+                    Some((*seq, *local, *peer))
+                }
+                _ => None,
+            })
+            .unwrap_or_else(|| panic!("no rank observed the divergence: {results:?}"));
+        let (seq, local, peer) = mismatch;
+        // The very first collective diverges: barrier on rank 1 vs
+        // all-reduce on its peers.
+        assert_eq!(seq, 0);
+        let kinds: Vec<_> = [local.map(|p| p.kind), Some(peer.kind)]
+            .into_iter()
+            .flatten()
+            .collect();
+        assert!(
+            kinds.contains(&crate::schedule::OpKind::Barrier)
+                && kinds.contains(&crate::schedule::OpKind::AllReduce),
+            "mismatch does not name the divergent pair: {mismatch:?}"
+        );
+        // No rank may hang or return a wrong result silently.
+        for r in &results {
+            assert!(r.is_err(), "a rank completed despite the divergence: {r:?}");
+        }
+    }
+
+    #[test]
+    fn digest_mode_records_schedule_without_tagging() {
+        let results = ThreadGroup::run(2, |mut comm| {
+            let mut buf = vec![0.0f32; 8];
+            comm.all_reduce(&mut buf, ReduceOp::Mean).unwrap();
+            comm.schedule().expect("schedule snapshot")
+        });
+        assert_eq!(results[0].seq, 1);
+        assert_eq!(results[0].digest, results[1].digest);
+        assert_eq!(results[0].entries.len(), 1);
     }
 
     #[test]

@@ -42,6 +42,7 @@ pub mod communicator;
 pub mod cost;
 pub mod nonblocking;
 pub mod ring;
+pub mod schedule;
 
 #[allow(deprecated)]
 pub use communicator::CollectiveError;
@@ -53,3 +54,6 @@ pub use nonblocking::{
     wait_all, CollectiveOp, CollectiveResult, CommWorker, PendingOp, TopkMode, WorkerTransport,
 };
 pub use ring::{Transport, WireMsg};
+pub use schedule::{
+    OpKind, ScheduleEntry, SchedulePoint, ScheduleSnapshot, ScheduleTag, ScheduleTracer, VerifyMode,
+};

@@ -25,6 +25,7 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 
 use crate::communicator::{CommError, Communicator, ReduceOp};
 use crate::ring::{self, Transport};
+use crate::schedule::{OpKind, ScheduleTracer};
 
 /// One collective operation, with its input payload moved in.
 ///
@@ -89,6 +90,45 @@ pub enum CollectiveOp {
     },
     /// Synchronization point; resolves to [`CollectiveResult::Unit`].
     Barrier,
+}
+
+impl CollectiveOp {
+    /// The `(kind, words, param)` fingerprint the schedule tracer records
+    /// for this operation (see [`crate::schedule`]).
+    ///
+    /// `words` is the element count every rank must agree on; it is 0 for
+    /// [`CollectiveOp::GlobalTopk`], whose sparse payload sizes are
+    /// legitimately rank-dependent (the shared contract there is `k`, the
+    /// `param`). `param` encodes the shape-relevant argument: the
+    /// [`ReduceOp`] for reductions, the root for broadcast, `k` for
+    /// top-k. [`CollectiveOp::SendRecvF32`]'s `peer` is *excluded* — the
+    /// two sides of a pairwise exchange name each other, so their peers
+    /// legitimately differ.
+    pub fn fingerprint(&self) -> (OpKind, u64, u64) {
+        fn reduce_code(op: ReduceOp) -> u64 {
+            match op {
+                ReduceOp::Sum => 0,
+                ReduceOp::Mean => 1,
+                ReduceOp::Max => 2,
+            }
+        }
+        match self {
+            CollectiveOp::AllReduce { buf, op } => {
+                (OpKind::AllReduce, buf.len() as u64, reduce_code(*op))
+            }
+            CollectiveOp::AllReduceRd { buf, op } => {
+                (OpKind::AllReduceRd, buf.len() as u64, reduce_code(*op))
+            }
+            CollectiveOp::AllGatherF32 { send } => (OpKind::AllGatherF32, send.len() as u64, 0),
+            CollectiveOp::AllGatherU32 { send } => (OpKind::AllGatherU32, send.len() as u64, 0),
+            CollectiveOp::Broadcast { buf, root } => {
+                (OpKind::Broadcast, buf.len() as u64, *root as u64)
+            }
+            CollectiveOp::GlobalTopk { k, .. } => (OpKind::GlobalTopk, 0, *k as u64),
+            CollectiveOp::SendRecvF32 { send, .. } => (OpKind::SendRecv, send.len() as u64, 0),
+            CollectiveOp::Barrier => (OpKind::Barrier, 0, 0),
+        }
+    }
 }
 
 /// The typed result a completed [`CollectiveOp`] resolves to.
@@ -276,6 +316,15 @@ pub trait WorkerTransport: Transport + Send {
     fn topk_mode(&self) -> TopkMode {
         TopkMode::Butterfly
     }
+
+    /// The transport's collective-schedule tracer, if it records one (see
+    /// [`crate::schedule`]). [`execute_collective`] advances it once per
+    /// collective; transports with a tracer should also tag/verify wire
+    /// messages when its mode is
+    /// [`VerifyMode::CrossCheck`](crate::schedule::VerifyMode::CrossCheck).
+    fn tracer(&mut self) -> Option<&mut ScheduleTracer> {
+        None
+    }
 }
 
 /// Emits the per-collective telemetry every backend records: one
@@ -341,6 +390,10 @@ pub fn execute_collective<T: WorkerTransport + ?Sized>(
     op: CollectiveOp,
 ) -> Result<CollectiveResult, CommError> {
     t.prepare();
+    let (kind, words, param) = op.fingerprint();
+    if let Some(tracer) = t.tracer() {
+        tracer.begin_op(kind, words, param);
+    }
     let rec = t.recorder().clone();
     let track = t.rank() as u64;
     let start_us = rec.now_us();
@@ -489,6 +542,7 @@ impl CommWorker {
                     }
                 }
             })
+            // allow_verify(reason = "thread spawn fails only on OS resource exhaustion at startup; no collective is in flight yet")
             .expect("spawn comm worker thread");
         CommWorker { tx }
     }

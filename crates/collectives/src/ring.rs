@@ -28,17 +28,25 @@ pub enum WireMsg {
     Sparse(Vec<u32>, Vec<f32>),
     /// Zero-byte synchronization token (barrier).
     Token,
+    /// A message wrapped with the sender's schedule position
+    /// ([`VerifyMode::CrossCheck`](crate::schedule::VerifyMode::CrossCheck)
+    /// only). Transports add the tag on send and strip it at delivery after
+    /// verifying it against the receiver's own schedule — the collective
+    /// algorithms never see this variant.
+    Tagged(crate::schedule::ScheduleTag, Box<WireMsg>),
 }
 
 impl WireMsg {
     /// Payload bytes this message contributes to the Table II volume
-    /// accounting (4 bytes per element, tokens free).
+    /// accounting (4 bytes per element; tokens and schedule tags free, like
+    /// all framing overhead).
     pub fn payload_bytes(&self) -> u64 {
         match self {
             WireMsg::F32(v) => 4 * v.len() as u64,
             WireMsg::U32(v) => 4 * v.len() as u64,
             WireMsg::Sparse(i, v) => 4 * (i.len() + v.len()) as u64,
             WireMsg::Token => 0,
+            WireMsg::Tagged(_, inner) => inner.payload_bytes(),
         }
     }
 }

@@ -1,0 +1,137 @@
+//! Property: mid-training fusion-buffer re-planning is schedule-safe.
+//!
+//! The closed-loop autotuner calls `set_buffer_bytes` between steps to
+//! apply a tuned fusion size. Because every rank derives the new bucket
+//! plan from the same (replicated) tensor list and the same byte budget,
+//! the re-planned collective schedule must stay identical across ranks —
+//! a rank-dependent plan would deadlock or corrupt an all-reduce. These
+//! tests run real multi-rank groups in [`VerifyMode::CrossCheck`], so any
+//! divergence aborts the run as `CommError::ScheduleMismatch` instead of
+//! silently passing, and then additionally assert that the final schedule
+//! digests agree rank-to-rank.
+
+use acp_collectives::{Communicator, ScheduleSnapshot, ThreadGroup, VerifyMode};
+use acp_core::{build_optimizer, AcpSgdConfig, Aggregator, GradViewMut};
+use proptest::prelude::*;
+
+/// Runs `steps_each` aggregation steps, re-plans the fusion buffer from
+/// `first_bytes` to `second_bytes`, runs `steps_each` more, and returns
+/// each rank's schedule snapshot. Cross-check verification is live for
+/// the whole run.
+fn run_with_replan(
+    spec: Aggregator,
+    world: usize,
+    shapes: &[Vec<usize>],
+    first_bytes: usize,
+    second_bytes: usize,
+    steps_each: usize,
+) -> Vec<ScheduleSnapshot> {
+    ThreadGroup::try_run_with(world, VerifyMode::CrossCheck, |mut comm| {
+        let rank = comm.rank();
+        let mut opt = build_optimizer(&spec);
+        opt.set_buffer_bytes(first_bytes);
+        let mut step = 0usize;
+        for phase in 0..2 {
+            if phase == 1 {
+                // The autotuner's move: re-plan between steps, mid-training.
+                opt.set_buffer_bytes(second_bytes);
+            }
+            for _ in 0..steps_each {
+                let mut tensors: Vec<Vec<f32>> = shapes
+                    .iter()
+                    .enumerate()
+                    .map(|(t, dims)| {
+                        let len: usize = dims.iter().product();
+                        (0..len)
+                            .map(|e| {
+                                (((t * 31 + e * 7 + step * 13) as f32) * 0.01 + rank as f32).sin()
+                            })
+                            .collect()
+                    })
+                    .collect();
+                let mut views: Vec<GradViewMut<'_>> = tensors
+                    .iter_mut()
+                    .zip(shapes)
+                    .map(|(grad, dims)| GradViewMut { dims, grad })
+                    .collect();
+                opt.aggregate(&mut views, &mut comm).expect("aggregate");
+                step += 1;
+            }
+        }
+        comm.schedule()
+            .expect("cross-check mode records the schedule")
+    })
+    .expect("no rank panicked or diverged")
+}
+
+/// One `(rows, cols)` pair per tensor; `cols == 0` means a 1-D tensor, so
+/// the mix exercises both the low-rank matrix path and the uncompressed
+/// vector path of ACP-SGD.
+fn to_shapes(dims: &[(usize, usize)]) -> Vec<Vec<usize>> {
+    dims.iter()
+        .map(|&(rows, cols)| {
+            if cols == 0 {
+                vec![rows]
+            } else {
+                vec![rows, cols]
+            }
+        })
+        .collect()
+}
+
+fn assert_digests_agree(spec: Aggregator, snapshots: &[ScheduleSnapshot]) {
+    let first = &snapshots[0];
+    assert!(first.seq > 0, "{}: no collectives recorded", spec.name());
+    for (rank, snap) in snapshots.iter().enumerate() {
+        assert_eq!(
+            (snap.seq, snap.digest),
+            (first.seq, first.digest),
+            "{}: rank {rank} schedule digest diverged from rank 0",
+            spec.name()
+        );
+    }
+}
+
+proptest! {
+    // Each case spawns two real thread groups; keep the count modest.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Re-planning mid-training never changes the cross-rank schedule
+    /// digest for S-SGD or ACP-SGD, for any tensor mix, any old/new
+    /// buffer size (including 0 = fusion off), and 2- or 3-rank groups.
+    #[test]
+    fn replan_keeps_schedules_in_lockstep(
+        dims in proptest::collection::vec((1usize..12, 0usize..8), 1..4),
+        world in 2usize..4,
+        first_kb in 0usize..4,
+        second_kb in 0usize..4,
+        steps_each in 1usize..3,
+    ) {
+        let shapes = to_shapes(&dims);
+        let first_bytes = first_kb * 1024;
+        let second_bytes = second_kb * 1024;
+        for spec in [
+            Aggregator::Ssgd,
+            Aggregator::AcpSgd(AcpSgdConfig::default().with_rank(2)),
+        ] {
+            let snaps =
+                run_with_replan(spec, world, &shapes, first_bytes, second_bytes, steps_each);
+            assert_digests_agree(spec, &snaps);
+        }
+    }
+}
+
+/// A fixed regression case mirroring the autotuner's actual pattern: a
+/// multi-megabyte default plan shrunk to a small tuned size before the
+/// next step, on a realistic layer mix.
+#[test]
+fn autotuner_style_shrink_is_schedule_safe() {
+    let shapes = vec![vec![64, 32], vec![64], vec![32, 16], vec![16]];
+    for spec in [
+        Aggregator::Ssgd,
+        Aggregator::AcpSgd(AcpSgdConfig::default().with_rank(4)),
+    ] {
+        let snaps = run_with_replan(spec, 3, &shapes, 25 * 1024 * 1024, 2048, 2);
+        assert_digests_agree(spec, &snaps);
+    }
+}

@@ -8,6 +8,8 @@
 //! Sparse = 0x03  [n_idx u32] [n_val u32] [n_idx × u32 LE] [n_val × f32 LE]
 //! Token  = 0x04  (no payload)
 //! Hello  = 0x05  [rank u32]   — link handshake, never seen by collectives
+//! Tagged = 0x06  [seq u64] [pre_digest u64] [kind u8] [words u64]
+//!                [param u64] [inner frame] — schedule cross-check wrapper
 //! ```
 //!
 //! Frames are serialized into one buffer and written with a single
@@ -18,13 +20,15 @@
 
 use std::io::{self, Read, Write};
 
-use acp_collectives::WireMsg;
+use acp_collectives::schedule::{OpKind, SchedulePoint};
+use acp_collectives::{ScheduleTag, WireMsg};
 
 const TAG_F32: u8 = 0x01;
 const TAG_U32: u8 = 0x02;
 const TAG_SPARSE: u8 = 0x03;
 const TAG_TOKEN: u8 = 0x04;
 const TAG_HELLO: u8 = 0x05;
+const TAG_TAGGED: u8 = 0x06;
 
 /// Upper bound on per-frame element counts (1 Gi elements = 4 GiB payload);
 /// anything larger is treated as a corrupt frame.
@@ -58,28 +62,47 @@ fn put_u32s(buf: &mut Vec<u8>, vals: &[u32]) {
     }
 }
 
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn encode_msg(buf: &mut Vec<u8>, msg: &WireMsg) {
+    match msg {
+        WireMsg::F32(v) => {
+            buf.push(TAG_F32);
+            put_u32(buf, v.len() as u32);
+            put_f32s(buf, v);
+        }
+        WireMsg::U32(v) => {
+            buf.push(TAG_U32);
+            put_u32(buf, v.len() as u32);
+            put_u32s(buf, v);
+        }
+        WireMsg::Sparse(idx, val) => {
+            buf.push(TAG_SPARSE);
+            put_u32(buf, idx.len() as u32);
+            put_u32(buf, val.len() as u32);
+            put_u32s(buf, idx);
+            put_f32s(buf, val);
+        }
+        WireMsg::Token => buf.push(TAG_TOKEN),
+        WireMsg::Tagged(tag, inner) => {
+            buf.push(TAG_TAGGED);
+            put_u64(buf, tag.point.seq);
+            put_u64(buf, tag.pre_digest);
+            buf.push(tag.point.kind.code());
+            put_u64(buf, tag.point.words);
+            put_u64(buf, tag.point.param);
+            encode_msg(buf, inner);
+        }
+    }
+}
+
 /// Serializes `frame` into a fresh buffer (header + payload).
 pub fn encode(frame: &Frame) -> Vec<u8> {
     let mut buf = Vec::with_capacity(16);
     match frame {
-        Frame::Msg(WireMsg::F32(v)) => {
-            buf.push(TAG_F32);
-            put_u32(&mut buf, v.len() as u32);
-            put_f32s(&mut buf, v);
-        }
-        Frame::Msg(WireMsg::U32(v)) => {
-            buf.push(TAG_U32);
-            put_u32(&mut buf, v.len() as u32);
-            put_u32s(&mut buf, v);
-        }
-        Frame::Msg(WireMsg::Sparse(idx, val)) => {
-            buf.push(TAG_SPARSE);
-            put_u32(&mut buf, idx.len() as u32);
-            put_u32(&mut buf, val.len() as u32);
-            put_u32s(&mut buf, idx);
-            put_f32s(&mut buf, val);
-        }
-        Frame::Msg(WireMsg::Token) => buf.push(TAG_TOKEN),
+        Frame::Msg(msg) => encode_msg(&mut buf, msg),
         Frame::Hello(rank) => {
             buf.push(TAG_HELLO);
             put_u32(&mut buf, *rank);
@@ -102,6 +125,12 @@ fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
     let mut b = [0u8; 4];
     r.read_exact(&mut b)?;
     Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
 }
 
 fn read_len<R: Read>(r: &mut R) -> io::Result<usize> {
@@ -161,6 +190,43 @@ pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Frame> {
         }
         TAG_TOKEN => Ok(Frame::Msg(WireMsg::Token)),
         TAG_HELLO => Ok(Frame::Hello(read_u32(r)?)),
+        TAG_TAGGED => {
+            let seq = read_u64(r)?;
+            let pre_digest = read_u64(r)?;
+            let mut kind = [0u8; 1];
+            r.read_exact(&mut kind)?;
+            let kind = OpKind::from_code(kind[0]).ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("unknown schedule op kind {:#04x}", kind[0]),
+                )
+            })?;
+            let words = read_u64(r)?;
+            let param = read_u64(r)?;
+            // Tags wrap exactly one payload message — never a handshake,
+            // never another tag (the transport wraps once per send).
+            let inner = match read_frame(r)? {
+                Frame::Msg(WireMsg::Tagged(..)) | Frame::Hello(_) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "schedule tag wraps a non-payload frame",
+                    ));
+                }
+                Frame::Msg(msg) => msg,
+            };
+            Ok(Frame::Msg(WireMsg::Tagged(
+                ScheduleTag {
+                    point: SchedulePoint {
+                        seq,
+                        kind,
+                        words,
+                        param,
+                    },
+                    pre_digest,
+                },
+                Box::new(inner),
+            )))
+        }
         other => Err(io::Error::new(
             io::ErrorKind::InvalidData,
             format!("unknown frame tag {other:#04x}"),
@@ -187,6 +253,59 @@ mod tests {
         roundtrip(Frame::Msg(WireMsg::Sparse(Vec::new(), Vec::new())));
         roundtrip(Frame::Msg(WireMsg::Token));
         roundtrip(Frame::Hello(42));
+    }
+
+    fn sample_tag() -> ScheduleTag {
+        ScheduleTag {
+            point: SchedulePoint {
+                seq: 7,
+                kind: OpKind::AllReduce,
+                words: 4096,
+                param: 1,
+            },
+            pre_digest: 0xdead_beef_cafe_f00d,
+        }
+    }
+
+    #[test]
+    fn tagged_frames_roundtrip() {
+        roundtrip(Frame::Msg(WireMsg::Tagged(
+            sample_tag(),
+            Box::new(WireMsg::F32(vec![1.0, -2.0])),
+        )));
+        roundtrip(Frame::Msg(WireMsg::Tagged(
+            sample_tag(),
+            Box::new(WireMsg::Token),
+        )));
+        roundtrip(Frame::Msg(WireMsg::Tagged(
+            sample_tag(),
+            Box::new(WireMsg::Sparse(vec![1, 9], vec![0.25, -0.5])),
+        )));
+    }
+
+    #[test]
+    fn nested_tag_is_rejected() {
+        let frame = Frame::Msg(WireMsg::Tagged(
+            sample_tag(),
+            Box::new(WireMsg::Tagged(sample_tag(), Box::new(WireMsg::Token))),
+        ));
+        let bytes = encode(&frame);
+        let mut cursor = io::Cursor::new(bytes);
+        let err = read_frame(&mut cursor).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn tag_with_unknown_op_kind_is_rejected() {
+        let mut bytes = encode(&Frame::Msg(WireMsg::Tagged(
+            sample_tag(),
+            Box::new(WireMsg::Token),
+        )));
+        // The kind byte sits after the tag byte and two u64 fields.
+        bytes[17] = 0xEE;
+        let mut cursor = io::Cursor::new(bytes);
+        let err = read_frame(&mut cursor).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
     }
 
     #[test]

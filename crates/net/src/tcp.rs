@@ -34,9 +34,10 @@ use std::time::{Duration, Instant};
 
 use acp_collectives::nonblocking::execute_collective;
 use acp_collectives::ring::{Transport, WireMsg};
+use acp_collectives::schedule::{self, ScheduleCell, ScheduleTracer};
 use acp_collectives::{
     CollectiveOp, CollectiveResult, CommError, CommWorker, Communicator, PendingOp, ReduceOp,
-    TopkMode, WorkerTransport,
+    ScheduleSnapshot, TopkMode, VerifyMode, WorkerTransport,
 };
 use acp_telemetry::{keys, noop, RecorderHandle};
 
@@ -100,6 +101,12 @@ pub struct TcpConfig {
     pub op_deadline: Duration,
     /// Fault plan (inert by default).
     pub fault: FaultInjector,
+    /// Collective-schedule verification mode (see
+    /// [`acp_collectives::schedule`]). [`TcpConfig::local`] reads it from
+    /// the `ACP_VERIFY_SCHEDULE` environment variable, so multi-process
+    /// launches inherit the launcher's setting; all ranks of a group must
+    /// agree on it.
+    pub verify: VerifyMode,
 }
 
 impl TcpConfig {
@@ -116,6 +123,7 @@ impl TcpConfig {
             .map(|i| {
                 let port = base_port
                     .checked_add(i as u16)
+                    // allow_verify(reason = "documented panic of a config constructor; no group exists yet")
                     .expect("port range overflows u16");
                 SocketAddr::from(([127, 0, 0, 1], port))
             })
@@ -128,6 +136,7 @@ impl TcpConfig {
             retry: RetryPolicy::default(),
             op_deadline: Duration::from_secs(30),
             fault: FaultInjector::none(),
+            verify: VerifyMode::from_env(),
         }
     }
 
@@ -152,6 +161,12 @@ impl TcpConfig {
     /// Sets the fault plan.
     pub fn with_fault(mut self, fault: FaultInjector) -> Self {
         self.fault = fault;
+        self
+    }
+
+    /// Sets the schedule-verification mode.
+    pub fn with_verify(mut self, verify: VerifyMode) -> Self {
+        self.verify = verify;
         self
     }
 }
@@ -351,6 +366,11 @@ pub struct TcpCommunicator {
     /// Shared with the transport so `bytes_sent` stays readable after the
     /// transport moves into the worker thread.
     bytes_sent: Arc<AtomicU64>,
+    /// Schedule-trace state, shared with the transport's tracer so
+    /// [`Communicator::schedule`] stays readable after the transport moves
+    /// into the worker thread.
+    schedule: Arc<ScheduleCell>,
+    verify: VerifyMode,
     recorder: RecorderHandle,
 }
 
@@ -372,6 +392,10 @@ struct TcpTransport {
     frames_sent: u64,
     bytes_sent: Arc<AtomicU64>,
     recorder: RecorderHandle,
+    /// Collective-schedule recorder (see [`acp_collectives::schedule`]);
+    /// in cross-check mode it also tags outgoing frames and verifies
+    /// incoming ones at delivery.
+    tracer: ScheduleTracer,
 }
 
 impl std::fmt::Debug for TcpCommunicator {
@@ -437,11 +461,13 @@ impl TcpCommunicator {
             retry,
             op_deadline,
             fault,
+            verify,
         } = cfg;
         if world_size == 0 || rank >= world_size || peers.len() != world_size {
             return Err(CommError::InvalidRank { rank, world_size });
         }
         let bytes_sent = Arc::new(AtomicU64::new(0));
+        let schedule = Arc::new(ScheduleCell::default());
         let mut transport = TcpTransport {
             rank,
             world_size,
@@ -455,6 +481,7 @@ impl TcpCommunicator {
             frames_sent: 0,
             bytes_sent: Arc::clone(&bytes_sent),
             recorder: noop(),
+            tracer: ScheduleTracer::new(verify, Arc::clone(&schedule)),
         };
         transport.wiring = transport.establish()?;
         Ok(TcpCommunicator {
@@ -464,6 +491,8 @@ impl TcpCommunicator {
             inner: Some(transport),
             worker: None,
             bytes_sent,
+            schedule,
+            verify,
             recorder: noop(),
         })
     }
@@ -496,9 +525,11 @@ impl TcpCommunicator {
             let transport = self
                 .inner
                 .take()
+                // allow_verify(reason = "struct invariant: inner is Some until the worker takes it, and this branch only runs when worker is None")
                 .expect("transport is present until the worker takes it");
             self.worker = Some(CommWorker::spawn(transport));
         }
+        // allow_verify(reason = "assigned Some on the line above when absent")
         self.worker.as_ref().expect("worker just spawned")
     }
 }
@@ -642,6 +673,10 @@ impl WorkerTransport for TcpTransport {
             Topology::Ring => TopkMode::GatherTruncate,
         }
     }
+
+    fn tracer(&mut self) -> Option<&mut ScheduleTracer> {
+        Some(&mut self.tracer)
+    }
 }
 
 /// Which direction a link resolution is for (affects which ring link is
@@ -710,6 +745,12 @@ impl Transport for TcpTransport {
             .drop_every
             .is_some_and(|n| self.frames_sent.is_multiple_of(n));
         let bytes = msg.payload_bytes();
+        // Cross-check mode: stamp the frame with this rank's schedule
+        // position (tag bytes are framing, not payload — `bytes` above).
+        let msg = match self.tracer.tag() {
+            Some(tag) => WireMsg::Tagged(tag, Box::new(msg)),
+            None => msg,
+        };
         let frame = Frame::Msg(msg);
         let started = Instant::now();
         // Destructure for disjoint field borrows: the link lives in
@@ -772,7 +813,11 @@ impl Transport for TcpTransport {
                         self.recorder
                             .add(keys::COMM_BYTES_RECV, msg.payload_bytes());
                     }
-                    return Ok(msg);
+                    // Delivery-time schedule check (see
+                    // `acp_collectives::schedule::deliver_checked`); a
+                    // mismatch tears this rank down, and its closed
+                    // sockets surface to peers within their op deadline.
+                    return schedule::deliver_checked(&self.tracer, msg);
                 }
                 // A stray hello can only follow a reconnect that raced our
                 // read; consume it and keep reading.
@@ -903,6 +948,13 @@ impl Communicator for TcpCommunicator {
     fn dispatch(&mut self, op: CollectiveOp) -> PendingOp {
         self.ensure_worker().submit(op)
     }
+
+    fn schedule(&self) -> Option<ScheduleSnapshot> {
+        Some(
+            self.schedule
+                .snapshot(self.verify == VerifyMode::CrossCheck),
+        )
+    }
 }
 
 /// Test/bench harness mirroring `ThreadGroup::run`: binds `world_size`
@@ -936,10 +988,12 @@ where
 {
     assert!(world_size > 0, "world_size must be positive");
     let listeners: Vec<TcpListener> = (0..world_size)
+        // allow_verify(reason = "test harness: a bind failure is the caller's test failure")
         .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind ephemeral loopback port"))
         .collect();
     let peers: Vec<SocketAddr> = listeners
         .iter()
+        // allow_verify(reason = "test harness: bound listeners always report an addr")
         .map(|l| l.local_addr().expect("listener has a local addr"))
         .collect();
     std::thread::scope(|scope| {
@@ -959,9 +1013,11 @@ where
                         retry: RetryPolicy::default(),
                         op_deadline: Duration::from_secs(20),
                         fault: FaultInjector::none(),
+                        verify: VerifyMode::from_env(),
                     };
                     cfg = tweak(rank, cfg);
                     let comm =
+                        // allow_verify(reason = "test harness entry point; establishment failures are the caller's test failures")
                         TcpCommunicator::with_listener(cfg, listener).expect("establish group");
                     f(comm)
                 })
@@ -969,6 +1025,7 @@ where
             .collect();
         handles
             .into_iter()
+            // allow_verify(reason = "test harness: propagate worker panics to the calling test")
             .map(|h| h.join().expect("tcp worker panicked"))
             .collect()
     })

@@ -1,0 +1,95 @@
+//! Schedule-verification tests over real sockets.
+//!
+//! The thread backend proves the cross-check protocol in
+//! `acp_collectives`; these tests prove the same guarantees survive the
+//! framed TCP transport: a rank that skips a collective is named by
+//! `CommError::ScheduleMismatch` within the per-op deadline instead of
+//! hanging the group, and aligned schedules pass through the tagging
+//! untouched.
+
+use std::time::{Duration, Instant};
+
+use acp_collectives::schedule::OpKind;
+use acp_collectives::{CommError, Communicator, ReduceOp, VerifyMode};
+use acp_net::tcp::run_local_with;
+
+fn cross_check(
+    world_size: usize,
+    deadline: Duration,
+) -> impl Fn(usize, acp_net::TcpConfig) -> acp_net::TcpConfig + Sync {
+    let _ = world_size;
+    move |_rank, cfg| {
+        cfg.with_verify(VerifyMode::CrossCheck)
+            .with_op_deadline(deadline)
+    }
+}
+
+#[test]
+fn aligned_schedules_pass_cross_check_over_tcp() {
+    let results = run_local_with(
+        3,
+        cross_check(3, Duration::from_secs(20)),
+        |mut comm| -> Result<_, CommError> {
+            let mut buf = vec![comm.rank() as f32; 32];
+            comm.all_reduce(&mut buf, ReduceOp::Sum)?;
+            comm.barrier()?;
+            let got = comm.all_gather_u32(&[comm.rank() as u32])?;
+            Ok((buf[0], got, comm.schedule().expect("snapshot")))
+        },
+    );
+    let mut digests = Vec::new();
+    for r in results {
+        let (sum, gathered, snap) = r.expect("aligned schedules must pass");
+        assert_eq!(sum, 3.0);
+        assert_eq!(gathered, vec![0, 1, 2]);
+        assert_eq!(snap.seq, 3);
+        assert_eq!(snap.entries.len(), 3, "cross-check keeps the full log");
+        digests.push(snap.digest);
+    }
+    assert!(
+        digests.windows(2).all(|w| w[0] == w[1]),
+        "aligned ranks must agree on the schedule digest: {digests:?}"
+    );
+}
+
+#[test]
+fn skipped_collective_surfaces_as_schedule_mismatch_over_tcp() {
+    // The acceptance scenario on the socket backend: rank 1 skips a
+    // bucket's all-reduce and goes straight to the barrier. The first
+    // divergent collective must be named within the per-op deadline —
+    // no rank may hang until the group-establishment timeout or return
+    // a silently corrupt reduction.
+    let deadline = Duration::from_secs(5);
+    let start = Instant::now();
+    let results = run_local_with(3, cross_check(3, deadline), |mut comm| {
+        if comm.rank() != 1 {
+            let mut buf = vec![comm.rank() as f32; 64];
+            comm.all_reduce(&mut buf, ReduceOp::Sum)?;
+        }
+        comm.barrier()
+    });
+    assert!(
+        start.elapsed() < deadline + Duration::from_secs(10),
+        "divergence took {:?} to surface",
+        start.elapsed()
+    );
+    let (seq, local, peer) = results
+        .iter()
+        .find_map(|r| match r {
+            Err(CommError::ScheduleMismatch { seq, local, peer }) => Some((*seq, *local, *peer)),
+            _ => None,
+        })
+        .unwrap_or_else(|| panic!("no rank observed the divergence: {results:?}"));
+    assert_eq!(seq, 0, "the very first collective diverges");
+    let kinds: Vec<_> = [local.map(|p| p.kind), Some(peer.kind)]
+        .into_iter()
+        .flatten()
+        .collect();
+    assert!(
+        kinds.contains(&OpKind::Barrier) && kinds.contains(&OpKind::AllReduce),
+        "mismatch does not name the divergent pair: seq={seq} local={local:?} peer={peer:?}"
+    );
+    for r in &results {
+        assert!(r.is_err(), "a rank completed despite the divergence: {r:?}");
+    }
+}

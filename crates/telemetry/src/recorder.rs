@@ -355,6 +355,42 @@ mod tests {
     }
 
     #[test]
+    fn recording_survives_a_poisoned_lock() {
+        use std::sync::Arc;
+        let rec = Arc::new(InMemoryRecorder::new());
+        rec.add("before", 1);
+
+        // Panic on another thread while holding the recorder's mutex, so
+        // the lock is genuinely poisoned (silence the expected panic
+        // message to keep test output clean).
+        let prev_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let poisoner = Arc::clone(&rec);
+        let joined = std::thread::spawn(move || {
+            let _guard = poisoner.inner.lock().unwrap();
+            panic!("poison the recorder mutex");
+        })
+        .join();
+        std::panic::set_hook(prev_hook);
+        assert!(joined.is_err(), "the poisoning thread must have panicked");
+        assert!(rec.inner.lock().is_err(), "the mutex must be poisoned");
+
+        // Every recorder path must keep working: a rank that survives a
+        // panicking sibling thread still has to report its telemetry.
+        rec.add("after", 2);
+        rec.observe("series", 1.5);
+        {
+            let _g = SpanGuard::start(rec.as_ref(), "span", "cat", 0);
+        }
+        assert_eq!(rec.counter("before"), 1);
+        assert_eq!(rec.counter("after"), 2);
+        assert_eq!(rec.values("series"), vec![1.5]);
+        let snap = rec.snapshot();
+        assert_eq!(snap.counters.get("after"), Some(&2));
+        assert_eq!(snap.spans.len(), 1);
+    }
+
+    #[test]
     fn noop_is_inert() {
         let rec = NoopRecorder;
         assert!(!rec.enabled());

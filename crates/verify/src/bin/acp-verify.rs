@@ -1,0 +1,61 @@
+//! `acp-verify` — offline protocol checks for recorded runs.
+//!
+//! ```text
+//! acp-verify check-trace <trace.sched>...
+//! ```
+//!
+//! Reads one `.sched` trace per rank (see [`acp_verify::trace`]), replays
+//! the digest chains, and cross-checks the schedules. Exit codes: 0 when
+//! every check passes, 1 when findings are reported, 2 on usage or parse
+//! errors.
+
+use std::process::ExitCode;
+
+use acp_verify::{check_traces, parse_trace, TraceFile};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: acp-verify check-trace <trace.sched>...");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, files) = match args.split_first() {
+        Some((cmd, rest)) => (cmd.as_str(), rest),
+        None => return usage(),
+    };
+    if cmd != "check-trace" || files.is_empty() {
+        return usage();
+    }
+    let mut traces: Vec<TraceFile> = Vec::with_capacity(files.len());
+    for path in files {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("acp-verify: {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        match parse_trace(&text) {
+            Ok(trace) => traces.push(trace),
+            Err(e) => {
+                eprintln!("acp-verify: {path}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let findings = check_traces(&traces);
+    if findings.is_empty() {
+        println!(
+            "check-trace: {} rank(s), {} collective(s): schedules agree",
+            traces.len(),
+            traces.first().map_or(0, |t| t.snapshot.seq)
+        );
+        ExitCode::SUCCESS
+    } else {
+        for finding in &findings {
+            eprintln!("check-trace: {finding}");
+        }
+        ExitCode::from(1)
+    }
+}

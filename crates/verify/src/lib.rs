@@ -1,0 +1,36 @@
+//! Offline verification for the collective-schedule protocol.
+//!
+//! The online half of the schedule verifier lives in
+//! [`acp_collectives::schedule`]: every communicator keeps a rolling
+//! digest of its collective schedule, and cross-check mode tags wire
+//! messages so a divergent rank is named at delivery time. This crate is
+//! the offline half:
+//!
+//! - [`check_schedules`] cross-checks recorded
+//!   [`ScheduleSnapshot`](acp_collectives::ScheduleSnapshot)s from every
+//!   rank and reports the first
+//!   divergent collective, classified as a plain mismatch, a fusion-plan
+//!   divergence (same collective, different bucket sizes) or a missing
+//!   operation (one rank's schedule is a prefix of another's).
+//! - [`trace`] defines the `.sched` text format the `acp-verify
+//!   check-trace` CLI replays; parsing re-derives the rolling digest from
+//!   the logged fingerprints, so corrupt or hand-edited traces are
+//!   rejected rather than silently trusted.
+//! - [`telemetry_check`] validates recorded metrics against the repo's
+//!   telemetry invariants: every bucket dispatch span has a matching wait
+//!   span (a missing wait is an abandoned `PendingOp`), `COMM_*_US`
+//!   series stay index-parallel with their `_BYTES` siblings, and
+//!   per-rank byte series agree across ranks (fusion plans must be
+//!   replicated, not per-rank).
+//!
+//! The concurrency models for the nonblocking comm-worker handoff live in
+//! `tests/loom_models.rs`, compiled only under `--cfg loom` against the
+//! workspace's exhaustive-interleaving `loom` shim.
+
+pub mod schedule_check;
+pub mod telemetry_check;
+pub mod trace;
+
+pub use schedule_check::{check_schedules, Divergence, DivergenceKind};
+pub use telemetry_check::{check_telemetry, TelemetryFinding};
+pub use trace::{check_traces, parse_trace, write_trace, TraceError, TraceFile, TraceFinding};

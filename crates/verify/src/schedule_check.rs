@@ -1,0 +1,307 @@
+//! Cross-rank comparison of recorded collective schedules.
+
+use std::fmt;
+
+use acp_collectives::{OpKind, SchedulePoint, ScheduleSnapshot};
+
+/// How two ranks' schedules came apart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DivergenceKind {
+    /// Different collectives (or parameters) at the same position.
+    Mismatch,
+    /// Same collective at the same position but different element counts:
+    /// the ranks planned their buckets differently. Fusion plans are
+    /// derived from replicated state, so this is a re-planning bug, not a
+    /// data race.
+    FusionPlan,
+    /// One rank's schedule is a strict prefix of another's: it stopped
+    /// issuing collectives (skipped a bucket, early exit) while peers
+    /// went on.
+    MissingOp,
+    /// The rolling digests disagree but every comparable entry matches —
+    /// the divergence predates the retained windows. Re-run under
+    /// cross-check mode (full logs) to localise it.
+    DigestOnly,
+}
+
+/// The first point where two ranks' schedules disagree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Divergence {
+    /// Classification of the disagreement.
+    pub kind: DivergenceKind,
+    /// Schedule position of the first divergent collective.
+    pub seq: u64,
+    /// The two ranks being compared (reference rank first).
+    pub ranks: (usize, usize),
+    /// What each rank ran at `seq`; `None` when that rank's schedule had
+    /// already ended (or the entry fell outside its retained window).
+    pub points: (Option<SchedulePoint>, Option<SchedulePoint>),
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (a, b) = self.ranks;
+        let describe = |p: &Option<SchedulePoint>| match p {
+            Some(p) => p.to_string(),
+            None => "nothing (schedule ended)".to_string(),
+        };
+        match self.kind {
+            DivergenceKind::Mismatch => write!(
+                f,
+                "schedule mismatch at op {}: rank {a} ran {} while rank {b} ran {}",
+                self.seq,
+                describe(&self.points.0),
+                describe(&self.points.1)
+            ),
+            DivergenceKind::FusionPlan => write!(
+                f,
+                "fusion-plan divergence at op {}: rank {a} ran {} while rank {b} ran {} — \
+                 the ranks bucketed the same collective differently",
+                self.seq,
+                describe(&self.points.0),
+                describe(&self.points.1)
+            ),
+            DivergenceKind::MissingOp => write!(
+                f,
+                "missing collective at op {}: rank {a} ran {} while rank {b} issued nothing — \
+                 rank {b}'s schedule ended at {} op(s)",
+                self.seq,
+                describe(&self.points.0),
+                self.seq,
+            ),
+            DivergenceKind::DigestOnly => write!(
+                f,
+                "schedule digests disagree between rank {a} and rank {b} but the divergence \
+                 predates the retained windows (first retained op {}); re-run with \
+                 ACP_VERIFY_SCHEDULE=cross for a full log",
+                self.seq,
+            ),
+        }
+    }
+}
+
+/// Fusion-sensitive collectives: `words` is the fused bucket size, so a
+/// same-kind different-words divergence means the ranks planned buckets
+/// differently.
+fn fusion_sensitive(kind: OpKind) -> bool {
+    matches!(
+        kind,
+        OpKind::AllReduce | OpKind::AllReduceRd | OpKind::AllGatherF32 | OpKind::AllGatherU32
+    )
+}
+
+fn entry_at(snapshot: &ScheduleSnapshot, seq: u64) -> Option<SchedulePoint> {
+    snapshot
+        .entries
+        .iter()
+        .find(|e| e.point.seq == seq)
+        .map(|e| e.point)
+}
+
+/// First sequence number retained in a (possibly window-truncated) log.
+fn first_retained(snapshot: &ScheduleSnapshot) -> u64 {
+    snapshot
+        .entries
+        .first()
+        .map_or(snapshot.seq, |e| e.point.seq)
+}
+
+fn compare_pair(
+    (rank_a, a): (usize, &ScheduleSnapshot),
+    (rank_b, b): (usize, &ScheduleSnapshot),
+) -> Option<Divergence> {
+    if a.seq == b.seq && a.digest == b.digest {
+        return None;
+    }
+    // Walk the overlap of the two retained logs looking for the first
+    // entry-level disagreement.
+    let lo = first_retained(a).max(first_retained(b));
+    let hi = a.seq.max(b.seq);
+    for seq in lo..hi {
+        let pa = entry_at(a, seq);
+        let pb = entry_at(b, seq);
+        match (pa, pb) {
+            (Some(x), Some(y)) if x == y => continue,
+            (Some(x), Some(y)) => {
+                let kind = if x.kind == y.kind
+                    && fusion_sensitive(x.kind)
+                    && x.words != y.words
+                    && x.param == y.param
+                {
+                    DivergenceKind::FusionPlan
+                } else {
+                    DivergenceKind::Mismatch
+                };
+                return Some(Divergence {
+                    kind,
+                    seq,
+                    ranks: (rank_a, rank_b),
+                    points: (pa, pb),
+                });
+            }
+            (Some(_), None) if seq >= b.seq => {
+                return Some(Divergence {
+                    kind: DivergenceKind::MissingOp,
+                    seq,
+                    ranks: (rank_a, rank_b),
+                    points: (pa, None),
+                });
+            }
+            (None, Some(_)) if seq >= a.seq => {
+                return Some(Divergence {
+                    kind: DivergenceKind::MissingOp,
+                    seq,
+                    ranks: (rank_b, rank_a),
+                    points: (pb, None),
+                });
+            }
+            // An entry missing inside a window-truncated log: skip — the
+            // comparable region continues past it.
+            _ => continue,
+        }
+    }
+    // Digests (or lengths) disagree but nothing comparable did: the
+    // divergence is older than the windows.
+    Some(Divergence {
+        kind: DivergenceKind::DigestOnly,
+        seq: lo,
+        ranks: (rank_a, rank_b),
+        points: (None, None),
+    })
+}
+
+/// Cross-checks per-rank schedule snapshots and reports the first
+/// divergence, or `Ok(())` when every rank recorded the same schedule.
+///
+/// Ranks are compared against the first snapshot in the slice, so the
+/// reported pair always names the lowest-indexed reference rank. An
+/// empty or single-element slice trivially passes.
+///
+/// # Errors
+///
+/// The first [`Divergence`] found, in rank order.
+pub fn check_schedules(schedules: &[(usize, ScheduleSnapshot)]) -> Result<(), Divergence> {
+    let Some(((rank0, first), rest)) = schedules.split_first().map(|(f, r)| ((f.0, &f.1), r))
+    else {
+        return Ok(());
+    };
+    for (rank, snapshot) in rest {
+        if let Some(d) = compare_pair((rank0, first), (*rank, snapshot)) {
+            return Err(d);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acp_collectives::schedule::digest_step;
+    use acp_collectives::ScheduleEntry;
+
+    fn snapshot(ops: &[(OpKind, u64, u64)]) -> ScheduleSnapshot {
+        let mut digest = 0u64;
+        let mut entries = Vec::new();
+        for (i, (kind, words, param)) in ops.iter().enumerate() {
+            digest = digest_step(digest, *kind, *words, *param);
+            entries.push(ScheduleEntry {
+                point: SchedulePoint {
+                    seq: i as u64,
+                    kind: *kind,
+                    words: *words,
+                    param: *param,
+                },
+                digest,
+            });
+        }
+        ScheduleSnapshot {
+            seq: ops.len() as u64,
+            digest,
+            entries,
+        }
+    }
+
+    #[test]
+    fn identical_schedules_pass() {
+        let ops = [(OpKind::AllReduce, 1024, 0), (OpKind::Barrier, 0, 0)];
+        let a = snapshot(&ops);
+        let b = snapshot(&ops);
+        assert_eq!(check_schedules(&[(0, a), (1, b)]), Ok(()));
+    }
+
+    #[test]
+    fn different_kind_is_a_mismatch() {
+        let a = snapshot(&[(OpKind::AllReduce, 64, 0), (OpKind::Barrier, 0, 0)]);
+        let b = snapshot(&[(OpKind::Barrier, 0, 0), (OpKind::Barrier, 0, 0)]);
+        let d = check_schedules(&[(0, a), (1, b)]).unwrap_err();
+        assert_eq!(d.kind, DivergenceKind::Mismatch);
+        assert_eq!(d.seq, 0);
+        assert_eq!(d.ranks, (0, 1));
+        let msg = d.to_string();
+        assert!(
+            msg.contains("all_reduce") && msg.contains("barrier"),
+            "{msg}"
+        );
+    }
+
+    #[test]
+    fn same_kind_different_words_is_a_fusion_divergence() {
+        let a = snapshot(&[(OpKind::AllReduce, 1024, 0), (OpKind::AllReduce, 512, 0)]);
+        let b = snapshot(&[(OpKind::AllReduce, 1024, 0), (OpKind::AllReduce, 768, 0)]);
+        let d = check_schedules(&[(0, a), (1, b)]).unwrap_err();
+        assert_eq!(d.kind, DivergenceKind::FusionPlan);
+        assert_eq!(d.seq, 1);
+        assert!(d.to_string().contains("bucketed"), "{d}");
+    }
+
+    #[test]
+    fn prefix_schedule_is_a_missing_op() {
+        let a = snapshot(&[(OpKind::AllReduce, 64, 0), (OpKind::Barrier, 0, 0)]);
+        let b = snapshot(&[(OpKind::AllReduce, 64, 0)]);
+        let d = check_schedules(&[(0, a), (1, b)]).unwrap_err();
+        assert_eq!(d.kind, DivergenceKind::MissingOp);
+        assert_eq!(d.seq, 1);
+        // The rank that ran something is named first.
+        assert_eq!(d.ranks, (0, 1));
+        assert!(d.to_string().contains("issued nothing"), "{d}");
+    }
+
+    #[test]
+    fn divergence_older_than_the_window_is_digest_only() {
+        // Two long schedules that differ only in op 0, with logs truncated
+        // to the tail (as the always-on digest window would keep).
+        let mut a = snapshot(&[(OpKind::AllReduce, 1, 0), (OpKind::Barrier, 0, 0)]);
+        let mut b = snapshot(&[(OpKind::AllReduce, 2, 0), (OpKind::Barrier, 0, 0)]);
+        a.entries.remove(0);
+        b.entries.remove(0);
+        let d = check_schedules(&[(0, a), (1, b)]).unwrap_err();
+        // Op 1 entries carry diverged rolling digests, so the walk flags
+        // them; a cleaner DigestOnly needs identical tails.
+        assert!(matches!(
+            d.kind,
+            DivergenceKind::DigestOnly | DivergenceKind::Mismatch
+        ));
+    }
+
+    #[test]
+    fn identical_tails_with_diverged_digest_are_digest_only() {
+        let ops = [(OpKind::Barrier, 0, 0), (OpKind::Barrier, 0, 0)];
+        let mut a = snapshot(&ops);
+        let mut b = snapshot(&ops);
+        // Simulate a pre-window divergence: same retained entries, but one
+        // rank's rolling digest came out different.
+        a.entries.clear();
+        b.entries.clear();
+        b.digest ^= 0xdead_beef;
+        let d = check_schedules(&[(0, a), (1, b)]).unwrap_err();
+        assert_eq!(d.kind, DivergenceKind::DigestOnly);
+        assert!(d.to_string().contains("ACP_VERIFY_SCHEDULE"), "{d}");
+    }
+
+    #[test]
+    fn single_rank_passes_trivially() {
+        let a = snapshot(&[(OpKind::Barrier, 0, 0)]);
+        assert_eq!(check_schedules(&[(0, a)]), Ok(()));
+        assert_eq!(check_schedules(&[]), Ok(()));
+    }
+}

@@ -1,0 +1,273 @@
+//! Telemetry-snapshot invariants.
+//!
+//! The pipeline's overlap accounting (Table II reproduction) is only
+//! meaningful when the telemetry underneath it is consistent; these
+//! checks catch the ways it can silently rot:
+//!
+//! - every bucket *dispatch* span must have a matching *wait* span — a
+//!   shortfall means a `PendingOp` was started and never waited, so its
+//!   time is attributed nowhere;
+//! - every `comm.*_us` series must stay index-parallel with its
+//!   `comm.*_bytes` sibling — the cost-model calibration joins them by
+//!   index;
+//! - per-rank `comm.all_reduce_bytes` series must agree across ranks —
+//!   the fusion plan is derived from replicated state, so ranks that
+//!   recorded different bucket sizes re-planned divergently.
+
+use std::fmt;
+
+use acp_telemetry::keys::{
+    COMM_ALL_GATHER_BYTES, COMM_ALL_GATHER_US, COMM_ALL_REDUCE_BYTES, COMM_ALL_REDUCE_US,
+    COMM_BROADCAST_BYTES, COMM_BROADCAST_US, COMM_GLOBAL_TOPK_BYTES, COMM_GLOBAL_TOPK_US,
+    SPAN_BUCKET_DISPATCH, SPAN_BUCKET_WAIT,
+};
+use acp_telemetry::MetricsSnapshot;
+
+/// The `comm.*_us` series and the `_bytes` sibling each must stay
+/// index-parallel with.
+pub const PAIRED_COMM_KEYS: &[(&str, &str)] = &[
+    (COMM_ALL_REDUCE_US, COMM_ALL_REDUCE_BYTES),
+    (COMM_ALL_GATHER_US, COMM_ALL_GATHER_BYTES),
+    (COMM_BROADCAST_US, COMM_BROADCAST_BYTES),
+    (COMM_GLOBAL_TOPK_US, COMM_GLOBAL_TOPK_BYTES),
+];
+
+/// A telemetry invariant violation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TelemetryFinding {
+    /// More dispatch spans than wait spans: an abandoned `PendingOp`.
+    MissingWaits {
+        /// Bucket dispatch spans recorded.
+        dispatched: usize,
+        /// Bucket wait spans recorded.
+        waited: usize,
+    },
+    /// A `_us` series and its `_bytes` sibling have different lengths.
+    UnpairedSeries {
+        /// The timing series key.
+        us_key: &'static str,
+        /// The byte series key.
+        bytes_key: &'static str,
+        /// Length of the timing series.
+        us_len: usize,
+        /// Length of the byte series.
+        bytes_len: usize,
+    },
+    /// Two ranks recorded different byte series for the same collective:
+    /// their fusion plans diverged.
+    FusionDivergence {
+        /// The ranks being compared (reference rank first).
+        ranks: (usize, usize),
+        /// Index of the first differing observation.
+        index: usize,
+        /// The two observations (`None` when a series ended early).
+        values: (Option<f64>, Option<f64>),
+    },
+}
+
+impl fmt::Display for TelemetryFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TelemetryFinding::MissingWaits { dispatched, waited } => write!(
+                f,
+                "{dispatched} bucket dispatch span(s) but only {waited} wait span(s): \
+                 a PendingOp was started and never waited"
+            ),
+            TelemetryFinding::UnpairedSeries {
+                us_key,
+                bytes_key,
+                us_len,
+                bytes_len,
+            } => write!(
+                f,
+                "series {us_key} has {us_len} observation(s) but {bytes_key} has {bytes_len}: \
+                 timing and byte series must be recorded index-parallel"
+            ),
+            TelemetryFinding::FusionDivergence {
+                ranks,
+                index,
+                values,
+            } => {
+                let show = |v: &Option<f64>| match v {
+                    Some(v) => format!("{v}"),
+                    None => "nothing (series ended)".to_string(),
+                };
+                write!(
+                    f,
+                    "fusion plans diverged: rank {} recorded {} bytes at all-reduce {} while rank {} recorded {}",
+                    ranks.0,
+                    show(&values.0),
+                    index,
+                    ranks.1,
+                    show(&values.1)
+                )
+            }
+        }
+    }
+}
+
+fn span_count(snap: &MetricsSnapshot, name: &str) -> usize {
+    snap.spans.iter().filter(|s| s.name == name).count()
+}
+
+/// Checks one rank's snapshot for missing waits and unpaired series.
+pub fn check_snapshot(snap: &MetricsSnapshot) -> Vec<TelemetryFinding> {
+    let mut findings = Vec::new();
+    let dispatched = span_count(snap, SPAN_BUCKET_DISPATCH);
+    let waited = span_count(snap, SPAN_BUCKET_WAIT);
+    if waited < dispatched {
+        findings.push(TelemetryFinding::MissingWaits { dispatched, waited });
+    }
+    for (us_key, bytes_key) in PAIRED_COMM_KEYS {
+        let us_len = snap.values.get(*us_key).map_or(0, Vec::len);
+        let bytes_len = snap.values.get(*bytes_key).map_or(0, Vec::len);
+        if us_len != bytes_len {
+            findings.push(TelemetryFinding::UnpairedSeries {
+                us_key,
+                bytes_key,
+                us_len,
+                bytes_len,
+            });
+        }
+    }
+    findings
+}
+
+/// Compares per-rank byte series: ranks must have recorded identical
+/// `comm.all_reduce_bytes` sequences (the fused bucket sizes).
+pub fn check_fusion_agreement(per_rank: &[(usize, &MetricsSnapshot)]) -> Vec<TelemetryFinding> {
+    let mut findings = Vec::new();
+    let Some(((rank0, first), rest)) = per_rank.split_first().map(|(f, r)| ((f.0, f.1), r)) else {
+        return findings;
+    };
+    let empty = Vec::new();
+    let reference = first.values.get(COMM_ALL_REDUCE_BYTES).unwrap_or(&empty);
+    for (rank, snap) in rest {
+        let series = snap.values.get(COMM_ALL_REDUCE_BYTES).unwrap_or(&empty);
+        let len = reference.len().max(series.len());
+        for i in 0..len {
+            let a = reference.get(i).copied();
+            let b = series.get(i).copied();
+            if a != b {
+                findings.push(TelemetryFinding::FusionDivergence {
+                    ranks: (rank0, *rank),
+                    index: i,
+                    values: (a, b),
+                });
+                break;
+            }
+        }
+    }
+    findings
+}
+
+/// Runs every telemetry check over a group's snapshots: per-rank
+/// invariants plus cross-rank fusion agreement.
+pub fn check_telemetry(per_rank: &[(usize, MetricsSnapshot)]) -> Vec<TelemetryFinding> {
+    let mut findings = Vec::new();
+    for (_, snap) in per_rank {
+        findings.extend(check_snapshot(snap));
+    }
+    let refs: Vec<(usize, &MetricsSnapshot)> = per_rank.iter().map(|(r, s)| (*r, s)).collect();
+    findings.extend(check_fusion_agreement(&refs));
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acp_telemetry::keys::CAT_COMM;
+    use acp_telemetry::{InMemoryRecorder, Recorder, Span};
+
+    fn record_bucket(rec: &InMemoryRecorder, bytes: f64, wait: bool) {
+        rec.span(Span {
+            name: SPAN_BUCKET_DISPATCH,
+            cat: CAT_COMM,
+            track: 0,
+            start_us: 0,
+            end_us: 1,
+        });
+        rec.observe(COMM_ALL_REDUCE_US, 10.0);
+        rec.observe(COMM_ALL_REDUCE_BYTES, bytes);
+        if wait {
+            rec.span(Span {
+                name: SPAN_BUCKET_WAIT,
+                cat: CAT_COMM,
+                track: 0,
+                start_us: 1,
+                end_us: 2,
+            });
+        }
+    }
+
+    #[test]
+    fn consistent_snapshot_passes() {
+        let rec = InMemoryRecorder::new();
+        record_bucket(&rec, 4096.0, true);
+        record_bucket(&rec, 2048.0, true);
+        assert!(check_snapshot(&rec.snapshot()).is_empty());
+    }
+
+    #[test]
+    fn unwaited_dispatch_is_flagged() {
+        let rec = InMemoryRecorder::new();
+        record_bucket(&rec, 4096.0, true);
+        record_bucket(&rec, 2048.0, false);
+        let findings = check_snapshot(&rec.snapshot());
+        assert_eq!(
+            findings,
+            vec![TelemetryFinding::MissingWaits {
+                dispatched: 2,
+                waited: 1
+            }]
+        );
+    }
+
+    #[test]
+    fn unpaired_series_is_flagged() {
+        let rec = InMemoryRecorder::new();
+        record_bucket(&rec, 4096.0, true);
+        rec.observe(COMM_ALL_REDUCE_US, 11.0); // timing without bytes
+        let findings = check_snapshot(&rec.snapshot());
+        assert_eq!(findings.len(), 1);
+        assert!(
+            findings[0].to_string().contains("index-parallel"),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn diverged_fusion_plans_are_flagged_across_ranks() {
+        let a = InMemoryRecorder::new();
+        let b = InMemoryRecorder::new();
+        record_bucket(&a, 4096.0, true);
+        record_bucket(&a, 2048.0, true);
+        record_bucket(&b, 4096.0, true);
+        record_bucket(&b, 1024.0, true);
+        let findings = check_telemetry(&[(0, a.snapshot()), (1, b.snapshot())]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        match &findings[0] {
+            TelemetryFinding::FusionDivergence {
+                ranks,
+                index,
+                values,
+            } => {
+                assert_eq!(*ranks, (0, 1));
+                assert_eq!(*index, 1);
+                assert_eq!(*values, (Some(2048.0), Some(1024.0)));
+            }
+            other => panic!("wrong finding: {other}"),
+        }
+    }
+
+    #[test]
+    fn matching_ranks_pass_fusion_agreement() {
+        let a = InMemoryRecorder::new();
+        let b = InMemoryRecorder::new();
+        for rec in [&a, &b] {
+            record_bucket(rec, 4096.0, true);
+            record_bucket(rec, 2048.0, true);
+        }
+        assert!(check_telemetry(&[(0, a.snapshot()), (1, b.snapshot())]).is_empty());
+    }
+}

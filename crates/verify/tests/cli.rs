@@ -1,0 +1,115 @@
+//! End-to-end tests of the `acp-verify check-trace` binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use acp_collectives::schedule::digest_step;
+use acp_collectives::{OpKind, ScheduleEntry, SchedulePoint, ScheduleSnapshot};
+use acp_verify::{write_trace, TraceFile};
+
+fn trace(rank: usize, world: usize, ops: &[(OpKind, u64, u64)]) -> TraceFile {
+    let mut digest = 0u64;
+    let mut entries = Vec::new();
+    for (i, (kind, words, param)) in ops.iter().enumerate() {
+        digest = digest_step(digest, *kind, *words, *param);
+        entries.push(ScheduleEntry {
+            point: SchedulePoint {
+                seq: i as u64,
+                kind: *kind,
+                words: *words,
+                param: *param,
+            },
+            digest,
+        });
+    }
+    TraceFile {
+        rank,
+        world,
+        dispatched: ops.len() as u64,
+        waited: ops.len() as u64,
+        snapshot: ScheduleSnapshot {
+            seq: ops.len() as u64,
+            digest,
+            entries,
+        },
+    }
+}
+
+fn write_files(dir: &str, traces: &[TraceFile]) -> Vec<PathBuf> {
+    let base = std::env::temp_dir().join(format!("acp-verify-{dir}-{}", std::process::id()));
+    std::fs::create_dir_all(&base).expect("create temp dir");
+    traces
+        .iter()
+        .map(|t| {
+            let path = base.join(format!("rank{}.sched", t.rank));
+            std::fs::write(&path, write_trace(t)).expect("write trace");
+            path
+        })
+        .collect()
+}
+
+fn run(paths: &[PathBuf]) -> (i32, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_acp-verify"))
+        .arg("check-trace")
+        .args(paths)
+        .output()
+        .expect("run acp-verify");
+    (
+        out.status.code().unwrap_or(-1),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+const OPS: &[(OpKind, u64, u64)] = &[
+    (OpKind::AllReduce, 1024, 0),
+    (OpKind::AllReduce, 512, 0),
+    (OpKind::Barrier, 0, 0),
+];
+
+#[test]
+fn aligned_traces_exit_zero() {
+    let traces: Vec<TraceFile> = (0..3).map(|r| trace(r, 3, OPS)).collect();
+    let paths = write_files("aligned", &traces);
+    let (code, stdout, stderr) = run(&paths);
+    assert_eq!(code, 0, "stdout={stdout} stderr={stderr}");
+    assert!(stdout.contains("schedules agree"), "{stdout}");
+}
+
+#[test]
+fn skipped_bucket_exits_one_and_names_the_op() {
+    let mut short = OPS.to_vec();
+    short.remove(1); // rank 1 skips the second all-reduce
+    let traces = vec![trace(0, 3, OPS), trace(1, 3, &short), trace(2, 3, OPS)];
+    let paths = write_files("skipped", &traces);
+    let (code, _stdout, stderr) = run(&paths);
+    assert_eq!(code, 1, "stderr={stderr}");
+    assert!(
+        stderr.contains("at op 1") && stderr.contains("all_reduce"),
+        "finding does not name the divergent op: {stderr}"
+    );
+}
+
+#[test]
+fn corrupt_trace_exits_two() {
+    let traces = vec![trace(0, 1, OPS)];
+    let paths = write_files("corrupt", &traces);
+    let text = std::fs::read_to_string(&paths[0]).unwrap();
+    std::fs::write(&paths[0], text.replace("words=1024", "words=4096")).unwrap();
+    let (code, _stdout, stderr) = run(&paths);
+    assert_eq!(code, 2, "stderr={stderr}");
+    assert!(stderr.contains("corrupt"), "{stderr}");
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    let out = Command::new(env!("CARGO_BIN_EXE_acp-verify"))
+        .output()
+        .expect("run acp-verify");
+    assert_eq!(out.status.code(), Some(2));
+    let out = Command::new(env!("CARGO_BIN_EXE_acp-verify"))
+        .arg("frobnicate")
+        .output()
+        .expect("run acp-verify");
+    assert_eq!(out.status.code(), Some(2));
+}

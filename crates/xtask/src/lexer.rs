@@ -1,0 +1,283 @@
+//! A minimal Rust lexer that classifies every byte of a source file as
+//! code, comment or string/char literal.
+//!
+//! The lint rules are substring searches, and substring searches lie the
+//! moment a pattern appears in a doc comment or an error message. There
+//! is no `syn` available offline, so this module does just enough lexing
+//! to split the three classes apart: line and (nested) block comments,
+//! string literals with escapes, raw strings with hash fences, byte
+//! variants of both, and char literals distinguished from lifetimes.
+
+/// Byte classification of one source file.
+pub struct Classified {
+    /// Source text with every non-code byte blanked to a space
+    /// (newlines kept), so offsets and line numbers are preserved.
+    pub code: String,
+    /// Source text with every non-comment byte blanked the same way.
+    pub comments: String,
+}
+
+/// Classifies `src`. Both outputs have exactly the original length and
+/// line structure.
+pub fn classify(src: &str) -> Classified {
+    #[derive(PartialEq)]
+    enum State {
+        Normal,
+        LineComment,
+        BlockComment(u32),
+        Str,
+        RawStr(u32),
+        Char,
+    }
+
+    let bytes = src.as_bytes();
+    let mut code = vec![b' '; bytes.len()];
+    let mut comments = vec![b' '; bytes.len()];
+    let mut state = State::Normal;
+    let mut i = 0;
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        match state {
+            State::Normal => match b {
+                b'/' if bytes_at(bytes, i + 1) == Some(b'/') => {
+                    state = State::LineComment;
+                    comments[i] = b'/';
+                    comments[i + 1] = b'/';
+                    i += 2;
+                }
+                b'/' if bytes_at(bytes, i + 1) == Some(b'*') => {
+                    state = State::BlockComment(1);
+                    comments[i] = b'/';
+                    comments[i + 1] = b'*';
+                    i += 2;
+                }
+                b'"' => {
+                    state = State::Str;
+                    code[i] = b'"'; // delimiters count as code
+                    i += 1;
+                }
+                b'r' | b'b' => {
+                    // Raw-string openers: r", r#", br", b" …
+                    if let Some((fence, len)) = raw_string_open(bytes, i) {
+                        state = State::RawStr(fence);
+                        for (off, slot) in code.iter_mut().enumerate().skip(i).take(len) {
+                            *slot = bytes[off];
+                        }
+                        i += len;
+                    } else if b == b'b' && bytes_at(bytes, i + 1) == Some(b'"') {
+                        state = State::Str;
+                        code[i] = b'b';
+                        code[i + 1] = b'"';
+                        i += 2;
+                    } else if b == b'b' && bytes_at(bytes, i + 1) == Some(b'\'') {
+                        state = State::Char;
+                        code[i] = b'b';
+                        code[i + 1] = b'\'';
+                        i += 2;
+                    } else {
+                        code[i] = b;
+                        i += 1;
+                    }
+                }
+                b'\'' => {
+                    if char_literal_ahead(bytes, i) {
+                        state = State::Char;
+                        code[i] = b'\'';
+                        i += 1;
+                    } else {
+                        // A lifetime: plain code.
+                        code[i] = b'\'';
+                        i += 1;
+                    }
+                }
+                _ => {
+                    code[i] = b;
+                    i += 1;
+                }
+            },
+            State::LineComment => {
+                if b == b'\n' {
+                    state = State::Normal;
+                } else {
+                    comments[i] = b;
+                }
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if b == b'*' && bytes_at(bytes, i + 1) == Some(b'/') {
+                    comments[i] = b'*';
+                    comments[i + 1] = b'/';
+                    i += 2;
+                    state = if depth == 1 {
+                        State::Normal
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                } else if b == b'/' && bytes_at(bytes, i + 1) == Some(b'*') {
+                    comments[i] = b'/';
+                    comments[i + 1] = b'*';
+                    i += 2;
+                    state = State::BlockComment(depth + 1);
+                } else {
+                    if b != b'\n' {
+                        comments[i] = b;
+                    }
+                    i += 1;
+                }
+            }
+            State::Str => match b {
+                b'\\' => i += 2, // escape: skip the escaped byte
+                b'"' => {
+                    code[i] = b'"';
+                    state = State::Normal;
+                    i += 1;
+                }
+                _ => i += 1,
+            },
+            State::RawStr(fence) => {
+                if b == b'"' && hashes_after(bytes, i + 1) >= fence {
+                    let len = 1 + fence as usize;
+                    for (off, slot) in code.iter_mut().enumerate().skip(i).take(len) {
+                        *slot = bytes[off];
+                    }
+                    i += len;
+                    state = State::Normal;
+                } else {
+                    i += 1;
+                }
+            }
+            State::Char => match b {
+                b'\\' => i += 2,
+                b'\'' => {
+                    code[i] = b'\'';
+                    state = State::Normal;
+                    i += 1;
+                }
+                _ => i += 1,
+            },
+        }
+    }
+
+    // Newlines belong to both views regardless of the state they were
+    // consumed in, so line numbers stay aligned with the original.
+    for (i, b) in bytes.iter().enumerate() {
+        if *b == b'\n' {
+            code[i] = b'\n';
+            comments[i] = b'\n';
+        }
+    }
+
+    Classified {
+        code: String::from_utf8_lossy(&code).into_owned(),
+        comments: String::from_utf8_lossy(&comments).into_owned(),
+    }
+}
+
+fn bytes_at(bytes: &[u8], i: usize) -> Option<u8> {
+    bytes.get(i).copied()
+}
+
+/// Number of consecutive `#` bytes starting at `i`.
+fn hashes_after(bytes: &[u8], i: usize) -> u32 {
+    let mut n = 0;
+    while bytes_at(bytes, i + n as usize) == Some(b'#') {
+        n += 1;
+    }
+    n
+}
+
+/// Detects `r"`, `r#"`, `br"`, `br#"` … at `i`; returns (fence, opener
+/// length).
+fn raw_string_open(bytes: &[u8], i: usize) -> Option<(u32, usize)> {
+    let mut j = i;
+    if bytes_at(bytes, j) == Some(b'b') {
+        j += 1;
+    }
+    if bytes_at(bytes, j) != Some(b'r') {
+        return None;
+    }
+    j += 1;
+    let fence = hashes_after(bytes, j);
+    j += fence as usize;
+    if bytes_at(bytes, j) == Some(b'"') {
+        Some((fence, j + 1 - i))
+    } else {
+        None
+    }
+}
+
+/// Distinguishes `'x'` / `'\n'` char literals from `'a` lifetimes:
+/// an identifier-like byte after the quote is a char literal only when
+/// immediately closed (`'a'`); anything else after the quote — escapes,
+/// punctuation, multi-byte UTF-8 — opens a char literal.
+fn char_literal_ahead(bytes: &[u8], i: usize) -> bool {
+    match bytes_at(bytes, i + 1) {
+        Some(b'\\') => true,
+        Some(b'\'') => false,
+        Some(c) if c.is_ascii_alphanumeric() || c == b'_' => bytes_at(bytes, i + 2) == Some(b'\''),
+        Some(_) => true,
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::classify;
+
+    #[test]
+    fn line_comments_are_not_code() {
+        let c = classify("let x = 1; // .unwrap( here\nlet y = 2;");
+        assert!(!c.code.contains(".unwrap("));
+        assert!(c.comments.contains(".unwrap("));
+        assert!(c.code.contains("let y = 2;"));
+    }
+
+    #[test]
+    fn block_comments_nest() {
+        let c = classify("a /* one /* two */ still */ b");
+        assert!(c.code.contains('a') && c.code.contains('b'));
+        assert!(!c.code.contains("still"));
+        assert!(c.comments.contains("still"));
+    }
+
+    #[test]
+    fn strings_are_not_code() {
+        let c = classify(r#"let m = "call .unwrap( maybe"; f();"#);
+        assert!(!c.code.contains(".unwrap("));
+        assert!(c.code.contains("f();"));
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let src = "let m = r#\"has \" inside .expect( \"#; g();";
+        let c = classify(src);
+        assert!(!c.code.contains(".expect("));
+        assert!(c.code.contains("g();"));
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        let c = classify(r#"let m = "a \" b .unwrap( c"; h();"#);
+        assert!(!c.code.contains(".unwrap("));
+        assert!(c.code.contains("h();"));
+    }
+
+    #[test]
+    fn lifetimes_are_code_char_literals_are_not() {
+        let c = classify("fn f<'a>(x: &'a str) { let q = 'y'; let n = '\\n'; }");
+        assert!(c.code.contains("<'a>"));
+        assert!(c.code.contains("&'a str"));
+        assert!(!c.code.contains("'y'"), "char literal body must be blanked");
+        assert!(!c.code.contains("\\n"), "escape body must be blanked");
+    }
+
+    #[test]
+    fn line_structure_is_preserved() {
+        let src = "a\n/* c1\nc2 */\nb\n";
+        let c = classify(src);
+        assert_eq!(c.code.lines().count(), src.lines().count());
+        assert_eq!(c.comments.lines().count(), src.lines().count());
+        assert_eq!(c.code.lines().nth(3), Some("b"));
+    }
+}

@@ -1,0 +1,395 @@
+//! The repo-invariant lint pass behind `cargo xtask lint`.
+//!
+//! Three families of invariants, all enforced on the lexed *code* view
+//! of each file (comments and string literals never trigger findings —
+//! see [`crate::lexer`]):
+//!
+//! 1. **No panicking calls on communication paths.** `.unwrap(`,
+//!    `.expect(`, `panic!` and `todo!` are banned in
+//!    `crates/collectives/src`, `crates/net/src` and the pipeline /
+//!    optimizer paths of `crates/core`. A panicking rank looks like a
+//!    peer failure to the rest of the group, so these paths must return
+//!    `CommError` instead. Deliberate exceptions carry an
+//!    `allow_verify(reason = "...")` marker comment on the same or the
+//!    preceding line.
+//! 2. **No wall-clock reads in the simulator.** `Instant::now` and
+//!    `SystemTime` are banned in `crates/simulator/src`: simulated time
+//!    must come from the event clock or results stop being reproducible.
+//! 3. **Telemetry key pairing.** Every `COMM_*_US` key declared in
+//!    `crates/telemetry/src/keys.rs` must have a `COMM_*_BYTES` sibling;
+//!    the cost-model calibration joins the two series by index.
+//!
+//! `#[cfg(test)]` blocks are excluded: tests may unwrap freely.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use crate::lexer::classify;
+
+/// Marker comment that exempts the same or the next code line.
+pub const ALLOW_MARKER: &str = "allow_verify(reason";
+
+/// Scopes (directories) where panicking calls are banned.
+pub const PANIC_FREE_DIRS: &[&str] = &["crates/collectives/src", "crates/net/src"];
+
+/// Individual files where panicking calls are banned.
+pub const PANIC_FREE_FILES: &[&str] = &[
+    "crates/core/src/pipeline.rs",
+    "crates/core/src/optimizer.rs",
+];
+
+/// Scopes where wall-clock reads are banned.
+pub const CLOCK_FREE_DIRS: &[&str] = &["crates/simulator/src"];
+
+const PANIC_PATTERNS: &[&str] = &[".unwrap(", ".expect(", "panic!", "todo!"];
+const CLOCK_PATTERNS: &[&str] = &["Instant::now", "SystemTime"];
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Repo-relative path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong and what to do instead.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.file, self.line, self.message)
+    }
+}
+
+impl Finding {
+    /// GitHub Actions annotation format.
+    pub fn github(&self) -> String {
+        format!(
+            "::error file={},line={}::{}",
+            self.file, self.line, self.message
+        )
+    }
+}
+
+/// Byte ranges of `#[cfg(test)]` blocks in the code view.
+fn test_block_ranges(code: &str) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::new();
+    let bytes = code.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = code[from..].find("cfg(test)").map(|p| p + from) {
+        from = pos + "cfg(test)".len();
+        // The excluded block is the first `{ ... }` after the attribute;
+        // a `;` first means the attribute gated an item with no body.
+        let mut i = from;
+        let start = loop {
+            match bytes.get(i) {
+                None | Some(b';') => break None,
+                Some(b'{') => break Some(i),
+                Some(_) => i += 1,
+            }
+        };
+        let Some(start) = start else { continue };
+        let mut depth = 0usize;
+        let mut end = bytes.len();
+        for (j, b) in bytes.iter().enumerate().skip(start) {
+            match b {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = j + 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        ranges.push((start, end));
+        from = from.max(start + 1);
+    }
+    ranges
+}
+
+fn line_starts(text: &str) -> Vec<usize> {
+    let mut starts = vec![0];
+    for (i, b) in text.bytes().enumerate() {
+        if b == b'\n' {
+            starts.push(i + 1);
+        }
+    }
+    starts
+}
+
+/// Scans one file's source for banned patterns, honouring `cfg(test)`
+/// exclusion and `allow_verify` markers.
+pub fn scan_source(rel_path: &str, src: &str, patterns: &[&str], why: &str) -> Vec<Finding> {
+    let classified = classify(src);
+    let excluded = test_block_ranges(&classified.code);
+    let comment_lines: Vec<&str> = classified.comments.lines().collect();
+    let starts = line_starts(&classified.code);
+    let mut findings = Vec::new();
+    for (lineno, line) in classified.code.lines().enumerate() {
+        let line_offset = starts[lineno];
+        for pat in patterns {
+            let mut from = 0;
+            while let Some(col) = line[from..].find(pat).map(|c| c + from) {
+                from = col + pat.len();
+                let offset = line_offset + col;
+                if excluded.iter().any(|(s, e)| offset >= *s && offset < *e) {
+                    continue;
+                }
+                let allowed = comment_lines
+                    .get(lineno)
+                    .is_some_and(|l| l.contains(ALLOW_MARKER))
+                    || (lineno > 0
+                        && comment_lines
+                            .get(lineno - 1)
+                            .is_some_and(|l| l.contains(ALLOW_MARKER)));
+                if allowed {
+                    continue;
+                }
+                findings.push(Finding {
+                    file: rel_path.to_string(),
+                    line: lineno + 1,
+                    message: format!(
+                        "`{pat}` is banned here: {why} (annotate a deliberate exception with \
+                         `// allow_verify(reason = \"...\")`)",
+                        pat = pat.trim_end_matches('(')
+                    ),
+                });
+            }
+        }
+    }
+    findings
+}
+
+/// Checks that every `COMM_*_US` key in `keys.rs` has a `COMM_*_BYTES`
+/// sibling.
+pub fn scan_key_pairing(rel_path: &str, src: &str) -> Vec<Finding> {
+    let classified = classify(src);
+    let mut names: Vec<(String, usize)> = Vec::new();
+    for (lineno, line) in classified.code.lines().enumerate() {
+        if let Some(rest) = line.trim_start().strip_prefix("pub const ") {
+            if let Some(name) = rest.split(':').next() {
+                names.push((name.trim().to_string(), lineno + 1));
+            }
+        }
+    }
+    let mut findings = Vec::new();
+    for (name, lineno) in &names {
+        if let Some(stem) = name
+            .strip_prefix("COMM_")
+            .and_then(|n| n.strip_suffix("_US"))
+        {
+            let sibling = format!("COMM_{stem}_BYTES");
+            if !names.iter().any(|(n, _)| n == &sibling) {
+                findings.push(Finding {
+                    file: rel_path.to_string(),
+                    line: *lineno,
+                    message: format!(
+                        "timing key `{name}` has no `{sibling}` sibling: every COMM_*_US series \
+                         must be recorded index-parallel with a byte series"
+                    ),
+                });
+            }
+        }
+    }
+    findings
+}
+
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            rust_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn rel(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// Runs every lint over the workspace rooted at `root`.
+///
+/// # Errors
+///
+/// I/O errors reading the tree (missing scopes are reported as findings,
+/// not errors, so a refactor that moves a linted directory fails loudly).
+pub fn run(root: &Path) -> std::io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    let mut scan_scope = |dirs: &[&str], files: &[&str], patterns: &[&str], why: &str| {
+        let mut paths: Vec<PathBuf> = Vec::new();
+        for dir in dirs {
+            let abs = root.join(dir);
+            if abs.is_dir() {
+                if let Err(e) = rust_files(&abs, &mut paths) {
+                    findings.push(Finding {
+                        file: (*dir).to_string(),
+                        line: 1,
+                        message: format!("cannot walk linted scope: {e}"),
+                    });
+                }
+            } else {
+                findings.push(Finding {
+                    file: (*dir).to_string(),
+                    line: 1,
+                    message: "linted scope does not exist; update crates/xtask/src/lint.rs"
+                        .to_string(),
+                });
+            }
+        }
+        for file in files {
+            let abs = root.join(file);
+            if abs.is_file() {
+                paths.push(abs);
+            } else {
+                findings.push(Finding {
+                    file: (*file).to_string(),
+                    line: 1,
+                    message: "linted file does not exist; update crates/xtask/src/lint.rs"
+                        .to_string(),
+                });
+            }
+        }
+        for path in paths {
+            match std::fs::read_to_string(&path) {
+                Ok(src) => findings.extend(scan_source(&rel(root, &path), &src, patterns, why)),
+                Err(e) => findings.push(Finding {
+                    file: rel(root, &path),
+                    line: 1,
+                    message: format!("cannot read: {e}"),
+                }),
+            }
+        }
+    };
+    scan_scope(
+        PANIC_FREE_DIRS,
+        PANIC_FREE_FILES,
+        PANIC_PATTERNS,
+        "communication paths must surface failures as CommError, not panics \
+         (a panicking rank looks like a peer failure to the group)",
+    );
+    scan_scope(
+        CLOCK_FREE_DIRS,
+        &[],
+        CLOCK_PATTERNS,
+        "the simulator must take time from its event clock, not the wall clock, \
+         or results stop being reproducible",
+    );
+    let keys = root.join("crates/telemetry/src/keys.rs");
+    match std::fs::read_to_string(&keys) {
+        Ok(src) => findings.extend(scan_key_pairing(&rel(root, &keys), &src)),
+        Err(e) => findings.push(Finding {
+            file: "crates/telemetry/src/keys.rs".to_string(),
+            line: 1,
+            message: format!("cannot read telemetry keys: {e}"),
+        }),
+    }
+    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bare_unwrap_is_flagged() {
+        let src = "fn f() { some().unwrap(); }\n";
+        let f = scan_source("x.rs", src, &[".unwrap("], "why");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 1);
+        assert!(f[0].message.contains("`.unwrap`"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn unwrap_in_comment_or_string_is_ignored() {
+        let src = "// calls .unwrap() somewhere\nfn f() { let m = \".unwrap(\"; }\n";
+        assert!(scan_source("x.rs", src, &[".unwrap("], "why").is_empty());
+    }
+
+    #[test]
+    fn allow_marker_on_preceding_line_suppresses() {
+        let src = "fn f() {\n    // allow_verify(reason = \"startup only\")\n    some().expect(\"x\");\n}\n";
+        assert!(scan_source("x.rs", src, &[".expect("], "why").is_empty());
+    }
+
+    #[test]
+    fn allow_marker_on_same_line_suppresses() {
+        let src = "fn f() { some().unwrap(); } // allow_verify(reason = \"test helper\")\n";
+        assert!(scan_source("x.rs", src, &[".unwrap("], "why").is_empty());
+    }
+
+    #[test]
+    fn marker_does_not_leak_to_later_lines() {
+        let src = "// allow_verify(reason = \"one line only\")\na().unwrap();\nb().unwrap();\n";
+        let f = scan_source("x.rs", src, &[".unwrap("], "why");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn cfg_test_blocks_are_excluded() {
+        let src = "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn g() { x().unwrap(); }\n}\n";
+        assert!(scan_source("x.rs", src, &[".unwrap("], "why").is_empty());
+    }
+
+    #[test]
+    fn code_after_a_test_block_is_still_linted() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn g() { x().unwrap(); }\n}\nfn h() { y().unwrap(); }\n";
+        let f = scan_source("x.rs", src, &[".unwrap("], "why");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 5);
+    }
+
+    #[test]
+    fn paired_keys_pass_unpaired_fail() {
+        let good = "pub const COMM_X_US: &str = \"a\";\npub const COMM_X_BYTES: &str = \"b\";\n";
+        assert!(scan_key_pairing("keys.rs", good).is_empty());
+        let bad = "pub const COMM_Y_US: &str = \"a\";\n";
+        let f = scan_key_pairing("keys.rs", bad);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("COMM_Y_BYTES"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn github_format_is_annotation_shaped() {
+        let f = Finding {
+            file: "crates/net/src/tcp.rs".to_string(),
+            line: 42,
+            message: "nope".to_string(),
+        };
+        assert_eq!(
+            f.github(),
+            "::error file=crates/net/src/tcp.rs,line=42::nope"
+        );
+    }
+
+    #[test]
+    fn the_real_tree_is_clean() {
+        // The lint must pass on the workspace it ships in — this is the
+        // tree-level regression test. CARGO_MANIFEST_DIR is
+        // crates/xtask, two levels below the root.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .expect("workspace root");
+        let findings = run(root).expect("lint runs");
+        assert!(
+            findings.is_empty(),
+            "repo-invariant lint found violations:\n{}",
+            findings
+                .iter()
+                .map(|f| f.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}

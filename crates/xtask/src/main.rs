@@ -1,0 +1,69 @@
+//! `cargo xtask` — workspace automation.
+//!
+//! Subcommands:
+//!
+//! - `lint` — run the repo-invariant lint pass (see [`lint`]). Pass
+//!   `--github` to emit GitHub Actions `::error` annotations alongside
+//!   the human-readable report. Exits 1 when any invariant is violated.
+
+mod lexer;
+mod lint;
+
+use std::path::Path;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: cargo xtask lint [--github]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => {
+            let mut github = false;
+            for flag in &args[1..] {
+                match flag.as_str() {
+                    "--github" => github = true,
+                    other => {
+                        eprintln!("lint: unknown flag `{other}`");
+                        return usage();
+                    }
+                }
+            }
+            run_lint(github)
+        }
+        _ => usage(),
+    }
+}
+
+fn run_lint(github: bool) -> ExitCode {
+    // The binary lives at crates/xtask, two levels below the root.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root"); // allow_verify(reason = "dev tool, not a comm path")
+    let findings = match lint::run(root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if findings.is_empty() {
+        println!("lint: all repo invariants hold");
+        return ExitCode::SUCCESS;
+    }
+    for f in &findings {
+        eprintln!("{f}");
+        if github {
+            println!("{}", f.github());
+        }
+    }
+    eprintln!(
+        "lint: {} violation{}",
+        findings.len(),
+        if findings.len() == 1 { "" } else { "s" }
+    );
+    ExitCode::FAILURE
+}

@@ -1,0 +1,963 @@
+//! Offline stand-in for `loom`: exhaustive exploration of thread
+//! interleavings for small concurrency models.
+//!
+//! The build environment has no registry access, so this shim implements
+//! the subset of loom's API the workspace uses — [`model`],
+//! [`thread::spawn`]/[`thread::yield_now`], [`sync::Mutex`],
+//! [`sync::mpsc`] channels and [`sync::atomic`] — on top of a
+//! depth-first stateless model checker:
+//!
+//! - Threads are real OS threads, but a scheduler token makes execution
+//!   *serial*: exactly one model thread runs at a time, and every visible
+//!   operation (lock, send, receive, atomic access, yield) is a scheduling
+//!   point where any runnable thread may be chosen next.
+//! - The first execution takes the first enabled thread at every point and
+//!   records the choice; [`model`] then backtracks depth-first — replay
+//!   the longest prefix with an untried alternative, take it, and continue
+//!   until every schedule has been explored.
+//! - Blocked threads (contended lock, empty channel) leave the enabled
+//!   set; any state change that could unblock them puts them back. If no
+//!   thread is runnable the checker reports a deadlock, except that
+//!   threads parked in `recv_timeout` are then woken with
+//!   [`std::sync::mpsc::RecvTimeoutError::Timeout`] — modelling a timeout
+//!   that fires only when nothing else can make progress, i.e. a pure
+//!   backstop.
+//!
+//! The memory model is sequential consistency: orderings are accepted and
+//! ignored, so weak-memory bugs are out of scope — what the checker
+//! proves is the absence of lost wakeups, deadlocks and protocol races
+//! under every serialisation of the visible operations.
+//!
+//! Determinism: a model body must not branch on wall-clock time or
+//! ambient randomness; replay asserts that the enabled set at each
+//! recorded choice matches the original run and aborts with a
+//! "nondeterministic model" error otherwise.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+
+/// Upper bound on explored schedules before the checker gives up — a
+/// model that trips this is too large for exhaustive checking and should
+/// be decomposed.
+pub const MAX_SCHEDULES: usize = 200_000;
+
+/// Upper bound on scheduling points within one schedule, a guard against
+/// models that spin-wait (which never terminate under serial execution).
+const MAX_STEPS: usize = 50_000;
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Status {
+    Runnable,
+    /// Waiting for a state change (contended lock, empty channel).
+    Blocked,
+    /// As `Blocked`, but parked in `recv_timeout`: eligible for a timeout
+    /// wakeup when the whole system is otherwise stuck.
+    TimedWait,
+    Finished,
+}
+
+/// One recorded scheduling decision: which of the enabled threads ran.
+#[derive(Clone, Debug)]
+struct Choice {
+    enabled: Vec<usize>,
+    index: usize,
+}
+
+#[derive(Default)]
+struct SchedState {
+    statuses: Vec<Status>,
+    active: usize,
+    path: Vec<Choice>,
+    depth: usize,
+    steps: usize,
+    /// Per-thread flag: the last wakeup was a timeout delivery.
+    timed_out: Vec<bool>,
+    /// First failure (panic message); aborts every thread's wait loop.
+    failed: Option<String>,
+}
+
+struct Scheduler {
+    state: StdMutex<SchedState>,
+    cv: Condvar,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<(Arc<Scheduler>, usize)>> = const { RefCell::new(None) };
+}
+
+fn ctx() -> (Arc<Scheduler>, usize) {
+    CTX.with(|c| {
+        c.borrow()
+            .clone()
+            .expect("loom primitive used outside `loom::model`")
+    })
+}
+
+fn set_ctx(sched: Arc<Scheduler>, id: usize) {
+    CTX.with(|c| *c.borrow_mut() = Some((sched, id)));
+}
+
+fn clear_ctx() {
+    CTX.with(|c| *c.borrow_mut() = None);
+}
+
+impl Scheduler {
+    fn new() -> Arc<Scheduler> {
+        Arc::new(Scheduler {
+            state: StdMutex::new(SchedState::default()),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn lock(&self) -> StdMutexGuard<'_, SchedState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn register(&self) -> usize {
+        let mut st = self.lock();
+        st.statuses.push(Status::Runnable);
+        st.timed_out.push(false);
+        st.statuses.len() - 1
+    }
+
+    fn runnable(st: &SchedState) -> Vec<usize> {
+        st.statuses
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == Status::Runnable)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Picks the next thread to run from `enabled`, replaying the recorded
+    /// path first and extending it depth-first past its end. Singleton
+    /// choices are not recorded — they have no alternative to explore.
+    fn choose(&self, st: &mut SchedState, enabled: Vec<usize>) -> usize {
+        if enabled.len() == 1 {
+            return enabled[0];
+        }
+        if st.depth < st.path.len() {
+            let c = &st.path[st.depth];
+            if c.enabled != enabled {
+                let msg = format!(
+                    "nondeterministic model: replay expected enabled set {:?} at choice {} but found {:?}",
+                    c.enabled, st.depth, enabled
+                );
+                self.abort(st, msg);
+            }
+            let chosen = c.enabled[c.index];
+            st.depth += 1;
+            chosen
+        } else {
+            let chosen = enabled[0];
+            st.path.push(Choice { enabled, index: 0 });
+            st.depth += 1;
+            chosen
+        }
+    }
+
+    /// Records a failure, wakes every thread so it can unwind, and panics.
+    fn abort(&self, st: &mut SchedState, msg: String) -> ! {
+        if st.failed.is_none() {
+            st.failed = Some(msg.clone());
+        }
+        self.cv.notify_all();
+        panic!("{msg}");
+    }
+
+    /// Parks until this thread is scheduled. Panics (unwinding the model
+    /// thread) when another thread has failed.
+    fn wait_for_turn<'a>(
+        &self,
+        mut st: StdMutexGuard<'a, SchedState>,
+        me: usize,
+    ) -> StdMutexGuard<'a, SchedState> {
+        while st.active != me {
+            if let Some(msg) = &st.failed {
+                let msg = msg.clone();
+                drop(st);
+                panic!("model aborted: {msg}");
+            }
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        st
+    }
+
+    /// A scheduling point: any runnable thread (including the caller) may
+    /// run next.
+    fn switch(&self, me: usize) {
+        let mut st = self.lock();
+        if let Some(msg) = &st.failed {
+            let msg = msg.clone();
+            drop(st);
+            panic!("model aborted: {msg}");
+        }
+        st.steps += 1;
+        if st.steps > MAX_STEPS {
+            self.abort(
+                &mut st,
+                format!(
+                    "model exceeded {MAX_STEPS} steps in one schedule — is a thread spin-waiting?"
+                ),
+            );
+        }
+        let enabled = Self::runnable(&st);
+        let chosen = self.choose(&mut st, enabled);
+        st.active = chosen;
+        self.cv.notify_all();
+        let _st = self.wait_for_turn(st, me);
+    }
+
+    /// Blocks the caller until a state change makes it runnable again.
+    /// Returns `true` when the wakeup was a timeout delivery (see
+    /// [`Scheduler::hand_off`]).
+    fn block(&self, me: usize, timed: bool) -> bool {
+        let mut st = self.lock();
+        st.statuses[me] = if timed {
+            Status::TimedWait
+        } else {
+            Status::Blocked
+        };
+        self.hand_off(&mut st);
+        let mut st = self.wait_for_turn(st, me);
+        let timed_out = st.timed_out[me];
+        st.timed_out[me] = false;
+        timed_out
+    }
+
+    /// Schedules some runnable thread after the caller blocked or
+    /// finished. With nothing runnable, delivers timeouts to `TimedWait`
+    /// parkers; with none of those either, the model is deadlocked.
+    fn hand_off(&self, st: &mut SchedState) {
+        let mut enabled = Self::runnable(st);
+        if enabled.is_empty() {
+            let timed: Vec<usize> = st
+                .statuses
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| **s == Status::TimedWait)
+                .map(|(i, _)| i)
+                .collect();
+            if timed.is_empty() {
+                if st.statuses.iter().all(|s| *s == Status::Finished) {
+                    // Everything ran to completion; nothing to schedule.
+                    st.active = usize::MAX;
+                    self.cv.notify_all();
+                    return;
+                }
+                let states: Vec<String> = st
+                    .statuses
+                    .iter()
+                    .enumerate()
+                    .map(|(i, s)| format!("thread {i}: {s:?}"))
+                    .collect();
+                self.abort(
+                    st,
+                    format!(
+                        "deadlock detected: every thread is blocked ({})",
+                        states.join(", ")
+                    ),
+                );
+            }
+            for id in timed {
+                st.statuses[id] = Status::Runnable;
+                st.timed_out[id] = true;
+                enabled.push(id);
+            }
+        }
+        let chosen = self.choose(st, enabled);
+        st.active = chosen;
+        self.cv.notify_all();
+    }
+
+    /// Wakes every blocked thread for a re-check after a visible state
+    /// change (unlock, send, handle drop, thread exit).
+    fn wake_all(st: &mut SchedState) {
+        for s in st.statuses.iter_mut() {
+            if *s == Status::Blocked || *s == Status::TimedWait {
+                *s = Status::Runnable;
+            }
+        }
+    }
+
+    /// Marks the caller finished and hands the token to the next thread.
+    fn finish(&self, me: usize) {
+        let mut st = self.lock();
+        if st.failed.is_some() {
+            st.statuses[me] = Status::Finished;
+            self.cv.notify_all();
+            return;
+        }
+        st.statuses[me] = Status::Finished;
+        Self::wake_all(&mut st);
+        self.hand_off(&mut st);
+    }
+
+    /// Root-thread loop: keeps scheduling until every thread finished
+    /// (models may legitimately let a worker outlive an unjoined handle).
+    fn drain(&self, me: usize) {
+        loop {
+            {
+                let st = self.lock();
+                if let Some(msg) = &st.failed {
+                    let msg = msg.clone();
+                    drop(st);
+                    panic!("model aborted: {msg}");
+                }
+                if st
+                    .statuses
+                    .iter()
+                    .enumerate()
+                    .all(|(i, s)| i == me || *s == Status::Finished)
+                {
+                    return;
+                }
+            }
+            self.block(me, false);
+        }
+    }
+
+    /// Waits (outside the schedule) until every thread has marked itself
+    /// finished — used on the failure path where hand-offs stop.
+    fn await_all_finished(&self, me: usize) {
+        let mut st = self.lock();
+        loop {
+            if st
+                .statuses
+                .iter()
+                .enumerate()
+                .all(|(i, s)| i == me || *s == Status::Finished)
+            {
+                return;
+            }
+            self.cv.notify_all();
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+/// Runs `f` under every interleaving of its threads' visible operations.
+///
+/// # Panics
+///
+/// Propagates the first assertion failure or panic from any schedule,
+/// reports deadlocks, and panics if the model exceeds [`MAX_SCHEDULES`].
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let mut path: Vec<Choice> = Vec::new();
+    let mut schedules = 0usize;
+    loop {
+        schedules += 1;
+        assert!(
+            schedules <= MAX_SCHEDULES,
+            "model explored {MAX_SCHEDULES} schedules without converging; decompose it"
+        );
+        path = run_once(&f, path);
+        // Depth-first backtrack: advance the deepest choice with an
+        // untried alternative; a fully-exhausted path means done.
+        loop {
+            match path.last_mut() {
+                None => return,
+                Some(c) if c.index + 1 < c.enabled.len() => {
+                    c.index += 1;
+                    break;
+                }
+                Some(_) => {
+                    path.pop();
+                }
+            }
+        }
+    }
+}
+
+fn run_once<F>(f: &F, path: Vec<Choice>) -> Vec<Choice>
+where
+    F: Fn() + Send + Sync,
+{
+    let sched = Scheduler::new();
+    {
+        let mut st = sched.lock();
+        st.path = path;
+    }
+    let me = sched.register();
+    debug_assert_eq!(me, 0);
+    set_ctx(Arc::clone(&sched), me);
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+    match outcome {
+        Ok(()) => {
+            let drained = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                sched.drain(me);
+            }));
+            clear_ctx();
+            if let Err(payload) = drained {
+                sched.await_all_finished(me);
+                std::panic::resume_unwind(payload);
+            }
+        }
+        Err(payload) => {
+            // Record the failure so parked threads unwind, then re-raise.
+            {
+                let mut st = sched.lock();
+                if st.failed.is_none() {
+                    st.failed = Some(panic_message(&payload));
+                }
+                sched.cv.notify_all();
+            }
+            clear_ctx();
+            sched.await_all_finished(me);
+            std::panic::resume_unwind(payload);
+        }
+    }
+    let mut st = sched.lock();
+    if let Some(msg) = st.failed.take() {
+        drop(st);
+        panic!("model failed: {msg}");
+    }
+    std::mem::take(&mut st.path)
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "model thread panicked".to_string()
+    }
+}
+
+pub mod thread {
+    //! Model-checked threads: spawned as real OS threads, executed
+    //! serially under the scheduler token.
+
+    use super::{clear_ctx, ctx, panic_message, set_ctx, Arc, Status, StdMutex};
+
+    /// Handle to a model thread; [`JoinHandle::join`] is a blocking
+    /// scheduling point.
+    pub struct JoinHandle<T> {
+        id: usize,
+        result: Arc<StdMutex<Option<std::thread::Result<T>>>>,
+        os: Option<std::thread::JoinHandle<()>>,
+    }
+
+    /// Spawns a model thread. It runs only when the scheduler picks it.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let (sched, _me) = ctx();
+        let id = sched.register();
+        let result: Arc<StdMutex<Option<std::thread::Result<T>>>> = Arc::new(StdMutex::new(None));
+        let sched2 = Arc::clone(&sched);
+        let result2 = Arc::clone(&result);
+        let os = std::thread::spawn(move || {
+            set_ctx(Arc::clone(&sched2), id);
+            // Gate: do not run until scheduled for the first time.
+            let gate = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let st = sched2.lock();
+                drop(sched2.wait_for_turn(st, id));
+            }));
+            let out = match gate {
+                Ok(()) => std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)),
+                Err(e) => Err(e),
+            };
+            if let Err(payload) = &out {
+                let mut st = sched2.lock();
+                if st.failed.is_none() {
+                    st.failed = Some(panic_message(payload.as_ref()));
+                }
+                sched2.cv.notify_all();
+            }
+            *result2.lock().unwrap_or_else(|e| e.into_inner()) = Some(out);
+            clear_ctx();
+            sched2.finish(id);
+        });
+        JoinHandle {
+            id,
+            result,
+            os: Some(os),
+        }
+    }
+
+    /// Yields: a pure scheduling point.
+    pub fn yield_now() {
+        let (sched, me) = ctx();
+        sched.switch(me);
+    }
+
+    impl<T> JoinHandle<T> {
+        /// Blocks until the thread finishes; propagates its panic.
+        pub fn join(mut self) -> std::thread::Result<T> {
+            let (sched, me) = ctx();
+            loop {
+                sched.switch(me);
+                {
+                    let st = sched.lock();
+                    if st.statuses[self.id] == Status::Finished {
+                        break;
+                    }
+                }
+                sched.block(me, false);
+            }
+            if let Some(os) = self.os.take() {
+                let _ = os.join();
+            }
+            self.result
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .take()
+                .expect("finished thread stored its result")
+        }
+    }
+}
+
+pub mod sync {
+    //! Model-checked synchronisation primitives.
+
+    pub use std::sync::Arc;
+
+    use super::{ctx, Scheduler};
+    use std::cell::UnsafeCell;
+    use std::sync::LockResult;
+
+    /// A mutex whose lock/unlock are scheduling points and whose
+    /// contention blocks the model thread.
+    ///
+    /// Poisoning is not modelled: any panic aborts the whole model, so
+    /// `lock` always returns `Ok`.
+    pub struct Mutex<T> {
+        held: std::sync::atomic::AtomicBool,
+        value: UnsafeCell<T>,
+    }
+
+    // SAFETY: the scheduler serialises execution — at most one model
+    // thread runs at a time, and the `held` flag enforces mutual
+    // exclusion across scheduling points, so `&mut T` accesses through
+    // the guard never alias.
+    unsafe impl<T: Send> Sync for Mutex<T> {}
+    unsafe impl<T: Send> Send for Mutex<T> {}
+
+    /// RAII guard for [`Mutex`]; unlock on drop wakes blocked lockers.
+    pub struct MutexGuard<'a, T> {
+        lock: &'a Mutex<T>,
+    }
+
+    impl<T> Mutex<T> {
+        /// Creates the mutex (not a scheduling point).
+        pub fn new(value: T) -> Mutex<T> {
+            Mutex {
+                held: std::sync::atomic::AtomicBool::new(false),
+                value: UnsafeCell::new(value),
+            }
+        }
+
+        /// Acquires the lock, blocking the model thread while contended.
+        ///
+        /// # Errors
+        ///
+        /// Never — poisoning is not modelled.
+        pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+            let (sched, me) = ctx();
+            loop {
+                sched.switch(me);
+                if !self.held.swap(true, std::sync::atomic::Ordering::SeqCst) {
+                    return Ok(MutexGuard { lock: self });
+                }
+                sched.block(me, false);
+            }
+        }
+
+        /// Consumes the mutex and returns the value.
+        pub fn into_inner(self) -> LockResult<T> {
+            Ok(self.value.into_inner())
+        }
+    }
+
+    impl<T: std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("Mutex").finish_non_exhaustive()
+        }
+    }
+
+    impl<T> std::ops::Deref for MutexGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            // SAFETY: guard existence implies exclusive ownership of the
+            // lock (see the `Sync` impl).
+            unsafe { &*self.lock.value.get() }
+        }
+    }
+
+    impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            // SAFETY: as for `Deref`.
+            unsafe { &mut *self.lock.value.get() }
+        }
+    }
+
+    impl<T> Drop for MutexGuard<'_, T> {
+        fn drop(&mut self) {
+            let (sched, _me) = ctx();
+            self.lock
+                .held
+                .store(false, std::sync::atomic::Ordering::SeqCst);
+            let mut st = sched.lock();
+            Scheduler::wake_all(&mut st);
+        }
+    }
+
+    pub mod atomic {
+        //! Atomics whose every access is a scheduling point (sequential
+        //! consistency; orderings are accepted and ignored).
+
+        pub use std::sync::atomic::Ordering;
+
+        use super::super::ctx;
+
+        macro_rules! model_atomic {
+            ($name:ident, $std:ty, $prim:ty) => {
+                /// Model-checked atomic; see the module docs.
+                #[derive(Debug, Default)]
+                pub struct $name {
+                    inner: $std,
+                }
+
+                impl $name {
+                    /// Creates the atomic (not a scheduling point).
+                    pub fn new(v: $prim) -> Self {
+                        Self {
+                            inner: <$std>::new(v),
+                        }
+                    }
+
+                    /// Atomic load; a scheduling point.
+                    pub fn load(&self, _order: Ordering) -> $prim {
+                        let (sched, me) = ctx();
+                        sched.switch(me);
+                        self.inner.load(Ordering::SeqCst)
+                    }
+
+                    /// Atomic store; a scheduling point that wakes
+                    /// blocked threads for a re-check.
+                    pub fn store(&self, v: $prim, _order: Ordering) {
+                        let (sched, me) = ctx();
+                        sched.switch(me);
+                        self.inner.store(v, Ordering::SeqCst);
+                        let mut st = sched.lock();
+                        super::super::Scheduler::wake_all(&mut st);
+                    }
+
+                    /// Atomic swap; a scheduling point that wakes
+                    /// blocked threads for a re-check.
+                    pub fn swap(&self, v: $prim, _order: Ordering) -> $prim {
+                        let (sched, me) = ctx();
+                        sched.switch(me);
+                        let old = self.inner.swap(v, Ordering::SeqCst);
+                        let mut st = sched.lock();
+                        super::super::Scheduler::wake_all(&mut st);
+                        old
+                    }
+                }
+            };
+        }
+
+        model_atomic!(AtomicBool, std::sync::atomic::AtomicBool, bool);
+        model_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+        model_atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+
+        impl AtomicUsize {
+            /// Atomic add; a scheduling point that wakes blocked threads.
+            pub fn fetch_add(&self, v: usize, _order: Ordering) -> usize {
+                let (sched, me) = ctx();
+                sched.switch(me);
+                let old = self.inner.fetch_add(v, Ordering::SeqCst);
+                let mut st = sched.lock();
+                super::super::Scheduler::wake_all(&mut st);
+                old
+            }
+        }
+    }
+
+    pub mod mpsc {
+        //! Unbounded MPSC channels with the `std::sync::mpsc` error
+        //! surface, model-checked: send/receive/handle-drop are
+        //! scheduling points, an empty receive blocks, and
+        //! `recv_timeout`'s timeout fires only when the whole model is
+        //! otherwise stuck (a pure backstop — see the crate docs).
+
+        pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+        use super::super::{ctx, Scheduler, StdMutex, VecDeque};
+        use super::Arc;
+        use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+        use std::time::Duration;
+
+        struct Chan<T> {
+            queue: StdMutex<VecDeque<T>>,
+            senders: AtomicUsize,
+            rx_alive: AtomicBool,
+        }
+
+        /// Sending half; cloneable.
+        pub struct Sender<T> {
+            chan: Arc<Chan<T>>,
+        }
+
+        /// Receiving half.
+        pub struct Receiver<T> {
+            chan: Arc<Chan<T>>,
+        }
+
+        /// Creates an unbounded model-checked channel.
+        pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+            let chan = Arc::new(Chan {
+                queue: StdMutex::new(VecDeque::new()),
+                senders: AtomicUsize::new(1),
+                rx_alive: AtomicBool::new(true),
+            });
+            (
+                Sender {
+                    chan: Arc::clone(&chan),
+                },
+                Receiver { chan },
+            )
+        }
+
+        impl<T> Clone for Sender<T> {
+            fn clone(&self) -> Self {
+                self.chan.senders.fetch_add(1, Ordering::SeqCst);
+                Sender {
+                    chan: Arc::clone(&self.chan),
+                }
+            }
+        }
+
+        impl<T> Drop for Sender<T> {
+            fn drop(&mut self) {
+                if self.chan.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
+                    // Last sender gone: wake receivers so they observe
+                    // the disconnect.
+                    if let Some((sched, _)) = super::super::CTX.with(|c| c.borrow().clone()) {
+                        let mut st = sched.lock();
+                        Scheduler::wake_all(&mut st);
+                    }
+                }
+            }
+        }
+
+        impl<T> Drop for Receiver<T> {
+            fn drop(&mut self) {
+                self.chan.rx_alive.store(false, Ordering::SeqCst);
+                // As in std: the receiver owns the buffered messages, so
+                // they drop with it (their own Drop impls — e.g. reply
+                // senders queued inside a message — run here and wake
+                // their waiters).
+                let drained: VecDeque<T> =
+                    std::mem::take(&mut *self.chan.queue.lock().unwrap_or_else(|e| e.into_inner()));
+                drop(drained);
+                if let Some((sched, _)) = super::super::CTX.with(|c| c.borrow().clone()) {
+                    let mut st = sched.lock();
+                    Scheduler::wake_all(&mut st);
+                }
+            }
+        }
+
+        impl<T> Sender<T> {
+            /// Queues a value; a scheduling point, never blocks.
+            ///
+            /// # Errors
+            ///
+            /// Returns the value when the receiver is gone.
+            pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+                let (sched, me) = ctx();
+                sched.switch(me);
+                if !self.chan.rx_alive.load(Ordering::SeqCst) {
+                    return Err(SendError(value));
+                }
+                self.chan
+                    .queue
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .push_back(value);
+                let mut st = sched.lock();
+                Scheduler::wake_all(&mut st);
+                Ok(())
+            }
+        }
+
+        impl<T> Receiver<T> {
+            fn poll(&self) -> Option<Result<T, RecvError>> {
+                let mut q = self.chan.queue.lock().unwrap_or_else(|e| e.into_inner());
+                if let Some(v) = q.pop_front() {
+                    return Some(Ok(v));
+                }
+                if self.chan.senders.load(Ordering::SeqCst) == 0 {
+                    return Some(Err(RecvError));
+                }
+                None
+            }
+
+            /// Blocks until a value or all senders are gone.
+            ///
+            /// # Errors
+            ///
+            /// [`RecvError`] after the last sender dropped with the queue
+            /// drained.
+            pub fn recv(&self) -> Result<T, RecvError> {
+                let (sched, me) = ctx();
+                loop {
+                    sched.switch(me);
+                    if let Some(out) = self.poll() {
+                        return out;
+                    }
+                    sched.block(me, false);
+                }
+            }
+
+            /// As [`Receiver::recv`], except the timeout fires — as
+            /// [`RecvTimeoutError::Timeout`] — only when every model
+            /// thread is blocked, i.e. waiting longer could never help.
+            /// The duration is accepted and ignored.
+            ///
+            /// # Errors
+            ///
+            /// [`RecvTimeoutError::Disconnected`] mirrors
+            /// [`Receiver::recv`]'s disconnect case.
+            pub fn recv_timeout(&self, _timeout: Duration) -> Result<T, RecvTimeoutError> {
+                let (sched, me) = ctx();
+                loop {
+                    sched.switch(me);
+                    if let Some(out) = self.poll() {
+                        return out.map_err(|RecvError| RecvTimeoutError::Disconnected);
+                    }
+                    if sched.block(me, true) {
+                        return Err(RecvTimeoutError::Timeout);
+                    }
+                }
+            }
+
+            /// Non-blocking receive; a scheduling point.
+            ///
+            /// # Errors
+            ///
+            /// [`TryRecvError::Empty`] with live senders and nothing
+            /// queued, [`TryRecvError::Disconnected`] after the last
+            /// sender dropped.
+            pub fn try_recv(&self) -> Result<T, TryRecvError> {
+                let (sched, me) = ctx();
+                sched.switch(me);
+                match self.poll() {
+                    Some(Ok(v)) => Ok(v),
+                    Some(Err(RecvError)) => Err(TryRecvError::Disconnected),
+                    None => Err(TryRecvError::Empty),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicUsize, Ordering};
+    use super::sync::{mpsc, Arc, Mutex};
+    use std::collections::HashSet;
+    use std::sync::Mutex as StdMutex;
+
+    #[test]
+    fn explores_both_orders_of_two_increments() {
+        // Two threads append their id; exhaustive exploration must see
+        // both serialisations.
+        let seen: Arc<StdMutex<HashSet<Vec<u8>>>> = Arc::new(StdMutex::new(HashSet::new()));
+        let seen2 = Arc::clone(&seen);
+        super::model(move || {
+            let order = Arc::new(Mutex::new(Vec::new()));
+            let o1 = Arc::clone(&order);
+            let o2 = Arc::clone(&order);
+            let t1 = super::thread::spawn(move || o1.lock().unwrap().push(1u8));
+            let t2 = super::thread::spawn(move || o2.lock().unwrap().push(2u8));
+            t1.join().unwrap();
+            t2.join().unwrap();
+            let order = order.lock().unwrap().clone();
+            seen2.lock().unwrap().insert(order);
+        });
+        let seen = seen.lock().unwrap();
+        assert!(
+            seen.contains(&vec![1, 2]) && seen.contains(&vec![2, 1]),
+            "{seen:?}"
+        );
+    }
+
+    #[test]
+    fn channel_recv_sees_value_or_disconnect_in_every_schedule() {
+        super::model(|| {
+            let (tx, rx) = mpsc::channel::<u32>();
+            let t = super::thread::spawn(move || {
+                tx.send(5).unwrap();
+            });
+            assert_eq!(rx.recv(), Ok(5));
+            assert_eq!(rx.recv(), Err(mpsc::RecvError));
+            t.join().unwrap();
+        });
+    }
+
+    #[test]
+    fn recv_timeout_fires_only_when_stuck() {
+        super::model(|| {
+            let (_tx, rx) = mpsc::channel::<u32>();
+            // The sender never sends and never drops: the only way out
+            // is the backstop timeout.
+            assert_eq!(
+                rx.recv_timeout(std::time::Duration::from_secs(60)),
+                Err(mpsc::RecvTimeoutError::Timeout)
+            );
+        });
+    }
+
+    #[test]
+    fn deadlock_is_detected() {
+        let result = std::panic::catch_unwind(|| {
+            super::model(|| {
+                let (tx, rx) = mpsc::channel::<u32>();
+                // Nothing will ever send; recv (without timeout) deadlocks.
+                let _hold = tx;
+                let _ = rx.recv();
+            });
+        });
+        let err = result.expect_err("deadlock must fail the model");
+        let msg = super::panic_message(err.as_ref());
+        assert!(msg.contains("deadlock"), "unexpected failure: {msg}");
+    }
+
+    #[test]
+    fn assertion_failures_propagate_from_spawned_threads() {
+        let result = std::panic::catch_unwind(|| {
+            super::model(|| {
+                let t = super::thread::spawn(|| panic!("boom in model thread"));
+                let _ = t.join();
+            });
+        });
+        assert!(result.is_err(), "panic must fail the model");
+    }
+
+    #[test]
+    fn atomics_interleave() {
+        let seen: Arc<StdMutex<HashSet<usize>>> = Arc::new(StdMutex::new(HashSet::new()));
+        let seen2 = Arc::clone(&seen);
+        super::model(move || {
+            let n = Arc::new(AtomicUsize::new(0));
+            let n2 = Arc::clone(&n);
+            let t = super::thread::spawn(move || {
+                n2.fetch_add(1, Ordering::SeqCst);
+            });
+            let observed = n.load(Ordering::SeqCst);
+            t.join().unwrap();
+            seen2.lock().unwrap().insert(observed);
+        });
+        let seen = seen.lock().unwrap();
+        assert_eq!(*seen, HashSet::from([0, 1]), "must observe both orders");
+    }
+}
