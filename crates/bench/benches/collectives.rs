@@ -14,7 +14,7 @@ fn bench_all_reduce(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
             b.iter(|| {
                 ThreadGroup::run(4, |mut comm| {
-                    let mut buf = vec![comm.rank() as f32; n];
+                    let mut buf = vec![comm.rank_id().as_usize() as f32; n];
                     comm.all_reduce(&mut buf, ReduceOp::Sum).unwrap();
                     buf[0]
                 })
@@ -32,7 +32,7 @@ fn bench_all_gather(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
             b.iter(|| {
                 ThreadGroup::run(4, |mut comm| {
-                    let send = vec![comm.rank() as f32; n];
+                    let send = vec![comm.rank_id().as_usize() as f32; n];
                     comm.all_gather_f32(&send).unwrap().len()
                 })
             });

@@ -55,7 +55,7 @@ fn bench_pipeline(c: &mut Criterion) {
         b.iter(|| {
             ThreadGroup::run(WORKERS, |mut comm| {
                 let mut agg = SSgdAggregator::with_buffer_bytes(BUFFER_BYTES);
-                let mut grads = make_grads(&shapes, comm.rank());
+                let mut grads = make_grads(&shapes, comm.rank_id().as_usize());
                 agg.aggregate(&mut views(&shapes, &mut grads), &mut comm)
                     .unwrap();
                 agg.aggregate(&mut views(&shapes, &mut grads), &mut comm)
@@ -69,7 +69,7 @@ fn bench_pipeline(c: &mut Criterion) {
         b.iter(|| {
             ThreadGroup::run(WORKERS, |mut comm| {
                 let mut agg = SSgdAggregator::with_buffer_bytes(BUFFER_BYTES);
-                let mut grads = make_grads(&shapes, comm.rank());
+                let mut grads = make_grads(&shapes, comm.rank_id().as_usize());
                 agg.aggregate(&mut views(&shapes, &mut grads), &mut comm)
                     .unwrap();
                 // Backward order: deepest tensor becomes ready first.

@@ -10,6 +10,7 @@
 //!   telemetry  (instrumented ACP-SGD run: per-step metrics + summary)
 //!   overlap    (WFBP overlap: measured vs simulated; writes BENCH_overlap.json)
 //!   tuning     (closed-loop autotuner on local TCP; writes BENCH_tuning.json)
+//!   hierarchy  (flat vs two-level all-reduce cost sweep; writes BENCH_hierarchy.json)
 //!   all        (everything; convergence at the quick epoch count)
 //! ```
 //!
@@ -96,6 +97,21 @@ fn tuning_bench(epochs: usize) -> String {
     }
 }
 
+/// Prices the flat ring against the two-level ring-of-rings on the Table II
+/// cost model for worlds 8-1024; also writes `BENCH_hierarchy.json` to the
+/// cwd. Pure cost-model arithmetic: no live workers, so `--epochs` is
+/// irrelevant.
+fn hierarchy_bench() -> String {
+    use acp_bench::hierarchy;
+    let report = hierarchy::run();
+    let text = hierarchy::render(&report);
+    let path = "BENCH_hierarchy.json";
+    match std::fs::write(path, hierarchy::to_json(&report)) {
+        Ok(()) => format!("{text}\nwrote {path}"),
+        Err(e) => format!("{text}\nfailed to write {path}: {e}"),
+    }
+}
+
 fn run(name: &str, epochs: usize) -> Option<String> {
     let out = match name {
         "table1" => format!("Table I\n{}", statics::table1().render()),
@@ -129,6 +145,7 @@ fn run(name: &str, epochs: usize) -> Option<String> {
         "telemetry" => telemetry(),
         "overlap" => overlap_bench(epochs),
         "tuning" => tuning_bench(epochs),
+        "hierarchy" => hierarchy_bench(),
         _ => return None,
     };
     Some(out)
@@ -164,6 +181,7 @@ fn main() {
         "telemetry",
         "overlap",
         "tuning",
+        "hierarchy",
         "headline",
     ];
     let selected: Vec<&str> = if names.is_empty() || names.contains(&"all") {

@@ -1,0 +1,197 @@
+//! Flat-vs-hierarchical all-reduce on the Table II cost model:
+//! `figures hierarchy` prices the flat ring against the two-level
+//! ring-of-rings for worlds 8–1024 on a WAN-class deployment and writes
+//! the result as `BENCH_hierarchy.json`.
+//!
+//! The deployment it prices: groups of ranks sit in fast 10 GbE sites and
+//! the sites are joined by WAN links. A flat ring threaded through every
+//! rank pays the WAN's millisecond α on `2(p−1)` sequential steps; the
+//! two-level schedule keeps `2(s−1)` steps on the intra-site tier and
+//! crosses the WAN only `2(G−1)` times, which is why it wins by orders of
+//! magnitude once the world is latency-dominated (world ≥ 128).
+
+use acp_collectives::{ClusterCost, NetworkTier, Topology, TwoLevelCost};
+
+/// Default payload: one 25 MB DDP fusion bucket.
+pub const DEFAULT_PAYLOAD_BYTES: usize = 25 * 1024 * 1024;
+
+/// One world size priced under both schedules.
+#[derive(Debug, Clone, Copy)]
+pub struct HierarchyPoint {
+    /// Total ranks `p = groups · group_size`.
+    pub world: usize,
+    /// Number of sites (outer-ring members).
+    pub groups: usize,
+    /// Ranks per site (inner-ring members).
+    pub group_size: usize,
+    /// Flat ring over all `p` ranks, every hop priced on the cross tier.
+    pub flat_s: f64,
+    /// Two-level ring-of-rings, intra tier inside sites, cross tier
+    /// between them.
+    pub two_level_s: f64,
+    /// `flat_s / two_level_s` (> 1 means the hierarchy wins).
+    pub speedup: f64,
+}
+
+/// The full flat-vs-hierarchical sweep.
+#[derive(Debug, Clone)]
+pub struct HierarchyReport {
+    /// Payload priced at every world size, bytes.
+    pub payload_bytes: usize,
+    /// Intra-site tier label.
+    pub intra: NetworkTier,
+    /// Cross-site tier label.
+    pub cross: NetworkTier,
+    /// One row per world size, ascending.
+    pub points: Vec<HierarchyPoint>,
+}
+
+/// Largest divisor of `world` no bigger than its square root — the group
+/// count that balances the two ring lengths (`G + s` minimal-ish), which
+/// minimizes the latency terms the hierarchy pays.
+fn balanced_groups(world: usize) -> usize {
+    let mut best = 1;
+    let mut g = 1;
+    while g * g <= world {
+        if world.is_multiple_of(g) {
+            best = g;
+        }
+        g += 1;
+    }
+    best
+}
+
+/// Prices one world size on the given tiers.
+fn price(
+    world: usize,
+    payload_bytes: usize,
+    intra: NetworkTier,
+    cross: NetworkTier,
+) -> HierarchyPoint {
+    let groups = balanced_groups(world);
+    let topo = Topology::grouped(world, groups).expect("balanced_groups returns a divisor");
+    let flat_s = ClusterCost::new(world, cross).all_reduce_time(payload_bytes);
+    let two_level_s = TwoLevelCost::from_tiers(topo, intra, cross).all_reduce_time(payload_bytes);
+    HierarchyPoint {
+        world,
+        groups,
+        group_size: world / groups,
+        flat_s,
+        two_level_s,
+        speedup: flat_s / two_level_s,
+    }
+}
+
+/// Runs the sweep for worlds 8–1024 on the WAN deployment profile
+/// (10 GbE inside sites, WAN between them).
+pub fn run() -> HierarchyReport {
+    let (intra, cross) = (NetworkTier::TenGbE, NetworkTier::Wan);
+    let points = [8usize, 16, 32, 64, 128, 256, 512, 1024]
+        .into_iter()
+        .map(|world| price(world, DEFAULT_PAYLOAD_BYTES, intra, cross))
+        .collect();
+    HierarchyReport {
+        payload_bytes: DEFAULT_PAYLOAD_BYTES,
+        intra,
+        cross,
+        points,
+    }
+}
+
+/// Human-readable rendering for the terminal.
+pub fn render(r: &HierarchyReport) -> String {
+    let mut out = format!(
+        "Flat vs two-level all-reduce, {} MB payload, intra {} / cross {}\n\
+         {:>6} {:>9} {:>12} {:>12} {:>9}\n",
+        r.payload_bytes / (1024 * 1024),
+        r.intra.label(),
+        r.cross.label(),
+        "world",
+        "layout",
+        "flat (s)",
+        "2-level (s)",
+        "speedup",
+    );
+    for p in &r.points {
+        out.push_str(&format!(
+            "{:>6} {:>9} {:>12.4} {:>12.4} {:>8.1}x\n",
+            p.world,
+            format!("{}x{}", p.groups, p.group_size),
+            p.flat_s,
+            p.two_level_s,
+            p.speedup,
+        ));
+    }
+    out
+}
+
+/// Serializes the report as JSON (`BENCH_hierarchy.json`).
+pub fn to_json(r: &HierarchyReport) -> String {
+    let points: Vec<String> = r
+        .points
+        .iter()
+        .map(|p| {
+            format!(
+                "{{\"world\":{},\"groups\":{},\"group_size\":{},\
+                 \"flat_s\":{:.6},\"two_level_s\":{:.6},\"speedup\":{:.3}}}",
+                p.world, p.groups, p.group_size, p.flat_s, p.two_level_s, p.speedup
+            )
+        })
+        .collect();
+    format!(
+        "{{\"payload_bytes\":{},\"intra\":{:?},\"cross\":{:?},\"points\":[{}]}}\n",
+        r.payload_bytes,
+        r.intra.label(),
+        r.cross.label(),
+        points.join(",")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grouping_is_balanced() {
+        assert_eq!(balanced_groups(8), 2);
+        assert_eq!(balanced_groups(32), 4);
+        assert_eq!(balanced_groups(128), 8);
+        assert_eq!(balanced_groups(1024), 32);
+        assert_eq!(balanced_groups(7), 1); // prime worlds degrade gracefully
+    }
+
+    #[test]
+    fn hierarchy_beats_flat_at_large_worlds_on_wan() {
+        // The acceptance criterion for the topology API: on the WAN-tier
+        // profile the two-level schedule must beat the flat ring at every
+        // world ≥ 128.
+        let r = run();
+        for p in r.points.iter().filter(|p| p.world >= 128) {
+            assert!(
+                p.two_level_s < p.flat_s,
+                "world {}: two-level {:.4}s not better than flat {:.4}s",
+                p.world,
+                p.two_level_s,
+                p.flat_s
+            );
+        }
+        // And the advantage grows with the world: latency terms scale as
+        // 2(p-1) flat vs 2(G-1)+2(s-1) hierarchical.
+        let speedups: Vec<f64> = r.points.iter().map(|p| p.speedup).collect();
+        for w in speedups.windows(2) {
+            assert!(w[1] > w[0], "speedup must grow with world: {speedups:?}");
+        }
+    }
+
+    #[test]
+    fn report_renders_and_serializes() {
+        let r = run();
+        let text = render(&r);
+        assert!(text.contains("speedup"));
+        assert!(text.contains("1024"));
+        let json = to_json(&r);
+        assert!(json.contains("\"world\":128"));
+        assert!(json.contains("\"intra\":\"10GbE\""));
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+    }
+}

@@ -20,6 +20,7 @@
 #![warn(missing_docs)]
 
 pub mod convergence;
+pub mod hierarchy;
 pub mod overlap;
 pub mod statics;
 pub mod table;

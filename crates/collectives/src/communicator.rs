@@ -12,9 +12,10 @@
 //! in-process channel backend. `acp-net` provides the TCP backend over the
 //! same algorithms.
 
+use std::collections::{BTreeSet, VecDeque};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use acp_telemetry::{keys, noop, RecorderHandle};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
@@ -24,7 +25,10 @@ use crate::nonblocking::{
     PendingOp, WorkerTransport,
 };
 use crate::ring::{self, Transport, WireMsg};
-use crate::schedule::{ScheduleCell, ScheduleSnapshot, ScheduleTracer, VerifyMode};
+use crate::schedule::{
+    membership_param, OpKind, ScheduleCell, ScheduleSnapshot, ScheduleTracer, VerifyMode,
+};
+use crate::topology::{Membership, RankId, Topology};
 
 /// Reduction operator applied element-wise by [`Communicator::all_reduce`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -72,6 +76,16 @@ pub enum CommError {
     /// A worker thread of a [`ThreadGroup`] panicked before producing a
     /// result.
     WorkerPanicked,
+    /// A member of the group departed mid-collective (its process exited
+    /// or its worker thread died). The collective's result is lost; every
+    /// survivor should call [`Communicator::reform`] to rebuild the group
+    /// from the remaining ranks and continue.
+    MembershipChanged {
+        /// The membership epoch the failed collective was running at.
+        epoch: u64,
+        /// The physical ranks observed dead, sorted ascending.
+        departed: Vec<usize>,
+    },
     /// A collective exceeded its deadline without the peer being observed
     /// dead — a hung or straggling rank, surfaced instead of blocking.
     Timeout {
@@ -123,6 +137,12 @@ impl fmt::Display for CommError {
                 write!(f, "rank {rank} out of range for world size {world_size}")
             }
             CommError::WorkerPanicked => write!(f, "a worker thread panicked"),
+            CommError::MembershipChanged { epoch, departed } => {
+                write!(
+                    f,
+                    "membership changed at epoch {epoch}: ranks {departed:?} departed (reform() to continue)"
+                )
+            }
             CommError::Timeout { op, waited_ms } => {
                 write!(f, "{op} timed out after {waited_ms} ms")
             }
@@ -157,6 +177,46 @@ pub trait Communicator: Send {
 
     /// Number of workers in the group.
     fn world_size(&self) -> usize;
+
+    /// This worker's rank as a typed [`RankId`] — the preferred accessor.
+    /// After a reform this is the *virtual* (ring) rank among the
+    /// survivors; [`Communicator::membership`] maps it back to the
+    /// physical rank.
+    fn rank_id(&self) -> RankId {
+        RankId(self.rank())
+    }
+
+    /// The rank arrangement collectives are scheduled over (see
+    /// [`Topology`]). The default is one flat ring; topology-aware
+    /// backends report their two-level arrangement and run the
+    /// ring-of-rings schedule for all-reduce.
+    fn topology(&self) -> Topology {
+        Topology::flat(self.world_size())
+    }
+
+    /// The current elastic membership: the reform epoch plus the physical
+    /// ranks still present. The default reports the static launch
+    /// membership (epoch 0, every rank).
+    fn membership(&self) -> Membership {
+        Membership::initial(self.world_size())
+    }
+
+    /// Rebuilds the group from the surviving ranks after a peer departure
+    /// (surfaced as [`CommError::MembershipChanged`]): re-derives
+    /// ring/virtual ranks, bumps the membership epoch, records the reform
+    /// in the collective schedule and cross-checks digest agreement among
+    /// survivors. Collective — every survivor must call it at the same
+    /// schedule position.
+    ///
+    /// # Errors
+    ///
+    /// Backends without elastic membership report [`CommError::Io`];
+    /// elastic backends propagate handshake or transport failures.
+    fn reform(&mut self) -> Result<Membership, CommError> {
+        Err(CommError::Io(
+            "this communicator does not support membership reform".to_string(),
+        ))
+    }
 
     /// Reduces `buf` element-wise across all ranks; every rank ends with the
     /// reduced result in `buf`.
@@ -357,18 +417,30 @@ impl Communicator for LocalCommunicator {
 /// collectives. All collectives are SPMD: every rank of the group must
 /// call the same sequence of operations.
 pub struct ThreadCommunicator {
+    /// Virtual (ring) rank — equals the physical rank until a reform.
     rank: usize,
     world_size: usize,
+    /// Physical rank this endpoint was launched with (stable across
+    /// reforms; it is what [`GroupState::departed`] records).
+    physical: usize,
+    /// Current membership epoch (mirrors the transport's; updated by
+    /// [`ThreadCommunicator::reform`]).
+    epoch: u64,
+    /// The arrangement collectives are scheduled over; collapses to a
+    /// flat ring over the survivors after a reform.
+    topology: Topology,
+    /// Physical ranks currently in the group, sorted (virtual → physical).
+    members: Vec<usize>,
     /// The mailbox transport; `Some` until the comm worker takes it.
     inner: Option<ThreadTransport>,
     /// Per-rank comm worker, spawned lazily by the first dispatched
     /// operation; once running, *every* collective (blocking included)
     /// routes through it so submission order stays FIFO-total.
     worker: Option<CommWorker>,
-    /// Set by any rank of the group whose worker thread panics; receive
-    /// loops poll it so peers observe the death within [`PANIC_POLL`]
-    /// instead of blocking out the full [`RECV_TIMEOUT`].
-    panicked: Arc<AtomicBool>,
+    /// Departure/abort state shared by the whole group; receive loops
+    /// poll it so peers observe a death within [`PANIC_POLL`] instead of
+    /// blocking out the full [`RECV_TIMEOUT`].
+    group: Arc<GroupState>,
     /// Shared with the transport so `bytes_sent` stays readable after the
     /// transport moves into the worker thread.
     bytes_sent: Arc<AtomicU64>,
@@ -383,21 +455,104 @@ pub struct ThreadCommunicator {
     recorder: RecorderHandle,
 }
 
+/// Departure and abort state shared by every member of a [`ThreadGroup`].
+struct GroupState {
+    /// Fast path for [`GroupState::departed`]: set once any rank departs,
+    /// so healthy receive loops skip the lock entirely.
+    any_departed: AtomicBool,
+    /// Physical ranks that have departed (worker thread panicked or
+    /// communicator dropped mid-unwind).
+    departed: Mutex<BTreeSet<usize>>,
+    /// Epoch fence: collectives running at an epoch *below* this value
+    /// must abort. A rank departing at epoch `e` (or a schedule mismatch
+    /// detected at epoch `e`) raises it to `e + 1`; a successful reform
+    /// advances the survivors' epoch up to the fence, so post-reform
+    /// collectives run unimpeded.
+    abort_epoch: AtomicU64,
+}
+
+impl GroupState {
+    fn new() -> Arc<GroupState> {
+        Arc::new(GroupState {
+            any_departed: AtomicBool::new(false),
+            departed: Mutex::new(BTreeSet::new()),
+            abort_epoch: AtomicU64::new(0),
+        })
+    }
+
+    /// Records `physical` as departed at `epoch` and raises the fence.
+    fn mark_departed(&self, physical: usize, epoch: u64) {
+        self.departed
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(physical);
+        self.any_departed.store(true, Ordering::SeqCst);
+        self.abort_epoch.fetch_max(epoch + 1, Ordering::SeqCst);
+    }
+
+    /// Raises the fence without a departure — a schedule mismatch leaves
+    /// the group inconsistent but nobody dead, and peers then observe
+    /// [`CommError::WorkerPanicked`] rather than `MembershipChanged`.
+    fn abort(&self, epoch: u64) {
+        self.abort_epoch.fetch_max(epoch + 1, Ordering::SeqCst);
+    }
+
+    /// The departed ranks among `members`, sorted ascending.
+    fn departed_among(&self, members: &[usize]) -> Vec<usize> {
+        if !self.any_departed.load(Ordering::SeqCst) {
+            return Vec::new();
+        }
+        self.departed
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .copied()
+            .filter(|r| members.contains(r))
+            .collect()
+    }
+
+    /// The error a collective running at `epoch` over `members` must
+    /// abort with, if any: a departed member beats the fence (it names
+    /// who to reform around), the fence alone means an aborted-but-intact
+    /// group.
+    fn abort_error(&self, epoch: u64, members: &[usize]) -> Option<CommError> {
+        let departed = self.departed_among(members);
+        if !departed.is_empty() {
+            return Some(CommError::MembershipChanged { epoch, departed });
+        }
+        if self.abort_epoch.load(Ordering::SeqCst) > epoch {
+            return Some(CommError::WorkerPanicked);
+        }
+        None
+    }
+}
+
 /// The mailbox transport state of one rank. Lives inside the
 /// [`ThreadCommunicator`] until a comm worker is spawned, then moves into
 /// the worker thread (collectives keep running the same [`ring`]
 /// algorithms on it either way).
 struct ThreadTransport {
+    /// Virtual (ring) rank — equals `physical` until a reform.
     rank: usize,
     world_size: usize,
-    /// Sender to each rank's inbox (index = destination rank).
-    peers: Vec<Sender<(usize, WireMsg)>>,
-    /// This rank's inbox.
-    inbox: Receiver<(usize, WireMsg)>,
-    /// Out-of-order messages buffered per source rank.
-    pending: Vec<std::collections::VecDeque<WireMsg>>,
-    /// The group's shared panic flag (see [`ThreadCommunicator`]).
-    panicked: Arc<AtomicBool>,
+    /// Physical rank (stable across reforms; the inbox index peers use).
+    physical: usize,
+    /// Membership epoch; every outgoing message is stamped with it so
+    /// pre-reform stragglers can be told apart from post-reform traffic.
+    epoch: u64,
+    /// Physical ranks currently in the group, sorted (virtual → physical).
+    members: Vec<usize>,
+    /// The arrangement collectives are scheduled over.
+    topology: Topology,
+    /// Sender to each rank's inbox (index = destination *physical* rank).
+    peers: Vec<Sender<(usize, u64, WireMsg)>>,
+    /// This rank's inbox: `(physical source, epoch, message)`.
+    inbox: Receiver<(usize, u64, WireMsg)>,
+    /// Out-of-order messages buffered per *physical* source rank, with
+    /// the epoch they were sent at.
+    pending: Vec<VecDeque<(u64, WireMsg)>>,
+    /// The group's shared departure/abort state.
+    group: Arc<GroupState>,
     bytes_sent: Arc<AtomicU64>,
     recorder: RecorderHandle,
     /// Collective-schedule recorder (see [`crate::schedule`]); in
@@ -419,21 +574,21 @@ impl fmt::Debug for ThreadCommunicator {
 impl Drop for ThreadCommunicator {
     fn drop(&mut self) {
         // A communicator dropped during unwind means its worker died
-        // mid-collective; flag the group so peers blocked in `recv_from`
-        // fail fast with `WorkerPanicked` instead of waiting out the
-        // 30-second peer timeout.
+        // mid-collective; record the departure so peers blocked in
+        // `recv_from` fail fast with `MembershipChanged` instead of
+        // waiting out the 30-second peer timeout.
         if std::thread::panicking() {
-            self.panicked.store(true, Ordering::SeqCst);
+            self.group.mark_departed(self.physical, self.epoch);
         }
     }
 }
 
 impl Drop for ThreadTransport {
     fn drop(&mut self) {
-        // Same flagging from the comm worker's side: if the worker thread
+        // Same recording from the comm worker's side: if the worker thread
         // unwinds mid-collective, its transport drop tells the group.
         if std::thread::panicking() {
-            self.panicked.store(true, Ordering::SeqCst);
+            self.group.mark_departed(self.physical, self.epoch);
         }
     }
 }
@@ -448,12 +603,12 @@ impl Transport for ThreadTransport {
     }
 
     fn send_to(&mut self, dest: usize, msg: WireMsg) -> Result<(), CommError> {
-        if dest >= self.peers.len() {
+        let Some(&phys) = self.members.get(dest) else {
             return Err(CommError::InvalidRank {
                 rank: dest,
                 world_size: self.world_size,
             });
-        }
+        };
         let bytes = msg.payload_bytes();
         self.bytes_sent.fetch_add(bytes, Ordering::SeqCst);
         if self.recorder.enabled() {
@@ -465,38 +620,61 @@ impl Transport for ThreadTransport {
             Some(tag) => WireMsg::Tagged(tag, Box::new(msg)),
             None => msg,
         };
-        self.peers[dest]
-            .send((self.rank, msg))
-            .map_err(|_| CommError::PeerDisconnected)
+        self.peers[phys]
+            .send((self.physical, self.epoch, msg))
+            // A dropped inbox is a dead rank; name it if its departure is
+            // already recorded.
+            .map_err(|_| self.departure_error())
     }
 
     fn recv_from(&mut self, src: usize) -> Result<WireMsg, CommError> {
-        if src >= self.pending.len() {
+        let Some(&phys) = self.members.get(src) else {
             return Err(CommError::InvalidRank {
                 rank: src,
                 world_size: self.world_size,
             });
+        };
+        // Discard buffered stragglers from before the last reform, then
+        // deliver a current-epoch message if one is queued. A *future*
+        // epoch message stays buffered: it belongs to a membership this
+        // rank has not reformed into yet (the abort check below is what
+        // gets us there).
+        while self.pending[phys]
+            .front()
+            .is_some_and(|&(epoch, _)| epoch < self.epoch)
+        {
+            self.pending[phys].pop_front();
         }
-        if let Some(msg) = self.pending[src].pop_front() {
-            return self.deliver(msg);
+        if self.pending[phys]
+            .front()
+            .is_some_and(|&(epoch, _)| epoch == self.epoch)
+        {
+            if let Some((_, msg)) = self.pending[phys].pop_front() {
+                return self.deliver(msg);
+            }
         }
         let deadline = std::time::Instant::now() + RECV_TIMEOUT;
         loop {
-            if self.panicked.load(Ordering::SeqCst) {
-                return Err(CommError::WorkerPanicked);
+            if let Some(err) = self.group.abort_error(self.epoch, &self.members) {
+                return Err(err);
             }
             match self.inbox.recv_timeout(PANIC_POLL) {
-                Ok((from, msg)) => {
+                Ok((from, epoch, msg)) => {
+                    if epoch < self.epoch {
+                        // A straggler from before the last reform; its
+                        // collective already failed everywhere.
+                        continue;
+                    }
                     // Count at inbox receipt so buffered out-of-order
                     // messages are still counted exactly once.
                     if self.recorder.enabled() {
                         self.recorder
                             .add(keys::COMM_BYTES_RECV, msg.payload_bytes());
                     }
-                    if from == src {
+                    if from == phys && epoch == self.epoch {
                         return self.deliver(msg);
                     }
-                    self.pending[from].push_back(msg);
+                    self.pending[from].push_back((epoch, msg));
                 }
                 Err(RecvTimeoutError::Timeout) => {
                     if std::time::Instant::now() >= deadline {
@@ -511,15 +689,23 @@ impl Transport for ThreadTransport {
 
 impl ThreadTransport {
     /// Delivery-time schedule check (see [`crate::schedule::deliver_checked`]).
-    /// A mismatch also raises the group's abort flag so peers blocked
+    /// A mismatch also raises the group's abort fence so peers blocked
     /// mid-collective unblock within [`PANIC_POLL`] instead of waiting out
     /// the peer timeout.
     fn deliver(&self, msg: WireMsg) -> Result<WireMsg, CommError> {
         let out = crate::schedule::deliver_checked(&self.tracer, msg);
         if matches!(out, Err(CommError::ScheduleMismatch { .. })) {
-            self.panicked.store(true, Ordering::SeqCst);
+            self.group.abort(self.epoch);
         }
         out
+    }
+
+    /// The structured error for a failed point-to-point operation: a
+    /// recorded departure beats the generic disconnect.
+    fn departure_error(&self) -> CommError {
+        self.group
+            .abort_error(self.epoch, &self.members)
+            .unwrap_or(CommError::PeerDisconnected)
     }
 }
 
@@ -532,6 +718,73 @@ impl WorkerTransport for ThreadTransport {
         self.recorder = recorder;
     }
 
+    fn topology(&self) -> Topology {
+        self.topology
+    }
+
+    fn membership(&self) -> Membership {
+        Membership::from_parts(self.epoch, self.members.clone())
+    }
+
+    fn reform(&mut self) -> Result<Membership, CommError> {
+        let departed = self.group.departed_among(&self.members);
+        if departed.is_empty() {
+            // Nobody left; reform is idempotent.
+            return Ok(self.membership());
+        }
+        if departed.contains(&self.physical) {
+            return Err(CommError::Io(format!(
+                "rank {} is itself marked departed and cannot reform",
+                self.physical
+            )));
+        }
+        self.members.retain(|r| !departed.contains(r));
+        self.epoch += 1;
+        self.world_size = self.members.len();
+        self.rank = match self.members.binary_search(&self.physical) {
+            Ok(position) => position,
+            Err(_) => {
+                return Err(CommError::Io(format!(
+                    "rank {} lost its membership slot during reform",
+                    self.physical
+                )))
+            }
+        };
+        // The old arrangement no longer matches the survivors; collapse
+        // to one flat ring (a later reform could re-derive groups).
+        self.topology = Topology::flat(self.world_size);
+        // Drop buffered traffic from the failed epoch.
+        for queue in &mut self.pending {
+            while queue.front().is_some_and(|&(epoch, _)| epoch < self.epoch) {
+                queue.pop_front();
+            }
+        }
+        // Record the reform as a schedule op (replayable by `acp-verify
+        // check-trace`), re-deriving the rolling digest from the new
+        // membership, then handshake: all-gather the digest halves so
+        // survivors that disagree on who survived fail loudly *here*, not
+        // on some later collective. In cross-check mode the handshake
+        // messages are tagged with the reform op, so a divergent reform
+        // also surfaces as a `ScheduleMismatch` naming it.
+        self.tracer.begin_op(
+            OpKind::Reform,
+            self.members.len() as u64,
+            membership_param(self.epoch, &self.members),
+        );
+        let digest = self.tracer.digest();
+        let halves = [(digest >> 32) as u32, digest as u32];
+        let gathered = ring::all_gather_u32(self, &halves)?;
+        for (virt, pair) in gathered.chunks(2).enumerate() {
+            if pair != halves {
+                return Err(CommError::Io(format!(
+                    "post-reform schedule digest mismatch: rank {} disagrees on the surviving membership",
+                    self.members.get(virt).copied().unwrap_or(virt)
+                )));
+            }
+        }
+        Ok(self.membership())
+    }
+
     fn tracer(&mut self) -> Option<&mut ScheduleTracer> {
         Some(&mut self.tracer)
     }
@@ -539,17 +792,65 @@ impl WorkerTransport for ThreadTransport {
 
 impl ThreadCommunicator {
     /// This worker's rank in `[0, world_size)`.
-    ///
-    /// Inherent so callers need neither [`Communicator`] nor
-    /// [`Transport`] in scope (and so having both in scope stays
-    /// unambiguous).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `rank_id()` (typed, reform-aware) or the `Communicator` trait's `rank()`"
+    )]
     pub fn rank(&self) -> usize {
         self.rank
     }
 
     /// Number of workers in the group.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `topology().world_size()` or `membership().world_size()`"
+    )]
     pub fn world_size(&self) -> usize {
         self.world_size
+    }
+
+    /// This worker's virtual (ring) rank, as a typed [`RankId`].
+    ///
+    /// Inherent so callers need neither [`Communicator`] nor
+    /// [`Transport`] in scope (and so having both in scope stays
+    /// unambiguous).
+    pub fn rank_id(&self) -> RankId {
+        RankId(self.rank)
+    }
+
+    /// The rank arrangement collectives are scheduled over.
+    pub fn topology(&self) -> Topology {
+        self.topology
+    }
+
+    /// The current membership (epoch + surviving physical ranks).
+    pub fn membership(&self) -> Membership {
+        Membership::from_parts(self.epoch, self.members.clone())
+    }
+
+    /// Rebuilds the group from the surviving ranks after a peer departure
+    /// (see [`Communicator::reform`]). Routes through the comm worker when
+    /// one is running, so the reform stays FIFO with dispatched
+    /// collectives.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the transport's reform error; a dead worker surfaces as
+    /// [`CommError::WorkerPanicked`].
+    pub fn reform(&mut self) -> Result<Membership, CommError> {
+        let membership = match (&self.worker, self.inner.as_mut()) {
+            (Some(worker), _) => worker.reform(),
+            (None, Some(transport)) => transport.reform(),
+            (None, None) => Err(CommError::WorkerPanicked),
+        }?;
+        self.epoch = membership.epoch();
+        self.world_size = membership.world_size();
+        self.members = membership.ranks().to_vec();
+        self.topology = Topology::flat(membership.world_size());
+        if let Some(virt) = membership.virtual_rank_of(self.physical) {
+            self.rank = virt.as_usize();
+        }
+        Ok(membership)
     }
 
     /// Runs one collective to completion: inline on the transport before
@@ -628,6 +929,18 @@ impl Communicator for ThreadCommunicator {
 
     fn world_size(&self) -> usize {
         self.world_size
+    }
+
+    fn topology(&self) -> Topology {
+        self.topology
+    }
+
+    fn membership(&self) -> Membership {
+        ThreadCommunicator::membership(self)
+    }
+
+    fn reform(&mut self) -> Result<Membership, CommError> {
+        ThreadCommunicator::reform(self)
     }
 
     fn all_reduce(&mut self, buf: &mut [f32], op: ReduceOp) -> Result<(), CommError> {
@@ -738,6 +1051,22 @@ impl ThreadGroup {
     ///
     /// Panics if `world_size == 0`.
     pub fn new_with(world_size: usize, verify: VerifyMode) -> Vec<ThreadCommunicator> {
+        ThreadGroup::new_with_topology(Topology::flat(world_size), verify)
+    }
+
+    /// [`ThreadGroup::new_with`] over an explicit [`Topology`]. A
+    /// two-level arrangement makes all-reduce run the hierarchical
+    /// ring-of-rings schedule (see [`crate::hierarchy`]) and is recorded
+    /// as schedule op 0, so a flat and a hierarchical schedule over the
+    /// same collectives can never digest-collide. (Flat groups record
+    /// nothing — the flat ring is the implicit default, keeping existing
+    /// flat traces stable.)
+    ///
+    /// # Panics
+    ///
+    /// Panics if `topology.world_size() == 0`.
+    pub fn new_with_topology(topology: Topology, verify: VerifyMode) -> Vec<ThreadCommunicator> {
+        let world_size = topology.world_size();
         assert!(world_size > 0, "world_size must be positive");
         let mut inboxes = Vec::with_capacity(world_size);
         let mut senders = Vec::with_capacity(world_size);
@@ -746,31 +1075,41 @@ impl ThreadGroup {
             senders.push(tx);
             inboxes.push(rx);
         }
-        let panicked = Arc::new(AtomicBool::new(false));
+        let group = GroupState::new();
         inboxes
             .into_iter()
             .enumerate()
             .map(|(rank, inbox)| {
                 let bytes_sent = Arc::new(AtomicU64::new(0));
                 let schedule = Arc::new(ScheduleCell::default());
+                let mut tracer = ScheduleTracer::new(verify, Arc::clone(&schedule));
+                if !topology.is_flat() {
+                    tracer.begin_op(OpKind::Topology, world_size as u64, topology.fingerprint());
+                }
                 ThreadCommunicator {
                     rank,
                     world_size,
+                    physical: rank,
+                    epoch: 0,
+                    topology,
+                    members: (0..world_size).collect(),
                     inner: Some(ThreadTransport {
                         rank,
                         world_size,
+                        physical: rank,
+                        epoch: 0,
+                        members: (0..world_size).collect(),
+                        topology,
                         peers: senders.clone(),
                         inbox,
-                        pending: (0..world_size)
-                            .map(|_| std::collections::VecDeque::new())
-                            .collect(),
-                        panicked: Arc::clone(&panicked),
+                        pending: (0..world_size).map(|_| VecDeque::new()).collect(),
+                        group: Arc::clone(&group),
                         bytes_sent: Arc::clone(&bytes_sent),
                         recorder: noop(),
-                        tracer: ScheduleTracer::new(verify, Arc::clone(&schedule)),
+                        tracer,
                     }),
                     worker: None,
-                    panicked: Arc::clone(&panicked),
+                    group: Arc::clone(&group),
                     bytes_sent,
                     schedule,
                     verify,
@@ -812,13 +1151,32 @@ impl ThreadGroup {
         T: Send,
         F: Fn(ThreadCommunicator) -> T + Sync,
     {
-        if world_size == 0 {
+        ThreadGroup::try_run_with_topology(Topology::flat(world_size), verify, f)
+    }
+
+    /// [`ThreadGroup::try_run_with`] over an explicit [`Topology`] (see
+    /// [`ThreadGroup::new_with_topology`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CommError::WorkerPanicked`] if any worker thread panicked,
+    /// and [`CommError::InvalidRank`] if the topology is empty.
+    pub fn try_run_with_topology<T, F>(
+        topology: Topology,
+        verify: VerifyMode,
+        f: F,
+    ) -> Result<Vec<T>, CommError>
+    where
+        T: Send,
+        F: Fn(ThreadCommunicator) -> T + Sync,
+    {
+        if topology.world_size() == 0 {
             return Err(CommError::InvalidRank {
                 rank: 0,
                 world_size: 0,
             });
         }
-        let comms = ThreadGroup::new_with(world_size, verify);
+        let comms = ThreadGroup::new_with_topology(topology, verify);
         std::thread::scope(|scope| {
             let handles: Vec<_> = comms
                 .into_iter()
@@ -894,7 +1252,7 @@ mod tests {
                 let inputs = random_inputs(p, len, (p * 1000 + len) as u64);
                 let expected = reference_reduce(&inputs, ReduceOp::Sum);
                 let results = ThreadGroup::run(p, |mut comm| {
-                    let mut buf = inputs[comm.rank()].clone();
+                    let mut buf = inputs[comm.rank_id().as_usize()].clone();
                     comm.all_reduce(&mut buf, ReduceOp::Sum).unwrap();
                     buf
                 });
@@ -914,7 +1272,7 @@ mod tests {
         for op in [ReduceOp::Mean, ReduceOp::Max] {
             let expected = reference_reduce(&inputs, op);
             let results = ThreadGroup::run(p, |mut comm| {
-                let mut buf = inputs[comm.rank()].clone();
+                let mut buf = inputs[comm.rank_id().as_usize()].clone();
                 comm.all_reduce(&mut buf, op).unwrap();
                 buf
             });
@@ -933,7 +1291,7 @@ mod tests {
         let inputs = random_inputs(p, 3, 7);
         let expected = reference_reduce(&inputs, ReduceOp::Sum);
         let results = ThreadGroup::run(p, |mut comm| {
-            let mut buf = inputs[comm.rank()].clone();
+            let mut buf = inputs[comm.rank_id().as_usize()].clone();
             comm.all_reduce(&mut buf, ReduceOp::Sum).unwrap();
             buf
         });
@@ -948,7 +1306,7 @@ mod tests {
     fn all_gather_f32_rank_order() {
         let p = 5;
         let results = ThreadGroup::run(p, |mut comm| {
-            let send = vec![comm.rank() as f32; 3];
+            let send = vec![comm.rank_id().as_usize() as f32; 3];
             comm.all_gather_f32(&send).unwrap()
         });
         for out in results {
@@ -963,7 +1321,10 @@ mod tests {
     fn all_gather_u32_rank_order() {
         let p = 3;
         let results = ThreadGroup::run(p, |mut comm| {
-            let send = vec![comm.rank() as u32 * 10, comm.rank() as u32 * 10 + 1];
+            let send = vec![
+                comm.rank_id().as_usize() as u32 * 10,
+                comm.rank_id().as_usize() as u32 * 10 + 1,
+            ];
             comm.all_gather_u32(&send).unwrap()
         });
         for out in results {
@@ -976,7 +1337,7 @@ mod tests {
         let p = 4;
         for root in 0..p {
             let results = ThreadGroup::run(p, |mut comm| {
-                let mut buf = if comm.rank() == root {
+                let mut buf = if comm.rank_id().as_usize() == root {
                     vec![42.0, 43.0]
                 } else {
                     vec![0.0, 0.0]
@@ -1056,7 +1417,14 @@ mod tests {
     #[test]
     fn length_mismatch_detected() {
         let results = ThreadGroup::run(2, |mut comm| {
-            let mut buf = vec![0.0f32; if comm.rank() == 0 { 10 } else { 12 }];
+            let mut buf = vec![
+                0.0f32;
+                if comm.rank_id().as_usize() == 0 {
+                    10
+                } else {
+                    12
+                }
+            ];
             comm.all_reduce(&mut buf, ReduceOp::Sum)
         });
         assert!(results
@@ -1080,8 +1448,8 @@ mod tests {
     #[test]
     fn send_recv_exchanges_pairwise() {
         let results = ThreadGroup::run(4, |mut comm| {
-            let peer = comm.rank() ^ 1;
-            let send = vec![comm.rank() as f32; 3];
+            let peer = comm.rank_id().as_usize() ^ 1;
+            let send = vec![comm.rank_id().as_usize() as f32; 3];
             comm.send_recv_f32(peer, &send).unwrap()
         });
         assert_eq!(results[0], vec![1.0; 3]);
@@ -1097,7 +1465,7 @@ mod tests {
                 let inputs = random_inputs(p, len, (p * 31 + len) as u64);
                 let expected = reference_reduce(&inputs, ReduceOp::Sum);
                 let results = ThreadGroup::run(p, |mut comm| {
-                    let mut buf = inputs[comm.rank()].clone();
+                    let mut buf = inputs[comm.rank_id().as_usize()].clone();
                     comm.all_reduce_recursive_doubling(&mut buf, ReduceOp::Sum)
                         .unwrap();
                     buf
@@ -1115,7 +1483,7 @@ mod tests {
     fn recursive_doubling_mean() {
         let p = 6;
         let results = ThreadGroup::run(p, |mut comm| {
-            let mut buf = vec![comm.rank() as f32; 4];
+            let mut buf = vec![comm.rank_id().as_usize() as f32; 4];
             comm.all_reduce_recursive_doubling(&mut buf, ReduceOp::Mean)
                 .unwrap();
             buf
@@ -1135,7 +1503,7 @@ mod tests {
             (vec![1u32, 5], vec![2.0f32, 5.0]),
         ];
         let results = ThreadGroup::run(3, |mut comm| {
-            let (idx, val) = &contributions[comm.rank()];
+            let (idx, val) = &contributions[comm.rank_id().as_usize()];
             comm.global_topk(idx, val, 2).unwrap()
         });
         for (idx, val) in results {
@@ -1160,7 +1528,7 @@ mod tests {
                 })
                 .collect();
             let results = ThreadGroup::run(p, |mut comm| {
-                let (idx, val) = &contributions[comm.rank()];
+                let (idx, val) = &contributions[comm.rank_id().as_usize()];
                 comm.global_topk(idx, val, 4).unwrap()
             });
             for r in &results[1..] {
@@ -1183,13 +1551,22 @@ mod tests {
         // Run several different collectives back to back on the same group.
         let p = 3;
         ThreadGroup::run(p, |mut comm| {
-            let mut a = vec![comm.rank() as f32; 8];
+            let mut a = vec![comm.rank_id().as_usize() as f32; 8];
             comm.all_reduce(&mut a, ReduceOp::Sum).unwrap();
             assert!(a.iter().all(|&v| v == 3.0));
-            let g = comm.all_gather_u32(&[comm.rank() as u32]).unwrap();
+            let g = comm
+                .all_gather_u32(&[comm.rank_id().as_usize() as u32])
+                .unwrap();
             assert_eq!(g, vec![0, 1, 2]);
             comm.barrier().unwrap();
-            let mut b = vec![if comm.rank() == 1 { 7.0 } else { 0.0 }; 4];
+            let mut b = vec![
+                if comm.rank_id().as_usize() == 1 {
+                    7.0
+                } else {
+                    0.0
+                };
+                4
+            ];
             comm.broadcast(&mut b, 1).unwrap();
             assert!(b.iter().all(|&v| v == 7.0));
         });
@@ -1204,12 +1581,12 @@ mod tests {
         // 30-second peer timeout, let alone "forever".
         let start = std::time::Instant::now();
         let result = ThreadGroup::try_run(3, |mut comm| {
-            if comm.rank() == 1 {
+            if comm.rank_id().as_usize() == 1 {
                 // Die after peers have committed to the collective.
                 std::thread::sleep(std::time::Duration::from_millis(30));
                 panic!("injected worker death");
             }
-            let mut buf = vec![comm.rank() as f32; 64];
+            let mut buf = vec![comm.rank_id().as_usize() as f32; 64];
             comm.all_reduce(&mut buf, ReduceOp::Sum)
         });
         assert_eq!(result, Err(CommError::WorkerPanicked));
@@ -1221,37 +1598,32 @@ mod tests {
     }
 
     #[test]
-    fn surviving_ranks_observe_worker_panicked_error() {
-        // Same scenario, but capture the survivors' error values: at least
-        // one rank must see WorkerPanicked (the flag), and every survivor
-        // must see *some* structured error rather than a result.
+    fn surviving_ranks_observe_membership_changed_error() {
+        // Same scenario, but capture the survivors' error values: every
+        // survivor must see MembershipChanged naming the departed rank —
+        // the structured signal that reform() would succeed — rather than
+        // an opaque panic/disconnect error or a hang.
         let errors = std::sync::Mutex::new(Vec::new());
         let _ = ThreadGroup::try_run(3, |mut comm| {
-            if comm.rank() == 1 {
+            if comm.rank_id().as_usize() == 1 {
                 std::thread::sleep(std::time::Duration::from_millis(30));
                 panic!("injected worker death");
             }
-            let mut buf = vec![comm.rank() as f32; 64];
+            let mut buf = vec![comm.rank_id().as_usize() as f32; 64];
             let r = comm.all_reduce(&mut buf, ReduceOp::Sum);
-            errors.lock().unwrap().push((comm.rank(), r));
+            errors.lock().unwrap().push((comm.rank_id().as_usize(), r));
         });
         let errors = errors.into_inner().unwrap();
         assert_eq!(errors.len(), 2, "both survivors must finish");
         for (rank, r) in &errors {
-            assert!(
-                matches!(
-                    r,
-                    Err(CommError::WorkerPanicked) | Err(CommError::PeerDisconnected)
-                ),
-                "rank {rank} got {r:?}"
-            );
+            match r {
+                Err(CommError::MembershipChanged { epoch, departed }) => {
+                    assert_eq!(*epoch, 0, "death happened in the initial epoch");
+                    assert_eq!(departed, &vec![1], "rank {rank} misnamed the departed");
+                }
+                other => panic!("rank {rank} got {other:?}, expected MembershipChanged"),
+            }
         }
-        assert!(
-            errors
-                .iter()
-                .any(|(_, r)| matches!(r, Err(CommError::WorkerPanicked))),
-            "no survivor observed the panic flag: {errors:?}"
-        );
     }
 
     #[test]
@@ -1259,12 +1631,13 @@ mod tests {
         let p = 4;
         let inputs = random_inputs(p, 97, 123);
         let blocking = ThreadGroup::run(p, |mut comm| {
-            let mut buf = inputs[comm.rank()].clone();
+            let mut buf = inputs[comm.rank_id().as_usize()].clone();
             comm.all_reduce(&mut buf, ReduceOp::Mean).unwrap();
             buf
         });
         let dispatched = ThreadGroup::run(p, |mut comm| {
-            let pending = comm.all_reduce_start(inputs[comm.rank()].clone(), ReduceOp::Mean);
+            let pending =
+                comm.all_reduce_start(inputs[comm.rank_id().as_usize()].clone(), ReduceOp::Mean);
             pending.wait().unwrap().into_f32().unwrap()
         });
         for (a, b) in blocking.iter().zip(&dispatched) {
@@ -1279,7 +1652,7 @@ mod tests {
     fn multiple_in_flight_ops_complete_in_fifo_order() {
         let p = 3;
         let results = ThreadGroup::run(p, |mut comm| {
-            let r = comm.rank();
+            let r = comm.rank_id().as_usize();
             let ops = vec![
                 comm.dispatch(CollectiveOp::AllReduce {
                     buf: vec![r as f32; 5],
@@ -1308,7 +1681,8 @@ mod tests {
         // the dispatched ones rather than race them on the transport.
         let p = 4;
         let results = ThreadGroup::run(p, |mut comm| {
-            let pending = comm.all_reduce_start(vec![comm.rank() as f32; 8], ReduceOp::Max);
+            let pending =
+                comm.all_reduce_start(vec![comm.rank_id().as_usize() as f32; 8], ReduceOp::Max);
             let mut buf = vec![1.0f32; 4];
             comm.all_reduce(&mut buf, ReduceOp::Sum).unwrap();
             let first = pending.wait().unwrap().into_f32().unwrap();
@@ -1326,11 +1700,12 @@ mod tests {
         // structured error at `wait`, never a hang.
         let start = std::time::Instant::now();
         let result = ThreadGroup::try_run(3, |mut comm| {
-            if comm.rank() == 1 {
+            if comm.rank_id().as_usize() == 1 {
                 std::thread::sleep(std::time::Duration::from_millis(30));
                 panic!("injected worker death");
             }
-            let pending = comm.all_reduce_start(vec![comm.rank() as f32; 64], ReduceOp::Sum);
+            let pending =
+                comm.all_reduce_start(vec![comm.rank_id().as_usize() as f32; 64], ReduceOp::Sum);
             pending.wait().map(|_| ())
         });
         assert_eq!(result, Err(CommError::WorkerPanicked));
@@ -1354,9 +1729,9 @@ mod tests {
     fn cross_check_mode_is_transparent_when_schedules_align() {
         let p = 3;
         let results = ThreadGroup::try_run_with(p, VerifyMode::CrossCheck, |mut comm| {
-            let mut buf = vec![comm.rank() as f32; 16];
+            let mut buf = vec![comm.rank_id().as_usize() as f32; 16];
             comm.all_reduce(&mut buf, ReduceOp::Sum)?;
-            let gathered = comm.all_gather_u32(&[comm.rank() as u32])?;
+            let gathered = comm.all_gather_u32(&[comm.rank_id().as_usize() as u32])?;
             assert_eq!(gathered, vec![0, 1, 2]);
             comm.barrier()?;
             let snap = comm.schedule().expect("thread backend records schedules");
@@ -1402,8 +1777,8 @@ mod tests {
         // rather than the 30-second peer timeout.
         let start = std::time::Instant::now();
         let results = ThreadGroup::try_run_with(3, VerifyMode::CrossCheck, |mut comm| {
-            if comm.rank() != 1 {
-                let mut buf = vec![comm.rank() as f32; 64];
+            if comm.rank_id().as_usize() != 1 {
+                let mut buf = vec![comm.rank_id().as_usize() as f32; 64];
                 comm.all_reduce(&mut buf, ReduceOp::Sum)?;
             }
             comm.barrier()
@@ -1454,6 +1829,260 @@ mod tests {
         assert_eq!(results[0].entries.len(), 1);
     }
 
+    /// Integer-valued inputs: every partial sum is exactly representable,
+    /// so flat and hierarchical reduction orders must agree bit-for-bit.
+    fn integer_inputs(p: usize, len: usize, seed: u64) -> Vec<Vec<f32>> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        (0..p)
+            .map(|_| (0..len).map(|_| rng.gen_range(-8i32..=8) as f32).collect())
+            .collect()
+    }
+
+    #[test]
+    fn two_level_all_reduce_is_bit_exact_with_flat_ring() {
+        for (groups, group_size) in [(2usize, 2usize), (2, 4), (4, 2), (3, 3)] {
+            let p = groups * group_size;
+            for len in [1usize, 5, 64, 257] {
+                let inputs = integer_inputs(p, len, (p * 1000 + len) as u64);
+                let flat = ThreadGroup::run(p, |mut comm| {
+                    let mut buf = inputs[comm.rank_id().as_usize()].clone();
+                    comm.all_reduce(&mut buf, ReduceOp::Sum).unwrap();
+                    buf
+                });
+                let topo = Topology::two_level(groups, group_size).unwrap();
+                let hier = ThreadGroup::try_run_with_topology(topo, VerifyMode::default(), {
+                    let inputs = &inputs;
+                    move |mut comm| {
+                        let mut buf = inputs[comm.rank_id().as_usize()].clone();
+                        comm.all_reduce(&mut buf, ReduceOp::Sum).unwrap();
+                        buf
+                    }
+                })
+                .unwrap();
+                for (a, b) in flat.iter().zip(&hier) {
+                    assert_eq!(
+                        a.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                        b.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                        "{groups}x{group_size} len={len}: hierarchical differs from flat"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn two_level_mean_is_bit_exact_with_flat_ring() {
+        let (groups, group_size) = (2usize, 3usize);
+        let p = groups * group_size;
+        let inputs = integer_inputs(p, 48, 7);
+        let flat = ThreadGroup::run(p, |mut comm| {
+            let mut buf = inputs[comm.rank_id().as_usize()].clone();
+            comm.all_reduce(&mut buf, ReduceOp::Mean).unwrap();
+            buf
+        });
+        let topo = Topology::two_level(groups, group_size).unwrap();
+        let hier = ThreadGroup::try_run_with_topology(topo, VerifyMode::default(), {
+            let inputs = &inputs;
+            move |mut comm| {
+                let mut buf = inputs[comm.rank_id().as_usize()].clone();
+                comm.all_reduce(&mut buf, ReduceOp::Mean).unwrap();
+                buf
+            }
+        })
+        .unwrap();
+        for (a, b) in flat.iter().zip(&hier) {
+            assert_eq!(
+                a.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                b.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            );
+        }
+    }
+
+    #[test]
+    fn two_level_volume_matches_flat_ring_when_chunks_divide() {
+        // Table II extension: when s | N and G | N/s, the two-level
+        // per-rank volume 2(s-1)N/s + 2(G-1)N/(sG) collapses to the flat
+        // ring's 2(p-1)N/p — hierarchy costs nothing in bandwidth.
+        let (groups, group_size) = (2usize, 2usize);
+        let p = groups * group_size;
+        let n = 1024usize;
+        let flat_bytes = (2 * (p - 1) * n / p * 4) as u64;
+        let topo = Topology::two_level(groups, group_size).unwrap();
+        let results =
+            ThreadGroup::try_run_with_topology(topo, VerifyMode::default(), |mut comm| {
+                let mut buf = vec![1.0f32; n];
+                comm.all_reduce(&mut buf, ReduceOp::Sum).unwrap();
+                comm.bytes_sent()
+            })
+            .unwrap();
+        for bytes in results {
+            assert_eq!(bytes, flat_bytes);
+        }
+    }
+
+    #[test]
+    fn two_level_topology_is_recorded_as_schedule_op() {
+        // A two-level group records its topology as schedule op 0, so a
+        // flat and a hierarchical run of the same collectives can never
+        // digest-collide; flat groups record nothing, keeping old traces
+        // stable.
+        let flat = ThreadGroup::run(4, |mut comm| {
+            let mut buf = vec![comm.rank_id().as_usize() as f32; 8];
+            comm.all_reduce(&mut buf, ReduceOp::Sum).unwrap();
+            comm.schedule().expect("thread backend records schedules")
+        });
+        let topo = Topology::two_level(2, 2).unwrap();
+        let hier = ThreadGroup::try_run_with_topology(topo, VerifyMode::default(), |mut comm| {
+            assert_eq!(comm.topology(), Topology::two_level(2, 2).unwrap());
+            assert_eq!(comm.membership(), Membership::initial(4));
+            let mut buf = vec![comm.rank_id().as_usize() as f32; 8];
+            comm.all_reduce(&mut buf, ReduceOp::Sum).unwrap();
+            comm.schedule().expect("thread backend records schedules")
+        })
+        .unwrap();
+        assert_eq!(flat[0].seq, 1);
+        assert_eq!(hier[0].seq, 2, "topology op + all-reduce");
+        assert_ne!(flat[0].digest, hier[0].digest);
+        for snap in &hier[1..] {
+            assert_eq!(snap.digest, hier[0].digest);
+        }
+    }
+
+    #[test]
+    fn kill_then_reform_converges_bit_exact_with_fresh_group() {
+        // The elastic-membership loop: rank 1 of 3 dies mid all-reduce;
+        // the survivors observe MembershipChanged, reform to a 2-rank
+        // ring, re-run the collective and must agree bit-for-bit with a
+        // fresh 2-rank group over the same inputs.
+        let inputs = integer_inputs(3, 96, 42);
+        let survivors_fresh = ThreadGroup::run(2, {
+            let inputs = &inputs;
+            move |mut comm| {
+                // Fresh group of the survivors {0, 2}.
+                let phys = [0usize, 2][comm.rank_id().as_usize()];
+                let mut buf = inputs[phys].clone();
+                comm.all_reduce(&mut buf, ReduceOp::Sum).unwrap();
+                buf
+            }
+        });
+        let outputs = std::sync::Mutex::new(Vec::new());
+        let result = ThreadGroup::try_run(3, |mut comm| {
+            let phys = comm.rank_id().as_usize();
+            if phys == 1 {
+                std::thread::sleep(std::time::Duration::from_millis(30));
+                panic!("injected worker death");
+            }
+            let mut buf = inputs[phys].clone();
+            match comm.all_reduce(&mut buf, ReduceOp::Sum) {
+                Err(CommError::MembershipChanged { departed, .. }) => {
+                    assert_eq!(departed, vec![1]);
+                }
+                other => panic!("rank {phys} expected MembershipChanged, got {other:?}"),
+            }
+            let membership = comm.reform().expect("reform after departure");
+            assert_eq!(membership.epoch(), 1);
+            assert_eq!(membership.ranks(), &[0, 2]);
+            assert_eq!(comm.membership().world_size(), 2);
+            let mut buf = inputs[phys].clone();
+            comm.all_reduce(&mut buf, ReduceOp::Sum).unwrap();
+            let digest = comm.schedule().expect("schedule snapshot").digest;
+            outputs.lock().unwrap().push((phys, buf, digest));
+        });
+        // The overall run still reports the panic (rank 1's thread died).
+        assert_eq!(result, Err(CommError::WorkerPanicked));
+        let mut outputs = outputs.into_inner().unwrap();
+        outputs.sort_by_key(|(phys, _, _)| *phys);
+        assert_eq!(outputs.len(), 2, "both survivors must converge");
+        assert_eq!(
+            outputs[0].2, outputs[1].2,
+            "survivors disagree on the post-reform schedule digest"
+        );
+        for ((_, buf, _), fresh) in outputs.iter().zip(&survivors_fresh) {
+            assert_eq!(
+                buf.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                fresh.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "reformed group differs from a fresh group of the survivors"
+            );
+        }
+    }
+
+    #[test]
+    fn two_level_kill_then_reform_via_worker_dispatch() {
+        // 8 ranks in a 2x4 hierarchy, driven through the non-blocking
+        // worker path. Rank 5 dies before joining the collective; the
+        // seven survivors observe MembershipChanged at wait(), reform
+        // (which routes through the worker), and complete a flat 7-rank
+        // all-reduce over the survivors' contributions.
+        let inputs = integer_inputs(8, 40, 11);
+        let expected: Vec<f32> = (0..40)
+            .map(|i| {
+                (0..8)
+                    .filter(|&r| r != 5)
+                    .map(|r| inputs[r][i])
+                    .sum::<f32>()
+            })
+            .collect();
+        let outputs = std::sync::Mutex::new(Vec::new());
+        let topo = Topology::two_level(2, 4).unwrap();
+        let result = ThreadGroup::try_run_with_topology(topo, VerifyMode::default(), |mut comm| {
+            let phys = comm.rank_id().as_usize();
+            if phys == 5 {
+                std::thread::sleep(std::time::Duration::from_millis(30));
+                panic!("injected worker death");
+            }
+            let pending = comm.all_reduce_start(inputs[phys].clone(), ReduceOp::Sum);
+            match pending.wait() {
+                Err(CommError::MembershipChanged { departed, .. }) => {
+                    assert_eq!(departed, vec![5]);
+                }
+                other => panic!("rank {phys} expected MembershipChanged, got {other:?}"),
+            }
+            let membership = comm.reform().expect("reform after departure");
+            assert_eq!(membership.epoch(), 1);
+            assert_eq!(membership.world_size(), 7);
+            assert!(
+                comm.topology().is_flat(),
+                "reform falls back to a flat ring"
+            );
+            let out = comm
+                .all_reduce_start(inputs[phys].clone(), ReduceOp::Sum)
+                .wait()
+                .unwrap()
+                .into_f32()
+                .unwrap();
+            outputs.lock().unwrap().push((phys, out));
+            Ok::<_, CommError>(())
+        });
+        assert_eq!(result, Err(CommError::WorkerPanicked));
+        let outputs = outputs.into_inner().unwrap();
+        assert_eq!(outputs.len(), 7, "all seven survivors must converge");
+        for (phys, out) in &outputs {
+            assert_eq!(
+                out.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                expected.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "rank {phys} post-reform sum is wrong"
+            );
+        }
+    }
+
+    #[test]
+    fn reform_without_departures_is_idempotent() {
+        let results = ThreadGroup::run(3, |mut comm| {
+            let before = comm.schedule().map(|s| s.digest);
+            let membership = comm.reform().expect("reform with everyone alive");
+            assert_eq!(membership.epoch(), 0, "no departure, no epoch bump");
+            assert_eq!(membership.ranks(), &[0, 1, 2]);
+            let after = comm.schedule().map(|s| s.digest);
+            assert_eq!(before, after, "idempotent reform must not touch the digest");
+            let mut buf = vec![1.0f32; 8];
+            comm.all_reduce(&mut buf, ReduceOp::Sum).unwrap();
+            buf
+        });
+        for buf in results {
+            assert!(buf.iter().all(|&v| v == 3.0));
+        }
+    }
+
     #[test]
     fn telemetry_attached_after_worker_spawn_still_records() {
         use acp_telemetry::InMemoryRecorder;
@@ -1463,7 +2092,7 @@ mod tests {
             comm.all_reduce_start(vec![1.0; 16], ReduceOp::Sum)
                 .wait()
                 .unwrap();
-            comm.set_recorder(recs[comm.rank()].clone());
+            comm.set_recorder(recs[comm.rank_id().as_usize()].clone());
             comm.all_reduce_start(vec![1.0; 16], ReduceOp::Sum)
                 .wait()
                 .unwrap();

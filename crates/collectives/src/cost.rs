@@ -82,6 +82,12 @@ pub enum NetworkTier {
     /// latency is the syscall + TCP-stack cost, so it behaves like a very
     /// fast, very low-launch-cost Ethernet.
     Loopback,
+    /// Cross-site WAN links between data centers: respectable bandwidth
+    /// but millisecond-class per-message latency. This is the tier where
+    /// the flat ring's `2(p−1)·α` term collapses at large worlds and the
+    /// two-level schedule (cross-group traffic only on the WAN ring) wins
+    /// — the regime [`TwoLevelCost`] prices.
+    Wan,
 }
 
 impl NetworkTier {
@@ -103,6 +109,10 @@ impl NetworkTier {
             // syscalls + scheduler wakeup), negligible launch cost since
             // there is no device handshake.
             NetworkTier::Loopback => AlphaBetaCost::from_bandwidth_gbps(40.0, 5e-6, 5e-6),
+            // Inter-region fiber: ~5 Gb/s effective per flow, ~1.5 ms
+            // one-way latency (hundreds of km + routing), launch dominated
+            // by connection management.
+            NetworkTier::Wan => AlphaBetaCost::from_bandwidth_gbps(5.0, 1.5e-3, 100e-6),
         }
     }
 
@@ -113,6 +123,7 @@ impl NetworkTier {
             NetworkTier::TenGbE => "10GbE",
             NetworkTier::HundredGbIb => "100GbIB",
             NetworkTier::Loopback => "loopback",
+            NetworkTier::Wan => "WAN",
         }
     }
 }
@@ -248,6 +259,96 @@ impl ClusterCost {
         // Reduce to root then broadcast: 2 (p-1) sequential messages of the
         // full payload.
         self.cost.launch + 2.0 * (p - 1.0) * (self.cost.alpha + bytes as f64 * self.cost.beta)
+    }
+}
+
+/// Cost model for the two-level ring-of-rings all-reduce of
+/// [`crate::hierarchy`]: `G` groups of `s` ranks, intra-group traffic on
+/// one tier (e.g. intra-site 10 GbE) and cross-group traffic on another
+/// (e.g. WAN).
+///
+/// ```text
+/// T = launch + 2(s−1)·(α_i + n/s·β_i)                 intra RS + AG
+///            + 2(G−1)·α_c + 2(G−1)/G · n/s · β_c      cross all-reduce
+/// ```
+///
+/// The flat ring over the same `p = G·s` ranks pays `2(p−1)` latency terms
+/// on the *slow* tier; the hierarchy pays only `2(G−1)` there, which is
+/// why it wins at world ≥ 128 on WAN-class cross links (the
+/// `BENCH_hierarchy` experiment).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TwoLevelCost {
+    groups: usize,
+    group_size: usize,
+    intra: AlphaBetaCost,
+    cross: AlphaBetaCost,
+}
+
+impl TwoLevelCost {
+    /// Creates the hierarchical model for `topo` with per-tier parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `topo` covers zero ranks.
+    pub fn new(topo: crate::Topology, intra: AlphaBetaCost, cross: AlphaBetaCost) -> Self {
+        assert!(
+            topo.world_size() > 0,
+            "cluster must have at least one worker"
+        );
+        TwoLevelCost {
+            groups: topo.groups(),
+            group_size: topo.group_size(),
+            intra,
+            cross,
+        }
+    }
+
+    /// Convenience constructor from [`NetworkTier`] presets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `topo` covers zero ranks.
+    pub fn from_tiers(topo: crate::Topology, intra: NetworkTier, cross: NetworkTier) -> Self {
+        TwoLevelCost::new(topo, intra.cost(), cross.cost())
+    }
+
+    /// Total number of ranks `G·s`.
+    pub fn workers(&self) -> usize {
+        self.groups * self.group_size
+    }
+
+    /// Wall-clock seconds for the two-level all-reduce of `bytes` payload.
+    ///
+    /// Degenerate shapes collapse to the flat ring on the matching tier: a
+    /// single group is an intra-tier ring, groups of one an all-cross ring.
+    pub fn all_reduce_time(&self, bytes: usize) -> f64 {
+        let (g, s) = (self.groups as f64, self.group_size as f64);
+        if self.workers() == 1 {
+            return 0.0;
+        }
+        if self.groups == 1 {
+            return ClusterCost::with_cost(self.group_size, self.intra).all_reduce_time(bytes);
+        }
+        if self.group_size == 1 {
+            return ClusterCost::with_cost(self.groups, self.cross).all_reduce_time(bytes);
+        }
+        // Each intra step moves one of the s chunks: n/s bytes.
+        let chunk = bytes as f64 / s;
+        let intra = 2.0 * (s - 1.0) * (self.intra.alpha + chunk * self.intra.beta);
+        let cross =
+            2.0 * (g - 1.0) * self.cross.alpha + 2.0 * (g - 1.0) / g * chunk * self.cross.beta;
+        self.intra.launch.max(self.cross.launch) + intra + cross
+    }
+
+    /// Per-rank transmitted bytes: `2(s−1)/s·n` intra plus `2(G−1)/G·n/s`
+    /// cross — the hierarchy moves strictly less on the slow tier than the
+    /// flat ring's `2(p−1)/p·n`.
+    pub fn cross_volume(&self, bytes: usize) -> f64 {
+        let g = self.groups as f64;
+        if self.groups == 1 {
+            return 0.0;
+        }
+        2.0 * (g - 1.0) / g * bytes as f64 / self.group_size as f64
     }
 }
 
@@ -407,6 +508,61 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn zero_workers_panics() {
         ClusterCost::new(0, NetworkTier::TenGbE);
+    }
+
+    #[test]
+    fn two_level_beats_flat_ring_on_wan_at_scale() {
+        // The BENCH_hierarchy claim in miniature: with WAN-class α on the
+        // cross links, a flat ring pays 2(p−1) WAN latencies while the
+        // hierarchy pays 2(G−1) — at world ≥ 128 that must dominate.
+        let n = 100 * MB;
+        for world in [128usize, 512, 1024] {
+            let groups = world / 8;
+            let topo = crate::Topology::grouped(world, groups).unwrap();
+            let hier = TwoLevelCost::from_tiers(topo, NetworkTier::TenGbE, NetworkTier::Wan);
+            let flat = ClusterCost::new(world, NetworkTier::Wan);
+            assert!(
+                hier.all_reduce_time(n) < flat.all_reduce_time(n),
+                "world {world}: hier {} vs flat {}",
+                hier.all_reduce_time(n),
+                flat.all_reduce_time(n)
+            );
+        }
+    }
+
+    #[test]
+    fn two_level_degenerates_to_flat_ring() {
+        let n = 10 * MB;
+        let flat = ClusterCost::new(8, NetworkTier::TenGbE).all_reduce_time(n);
+        let one_group = TwoLevelCost::from_tiers(
+            crate::Topology::flat(8),
+            NetworkTier::TenGbE,
+            NetworkTier::Wan,
+        );
+        assert!((one_group.all_reduce_time(n) - flat).abs() < 1e-12);
+        let singleton_groups = TwoLevelCost::from_tiers(
+            crate::Topology::grouped(8, 8).unwrap(),
+            NetworkTier::TenGbE,
+            NetworkTier::TenGbE,
+        );
+        assert!((singleton_groups.all_reduce_time(n) - flat).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cross_volume_shrinks_with_group_size() {
+        let n = 100 * MB;
+        let topo = crate::Topology::grouped(64, 8).unwrap();
+        let hier = TwoLevelCost::from_tiers(topo, NetworkTier::TenGbE, NetworkTier::Wan);
+        let flat_volume = ClusterCost::new(64, NetworkTier::Wan).all_reduce_volume(n);
+        assert!(hier.cross_volume(n) < flat_volume / 4.0);
+    }
+
+    #[test]
+    fn wan_tier_is_latency_bound() {
+        let wan = NetworkTier::Wan.cost();
+        let ten = NetworkTier::TenGbE.cost();
+        assert!(wan.alpha > 100.0 * ten.alpha);
+        assert_eq!(NetworkTier::Wan.label(), "WAN");
     }
 
     #[test]

@@ -27,7 +27,7 @@
 //!
 //! // Four workers each contribute their rank; all-reduce sums them.
 //! let results = ThreadGroup::run(4, |mut comm| {
-//!     let mut buf = vec![comm.rank() as f32; 3];
+//!     let mut buf = vec![comm.rank_id().as_usize() as f32; 3];
 //!     comm.all_reduce(&mut buf, ReduceOp::Sum).unwrap();
 //!     buf
 //! });
@@ -40,16 +40,18 @@
 
 pub mod communicator;
 pub mod cost;
+pub mod hierarchy;
 pub mod nonblocking;
 pub mod ring;
 pub mod schedule;
+pub mod topology;
 
 #[allow(deprecated)]
 pub use communicator::CollectiveError;
 pub use communicator::{
     CommError, Communicator, LocalCommunicator, ReduceOp, ThreadCommunicator, ThreadGroup,
 };
-pub use cost::{AlphaBetaCost, ClusterCost, NetworkTier};
+pub use cost::{AlphaBetaCost, ClusterCost, NetworkTier, TwoLevelCost};
 pub use nonblocking::{
     wait_all, CollectiveOp, CollectiveResult, CommWorker, PendingOp, TopkMode, WorkerTransport,
 };
@@ -57,3 +59,4 @@ pub use ring::{Transport, WireMsg};
 pub use schedule::{
     OpKind, ScheduleEntry, SchedulePoint, ScheduleSnapshot, ScheduleTag, ScheduleTracer, VerifyMode,
 };
+pub use topology::{GroupId, Membership, RankId, Topology, TopologyBuilder, TopologyError};

@@ -26,6 +26,7 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use crate::communicator::{CommError, Communicator, ReduceOp};
 use crate::ring::{self, Transport};
 use crate::schedule::{OpKind, ScheduleTracer};
+use crate::topology::{Membership, Topology};
 
 /// One collective operation, with its input payload moved in.
 ///
@@ -317,6 +318,34 @@ pub trait WorkerTransport: Transport + Send {
         TopkMode::Butterfly
     }
 
+    /// The rank arrangement collectives are scheduled over. All-reduce
+    /// runs the two-level ring-of-rings of [`crate::hierarchy`] when this
+    /// is [`Topology::TwoLevel`]; the default is the flat ring.
+    fn topology(&self) -> Topology {
+        Topology::flat(self.world_size())
+    }
+
+    /// The current membership (epoch + surviving physical ranks). The
+    /// default reports the static launch membership.
+    fn membership(&self) -> Membership {
+        Membership::initial(self.world_size())
+    }
+
+    /// Rebuilds the group from the surviving ranks after a peer departure:
+    /// re-detects who is alive, re-derives ring/virtual ranks, bumps the
+    /// membership epoch, folds the new membership into the schedule digest
+    /// and cross-checks digest agreement among survivors. Collective —
+    /// every survivor must call it at the same schedule position.
+    ///
+    /// # Errors
+    ///
+    /// The default implementation reports that the backend is not elastic.
+    fn reform(&mut self) -> Result<Membership, CommError> {
+        Err(CommError::Io(
+            "this transport does not support membership reform".to_string(),
+        ))
+    }
+
     /// The transport's collective-schedule tracer, if it records one (see
     /// [`crate::schedule`]). [`execute_collective`] advances it once per
     /// collective; transports with a tracer should also tag/verify wire
@@ -403,7 +432,17 @@ pub fn execute_collective<T: WorkerTransport + ?Sized>(
             keys::COMM_ALL_REDUCE_US,
             keys::COMM_ALL_REDUCE_BYTES,
             4 * buf.len() as u64,
-            ring::all_reduce(t, &mut buf, op).map(|()| CollectiveResult::F32(buf)),
+            {
+                // Topology-aware dispatch: two-level arrangements run the
+                // ring-of-rings schedule, flat ones the classic ring.
+                let topo = t.topology();
+                if topo.is_flat() {
+                    ring::all_reduce(t, &mut buf, op)
+                } else {
+                    crate::hierarchy::all_reduce_two_level(t, topo, &mut buf, op)
+                }
+            }
+            .map(|()| CollectiveResult::F32(buf)),
         ),
         CollectiveOp::AllReduceRd { mut buf, op } => (
             "all_reduce_rd",
@@ -504,6 +543,9 @@ enum WorkerMsg {
         reply: Sender<Result<CollectiveResult, CommError>>,
     },
     SetRecorder(RecorderHandle),
+    Reform {
+        reply: Sender<Result<Membership, CommError>>,
+    },
 }
 
 /// Handle to a per-rank comm worker thread that owns a transport and
@@ -539,6 +581,9 @@ impl CommWorker {
                             let _ = reply.send(result);
                         }
                         WorkerMsg::SetRecorder(recorder) => transport.set_recorder(recorder),
+                        WorkerMsg::Reform { reply } => {
+                            let _ = reply.send(transport.reform());
+                        }
                     }
                 }
             })
@@ -561,5 +606,25 @@ impl CommWorker {
     /// operations already in its queue, like any other submission).
     pub fn set_recorder(&self, recorder: RecorderHandle) {
         let _ = self.tx.send(WorkerMsg::SetRecorder(recorder));
+    }
+
+    /// Asks the worker to reform the group from the surviving ranks (see
+    /// [`WorkerTransport::reform`]). FIFO with submitted collectives, so
+    /// every operation enqueued before the reform still runs (or fails)
+    /// against the old membership.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the transport's reform error; a dead worker surfaces as
+    /// [`CommError::WorkerPanicked`].
+    pub fn reform(&self) -> Result<Membership, CommError> {
+        let (reply, rx) = unbounded();
+        if self.tx.send(WorkerMsg::Reform { reply }).is_err() {
+            return Err(CommError::WorkerPanicked);
+        }
+        // Reform re-establishes links with bounded dials/accepts; the cap
+        // only guards a wedged worker.
+        rx.recv_timeout(std::time::Duration::from_secs(120))
+            .unwrap_or(Err(CommError::WorkerPanicked))
     }
 }

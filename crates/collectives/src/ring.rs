@@ -114,7 +114,7 @@ fn expect_u32(msg: WireMsg, expected: usize) -> Result<Vec<u32>, CommError> {
     }
 }
 
-fn recv_f32<T: Transport + ?Sized>(
+pub(crate) fn recv_f32<T: Transport + ?Sized>(
     t: &mut T,
     src: usize,
     expected: usize,
@@ -134,13 +134,13 @@ fn recv_u32<T: Transport + ?Sized>(
 
 /// Chunk boundaries for splitting `len` elements into `world_size` nearly
 /// equal contiguous ranges.
-fn chunk_range(len: usize, chunk: usize, world_size: usize) -> std::ops::Range<usize> {
+pub(crate) fn chunk_range(len: usize, chunk: usize, world_size: usize) -> std::ops::Range<usize> {
     let start = chunk * len / world_size;
     let end = (chunk + 1) * len / world_size;
     start..end
 }
 
-fn reduce_into(dst: &mut [f32], src: &[f32], op: ReduceOp) {
+pub(crate) fn reduce_into(dst: &mut [f32], src: &[f32], op: ReduceOp) {
     match op {
         ReduceOp::Sum | ReduceOp::Mean => {
             for (d, s) in dst.iter_mut().zip(src) {

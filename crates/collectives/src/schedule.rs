@@ -96,6 +96,20 @@ pub enum OpKind {
     SendRecv,
     /// Barrier.
     Barrier,
+    /// Topology declaration (parameter = [`Topology::fingerprint`]): a
+    /// two-level group records its arrangement as schedule op 0, so a flat
+    /// and a hierarchical schedule over the same collectives can never
+    /// digest-collide. Flat groups record nothing (the flat ring is the
+    /// implicit default), keeping existing flat traces stable.
+    ///
+    /// [`Topology::fingerprint`]: crate::Topology::fingerprint
+    Topology,
+    /// Membership reform (words = survivor count, parameter =
+    /// [`membership_param`]): recorded by `reform()` so the re-derived
+    /// schedule digest provably agrees across survivors — and stays
+    /// replayable by `acp-verify check-trace`, which recomputes the chain
+    /// from op fingerprints.
+    Reform,
 }
 
 impl OpKind {
@@ -110,6 +124,8 @@ impl OpKind {
             OpKind::GlobalTopk => 6,
             OpKind::SendRecv => 7,
             OpKind::Barrier => 8,
+            OpKind::Topology => 9,
+            OpKind::Reform => 10,
         }
     }
 
@@ -125,6 +141,8 @@ impl OpKind {
             6 => OpKind::GlobalTopk,
             7 => OpKind::SendRecv,
             8 => OpKind::Barrier,
+            9 => OpKind::Topology,
+            10 => OpKind::Reform,
             _ => return None,
         })
     }
@@ -141,6 +159,8 @@ impl fmt::Display for OpKind {
             OpKind::GlobalTopk => "global_topk",
             OpKind::SendRecv => "send_recv",
             OpKind::Barrier => "barrier",
+            OpKind::Topology => "topology",
+            OpKind::Reform => "reform",
         };
         f.write_str(name)
     }
@@ -239,7 +259,29 @@ pub struct ScheduleCell {
     log: Mutex<Vec<ScheduleEntry>>,
 }
 
+/// Domain separator of [`membership_param`] fingerprints.
+const FOLD_MEMBERSHIP: u8 = 0xA2;
+
+/// Fingerprint parameter of an [`OpKind::Reform`] schedule op: folds the
+/// new epoch and the sorted surviving physical ranks. Two survivors fold
+/// the same parameter exactly when they agree on *who* survived and how
+/// many times the group has re-formed — so the post-reform digests agree
+/// iff the memberships do.
+pub fn membership_param(epoch: u64, survivors: &[usize]) -> u64 {
+    let mut h = fnv1a(FNV_OFFSET, &[FOLD_MEMBERSHIP]);
+    h = fnv1a(h, &epoch.to_le_bytes());
+    for &r in survivors {
+        h = fnv1a(h, &(r as u64).to_le_bytes());
+    }
+    h
+}
+
 impl ScheduleCell {
+    /// The current rolling digest.
+    pub fn digest(&self) -> u64 {
+        self.digest.load(Ordering::SeqCst)
+    }
+
     /// A point-in-time copy of the recorded schedule. `full` selects the
     /// complete log (cross-check mode) over the bounded window.
     pub fn snapshot(&self, full: bool) -> ScheduleSnapshot {
@@ -298,6 +340,11 @@ impl ScheduleTracer {
     /// The configured verification mode.
     pub fn mode(&self) -> VerifyMode {
         self.mode
+    }
+
+    /// The rolling digest after the most recently recorded op.
+    pub fn digest(&self) -> u64 {
+        self.cell.digest()
     }
 
     /// Records the start of one collective: assigns it the next sequence

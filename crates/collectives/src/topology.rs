@@ -1,0 +1,612 @@
+//! Topology and membership: which ranks exist and how they are arranged.
+//!
+//! The paper's testbed is a flat 8–32-GPU ring, and until this module the
+//! whole stack hard-wired that assumption: ranks were bare `usize`s and the
+//! only schedule was one ring over `0..world`. Pricing worlds of 128–1024
+//! ranks (ROADMAP north star) needs the NCCL-style two-level schedule —
+//! reduce-scatter inside a group, cross-group all-reduce of the owned
+//! chunks, all-gather back out — which trades `2(p−1)` latency terms on the
+//! slow links for `2(G−1)` cross-group plus `2(s−1)` intra-group ones.
+//!
+//! This module owns the vocabulary for that:
+//!
+//! * [`RankId`] / [`GroupId`] — newtypes so rank arithmetic cannot be
+//!   silently mixed with element counts (a `cargo xtask lint` rule bans raw
+//!   `usize` rank arithmetic outside this crate);
+//! * [`Topology`] — flat ring vs. [`Topology::TwoLevel`], with a builder
+//!   and a validated `groups × group_size` factorization;
+//! * [`Membership`] — the *elastic* part: an epoch plus the sorted physical
+//!   ranks still present. When a rank dies mid-collective the communicator
+//!   surfaces [`CommError::MembershipChanged`](crate::CommError::MembershipChanged)
+//!   and `reform()` rebuilds the ring from the survivors, bumping the epoch
+//!   and folding the new membership into the schedule digest so re-formed
+//!   schedules provably agree (see `DESIGN.md` §"Topology & membership").
+
+use std::fmt;
+
+/// A rank's identity within a group, distinct from buffer lengths and
+/// other `usize`s by construction.
+///
+/// After a [`Membership`] reform this is the *virtual* rank — the position
+/// in the surviving ring — which may differ from the physical rank the
+/// process was launched with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RankId(pub usize);
+
+impl RankId {
+    /// The underlying index, for interop with APIs that still take `usize`.
+    pub fn as_usize(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for RankId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rank{}", self.0)
+    }
+}
+
+impl From<usize> for RankId {
+    fn from(r: usize) -> Self {
+        RankId(r)
+    }
+}
+
+/// A group's identity within a [`Topology::TwoLevel`] arrangement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GroupId(pub usize);
+
+impl GroupId {
+    /// The underlying index.
+    pub fn as_usize(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for GroupId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "group{}", self.0)
+    }
+}
+
+impl From<usize> for GroupId {
+    fn from(g: usize) -> Self {
+        GroupId(g)
+    }
+}
+
+/// How the ranks of a group are arranged for collective scheduling.
+///
+/// Construct with [`Topology::flat`], [`Topology::two_level`],
+/// [`Topology::grouped`] or the [`builder`](Topology::builder).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Topology {
+    /// One ring over all ranks — the paper's testbed layout.
+    Flat {
+        /// Number of ranks.
+        world: usize,
+    },
+    /// `groups` rings of `group_size` ranks each, reduced hierarchically:
+    /// intra-group reduce-scatter, cross-group all-reduce of the owned
+    /// chunk, intra-group all-gather. Rank `r` belongs to group
+    /// `r / group_size` at position `r % group_size`.
+    TwoLevel {
+        /// Number of groups (the outer ring).
+        groups: usize,
+        /// Ranks per group (the inner rings).
+        group_size: usize,
+    },
+}
+
+impl Topology {
+    /// A flat ring over `world` ranks.
+    pub fn flat(world: usize) -> Topology {
+        Topology::Flat { world }
+    }
+
+    /// A validated two-level arrangement of `groups × group_size` ranks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::EmptyGroup`] when either factor is zero.
+    pub fn two_level(groups: usize, group_size: usize) -> Result<Topology, TopologyError> {
+        if groups == 0 || group_size == 0 {
+            return Err(TopologyError::EmptyGroup { groups, group_size });
+        }
+        Ok(if groups == 1 {
+            // One group of everything *is* a flat ring; normalizing here
+            // keeps fingerprints and dispatch canonical.
+            Topology::Flat { world: group_size }
+        } else {
+            Topology::TwoLevel { groups, group_size }
+        })
+    }
+
+    /// Splits `world` ranks into `groups` equal groups.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::IndivisibleWorld`] when `world` is not a
+    /// multiple of `groups`, or [`TopologyError::EmptyGroup`] on zeroes.
+    pub fn grouped(world: usize, groups: usize) -> Result<Topology, TopologyError> {
+        if groups == 0 || world == 0 {
+            return Err(TopologyError::EmptyGroup {
+                groups,
+                group_size: world,
+            });
+        }
+        if !world.is_multiple_of(groups) {
+            return Err(TopologyError::IndivisibleWorld { world, groups });
+        }
+        Topology::two_level(groups, world / groups)
+    }
+
+    /// A builder in the style of the crate's config builders.
+    pub fn builder() -> TopologyBuilder {
+        TopologyBuilder::default()
+    }
+
+    /// Total number of ranks.
+    pub fn world_size(&self) -> usize {
+        match *self {
+            Topology::Flat { world } => world,
+            Topology::TwoLevel { groups, group_size } => groups * group_size,
+        }
+    }
+
+    /// Number of groups (1 for a flat ring).
+    pub fn groups(&self) -> usize {
+        match *self {
+            Topology::Flat { .. } => 1,
+            Topology::TwoLevel { groups, .. } => groups,
+        }
+    }
+
+    /// Ranks per group (the whole world for a flat ring).
+    pub fn group_size(&self) -> usize {
+        match *self {
+            Topology::Flat { world } => world,
+            Topology::TwoLevel { group_size, .. } => group_size,
+        }
+    }
+
+    /// Whether this is a single flat ring.
+    pub fn is_flat(&self) -> bool {
+        matches!(self, Topology::Flat { .. })
+    }
+
+    /// The group containing `rank`.
+    pub fn group_of(&self, rank: RankId) -> GroupId {
+        GroupId(rank.0 / self.group_size())
+    }
+
+    /// `rank`'s position within its group's inner ring.
+    pub fn position_in_group(&self, rank: RankId) -> usize {
+        rank.0 % self.group_size()
+    }
+
+    /// The rank at `position` within `group`.
+    pub fn rank_at(&self, group: GroupId, position: usize) -> RankId {
+        RankId(group.0 * self.group_size() + position)
+    }
+
+    /// A stable fingerprint of the arrangement, folded into schedule
+    /// digests so a flat and a two-level schedule over the same world can
+    /// never be confused by the verifier.
+    pub fn fingerprint(&self) -> u64 {
+        match *self {
+            Topology::Flat { world } => 0x01u64 ^ (world as u64) << 8,
+            Topology::TwoLevel { groups, group_size } => {
+                0x02u64 ^ (groups as u64) << 8 ^ (group_size as u64) << 32
+            }
+        }
+    }
+
+    /// Parses a launcher group spec for `world` ranks: either a group
+    /// count (`"2"`) or an explicit `groups x group_size` factorization
+    /// (`"2x4"`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a structured [`TopologyError`] (never panics) when the spec
+    /// is malformed or inconsistent with `world`.
+    pub fn parse_spec(world: usize, spec: &str) -> Result<Topology, TopologyError> {
+        let bad = || TopologyError::BadSpec {
+            spec: spec.to_string(),
+        };
+        let spec = spec.trim();
+        if let Some((g, s)) = spec.split_once(['x', 'X']) {
+            let groups: usize = g.trim().parse().map_err(|_| bad())?;
+            let group_size: usize = s.trim().parse().map_err(|_| bad())?;
+            if groups == 0 || group_size == 0 {
+                return Err(TopologyError::EmptyGroup { groups, group_size });
+            }
+            if groups * group_size != world {
+                return Err(TopologyError::WorldMismatch {
+                    world,
+                    groups,
+                    group_size,
+                });
+            }
+            Topology::two_level(groups, group_size)
+        } else {
+            let groups: usize = spec.parse().map_err(|_| bad())?;
+            Topology::grouped(world, groups)
+        }
+    }
+}
+
+impl fmt::Display for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Topology::Flat { world } => write!(f, "flat ring of {world}"),
+            Topology::TwoLevel { groups, group_size } => {
+                write!(f, "{groups} groups \u{d7} {group_size} ranks")
+            }
+        }
+    }
+}
+
+/// Builder for [`Topology`], consistent with the crate's config builders.
+///
+/// ```
+/// use acp_collectives::Topology;
+///
+/// let topo = Topology::builder().world(8).groups(2).build().unwrap();
+/// assert_eq!(topo.groups(), 2);
+/// assert_eq!(topo.group_size(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TopologyBuilder {
+    world: Option<usize>,
+    groups: Option<usize>,
+    group_size: Option<usize>,
+}
+
+impl TopologyBuilder {
+    /// Sets the total number of ranks.
+    pub fn world(mut self, world: usize) -> Self {
+        self.world = Some(world);
+        self
+    }
+
+    /// Sets the number of groups.
+    pub fn groups(mut self, groups: usize) -> Self {
+        self.groups = Some(groups);
+        self
+    }
+
+    /// Sets the ranks-per-group factor.
+    pub fn group_size(mut self, group_size: usize) -> Self {
+        self.group_size = Some(group_size);
+        self
+    }
+
+    /// Builds the topology, deriving the missing factor where possible.
+    ///
+    /// # Errors
+    ///
+    /// Returns a structured [`TopologyError`] on inconsistent or
+    /// under-specified factors.
+    pub fn build(self) -> Result<Topology, TopologyError> {
+        match (self.world, self.groups, self.group_size) {
+            (Some(w), None, None) => {
+                if w == 0 {
+                    return Err(TopologyError::EmptyGroup {
+                        groups: 1,
+                        group_size: 0,
+                    });
+                }
+                Ok(Topology::flat(w))
+            }
+            (Some(w), Some(g), None) => Topology::grouped(w, g),
+            (Some(w), None, Some(s)) => {
+                if s == 0 {
+                    return Err(TopologyError::EmptyGroup {
+                        groups: 0,
+                        group_size: s,
+                    });
+                }
+                if w % s != 0 {
+                    return Err(TopologyError::IndivisibleWorld {
+                        world: w,
+                        groups: s,
+                    });
+                }
+                Topology::two_level(w / s, s)
+            }
+            (world, Some(g), Some(s)) => {
+                if let Some(w) = world {
+                    if g * s != w {
+                        return Err(TopologyError::WorldMismatch {
+                            world: w,
+                            groups: g,
+                            group_size: s,
+                        });
+                    }
+                }
+                Topology::two_level(g, s)
+            }
+            (None, _, _) => Err(TopologyError::MissingWorld),
+        }
+    }
+}
+
+/// Why a [`Topology`] could not be constructed. Structured (not a panic)
+/// so launchers can report inconsistent group specs to the operator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// A zero group count or group size.
+    EmptyGroup {
+        /// Requested group count.
+        groups: usize,
+        /// Requested group size.
+        group_size: usize,
+    },
+    /// `world` ranks cannot be split into `groups` equal groups.
+    IndivisibleWorld {
+        /// Total ranks.
+        world: usize,
+        /// Requested group count.
+        groups: usize,
+    },
+    /// An explicit `groups × group_size` that disagrees with the world.
+    WorldMismatch {
+        /// Total ranks.
+        world: usize,
+        /// Requested group count.
+        groups: usize,
+        /// Requested group size.
+        group_size: usize,
+    },
+    /// The builder was not told the world size (nor both factors).
+    MissingWorld,
+    /// An unparseable group spec string.
+    BadSpec {
+        /// The offending spec.
+        spec: String,
+    },
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::EmptyGroup { groups, group_size } => write!(
+                f,
+                "topology must have at least one group and one rank per group \
+                 (got {groups} groups \u{d7} {group_size})"
+            ),
+            TopologyError::IndivisibleWorld { world, groups } => write!(
+                f,
+                "world size {world} is not divisible into {groups} equal groups"
+            ),
+            TopologyError::WorldMismatch {
+                world,
+                groups,
+                group_size,
+            } => write!(
+                f,
+                "group spec {groups}x{group_size} covers {} ranks but the world has {world}",
+                groups * group_size
+            ),
+            TopologyError::MissingWorld => {
+                f.write_str("topology builder needs a world size or both group factors")
+            }
+            TopologyError::BadSpec { spec } => {
+                write!(f, "unparseable group spec {spec:?} (expected N or NxM)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+/// The set of physical ranks currently participating, plus the reform
+/// epoch. Epoch 0 is the launch membership `0..world`; every successful
+/// `reform()` removes the departed ranks and bumps the epoch.
+///
+/// Virtual rank (ring position) is the index into [`ranks`](Membership::ranks);
+/// physical rank is the identity a process was launched with. They
+/// coincide until the first reform.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Membership {
+    epoch: u64,
+    ranks: Vec<usize>,
+}
+
+impl Membership {
+    /// The launch membership: epoch 0, ranks `0..world`.
+    pub fn initial(world: usize) -> Membership {
+        Membership {
+            epoch: 0,
+            ranks: (0..world).collect(),
+        }
+    }
+
+    /// A membership from an explicit epoch and rank set (sorted and
+    /// deduplicated) — for transports reconstructing state after a reform.
+    pub fn from_parts(epoch: u64, mut ranks: Vec<usize>) -> Membership {
+        ranks.sort_unstable();
+        ranks.dedup();
+        Membership { epoch, ranks }
+    }
+
+    /// Reform epoch: how many times the group has re-formed.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The physical ranks still present, sorted ascending.
+    pub fn ranks(&self) -> &[usize] {
+        &self.ranks
+    }
+
+    /// Number of surviving ranks.
+    pub fn world_size(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// Whether `physical` is still a member.
+    pub fn contains(&self, physical: usize) -> bool {
+        self.ranks.binary_search(&physical).is_ok()
+    }
+
+    /// The virtual (ring) rank of a physical rank, if still present.
+    pub fn virtual_rank_of(&self, physical: usize) -> Option<RankId> {
+        self.ranks.binary_search(&physical).ok().map(RankId)
+    }
+
+    /// The physical rank at virtual position `virt`, if in range.
+    pub fn physical_rank_of(&self, virt: RankId) -> Option<usize> {
+        self.ranks.get(virt.0).copied()
+    }
+
+    /// The membership after `departed` leave: survivors only, epoch + 1.
+    pub fn without(&self, departed: &[usize]) -> Membership {
+        Membership {
+            epoch: self.epoch + 1,
+            ranks: self
+                .ranks
+                .iter()
+                .copied()
+                .filter(|r| !departed.contains(r))
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Display for Membership {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "epoch {} with {} ranks {:?}",
+            self.epoch,
+            self.ranks.len(),
+            self.ranks
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_topology_has_one_group() {
+        let t = Topology::flat(8);
+        assert_eq!(t.world_size(), 8);
+        assert_eq!(t.groups(), 1);
+        assert_eq!(t.group_size(), 8);
+        assert!(t.is_flat());
+        assert_eq!(t.group_of(RankId(5)), GroupId(0));
+    }
+
+    #[test]
+    fn two_level_index_math_round_trips() {
+        let t = Topology::two_level(2, 4).unwrap();
+        assert_eq!(t.world_size(), 8);
+        for r in 0..8 {
+            let rank = RankId(r);
+            let g = t.group_of(rank);
+            let j = t.position_in_group(rank);
+            assert_eq!(t.rank_at(g, j), rank);
+        }
+        assert_eq!(t.group_of(RankId(5)), GroupId(1));
+        assert_eq!(t.position_in_group(RankId(5)), 1);
+    }
+
+    #[test]
+    fn one_group_normalizes_to_flat() {
+        assert!(Topology::two_level(1, 4).unwrap().is_flat());
+        assert!(Topology::grouped(4, 1).unwrap().is_flat());
+    }
+
+    #[test]
+    fn grouped_rejects_indivisible_world() {
+        assert_eq!(
+            Topology::grouped(7, 2),
+            Err(TopologyError::IndivisibleWorld {
+                world: 7,
+                groups: 2
+            })
+        );
+        assert!(Topology::grouped(0, 2).is_err());
+        assert!(Topology::two_level(2, 0).is_err());
+    }
+
+    #[test]
+    fn builder_derives_missing_factor() {
+        let t = Topology::builder().world(8).groups(2).build().unwrap();
+        assert_eq!(t, Topology::two_level(2, 4).unwrap());
+        let t = Topology::builder().world(8).group_size(2).build().unwrap();
+        assert_eq!(t, Topology::two_level(4, 2).unwrap());
+        let t = Topology::builder().groups(3).group_size(2).build().unwrap();
+        assert_eq!(t.world_size(), 6);
+        assert!(Topology::builder().build().is_err());
+        assert!(Topology::builder()
+            .world(9)
+            .groups(2)
+            .group_size(4)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn spec_parsing_accepts_count_and_factorization() {
+        assert_eq!(
+            Topology::parse_spec(8, "2").unwrap(),
+            Topology::two_level(2, 4).unwrap()
+        );
+        assert_eq!(
+            Topology::parse_spec(8, "2x4").unwrap(),
+            Topology::two_level(2, 4).unwrap()
+        );
+        assert_eq!(
+            Topology::parse_spec(8, "4X2").unwrap(),
+            Topology::two_level(4, 2).unwrap()
+        );
+        assert!(matches!(
+            Topology::parse_spec(8, "3x2"),
+            Err(TopologyError::WorldMismatch { .. })
+        ));
+        assert!(matches!(
+            Topology::parse_spec(8, "nope"),
+            Err(TopologyError::BadSpec { .. })
+        ));
+        assert!(Topology::parse_spec(8, "3").is_err());
+    }
+
+    #[test]
+    fn fingerprints_distinguish_arrangements() {
+        let flat = Topology::flat(8).fingerprint();
+        let two = Topology::two_level(2, 4).unwrap().fingerprint();
+        let four = Topology::two_level(4, 2).unwrap().fingerprint();
+        assert_ne!(flat, two);
+        assert_ne!(two, four);
+        assert_ne!(flat, Topology::flat(9).fingerprint());
+    }
+
+    #[test]
+    fn membership_reform_removes_departed_and_bumps_epoch() {
+        let m = Membership::initial(4);
+        assert_eq!(m.epoch(), 0);
+        assert_eq!(m.ranks(), &[0, 1, 2, 3]);
+        let m2 = m.without(&[2]);
+        assert_eq!(m2.epoch(), 1);
+        assert_eq!(m2.ranks(), &[0, 1, 3]);
+        assert!(!m2.contains(2));
+        assert_eq!(m2.virtual_rank_of(3), Some(RankId(2)));
+        assert_eq!(m2.physical_rank_of(RankId(2)), Some(3));
+        assert_eq!(m2.virtual_rank_of(2), None);
+    }
+
+    #[test]
+    fn display_formats_are_stable() {
+        assert_eq!(RankId(3).to_string(), "rank3");
+        assert_eq!(GroupId(1).to_string(), "group1");
+        assert!(Topology::two_level(2, 4)
+            .unwrap()
+            .to_string()
+            .contains("2 groups"));
+    }
+}

@@ -333,6 +333,13 @@ impl DistributedOptimizer for AcpSgdAggregator {
         self.codec.buckets.clear();
     }
 
+    fn on_membership_change(&mut self) {
+        // Same reasoning as `set_buffer_bytes`: the re-plan invalidates
+        // bucket-indexed codec state along with the bucket plan.
+        self.pipeline.replan();
+        self.codec.buckets.clear();
+    }
+
     fn aggregate(
         &mut self,
         grads: &mut [GradViewMut<'_>],
@@ -445,7 +452,7 @@ mod tests {
     fn all_ranks_receive_identical_gradients() {
         let results = ThreadGroup::run(4, |mut comm| {
             let mut opt = AcpSgdAggregator::new(AcpSgdConfig::default());
-            let r = comm.rank() as f32 + 1.0;
+            let r = comm.rank_id().as_usize() as f32 + 1.0;
             let mut w: Vec<f32> = (0..30).map(|i| (i as f32).sin() * r).collect();
             let mut bias = vec![r; 5];
             let dw = [5usize, 6];
@@ -555,7 +562,7 @@ mod tests {
             let mut outputs = Vec::new();
             for step in 0..3 {
                 assert_eq!(opt.in_warm_start(), step < 2);
-                let mut g = vec![comm.rank() as f32 + step as f32; 9];
+                let mut g = vec![comm.rank_id().as_usize() as f32 + step as f32; 9];
                 let mut views = [GradViewMut {
                     dims: &dims,
                     grad: &mut g,
@@ -580,7 +587,7 @@ mod tests {
         // A model with no matrices degenerates to plain averaging.
         let results = ThreadGroup::run(2, |mut comm| {
             let mut opt = AcpSgdAggregator::new(AcpSgdConfig::default());
-            let mut b = vec![comm.rank() as f32; 4];
+            let mut b = vec![comm.rank_id().as_usize() as f32; 4];
             let db = [4usize];
             let mut views = [GradViewMut {
                 dims: &db,
@@ -607,7 +614,7 @@ mod tests {
                 let dims = [vec![4usize, 4], vec![6usize], vec![3usize, 5]];
                 let mut out = Vec::new();
                 for step in 0..4 {
-                    let r = comm.rank() as f32 + 1.0;
+                    let r = comm.rank_id().as_usize() as f32 + 1.0;
                     let s = step as f32 + 1.0;
                     let mut grads: Vec<Vec<f32>> = dims
                         .iter()

@@ -230,6 +230,13 @@ impl DistributedOptimizer for DgcAggregator {
         self.codec.buckets.clear();
     }
 
+    fn on_membership_change(&mut self) {
+        // Same reasoning as `set_buffer_bytes`: the re-plan invalidates
+        // bucket-indexed codec state along with the bucket plan.
+        self.pipeline.replan();
+        self.codec.buckets.clear();
+    }
+
     fn aggregate(
         &mut self,
         grads: &mut [GradViewMut<'_>],
@@ -376,7 +383,9 @@ mod tests {
         let results = ThreadGroup::run(3, |mut comm| {
             let mut opt = DgcAggregator::new(DgcConfig::default());
             let dims = [6usize];
-            let mut g: Vec<f32> = (0..6).map(|i| (i + comm.rank()) as f32 * 0.5).collect();
+            let mut g: Vec<f32> = (0..6)
+                .map(|i| (i + comm.rank_id().as_usize()) as f32 * 0.5)
+                .collect();
             let mut views = [GradViewMut {
                 dims: &dims,
                 grad: &mut g,

@@ -116,7 +116,7 @@ mod tests {
     fn built_optimizer_aggregates_like_the_concrete_type() {
         let results = ThreadGroup::run(2, |mut comm| {
             let mut opt = build_optimizer(&Aggregator::Ssgd);
-            let mut g = vec![comm.rank() as f32 * 2.0; 3];
+            let mut g = vec![comm.rank_id().as_usize() as f32 * 2.0; 3];
             let dims = [3usize];
             let mut views = [GradViewMut {
                 dims: &dims,

@@ -140,6 +140,13 @@ impl DistributedOptimizer for GTopkSgdAggregator {
         self.codec.buckets.clear();
     }
 
+    fn on_membership_change(&mut self) {
+        // Same reasoning as `set_buffer_bytes`: the re-plan invalidates
+        // bucket-indexed codec state along with the bucket plan.
+        self.pipeline.replan();
+        self.codec.buckets.clear();
+    }
+
     fn aggregate(
         &mut self,
         grads: &mut [GradViewMut<'_>],
@@ -192,11 +199,11 @@ mod tests {
     fn all_ranks_agree_and_average() {
         let results = ThreadGroup::run(4, |mut comm| {
             let mut opt = GTopkSgdAggregator::new(0.25); // k = 2 of 8
-            let r = comm.rank() as f32;
+            let r = comm.rank_id().as_usize() as f32;
             // Everyone's largest coordinate is 0; second-largest differs.
             let mut g = vec![0.0f32; 8];
             g[0] = 4.0;
-            g[1 + comm.rank()] = 1.0 + r * 0.1;
+            g[1 + comm.rank_id().as_usize()] = 1.0 + r * 0.1;
             let dims = [8usize];
             let mut views = [GradViewMut {
                 dims: &dims,
@@ -255,7 +262,7 @@ mod tests {
             let mut last = Vec::new();
             for step in 0..5 {
                 let mut g: Vec<f32> = (0..20)
-                    .map(|i| ((i + step + comm.rank()) as f32 * 0.3).sin())
+                    .map(|i| ((i + step + comm.rank_id().as_usize()) as f32 * 0.3).sin())
                     .collect();
                 let mut views = [GradViewMut {
                     dims: &dims,

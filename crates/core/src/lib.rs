@@ -32,7 +32,7 @@
 //! let results = ThreadGroup::run(4, |mut comm| {
 //!     let mut opt = AcpSgdAggregator::new(AcpSgdConfig::default());
 //!     // Each worker holds a different local gradient for a 4x3 weight.
-//!     let mut grad = vec![comm.rank() as f32; 12];
+//!     let mut grad = vec![comm.rank_id().as_usize() as f32; 12];
 //!     let dims = [4usize, 3];
 //!     let mut views = [GradViewMut { dims: &dims, grad: &mut grad }];
 //!     opt.aggregate(&mut views, &mut comm).unwrap();

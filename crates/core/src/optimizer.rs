@@ -119,6 +119,16 @@ pub trait DistributedOptimizer: Send {
     fn set_buffer_bytes(&mut self, buffer_bytes: usize) {
         let _ = buffer_bytes;
     }
+
+    /// Notifies the optimizer that group membership changed and the
+    /// communicator was re-formed (see `Communicator::reform`): any
+    /// in-flight collectives were abandoned by the survivors and bucket
+    /// plans sized for the old world are stale. Pipeline-backed
+    /// aggregators discard both so the next step re-plans against the new
+    /// group; per-tensor state (error-feedback residuals, low-rank
+    /// factors) is kept — tensor shapes do not change with the world. The
+    /// default does nothing.
+    fn on_membership_change(&mut self) {}
 }
 
 impl DistributedOptimizer for Box<dyn DistributedOptimizer> {
@@ -162,6 +172,10 @@ impl DistributedOptimizer for Box<dyn DistributedOptimizer> {
 
     fn set_buffer_bytes(&mut self, buffer_bytes: usize) {
         (**self).set_buffer_bytes(buffer_bytes)
+    }
+
+    fn on_membership_change(&mut self) {
+        (**self).on_membership_change()
     }
 }
 

@@ -196,6 +196,23 @@ impl FusedPipeline {
         self.dispatched.clear();
     }
 
+    /// Aborts any open step and discards the bucket plan so the next step
+    /// rebuilds it from scratch — the membership hook. After a rank dies
+    /// and the group `reform()`s, in-flight handles belong to a collective
+    /// the survivors abandoned and the bucket plan may have been sized for
+    /// the old world; both are dropped here. Recorded tensor shapes are
+    /// kept so shape/count-change detection survives the re-plan.
+    pub fn replan(&mut self) {
+        self.step_open = false;
+        self.compress_us = 0;
+        self.buckets.clear();
+        self.tensor_to_bucket.clear();
+        self.inflight.clear();
+        self.pushed.clear();
+        self.pushed_count.clear();
+        self.dispatched.clear();
+    }
+
     fn ensure_plan(&mut self, grads: &[GradViewMut<'_>]) {
         if !self.buckets.is_empty() || grads.is_empty() {
             return;
@@ -264,7 +281,7 @@ impl FusedPipeline {
         comm: &mut dyn Communicator,
         rec: &dyn Recorder,
     ) {
-        let track = comm.rank() as u64;
+        let track = comm.rank_id().as_usize() as u64;
         let _g = SpanGuard::start(rec, keys::SPAN_BUCKET_DISPATCH, keys::CAT_PIPELINE, track);
         let encode_start = rec.now_us();
         let ops = codec.encode(&mut self.buckets[b]);
@@ -387,7 +404,7 @@ impl FusedPipeline {
             self.dispatch_bucket(codec, b, comm, rec);
         }
         // Drain in plan order, running any dependent rounds.
-        let track = comm.rank() as u64;
+        let track = comm.rank_id().as_usize() as u64;
         for b in 0..self.buckets.len() {
             // allow_verify(reason = "the flush loop above dispatches every bucket before any drain")
             let mut pending = self.inflight[b].take().expect("every bucket dispatched");
@@ -551,7 +568,7 @@ mod tests {
             // 8 bytes per tensor, 8-byte capacity: one bucket per tensor.
             let mut pipeline = FusedPipeline::new(8);
             let mut codec = MeanCodec;
-            let r = comm.rank() as f32;
+            let r = comm.rank_id().as_usize() as f32;
             let dims = vec![vec![2usize], vec![2usize], vec![2usize]];
             let mut grads = vec![vec![r; 2], vec![10.0 * r; 2], vec![r + 1.0; 2]];
             let mut v = views(&dims, &mut grads);
@@ -576,7 +593,7 @@ mod tests {
             ThreadGroup::run(4, move |mut comm| {
                 let mut pipeline = FusedPipeline::new(12); // 2 buckets of 3+2 bytes? see sizes
                 let mut codec = MeanCodec;
-                let r = comm.rank() as f32;
+                let r = comm.rank_id().as_usize() as f32;
                 let dims = vec![vec![3usize], vec![2usize], vec![4usize]];
                 let mut out = Vec::new();
                 for step in 0..3 {
@@ -625,7 +642,7 @@ mod tests {
         let results = ThreadGroup::run(2, |mut comm| {
             let mut pipeline = FusedPipeline::new(0); // one bucket per tensor
             let mut codec = TwoRoundCodec::default();
-            let r = comm.rank() as f32;
+            let r = comm.rank_id().as_usize() as f32;
             let dims = vec![vec![2usize], vec![1usize]];
             let mut grads = vec![vec![4.0 * r; 2], vec![8.0 * r]];
             let mut v = views(&dims, &mut grads);
@@ -726,7 +743,7 @@ mod tests {
         let errs = ThreadGroup::run(3, |mut comm| {
             let mut pipeline = FusedPipeline::new(0); // one bucket per tensor
             let mut codec = MeanCodec;
-            let r = comm.rank() as f32;
+            let r = comm.rank_id().as_usize() as f32;
             let dims = vec![vec![2usize], vec![2usize]];
             // Step 1: blocking, builds the plan.
             let mut grads = vec![vec![r; 2], vec![r; 2]];
@@ -755,7 +772,7 @@ mod tests {
         let results = ThreadGroup::run(2, |mut comm| {
             let mut pipeline = FusedPipeline::new(0); // one bucket per tensor
             let mut codec = MeanCodec;
-            let r = comm.rank() as f32;
+            let r = comm.rank_id().as_usize() as f32;
             let dims = vec![vec![2usize], vec![2usize], vec![2usize]];
             let mut grads = vec![vec![r; 2], vec![r; 2], vec![r; 2]];
             let mut v = views(&dims, &mut grads);
@@ -783,6 +800,43 @@ mod tests {
             assert_eq!(g[1], vec![5.0; 2]);
             assert_eq!(g[2], vec![2.5; 2]);
         }
+    }
+
+    #[test]
+    fn replan_aborts_an_open_step_and_rebuilds() {
+        use acp_collectives::LocalCommunicator;
+        let mut pipeline = FusedPipeline::new(0); // one bucket per tensor
+        let mut codec = MeanCodec;
+        let dims = vec![vec![2usize], vec![2usize]];
+        // Step 1 builds the plan.
+        let mut grads = vec![vec![1.0f32; 2], vec![2.0f32; 2]];
+        let mut v = views(&dims, &mut grads);
+        let mut comm = LocalCommunicator::new();
+        pipeline
+            .finish(&mut codec, &mut v, &mut comm, &*noop())
+            .unwrap();
+        assert_eq!(pipeline.num_buckets(), 2);
+        // Step 2 starts (a push opens the step and dispatches its bucket),
+        // then membership changes mid-step: replan must abort the open
+        // step and drop the plan...
+        pipeline
+            .push(&mut codec, 1, &dims[1], &[3.0; 2], &mut comm, &*noop())
+            .unwrap();
+        pipeline.replan();
+        assert_eq!(pipeline.num_buckets(), 0);
+        // ...while the next full step re-plans and aggregates cleanly, and
+        // the recorded shapes still police shape changes.
+        let mut grads = vec![vec![4.0f32; 2], vec![5.0f32; 2]];
+        let mut v = views(&dims, &mut grads);
+        pipeline
+            .finish(&mut codec, &mut v, &mut comm, &*noop())
+            .unwrap();
+        assert_eq!(pipeline.num_buckets(), 2);
+        assert_eq!(grads[0], vec![4.0; 2]);
+        let err = pipeline
+            .push(&mut codec, 0, &[3], &[0.0; 3], &mut comm, &*noop())
+            .unwrap_err();
+        assert!(matches!(err, CoreError::ShapeChanged { index: 0, .. }));
     }
 
     #[test]

@@ -344,6 +344,13 @@ impl DistributedOptimizer for PowerSgdAggregator {
         self.codec.buckets.clear();
     }
 
+    fn on_membership_change(&mut self) {
+        // Same reasoning as `set_buffer_bytes`: the re-plan invalidates
+        // bucket-indexed codec state along with the bucket plan.
+        self.pipeline.replan();
+        self.codec.buckets.clear();
+    }
+
     fn aggregate(
         &mut self,
         grads: &mut [GradViewMut<'_>],
@@ -437,7 +444,7 @@ mod tests {
     fn vectors_are_plainly_averaged() {
         let results = ThreadGroup::run(2, |mut comm| {
             let mut opt = PowerSgdAggregator::new(PowerSgdConfig::default());
-            let r = comm.rank() as f32;
+            let r = comm.rank_id().as_usize() as f32;
             let mut w = vec![r; 12]; // 4x3 matrix
             let mut b = vec![10.0 * (r + 1.0); 3]; // bias vector
             let dw = [4usize, 3];
@@ -464,7 +471,7 @@ mod tests {
     fn all_ranks_receive_identical_gradients() {
         let results = ThreadGroup::run(4, |mut comm| {
             let mut opt = PowerSgdAggregator::new(PowerSgdConfig::default());
-            let r = comm.rank() as f32 + 1.0;
+            let r = comm.rank_id().as_usize() as f32 + 1.0;
             let mut g: Vec<f32> = (0..30).map(|i| (i as f32).sin() * r).collect();
             let dims = [5usize, 6];
             let mut views = [GradViewMut {
@@ -519,7 +526,7 @@ mod tests {
                 let dims = [vec![4usize, 4], vec![6usize], vec![3usize, 5]];
                 let mut out = Vec::new();
                 for step in 0..4 {
-                    let r = comm.rank() as f32 + 1.0;
+                    let r = comm.rank_id().as_usize() as f32 + 1.0;
                     let s = step as f32 + 1.0;
                     let mut grads: Vec<Vec<f32>> = dims
                         .iter()

@@ -177,6 +177,13 @@ impl DistributedOptimizer for SignSgdAggregator {
         self.codec.buckets.clear();
     }
 
+    fn on_membership_change(&mut self) {
+        // Same reasoning as `set_buffer_bytes`: the re-plan invalidates
+        // bucket-indexed codec state along with the bucket plan.
+        self.pipeline.replan();
+        self.codec.buckets.clear();
+    }
+
     fn aggregate(
         &mut self,
         grads: &mut [GradViewMut<'_>],
@@ -231,7 +238,11 @@ mod tests {
         // Three workers: two positive, one negative per element.
         let results = ThreadGroup::run(3, |mut comm| {
             let mut opt = SignSgdAggregator::new();
-            let sign = if comm.rank() == 0 { -1.0 } else { 1.0 };
+            let sign = if comm.rank_id().as_usize() == 0 {
+                -1.0
+            } else {
+                1.0
+            };
             let mut g = vec![2.0 * sign; 4];
             let dims = [4usize];
             let mut views = [GradViewMut {
@@ -251,7 +262,7 @@ mod tests {
     fn all_ranks_agree() {
         let results = ThreadGroup::run(4, |mut comm| {
             let mut opt = SignSgdAggregator::with_error_feedback();
-            let r = comm.rank() as f32;
+            let r = comm.rank_id().as_usize() as f32;
             let mut g: Vec<f32> = (0..37).map(|i| (i as f32 - 18.0) * (r + 1.0)).collect();
             let dims = [37usize];
             let mut views = [GradViewMut {
@@ -322,7 +333,7 @@ mod tests {
                 .with_error_feedback(true)
                 .with_buffer_bytes(1);
             let mut opt = SignSgdAggregator::from_config(cfg);
-            let r = comm.rank() as f32;
+            let r = comm.rank_id().as_usize() as f32;
             let mut a: Vec<f32> = (0..9).map(|i| (i as f32 - 4.0) * (r + 1.0)).collect();
             let mut b = vec![-1.0f32 - r; 5];
             let da = [9usize];

@@ -48,7 +48,7 @@ impl BucketCodec for MeanCodec {
 ///
 /// let results = ThreadGroup::run(2, |mut comm| {
 ///     let mut opt = SSgdAggregator::new();
-///     let mut g = vec![comm.rank() as f32 * 2.0; 3];
+///     let mut g = vec![comm.rank_id().as_usize() as f32 * 2.0; 3];
 ///     let dims = [3usize];
 ///     let mut views = [GradViewMut { dims: &dims, grad: &mut g }];
 ///     opt.aggregate(&mut views, &mut comm).unwrap();
@@ -87,6 +87,10 @@ impl DistributedOptimizer for SSgdAggregator {
 
     fn set_buffer_bytes(&mut self, buffer_bytes: usize) {
         self.pipeline.set_buffer_bytes(buffer_bytes);
+    }
+
+    fn on_membership_change(&mut self) {
+        self.pipeline.replan();
     }
 
     fn aggregate(
@@ -142,7 +146,7 @@ mod tests {
         let p = 4;
         let results = ThreadGroup::run(p, |mut comm| {
             let mut opt = SSgdAggregator::new();
-            let r = comm.rank() as f32;
+            let r = comm.rank_id().as_usize() as f32;
             let mut a = vec![r, 2.0 * r];
             let mut b = vec![10.0 * r; 3];
             let da = [2usize];
@@ -172,7 +176,7 @@ mod tests {
         // Forces one bucket per tensor.
         let results = ThreadGroup::run(2, |mut comm| {
             let mut opt = SSgdAggregator::with_buffer_bytes(1);
-            let r = comm.rank() as f32;
+            let r = comm.rank_id().as_usize() as f32;
             let mut a = vec![r; 5];
             let mut b = vec![r + 1.0; 7];
             let da = [5usize];
@@ -222,7 +226,7 @@ mod tests {
         let run = |overlapped: bool| {
             ThreadGroup::run(3, move |mut comm| {
                 let mut opt = SSgdAggregator::with_buffer_bytes(16);
-                let r = comm.rank() as f32;
+                let r = comm.rank_id().as_usize() as f32;
                 let dims = [vec![3usize], vec![2usize], vec![4usize]];
                 let mut out = Vec::new();
                 for step in 0..3 {

@@ -209,6 +209,13 @@ impl DistributedOptimizer for TopkSgdAggregator {
         self.codec.buckets.clear();
     }
 
+    fn on_membership_change(&mut self) {
+        // Same reasoning as `set_buffer_bytes`: the re-plan invalidates
+        // bucket-indexed codec state along with the bucket plan.
+        self.pipeline.replan();
+        self.codec.buckets.clear();
+    }
+
     fn aggregate(
         &mut self,
         grads: &mut [GradViewMut<'_>],
@@ -264,7 +271,7 @@ mod tests {
         // each averaged over world size.
         let results = ThreadGroup::run(2, |mut comm| {
             let mut opt = TopkSgdAggregator::new(0.25); // k = 1 of 4
-            let mut g = if comm.rank() == 0 {
+            let mut g = if comm.rank_id().as_usize() == 0 {
                 vec![8.0, 0.1, 0.0, 0.0]
             } else {
                 vec![0.0, 0.1, 6.0, 0.0]
@@ -286,7 +293,7 @@ mod tests {
     fn overlapping_selections_sum_then_average() {
         let results = ThreadGroup::run(2, |mut comm| {
             let mut opt = TopkSgdAggregator::new(0.5); // k = 1 of 2
-            let mut g = vec![2.0 + comm.rank() as f32 * 2.0, 0.0];
+            let mut g = vec![2.0 + comm.rank_id().as_usize() as f32 * 2.0, 0.0];
             let dims = [2usize];
             let mut views = [GradViewMut {
                 dims: &dims,
@@ -336,7 +343,7 @@ mod tests {
                 .with_error_feedback(false)
                 .with_buffer_bytes(1);
             let mut opt = TopkSgdAggregator::from_config(cfg);
-            let r = comm.rank() as f32;
+            let r = comm.rank_id().as_usize() as f32;
             let mut a = vec![4.0 + r, 0.1, 0.0, 0.0];
             let mut b = vec![0.0, -6.0 - r, 0.2, 0.0];
             let da = [4usize];

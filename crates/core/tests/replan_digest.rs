@@ -27,7 +27,7 @@ fn run_with_replan(
     steps_each: usize,
 ) -> Vec<ScheduleSnapshot> {
     ThreadGroup::try_run_with(world, VerifyMode::CrossCheck, |mut comm| {
-        let rank = comm.rank();
+        let rank = comm.rank_id().as_usize();
         let mut opt = build_optimizer(&spec);
         opt.set_buffer_bytes(first_bytes);
         let mut step = 0usize;

@@ -1,6 +1,6 @@
 //! Deterministic fault injection for the TCP backend.
 //!
-//! Three independent knobs, all off by default:
+//! Four independent knobs, all off by default:
 //!
 //! * **delay** — sleep before every frame send: models a slow link and
 //!   shifts latencies without changing results;
@@ -9,7 +9,13 @@
 //!   end (the receiver sees EOF mid-collective and must recover);
 //! * **straggler** — sleep once at the *start* of every collective:
 //!   models a slow rank, the failure mode that dominates synchronous SGD
-//!   at scale.
+//!   at scale;
+//! * **exit** — terminate the whole process at the start of the `n`-th
+//!   collective (0-based): models a rank crash, driving the elastic
+//!   membership path (survivors observe
+//!   [`CommError::MembershipChanged`](acp_collectives::CommError::MembershipChanged)
+//!   and `reform()`). Multi-process launches only — in-process tests
+//!   would take the test runner down with them.
 //!
 //! Configure in code via the builders, or via environment variables for
 //! multi-process runs launched with [`crate::launch::launch_local`]:
@@ -20,6 +26,7 @@
 //! | `ACP_NET_FAULT_DELAY_US` | per-frame send delay, microseconds |
 //! | `ACP_NET_FAULT_DROP_EVERY` | close + reconnect before every n-th frame |
 //! | `ACP_NET_FAULT_STRAGGLER_US` | per-collective delay, microseconds |
+//! | `ACP_NET_FAULT_EXIT_AFTER` | exit the process at the start of the n-th collective |
 //!
 //! Malformed values (e.g. `ACP_NET_FAULT_DROP_EVERY=5x`) are structured
 //! configuration errors, not silently-disabled faults — see
@@ -37,6 +44,9 @@ pub const ENV_FAULT_DELAY_US: &str = "ACP_NET_FAULT_DELAY_US";
 pub const ENV_FAULT_DROP_EVERY: &str = "ACP_NET_FAULT_DROP_EVERY";
 /// Per-collective straggler delay, microseconds (0 = disabled).
 pub const ENV_FAULT_STRAGGLER_US: &str = "ACP_NET_FAULT_STRAGGLER_US";
+/// Exit the process at the start of the n-th collective, 1-based
+/// (0 = disabled). Multi-process launches only.
+pub const ENV_FAULT_EXIT_AFTER: &str = "ACP_NET_FAULT_EXIT_AFTER";
 
 /// Fault plan applied by a [`crate::TcpCommunicator`]. See the module docs
 /// for the semantics of each knob.
@@ -49,6 +59,11 @@ pub struct FaultInjector {
     pub drop_every: Option<u64>,
     /// Sleep this long at the start of every collective call.
     pub straggler_delay: Option<Duration>,
+    /// Exit the process (status 0) at the start of the `n`-th collective,
+    /// counting from 1 — i.e. `Some(3)` completes two collectives and
+    /// dies entering the third, while its peers are already committed to
+    /// it. Only honoured by multi-process launches.
+    pub exit_after: Option<u64>,
 }
 
 impl FaultInjector {
@@ -80,9 +95,24 @@ impl FaultInjector {
         self
     }
 
+    /// Enables the process-exit fault at the start of the `n`-th
+    /// collective (1-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn with_exit_after(mut self, n: u64) -> Self {
+        assert!(n > 0, "exit_after must be at least 1");
+        self.exit_after = Some(n);
+        self
+    }
+
     /// Whether any fault is enabled.
     pub fn is_active(&self) -> bool {
-        self.send_delay.is_some() || self.drop_every.is_some() || self.straggler_delay.is_some()
+        self.send_delay.is_some()
+            || self.drop_every.is_some()
+            || self.straggler_delay.is_some()
+            || self.exit_after.is_some()
     }
 
     /// Reads the fault plan for `rank` from the `ACP_NET_FAULT_*`
@@ -103,6 +133,7 @@ impl FaultInjector {
         let delay: Option<u64> = parse_env(ENV_FAULT_DELAY_US)?;
         let drop: Option<u64> = parse_env(ENV_FAULT_DROP_EVERY)?;
         let straggler: Option<u64> = parse_env(ENV_FAULT_STRAGGLER_US)?;
+        let exit_after: Option<u64> = parse_env(ENV_FAULT_EXIT_AFTER)?;
         if let Some(target) = target {
             if target != rank {
                 return Ok(FaultInjector::none());
@@ -112,6 +143,7 @@ impl FaultInjector {
             send_delay: delay.filter(|&v| v > 0).map(Duration::from_micros),
             drop_every: drop.filter(|&v| v > 0),
             straggler_delay: straggler.filter(|&v| v > 0).map(Duration::from_micros),
+            exit_after: exit_after.filter(|&v| v > 0),
         })
     }
 }
@@ -145,11 +177,12 @@ mod tests {
 
     use crate::launch::testenv::with_env;
 
-    const ALL_UNSET: [(&str, Option<&str>); 4] = [
+    const ALL_UNSET: [(&str, Option<&str>); 5] = [
         (ENV_FAULT_RANK, None),
         (ENV_FAULT_DELAY_US, None),
         (ENV_FAULT_DROP_EVERY, None),
         (ENV_FAULT_STRAGGLER_US, None),
+        (ENV_FAULT_EXIT_AFTER, None),
     ];
 
     #[test]
@@ -165,11 +198,13 @@ mod tests {
         vars[1].1 = Some("250");
         vars[2].1 = Some("5");
         vars[3].1 = Some("1000");
+        vars[4].1 = Some("2");
         with_env(&vars, || {
             let f = FaultInjector::from_env(3).unwrap();
             assert_eq!(f.send_delay, Some(Duration::from_micros(250)));
             assert_eq!(f.drop_every, Some(5));
             assert_eq!(f.straggler_delay, Some(Duration::from_micros(1000)));
+            assert_eq!(f.exit_after, Some(2));
         });
     }
 

@@ -10,6 +10,8 @@
 //! Hello  = 0x05  [rank u32]   — link handshake, never seen by collectives
 //! Tagged = 0x06  [seq u64] [pre_digest u64] [kind u8] [words u64]
 //!                [param u64] [inner frame] — schedule cross-check wrapper
+//! Abort  = 0x07  [epoch u64] [departed u32] — membership-change broadcast
+//! Reform = 0x08  [epoch u64]  — reform barrier marker (see `TcpCommunicator`)
 //! ```
 //!
 //! Frames are serialized into one buffer and written with a single
@@ -29,6 +31,8 @@ const TAG_SPARSE: u8 = 0x03;
 const TAG_TOKEN: u8 = 0x04;
 const TAG_HELLO: u8 = 0x05;
 const TAG_TAGGED: u8 = 0x06;
+const TAG_ABORT: u8 = 0x07;
+const TAG_REFORM: u8 = 0x08;
 
 /// Upper bound on per-frame element counts (1 Gi elements = 4 GiB payload);
 /// anything larger is treated as a corrupt frame.
@@ -42,6 +46,24 @@ pub enum Frame {
     Msg(WireMsg),
     /// Link handshake carrying the sender's rank.
     Hello(u32),
+    /// Membership-change broadcast: the sender observed `departed` dead in
+    /// `epoch` and is aborting the in-flight collective. Receivers
+    /// propagate the abort and surface
+    /// [`CommError::MembershipChanged`](acp_collectives::CommError::MembershipChanged).
+    Abort {
+        /// Membership epoch in which the departure was observed.
+        epoch: u64,
+        /// Physical rank that departed.
+        departed: u32,
+    },
+    /// Reform barrier marker: the sender has entered `reform()` for
+    /// `epoch` and will send no further pre-reform frames on this link.
+    /// Because TCP links are FIFO, everything read before this marker is
+    /// stale and safely discarded.
+    Reform {
+        /// The post-reform membership epoch.
+        epoch: u64,
+    },
 }
 
 fn put_u32(buf: &mut Vec<u8>, v: u32) {
@@ -106,6 +128,15 @@ pub fn encode(frame: &Frame) -> Vec<u8> {
         Frame::Hello(rank) => {
             buf.push(TAG_HELLO);
             put_u32(&mut buf, *rank);
+        }
+        Frame::Abort { epoch, departed } => {
+            buf.push(TAG_ABORT);
+            put_u64(&mut buf, *epoch);
+            put_u32(&mut buf, *departed);
+        }
+        Frame::Reform { epoch } => {
+            buf.push(TAG_REFORM);
+            put_u64(&mut buf, *epoch);
         }
     }
     buf
@@ -190,6 +221,14 @@ pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Frame> {
         }
         TAG_TOKEN => Ok(Frame::Msg(WireMsg::Token)),
         TAG_HELLO => Ok(Frame::Hello(read_u32(r)?)),
+        TAG_ABORT => {
+            let epoch = read_u64(r)?;
+            let departed = read_u32(r)?;
+            Ok(Frame::Abort { epoch, departed })
+        }
+        TAG_REFORM => Ok(Frame::Reform {
+            epoch: read_u64(r)?,
+        }),
         TAG_TAGGED => {
             let seq = read_u64(r)?;
             let pre_digest = read_u64(r)?;
@@ -203,10 +242,14 @@ pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Frame> {
             })?;
             let words = read_u64(r)?;
             let param = read_u64(r)?;
-            // Tags wrap exactly one payload message — never a handshake,
-            // never another tag (the transport wraps once per send).
+            // Tags wrap exactly one payload message — never a handshake or
+            // control frame, never another tag (the transport wraps once
+            // per send).
             let inner = match read_frame(r)? {
-                Frame::Msg(WireMsg::Tagged(..)) | Frame::Hello(_) => {
+                Frame::Msg(WireMsg::Tagged(..))
+                | Frame::Hello(_)
+                | Frame::Abort { .. }
+                | Frame::Reform { .. } => {
                     return Err(io::Error::new(
                         io::ErrorKind::InvalidData,
                         "schedule tag wraps a non-payload frame",
@@ -253,6 +296,11 @@ mod tests {
         roundtrip(Frame::Msg(WireMsg::Sparse(Vec::new(), Vec::new())));
         roundtrip(Frame::Msg(WireMsg::Token));
         roundtrip(Frame::Hello(42));
+        roundtrip(Frame::Abort {
+            epoch: 3,
+            departed: 7,
+        });
+        roundtrip(Frame::Reform { epoch: u64::MAX });
     }
 
     fn sample_tag() -> ScheduleTag {

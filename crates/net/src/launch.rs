@@ -2,10 +2,11 @@
 //!
 //! The rendezvous protocol is environment variables: [`launch_local`]
 //! spawns `world_size` copies of a program with `ACP_NET_RANK`,
-//! `ACP_NET_WORLD_SIZE` and `ACP_NET_BASE_PORT` set; each child calls
-//! [`TcpConfig::from_env`] (via [`worker_from_env`]) to discover its place
-//! in the group and connects. Fault plans ride along through the
-//! `ACP_NET_FAULT_*` variables (see [`crate::fault`]).
+//! `ACP_NET_WORLD_SIZE` and `ACP_NET_BASE_PORT` set (plus
+//! `ACP_NET_GROUPS` for two-level layouts, see [`launch_local_grouped`]);
+//! each child calls [`TcpConfig::from_env`] (via [`worker_from_env`]) to
+//! discover its place in the group and connects. Fault plans ride along
+//! through the `ACP_NET_FAULT_*` variables (see [`crate::fault`]).
 
 use std::io;
 use std::path::Path;
@@ -20,6 +21,10 @@ pub const ENV_RANK: &str = "ACP_NET_RANK";
 pub const ENV_WORLD_SIZE: &str = "ACP_NET_WORLD_SIZE";
 /// Rank 0's listener port; rank `i` listens on `base_port + i`.
 pub const ENV_BASE_PORT: &str = "ACP_NET_BASE_PORT";
+/// Number of groups in the two-level topology (unset or `1` = flat ring).
+/// Must divide the world size; workers reject inconsistent specs with a
+/// structured error, not a panic.
+pub const ENV_GROUPS: &str = "ACP_NET_GROUPS";
 
 pub(crate) fn parse_env<T: std::str::FromStr>(name: &str) -> Result<Option<T>, String> {
     match std::env::var(name) {
@@ -49,6 +54,7 @@ impl TcpConfig {
         let rank: Option<usize> = parse_env(ENV_RANK)?;
         let world: Option<usize> = parse_env(ENV_WORLD_SIZE)?;
         let base_port: Option<u16> = parse_env(ENV_BASE_PORT)?;
+        let groups: Option<usize> = parse_env(ENV_GROUPS)?;
         let (rank, world) = match (rank, world) {
             (None, None) => return Ok(None),
             (Some(r), Some(w)) => (r, w),
@@ -65,8 +71,13 @@ impl TcpConfig {
         }
         let base_port = base_port
             .ok_or_else(|| format!("{ENV_BASE_PORT} must be set when {ENV_RANK} is set"))?;
-        let cfg =
+        let mut cfg =
             TcpConfig::local(rank, world, base_port).with_fault(FaultInjector::from_env(rank)?);
+        if let Some(groups) = groups {
+            cfg = cfg
+                .with_groups(groups)
+                .map_err(|e| format!("{ENV_GROUPS}={groups}: {e}"))?;
+        }
         Ok(Some(cfg))
     }
 }
@@ -137,6 +148,31 @@ pub fn launch_local(
     world_size: usize,
     base_port: u16,
 ) -> io::Result<LocalGroup> {
+    launch_local_grouped(program, args, world_size, base_port, 1)
+}
+
+/// [`launch_local`] with a two-level group layout: the workers arrange
+/// themselves as `groups` rings of `world_size / groups` ranks each
+/// (exported to the children via [`ENV_GROUPS`]), wired as a full mesh.
+/// `groups == 1` launches a flat ring, identical to [`launch_local`].
+///
+/// # Errors
+///
+/// Returns `io::ErrorKind::InvalidInput` (structured, not a panic) when
+/// the group spec is inconsistent — `groups == 0` or `groups` not
+/// dividing `world_size` — and spawn errors as for [`launch_local`].
+pub fn launch_local_grouped(
+    program: &Path,
+    args: &[String],
+    world_size: usize,
+    base_port: u16,
+    groups: usize,
+) -> io::Result<LocalGroup> {
+    // Validate the layout before spawning anything: a bad spec should
+    // fail the launcher with one clear error, not leave world_size
+    // children each discovering the problem on their own.
+    acp_collectives::Topology::grouped(world_size, groups)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
     let mut group = LocalGroup {
         children: Vec::with_capacity(world_size),
     };
@@ -146,6 +182,7 @@ pub fn launch_local(
             .env(ENV_RANK, rank.to_string())
             .env(ENV_WORLD_SIZE, world_size.to_string())
             .env(ENV_BASE_PORT, base_port.to_string())
+            .env(ENV_GROUPS, groups.to_string())
             .stdin(Stdio::null())
             .spawn();
         match spawned {
@@ -215,6 +252,7 @@ mod tests {
                 (ENV_RANK, Some("2")),
                 (ENV_WORLD_SIZE, Some("4")),
                 (ENV_BASE_PORT, Some("29500")),
+                (ENV_GROUPS, None),
             ],
             || {
                 let cfg = TcpConfig::from_env().unwrap().expect("worker env set");
@@ -224,6 +262,44 @@ mod tests {
                 assert_eq!(cfg.peers[0].port(), 29500);
                 assert_eq!(cfg.peers[3].port(), 29503);
                 assert!(!cfg.fault.is_active());
+                assert!(cfg.topology.is_flat());
+            },
+        );
+    }
+
+    #[test]
+    fn groups_env_builds_a_two_level_config() {
+        with_env(
+            &[
+                (ENV_RANK, Some("1")),
+                (ENV_WORLD_SIZE, Some("4")),
+                (ENV_BASE_PORT, Some("29500")),
+                (ENV_GROUPS, Some("2")),
+            ],
+            || {
+                let cfg = TcpConfig::from_env().unwrap().expect("worker env set");
+                assert_eq!(cfg.topology.groups(), 2);
+                assert_eq!(cfg.topology.group_size(), 2);
+                assert_eq!(cfg.wiring, crate::tcp::Wiring::FullMesh);
+            },
+        );
+    }
+
+    #[test]
+    fn inconsistent_groups_env_is_a_structured_error() {
+        with_env(
+            &[
+                (ENV_RANK, Some("0")),
+                (ENV_WORLD_SIZE, Some("4")),
+                (ENV_BASE_PORT, Some("29500")),
+                (ENV_GROUPS, Some("3")),
+            ],
+            || {
+                let err = TcpConfig::from_env().unwrap_err();
+                assert!(
+                    err.contains("ACP_NET_GROUPS=3"),
+                    "error should name the bad setting: {err}"
+                );
             },
         );
     }

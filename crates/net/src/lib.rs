@@ -39,7 +39,7 @@
 //! use acp_collectives::{Communicator, ReduceOp};
 //!
 //! let sums = acp_net::run_local(4, |mut comm| {
-//!     let mut buf = vec![comm.rank() as f32; 3];
+//!     let mut buf = vec![comm.rank_id().as_usize() as f32; 3];
 //!     comm.all_reduce(&mut buf, ReduceOp::Sum).unwrap();
 //!     buf[0]
 //! });
@@ -53,6 +53,9 @@ pub mod tcp;
 
 pub use fault::FaultInjector;
 pub use launch::{
-    launch_local, worker_from_env, LocalGroup, ENV_BASE_PORT, ENV_RANK, ENV_WORLD_SIZE,
+    launch_local, launch_local_grouped, worker_from_env, LocalGroup, ENV_BASE_PORT, ENV_GROUPS,
+    ENV_RANK, ENV_WORLD_SIZE,
 };
-pub use tcp::{run_local, run_local_with, RetryPolicy, TcpCommunicator, TcpConfig, Topology};
+#[allow(deprecated)]
+pub use tcp::Topology;
+pub use tcp::{run_local, run_local_with, RetryPolicy, TcpCommunicator, TcpConfig, Wiring};

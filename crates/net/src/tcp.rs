@@ -1,12 +1,15 @@
-//! The TCP transport: topology wiring, retry, deadlines, reconnect.
+//! The TCP transport: link wiring, retry, deadlines, reconnect, reform.
 //!
 //! A [`TcpCommunicator`] is one rank's endpoint of a multi-process group.
 //! Every rank owns a listener; links are wired either as a **ring** (each
 //! rank connects to its successor and accepts from its predecessor — all
 //! the trait's collectives are ring algorithms, so two links suffice) or
 //! as a **full mesh** (every pair connected once — required for the
-//! butterfly collectives: recursive doubling and the gTop-k sparse
-//! all-reduce).
+//! butterfly collectives, for two-level
+//! [`Topology`](acp_collectives::Topology) arrangements, and for elastic
+//! membership reform). The *logical* arrangement of the group — flat ring
+//! vs. hierarchical ring-of-rings — is [`TcpConfig::topology`], distinct
+//! from the socket-level [`Wiring`].
 //!
 //! Fault semantics:
 //!
@@ -21,11 +24,21 @@
 //! * injected drops ([`FaultInjector::drop_every`]) deliberately close a
 //!   connector-role link at a frame boundary and ride the same
 //!   reconnect path, so the retry machinery is exercised by tests rather
-//!   than trusted.
+//!   than trusted;
+//! * a peer whose *listener* has also vanished is declared departed: the
+//!   observer broadcasts an abort control frame to every live link and
+//!   surfaces [`CommError::MembershipChanged`], and the abort cascades
+//!   rank to rank so no survivor waits out the full op deadline.
 //!
-//! After any error a communicator's collective state is undefined (a peer
+//! After a [`CommError::MembershipChanged`] the group is recoverable on
+//! full-mesh wiring: every survivor calls `reform()`, which drains stale
+//! frames behind a per-link reform barrier (TCP FIFO makes this sound),
+//! re-derives ranks over the sorted survivors, falls back to a flat
+//! topology, and cross-checks the post-reform schedule digest. After any
+//! *other* error a communicator's collective state is undefined (a peer
 //! may have partially progressed); callers should tear the group down.
 
+use std::collections::BTreeSet;
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -33,8 +46,9 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use acp_collectives::nonblocking::execute_collective;
-use acp_collectives::ring::{Transport, WireMsg};
-use acp_collectives::schedule::{self, ScheduleCell, ScheduleTracer};
+use acp_collectives::ring::{self, Transport, WireMsg};
+use acp_collectives::schedule::{self, membership_param, OpKind, ScheduleCell, ScheduleTracer};
+use acp_collectives::topology::{Membership, RankId, Topology as GroupTopology, TopologyError};
 use acp_collectives::{
     CollectiveOp, CollectiveResult, CommError, CommWorker, Communicator, PendingOp, ReduceOp,
     ScheduleSnapshot, TopkMode, VerifyMode, WorkerTransport,
@@ -69,9 +83,11 @@ impl Default for RetryPolicy {
     }
 }
 
-/// How the ranks are wired together.
+/// How the ranks' sockets are wired together (distinct from the group's
+/// logical [`Topology`](acp_collectives::Topology), which picks the
+/// collective schedule).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum Topology {
+pub enum Wiring {
     /// Two links per rank: connect to the successor, accept from the
     /// predecessor. Supports every [`Communicator`] collective (they are
     /// all ring algorithms); `O(p)` sockets in total.
@@ -79,9 +95,22 @@ pub enum Topology {
     Ring,
     /// One link per pair (`O(p²)` sockets): additionally supports the
     /// butterfly collectives (gTop-k sparse all-reduce, recursive
-    /// doubling) and direct point-to-point exchange.
+    /// doubling), direct point-to-point exchange, two-level topologies
+    /// (whose intra/cross neighbours are not ring successors) and
+    /// membership reform (whose post-reform neighbours are arbitrary).
     FullMesh,
 }
+
+/// Former name of [`Wiring`], kept one release for callers that predate
+/// the topology-aware API (where `Topology` now names the *logical*
+/// arrangement, [`acp_collectives::Topology`]).
+#[deprecated(since = "0.2.0", note = "renamed to `Wiring`")]
+pub type Topology = Wiring;
+
+/// Rank value carried by probe hellos: a liveness probe dials a peer's
+/// listener just to see whether it is still bound, then hangs up. Accept
+/// loops discard these.
+const PROBE_RANK: u32 = u32::MAX;
 
 /// Configuration of one rank's [`TcpCommunicator`].
 #[derive(Debug, Clone)]
@@ -92,8 +121,13 @@ pub struct TcpConfig {
     pub world_size: usize,
     /// Listener address of every rank, indexed by rank.
     pub peers: Vec<SocketAddr>,
-    /// Link wiring.
-    pub topology: Topology,
+    /// Socket-level link wiring.
+    pub wiring: Wiring,
+    /// Logical group arrangement: a flat ring or a two-level
+    /// ring-of-rings (see [`acp_collectives::Topology`]). Two-level
+    /// arrangements require [`Wiring::FullMesh`] and must agree with
+    /// `world_size`.
+    pub topology: GroupTopology,
     /// Connection-establishment retry policy.
     pub retry: RetryPolicy,
     /// Deadline applied to every blocking receive (and to link
@@ -132,7 +166,8 @@ impl TcpConfig {
             rank,
             world_size,
             peers,
-            topology: Topology::Ring,
+            wiring: Wiring::Ring,
+            topology: GroupTopology::flat(world_size),
             retry: RetryPolicy::default(),
             op_deadline: Duration::from_secs(30),
             fault: FaultInjector::none(),
@@ -140,10 +175,35 @@ impl TcpConfig {
         }
     }
 
-    /// Sets the link wiring.
-    pub fn with_topology(mut self, topology: Topology) -> Self {
-        self.topology = topology;
+    /// Sets the socket-level link wiring.
+    pub fn with_wiring(mut self, wiring: Wiring) -> Self {
+        self.wiring = wiring;
         self
+    }
+
+    /// Former name of [`TcpConfig::with_wiring`].
+    #[deprecated(since = "0.2.0", note = "renamed to `with_wiring`")]
+    pub fn with_topology(self, wiring: Wiring) -> Self {
+        self.with_wiring(wiring)
+    }
+
+    /// Arranges the group as `groups` rings of `world_size / groups`
+    /// ranks each (the hierarchical ring-of-rings schedule) and upgrades
+    /// the wiring to [`Wiring::FullMesh`], which two-level neighbour
+    /// patterns require.
+    ///
+    /// # Errors
+    ///
+    /// Returns the structured [`TopologyError`] when the group spec is
+    /// inconsistent (zero groups, or `groups` does not divide
+    /// `world_size`) — never panics, so launchers can surface the bad
+    /// spec to the operator.
+    pub fn with_groups(mut self, groups: usize) -> Result<Self, TopologyError> {
+        self.topology = GroupTopology::grouped(self.world_size, groups)?;
+        if !self.topology.is_flat() {
+            self.wiring = Wiring::FullMesh;
+        }
+        Ok(self)
     }
 
     /// Sets the per-receive deadline (`Duration::ZERO` disables it).
@@ -191,7 +251,7 @@ struct Link {
 
 /// The wired-up links of one rank.
 #[derive(Debug)]
-enum Wiring {
+enum Links {
     /// `world_size == 1`: no links, collectives are identities.
     Single,
     /// Ring: a dedicated outgoing link to the successor and incoming link
@@ -203,8 +263,8 @@ enum Wiring {
         /// Link from `(rank − 1) % p`; all receives come from here.
         inn: Link,
     },
-    /// Full mesh: one duplex link per peer, indexed by rank (`None` at
-    /// our own slot).
+    /// Full mesh: one duplex link per peer, indexed by physical rank
+    /// (`None` at our own slot, and at departed peers after a reform).
     Mesh(Vec<Option<Link>>),
 }
 
@@ -354,9 +414,15 @@ fn send_hello(stream: &mut TcpStream, rank: usize) -> Result<(), CommError> {
 /// same recorder keys, so wire bytes reconcile against the Table II cost
 /// model regardless of transport.
 pub struct TcpCommunicator {
+    /// Virtual rank: position in the sorted survivor list. Equal to the
+    /// physical rank until a reform.
     rank: usize,
+    /// Physical rank: stable index into the peer list.
+    physical: usize,
     world_size: usize,
-    topology: Topology,
+    wiring: Wiring,
+    topology: GroupTopology,
+    membership: Membership,
     /// The socket transport; `Some` until the comm worker takes it.
     inner: Option<TcpTransport>,
     /// Per-rank comm worker, spawned lazily by the first dispatched
@@ -379,17 +445,31 @@ pub struct TcpCommunicator {
 /// worker thread; collectives run the same ring algorithms on it either
 /// way.
 struct TcpTransport {
+    /// Physical rank: stable index into `peers`, never remapped.
     rank: usize,
-    world_size: usize,
+    /// Virtual rank: position of `rank` in the sorted `members` list.
+    virtual_rank: usize,
     peers: Vec<SocketAddr>,
-    topology: Topology,
+    wiring: Wiring,
+    /// Logical group arrangement; falls back to flat after a reform.
+    topology: GroupTopology,
+    /// Membership epoch, bumped by every reform.
+    epoch: u64,
+    /// Sorted physical ranks of the current members (the virtual→physical
+    /// map).
+    members: Vec<usize>,
+    /// Physical ranks observed dead (listener gone, or named by a peer's
+    /// abort broadcast).
+    departed: BTreeSet<usize>,
     retry: RetryPolicy,
     op_deadline: Duration,
     fault: FaultInjector,
     listener: TcpListener,
-    wiring: Wiring,
+    links: Links,
     /// Frames sent so far — drives the deterministic drop injector.
     frames_sent: u64,
+    /// Collectives started so far — drives the exit-after crash injector.
+    ops_started: u64,
     bytes_sent: Arc<AtomicU64>,
     recorder: RecorderHandle,
     /// Collective-schedule recorder (see [`acp_collectives::schedule`]);
@@ -403,7 +483,9 @@ impl std::fmt::Debug for TcpCommunicator {
         f.debug_struct("TcpCommunicator")
             .field("rank", &self.rank)
             .field("world_size", &self.world_size)
+            .field("wiring", &self.wiring)
             .field("topology", &self.topology)
+            .field("epoch", &self.membership.epoch())
             .field("bytes_sent", &self.bytes_sent.load(Ordering::SeqCst))
             .finish_non_exhaustive()
     }
@@ -457,6 +539,7 @@ impl TcpCommunicator {
             rank,
             world_size,
             peers,
+            wiring,
             topology,
             retry,
             op_deadline,
@@ -466,28 +549,54 @@ impl TcpCommunicator {
         if world_size == 0 || rank >= world_size || peers.len() != world_size {
             return Err(CommError::InvalidRank { rank, world_size });
         }
+        if topology.world_size() != world_size {
+            return Err(CommError::Io(format!(
+                "topology {topology} does not cover world size {world_size}"
+            )));
+        }
+        if !topology.is_flat() && wiring != Wiring::FullMesh {
+            return Err(CommError::Io(format!(
+                "two-level topology {topology} requires full-mesh wiring \
+                 (intra/cross neighbours are not ring successors)"
+            )));
+        }
         let bytes_sent = Arc::new(AtomicU64::new(0));
         let schedule = Arc::new(ScheduleCell::default());
+        let mut tracer = ScheduleTracer::new(verify, Arc::clone(&schedule));
+        // Same convention as the thread backend: a two-level group records
+        // its arrangement as schedule op 0 (flat groups record nothing),
+        // so flat and hierarchical runs can never digest-collide.
+        if !topology.is_flat() {
+            tracer.begin_op(OpKind::Topology, world_size as u64, topology.fingerprint());
+        }
         let mut transport = TcpTransport {
             rank,
-            world_size,
+            virtual_rank: rank,
             peers,
+            wiring,
             topology,
+            epoch: 0,
+            members: (0..world_size).collect(),
+            departed: BTreeSet::new(),
             retry,
             op_deadline,
             fault,
             listener,
-            wiring: Wiring::Single,
+            links: Links::Single,
             frames_sent: 0,
+            ops_started: 0,
             bytes_sent: Arc::clone(&bytes_sent),
             recorder: noop(),
-            tracer: ScheduleTracer::new(verify, Arc::clone(&schedule)),
+            tracer,
         };
-        transport.wiring = transport.establish()?;
+        transport.links = transport.establish()?;
         Ok(TcpCommunicator {
             rank,
+            physical: rank,
             world_size,
+            wiring,
             topology,
+            membership: Membership::initial(world_size),
             inner: Some(transport),
             worker: None,
             bytes_sent,
@@ -498,13 +607,68 @@ impl TcpCommunicator {
     }
 
     /// This worker's rank in `[0, world_size)`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `rank_id()` (see `acp_collectives::RankId`)"
+    )]
     pub fn rank(&self) -> usize {
         self.rank
     }
 
     /// Number of workers in the group.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `topology().world_size()` or `membership().world_size()`"
+    )]
     pub fn world_size(&self) -> usize {
         self.world_size
+    }
+
+    /// This worker's virtual rank: its position in the sorted member
+    /// list, equal to the physical rank until a reform.
+    pub fn rank_id(&self) -> RankId {
+        RankId(self.rank)
+    }
+
+    /// The group's logical arrangement (flat after a reform).
+    pub fn topology(&self) -> GroupTopology {
+        self.topology
+    }
+
+    /// The current membership view: epoch plus sorted physical ranks.
+    pub fn membership(&self) -> Membership {
+        self.membership.clone()
+    }
+
+    /// Rebuilds the group around the surviving ranks after a
+    /// [`CommError::MembershipChanged`]: every survivor must call this.
+    /// Stale frames are drained behind a per-link reform barrier, ranks
+    /// are re-derived over the sorted survivors, the topology falls back
+    /// to a flat ring, and the post-reform schedule digest is
+    /// cross-checked across survivors before the new membership is
+    /// returned. Idempotent when nobody has departed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CommError::Io`] on ring wiring (reform needs the full
+    /// mesh), when a survivor disagrees on the post-reform schedule
+    /// digest, or when the barrier cannot be completed; a further
+    /// departure during the reform surfaces as another
+    /// [`CommError::MembershipChanged`].
+    pub fn reform(&mut self) -> Result<Membership, CommError> {
+        let membership = match (&self.worker, self.inner.as_mut()) {
+            (Some(worker), _) => worker.reform()?,
+            (None, Some(transport)) => transport.reform()?,
+            (None, None) => return Err(CommError::WorkerPanicked),
+        };
+        self.membership = membership.clone();
+        self.world_size = membership.world_size();
+        self.topology = GroupTopology::flat(self.world_size);
+        self.rank = membership
+            .virtual_rank_of(self.physical)
+            .ok_or_else(|| CommError::Io("this rank is not among the survivors".to_string()))?
+            .as_usize();
+        Ok(membership)
     }
 
     /// Runs one collective to completion: inline on the transport before
@@ -558,25 +722,42 @@ impl TcpTransport {
 
     fn accept_from(&self, expected: Option<usize>) -> Result<Link, CommError> {
         let started = Instant::now();
-        let mut stream = accept_with_deadline(&self.listener, self.establish_deadline())
-            .map_err(|e| map_io("accept", started, &e))?;
-        configure_stream(&stream, self.op_deadline).map_err(|e| map_io("accept", started, &e))?;
-        let peer = expect_hello(&mut stream, expected)?;
-        Ok(Link {
-            peer,
-            role: LinkRole::Acceptor,
-            stream,
-        })
+        // Liveness probes dial the listener just to check it is bound,
+        // announce themselves with the probe sentinel and hang up; skip
+        // them and keep accepting.
+        loop {
+            let mut stream = accept_with_deadline(&self.listener, self.establish_deadline())
+                .map_err(|e| map_io("accept", started, &e))?;
+            configure_stream(&stream, self.op_deadline)
+                .map_err(|e| map_io("accept", started, &e))?;
+            match expect_hello(&mut stream, None)? {
+                peer if peer == PROBE_RANK as usize => continue,
+                peer => {
+                    if let Some(expected) = expected {
+                        if peer != expected {
+                            return Err(CommError::Io(format!(
+                                "hello from rank {peer}, expected rank {expected}"
+                            )));
+                        }
+                    }
+                    return Ok(Link {
+                        peer,
+                        role: LinkRole::Acceptor,
+                        stream,
+                    });
+                }
+            }
+        }
     }
 
-    fn establish(&mut self) -> Result<Wiring, CommError> {
-        let p = self.world_size;
+    fn establish(&mut self) -> Result<Links, CommError> {
+        let p = self.peers.len();
         let r = self.rank;
         if p == 1 {
-            return Ok(Wiring::Single);
+            return Ok(Links::Single);
         }
-        match self.topology {
-            Topology::Ring => {
+        match self.wiring {
+            Wiring::Ring => {
                 // Connect to the successor first: `connect` completes at
                 // the kernel level as soon as the peer's listener is bound
                 // (the backlog holds it), so no rank blocks another's
@@ -585,9 +766,9 @@ impl TcpTransport {
                 let prev = (r + p - 1) % p;
                 let out = self.dial(next)?;
                 let inn = self.accept_from(Some(prev))?;
-                Ok(Wiring::Ring { out, inn })
+                Ok(Links::Ring { out, inn })
             }
-            Topology::FullMesh => {
+            Wiring::FullMesh => {
                 let mut links: Vec<Option<Link>> = (0..p).map(|_| None).collect();
                 // Deterministic pair orientation: the higher rank dials.
                 for (q, slot) in links.iter_mut().enumerate().take(r) {
@@ -603,7 +784,7 @@ impl TcpTransport {
                     }
                     links[peer] = Some(link);
                 }
-                Ok(Wiring::Mesh(links))
+                Ok(Links::Mesh(links))
             }
         }
     }
@@ -640,12 +821,93 @@ impl TcpTransport {
         } else {
             op_deadline
         };
-        let mut stream = accept_with_deadline(listener, Instant::now() + budget)
-            .map_err(|e| map_io("re-accept", started, &e))?;
-        configure_stream(&stream, op_deadline).map_err(|e| map_io("re-accept", started, &e))?;
-        expect_hello(&mut stream, Some(link.peer))?;
-        link.stream = stream;
-        Ok(())
+        let deadline = Instant::now() + budget;
+        loop {
+            let mut stream = accept_with_deadline(listener, deadline)
+                .map_err(|e| map_io("re-accept", started, &e))?;
+            configure_stream(&stream, op_deadline).map_err(|e| map_io("re-accept", started, &e))?;
+            // A liveness probe may have raced into the backlog; skip it.
+            if expect_hello(&mut stream, None)? == PROBE_RANK as usize {
+                continue;
+            }
+            link.stream = stream;
+            return Ok(());
+        }
+    }
+
+    /// Checks whether `phys`'s listener is still bound. A connection
+    /// refusal means the process (and its listener) is gone — `true` is
+    /// conservative: a live-but-busy peer stays "alive" and flows into
+    /// the ordinary timeout path instead.
+    fn probe_alive(&self, phys: usize) -> bool {
+        match TcpStream::connect_timeout(&self.peers[phys], Duration::from_millis(250)) {
+            Ok(mut stream) => {
+                // Announce as a probe so accept loops can discard this
+                // connection, then hang up.
+                let _ = write_frame(&mut stream, &Frame::Hello(PROBE_RANK));
+                let _ = stream.shutdown(Shutdown::Both);
+                true
+            }
+            Err(e) => !matches!(e.kind(), io::ErrorKind::ConnectionRefused),
+        }
+    }
+
+    /// The departed ranks among the current members, in rank order.
+    fn departed_members(&self) -> Vec<usize> {
+        self.members
+            .iter()
+            .copied()
+            .filter(|m| self.departed.contains(m))
+            .collect()
+    }
+
+    /// The structured membership error for the current view.
+    fn membership_error(&self) -> CommError {
+        CommError::MembershipChanged {
+            epoch: self.epoch,
+            departed: self.departed_members(),
+        }
+    }
+
+    /// Records `phys` as departed and broadcasts the abort on every live
+    /// link (best effort) so peers blocked on healthy links cascade out
+    /// of the doomed collective instead of waiting out their deadlines.
+    fn note_departed(&mut self, phys: usize) -> CommError {
+        if self.departed.insert(phys) {
+            let frame = Frame::Abort {
+                epoch: self.epoch,
+                departed: phys as u32,
+            };
+            match &mut self.links {
+                Links::Single => {}
+                Links::Ring { out, inn } => {
+                    // Links are duplex: writing on the inbound link
+                    // reaches the predecessor even though we never read
+                    // from the outbound one.
+                    let _ = write_frame(&mut out.stream, &frame);
+                    let _ = write_frame(&mut inn.stream, &frame);
+                }
+                Links::Mesh(links) => {
+                    for link in links.iter_mut().flatten() {
+                        if link.peer != phys {
+                            let _ = write_frame(&mut link.stream, &frame);
+                        }
+                    }
+                }
+            }
+        }
+        self.membership_error()
+    }
+
+    /// Converts a link failure to `phys` into either a membership change
+    /// (listener gone → departed) or the original error (alive → let the
+    /// ordinary recovery/timeout semantics stand).
+    fn classify_link_failure(&mut self, phys: usize, err: CommError) -> CommError {
+        if self.probe_alive(phys) {
+            err
+        } else {
+            self.note_departed(phys)
+        }
     }
 }
 
@@ -658,24 +920,152 @@ impl WorkerTransport for TcpTransport {
         self.recorder = recorder;
     }
 
-    /// Applies the straggler fault at the top of every collective.
+    /// Applies the straggler and crash faults at the top of every
+    /// collective.
     fn prepare(&mut self) {
+        self.ops_started += 1;
+        if let Some(n) = self.fault.exit_after {
+            if self.ops_started >= n {
+                // Injected crash: die at the start of this collective,
+                // after the peers have committed to it. Multi-process
+                // launches only (documented on `FaultInjector`).
+                std::process::exit(0);
+            }
+        }
         if let Some(delay) = self.fault.straggler_delay {
             std::thread::sleep(delay);
         }
     }
 
     fn topk_mode(&self) -> TopkMode {
-        match self.topology {
+        match self.wiring {
             // Butterfly needs arbitrary pairs — mesh only. On a ring, fall
             // back to the exact gather-and-truncate collective.
-            Topology::FullMesh => TopkMode::Butterfly,
-            Topology::Ring => TopkMode::GatherTruncate,
+            Wiring::FullMesh => TopkMode::Butterfly,
+            Wiring::Ring => TopkMode::GatherTruncate,
         }
     }
 
     fn tracer(&mut self) -> Option<&mut ScheduleTracer> {
         Some(&mut self.tracer)
+    }
+
+    fn topology(&self) -> GroupTopology {
+        self.topology
+    }
+
+    fn membership(&self) -> Membership {
+        Membership::from_parts(self.epoch, self.members.clone())
+    }
+
+    fn reform(&mut self) -> Result<Membership, CommError> {
+        let departed = self.departed_members();
+        if departed.is_empty() {
+            // Idempotent: nothing changed, nothing to renegotiate.
+            return Ok(self.membership());
+        }
+        if departed.contains(&self.rank) {
+            return Err(CommError::Io(
+                "this rank was declared departed by its peers".to_string(),
+            ));
+        }
+        let Links::Mesh(links) = &mut self.links else {
+            return Err(CommError::Io(
+                "membership reform requires full-mesh wiring \
+                 (post-reform ring neighbours are arbitrary)"
+                    .to_string(),
+            ));
+        };
+        // Close the links to the departed; their slots stay empty.
+        for &dead in &departed {
+            if let Some(link) = links[dead].take() {
+                let _ = link.stream.shutdown(Shutdown::Both);
+            }
+        }
+        self.members.retain(|m| !departed.contains(m));
+        self.epoch += 1;
+        self.virtual_rank = self
+            .members
+            .binary_search(&self.rank)
+            .map_err(|_| CommError::Io("this rank is not among the survivors".to_string()))?;
+        self.topology = GroupTopology::flat(self.members.len());
+        // Reform barrier: announce our epoch on every surviving link,
+        // then drain each link up to the peer's matching announcement.
+        // TCP links are FIFO, so everything read before the marker is a
+        // stale pre-reform frame and safely discarded; everything after
+        // it belongs to the new epoch.
+        let epoch = self.epoch;
+        let survivors: Vec<usize> = self
+            .members
+            .iter()
+            .copied()
+            .filter(|&m| m != self.rank)
+            .collect();
+        {
+            let Links::Mesh(links) = &mut self.links else {
+                unreachable!("wiring checked above");
+            };
+            let started = Instant::now();
+            for &peer in &survivors {
+                let link = links[peer].as_mut().ok_or(CommError::PeerDisconnected)?;
+                write_frame(&mut link.stream, &Frame::Reform { epoch })
+                    .map_err(|e| map_io("reform", started, &e))?;
+            }
+        }
+        for &peer in &survivors {
+            loop {
+                let Links::Mesh(links) = &mut self.links else {
+                    unreachable!("wiring checked above");
+                };
+                let link = links[peer].as_mut().ok_or(CommError::PeerDisconnected)?;
+                let started = Instant::now();
+                match read_frame(&mut link.stream) {
+                    // Stale pre-reform traffic: payloads of the aborted
+                    // collective, probe hellos, last epoch's aborts.
+                    Ok(Frame::Msg(_)) | Ok(Frame::Hello(_)) => continue,
+                    Ok(Frame::Abort { epoch: e, .. }) if e < epoch => continue,
+                    Ok(Frame::Abort { departed, .. }) => {
+                        // A further death observed by a peer during the
+                        // reform; surface it so the caller can reform
+                        // again from the new view.
+                        return Err(self.note_departed(departed as usize));
+                    }
+                    Ok(Frame::Reform { epoch: e }) if e == epoch => break,
+                    Ok(Frame::Reform { epoch: e }) => {
+                        return Err(CommError::Io(format!(
+                            "rank {peer} reformed to epoch {e}, expected {epoch} \
+                             (survivor views diverged)"
+                        )));
+                    }
+                    Err(e) if is_disconnect(&e) && !self.probe_alive(peer) => {
+                        return Err(self.note_departed(peer));
+                    }
+                    Err(e) => return Err(map_io("reform", started, &e)),
+                }
+            }
+        }
+        // Record the reform as a first-class schedule op, so offline
+        // trace replay reproduces the digest chain, then cross-check the
+        // digest across survivors: every rank must have seen the same
+        // schedule before continuing.
+        self.tracer.begin_op(
+            OpKind::Reform,
+            self.members.len() as u64,
+            membership_param(self.epoch, &self.members),
+        );
+        let digest = self.tracer.digest();
+        let halves = [(digest >> 32) as u32, digest as u32];
+        let gathered = ring::all_gather_u32(self, &halves)?;
+        for (peer_virtual, chunk) in gathered.chunks(2).enumerate() {
+            if chunk != halves {
+                return Err(CommError::Io(format!(
+                    "post-reform schedule digest mismatch: virtual rank {peer_virtual} \
+                     disagrees with rank {} (epoch {})",
+                    self.virtual_rank, self.epoch
+                )));
+            }
+        }
+        Ok(self.membership())
     }
 }
 
@@ -687,10 +1077,11 @@ enum Dir {
     Recv,
 }
 
-/// Resolves the link used to reach `peer`, as a free function over the
-/// wiring so callers can keep disjoint borrows of the other fields.
+/// Resolves the link used to reach physical rank `peer`, as a free
+/// function over the link table so callers can keep disjoint borrows of
+/// the other fields.
 fn resolve_link(
-    wiring: &mut Wiring,
+    links: &mut Links,
     rank: usize,
     world_size: usize,
     peer: usize,
@@ -703,39 +1094,56 @@ fn resolve_link(
             world_size: p,
         });
     }
-    match wiring {
-        Wiring::Single => Err(CommError::InvalidRank {
+    match links {
+        Links::Single => Err(CommError::InvalidRank {
             rank: peer,
             world_size: p,
         }),
-        Wiring::Ring { out, inn } => {
+        Links::Ring { out, inn } => {
+            // Physical socket wiring, not schedule math: ring wiring keeps
+            // exactly one outgoing and one incoming link per process, so
+            // the only reachable peers are the physical neighbours.
             let (link, wanted) = match dir {
+                // allow_verify(reason = "physical link resolution, not a schedule decision")
                 Dir::Send => (out, (rank + 1) % p),
+                // allow_verify(reason = "physical link resolution, not a schedule decision")
                 Dir::Recv => (inn, (rank + p - 1) % p),
             };
             if peer == wanted {
                 Ok(link)
             } else {
                 Err(CommError::Io(format!(
-                    "rank {peer} unreachable from rank {rank} on ring topology \
-                     (use Topology::FullMesh for butterfly collectives)"
+                    "rank {peer} unreachable from rank {rank} on ring wiring \
+                     (use Wiring::FullMesh for butterfly collectives)"
                 )))
             }
         }
-        Wiring::Mesh(links) => links[peer].as_mut().ok_or(CommError::PeerDisconnected),
+        Links::Mesh(links) => links[peer].as_mut().ok_or(CommError::PeerDisconnected),
     }
 }
 
 impl Transport for TcpTransport {
+    // `Transport::rank` is the schedule-facing *virtual* rank; `physical`
+    // is the socket-facing slot. The mismatch in field name is deliberate.
+    #[allow(clippy::misnamed_getters)]
     fn rank(&self) -> usize {
-        self.rank
+        self.virtual_rank
     }
 
     fn world_size(&self) -> usize {
-        self.world_size
+        self.members.len()
     }
 
     fn send_to(&mut self, dest: usize, msg: WireMsg) -> Result<(), CommError> {
+        if !self.departed_members().is_empty() {
+            return Err(self.membership_error());
+        }
+        let Some(&phys) = self.members.get(dest) else {
+            return Err(CommError::InvalidRank {
+                rank: dest,
+                world_size: self.members.len(),
+            });
+        };
         if let Some(delay) = self.fault.send_delay {
             std::thread::sleep(delay);
         }
@@ -754,33 +1162,42 @@ impl Transport for TcpTransport {
         let frame = Frame::Msg(msg);
         let started = Instant::now();
         // Destructure for disjoint field borrows: the link lives in
-        // `wiring`, while reconnection needs `peers`/`retry`.
+        // `links`, while reconnection needs `peers`/`retry`.
         let TcpTransport {
             rank,
-            world_size,
             peers,
             retry,
             op_deadline,
-            wiring,
+            links,
             ..
         } = self;
-        let (rank, world_size, op_deadline) = (*rank, *world_size, *op_deadline);
-        let link = resolve_link(wiring, rank, world_size, dest, Dir::Send)?;
-        if inject_drop && link.role == LinkRole::Connector {
-            // Drop at a frame boundary and ride the normal reconnect path;
-            // the peer sees EOF and re-accepts.
-            Self::reconnect(peers, retry, op_deadline, rank, link)?;
-        }
-        match write_frame(&mut link.stream, &frame) {
-            Ok(()) => {}
-            Err(e) if is_disconnect(&e) && link.role == LinkRole::Connector => {
-                // One reconnect-and-resend attempt; frames are written
-                // atomically, so the failed frame was not partially
-                // consumed by the peer.
+        let (rank, physical_world, op_deadline) = (*rank, peers.len(), *op_deadline);
+        // A wiring error (non-neighbour on a ring) is the caller's
+        // mistake, not a link failure — it must not be reclassified as a
+        // membership change below.
+        let link = resolve_link(links, rank, physical_world, phys, Dir::Send)?;
+        let result = (|| -> Result<(), CommError> {
+            if inject_drop && link.role == LinkRole::Connector {
+                // Drop at a frame boundary and ride the normal reconnect
+                // path; the peer sees EOF and re-accepts.
                 Self::reconnect(peers, retry, op_deadline, rank, link)?;
-                write_frame(&mut link.stream, &frame).map_err(|e| map_io("send", started, &e))?;
             }
-            Err(e) => return Err(map_io("send", started, &e)),
+            match write_frame(&mut link.stream, &frame) {
+                Ok(()) => Ok(()),
+                Err(e) if is_disconnect(&e) && link.role == LinkRole::Connector => {
+                    // One reconnect-and-resend attempt; frames are written
+                    // atomically, so the failed frame was not partially
+                    // consumed by the peer.
+                    Self::reconnect(peers, retry, op_deadline, rank, link)?;
+                    write_frame(&mut link.stream, &frame).map_err(|e| map_io("send", started, &e))
+                }
+                Err(e) => Err(map_io("send", started, &e)),
+            }
+        })();
+        if let Err(err) = result {
+            // A failed send to a vanished peer is a membership change,
+            // not an I/O fault; anything else keeps its original error.
+            return Err(self.classify_link_failure(phys, err));
         }
         self.bytes_sent.fetch_add(bytes, Ordering::SeqCst);
         if self.recorder.enabled() {
@@ -790,23 +1207,25 @@ impl Transport for TcpTransport {
     }
 
     fn recv_from(&mut self, src: usize) -> Result<WireMsg, CommError> {
+        if !self.departed_members().is_empty() {
+            return Err(self.membership_error());
+        }
+        let Some(&phys) = self.members.get(src) else {
+            return Err(CommError::InvalidRank {
+                rank: src,
+                world_size: self.members.len(),
+            });
+        };
         let started = Instant::now();
         // One recovery attempt per receive: a broken link is
         // re-established according to our role, then the read is retried.
         let mut recovered = false;
         loop {
             let TcpTransport {
-                rank,
-                world_size,
-                peers,
-                retry,
-                op_deadline,
-                listener,
-                wiring,
-                ..
+                rank, peers, links, ..
             } = self;
-            let (rank, world_size, op_deadline) = (*rank, *world_size, *op_deadline);
-            let link = resolve_link(wiring, rank, world_size, src, Dir::Recv)?;
+            let (rank, physical_world) = (*rank, peers.len());
+            let link = resolve_link(links, rank, physical_world, phys, Dir::Recv)?;
             match read_frame(&mut link.stream) {
                 Ok(Frame::Msg(msg)) => {
                     if self.recorder.enabled() {
@@ -819,19 +1238,63 @@ impl Transport for TcpTransport {
                     // sockets surface to peers within their op deadline.
                     return schedule::deliver_checked(&self.tracer, msg);
                 }
-                // A stray hello can only follow a reconnect that raced our
-                // read; consume it and keep reading.
+                // A stray hello can only follow a reconnect (or probe)
+                // that raced our read; consume it and keep reading.
                 Ok(Frame::Hello(_)) => continue,
+                Ok(Frame::Abort { epoch, departed }) => {
+                    if epoch < self.epoch {
+                        // Stale abort from before our reform; ignore.
+                        continue;
+                    }
+                    // A peer observed a death we have not seen yet;
+                    // propagate the cascade and surface the change.
+                    return Err(self.note_departed(departed as usize));
+                }
+                Ok(Frame::Reform { epoch }) => {
+                    // Pre-reform frames are drained inside reform()'s
+                    // barrier; meeting one mid-collective means this rank
+                    // missed the abort that must precede it (FIFO).
+                    return Err(CommError::Io(format!(
+                        "peer rank {phys} reformed to epoch {epoch} mid-collective"
+                    )));
+                }
                 Err(e) if is_disconnect(&e) && !recovered => {
                     recovered = true;
-                    match link.role {
-                        LinkRole::Acceptor => Self::reaccept(listener, op_deadline, link)?,
+                    // A vanished listener means the peer is dead, not
+                    // reconnecting — skip recovery and fail structured.
+                    if !self.probe_alive(phys) {
+                        return Err(self.note_departed(phys));
+                    }
+                    let TcpTransport {
+                        rank,
+                        peers,
+                        retry,
+                        op_deadline,
+                        listener,
+                        links,
+                        ..
+                    } = self;
+                    let link = resolve_link(links, *rank, peers.len(), phys, Dir::Recv)?;
+                    let recovery = match link.role {
+                        LinkRole::Acceptor => Self::reaccept(listener, *op_deadline, link),
                         LinkRole::Connector => {
-                            Self::reconnect(peers, retry, op_deadline, rank, link)?;
+                            Self::reconnect(peers, retry, *op_deadline, *rank, link)
                         }
+                    };
+                    if let Err(err) = recovery {
+                        // The peer died between the probe and the
+                        // recovery (exit races the probe's connect):
+                        // re-classify rather than leak a raw I/O error.
+                        return Err(self.classify_link_failure(phys, err));
                     }
                 }
-                Err(e) => return Err(map_io("recv", started, &e)),
+                Err(e) => {
+                    let err = map_io("recv", started, &e);
+                    // A live peer keeps its timeout/disconnect semantics;
+                    // a vanished one is a membership change even when the
+                    // first recovery attempt spuriously succeeded.
+                    return Err(self.classify_link_failure(phys, err));
+                }
             }
         }
     }
@@ -955,6 +1418,18 @@ impl Communicator for TcpCommunicator {
                 .snapshot(self.verify == VerifyMode::CrossCheck),
         )
     }
+
+    fn topology(&self) -> GroupTopology {
+        self.topology
+    }
+
+    fn membership(&self) -> Membership {
+        self.membership.clone()
+    }
+
+    fn reform(&mut self) -> Result<Membership, CommError> {
+        TcpCommunicator::reform(self)
+    }
 }
 
 /// Test/bench harness mirroring `ThreadGroup::run`: binds `world_size`
@@ -1009,7 +1484,8 @@ where
                         rank,
                         world_size,
                         peers,
-                        topology: Topology::Ring,
+                        wiring: Wiring::Ring,
+                        topology: GroupTopology::flat(world_size),
                         retry: RetryPolicy::default(),
                         op_deadline: Duration::from_secs(20),
                         fault: FaultInjector::none(),

@@ -10,7 +10,7 @@
 //! reference within floating-point tolerance.
 
 use acp_collectives::{wait_all, CollectiveOp, Communicator, ReduceOp, ThreadGroup};
-use acp_net::{run_local, run_local_with, Topology};
+use acp_net::{run_local, run_local_with, Wiring};
 use proptest::prelude::*;
 
 /// Deterministic, rank-dependent pseudo-gradient (no RNG state to thread
@@ -74,12 +74,12 @@ proptest! {
     ) {
         let op = op_from(op_tag);
         let thread = ThreadGroup::run(world, |mut comm| {
-            let mut buf = input(comm.rank(), len, seed);
+            let mut buf = input(comm.rank_id().as_usize(), len, seed);
             comm.all_reduce(&mut buf, op).unwrap();
             buf
         });
         let tcp = run_local(world, |mut comm| {
-            let mut buf = input(comm.rank(), len, seed);
+            let mut buf = input(comm.rank_id().as_usize(), len, seed);
             comm.all_reduce(&mut buf, op).unwrap();
             buf
         });
@@ -101,13 +101,13 @@ proptest! {
         seed in 0u64..1000,
     ) {
         let thread = ThreadGroup::run(world, |mut comm| {
-            let send = input(comm.rank(), len, seed);
-            let idx: Vec<u32> = (0..len as u32).map(|i| i * 7 + comm.rank() as u32).collect();
+            let send = input(comm.rank_id().as_usize(), len, seed);
+            let idx: Vec<u32> = (0..len as u32).map(|i| i * 7 + comm.rank_id().as_usize() as u32).collect();
             (comm.all_gather_f32(&send).unwrap(), comm.all_gather_u32(&idx).unwrap())
         });
         let tcp = run_local(world, |mut comm| {
-            let send = input(comm.rank(), len, seed);
-            let idx: Vec<u32> = (0..len as u32).map(|i| i * 7 + comm.rank() as u32).collect();
+            let send = input(comm.rank_id().as_usize(), len, seed);
+            let idx: Vec<u32> = (0..len as u32).map(|i| i * 7 + comm.rank_id().as_usize() as u32).collect();
             (comm.all_gather_f32(&send).unwrap(), comm.all_gather_u32(&idx).unwrap())
         });
         for rank in 0..world {
@@ -125,12 +125,12 @@ proptest! {
     ) {
         for root in 0..world {
             let thread = ThreadGroup::run(world, |mut comm| {
-                let mut buf = input(comm.rank(), len, seed);
+                let mut buf = input(comm.rank_id().as_usize(), len, seed);
                 comm.broadcast(&mut buf, root).unwrap();
                 buf
             });
             let tcp = run_local(world, |mut comm| {
-                let mut buf = input(comm.rank(), len, seed);
+                let mut buf = input(comm.rank_id().as_usize(), len, seed);
                 comm.broadcast(&mut buf, root).unwrap();
                 buf
             });
@@ -157,14 +157,14 @@ proptest! {
             (idx, val)
         };
         let thread = ThreadGroup::run(world, |mut comm| {
-            let (idx, val) = sparse(comm.rank());
+            let (idx, val) = sparse(comm.rank_id().as_usize());
             comm.global_topk(&idx, &val, k).unwrap()
         });
         let tcp = run_local_with(
             world,
-            |_rank, cfg| cfg.with_topology(Topology::FullMesh),
+            |_rank, cfg| cfg.with_wiring(Wiring::FullMesh),
             |mut comm| {
-                let (idx, val) = sparse(comm.rank());
+                let (idx, val) = sparse(comm.rank_id().as_usize());
                 comm.global_topk(&idx, &val, k).unwrap()
             },
         );
@@ -188,9 +188,9 @@ proptest! {
         let op = op_from(op_tag);
         let nonblocking_run = |mut comm: Box<dyn Communicator>| {
             // Two operations in flight at once, redeemed in FIFO order.
-            let first = comm.all_reduce_start(input(comm.rank(), len, seed), op);
+            let first = comm.all_reduce_start(input(comm.rank_id().as_usize(), len, seed), op);
             let second = comm.dispatch(CollectiveOp::AllReduce {
-                buf: input(comm.rank(), len, seed.wrapping_add(1)),
+                buf: input(comm.rank_id().as_usize(), len, seed.wrapping_add(1)),
                 op,
             });
             let results = wait_all([first, second]).unwrap();
@@ -200,9 +200,9 @@ proptest! {
                 .collect::<Vec<_>>()
         };
         let blocking = ThreadGroup::run(world, |mut comm| {
-            let mut a = input(comm.rank(), len, seed);
+            let mut a = input(comm.rank_id().as_usize(), len, seed);
             comm.all_reduce(&mut a, op).unwrap();
-            let mut b = input(comm.rank(), len, seed.wrapping_add(1));
+            let mut b = input(comm.rank_id().as_usize(), len, seed.wrapping_add(1));
             comm.all_reduce(&mut b, op).unwrap();
             vec![a, b]
         });
@@ -239,7 +239,7 @@ fn barrier_completes_everywhere() {
         assert_eq!(done, vec![true; world]);
         let done = run_local_with(
             world,
-            |_rank, cfg| cfg.with_topology(Topology::FullMesh),
+            |_rank, cfg| cfg.with_wiring(Wiring::FullMesh),
             |mut comm| {
                 comm.barrier().unwrap();
                 true
@@ -257,7 +257,7 @@ fn global_topk_ring_fallback_is_exact() {
     let results = run_local(4, |mut comm| {
         // Every rank contributes 1.0 at its own coordinate and 0.5 at
         // coordinate 100 — the shared coordinate's sum (2.0) must win.
-        let idx = vec![comm.rank() as u32, 100];
+        let idx = vec![comm.rank_id().as_usize() as u32, 100];
         let val = vec![1.0, 0.5];
         comm.global_topk(&idx, &val, 2).unwrap()
     });

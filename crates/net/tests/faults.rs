@@ -35,7 +35,7 @@ fn injected_drops_are_recovered_by_reconnect() {
         |mut comm| {
             let mut out = Vec::new();
             for _ in 0..4 {
-                let mut buf = vec![comm.rank() as f32 + 1.0; len];
+                let mut buf = vec![comm.rank_id().as_usize() as f32 + 1.0; len];
                 comm.all_reduce(&mut buf, ReduceOp::Sum).unwrap();
                 out.push(buf);
             }
@@ -63,7 +63,7 @@ fn drops_on_every_rank_still_converge() {
         world,
         |_rank, cfg| cfg.with_fault(FaultInjector::none().with_drop_every(7)),
         |mut comm| {
-            let mut buf = vec![comm.rank() as f32 + 1.0; 64];
+            let mut buf = vec![comm.rank_id().as_usize() as f32 + 1.0; 64];
             comm.all_reduce(&mut buf, ReduceOp::Sum).unwrap();
             comm.barrier().unwrap();
             buf
@@ -85,7 +85,7 @@ fn send_delay_shifts_latency_only() {
             cfg.with_fault(FaultInjector::none().with_send_delay(Duration::from_millis(2)))
         },
         |mut comm| {
-            let mut buf = vec![comm.rank() as f32 + 1.0; 33];
+            let mut buf = vec![comm.rank_id().as_usize() as f32 + 1.0; 33];
             comm.all_reduce(&mut buf, ReduceOp::Sum).unwrap();
             buf
         },
@@ -112,7 +112,7 @@ fn straggler_slows_the_group_without_corrupting_it() {
             }
         },
         |mut comm| {
-            let mut buf = vec![comm.rank() as f32 + 1.0; 16];
+            let mut buf = vec![comm.rank_id().as_usize() as f32 + 1.0; 16];
             comm.all_reduce(&mut buf, ReduceOp::Sum).unwrap();
             buf
         },
@@ -136,7 +136,7 @@ fn absent_peer_times_out_with_structured_error() {
         2,
         move |_rank, cfg| cfg.with_op_deadline(deadline),
         |mut comm| {
-            if comm.rank() == 1 {
+            if comm.rank_id().as_usize() == 1 {
                 // Holds its links open but never participates.
                 std::thread::sleep(Duration::from_millis(600));
                 return Ok(());
@@ -159,9 +159,11 @@ fn absent_peer_times_out_with_structured_error() {
     assert_eq!(results[1], Ok(()));
 }
 
-/// A peer that exits outright (sockets closed) surfaces as a structured
-/// error — disconnect or timeout depending on who wins the race — within
-/// the deadline.
+/// A peer that exits outright (sockets closed, listener gone) surfaces
+/// as a structured error within the deadline — preferably
+/// `MembershipChanged` (the departure probe sees the refused listener,
+/// enabling `reform()`), with disconnect/timeout accepted for the rare
+/// race where the freed port is rebound before the probe.
 #[test]
 fn dead_peer_is_a_structured_error_not_a_hang() {
     let started = Instant::now();
@@ -169,7 +171,7 @@ fn dead_peer_is_a_structured_error_not_a_hang() {
         2,
         |_rank, cfg| cfg.with_op_deadline(Duration::from_millis(300)),
         |mut comm| {
-            if comm.rank() == 1 {
+            if comm.rank_id().as_usize() == 1 {
                 return Ok(()); // Drops the communicator: EOF on rank 0's links.
             }
             std::thread::sleep(Duration::from_millis(50)); // let the peer die first
@@ -179,6 +181,7 @@ fn dead_peer_is_a_structured_error_not_a_hang() {
     );
     assert!(started.elapsed() < Duration::from_secs(10));
     match &results[0] {
+        Err(CommError::MembershipChanged { departed, .. }) => assert_eq!(departed, &[1]),
         Err(CommError::Timeout { .. } | CommError::PeerDisconnected | CommError::Io(_)) => {}
         other => panic!("expected a structured comm error, got {other:?}"),
     }
@@ -225,7 +228,7 @@ fn ring_topology_rejects_non_neighbour_traffic() {
         4,
         |_rank, cfg| cfg,
         |mut comm| {
-            if comm.rank() == 0 {
+            if comm.rank_id().as_usize() == 0 {
                 Transport::send_to(&mut comm, 2, WireMsg::Token)
             } else {
                 Ok(())

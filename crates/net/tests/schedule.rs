@@ -30,10 +30,10 @@ fn aligned_schedules_pass_cross_check_over_tcp() {
         3,
         cross_check(3, Duration::from_secs(20)),
         |mut comm| -> Result<_, CommError> {
-            let mut buf = vec![comm.rank() as f32; 32];
+            let mut buf = vec![comm.rank_id().as_usize() as f32; 32];
             comm.all_reduce(&mut buf, ReduceOp::Sum)?;
             comm.barrier()?;
-            let got = comm.all_gather_u32(&[comm.rank() as u32])?;
+            let got = comm.all_gather_u32(&[comm.rank_id().as_usize() as u32])?;
             Ok((buf[0], got, comm.schedule().expect("snapshot")))
         },
     );
@@ -62,8 +62,8 @@ fn skipped_collective_surfaces_as_schedule_mismatch_over_tcp() {
     let deadline = Duration::from_secs(5);
     let start = Instant::now();
     let results = run_local_with(3, cross_check(3, deadline), |mut comm| {
-        if comm.rank() != 1 {
-            let mut buf = vec![comm.rank() as f32; 64];
+        if comm.rank_id().as_usize() != 1 {
+            let mut buf = vec![comm.rank_id().as_usize() as f32; 64];
             comm.all_reduce(&mut buf, ReduceOp::Sum)?;
         }
         comm.barrier()

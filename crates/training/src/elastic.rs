@@ -1,0 +1,116 @@
+//! Elastic-membership recovery for training loops.
+//!
+//! When a rank dies mid-collective, every survivor's next aggregation
+//! fails with [`CommError::MembershipChanged`]. Recovery is two coupled
+//! steps that must happen together, in order:
+//!
+//! 1. [`Communicator::reform`] — rebuild the group from the survivors
+//!    (new epoch, new virtual ranks, digest cross-check);
+//! 2. [`DistributedOptimizer::on_membership_change`] — abort the
+//!    optimizer's open step and drop its fusion-bucket plan, which was
+//!    sized against the old world and may hold in-flight handles for the
+//!    abandoned collective.
+//!
+//! [`recover_membership`] packages both so a training loop can't do one
+//! without the other. The training loop itself still owns what to do with
+//! the new membership — typically re-shard the dataset over
+//! `membership.world_size()` and continue.
+
+use acp_collectives::{CommError, Communicator, Membership};
+use acp_core::{CoreError, DistributedOptimizer};
+
+/// Whether `err` is the membership-change signal that
+/// [`recover_membership`] can recover from (either bare or wrapped in a
+/// [`CoreError`] by an aggregation call).
+pub fn is_membership_change(err: &CoreError) -> bool {
+    matches!(
+        err,
+        CoreError::Collective(CommError::MembershipChanged { .. })
+    )
+}
+
+/// Re-forms the group around the survivors and resets the optimizer's
+/// per-step communication state; call after an aggregation fails with
+/// [`CommError::MembershipChanged`]. Collective: every survivor must call
+/// it. Returns the post-reform membership — re-shard data over
+/// `membership.world_size()` before the next step.
+///
+/// A *further* departure observed during the reform surfaces as another
+/// [`CommError::MembershipChanged`]; call again until the survivor set is
+/// stable.
+///
+/// # Errors
+///
+/// Propagates [`Communicator::reform`] failures. The optimizer is only
+/// reset on success, so a failed reform leaves the optimizer untouched
+/// for a retry.
+pub fn recover_membership(
+    comm: &mut dyn Communicator,
+    optimizer: &mut dyn DistributedOptimizer,
+) -> Result<Membership, CommError> {
+    let membership = comm.reform()?;
+    optimizer.on_membership_change();
+    Ok(membership)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acp_collectives::ThreadGroup;
+    use acp_core::{GradViewMut, SSgdAggregator};
+    use std::collections::BTreeMap;
+    use std::sync::Mutex;
+
+    /// 3-rank group, rank 1 dies mid-collective: both survivors see the
+    /// aggregation fail with `MembershipChanged`, recover (reform +
+    /// optimizer reset), and the next aggregation over the 2-rank group
+    /// is the exact mean of the survivors' gradients.
+    #[test]
+    fn aggregation_recovers_after_a_membership_change() {
+        let outputs: Mutex<BTreeMap<usize, Vec<f32>>> = Mutex::new(BTreeMap::new());
+        // The dying worker panics, so the harness reports WorkerPanicked
+        // overall; survivor results travel through `outputs` instead.
+        let overall = ThreadGroup::try_run(3, |mut comm| {
+            let me = comm.rank_id().as_usize();
+            let mut opt = SSgdAggregator::new();
+            let dims = [2usize];
+            // Warm the plan with one clean step.
+            let mut grad = vec![(me + 1) as f32; 2];
+            let mut views = [GradViewMut {
+                dims: &dims,
+                grad: &mut grad,
+            }];
+            opt.aggregate(&mut views, &mut comm).expect("clean step");
+            if me == 1 {
+                panic!("injected crash");
+            }
+            let mut grad = vec![(me + 1) as f32; 2];
+            let mut views = [GradViewMut {
+                dims: &dims,
+                grad: &mut grad,
+            }];
+            let err = opt
+                .aggregate(&mut views, &mut comm)
+                .expect_err("the crash must surface");
+            assert!(is_membership_change(&err), "got {err:?}");
+            let membership = recover_membership(&mut comm, &mut opt).expect("survivors recover");
+            assert_eq!(membership.ranks(), &[0, 2]);
+            let mut grad = vec![(me + 1) as f32; 2];
+            let mut views = [GradViewMut {
+                dims: &dims,
+                grad: &mut grad,
+            }];
+            opt.aggregate(&mut views, &mut comm)
+                .expect("post-recovery step");
+            outputs.lock().unwrap().insert(me, grad);
+        });
+        assert!(overall.is_err(), "the injected panic must be reported");
+        let outputs = outputs.into_inner().unwrap();
+        // Mean over the survivors' contributions 1.0 (rank 0) and 3.0
+        // (rank 2) is exactly 2.0.
+        assert_eq!(outputs.len(), 2);
+        for (_, grad) in outputs {
+            assert_eq!(grad, vec![2.0; 2]);
+        }
+    }
+}

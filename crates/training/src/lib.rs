@@ -39,6 +39,7 @@
 
 pub mod autotune;
 pub mod dataset;
+pub mod elastic;
 pub mod layers;
 pub mod loss;
 pub mod model;
@@ -49,6 +50,7 @@ pub mod trainer;
 
 pub use autotune::{auto_tune_rank, AutoTuneReport};
 pub use dataset::Dataset;
+pub use elastic::{is_membership_change, recover_membership};
 pub use model::{mlp, small_cnn, Sequential};
 pub use optim::{LrSchedule, SgdMomentum};
 pub use trainer::{

@@ -116,6 +116,8 @@ fn kind_name(kind: OpKind) -> &'static str {
         OpKind::GlobalTopk => "global_topk",
         OpKind::SendRecv => "send_recv",
         OpKind::Barrier => "barrier",
+        OpKind::Topology => "topology",
+        OpKind::Reform => "reform",
     }
 }
 
@@ -129,6 +131,8 @@ fn kind_from_name(name: &str) -> Option<OpKind> {
         "global_topk" => OpKind::GlobalTopk,
         "send_recv" => OpKind::SendRecv,
         "barrier" => OpKind::Barrier,
+        "topology" => OpKind::Topology,
+        "reform" => OpKind::Reform,
         _ => return None,
     })
 }

@@ -26,9 +26,9 @@ fn live_group_schedules_round_trip_clean() {
     let world = 3;
     let snapshots: Vec<Result<ScheduleSnapshot, acp_collectives::CommError>> =
         ThreadGroup::try_run_with(world, VerifyMode::CrossCheck, |mut comm| {
-            let mut buf = vec![comm.rank() as f32; 128];
+            let mut buf = vec![comm.rank_id().as_usize() as f32; 128];
             comm.all_reduce(&mut buf, ReduceOp::Sum)?;
-            let _ = comm.all_gather_u32(&[comm.rank() as u32])?;
+            let _ = comm.all_gather_u32(&[comm.rank_id().as_usize() as u32])?;
             comm.barrier()?;
             Ok(comm.schedule().expect("schedule snapshot"))
         })

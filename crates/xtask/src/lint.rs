@@ -1,6 +1,6 @@
 //! The repo-invariant lint pass behind `cargo xtask lint`.
 //!
-//! Three families of invariants, all enforced on the lexed *code* view
+//! Four families of invariants, all enforced on the lexed *code* view
 //! of each file (comments and string literals never trigger findings —
 //! see [`crate::lexer`]):
 //!
@@ -18,6 +18,14 @@
 //! 3. **Telemetry key pairing.** Every `COMM_*_US` key declared in
 //!    `crates/telemetry/src/keys.rs` must have a `COMM_*_BYTES` sibling;
 //!    the cost-model calibration joins the two series by index.
+//! 4. **No raw rank arithmetic outside `acp-collectives`.** `rank + 1`,
+//!    `rank - 1`, `rank % p` and friends are ring-schedule decisions;
+//!    they belong to the topology/hierarchy layer of
+//!    `crates/collectives`, where the schedule digest records them. Any
+//!    other crate doing neighbour math by hand will silently disagree
+//!    with the two-level schedule. The socket-wiring layer of `acp-net`
+//!    (physical link resolution) is the one deliberate exception,
+//!    carried on the `allow_verify` allowlist.
 //!
 //! `#[cfg(test)]` blocks are excluded: tests may unwrap freely.
 
@@ -40,6 +48,21 @@ pub const PANIC_FREE_FILES: &[&str] = &[
 
 /// Scopes where wall-clock reads are banned.
 pub const CLOCK_FREE_DIRS: &[&str] = &["crates/simulator/src"];
+
+/// Scopes where raw rank arithmetic is banned (every crate's `src` except
+/// `crates/collectives`, which owns the ring schedules).
+pub const RANK_MATH_DIRS: &[&str] = &[
+    "crates/bench/src",
+    "crates/compression/src",
+    "crates/core/src",
+    "crates/models/src",
+    "crates/net/src",
+    "crates/simulator/src",
+    "crates/telemetry/src",
+    "crates/tensor/src",
+    "crates/training/src",
+    "crates/verify/src",
+];
 
 const PANIC_PATTERNS: &[&str] = &[".unwrap(", ".expect(", "panic!", "todo!"];
 const CLOCK_PATTERNS: &[&str] = &["Instant::now", "SystemTime"];
@@ -158,6 +181,75 @@ pub fn scan_source(rel_path: &str, src: &str, patterns: &[&str], why: &str) -> V
                     ),
                 });
             }
+        }
+    }
+    findings
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Scans one file for arithmetic on a bare `rank` identifier (`rank + 1`,
+/// `rank - 1`, `rank % p`, …), honouring `cfg(test)` exclusion and
+/// `allow_verify` markers. Matches only the exact identifier `rank` — the
+/// universal name for a schedule position — followed by `+`, `-` or `%`;
+/// `*` is deliberately not matched (matrix-rank doubling in the autotuner
+/// is `rank *= 2` and has nothing to do with schedule positions), and
+/// `->` return arrows are not operators.
+pub fn scan_rank_math(rel_path: &str, src: &str) -> Vec<Finding> {
+    let classified = classify(src);
+    let excluded = test_block_ranges(&classified.code);
+    let comment_lines: Vec<&str> = classified.comments.lines().collect();
+    let starts = line_starts(&classified.code);
+    let mut findings = Vec::new();
+    for (lineno, line) in classified.code.lines().enumerate() {
+        let bytes = line.as_bytes();
+        let mut from = 0;
+        while let Some(col) = line[from..].find("rank").map(|c| c + from) {
+            from = col + "rank".len();
+            // Word boundaries: `virtual_rank`/`rank_id` are not `rank`.
+            if col > 0 && is_ident_byte(bytes[col - 1]) {
+                continue;
+            }
+            if bytes.get(from).copied().is_some_and(is_ident_byte) {
+                continue;
+            }
+            let mut i = from;
+            while bytes.get(i) == Some(&b' ') {
+                i += 1;
+            }
+            let arithmetic = match bytes.get(i) {
+                Some(b'+') | Some(b'%') => true,
+                Some(b'-') => bytes.get(i + 1) != Some(&b'>'),
+                _ => false,
+            };
+            if !arithmetic {
+                continue;
+            }
+            let offset = starts[lineno] + col;
+            if excluded.iter().any(|(s, e)| offset >= *s && offset < *e) {
+                continue;
+            }
+            let allowed = comment_lines
+                .get(lineno)
+                .is_some_and(|l| l.contains(ALLOW_MARKER))
+                || (lineno > 0
+                    && comment_lines
+                        .get(lineno - 1)
+                        .is_some_and(|l| l.contains(ALLOW_MARKER)));
+            if allowed {
+                continue;
+            }
+            findings.push(Finding {
+                file: rel_path.to_string(),
+                line: lineno + 1,
+                message: "raw rank arithmetic is banned outside `crates/collectives`: \
+                          neighbour/offset math is a ring-schedule decision owned by the \
+                          topology layer (annotate a deliberate exception with \
+                          `// allow_verify(reason = \"...\")`)"
+                    .to_string(),
+            });
         }
     }
     findings
@@ -283,6 +375,35 @@ pub fn run(root: &Path) -> std::io::Result<Vec<Finding>> {
         "the simulator must take time from its event clock, not the wall clock, \
          or results stop being reproducible",
     );
+    for dir in RANK_MATH_DIRS {
+        let abs = root.join(dir);
+        if !abs.is_dir() {
+            findings.push(Finding {
+                file: (*dir).to_string(),
+                line: 1,
+                message: "linted scope does not exist; update crates/xtask/src/lint.rs".to_string(),
+            });
+            continue;
+        }
+        let mut paths = Vec::new();
+        if let Err(e) = rust_files(&abs, &mut paths) {
+            findings.push(Finding {
+                file: (*dir).to_string(),
+                line: 1,
+                message: format!("cannot walk linted scope: {e}"),
+            });
+        }
+        for path in paths {
+            match std::fs::read_to_string(&path) {
+                Ok(src) => findings.extend(scan_rank_math(&rel(root, &path), &src)),
+                Err(e) => findings.push(Finding {
+                    file: rel(root, &path),
+                    line: 1,
+                    message: format!("cannot read: {e}"),
+                }),
+            }
+        }
+    }
     let keys = root.join("crates/telemetry/src/keys.rs");
     match std::fs::read_to_string(&keys) {
         Ok(src) => findings.extend(scan_key_pairing(&rel(root, &keys), &src)),
@@ -347,6 +468,39 @@ mod tests {
         let f = scan_source("x.rs", src, &[".unwrap("], "why");
         assert_eq!(f.len(), 1);
         assert_eq!(f[0].line, 5);
+    }
+
+    #[test]
+    fn rank_neighbour_math_is_flagged() {
+        let src = "fn f(rank: usize, p: usize) { let next = (rank + 1) % p; }\n";
+        let f = scan_rank_math("x.rs", src);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("topology layer"), "{}", f[0].message);
+        let src = "fn f(rank: usize, p: usize) { let prev = (rank + p - 1) % p; }\n";
+        assert_eq!(scan_rank_math("x.rs", src).len(), 1);
+        let src = "fn f(rank: usize, p: usize) { let r = rank % p; }\n";
+        assert_eq!(scan_rank_math("x.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn rank_math_respects_word_boundaries_and_arrows() {
+        // `words_per_rank + i` is not arithmetic on a rank identifier.
+        let src = "fn f(words_per_rank: usize, i: usize) { let w = words_per_rank + i; }\n";
+        assert!(scan_rank_math("x.rs", src).is_empty());
+        // Return arrows are not subtraction; plain reads are fine.
+        let src = "fn rank(&self) -> usize { self.rank }\n";
+        assert!(scan_rank_math("x.rs", src).is_empty());
+        // Matrix-rank doubling in the autotuner is not schedule math.
+        let src = "fn g(mut rank: usize) { rank *= 2; }\n";
+        assert!(scan_rank_math("x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn rank_math_honours_allow_marker_and_test_blocks() {
+        let src = "// allow_verify(reason = \"physical wiring\")\nlet n = (rank + 1) % p;\n";
+        assert!(scan_rank_math("x.rs", src).is_empty());
+        let src = "#[cfg(test)]\nmod tests {\n    fn g(rank: usize) { let _ = rank + 1; }\n}\n";
+        assert!(scan_rank_math("x.rs", src).is_empty());
     }
 
     #[test]

@@ -28,14 +28,24 @@
 //! training run: each group profiles its own collectives, fits the α–β
 //! cost model from the telemetry, and re-plans the fusion buffer at the
 //! tuned size (see `acp_training::autotune`); accuracy is unaffected —
-//! only the bucketing changes.
+//! only the bucketing changes. `--groups G` arranges the TCP workers as
+//! a two-level ring-of-rings (G rings of `workers / G` ranks each,
+//! exported to children via `ACP_NET_GROUPS`); results are bit-exact
+//! with the flat ring on integer-valued gradients and identical in
+//! expectation otherwise. `--reform-demo` is the elastic-membership
+//! gate: rank 1 is killed mid-collective by an injected exit fault, the
+//! survivors observe `MembershipChanged`, `reform()` the group, and
+//! train to completion — every process must exit 0, within the deadline.
 //!
 //! With `--trace PATH` communication/compression spans are written as
 //! Chrome-trace JSON (load in `chrome://tracing` or Perfetto, one track
 //! per worker rank; over TCP, rank 0 writes its own track only).
 
+use std::time::Duration;
+
+use acp_collectives::{CommError, Communicator, ReduceOp};
 use acp_core::{build_optimizer, AcpSgdConfig, Aggregator, PowerSgdConfig};
-use acp_net::{launch_local, worker_from_env, TcpCommunicator, TcpConfig};
+use acp_net::{launch_local_grouped, worker_from_env, TcpCommunicator, TcpConfig, Wiring};
 use acp_telemetry::{render_step_table, summary, ChromeTraceBuilder};
 use acp_training::dataset::Dataset;
 use acp_training::model::mlp;
@@ -51,6 +61,8 @@ struct Args {
     trace_path: Option<std::path::PathBuf>,
     overlap: bool,
     auto_tune: bool,
+    groups: usize,
+    reform_demo: bool,
 }
 
 fn parse_args() -> Args {
@@ -71,6 +83,10 @@ fn parse_args() -> Args {
         trace_path: value_of("--trace").map(std::path::PathBuf::from),
         overlap: !raw.iter().any(|a| a == "--no-overlap"),
         auto_tune: raw.iter().any(|a| a == "--auto-tune"),
+        groups: parse_or("--groups", "1".into())
+            .parse()
+            .expect("--groups takes a positive integer"),
+        reform_demo: raw.iter().any(|a| a == "--reform-demo"),
     }
 }
 
@@ -119,6 +135,7 @@ fn accuracy_gate(ssgd_final: f32, acp_final: f32, min_accuracy: f32) -> i32 {
 /// communicator) and trains S-SGD then ACP-SGD.
 fn run_tcp_worker(cfg: TcpConfig, args: &Args) -> i32 {
     let (rank, world) = (cfg.rank, cfg.world_size);
+    let groups = cfg.topology.groups();
     let base_port = cfg.peers[0].port();
     let (data, mut train_cfg, model) = experiment(args.epochs);
     train_cfg.overlap = args.overlap;
@@ -143,7 +160,10 @@ fn run_tcp_worker(cfg: TcpConfig, args: &Args) -> i32 {
             return 2;
         }
     };
-    let cfg2 = TcpConfig::local(rank, world, base_port + world as u16).with_fault(fault);
+    let cfg2 = TcpConfig::local(rank, world, base_port + world as u16)
+        .with_fault(fault)
+        .with_groups(groups)
+        .expect("launcher already validated the group layout");
     let comm = TcpCommunicator::connect(cfg2).expect("worker joins ACP-SGD group");
     let spec = acp_spec();
     let (acp, telemetry) = train_rank(
@@ -192,6 +212,97 @@ fn run_tcp_worker(cfg: TcpConfig, args: &Args) -> i32 {
     accuracy_gate(ssgd_final, acp_final, args.min_accuracy)
 }
 
+/// One worker process of a `--reform-demo` run: the victim rank's
+/// `ACP_NET_FAULT_EXIT_AFTER` fault kills it mid-collective; every
+/// survivor observes `MembershipChanged`, calls `reform()`, and then
+/// trains S-SGD to completion on the shrunk group. Exit 0 everywhere is
+/// the gate: no hang, no corruption, training continues.
+fn run_reform_demo_worker(cfg: TcpConfig, args: &Args) -> i32 {
+    let cfg = cfg
+        .with_wiring(Wiring::FullMesh) // reform() rewires over the mesh
+        .with_op_deadline(Duration::from_secs(5));
+    let mut comm = TcpCommunicator::connect(cfg).expect("worker joins reform-demo group");
+    let me = comm.rank_id().as_usize();
+
+    // Warm-up collectives; the victim's exit fault fires in here.
+    let mut completed = 0usize;
+    let mut reformed = false;
+    while completed < 6 {
+        let mut buf = vec![(me + 1) as f32; 32];
+        match comm.all_reduce(&mut buf, ReduceOp::Sum) {
+            Ok(()) => completed += 1,
+            Err(CommError::MembershipChanged { epoch, departed }) => {
+                eprintln!("rank {me}: epoch {epoch} lost ranks {departed:?}; reforming");
+                // A further departure can surface *during* the reform (the
+                // abort cascade races the barrier); reform again until the
+                // survivor set is stable.
+                let membership = loop {
+                    match comm.reform() {
+                        Ok(m) => break m,
+                        Err(CommError::MembershipChanged { departed, .. }) => {
+                            eprintln!("rank {me}: more departures during reform: {departed:?}");
+                        }
+                        Err(e) => {
+                            eprintln!("rank {me}: reform failed: {e:?}");
+                            return 1;
+                        }
+                    }
+                };
+                eprintln!(
+                    "rank {me}: reformed to epoch {} with {} survivors",
+                    membership.epoch(),
+                    membership.world_size()
+                );
+                reformed = true;
+            }
+            Err(e) => {
+                eprintln!("rank {me}: unexpected collective error: {e:?}");
+                return 1;
+            }
+        }
+    }
+    if !reformed {
+        eprintln!("rank {me}: the injected crash never surfaced as a membership change");
+        return 1;
+    }
+
+    // Continued training on the reformed (smaller, flat) group.
+    let vrank = comm.rank_id().as_usize();
+    let world = comm.membership().world_size();
+    let (data, train_cfg, model) = experiment(args.epochs.min(4));
+    let (history, _) = train_rank(
+        comm,
+        &data,
+        &model,
+        &|| build_optimizer(&Aggregator::Ssgd),
+        &train_cfg,
+        false,
+    );
+    if vrank == 0 {
+        println!(
+            "reform demo: {world} survivors trained {} epochs after the crash, final accuracy {:.3}",
+            history.len(),
+            history.last().map(|h| h.test_accuracy).unwrap_or(0.0)
+        );
+    }
+    0
+}
+
+/// The `--reform-demo` launcher: injects an exit fault on rank 1 via the
+/// `ACP_NET_FAULT_*` environment (inherited by the children) and requires
+/// every process — victim included — to exit cleanly.
+fn run_reform_demo_launcher(args: &Args) -> i32 {
+    std::env::set_var(acp_net::fault::ENV_FAULT_RANK, "1");
+    std::env::set_var(acp_net::fault::ENV_FAULT_EXIT_AFTER, "3");
+    let code = run_tcp_launcher(args);
+    std::env::remove_var(acp_net::fault::ENV_FAULT_RANK);
+    std::env::remove_var(acp_net::fault::ENV_FAULT_EXIT_AFTER);
+    if code == 0 {
+        println!("reform demo passed: crash surfaced, group reformed, training finished");
+    }
+    code
+}
+
 /// The `--backend tcp` launcher: re-executes this binary as one process
 /// per rank and aggregates their exit statuses.
 fn run_tcp_launcher(args: &Args) -> i32 {
@@ -200,7 +311,7 @@ fn run_tcp_launcher(args: &Args) -> i32 {
     let base_port = pick_base_port(ports_needed);
     let exe = std::env::current_exe().expect("current executable path");
     let forwarded: Vec<String> = std::env::args().skip(1).collect();
-    let group = launch_local(&exe, &forwarded, args.workers, base_port)
+    let group = launch_local_grouped(&exe, &forwarded, args.workers, base_port, args.groups)
         .expect("spawn TCP worker processes");
     let statuses = group.wait().expect("collect worker exit statuses");
     let mut code = 0;
@@ -311,6 +422,7 @@ fn main() {
     // A process spawned by the TCP launcher carries the ACP_NET_* worker
     // environment; it runs one rank's loop and exits.
     match worker_from_env() {
+        Ok(Some(cfg)) if args.reform_demo => std::process::exit(run_reform_demo_worker(cfg, &args)),
         Ok(Some(cfg)) => std::process::exit(run_tcp_worker(cfg, &args)),
         Ok(None) => {}
         Err(e) => {
@@ -318,12 +430,16 @@ fn main() {
             std::process::exit(2);
         }
     }
-    let code = match args.backend.as_str() {
-        "thread" => run_thread_backend(&args),
-        "tcp" => run_tcp_launcher(&args),
-        other => {
-            eprintln!("unknown --backend {other:?} (expected \"thread\" or \"tcp\")");
-            2
+    let code = if args.reform_demo {
+        run_reform_demo_launcher(&args)
+    } else {
+        match args.backend.as_str() {
+            "thread" => run_thread_backend(&args),
+            "tcp" => run_tcp_launcher(&args),
+            other => {
+                eprintln!("unknown --backend {other:?} (expected \"thread\" or \"tcp\")");
+                2
+            }
         }
     };
     std::process::exit(code);

@@ -32,7 +32,7 @@ proptest! {
             }
         }
         let results = ThreadGroup::run(world, |mut comm| {
-            let mut buf = inputs[comm.rank()].clone();
+            let mut buf = inputs[comm.rank_id().as_usize()].clone();
             comm.all_reduce(&mut buf, ReduceOp::Sum).unwrap();
             buf
         });
@@ -61,7 +61,7 @@ proptest! {
             .collect();
         let results = ThreadGroup::run(world, |mut comm| {
             let mut opt = SSgdAggregator::with_buffer_bytes(buffer);
-            let mut g = inputs[comm.rank()].clone();
+            let mut g = inputs[comm.rank_id().as_usize()].clone();
             let dims = [len];
             let mut views = [GradViewMut { dims: &dims, grad: &mut g }];
             opt.aggregate(&mut views, &mut comm).unwrap();
@@ -91,7 +91,7 @@ proptest! {
             .collect();
         let results = ThreadGroup::run(world, |mut comm| {
             let mut opt = AcpSgdAggregator::new(AcpSgdConfig { rank, ..Default::default() });
-            let mut g = inputs[comm.rank()].clone();
+            let mut g = inputs[comm.rank_id().as_usize()].clone();
             let dims = [rows, cols];
             let mut views = [GradViewMut { dims: &dims, grad: &mut g }];
             opt.aggregate(&mut views, &mut comm).unwrap();
@@ -191,7 +191,7 @@ fn sign_aggregator_matches_majority_reference() {
     ];
     let results = ThreadGroup::run(3, |mut comm| {
         let mut opt = SignSgdAggregator::new();
-        let mut g = grads[comm.rank()].clone();
+        let mut g = grads[comm.rank_id().as_usize()].clone();
         let dims = [3usize];
         let mut views = [GradViewMut {
             dims: &dims,

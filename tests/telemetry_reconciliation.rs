@@ -25,7 +25,7 @@ fn recorded_ring_all_reduce_bytes_match_cost_model() {
         let results = ThreadGroup::run(p, |mut comm| {
             let rec = Arc::new(InMemoryRecorder::new());
             comm.set_recorder(rec.clone());
-            let mut buf = vec![comm.rank() as f32; n];
+            let mut buf = vec![comm.rank_id().as_usize() as f32; n];
             comm.all_reduce(&mut buf, ReduceOp::Sum).unwrap();
             (rec.counter(keys::COMM_BYTES_SENT), comm.bytes_sent())
         });
@@ -50,7 +50,7 @@ fn recorded_tcp_all_reduce_bytes_match_cost_model() {
         let results = acp_net::run_local(p, |mut comm| {
             let rec = Arc::new(InMemoryRecorder::new());
             comm.set_recorder(rec.clone());
-            let mut buf = vec![comm.rank() as f32; n];
+            let mut buf = vec![comm.rank_id().as_usize() as f32; n];
             comm.all_reduce(&mut buf, ReduceOp::Sum).unwrap();
             (rec.counter(keys::COMM_BYTES_SENT), comm.bytes_sent())
         });
