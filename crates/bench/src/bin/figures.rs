@@ -11,6 +11,7 @@
 //!   overlap    (WFBP overlap: measured vs simulated; writes BENCH_overlap.json)
 //!   tuning     (closed-loop autotuner on local TCP; writes BENCH_tuning.json)
 //!   hierarchy  (flat vs two-level all-reduce cost sweep; writes BENCH_hierarchy.json)
+//!   serve      (aggregation-service concurrency sweep; writes BENCH_serve.json)
 //!   all        (everything; convergence at the quick epoch count)
 //! ```
 //!
@@ -97,6 +98,21 @@ fn tuning_bench(epochs: usize) -> String {
     }
 }
 
+/// Drives concurrent training jobs against one aggregation-service
+/// instance on loopback (2/4/8 jobs × 4 clients, dense and sparse
+/// submissions) and reports jobs/sec plus p50/p99 step latency; also
+/// writes `BENCH_serve.json` to the cwd. `--epochs` is irrelevant.
+fn serve_bench() -> String {
+    use acp_bench::serve;
+    let report = serve::run();
+    let text = serve::render(&report);
+    let path = "BENCH_serve.json";
+    match std::fs::write(path, serve::to_json(&report)) {
+        Ok(()) => format!("{text}\nwrote {path}"),
+        Err(e) => format!("{text}\nfailed to write {path}: {e}"),
+    }
+}
+
 /// Prices the flat ring against the two-level ring-of-rings on the Table II
 /// cost model for worlds 8-1024; also writes `BENCH_hierarchy.json` to the
 /// cwd. Pure cost-model arithmetic: no live workers, so `--epochs` is
@@ -146,6 +162,7 @@ fn run(name: &str, epochs: usize) -> Option<String> {
         "overlap" => overlap_bench(epochs),
         "tuning" => tuning_bench(epochs),
         "hierarchy" => hierarchy_bench(),
+        "serve" => serve_bench(),
         _ => return None,
     };
     Some(out)
@@ -182,6 +199,7 @@ fn main() {
         "overlap",
         "tuning",
         "hierarchy",
+        "serve",
         "headline",
     ];
     let selected: Vec<&str> = if names.is_empty() || names.contains(&"all") {

@@ -22,6 +22,7 @@
 pub mod convergence;
 pub mod hierarchy;
 pub mod overlap;
+pub mod serve;
 pub mod statics;
 pub mod table;
 pub mod timing;

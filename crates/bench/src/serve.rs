@@ -1,0 +1,274 @@
+//! Aggregation-service throughput: `figures serve` drives fleets of
+//! concurrent jobs against one `acp-serve` server on loopback and writes
+//! `BENCH_serve.json` — jobs/sec and p50/p99 step latency versus the
+//! number of concurrent jobs, for compressed (sparse top-k-shaped) and
+//! uncompressed (dense all-reduce) submissions.
+//!
+//! The interesting curve is the isolation cost: as the concurrent-job
+//! count grows, each job's p99 step latency reflects shard queueing, not
+//! cross-job interference — there are no schedule mismatches and no
+//! unexplained stalls at any level (asserted by the CI `serve` job via
+//! the `load_generator` example).
+
+use std::net::SocketAddr;
+use std::time::Instant;
+
+use acp_collectives::{Communicator, ReduceOp};
+use acp_serve::{ServeConfig, ServedCommunicator, Server};
+
+/// Per-client steps driven at every concurrency level.
+pub const DEFAULT_STEPS: usize = 20;
+/// Dense payload element count (16 KiB of `f32` per submission).
+pub const DEFAULT_ELEMS: usize = 4096;
+/// Clients per job.
+pub const DEFAULT_CLIENTS: u32 = 4;
+
+/// One `(concurrency, submission mode)` measurement.
+#[derive(Debug, Clone)]
+pub struct ServePoint {
+    /// Concurrent jobs at this level.
+    pub jobs: usize,
+    /// `"dense"` (all-reduce of the full gradient) or `"sparse"`
+    /// (top-k-shaped index/value all-gathers).
+    pub mode: &'static str,
+    /// Wall-clock for the whole level, seconds.
+    pub wall_s: f64,
+    /// Completed jobs per second (each job runs the full step count).
+    pub jobs_per_sec: f64,
+    /// Aggregation steps completed per second across all jobs.
+    pub steps_per_sec: f64,
+    /// Median per-step latency over every client's steps, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile per-step latency, milliseconds.
+    pub p99_ms: f64,
+    /// `Busy` backpressure rejects the level provoked (retried by the
+    /// clients; non-zero is load, not failure).
+    pub busy_rejects: u64,
+    /// Cross-client schedule mismatches (must be zero: the jobs are
+    /// honest SPMD programs).
+    pub schedule_mismatches: u64,
+}
+
+/// The full concurrency sweep.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Clients per job.
+    pub clients_per_job: u32,
+    /// Steps per client.
+    pub steps: usize,
+    /// Dense payload element count.
+    pub elems: usize,
+    /// One row per (level, mode).
+    pub points: Vec<ServePoint>,
+}
+
+fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() - 1) as f64 * q).round() as usize;
+    sorted_ms[idx.min(sorted_ms.len() - 1)]
+}
+
+/// Runs `jobs` concurrent jobs of `clients` clients each against the
+/// service at `addr`, every client submitting `steps` collectives, and
+/// returns each submission's round-trip latency in milliseconds.
+///
+/// `compressed` selects the submission shape: dense all-reduce of
+/// `elems` floats, or the top-k pattern (`elems / 64` coordinate
+/// all-gathers of indices then values).
+///
+/// # Panics
+///
+/// Panics on connection or collective failure — the load generator is a
+/// measurement of a healthy service.
+pub fn drive_jobs(
+    addr: SocketAddr,
+    job_base: u64,
+    jobs: usize,
+    clients: u32,
+    steps: usize,
+    elems: usize,
+    compressed: bool,
+) -> Vec<f64> {
+    let handles: Vec<_> = (0..jobs)
+        .flat_map(|j| {
+            (0..clients).map(move |c| {
+                std::thread::spawn(move || {
+                    let job = job_base + j as u64;
+                    let mut comm = ServedCommunicator::connect(addr, job, c, clients)
+                        .expect("load generator connects");
+                    let k = (elems / 64).max(1);
+                    let mut latencies = Vec::with_capacity(steps);
+                    for step in 0..steps {
+                        let started = Instant::now();
+                        if compressed {
+                            let indices: Vec<u32> = (0..k as u32).map(|i| i * 64 + c).collect();
+                            let values: Vec<f32> =
+                                (0..k).map(|i| (i + step) as f32 * 1e-3).collect();
+                            comm.all_gather_u32(&indices).expect("index gather");
+                            comm.all_gather_f32(&values).expect("value gather");
+                        } else {
+                            let mut buf = vec![(step as f32) * 1e-3; elems];
+                            comm.all_reduce(&mut buf, ReduceOp::Sum)
+                                .expect("all-reduce");
+                        }
+                        latencies.push(started.elapsed().as_secs_f64() * 1e3);
+                    }
+                    latencies
+                })
+            })
+        })
+        .collect();
+    handles
+        .into_iter()
+        .flat_map(|h| h.join().expect("load-generator client panicked"))
+        .collect()
+}
+
+/// Measures one `(jobs, mode)` point on a fresh server.
+fn measure(jobs: usize, clients: u32, steps: usize, elems: usize, compressed: bool) -> ServePoint {
+    let server = Server::spawn(ServeConfig {
+        shards: 4,
+        ..ServeConfig::default()
+    })
+    .expect("bind loopback server");
+    let started = Instant::now();
+    let mut latencies = drive_jobs(server.addr(), 0, jobs, clients, steps, elems, compressed);
+    let wall_s = started.elapsed().as_secs_f64().max(1e-9);
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let stats = server.stats();
+    let submissions_per_step = if compressed { 2 } else { 1 };
+    debug_assert_eq!(
+        stats.steps,
+        (jobs * steps * submissions_per_step) as u64,
+        "every submitted collective aggregates exactly once"
+    );
+    ServePoint {
+        jobs,
+        mode: if compressed { "sparse" } else { "dense" },
+        wall_s,
+        jobs_per_sec: jobs as f64 / wall_s,
+        steps_per_sec: (jobs * steps) as f64 / wall_s,
+        p50_ms: percentile(&latencies, 0.50),
+        p99_ms: percentile(&latencies, 0.99),
+        busy_rejects: stats.busy_rejects,
+        schedule_mismatches: stats.schedule_mismatches,
+    }
+}
+
+/// Runs the sweep at the given concurrency levels.
+pub fn run_with(levels: &[usize], clients: u32, steps: usize, elems: usize) -> ServeReport {
+    let mut points = Vec::with_capacity(levels.len() * 2);
+    for &jobs in levels {
+        for compressed in [false, true] {
+            points.push(measure(jobs, clients, steps, elems, compressed));
+        }
+    }
+    ServeReport {
+        clients_per_job: clients,
+        steps,
+        elems,
+        points,
+    }
+}
+
+/// The default sweep: 2, 4 and 8 concurrent jobs of 4 clients.
+pub fn run() -> ServeReport {
+    run_with(&[2, 4, 8], DEFAULT_CLIENTS, DEFAULT_STEPS, DEFAULT_ELEMS)
+}
+
+/// Human-readable rendering for the terminal.
+pub fn render(r: &ServeReport) -> String {
+    let mut out = format!(
+        "Aggregation service, {} clients/job, {} steps, {} elems\n\
+         {:>5} {:>7} {:>9} {:>10} {:>9} {:>9} {:>6} {:>9}\n",
+        r.clients_per_job,
+        r.steps,
+        r.elems,
+        "jobs",
+        "mode",
+        "jobs/s",
+        "steps/s",
+        "p50 (ms)",
+        "p99 (ms)",
+        "busy",
+        "mismatch",
+    );
+    for p in &r.points {
+        out.push_str(&format!(
+            "{:>5} {:>7} {:>9.2} {:>10.1} {:>9.3} {:>9.3} {:>6} {:>9}\n",
+            p.jobs,
+            p.mode,
+            p.jobs_per_sec,
+            p.steps_per_sec,
+            p.p50_ms,
+            p.p99_ms,
+            p.busy_rejects,
+            p.schedule_mismatches,
+        ));
+    }
+    out
+}
+
+/// Serializes the report as JSON (`BENCH_serve.json`).
+pub fn to_json(r: &ServeReport) -> String {
+    let points: Vec<String> = r
+        .points
+        .iter()
+        .map(|p| {
+            format!(
+                "{{\"jobs\":{},\"mode\":\"{}\",\"wall_s\":{:.6},\
+                 \"jobs_per_sec\":{:.3},\"steps_per_sec\":{:.3},\
+                 \"p50_ms\":{:.4},\"p99_ms\":{:.4},\
+                 \"busy_rejects\":{},\"schedule_mismatches\":{}}}",
+                p.jobs,
+                p.mode,
+                p.wall_s,
+                p.jobs_per_sec,
+                p.steps_per_sec,
+                p.p50_ms,
+                p.p99_ms,
+                p.busy_rejects,
+                p.schedule_mismatches
+            )
+        })
+        .collect();
+    format!(
+        "{{\"clients_per_job\":{},\"steps\":{},\"elems\":{},\"points\":[{}]}}\n",
+        r.clients_per_job,
+        r.steps,
+        r.elems,
+        points.join(",")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_sweep_is_clean_and_serializes() {
+        let r = run_with(&[1, 2], 2, 3, 256);
+        assert_eq!(r.points.len(), 4); // two levels × two modes
+        for p in &r.points {
+            assert_eq!(p.schedule_mismatches, 0, "honest jobs never diverge");
+            assert!(p.p50_ms <= p.p99_ms);
+            assert!(p.steps_per_sec > 0.0);
+        }
+        let text = render(&r);
+        assert!(text.contains("dense") && text.contains("sparse"));
+        let json = to_json(&r);
+        assert!(json.contains("\"jobs\":2"));
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn percentiles_are_order_statistics() {
+        let sorted: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&sorted, 0.0), 1.0);
+        assert_eq!(percentile(&sorted, 1.0), 100.0);
+        assert!((percentile(&sorted, 0.5) - 50.0).abs() <= 1.0);
+        assert!(percentile(&[], 0.5) == 0.0);
+    }
+}

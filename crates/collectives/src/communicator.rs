@@ -97,6 +97,23 @@ pub enum CommError {
     /// A transport-level I/O failure (TCP backend: reset, refused,
     /// unreachable, malformed frame).
     Io(String),
+    /// An aggregation service applied backpressure: an in-flight byte
+    /// budget (per job or global) is exhausted. Structured and retryable —
+    /// the submission was *not* accepted, nothing is corrupted, and the
+    /// caller may resubmit once the current step drains.
+    Busy {
+        /// Bytes in flight against the exhausted budget when the
+        /// submission was refused.
+        in_flight_bytes: u64,
+        /// The exhausted budget, bytes.
+        budget_bytes: u64,
+    },
+    /// An aggregation service refused the request outright (unknown job,
+    /// unsupported collective, poisoned session). Not retryable.
+    Rejected {
+        /// Service-provided reason.
+        reason: String,
+    },
     /// The ranks' collective schedules diverged: a peer was executing a
     /// different collective (or the same collective with different
     /// history) when this rank received one of its messages. Raised by
@@ -147,6 +164,19 @@ impl fmt::Display for CommError {
                 write!(f, "{op} timed out after {waited_ms} ms")
             }
             CommError::Io(msg) => write!(f, "transport I/O error: {msg}"),
+            CommError::Busy {
+                in_flight_bytes,
+                budget_bytes,
+            } => {
+                write!(
+                    f,
+                    "aggregation service busy: {in_flight_bytes} bytes in flight against a \
+                     {budget_bytes}-byte budget (retry after the current step drains)"
+                )
+            }
+            CommError::Rejected { reason } => {
+                write!(f, "aggregation service rejected the request: {reason}")
+            }
             CommError::ScheduleMismatch { seq, local, peer } => {
                 write!(f, "collective schedules diverged at op {seq}: ")?;
                 match local {
@@ -163,7 +193,7 @@ impl std::error::Error for CommError {}
 
 /// Former name of [`CommError`].
 #[deprecated(since = "0.2.0", note = "renamed to `CommError`")]
-pub type CollectiveError = CommError;
+pub type CollectiveError = CommError; // allow_verify(reason = "the shim definition itself")
 
 /// Collective communication interface shared by the trainer and optimizers.
 ///

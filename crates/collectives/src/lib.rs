@@ -47,7 +47,7 @@ pub mod schedule;
 pub mod topology;
 
 #[allow(deprecated)]
-pub use communicator::CollectiveError;
+pub use communicator::CollectiveError; // allow_verify(reason = "deprecated re-export")
 pub use communicator::{
     CommError, Communicator, LocalCommunicator, ReduceOp, ThreadCommunicator, ThreadGroup,
 };
@@ -55,7 +55,9 @@ pub use cost::{AlphaBetaCost, ClusterCost, NetworkTier, TwoLevelCost};
 pub use nonblocking::{
     wait_all, CollectiveOp, CollectiveResult, CommWorker, PendingOp, TopkMode, WorkerTransport,
 };
-pub use ring::{Transport, WireMsg};
+pub use ring::{
+    all_gather_f32_reference, all_gather_u32_reference, all_reduce_reference, Transport, WireMsg,
+};
 pub use schedule::{
     OpKind, ScheduleEntry, SchedulePoint, ScheduleSnapshot, ScheduleTag, ScheduleTracer, VerifyMode,
 };

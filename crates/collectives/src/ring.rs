@@ -504,3 +504,124 @@ pub fn global_topk_butterfly<T: Transport + ?Sized>(
     }
     Ok((idx, val))
 }
+
+/// Serial reference reduction replicating the chunked ring all-reduce of
+/// [`all_reduce`] **bit-exactly**, without a transport.
+///
+/// This is the aggregation core of `acp-serve`: a server that holds every
+/// member's contribution in memory must still produce the same IEEE-754
+/// result the peer-to-peer ring would, or a job migrated between the two
+/// paths silently diverges. The ring reduces chunk `c` by accumulating
+/// contributions in ascending rank order starting at rank `c` (wrapping
+/// mod `p`), with the freshly received partial always on the *right* of
+/// each `x + acc` addition — this function performs the identical fold,
+/// chunk by chunk, including the final mean division and the `p == 1`
+/// early return (which skips the mean division, exactly like
+/// [`all_reduce`]).
+///
+/// `contribs` is one slice per rank, in rank order.
+///
+/// # Errors
+///
+/// Returns [`CommError::LengthMismatch`] if the contributions disagree on
+/// length, [`CommError::ProtocolMismatch`] if `contribs` is empty.
+pub fn all_reduce_reference(contribs: &[&[f32]], op: ReduceOp) -> Result<Vec<f32>, CommError> {
+    let p = contribs.len();
+    let Some(first) = contribs.first() else {
+        return Err(CommError::ProtocolMismatch);
+    };
+    let len = first.len();
+    for c in contribs {
+        if c.len() != len {
+            return Err(CommError::LengthMismatch {
+                expected: len,
+                actual: c.len(),
+            });
+        }
+    }
+    if p == 1 {
+        return Ok(first.to_vec());
+    }
+    let mut out = vec![0.0f32; len];
+    for c in 0..p {
+        let range = chunk_range(len, c, p);
+        out[range.clone()].copy_from_slice(&contribs[c][range.clone()]);
+        for j in 1..p {
+            let src = &contribs[(c + j) % p][range.clone()];
+            // Mirror `reduce_into`'s operand order with the accumulated
+            // partial in the *incoming* position: the ring receiver holds
+            // its own fresh contribution and folds the arriving partial
+            // into it (`local op incoming`), so the reference must compute
+            // `x op acc`, not `acc op x` — f32 max is not NaN-symmetric.
+            match op {
+                ReduceOp::Sum | ReduceOp::Mean => {
+                    #[allow(clippy::assign_op_pattern)]
+                    for (o, x) in out[range.clone()].iter_mut().zip(src) {
+                        *o = *x + *o;
+                    }
+                }
+                ReduceOp::Max => {
+                    for (o, x) in out[range.clone()].iter_mut().zip(src) {
+                        *o = x.max(*o);
+                    }
+                }
+            }
+        }
+    }
+    if op == ReduceOp::Mean {
+        let inv = 1.0 / p as f32;
+        for v in out.iter_mut() {
+            *v *= inv;
+        }
+    }
+    Ok(out)
+}
+
+/// Serial reference of [`all_gather_f32`]: rank-order concatenation.
+/// Bit-exact trivially — the ring moves bytes without arithmetic.
+///
+/// # Errors
+///
+/// Returns [`CommError::LengthMismatch`] if the contributions disagree on
+/// length, [`CommError::ProtocolMismatch`] if `contribs` is empty.
+pub fn all_gather_f32_reference(contribs: &[&[f32]]) -> Result<Vec<f32>, CommError> {
+    let Some(first) = contribs.first() else {
+        return Err(CommError::ProtocolMismatch);
+    };
+    let len = first.len();
+    let mut out = Vec::with_capacity(len * contribs.len());
+    for c in contribs {
+        if c.len() != len {
+            return Err(CommError::LengthMismatch {
+                expected: len,
+                actual: c.len(),
+            });
+        }
+        out.extend_from_slice(c);
+    }
+    Ok(out)
+}
+
+/// Serial reference of [`all_gather_u32`]: rank-order concatenation.
+///
+/// # Errors
+///
+/// Returns [`CommError::LengthMismatch`] if the contributions disagree on
+/// length, [`CommError::ProtocolMismatch`] if `contribs` is empty.
+pub fn all_gather_u32_reference(contribs: &[&[u32]]) -> Result<Vec<u32>, CommError> {
+    let Some(first) = contribs.first() else {
+        return Err(CommError::ProtocolMismatch);
+    };
+    let len = first.len();
+    let mut out = Vec::with_capacity(len * contribs.len());
+    for c in contribs {
+        if c.len() != len {
+            return Err(CommError::LengthMismatch {
+                expected: len,
+                actual: c.len(),
+            });
+        }
+        out.extend_from_slice(c);
+    }
+    Ok(out)
+}

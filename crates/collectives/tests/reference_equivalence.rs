@@ -1,0 +1,147 @@
+//! The serial reference reductions (`all_reduce_reference` and friends —
+//! the aggregation core a gradient server runs when it holds every
+//! member's contribution in memory) must be **bit-exact** with the live
+//! ring algorithms executed over a real transport. Equality is asserted on
+//! `f32::to_bits`, not approximate closeness: the serve path's whole
+//! correctness claim is that a job cannot tell whether its collectives ran
+//! peer-to-peer or through the aggregation service.
+
+use acp_collectives::{
+    all_gather_f32_reference, all_gather_u32_reference, all_reduce_reference, CommError,
+    Communicator, ReduceOp, ThreadGroup,
+};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn contributions(world: usize, len: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..world)
+        .map(|_| (0..len).map(|_| rng.gen_range(-4.0f32..4.0)).collect())
+        .collect()
+}
+
+fn ring_all_reduce(inputs: &[Vec<f32>], op: ReduceOp) -> Vec<Vec<f32>> {
+    let inputs = inputs.to_vec();
+    ThreadGroup::run(inputs.len(), move |mut comm| {
+        let mut buf = inputs[comm.rank_id().as_usize()].clone();
+        comm.all_reduce(&mut buf, op).expect("all_reduce");
+        buf
+    })
+}
+
+fn assert_bits_eq(a: &[f32], b: &[f32]) {
+    assert_eq!(a.len(), b.len());
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "bit divergence at element {i}: {x} vs {y}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn reference_all_reduce_matches_ring_bitwise(
+        world in 2usize..=8,
+        len in 1usize..200,
+        seed in 0u64..100_000,
+    ) {
+        let inputs = contributions(world, len, seed);
+        let views: Vec<&[f32]> = inputs.iter().map(Vec::as_slice).collect();
+        for op in [ReduceOp::Sum, ReduceOp::Mean, ReduceOp::Max] {
+            let reference = all_reduce_reference(&views, op).expect("reference");
+            for ring in ring_all_reduce(&inputs, op) {
+                assert_bits_eq(&reference, &ring);
+            }
+        }
+    }
+
+    #[test]
+    fn reference_all_gather_matches_ring_bitwise(
+        world in 2usize..=6,
+        len in 1usize..64,
+        seed in 0u64..100_000,
+    ) {
+        let inputs = contributions(world, len, seed);
+        let views: Vec<&[f32]> = inputs.iter().map(Vec::as_slice).collect();
+        let reference = all_gather_f32_reference(&views).expect("reference");
+        let moved = inputs.clone();
+        let gathered = ThreadGroup::run(world, move |mut comm| {
+            comm.all_gather_f32(&moved[comm.rank_id().as_usize()])
+                .expect("all_gather")
+        });
+        for g in gathered {
+            assert_bits_eq(&reference, &g);
+        }
+    }
+}
+
+/// `all_reduce` returns early for a single-rank group *without* dividing a
+/// `Mean` reduction — the reference must preserve that quirk exactly, or a
+/// one-client serve job diverges from a world-1 peer group.
+#[test]
+fn single_rank_mean_skips_the_division_like_the_ring() {
+    let buf = vec![3.0f32, -7.5, 0.25];
+    let reference = all_reduce_reference(&[&buf], ReduceOp::Mean).expect("reference");
+    assert_bits_eq(&reference, &buf);
+    let ring = ring_all_reduce(std::slice::from_ref(&buf), ReduceOp::Mean);
+    assert_bits_eq(&reference, &ring[0]);
+}
+
+/// Special values (signed zero, infinities, NaN) survive the reference
+/// fold with the same bit patterns the live ring produces.
+#[test]
+fn special_values_fold_identically() {
+    let inputs = vec![
+        vec![0.0f32, -0.0, f32::INFINITY, 1.0, f32::MAX],
+        vec![-0.0f32, 0.0, 1.0, f32::NEG_INFINITY, f32::MAX],
+        vec![1.5f32, -2.5, -1.0, 2.0, -f32::MAX],
+    ];
+    let views: Vec<&[f32]> = inputs.iter().map(Vec::as_slice).collect();
+    for op in [ReduceOp::Sum, ReduceOp::Mean, ReduceOp::Max] {
+        let reference = all_reduce_reference(&views, op).expect("reference");
+        for ring in ring_all_reduce(&inputs, op) {
+            assert_bits_eq(&reference, &ring);
+        }
+    }
+}
+
+#[test]
+fn reference_u32_gather_concatenates_in_rank_order() {
+    let a = vec![1u32, 2];
+    let b = vec![7u32, 8];
+    let out = all_gather_u32_reference(&[&a, &b]).expect("gather");
+    assert_eq!(out, vec![1, 2, 7, 8]);
+}
+
+#[test]
+fn mismatched_lengths_are_structured_errors() {
+    let a = vec![1.0f32, 2.0];
+    let b = vec![1.0f32];
+    match all_reduce_reference(&[&a, &b], ReduceOp::Sum) {
+        Err(CommError::LengthMismatch { expected, actual }) => {
+            assert_eq!((expected, actual), (2, 1));
+        }
+        other => panic!("expected LengthMismatch, got {other:?}"),
+    }
+    assert!(matches!(
+        all_reduce_reference(&[], ReduceOp::Sum),
+        Err(CommError::ProtocolMismatch)
+    ));
+    let g: Result<_, _> = all_gather_f32_reference(&[&a[..], &b[..]]);
+    assert!(matches!(g, Err(CommError::LengthMismatch { .. })));
+}
+
+/// Empty buffers are legal collectives (zero-length tensors exist in
+/// padded models); the reference agrees with the ring on them too.
+#[test]
+fn empty_buffers_reduce_to_empty() {
+    let inputs = [Vec::<f32>::new(), Vec::new(), Vec::new()];
+    let views: Vec<&[f32]> = inputs.iter().map(Vec::as_slice).collect();
+    let reference = all_reduce_reference(&views, ReduceOp::Sum).expect("reference");
+    assert!(reference.is_empty());
+}

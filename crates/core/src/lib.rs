@@ -74,4 +74,4 @@ pub use topksgd::{TopkSgdAggregator, TopkSgdConfig};
 
 /// Former name of [`PowerSgdConfig`], kept for one release.
 #[allow(deprecated)]
-pub use powersgd::PowerSgdAggregatorConfig;
+pub use powersgd::PowerSgdAggregatorConfig; // allow_verify(reason = "deprecated re-export")

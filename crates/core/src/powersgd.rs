@@ -81,7 +81,7 @@ impl PowerSgdConfig {
 
 /// Former name of [`PowerSgdConfig`].
 #[deprecated(since = "0.2.0", note = "renamed to `PowerSgdConfig`")]
-pub type PowerSgdAggregatorConfig = PowerSgdConfig;
+pub type PowerSgdAggregatorConfig = PowerSgdConfig; // allow_verify(reason = "the shim definition itself")
 
 /// Per-tensor compression state.
 #[derive(Debug)]

@@ -57,5 +57,5 @@ pub use launch::{
     ENV_RANK, ENV_WORLD_SIZE,
 };
 #[allow(deprecated)]
-pub use tcp::Topology;
+pub use tcp::Topology; // allow_verify(reason = "deprecated re-export")
 pub use tcp::{run_local, run_local_with, RetryPolicy, TcpCommunicator, TcpConfig, Wiring};

@@ -70,6 +70,15 @@ pub struct RetryPolicy {
     pub max_backoff: Duration,
     /// Per-attempt TCP connect timeout.
     pub attempt_timeout: Duration,
+    /// Per-peer wall-clock budget for one dial: retrying continues until
+    /// *both* `max_attempts` is exhausted *and* this much time has passed
+    /// since the first attempt on that peer. A refused connection returns
+    /// in microseconds, so a purely count-based policy can burn every
+    /// attempt long before a slow peer's listener binds — under many
+    /// concurrent groups (or a loaded aggregation service) that turned
+    /// startup skew into spurious `Io` errors. `Duration::ZERO` restores
+    /// the attempts-only behaviour.
+    pub dial_budget: Duration,
 }
 
 impl Default for RetryPolicy {
@@ -79,6 +88,7 @@ impl Default for RetryPolicy {
             initial_backoff: Duration::from_millis(5),
             max_backoff: Duration::from_millis(500),
             attempt_timeout: Duration::from_secs(2),
+            dial_budget: Duration::from_secs(10),
         }
     }
 }
@@ -312,20 +322,27 @@ fn configure_stream(stream: &TcpStream, op_deadline: Duration) -> io::Result<()>
     Ok(())
 }
 
-/// Dials `addr` with bounded exponential backoff.
+/// Dials `addr` with bounded exponential backoff. The retry budget is
+/// **per peer**: each call gets the full `max_attempts` *and* the full
+/// `dial_budget` wall-clock window, so a peer that comes up late is not
+/// penalised for attempts spent (instantly, on connection-refused) against
+/// an earlier peer in the same establishment pass.
 fn connect_with_retry(
     addr: &SocketAddr,
     retry: &RetryPolicy,
     op_deadline: Duration,
 ) -> Result<TcpStream, CommError> {
     let started = Instant::now();
+    let min_attempts = retry.max_attempts.max(1);
     let mut backoff = retry.initial_backoff;
     let mut last_err: Option<io::Error> = None;
-    for attempt in 0..retry.max_attempts.max(1) {
+    let mut attempt: u32 = 0;
+    while attempt < min_attempts || started.elapsed() < retry.dial_budget {
         if attempt > 0 {
             std::thread::sleep(backoff);
             backoff = (backoff * 2).min(retry.max_backoff);
         }
+        attempt = attempt.saturating_add(1);
         match TcpStream::connect_timeout(addr, retry.attempt_timeout) {
             Ok(stream) => {
                 configure_stream(&stream, op_deadline)
@@ -348,8 +365,8 @@ fn connect_with_retry(
             })
         }
         Some(e) => Err(CommError::Io(format!(
-            "connect to {addr} failed after {} attempts: {e}",
-            retry.max_attempts.max(1)
+            "connect to {addr} failed after {attempt} attempts over {}ms: {e}",
+            started.elapsed().as_millis()
         ))),
         None => unreachable!("at least one connect attempt is made"),
     }

@@ -202,6 +202,7 @@ fn connect_retries_absorb_startup_skew() {
             initial_backoff: Duration::from_millis(5),
             max_backoff: Duration::from_millis(100),
             attempt_timeout: Duration::from_secs(2),
+            dial_budget: Duration::from_secs(5),
         })
     };
     let handle = std::thread::spawn(move || {
@@ -214,6 +215,41 @@ fn connect_retries_absorb_startup_skew() {
         buf
     });
     let mut comm = TcpCommunicator::connect(cfg(0)).expect("early rank retries until join");
+    let mut buf = vec![1.0f32; 4];
+    comm.all_reduce(&mut buf, ReduceOp::Sum).unwrap();
+    assert_eq!(buf, vec![3.0; 4]);
+    assert_eq!(handle.join().unwrap(), vec![3.0; 4]);
+}
+
+/// Regression (per-peer dial budget): with only two attempts — which a
+/// connection-refused error burns in microseconds — a listener that binds
+/// ~600ms late is still reached, because `dial_budget` keeps the dial
+/// alive on wall-clock time. Before the budget existed, retries were
+/// count-based only and this scenario exhausted them near-instantly;
+/// under many concurrent groups the accumulated startup skew made late
+/// ranks fail spuriously.
+#[test]
+fn dial_budget_outlives_exhausted_attempt_count() {
+    let probe = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let base = probe.local_addr().unwrap().port();
+    drop(probe);
+    let cfg = move |rank: usize| {
+        TcpConfig::local(rank, 2, base).with_retry(RetryPolicy {
+            max_attempts: 2, // exhausted within ~5ms against a refused port
+            initial_backoff: Duration::from_millis(2),
+            max_backoff: Duration::from_millis(20),
+            attempt_timeout: Duration::from_millis(500),
+            dial_budget: Duration::from_secs(5),
+        })
+    };
+    let handle = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(600));
+        let mut comm = TcpCommunicator::connect(cfg(1)).expect("very late rank joins");
+        let mut buf = vec![2.0f32; 4];
+        comm.all_reduce(&mut buf, ReduceOp::Sum).unwrap();
+        buf
+    });
+    let mut comm = TcpCommunicator::connect(cfg(0)).expect("budget outlasts the attempt count");
     let mut buf = vec![1.0f32; 4];
     comm.all_reduce(&mut buf, ReduceOp::Sum).unwrap();
     assert_eq!(buf, vec![3.0; 4]);
@@ -254,6 +290,7 @@ fn exhausted_retries_surface_structured_error() {
         initial_backoff: Duration::from_millis(1),
         max_backoff: Duration::from_millis(4),
         attempt_timeout: Duration::from_millis(200),
+        dial_budget: Duration::ZERO, // attempts-only so exhaustion is fast
     });
     let started = Instant::now();
     let err = TcpCommunicator::connect(cfg).expect_err("no peer ever appears");

@@ -58,6 +58,7 @@ fn fast_retry() -> RetryPolicy {
         initial_backoff: Duration::from_millis(2),
         max_backoff: Duration::from_millis(10),
         attempt_timeout: Duration::from_millis(250),
+        dial_budget: Duration::ZERO, // attempts-only: dead peers must fail fast
     }
 }
 

@@ -1,0 +1,65 @@
+//! Multi-tenant sharded gradient-aggregation service.
+//!
+//! Hundreds of *small* training jobs — hyper-parameter sweeps, per-tenant
+//! fine-tunes — don't each deserve a dedicated all-reduce ring. This crate
+//! turns the workspace's collective substrate into a shared service: jobs
+//! connect over TCP with the `acp-net` frame encoding, a handshake pins
+//! each client to a `(job, epoch)` session, and sharded workers aggregate
+//! each job's step server-side with the *reference* reductions of
+//! [`acp_collectives`] — bit-exact with the peer-to-peer rings, so a model
+//! trained through the service is byte-identical to one trained over
+//! [`acp_collectives::ThreadGroup`] (proven by `acp-training`'s
+//! `served_equivalence` test).
+//!
+//! The three load-bearing properties:
+//!
+//! * **Session isolation** — every submission names its job, membership
+//!   epoch, and full schedule position (sequence number, op fingerprint,
+//!   rolling digest from [`acp_collectives::schedule`]). Divergent clients
+//!   are rejected at their first bad op with a structured
+//!   [`wire::Reject::ScheduleMismatch`]; the job is poisoned rather than
+//!   fed a wrong reduction, and *other* jobs never notice.
+//! * **Admission control** — per-job and global in-flight byte budgets.
+//!   Overload produces a retryable [`wire::Reject::Busy`]
+//!   (surfaced as [`acp_collectives::CommError::Busy`] client-side),
+//!   never a hang and never an unbounded queue.
+//! * **Elastic membership** — a client dying mid-step aborts only its
+//!   job's step with [`wire::Reject::MembershipChanged`]; survivors call
+//!   [`acp_collectives::Communicator::reform`], which the service answers
+//!   by bumping the epoch and folding the same
+//!   [`membership_param`](acp_collectives::schedule::membership_param)
+//!   into the schedule digest as the peer-to-peer transports.
+//!
+//! # Examples
+//!
+//! ```
+//! use acp_collectives::{Communicator, ReduceOp};
+//! use acp_serve::{ServeConfig, ServedCommunicator, Server};
+//!
+//! let server = Server::spawn(ServeConfig::default())?;
+//! let addr = server.addr();
+//! // Two clients of one job all-reduce through the service.
+//! let handles: Vec<_> = (0..2u32)
+//!     .map(|client| {
+//!         std::thread::spawn(move || {
+//!             let mut comm = ServedCommunicator::connect(addr, 7, client, 2).unwrap();
+//!             let mut buf = vec![f32::from(client as u8 + 1); 3];
+//!             comm.all_reduce(&mut buf, ReduceOp::Sum).unwrap();
+//!             buf
+//!         })
+//!     })
+//!     .collect();
+//! for h in handles {
+//!     assert_eq!(h.join().unwrap(), vec![3.0, 3.0, 3.0]);
+//! }
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod client;
+mod server;
+pub mod wire;
+
+pub use client::{ServedCommunicator, ServedConfig};
+pub use server::{ServeConfig, Server, ServerStats};

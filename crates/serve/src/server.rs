@@ -1,0 +1,916 @@
+//! The sharded aggregation server.
+//!
+//! One accept thread, one handler thread per connection, and a fixed pool
+//! of shard workers. A connection thread never aggregates: it validates a
+//! request against the job's session state (epoch, membership, schedule
+//! position, byte budgets), deposits the contribution, and blocks on a
+//! per-step reply channel. The *last* depositor of a step enqueues the
+//! complete contribution set to the job's shard worker, which decodes,
+//! reduces with the serial reference folds of `acp-collectives` (bit-exact
+//! with the peer-to-peer ring by the `reference_equivalence` proptests),
+//! and fans the result back to every waiting connection.
+//!
+//! Isolation properties, each covered by a test:
+//!
+//! * **Sessions**: every frame names `(job, epoch, schedule position)`;
+//!   a desynchronized client gets [`Reject::ScheduleMismatch`] naming the
+//!   expected op, and the job is poisoned rather than fed a wrong
+//!   reduction.
+//! * **Admission**: per-job and global in-flight byte budgets; exceeding
+//!   either yields a structured [`Reject::Busy`] *before* the payload is
+//!   admitted — never a hang, and the budgets are refunded when a step
+//!   drains or aborts.
+//! * **Failure**: a client dying mid-step surfaces
+//!   [`Reject::MembershipChanged`] to the waiters of *that job only*;
+//!   other jobs never observe it. Survivors reform exactly like the
+//!   peer-to-peer transports, folding the same
+//!   [`membership_param`](acp_collectives::schedule::membership_param)
+//!   into the schedule digest.
+
+use std::collections::{BTreeSet, HashMap};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use acp_collectives::schedule::{OpKind, SchedulePoint};
+use acp_collectives::{
+    all_gather_f32_reference, all_gather_u32_reference, all_reduce_reference, ReduceOp, WireMsg,
+};
+use acp_telemetry::{keys, noop, RecorderHandle};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+
+use crate::wire::{read_request, write_response, Reject, Request, Response, Submit};
+
+/// How often blocked reads re-check the shutdown flag.
+const POLL: Duration = Duration::from_millis(100);
+
+/// Aggregation-server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address; port 0 binds an ephemeral port (read the actual
+    /// one from [`Server::addr`]).
+    pub addr: SocketAddr,
+    /// Number of shard workers; jobs are assigned round-robin by job id.
+    pub shards: usize,
+    /// Per-job in-flight payload byte budget (admission control).
+    pub per_job_budget: u64,
+    /// Global in-flight payload byte budget across all jobs.
+    pub global_budget: u64,
+    /// How long a connection waits for its step to complete before
+    /// giving up with a structured timeout reject (bounds stragglers).
+    pub step_deadline: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: SocketAddr::from(([127, 0, 0, 1], 0)),
+            shards: 2,
+            per_job_budget: 8 * 1024 * 1024,
+            global_budget: 64 * 1024 * 1024,
+            step_deadline: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Point-in-time server counters (monotonic since start).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServerStats {
+    /// Aggregation steps completed.
+    pub steps: u64,
+    /// Submissions refused with `Busy` by admission control.
+    pub busy_rejects: u64,
+    /// Cross-client schedule divergences detected.
+    pub schedule_mismatches: u64,
+    /// Payload bytes currently in flight against the global budget.
+    pub in_flight_bytes: u64,
+}
+
+/// One complete step awaiting aggregation on a shard worker.
+struct ShardTask {
+    job: Arc<JobState>,
+    step: StepState,
+}
+
+/// An in-progress aggregation step of one job.
+struct StepState {
+    point: SchedulePoint,
+    digest: u64,
+    started: Instant,
+    /// Payload bytes charged against the budgets for this step.
+    charged: u64,
+    /// Contribution per member, indexed by virtual rank.
+    contributions: Vec<Option<WireMsg>>,
+    /// Reply channel per member, indexed by virtual rank.
+    repliers: Vec<Option<Sender<Response>>>,
+}
+
+impl StepState {
+    fn complete(&self) -> bool {
+        self.contributions.iter().all(Option::is_some)
+    }
+}
+
+/// A pending membership reform of one job.
+#[derive(Default)]
+struct ReformState {
+    requested: BTreeSet<u32>,
+    repliers: Vec<Sender<Response>>,
+}
+
+/// Mutable session state of one job.
+struct JobInner {
+    clients_total: u32,
+    epoch: u64,
+    /// Current members, ascending; virtual rank = index.
+    members: Vec<u32>,
+    connected: BTreeSet<u32>,
+    departed: BTreeSet<u32>,
+    /// Set when the job's clients diverged on the collective schedule;
+    /// every later request is refused with this detail.
+    poisoned: Option<String>,
+    step: Option<StepState>,
+    reform: Option<ReformState>,
+}
+
+struct JobState {
+    id: u64,
+    shard: usize,
+    in_flight: AtomicU64,
+    inner: Mutex<JobInner>,
+}
+
+/// Locks a mutex, recovering the inner state if a holder panicked (the
+/// session data is still consistent: every mutation is single-assignment
+/// or guarded by the same lock).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+struct Shared {
+    cfg: ServeConfig,
+    recorder: RecorderHandle,
+    shutdown: AtomicBool,
+    global_in_flight: AtomicU64,
+    jobs: Mutex<HashMap<u64, Arc<JobState>>>,
+    shards: Vec<ShardSlot>,
+    steps_done: AtomicU64,
+    busy_rejects: AtomicU64,
+    mismatches: AtomicU64,
+}
+
+struct ShardSlot {
+    queue: Sender<ShardTask>,
+    depth: AtomicU64,
+}
+
+/// A running aggregation server. Dropping it shuts the service down and
+/// joins the accept and shard threads.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("addr", &self.addr)
+            .field("shards", &self.shared.cfg.shards)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Server {
+    /// Binds the listener and starts the accept thread and shard workers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn spawn(cfg: ServeConfig) -> io::Result<Server> {
+        Server::spawn_with_recorder(cfg, noop())
+    }
+
+    /// [`Server::spawn`] with a telemetry recorder attached; the shards
+    /// record per-step latency, bytes and queue depth under the
+    /// `serve.*` keys.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn spawn_with_recorder(cfg: ServeConfig, recorder: RecorderHandle) -> io::Result<Server> {
+        let listener = TcpListener::bind(cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shards = cfg.shards.max(1);
+        let mut slots = Vec::with_capacity(shards);
+        let mut receivers: Vec<Receiver<ShardTask>> = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            let (tx, rx) = unbounded();
+            slots.push(ShardSlot {
+                queue: tx,
+                depth: AtomicU64::new(0),
+            });
+            receivers.push(rx);
+        }
+        let shared = Arc::new(Shared {
+            cfg,
+            recorder,
+            shutdown: AtomicBool::new(false),
+            global_in_flight: AtomicU64::new(0),
+            jobs: Mutex::new(HashMap::new()),
+            shards: slots,
+            steps_done: AtomicU64::new(0),
+            busy_rejects: AtomicU64::new(0),
+            mismatches: AtomicU64::new(0),
+        });
+        let workers = receivers
+            .into_iter()
+            .enumerate()
+            .map(|(index, rx)| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || shard_loop(&shared, index, &rx))
+            })
+            .collect();
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(&shared, &listener))
+        };
+        Ok(Server {
+            addr,
+            shared,
+            accept: Some(accept),
+            workers,
+        })
+    }
+
+    /// The bound listen address (with the real port when 0 was asked).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Current server counters.
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            steps: self.shared.steps_done.load(Ordering::SeqCst),
+            busy_rejects: self.shared.busy_rejects.load(Ordering::SeqCst),
+            schedule_mismatches: self.shared.mismatches.load(Ordering::SeqCst),
+            in_flight_bytes: self.shared.global_in_flight.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Signals shutdown and joins the accept thread and shard workers.
+    /// Connection handlers observe the flag at their next poll tick and
+    /// exit on their own.
+    pub fn shutdown(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let shared = Arc::clone(shared);
+                std::thread::spawn(move || connection_loop(&shared, stream));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+/// Blocks until a full request header byte is available (polling so
+/// shutdown is observed), then decodes the request. `Ok(None)` means the
+/// server is shutting down.
+fn poll_request(shared: &Shared, stream: &TcpStream) -> io::Result<Option<Request>> {
+    let mut probe = [0u8; 1];
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return Ok(None);
+        }
+        match stream.peek(&mut probe) {
+            Ok(0) => return Err(io::ErrorKind::UnexpectedEof.into()),
+            Ok(_) => break,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    // The sender queues whole requests with one write_all, so once the
+    // first byte is here the rest follows within the poll timeout.
+    read_request(&mut &*stream).map(Some)
+}
+
+fn connection_loop(shared: &Arc<Shared>, stream: TcpStream) {
+    if stream.set_nodelay(true).is_err()
+        || stream.set_read_timeout(Some(POLL)).is_err()
+        || stream
+            .set_write_timeout(Some(shared.cfg.step_deadline))
+            .is_err()
+    {
+        return;
+    }
+    // Handshake: the first request must be a Hello naming the session.
+    let (job, client) = match poll_request(shared, &stream) {
+        Ok(Some(Request::Hello {
+            job,
+            client,
+            clients,
+        })) => {
+            let resp = handshake(shared, job, client, clients);
+            let accepted = matches!(resp, Response::Welcome { .. });
+            let delivered = write_response(&mut &stream, &resp).is_ok();
+            if !accepted {
+                return;
+            }
+            if !delivered {
+                // The handshake registered the client; un-register it.
+                mark_departed(shared, job, client);
+                return;
+            }
+            (job, client)
+        }
+        Ok(Some(_)) => {
+            let _ = write_response(
+                &mut &stream,
+                &Response::Reject(Reject::Protocol {
+                    detail: "the first request must be a Hello handshake".to_string(),
+                }),
+            );
+            return;
+        }
+        _ => return,
+    };
+    loop {
+        match poll_request(shared, &stream) {
+            Ok(None) => return, // shutdown: drop without marking departure
+            Ok(Some(Request::Submit(submit))) => {
+                let resp = handle_submit(shared, job, client, submit);
+                if write_response(&mut &stream, &resp).is_err() {
+                    break;
+                }
+            }
+            Ok(Some(Request::Reform {
+                job: req_job,
+                client: req_client,
+                epoch,
+            })) => {
+                let resp = if req_job == job && req_client == client {
+                    handle_reform(shared, job, client, epoch)
+                } else {
+                    Response::Reject(Reject::Protocol {
+                        detail: "reform names a different session than the handshake".to_string(),
+                    })
+                };
+                if write_response(&mut &stream, &resp).is_err() {
+                    break;
+                }
+            }
+            Ok(Some(Request::Bye { .. })) => break,
+            Ok(Some(Request::Hello { .. })) => {
+                let _ = write_response(
+                    &mut &stream,
+                    &Response::Reject(Reject::Protocol {
+                        detail: "duplicate Hello on an established session".to_string(),
+                    }),
+                );
+                break;
+            }
+            Err(_) => break,
+        }
+    }
+    mark_departed(shared, job, client);
+}
+
+fn handshake(shared: &Shared, job_id: u64, client: u32, clients: u32) -> Response {
+    if clients == 0 || client >= clients {
+        return Response::Reject(Reject::Rejected {
+            detail: format!("client {client} out of range for a {clients}-client job"),
+        });
+    }
+    let job = {
+        let mut jobs = lock(&shared.jobs);
+        Arc::clone(jobs.entry(job_id).or_insert_with(|| {
+            Arc::new(JobState {
+                id: job_id,
+                shard: (job_id % shared.cfg.shards.max(1) as u64) as usize,
+                in_flight: AtomicU64::new(0),
+                inner: Mutex::new(JobInner {
+                    clients_total: clients,
+                    epoch: 0,
+                    members: (0..clients).collect(),
+                    connected: BTreeSet::new(),
+                    departed: BTreeSet::new(),
+                    poisoned: None,
+                    step: None,
+                    reform: None,
+                }),
+            })
+        }))
+    };
+    let mut inner = lock(&job.inner);
+    if inner.clients_total != clients {
+        return Response::Reject(Reject::Rejected {
+            detail: format!(
+                "job {job_id} was registered with {} clients, not {clients}",
+                inner.clients_total
+            ),
+        });
+    }
+    if let Some(detail) = &inner.poisoned {
+        return Response::Reject(Reject::Rejected {
+            detail: detail.clone(),
+        });
+    }
+    if inner.connected.contains(&client) {
+        return Response::Reject(Reject::Rejected {
+            detail: format!("client {client} of job {job_id} is already connected"),
+        });
+    }
+    let Some(virt) = inner.members.iter().position(|&m| m == client) else {
+        return Response::Reject(Reject::MembershipChanged {
+            epoch: inner.epoch,
+            departed: inner.departed.iter().copied().collect(),
+        });
+    };
+    inner.connected.insert(client);
+    Response::Welcome {
+        job: job_id,
+        epoch: inner.epoch,
+        clients: inner.clients_total,
+        rank: virt as u32,
+    }
+}
+
+fn job_of(shared: &Shared, job_id: u64) -> Option<Arc<JobState>> {
+    lock(&shared.jobs).get(&job_id).cloned()
+}
+
+/// Validates the collective a new step opens with. Anything the reference
+/// folds cannot aggregate is refused up front, so the shard workers never
+/// see an unsupported kind.
+fn validate_open(point: &SchedulePoint, world: usize) -> Result<(), Reject> {
+    match point.kind {
+        OpKind::AllReduce => {
+            if point.param > 2 {
+                return Err(Reject::Rejected {
+                    detail: format!("unknown reduce operator code {}", point.param),
+                });
+            }
+        }
+        OpKind::AllGatherF32 | OpKind::AllGatherU32 | OpKind::Barrier => {}
+        OpKind::Broadcast => {
+            if point.param as usize >= world {
+                return Err(Reject::Rejected {
+                    detail: format!(
+                        "broadcast root {} out of range for a {world}-member job",
+                        point.param
+                    ),
+                });
+            }
+        }
+        other => {
+            return Err(Reject::Rejected {
+                detail: format!("collective kind {other} is not served (use the p2p transports)"),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Checks the payload's type and element count against the op
+/// fingerprint every member must agree on.
+fn validate_payload(point: &SchedulePoint, payload: &WireMsg) -> Result<(), Reject> {
+    let type_and_len = match (point.kind, payload) {
+        (OpKind::AllReduce | OpKind::Broadcast | OpKind::AllGatherF32, WireMsg::F32(v)) => {
+            Some(v.len() as u64)
+        }
+        (OpKind::AllGatherU32, WireMsg::U32(v)) => Some(v.len() as u64),
+        (OpKind::Barrier, WireMsg::Token) => Some(0),
+        _ => None,
+    };
+    match type_and_len {
+        Some(len) if len == point.words => Ok(()),
+        Some(len) => Err(Reject::Protocol {
+            detail: format!(
+                "payload carries {len} elements but the op fingerprint says {}",
+                point.words
+            ),
+        }),
+        None => Err(Reject::Protocol {
+            detail: format!("payload type does not match collective kind {}", point.kind),
+        }),
+    }
+}
+
+fn refund(shared: &Shared, job: &JobState, bytes: u64) {
+    job.in_flight.fetch_sub(bytes, Ordering::SeqCst);
+    shared.global_in_flight.fetch_sub(bytes, Ordering::SeqCst);
+}
+
+/// Aborts the in-flight step (if any) under `inner`, replying `reject` to
+/// every waiting member and refunding the step's charged bytes.
+fn abort_step(shared: &Shared, job: &JobState, inner: &mut JobInner, reject: &Reject) {
+    if let Some(step) = inner.step.take() {
+        for tx in step.repliers.iter().flatten() {
+            let _ = tx.send(Response::Reject(reject.clone()));
+        }
+        refund(shared, job, step.charged);
+    }
+}
+
+fn handle_submit(shared: &Shared, job_id: u64, client: u32, submit: Submit) -> Response {
+    if submit.job != job_id || submit.client != client {
+        return Response::Reject(Reject::Protocol {
+            detail: "submit names a different session than the handshake".to_string(),
+        });
+    }
+    let Some(job) = job_of(shared, job_id) else {
+        return Response::Reject(Reject::Rejected {
+            detail: format!("job {job_id} is not registered"),
+        });
+    };
+    let bytes = submit.payload.payload_bytes();
+    // Admission control: charge optimistically, undo on refusal so a
+    // refused submission never occupies budget. `Busy` is retryable and
+    // precedes any session-state mutation.
+    let job_now = job.in_flight.fetch_add(bytes, Ordering::SeqCst) + bytes;
+    if job_now > shared.cfg.per_job_budget {
+        job.in_flight.fetch_sub(bytes, Ordering::SeqCst);
+        shared.busy_rejects.fetch_add(1, Ordering::SeqCst);
+        shared.recorder.add(keys::SERVE_REJECT_BUSY, 1);
+        return Response::Reject(Reject::Busy {
+            in_flight: job_now - bytes,
+            budget: shared.cfg.per_job_budget,
+        });
+    }
+    let global_now = shared.global_in_flight.fetch_add(bytes, Ordering::SeqCst) + bytes;
+    if global_now > shared.cfg.global_budget {
+        shared.global_in_flight.fetch_sub(bytes, Ordering::SeqCst);
+        job.in_flight.fetch_sub(bytes, Ordering::SeqCst);
+        shared.busy_rejects.fetch_add(1, Ordering::SeqCst);
+        shared.recorder.add(keys::SERVE_REJECT_BUSY, 1);
+        return Response::Reject(Reject::Busy {
+            in_flight: global_now - bytes,
+            budget: shared.cfg.global_budget,
+        });
+    }
+    let rx = {
+        let mut inner = lock(&job.inner);
+        if let Some(detail) = &inner.poisoned {
+            refund(shared, &job, bytes);
+            return Response::Reject(Reject::Rejected {
+                detail: detail.clone(),
+            });
+        }
+        if submit.epoch != inner.epoch || !inner.departed.is_empty() {
+            refund(shared, &job, bytes);
+            return Response::Reject(Reject::MembershipChanged {
+                epoch: inner.epoch,
+                departed: inner.departed.iter().copied().collect(),
+            });
+        }
+        let Some(virt) = inner.members.iter().position(|&m| m == client) else {
+            refund(shared, &job, bytes);
+            return Response::Reject(Reject::Rejected {
+                detail: format!("client {client} is not a member of job {job_id} anymore"),
+            });
+        };
+        if let Err(reject) = validate_open(&submit.point, inner.members.len()) {
+            refund(shared, &job, bytes);
+            return Response::Reject(reject);
+        }
+        if let Err(reject) = validate_payload(&submit.point, &submit.payload) {
+            refund(shared, &job, bytes);
+            return Response::Reject(reject);
+        }
+        let world = inner.members.len();
+        if inner.step.is_none() {
+            // First submitter of the step fixes the expected fingerprint
+            // and digest; everyone else must match it exactly.
+            inner.step = Some(StepState {
+                point: submit.point,
+                digest: submit.digest,
+                started: Instant::now(),
+                charged: 0,
+                contributions: vec![None; world],
+                repliers: vec![None; world],
+            });
+        }
+        // Borrow re-established after the insert above.
+        let expected = inner.step.as_ref().map(|s| (s.point, s.digest));
+        if let Some((point, digest)) = expected {
+            if point != submit.point || digest != submit.digest {
+                let got = submit.point;
+                let seq = point.seq.min(got.seq);
+                shared.mismatches.fetch_add(1, Ordering::SeqCst);
+                shared.recorder.add(keys::SERVE_SCHEDULE_MISMATCHES, 1);
+                let detail = format!(
+                    "job {job_id} poisoned: client {client} diverged from the collective \
+                     schedule at op {seq} (expected {point}, got {got})"
+                );
+                abort_step(
+                    shared,
+                    &job,
+                    &mut inner,
+                    &Reject::Rejected {
+                        detail: detail.clone(),
+                    },
+                );
+                inner.poisoned = Some(detail);
+                refund(shared, &job, bytes);
+                return Response::Reject(Reject::ScheduleMismatch {
+                    seq,
+                    expected: Some(point),
+                    got,
+                });
+            }
+        }
+        let Some(step) = inner.step.as_mut() else {
+            refund(shared, &job, bytes);
+            return Response::Reject(Reject::Protocol {
+                detail: "step state vanished mid-submit".to_string(),
+            });
+        };
+        if step.contributions[virt].is_some() {
+            refund(shared, &job, bytes);
+            return Response::Reject(Reject::Protocol {
+                detail: format!(
+                    "duplicate contribution from client {client} at op {}",
+                    step.point.seq
+                ),
+            });
+        }
+        let (tx, rx) = unbounded();
+        step.contributions[virt] = Some(submit.payload);
+        step.repliers[virt] = Some(tx);
+        step.charged += bytes;
+        if step.complete() {
+            let Some(step) = inner.step.take() else {
+                refund(shared, &job, bytes);
+                return Response::Reject(Reject::Protocol {
+                    detail: "step state vanished mid-submit".to_string(),
+                });
+            };
+            let slot = &shared.shards[job.shard];
+            let depth = slot.depth.fetch_add(1, Ordering::SeqCst) + 1;
+            shared
+                .recorder
+                .observe(keys::SERVE_QUEUE_DEPTH, depth as f64);
+            let task = ShardTask {
+                job: Arc::clone(&job),
+                step,
+            };
+            if slot.queue.send(task).is_err() {
+                // Shard worker gone: only during shutdown.
+                return Response::Reject(Reject::Rejected {
+                    detail: "server is shutting down".to_string(),
+                });
+            }
+        }
+        rx
+    };
+    match rx.recv_timeout(shared.cfg.step_deadline) {
+        Ok(resp) => resp,
+        Err(RecvTimeoutError::Timeout) => Response::Reject(Reject::Protocol {
+            detail: format!(
+                "step did not complete within {:?} (straggling or missing member)",
+                shared.cfg.step_deadline
+            ),
+        }),
+        Err(RecvTimeoutError::Disconnected) => Response::Reject(Reject::Rejected {
+            detail: "server is shutting down".to_string(),
+        }),
+    }
+}
+
+fn handle_reform(shared: &Shared, job_id: u64, client: u32, epoch: u64) -> Response {
+    let Some(job) = job_of(shared, job_id) else {
+        return Response::Reject(Reject::Rejected {
+            detail: format!("job {job_id} is not registered"),
+        });
+    };
+    let rx = {
+        let mut inner = lock(&job.inner);
+        if let Some(detail) = &inner.poisoned {
+            return Response::Reject(Reject::Rejected {
+                detail: detail.clone(),
+            });
+        }
+        if epoch != inner.epoch {
+            return Response::Reject(Reject::Protocol {
+                detail: format!("reform at epoch {epoch}, job is at epoch {}", inner.epoch),
+            });
+        }
+        if !inner.members.contains(&client) || inner.departed.contains(&client) {
+            return Response::Reject(Reject::Rejected {
+                detail: format!("client {client} is not a surviving member of job {job_id}"),
+            });
+        }
+        // A straggling step can never finish once a member is gone;
+        // reforming aborts it like the peer-to-peer transports do.
+        let reject = Reject::MembershipChanged {
+            epoch: inner.epoch,
+            departed: inner.departed.iter().copied().collect(),
+        };
+        abort_step(shared, &job, &mut inner, &reject);
+        let (tx, rx) = unbounded();
+        let reform = inner.reform.get_or_insert_with(ReformState::default);
+        reform.requested.insert(client);
+        reform.repliers.push(tx);
+        maybe_finish_reform(&mut inner);
+        rx
+    };
+    match rx.recv_timeout(shared.cfg.step_deadline) {
+        Ok(resp) => resp,
+        Err(RecvTimeoutError::Timeout) => Response::Reject(Reject::Protocol {
+            detail: format!(
+                "reform did not converge within {:?} (a survivor never requested it)",
+                shared.cfg.step_deadline
+            ),
+        }),
+        Err(RecvTimeoutError::Disconnected) => Response::Reject(Reject::Rejected {
+            detail: "server is shutting down".to_string(),
+        }),
+    }
+}
+
+/// Completes a pending reform once every surviving member has requested
+/// it: bumps the epoch, installs the survivors as the new membership and
+/// answers every requester. Call with `inner` locked.
+fn maybe_finish_reform(inner: &mut JobInner) {
+    let Some(reform) = inner.reform.as_ref() else {
+        return;
+    };
+    let survivors: Vec<u32> = inner
+        .members
+        .iter()
+        .copied()
+        .filter(|m| !inner.departed.contains(m))
+        .collect();
+    if survivors.is_empty() || !survivors.iter().all(|s| reform.requested.contains(s)) {
+        return;
+    }
+    let Some(reform) = inner.reform.take() else {
+        return;
+    };
+    inner.epoch += 1;
+    inner.members = survivors;
+    inner.departed.clear();
+    let resp = Response::Reformed {
+        epoch: inner.epoch,
+        members: inner.members.clone(),
+    };
+    for tx in reform.repliers {
+        let _ = tx.send(resp.clone());
+    }
+}
+
+/// Handles a client leaving (gracefully or by death): aborts the job's
+/// in-flight step with a `MembershipChanged` reject to *that job's*
+/// waiters, lets a pending reform converge without the deceased, and
+/// garbage-collects the job once its last client is gone.
+fn mark_departed(shared: &Shared, job_id: u64, client: u32) {
+    // Lock order is always jobs → inner (handshake does the same).
+    let mut jobs = lock(&shared.jobs);
+    let Some(job) = jobs.get(&job_id).cloned() else {
+        return;
+    };
+    let empty = {
+        let mut inner = lock(&job.inner);
+        inner.connected.remove(&client);
+        if inner.members.contains(&client) {
+            inner.departed.insert(client);
+            let reject = Reject::MembershipChanged {
+                epoch: inner.epoch,
+                departed: inner.departed.iter().copied().collect(),
+            };
+            abort_step(shared, &job, &mut inner, &reject);
+            // The departure may be exactly what a pending reform was
+            // waiting out.
+            maybe_finish_reform(&mut inner);
+        }
+        inner.connected.is_empty()
+    };
+    if empty {
+        jobs.remove(&job_id);
+    }
+}
+
+/// Decodes one complete step's contributions and aggregates them with the
+/// serial reference folds — bit-exact with the transports' ring
+/// algorithms.
+fn aggregate(step: &StepState) -> Result<WireMsg, Reject> {
+    let missing = || Reject::Protocol {
+        detail: "incomplete contribution set reached the shard".to_string(),
+    };
+    let to_comm_reject = |e: acp_collectives::CommError| Reject::Protocol {
+        detail: format!("aggregation failed: {e}"),
+    };
+    match step.point.kind {
+        OpKind::AllReduce => {
+            let op = match step.point.param {
+                0 => ReduceOp::Sum,
+                1 => ReduceOp::Mean,
+                _ => ReduceOp::Max,
+            };
+            let mut views: Vec<&[f32]> = Vec::with_capacity(step.contributions.len());
+            for c in &step.contributions {
+                match c {
+                    Some(WireMsg::F32(v)) => views.push(v),
+                    _ => return Err(missing()),
+                }
+            }
+            all_reduce_reference(&views, op)
+                .map(WireMsg::F32)
+                .map_err(to_comm_reject)
+        }
+        OpKind::AllGatherF32 => {
+            let mut views: Vec<&[f32]> = Vec::with_capacity(step.contributions.len());
+            for c in &step.contributions {
+                match c {
+                    Some(WireMsg::F32(v)) => views.push(v),
+                    _ => return Err(missing()),
+                }
+            }
+            all_gather_f32_reference(&views)
+                .map(WireMsg::F32)
+                .map_err(to_comm_reject)
+        }
+        OpKind::AllGatherU32 => {
+            let mut views: Vec<&[u32]> = Vec::with_capacity(step.contributions.len());
+            for c in &step.contributions {
+                match c {
+                    Some(WireMsg::U32(v)) => views.push(v),
+                    _ => return Err(missing()),
+                }
+            }
+            all_gather_u32_reference(&views)
+                .map(WireMsg::U32)
+                .map_err(to_comm_reject)
+        }
+        OpKind::Broadcast => match step.contributions.get(step.point.param as usize) {
+            Some(Some(WireMsg::F32(v))) => Ok(WireMsg::F32(v.clone())),
+            _ => Err(missing()),
+        },
+        OpKind::Barrier => Ok(WireMsg::Token),
+        other => Err(Reject::Rejected {
+            detail: format!("collective kind {other} is not served"),
+        }),
+    }
+}
+
+fn shard_loop(shared: &Arc<Shared>, index: usize, rx: &Receiver<ShardTask>) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        let task = match rx.recv_timeout(POLL) {
+            Ok(task) => task,
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => return,
+        };
+        shared.shards[index].depth.fetch_sub(1, Ordering::SeqCst);
+        let ShardTask { job, step } = task;
+        let reply = match aggregate(&step) {
+            Ok(payload) => Response::Done {
+                seq: step.point.seq,
+                digest: step.digest,
+                payload,
+            },
+            Err(reject) => Response::Reject(reject),
+        };
+        // Settle the accounting *before* unblocking the waiters, so a
+        // client that observed its result also observes drained budgets
+        // and bumped counters.
+        refund(shared, &job, step.charged);
+        shared.steps_done.fetch_add(1, Ordering::SeqCst);
+        let elapsed_us = step.started.elapsed().as_micros() as f64;
+        shared.recorder.observe(keys::SERVE_STEP_US, elapsed_us);
+        shared.recorder.add(keys::SERVE_STEP_BYTES, step.charged);
+        shared.recorder.add(keys::SERVE_STEPS, 1);
+        let _ = job.id; // job identity retained for debugging/telemetry
+        for tx in step.repliers.iter().flatten() {
+            let _ = tx.send(reply.clone());
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Multi-job isolation: a client dying mid-step surfaces
+//! `MembershipChanged` to *its* job only, survivors reform and continue,
+//! and unrelated jobs on the same server never notice.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use acp_collectives::{CommError, Communicator, ReduceOp};
+use acp_serve::{ServeConfig, ServedCommunicator, Server};
+
+#[test]
+fn death_mid_step_aborts_only_that_job_and_survivors_reform() {
+    let server = Server::spawn(ServeConfig::default()).unwrap();
+    let addr = server.addr();
+
+    // Job B: two clients stepping continuously in the background while
+    // job A goes through death and reform. Every step must succeed.
+    //
+    // The clients must agree on which step is their last, or one could
+    // read the stop flag, disconnect, and legitimately abort a step its
+    // peer had already deposited into. They agree through the collective
+    // itself: element 0 carries a stop vote, and both exit together the
+    // first step the summed vote is non-zero.
+    const STOP_VOTE: f32 = 1e6;
+    let stop = Arc::new(AtomicBool::new(false));
+    let bystanders: Vec<_> = (0..2u32)
+        .map(|c| {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut comm = ServedCommunicator::connect(addr, 200, c, 2).unwrap();
+                let mut steps = 0u64;
+                loop {
+                    let mut buf = vec![1.0f32; 32];
+                    if stop.load(Ordering::SeqCst) {
+                        buf[0] = STOP_VOTE;
+                    }
+                    comm.all_reduce(&mut buf, ReduceOp::Sum)
+                        .expect("the bystander job must never observe job A's failure");
+                    if buf[0] >= STOP_VOTE {
+                        break;
+                    }
+                    assert_eq!(buf, vec![2.0; 32]);
+                    steps += 1;
+                }
+                steps
+            })
+        })
+        .collect();
+
+    // Job A: clients 0 and 1 submit and block on the step; client 2
+    // connects, never contributes, and dies.
+    let deceased = ServedCommunicator::connect(addr, 100, 2, 3).unwrap();
+    let survivors: Vec<_> = (0..2u32)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let mut comm = ServedCommunicator::connect(addr, 100, c, 3).unwrap();
+                let mut buf = vec![f32::from(c as u8) + 1.0; 8];
+                let err = comm
+                    .all_reduce(&mut buf, ReduceOp::Sum)
+                    .expect_err("the step cannot complete once a member died");
+                assert!(
+                    matches!(
+                        err,
+                        CommError::MembershipChanged { epoch: 0, ref departed }
+                            if departed == &[2]
+                    ),
+                    "survivors are told exactly who departed: {err}"
+                );
+                // Reform rebuilds the job from the survivors…
+                let membership = comm.reform().unwrap();
+                assert_eq!(membership.epoch(), 1);
+                assert_eq!(membership.ranks(), &[0, 1]);
+                assert_eq!(comm.world_size(), 2);
+                // …and collectives work again at the new epoch.
+                let mut buf = vec![f32::from(c as u8) + 1.0; 8];
+                comm.all_reduce(&mut buf, ReduceOp::Sum).unwrap();
+                assert_eq!(buf, vec![3.0; 8]);
+            })
+        })
+        .collect();
+
+    // Let both survivors deposit their contributions, then kill client 2.
+    std::thread::sleep(Duration::from_millis(300));
+    drop(deceased);
+
+    for h in survivors {
+        h.join().unwrap();
+    }
+    stop.store(true, Ordering::SeqCst);
+    for h in bystanders {
+        let steps = h.join().unwrap();
+        assert!(steps > 0, "the bystander job made progress throughout");
+    }
+    assert_eq!(
+        server.stats().schedule_mismatches,
+        0,
+        "a death is a membership event, not a schedule divergence"
+    );
+    assert_eq!(server.stats().in_flight_bytes, 0, "aborted bytes refunded");
+}
+
+#[test]
+fn stale_epoch_submissions_are_refused_after_reform() {
+    let server = Server::spawn(ServeConfig::default()).unwrap();
+    let addr = server.addr();
+    // One-client job: depart-and-reform degenerates to nothing, so use
+    // two clients where one reforms while the other stays stale.
+    let deceased = ServedCommunicator::connect(addr, 300, 2, 3).unwrap();
+    let handles: Vec<_> = (0..2u32)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let mut comm = ServedCommunicator::connect(addr, 300, c, 3).unwrap();
+                let mut buf = vec![1.0f32; 4];
+                comm.all_reduce(&mut buf, ReduceOp::Sum)
+                    .expect_err("aborted");
+                // Resubmitting at the stale epoch (without reforming
+                // first) must be refused — reform cannot be skipped.
+                let mut buf = vec![1.0f32; 4];
+                let err = comm.all_reduce(&mut buf, ReduceOp::Sum).unwrap_err();
+                assert!(
+                    matches!(err, CommError::MembershipChanged { .. }),
+                    "stale-epoch submit refused: {err}"
+                );
+                // Both survivors then reform collectively and continue.
+                let membership = comm.reform().unwrap();
+                assert_eq!(membership.epoch(), 1);
+                let mut buf = vec![f32::from(c as u8) + 2.0; 4];
+                comm.all_reduce(&mut buf, ReduceOp::Sum).unwrap();
+                assert_eq!(buf, vec![5.0; 4]);
+            })
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(300));
+    drop(deceased);
+    for h in handles {
+        h.join().unwrap();
+    }
+}

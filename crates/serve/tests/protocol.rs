@@ -1,0 +1,368 @@
+//! Service protocol behaviour: collective correctness against the
+//! reference folds, structured rejections for every misuse, and bounded
+//! backpressure under overload.
+
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use acp_collectives::schedule::{OpKind, SchedulePoint};
+use acp_collectives::{
+    all_gather_f32_reference, all_gather_u32_reference, all_reduce_reference, CommError,
+    Communicator, ReduceOp, WireMsg,
+};
+use acp_serve::wire::{read_response, write_request, Reject, Request, Response, Submit};
+use acp_serve::{ServeConfig, ServedCommunicator, ServedConfig, Server};
+use acp_telemetry::{keys, InMemoryRecorder};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn contributions(clients: usize, len: usize, seed: u64) -> Vec<Vec<f32>> {
+    (0..clients)
+        .map(|c| {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (c as u64) << 32);
+            (0..len).map(|_| rng.gen_range(-2.0..2.0)).collect()
+        })
+        .collect()
+}
+
+#[test]
+fn dense_all_reduce_matches_the_reference_bitwise() {
+    let server = Server::spawn(ServeConfig::default()).unwrap();
+    let addr = server.addr();
+    for (job, op) in [
+        (1u64, ReduceOp::Sum),
+        (2, ReduceOp::Mean),
+        (3, ReduceOp::Max),
+    ] {
+        let inputs = contributions(4, 97, 0xC0FFEE ^ job);
+        let views: Vec<&[f32]> = inputs.iter().map(Vec::as_slice).collect();
+        let expected = all_reduce_reference(&views, op).unwrap();
+        let handles: Vec<_> = inputs
+            .iter()
+            .cloned()
+            .enumerate()
+            .map(|(c, mut buf)| {
+                std::thread::spawn(move || {
+                    let mut comm = ServedCommunicator::connect(addr, job, c as u32, 4).unwrap();
+                    comm.all_reduce(&mut buf, op).unwrap();
+                    buf
+                })
+            })
+            .collect();
+        for h in handles {
+            let got = h.join().unwrap();
+            let same = got
+                .iter()
+                .zip(&expected)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same, "served {op:?} all-reduce must be bit-exact");
+        }
+    }
+}
+
+#[test]
+fn all_gathers_concatenate_in_rank_order() {
+    let server = Server::spawn(ServeConfig::default()).unwrap();
+    let addr = server.addr();
+    let inputs = contributions(3, 11, 42);
+    let views: Vec<&[f32]> = inputs.iter().map(Vec::as_slice).collect();
+    let expected_f = all_gather_f32_reference(&views).unwrap();
+    let idx: Vec<Vec<u32>> = (0..3u32).map(|c| vec![c * 10, c * 10 + 1]).collect();
+    let idx_views: Vec<&[u32]> = idx.iter().map(Vec::as_slice).collect();
+    let expected_u = all_gather_u32_reference(&idx_views).unwrap();
+    let handles: Vec<_> = (0..3usize)
+        .map(|c| {
+            let send_f = inputs[c].clone();
+            let send_u = idx[c].clone();
+            std::thread::spawn(move || {
+                let mut comm = ServedCommunicator::connect(addr, 9, c as u32, 3).unwrap();
+                let f = comm.all_gather_f32(&send_f).unwrap();
+                let u = comm.all_gather_u32(&send_u).unwrap();
+                (f, u)
+            })
+        })
+        .collect();
+    for h in handles {
+        let (f, u) = h.join().unwrap();
+        assert_eq!(f, expected_f);
+        assert_eq!(u, expected_u);
+    }
+}
+
+#[test]
+fn broadcast_barrier_and_topk_use_the_service() {
+    let server = Server::spawn(ServeConfig::default()).unwrap();
+    let addr = server.addr();
+    let handles: Vec<_> = (0..3u32)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let mut comm = ServedCommunicator::connect(addr, 5, c, 3).unwrap();
+                let mut buf = if c == 1 {
+                    vec![3.5, -1.25]
+                } else {
+                    vec![0.0, 0.0]
+                };
+                comm.broadcast(&mut buf, 1).unwrap();
+                comm.barrier().unwrap();
+                // The derived gather-truncate global top-k rides on the
+                // served all-gathers.
+                let (idx, val) = comm
+                    .global_topk(&[c, 100], &[f32::from(c as u8) + 1.0, 0.5], 2)
+                    .unwrap();
+                (buf, idx, val)
+            })
+        })
+        .collect();
+    for h in handles {
+        let (buf, idx, val) = h.join().unwrap();
+        assert_eq!(buf, vec![3.5, -1.25]);
+        // Per-coordinate sums: 0→1.0, 1→2.0, 2→3.0, 100→1.5; the exact
+        // gather-truncate top-2 keeps coordinates 1 and 2.
+        assert_eq!(idx.len(), 2);
+        assert_eq!(val.len(), 2);
+        assert!(idx.contains(&2), "largest coordinate kept: {idx:?}");
+        assert!(idx.contains(&1), "second coordinate kept: {idx:?}");
+    }
+}
+
+#[test]
+fn handshake_misuse_is_structurally_rejected() {
+    let server = Server::spawn(ServeConfig::default()).unwrap();
+    let addr = server.addr();
+    // Out-of-range client id.
+    let err = ServedCommunicator::connect(addr, 11, 5, 2).unwrap_err();
+    assert!(matches!(err, CommError::Rejected { .. }), "got {err}");
+    // Duplicate client id.
+    let _first = ServedCommunicator::connect(addr, 11, 0, 2).unwrap();
+    let err = ServedCommunicator::connect(addr, 11, 0, 2).unwrap_err();
+    assert!(matches!(err, CommError::Rejected { .. }), "got {err}");
+    // Disagreeing world size for an existing job.
+    let err = ServedCommunicator::connect(addr, 11, 1, 3).unwrap_err();
+    assert!(matches!(err, CommError::Rejected { .. }), "got {err}");
+}
+
+#[test]
+fn per_job_budget_overload_is_busy_not_a_hang() {
+    let server = Server::spawn(ServeConfig {
+        per_job_budget: 15, // below one 4-element f32 payload (16 bytes)
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let cfg = ServedConfig {
+        busy_retries: 3,
+        busy_backoff: Duration::from_millis(1),
+        ..ServedConfig::default()
+    };
+    let mut comm = ServedCommunicator::connect_with(server.addr(), 1, 0, 1, cfg).unwrap();
+    let mut buf = vec![1.0f32; 4];
+    let err = comm.all_reduce(&mut buf, ReduceOp::Sum).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            CommError::Busy {
+                budget_bytes: 15,
+                ..
+            }
+        ),
+        "got {err}"
+    );
+    assert!(server.stats().busy_rejects >= 4, "each retry is counted");
+    // A submission under the budget still goes through: the refused ones
+    // were refunded, not leaked into the in-flight accounting.
+    let mut small = vec![2.0f32; 2];
+    comm.all_reduce(&mut small, ReduceOp::Sum).unwrap();
+    assert_eq!(small, vec![2.0, 2.0]);
+    assert_eq!(server.stats().in_flight_bytes, 0, "budgets drained");
+}
+
+#[test]
+fn global_budget_overload_is_busy_not_a_hang() {
+    let server = Server::spawn(ServeConfig {
+        per_job_budget: 1 << 20,
+        global_budget: 15,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let cfg = ServedConfig {
+        busy_retries: 0,
+        ..ServedConfig::default()
+    };
+    let mut comm = ServedCommunicator::connect_with(server.addr(), 2, 0, 1, cfg).unwrap();
+    let mut buf = vec![1.0f32; 8];
+    let err = comm.all_reduce(&mut buf, ReduceOp::Sum).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            CommError::Busy {
+                budget_bytes: 15,
+                ..
+            }
+        ),
+        "got {err}"
+    );
+}
+
+#[test]
+fn schedule_divergence_poisons_the_job_and_names_the_op() {
+    let server = Server::spawn(ServeConfig::default()).unwrap();
+    let addr = server.addr();
+    let a = std::thread::spawn(move || {
+        let mut comm = ServedCommunicator::connect(addr, 21, 0, 2).unwrap();
+        let mut buf = vec![1.0f32; 4];
+        comm.all_reduce(&mut buf, ReduceOp::Sum)
+    });
+    let b = std::thread::spawn(move || {
+        let mut comm = ServedCommunicator::connect(addr, 21, 1, 2).unwrap();
+        // Give the other client time to open the step with len 4.
+        std::thread::sleep(Duration::from_millis(150));
+        let mut buf = vec![1.0f32; 8]; // diverged: wrong word count
+        let first = comm.all_reduce(&mut buf, ReduceOp::Sum);
+        // The job is now poisoned: every later submission is refused.
+        let mut again = vec![1.0f32; 4];
+        let second = comm.all_reduce(&mut again, ReduceOp::Sum);
+        (first, second)
+    });
+    let (first, second) = b.join().unwrap();
+    let waiter = a.join().unwrap();
+    assert!(
+        matches!(first, Err(CommError::ScheduleMismatch { .. })),
+        "diverging client told which op differed: {first:?}"
+    );
+    assert!(
+        matches!(second, Err(CommError::Rejected { .. })),
+        "poisoned job refuses further work: {second:?}"
+    );
+    assert!(
+        waiter.is_err(),
+        "the waiting client is unblocked with an error"
+    );
+    assert_eq!(server.stats().schedule_mismatches, 1);
+    // Other jobs on the same server are untouched.
+    let mut fresh = ServedCommunicator::connect(addr, 22, 0, 1).unwrap();
+    let mut buf = vec![2.0f32; 3];
+    fresh.all_reduce(&mut buf, ReduceOp::Sum).unwrap();
+    assert_eq!(buf, vec![2.0, 2.0, 2.0]);
+}
+
+/// Drives the raw wire protocol for cases the typed client cannot emit.
+fn raw_session(addr: std::net::SocketAddr) -> TcpStream {
+    let stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    stream
+}
+
+#[test]
+fn unsupported_collectives_and_protocol_breaches_get_structured_rejects() {
+    let server = Server::spawn(ServeConfig::default()).unwrap();
+    let stream = raw_session(server.addr());
+    write_request(
+        &mut &stream,
+        &Request::Hello {
+            job: 31,
+            client: 0,
+            clients: 1,
+        },
+    )
+    .unwrap();
+    assert!(matches!(
+        read_response(&mut &stream).unwrap(),
+        Response::Welcome { .. }
+    ));
+    // A collective kind the service does not aggregate.
+    write_request(
+        &mut &stream,
+        &Request::Submit(Submit {
+            job: 31,
+            client: 0,
+            epoch: 0,
+            point: SchedulePoint {
+                seq: 0,
+                kind: OpKind::SendRecv,
+                words: 1,
+                param: 0,
+            },
+            digest: 7,
+            payload: WireMsg::F32(vec![1.0]),
+        }),
+    )
+    .unwrap();
+    match read_response(&mut &stream).unwrap() {
+        Response::Reject(Reject::Rejected { detail }) => {
+            assert!(detail.contains("not served"), "got: {detail}");
+        }
+        other => panic!("expected a structured reject, got {other:?}"),
+    }
+    // A payload that contradicts the op fingerprint.
+    write_request(
+        &mut &stream,
+        &Request::Submit(Submit {
+            job: 31,
+            client: 0,
+            epoch: 0,
+            point: SchedulePoint {
+                seq: 1,
+                kind: OpKind::AllReduce,
+                words: 3,
+                param: 0,
+            },
+            digest: 8,
+            payload: WireMsg::F32(vec![1.0]), // 1 element, fingerprint says 3
+        }),
+    )
+    .unwrap();
+    assert!(matches!(
+        read_response(&mut &stream).unwrap(),
+        Response::Reject(Reject::Protocol { .. })
+    ));
+}
+
+#[test]
+fn first_request_must_be_a_hello() {
+    let server = Server::spawn(ServeConfig::default()).unwrap();
+    let stream = raw_session(server.addr());
+    write_request(
+        &mut &stream,
+        &Request::Reform {
+            job: 1,
+            client: 0,
+            epoch: 0,
+        },
+    )
+    .unwrap();
+    assert!(matches!(
+        read_response(&mut &stream).unwrap(),
+        Response::Reject(Reject::Protocol { .. })
+    ));
+}
+
+#[test]
+fn per_job_telemetry_flows_through_the_recorder() {
+    let recorder = Arc::new(InMemoryRecorder::new());
+    let server = Server::spawn_with_recorder(ServeConfig::default(), recorder.clone()).unwrap();
+    let addr = server.addr();
+    let handles: Vec<_> = (0..2u32)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let mut comm = ServedCommunicator::connect(addr, 77, c, 2).unwrap();
+                for _ in 0..3 {
+                    let mut buf = vec![1.0f32; 16];
+                    comm.all_reduce(&mut buf, ReduceOp::Sum).unwrap();
+                }
+                comm.bytes_sent()
+            })
+        })
+        .collect();
+    let mut client_bytes = 0;
+    for h in handles {
+        client_bytes += h.join().unwrap();
+    }
+    assert_eq!(client_bytes, 2 * 3 * 64);
+    assert_eq!(recorder.counter(keys::SERVE_STEPS), 3);
+    assert_eq!(recorder.counter(keys::SERVE_STEP_BYTES), client_bytes);
+    assert_eq!(recorder.values(keys::SERVE_STEP_US).len(), 3);
+    assert!(!recorder.values(keys::SERVE_QUEUE_DEPTH).is_empty());
+    assert_eq!(server.stats().steps, 3);
+}

@@ -58,6 +58,23 @@ pub const PIPELINE_BUCKETS: &str = "pipeline.buckets";
 /// backward was still running).
 pub const PIPELINE_EXPOSED_WAIT_US: &str = "pipeline.exposed_wait_us";
 
+/// Series: end-to-end latency of one aggregation-service step (first
+/// contribution deposited → results written back), microseconds.
+pub const SERVE_STEP_US: &str = "serve.step_us";
+/// Counter: payload bytes aggregated by the serve shards.
+pub const SERVE_STEP_BYTES: &str = "serve.step_bytes";
+/// Series: shard queue depth observed when each completed step is
+/// enqueued for aggregation.
+pub const SERVE_QUEUE_DEPTH: &str = "serve.queue_depth";
+/// Counter: aggregation steps completed by the serve shards.
+pub const SERVE_STEPS: &str = "serve.steps";
+/// Counter: submissions refused with a structured `Busy` by the serve
+/// admission controller (an in-flight byte budget was exhausted).
+pub const SERVE_REJECT_BUSY: &str = "serve.reject_busy";
+/// Counter: cross-client schedule divergences detected by the serve
+/// session layer (job poisoned, offender told the expected op).
+pub const SERVE_SCHEDULE_MISMATCHES: &str = "serve.schedule_mismatches";
+
 /// Span category for communication work.
 pub const CAT_COMM: &str = "comm";
 /// Span category for compression work.

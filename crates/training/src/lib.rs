@@ -45,6 +45,7 @@ pub mod loss;
 pub mod model;
 pub mod norm;
 pub mod optim;
+pub mod served;
 pub mod tensor4;
 pub mod trainer;
 
@@ -53,7 +54,8 @@ pub use dataset::Dataset;
 pub use elastic::{is_membership_change, recover_membership};
 pub use model::{mlp, small_cnn, Sequential};
 pub use optim::{LrSchedule, SgdMomentum};
+pub use served::{train_served_job, JobTicket};
 pub use trainer::{
-    train_distributed, train_distributed_instrumented, train_rank, EpochStats, RankTelemetry,
-    TrainConfig, TrainReport,
+    train_distributed, train_distributed_instrumented, train_rank, train_rank_with_model,
+    EpochStats, RankTelemetry, TrainConfig, TrainReport,
 };

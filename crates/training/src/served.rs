@@ -1,0 +1,67 @@
+//! Training through the shared aggregation service (`acp-serve`).
+//!
+//! A "job" is one small training run whose gradient aggregation happens
+//! server-side instead of peer-to-peer: each of its clients connects a
+//! [`ServedCommunicator`] and runs the ordinary [`trainer`](crate::trainer)
+//! loop over it. Because the service aggregates with the reference folds
+//! that are bit-exact with the ring collectives, a served job's trained
+//! weights are byte-identical to the same job trained over
+//! [`acp_collectives::ThreadGroup`] — the `served_equivalence` integration
+//! test pins that down for S-SGD and Power-SGD.
+
+use std::net::SocketAddr;
+
+use acp_collectives::CommError;
+use acp_core::DistributedOptimizer;
+
+pub use acp_serve::{ServeConfig, ServedCommunicator, ServedConfig, Server, ServerStats};
+
+use crate::dataset::Dataset;
+use crate::model::Sequential;
+use crate::trainer::{train_rank_with_model, EpochStats, TrainConfig};
+
+/// One client's identity within a served job: which job to join and which
+/// of its `clients` seats this connection takes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobTicket {
+    /// Job id shared by every client of the run.
+    pub job: u64,
+    /// This client's index in `[0, clients)`.
+    pub client: u32,
+    /// Total clients the job trains with.
+    pub clients: u32,
+}
+
+/// Trains one client's share of a served job: connects to the service at
+/// `addr`, joins the job named by `ticket`, and runs the standard
+/// data-parallel training loop with all gradient aggregation done by the
+/// service. Returns the trained model and the per-epoch history.
+///
+/// Every client of the job must use the same deterministic
+/// `model_builder`, dataset and config — exactly the contract of
+/// [`crate::trainer::train_rank`].
+///
+/// # Errors
+///
+/// Propagates connection and handshake failures ([`CommError::Io`],
+/// [`CommError::Rejected`]) from the service. Mid-training collective
+/// errors currently panic like the rest of the trainer (it is built for
+/// controlled experiments, not fault tolerance).
+pub fn train_served_job<MB, AB, A>(
+    addr: SocketAddr,
+    ticket: JobTicket,
+    data: &Dataset,
+    model_builder: &MB,
+    aggregator_builder: &AB,
+    cfg: &TrainConfig,
+) -> Result<(Sequential, Vec<EpochStats>), CommError>
+where
+    MB: Fn() -> Sequential + Sync,
+    AB: Fn() -> A + Sync,
+    A: DistributedOptimizer,
+{
+    let comm = ServedCommunicator::connect(addr, ticket.job, ticket.client, ticket.clients)?;
+    let (model, history, _) =
+        train_rank_with_model(comm, data, model_builder, aggregator_builder, cfg, false);
+    Ok((model, history))
+}

@@ -270,13 +270,43 @@ where
 /// the same deterministic `model_builder`, dataset and config, or the
 /// collectives will disagree.
 pub fn train_rank<C, MB, AB, A>(
-    mut comm: C,
+    comm: C,
     data: &Dataset,
     model_builder: &MB,
     aggregator_builder: &AB,
     cfg: &TrainConfig,
     instrument: bool,
 ) -> (Vec<EpochStats>, Option<RankTelemetry>)
+where
+    C: Communicator,
+    MB: Fn() -> Sequential + Sync,
+    AB: Fn() -> A + Sync,
+    A: DistributedOptimizer,
+{
+    let (_, history, telemetry) = train_rank_with_model(
+        comm,
+        data,
+        model_builder,
+        aggregator_builder,
+        cfg,
+        instrument,
+    );
+    (history, telemetry)
+}
+
+/// [`train_rank`], additionally returning the trained model — the hook
+/// for bit-exactness checks across communicator backends (`acp-serve`'s
+/// `served_equivalence` test compares the returned weights byte-for-byte
+/// between a [`ThreadGroup`] run and a run aggregated through the
+/// service).
+pub fn train_rank_with_model<C, MB, AB, A>(
+    mut comm: C,
+    data: &Dataset,
+    model_builder: &MB,
+    aggregator_builder: &AB,
+    cfg: &TrainConfig,
+    instrument: bool,
+) -> (Sequential, Vec<EpochStats>, Option<RankTelemetry>)
 where
     C: Communicator,
     MB: Fn() -> Sequential + Sync,
@@ -406,7 +436,7 @@ where
         steps,
         snapshot: rec.snapshot(),
     });
-    (history, telemetry)
+    (model, history, telemetry)
 }
 
 #[cfg(test)]

@@ -1,0 +1,110 @@
+//! The acceptance test of the aggregation service: the same seeded
+//! training job run over in-process ring collectives and run through
+//! `acp-serve` must produce byte-identical models.
+//!
+//! This holds because the service aggregates with the reference folds of
+//! `acp-collectives`, which are themselves proven bitwise-equal to the
+//! live ring (the `reference_equivalence` proptests) — so the equality
+//! below is an end-to-end composition of those guarantees through real
+//! TCP, the session protocol, and the shard workers.
+
+use acp_collectives::ThreadGroup;
+use acp_core::{DistributedOptimizer, PowerSgdAggregator, PowerSgdConfig, SSgdAggregator};
+use acp_training::dataset::Dataset;
+use acp_training::model::{mlp, Sequential};
+use acp_training::served::{ServeConfig, Server};
+use acp_training::trainer::{train_rank_with_model, TrainConfig};
+use acp_training::{train_served_job, EpochStats, JobTicket, LrSchedule};
+
+fn job_cfg() -> TrainConfig {
+    TrainConfig {
+        epochs: 2,
+        batch_size: 16,
+        schedule: LrSchedule::new(0.1, 0, Vec::new()),
+        ..TrainConfig::default()
+    }
+}
+
+fn weight_bytes(model: &mut Sequential) -> Vec<u8> {
+    model
+        .params()
+        .iter()
+        .flat_map(|p| p.value.iter().flat_map(|v| v.to_le_bytes()))
+        .collect()
+}
+
+/// One rank's outcome: the trained model's weight bytes plus the
+/// per-epoch history.
+type RankOutcome = (Vec<u8>, Vec<EpochStats>);
+
+/// Trains the same 2-worker job once over `ThreadGroup` rings and once
+/// through a fresh aggregation service, returning both runs'
+/// (weights, history) per rank.
+fn run_both_ways<AB, A>(
+    data: &Dataset,
+    aggregator_builder: AB,
+) -> (Vec<RankOutcome>, Vec<RankOutcome>)
+where
+    AB: Fn() -> A + Sync + Send + Clone + 'static,
+    A: DistributedOptimizer,
+{
+    let cfg = job_cfg();
+    let model_builder = || mlp(&[8, 16, 4], 5);
+    let peer_to_peer: Vec<_> = {
+        let ab = aggregator_builder.clone();
+        ThreadGroup::run(2, move |comm| {
+            let (mut model, history, _) =
+                train_rank_with_model(comm, data, &model_builder, &ab, &cfg, false);
+            (weight_bytes(&mut model), history)
+        })
+    };
+    let server = Server::spawn(ServeConfig::default()).unwrap();
+    let addr = server.addr();
+    let served: Vec<_> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..2u32)
+            .map(|client| {
+                let ab = aggregator_builder.clone();
+                let cfg = job_cfg();
+                s.spawn(move || {
+                    let ticket = JobTicket {
+                        job: 42,
+                        client,
+                        clients: 2,
+                    };
+                    let (mut model, history) =
+                        train_served_job(addr, ticket, data, &model_builder, &ab, &cfg).unwrap();
+                    (weight_bytes(&mut model), history)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    (peer_to_peer, served)
+}
+
+#[test]
+fn ssgd_through_the_service_is_byte_identical() {
+    let data = Dataset::gaussian_clusters(4, 8, 60, 0.3, 31);
+    let (p2p, served) = run_both_ways(&data, SSgdAggregator::new);
+    for (rank, (ring, svc)) in p2p.iter().zip(&served).enumerate() {
+        assert_eq!(ring.1, svc.1, "rank {rank} history diverged");
+        assert_eq!(ring.0, svc.0, "rank {rank} weights diverged");
+    }
+}
+
+#[test]
+fn powersgd_through_the_service_is_byte_identical() {
+    let data = Dataset::gaussian_clusters(4, 8, 60, 0.3, 37);
+    let agg = || {
+        PowerSgdAggregator::new(PowerSgdConfig {
+            rank: 2,
+            warm_start_steps: 1,
+            ..Default::default()
+        })
+    };
+    let (p2p, served) = run_both_ways(&data, agg);
+    for (rank, (ring, svc)) in p2p.iter().zip(&served).enumerate() {
+        assert_eq!(ring.1, svc.1, "rank {rank} history diverged");
+        assert_eq!(ring.0, svc.0, "rank {rank} weights diverged");
+    }
+}

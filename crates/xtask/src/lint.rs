@@ -26,6 +26,14 @@
 //!    with the two-level schedule. The socket-wiring layer of `acp-net`
 //!    (physical link resolution) is the one deliberate exception,
 //!    carried on the `allow_verify` allowlist.
+//! 5. **No new uses of deprecated one-release shims.** The 0.2.0 renames
+//!    (`CollectiveError` → `CommError`, `PowerSgdAggregatorConfig` →
+//!    `PowerSgdConfig`, `tcp::Topology` → `Wiring`, `.with_topology(` →
+//!    `.with_wiring(`) keep their old names as `#[deprecated]` shims for
+//!    exactly one release. Workspace code must not call them — clippy
+//!    already warns, but only where the caller forgot an
+//!    `#[allow(deprecated)]`; this scan has no such blind spot. The shim
+//!    definitions and re-exports themselves carry `allow_verify` markers.
 //!
 //! `#[cfg(test)]` blocks are excluded: tests may unwrap freely.
 
@@ -38,7 +46,11 @@ use crate::lexer::classify;
 pub const ALLOW_MARKER: &str = "allow_verify(reason";
 
 /// Scopes (directories) where panicking calls are banned.
-pub const PANIC_FREE_DIRS: &[&str] = &["crates/collectives/src", "crates/net/src"];
+pub const PANIC_FREE_DIRS: &[&str] = &[
+    "crates/collectives/src",
+    "crates/net/src",
+    "crates/serve/src",
+];
 
 /// Individual files where panicking calls are banned.
 pub const PANIC_FREE_FILES: &[&str] = &[
@@ -57,6 +69,7 @@ pub const RANK_MATH_DIRS: &[&str] = &[
     "crates/core/src",
     "crates/models/src",
     "crates/net/src",
+    "crates/serve/src",
     "crates/simulator/src",
     "crates/telemetry/src",
     "crates/tensor/src",
@@ -66,6 +79,40 @@ pub const RANK_MATH_DIRS: &[&str] = &[
 
 const PANIC_PATTERNS: &[&str] = &[".unwrap(", ".expect(", "panic!", "todo!"];
 const CLOCK_PATTERNS: &[&str] = &["Instant::now", "SystemTime"];
+
+/// Every crate `src` tree: the deprecated-shim scan covers the whole
+/// workspace (the shims live in `collectives`, `core` and `net`, but a
+/// stray caller could appear anywhere).
+pub const DEPRECATED_SCAN_DIRS: &[&str] = &[
+    "crates/bench/src",
+    "crates/collectives/src",
+    "crates/compression/src",
+    "crates/core/src",
+    "crates/models/src",
+    "crates/net/src",
+    "crates/serve/src",
+    "crates/simulator/src",
+    "crates/telemetry/src",
+    "crates/tensor/src",
+    "crates/training/src",
+    "crates/verify/src",
+    "crates/xtask/src",
+];
+
+/// Deprecated 0.2.0 names and their replacements. Each pattern is
+/// matched on the code view, so mentions in comments, docs and string
+/// literals never trigger; the shim definition lines carry
+/// `allow_verify` markers.
+pub const DEPRECATED_PATTERNS: &[(&str, &str)] = &[
+    ("CollectiveError", "use `CommError`"),
+    ("PowerSgdAggregatorConfig", "use `PowerSgdConfig`"),
+    (
+        "tcp::Topology",
+        "use `Wiring` (`Topology` now names the logical arrangement, \
+         `acp_collectives::Topology`)",
+    ),
+    (".with_topology(", "use `.with_wiring(`"),
+];
 
 /// One lint finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -255,6 +302,22 @@ pub fn scan_rank_math(rel_path: &str, src: &str) -> Vec<Finding> {
     findings
 }
 
+/// Scans one file for uses of the deprecated 0.2.0 shim names,
+/// honouring `cfg(test)` exclusion and `allow_verify` markers (the shim
+/// definitions and re-exports are the only legitimate carriers).
+pub fn scan_deprecated(rel_path: &str, src: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (pat, instead) in DEPRECATED_PATTERNS {
+        findings.extend(scan_source(
+            rel_path,
+            src,
+            &[pat],
+            &format!("deprecated 0.2.0 shim, removed next release — {instead}"),
+        ));
+    }
+    findings
+}
+
 /// Checks that every `COMM_*_US` key in `keys.rs` has a `COMM_*_BYTES`
 /// sibling.
 pub fn scan_key_pairing(rel_path: &str, src: &str) -> Vec<Finding> {
@@ -404,6 +467,35 @@ pub fn run(root: &Path) -> std::io::Result<Vec<Finding>> {
             }
         }
     }
+    for dir in DEPRECATED_SCAN_DIRS {
+        let abs = root.join(dir);
+        if !abs.is_dir() {
+            findings.push(Finding {
+                file: (*dir).to_string(),
+                line: 1,
+                message: "linted scope does not exist; update crates/xtask/src/lint.rs".to_string(),
+            });
+            continue;
+        }
+        let mut paths = Vec::new();
+        if let Err(e) = rust_files(&abs, &mut paths) {
+            findings.push(Finding {
+                file: (*dir).to_string(),
+                line: 1,
+                message: format!("cannot walk linted scope: {e}"),
+            });
+        }
+        for path in paths {
+            match std::fs::read_to_string(&path) {
+                Ok(src) => findings.extend(scan_deprecated(&rel(root, &path), &src)),
+                Err(e) => findings.push(Finding {
+                    file: rel(root, &path),
+                    line: 1,
+                    message: format!("cannot read: {e}"),
+                }),
+            }
+        }
+    }
     let keys = root.join("crates/telemetry/src/keys.rs");
     match std::fs::read_to_string(&keys) {
         Ok(src) => findings.extend(scan_key_pairing(&rel(root, &keys), &src)),
@@ -501,6 +593,36 @@ mod tests {
         assert!(scan_rank_math("x.rs", src).is_empty());
         let src = "#[cfg(test)]\nmod tests {\n    fn g(rank: usize) { let _ = rank + 1; }\n}\n";
         assert!(scan_rank_math("x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn deprecated_shim_uses_are_flagged() {
+        let src = "fn f() -> Result<(), CollectiveError> { Ok(()) }\n";
+        let f = scan_deprecated("x.rs", src);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("use `CommError`"), "{}", f[0].message);
+        let src = "let cfg = PowerSgdAggregatorConfig::default();\n";
+        assert_eq!(scan_deprecated("x.rs", src).len(), 1);
+        let src = "let w: tcp::Topology = tcp::Topology::default();\n";
+        assert_eq!(scan_deprecated("x.rs", src).len(), 2);
+        let src = "let cfg = TcpConfig::default().with_topology(w);\n";
+        assert_eq!(scan_deprecated("x.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn deprecated_scan_skips_docs_renames_and_marked_shims() {
+        // Mentions in comments and strings are invisible to the scan.
+        let src = "// the old CollectiveError name\nlet s = \"tcp::Topology\";\n";
+        assert!(scan_deprecated("x.rs", src).is_empty());
+        // The renamed replacements don't false-positive.
+        let src = "fn f(w: Wiring) -> CommError { TcpConfig::default().with_wiring(w) }\n";
+        assert!(scan_deprecated("x.rs", src).is_empty());
+        // `try_run_with_topology` takes the logical topology, not wiring.
+        let src = "ThreadGroup::try_run_with_topology(topo, verify, f);\n";
+        assert!(scan_deprecated("x.rs", src).is_empty());
+        // The shim definition itself is exempted by its marker.
+        let src = "pub type CollectiveError = CommError; // allow_verify(reason = \"shim\")\n";
+        assert!(scan_deprecated("x.rs", src).is_empty());
     }
 
     #[test]
