@@ -1,0 +1,117 @@
+//! Criterion microbenchmarks for the vectorized compressor kernels
+//! against their retained scalar references — the statistical companion
+//! of `figures kernels` (which produces `BENCH_kernels.json` and gates
+//! the CI speedup floor).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use acp_compression::kernels;
+use acp_compression::kernels::reference;
+use acp_tensor::{Matrix, SeedableStdNormal};
+
+const SIZES: [usize; 2] = [1 << 16, 1 << 20];
+const VOTE_WORLD: usize = 8;
+
+fn gradient(n: usize, seed: u64) -> Vec<f32> {
+    Matrix::random_std_normal(1, n, seed).into_vec()
+}
+
+fn bench_sign_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sign_kernels");
+    group.sample_size(20);
+    for n in SIZES {
+        let grad = gradient(n, 7);
+        let words = kernels::pack_signs(&grad);
+        let mut out = vec![0.0f32; n];
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("pack_scalar", n), &n, |b, _| {
+            b.iter(|| reference::pack_signs(&grad));
+        });
+        group.bench_with_input(BenchmarkId::new("pack_kernel", n), &n, |b, _| {
+            b.iter(|| kernels::pack_signs(&grad));
+        });
+        group.bench_with_input(BenchmarkId::new("unpack_scalar", n), &n, |b, _| {
+            b.iter(|| reference::unpack_signs_into(&words, 0.75, &mut out));
+        });
+        group.bench_with_input(BenchmarkId::new("unpack_kernel", n), &n, |b, _| {
+            b.iter(|| kernels::unpack_signs_into(&words, 0.75, &mut out));
+        });
+    }
+    group.finish();
+}
+
+fn bench_vote_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("majority_vote_w8");
+    group.sample_size(20);
+    for n in SIZES {
+        let wpr = n.div_ceil(32);
+        let mut gathered = Vec::with_capacity(VOTE_WORLD * wpr);
+        let mut scales = Vec::with_capacity(VOTE_WORLD);
+        for w in 0..VOTE_WORLD {
+            gathered.extend(kernels::pack_signs(&gradient(n, 11 + w as u64)));
+            scales.push(1.0 + w as f32 * 0.1);
+        }
+        let mut out = vec![0.0f32; n];
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("scalar", n), &n, |b, _| {
+            b.iter(|| reference::majority_vote_into(&gathered, &scales, n, VOTE_WORLD, &mut out));
+        });
+        group.bench_with_input(BenchmarkId::new("kernel", n), &n, |b, _| {
+            b.iter(|| kernels::majority_vote_into(&gathered, &scales, n, VOTE_WORLD, &mut out));
+        });
+    }
+    group.finish();
+}
+
+fn bench_qsgd_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qsgd_kernels");
+    group.sample_size(20);
+    for n in SIZES {
+        let grad = gradient(n, 7);
+        let norm = grad.iter().map(|g| g * g).sum::<f32>().sqrt().max(1e-6);
+        let rand: Vec<f32> = (0..n).map(|i| (i as f32 * 0.137) % 1.0).collect();
+        let mut levels = vec![0i8; n];
+        kernels::quantize_chunk_into(&grad, norm, 4, &rand, &mut levels);
+        let mut out = vec![0.0f32; n];
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("quantize_scalar", n), &n, |b, _| {
+            b.iter(|| reference::quantize_chunk_into(&grad, norm, 4, &rand, &mut levels));
+        });
+        group.bench_with_input(BenchmarkId::new("quantize_kernel", n), &n, |b, _| {
+            b.iter(|| kernels::quantize_chunk_into(&grad, norm, 4, &rand, &mut levels));
+        });
+        group.bench_with_input(BenchmarkId::new("dequantize_scalar", n), &n, |b, _| {
+            b.iter(|| reference::dequantize_into(&levels, 4, 0.37, &mut out));
+        });
+        group.bench_with_input(BenchmarkId::new("dequantize_kernel", n), &n, |b, _| {
+            b.iter(|| kernels::dequantize_into(&levels, 4, 0.37, &mut out));
+        });
+    }
+    group.finish();
+}
+
+fn bench_topk_select(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topk_select_0.1%");
+    group.sample_size(20);
+    for n in SIZES {
+        let grad = gradient(n, 7);
+        let k = (n / 1000).max(1);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("scalar", n), &n, |b, _| {
+            b.iter(|| reference::select_topk(&grad, k));
+        });
+        group.bench_with_input(BenchmarkId::new("kernel", n), &n, |b, _| {
+            b.iter(|| kernels::select_topk(&grad, k));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sign_kernels,
+    bench_vote_kernels,
+    bench_qsgd_kernels,
+    bench_topk_select
+);
+criterion_main!(benches);

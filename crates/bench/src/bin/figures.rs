@@ -12,6 +12,9 @@
 //!   tuning     (closed-loop autotuner on local TCP; writes BENCH_tuning.json)
 //!   hierarchy  (flat vs two-level all-reduce cost sweep; writes BENCH_hierarchy.json)
 //!   serve      (aggregation-service concurrency sweep; writes BENCH_serve.json)
+//!   kernels    (vectorized vs scalar compressor kernels; writes BENCH_kernels.json;
+//!               --min-speedup N exits nonzero if the largest-bucket encode or
+//!               decode speedup falls below N; --quick drops the largest bucket)
 //!   all        (everything; convergence at the quick epoch count)
 //! ```
 //!
@@ -25,6 +28,12 @@ fn parse_epochs(args: &[String]) -> usize {
         .find(|w| w[0] == "--epochs")
         .and_then(|w| w[1].parse().ok())
         .unwrap_or(40)
+}
+
+fn parse_min_speedup(args: &[String]) -> Option<f64> {
+    args.windows(2)
+        .find(|w| w[0] == "--min-speedup")
+        .and_then(|w| w[1].parse().ok())
 }
 
 fn headline() -> String {
@@ -128,7 +137,32 @@ fn hierarchy_bench() -> String {
     }
 }
 
-fn run(name: &str, epochs: usize) -> Option<String> {
+/// Times the vectorized compressor kernels against their scalar references
+/// and writes `BENCH_kernels.json`; with `min_speedup`, exits nonzero when
+/// the largest-bucket encode or decode speedup falls below the floor.
+fn kernels_bench(quick: bool, min_speedup: Option<f64>) -> String {
+    use acp_bench::kernels;
+    let report = kernels::run(quick);
+    let text = kernels::render(&report);
+    let path = "BENCH_kernels.json";
+    let text = match std::fs::write(path, kernels::to_json(&report)) {
+        Ok(()) => format!("{text}\nwrote {path}"),
+        Err(e) => format!("{text}\nfailed to write {path}: {e}"),
+    };
+    if let Some(floor) = min_speedup {
+        if report.encode_speedup < floor || report.decode_speedup < floor {
+            eprintln!(
+                "kernel speedup gate failed: encode {:.2}x / decode {:.2}x, floor {floor}x",
+                report.encode_speedup, report.decode_speedup
+            );
+            println!("{text}");
+            std::process::exit(1);
+        }
+    }
+    text
+}
+
+fn run(name: &str, epochs: usize, quick: bool, min_speedup: Option<f64>) -> Option<String> {
     let out = match name {
         "table1" => format!("Table I\n{}", statics::table1().render()),
         "table2" => format!("Table II\n{}", statics::table2().render()),
@@ -163,6 +197,7 @@ fn run(name: &str, epochs: usize) -> Option<String> {
         "tuning" => tuning_bench(epochs),
         "hierarchy" => hierarchy_bench(),
         "serve" => serve_bench(),
+        "kernels" => kernels_bench(quick, min_speedup),
         _ => return None,
     };
     Some(out)
@@ -171,6 +206,8 @@ fn run(name: &str, epochs: usize) -> Option<String> {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let epochs = parse_epochs(&args);
+    let quick = args.iter().any(|a| a == "--quick");
+    let min_speedup = parse_min_speedup(&args);
     let names: Vec<&str> = args
         .iter()
         .map(String::as_str)
@@ -200,6 +237,7 @@ fn main() {
         "tuning",
         "hierarchy",
         "serve",
+        "kernels",
         "headline",
     ];
     let selected: Vec<&str> = if names.is_empty() || names.contains(&"all") {
@@ -207,12 +245,13 @@ fn main() {
     } else {
         names
     };
-    // Skip the numeric part of --epochs when it leaked into names.
+    // Skip the numeric part of --epochs / --min-speedup when it leaked
+    // into names.
     for name in selected {
-        if name.parse::<usize>().is_ok() {
+        if name.parse::<f64>().is_ok() {
             continue;
         }
-        match run(name, epochs) {
+        match run(name, epochs, quick, min_speedup) {
             Some(out) => println!("{out}"),
             None => {
                 eprintln!("unknown experiment '{name}'; valid: {} all", all.join(" "));

@@ -21,6 +21,7 @@
 
 pub mod convergence;
 pub mod hierarchy;
+pub mod kernels;
 pub mod overlap;
 pub mod serve;
 pub mod statics;

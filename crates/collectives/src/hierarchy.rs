@@ -28,7 +28,6 @@
 use crate::communicator::{CommError, ReduceOp};
 use crate::ring::{chunk_range, recv_f32, reduce_into, Transport};
 use crate::topology::{RankId, Topology};
-use crate::WireMsg;
 
 /// The four ring neighbours of a rank in a two-level arrangement.
 struct Neighbours {
@@ -100,8 +99,7 @@ pub fn all_reduce_two_level<T: Transport + ?Sized>(
     for step in 0..s - 1 {
         let send_idx = (j + s - step) % s;
         let recv_idx = (j + s - step - 1) % s;
-        let payload = buf[chunk_range(len, send_idx, s)].to_vec();
-        t.send_to(n.intra_next, WireMsg::F32(payload))?;
+        t.send_f32s(n.intra_next, &buf[chunk_range(len, send_idx, s)])?;
         let recv_range = chunk_range(len, recv_idx, s);
         let incoming = recv_f32(t, n.intra_prev, recv_range.len())?;
         reduce_into(&mut buf[recv_range], &incoming, phase_op);
@@ -117,8 +115,7 @@ pub fn all_reduce_two_level<T: Transport + ?Sized>(
         for step in 0..g_count - 1 {
             let send_idx = (g + g_count - step) % g_count;
             let recv_idx = (g + g_count - step - 1) % g_count;
-            let payload = sub[chunk_range(m, send_idx, g_count)].to_vec();
-            t.send_to(n.cross_next, WireMsg::F32(payload))?;
+            t.send_f32s(n.cross_next, &sub[chunk_range(m, send_idx, g_count)])?;
             let recv_range = chunk_range(m, recv_idx, g_count);
             let incoming = recv_f32(t, n.cross_prev, recv_range.len())?;
             reduce_into(&mut sub[recv_range], &incoming, phase_op);
@@ -126,8 +123,7 @@ pub fn all_reduce_two_level<T: Transport + ?Sized>(
         for step in 0..g_count - 1 {
             let send_idx = (g + 1 + g_count - step) % g_count;
             let recv_idx = (g + g_count - step) % g_count;
-            let payload = sub[chunk_range(m, send_idx, g_count)].to_vec();
-            t.send_to(n.cross_next, WireMsg::F32(payload))?;
+            t.send_f32s(n.cross_next, &sub[chunk_range(m, send_idx, g_count)])?;
             let recv_range = chunk_range(m, recv_idx, g_count);
             let incoming = recv_f32(t, n.cross_prev, recv_range.len())?;
             sub[recv_range].copy_from_slice(&incoming);
@@ -139,8 +135,7 @@ pub fn all_reduce_two_level<T: Transport + ?Sized>(
     for step in 0..s - 1 {
         let send_idx = (j + 1 + s - step) % s;
         let recv_idx = (j + s - step) % s;
-        let payload = buf[chunk_range(len, send_idx, s)].to_vec();
-        t.send_to(n.intra_next, WireMsg::F32(payload))?;
+        t.send_f32s(n.intra_next, &buf[chunk_range(len, send_idx, s)])?;
         let recv_range = chunk_range(len, recv_idx, s);
         let incoming = recv_f32(t, n.intra_prev, recv_range.len())?;
         buf[recv_range].copy_from_slice(&incoming);

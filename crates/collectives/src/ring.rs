@@ -81,6 +81,48 @@ pub trait Transport {
     ///
     /// Returns an error on timeout, disconnect, or an out-of-range `src`.
     fn recv_from(&mut self, src: usize) -> Result<WireMsg, CommError>;
+
+    /// Sends a borrowed `f32` payload to `dest`.
+    ///
+    /// The default copies into an owned [`WireMsg`] and forwards to
+    /// [`Transport::send_to`] — necessary for backends that hand the
+    /// message itself to the peer (in-process channels). Backends that
+    /// serialize onto a wire override this to write straight from the
+    /// slice with no intermediate copy (the TCP backend's vectored send).
+    ///
+    /// # Errors
+    ///
+    /// As [`Transport::send_to`].
+    fn send_f32s(&mut self, dest: usize, payload: &[f32]) -> Result<(), CommError> {
+        // allow_verify(reason = "ownership fallback for channel backends; wire backends override")
+        self.send_to(dest, WireMsg::F32(payload.to_vec()))
+    }
+
+    /// Sends a borrowed `u32` payload to `dest` (see [`Transport::send_f32s`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`Transport::send_to`].
+    fn send_u32s(&mut self, dest: usize, payload: &[u32]) -> Result<(), CommError> {
+        // allow_verify(reason = "ownership fallback for channel backends; wire backends override")
+        self.send_to(dest, WireMsg::U32(payload.to_vec()))
+    }
+
+    /// Sends a borrowed sparse (indices, values) payload to `dest` (see
+    /// [`Transport::send_f32s`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`Transport::send_to`].
+    fn send_sparse(
+        &mut self,
+        dest: usize,
+        indices: &[u32],
+        values: &[f32],
+    ) -> Result<(), CommError> {
+        // allow_verify(reason = "ownership fallback for channel backends; wire backends override")
+        self.send_to(dest, WireMsg::Sparse(indices.to_vec(), values.to_vec()))
+    }
 }
 
 fn next_rank<T: Transport + ?Sized>(t: &T) -> usize {
@@ -179,8 +221,7 @@ pub fn all_reduce<T: Transport + ?Sized>(
         let send_idx = (r + p - s) % p;
         let recv_idx = (r + p - s - 1) % p;
         let send_range = chunk_range(len, send_idx, p);
-        let payload = buf[send_range].to_vec();
-        t.send_to(next, WireMsg::F32(payload))?;
+        t.send_f32s(next, &buf[send_range])?;
         let recv_range = chunk_range(len, recv_idx, p);
         let incoming = recv_f32(t, prev, recv_range.len())?;
         reduce_into(&mut buf[recv_range], &incoming, op);
@@ -190,8 +231,7 @@ pub fn all_reduce<T: Transport + ?Sized>(
         let send_idx = (r + 1 + p - s) % p;
         let recv_idx = (r + p - s) % p;
         let send_range = chunk_range(len, send_idx, p);
-        let payload = buf[send_range].to_vec();
-        t.send_to(next, WireMsg::F32(payload))?;
+        t.send_f32s(next, &buf[send_range])?;
         let recv_range = chunk_range(len, recv_idx, p);
         let incoming = recv_f32(t, prev, recv_range.len())?;
         buf[recv_range].copy_from_slice(&incoming);
@@ -224,8 +264,7 @@ pub fn all_gather_f32<T: Transport + ?Sized>(
     for s in 0..p - 1 {
         let send_slot = (r + p - s) % p;
         let recv_slot = (r + p - s - 1) % p;
-        let payload = out[send_slot * k..(send_slot + 1) * k].to_vec();
-        t.send_to(next, WireMsg::F32(payload))?;
+        t.send_f32s(next, &out[send_slot * k..(send_slot + 1) * k])?;
         let incoming = recv_f32(t, prev, k)?;
         out[recv_slot * k..(recv_slot + 1) * k].copy_from_slice(&incoming);
     }
@@ -251,8 +290,7 @@ pub fn all_gather_u32<T: Transport + ?Sized>(
     for s in 0..p - 1 {
         let send_slot = (r + p - s) % p;
         let recv_slot = (r + p - s - 1) % p;
-        let payload = out[send_slot * k..(send_slot + 1) * k].to_vec();
-        t.send_to(next, WireMsg::U32(payload))?;
+        t.send_u32s(next, &out[send_slot * k..(send_slot + 1) * k])?;
         let incoming = recv_u32(t, prev, k)?;
         out[recv_slot * k..(recv_slot + 1) * k].copy_from_slice(&incoming);
     }
@@ -284,7 +322,7 @@ pub fn broadcast<T: Transport + ?Sized>(
     let (next, prev) = (next_rank(t), prev_rank(t));
     let next_is_root = next == root;
     if t.rank() == root {
-        t.send_to(next, WireMsg::F32(buf.to_vec()))?;
+        t.send_f32s(next, buf)?;
     } else {
         let incoming = recv_f32(t, prev, buf.len())?;
         buf.copy_from_slice(&incoming);
@@ -339,7 +377,7 @@ pub fn send_recv_f32<T: Transport + ?Sized>(
     peer: usize,
     send: &[f32],
 ) -> Result<Vec<f32>, CommError> {
-    t.send_to(peer, WireMsg::F32(send.to_vec()))?;
+    t.send_f32s(peer, send)?;
     let msg = t.recv_from(peer)?;
     expect_f32(msg, send.len())
 }
@@ -379,7 +417,7 @@ pub fn all_reduce_recursive_doubling<T: Transport + ?Sized>(
     let r = t.rank();
     // Pre-fold: ranks >= pow2 send to (rank - pow2); partners reduce.
     if r >= pow2 {
-        t.send_to(r - pow2, WireMsg::F32(buf.to_vec()))?;
+        t.send_f32s(r - pow2, buf)?;
     } else if r < rem {
         let msg = t.recv_from(r + pow2)?;
         let incoming = expect_f32(msg, buf.len())?;
@@ -397,7 +435,7 @@ pub fn all_reduce_recursive_doubling<T: Transport + ?Sized>(
     }
     // Post-fold: send results back to the folded ranks.
     if r < rem {
-        t.send_to(r + pow2, WireMsg::F32(buf.to_vec()))?;
+        t.send_f32s(r + pow2, buf)?;
     } else if r >= pow2 {
         let msg = t.recv_from(r - pow2)?;
         let incoming = expect_f32(msg, buf.len())?;
@@ -414,14 +452,16 @@ pub fn all_reduce_recursive_doubling<T: Transport + ?Sized>(
 
 /// Keeps the `k` largest-magnitude entries of a coordinate map, returned
 /// in ascending coordinate order.
+///
+/// Selection uses `total_cmp` on the magnitudes: NaN sums (which can
+/// arise from Inf−Inf cancellation during the merge) order *above*
+/// infinity on every rank, instead of the formerly NaN-unsafe
+/// `partial_cmp(..).unwrap_or(Equal)` comparator whose non-total order
+/// could leave different ranks keeping different coordinate sets.
 pub fn truncate_topk(map: std::collections::BTreeMap<u32, f32>, k: usize) -> (Vec<u32>, Vec<f32>) {
     let mut entries: Vec<(u32, f32)> = map.into_iter().collect();
     if entries.len() > k {
-        entries.select_nth_unstable_by(k - 1, |a, b| {
-            b.1.abs()
-                .partial_cmp(&a.1.abs())
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
+        entries.select_nth_unstable_by(k - 1, |a, b| b.1.abs().total_cmp(&a.1.abs()));
         entries.truncate(k);
         entries.sort_unstable_by_key(|e| e.0);
     }
@@ -500,7 +540,7 @@ pub fn global_topk_butterfly<T: Transport + ?Sized>(
     }
     let (idx, val) = truncate_topk(map, k);
     if r < rem {
-        t.send_to(r + pow2, WireMsg::Sparse(idx.clone(), val.clone()))?;
+        t.send_sparse(r + pow2, &idx, &val)?;
     }
     Ok((idx, val))
 }
@@ -540,6 +580,7 @@ pub fn all_reduce_reference(contribs: &[&[f32]], op: ReduceOp) -> Result<Vec<f32
         }
     }
     if p == 1 {
+        // allow_verify(reason = "serial reference path returns an owned result; no wire involved")
         return Ok(first.to_vec());
     }
     let mut out = vec![0.0f32; len];
@@ -624,4 +665,39 @@ pub fn all_gather_u32_reference(contribs: &[&[u32]]) -> Result<Vec<u32>, CommErr
         out.extend_from_slice(c);
     }
     Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn truncate_topk_orders_nan_above_infinity() {
+        // Inf − Inf cancellation during a gTop-k merge can leave NaN sums;
+        // the total order must rank them above everything so every rank
+        // keeps the same coordinate set.
+        let map: BTreeMap<u32, f32> = [
+            (0, 1.0),
+            (1, f32::NAN),
+            (2, -f32::INFINITY),
+            (3, 0.5),
+            (4, -2.0),
+        ]
+        .into_iter()
+        .collect();
+        let (idx, val) = truncate_topk(map, 3);
+        assert_eq!(idx, vec![1, 2, 4]);
+        assert!(val[0].is_nan());
+        assert_eq!(val[1], -f32::INFINITY);
+        assert_eq!(val[2], -2.0);
+    }
+
+    #[test]
+    fn truncate_topk_below_k_is_identity() {
+        let map: BTreeMap<u32, f32> = [(5, 0.1), (9, -0.2)].into_iter().collect();
+        let (idx, val) = truncate_topk(map, 4);
+        assert_eq!(idx, vec![5, 9]);
+        assert_eq!(val, vec![0.1, -0.2]);
+    }
 }

@@ -29,6 +29,8 @@ use acp_tensor::{Matrix, OrthoMethod, SeedableStdNormal};
 
 use serde::{Deserialize, Serialize};
 
+use crate::error::CompressError;
+
 /// Salt xor-ed into the seed for `P₀` so it is decorrelated from `Q₀`.
 const P_SEED_SALT: u64 = 0xAC9_57D;
 
@@ -176,15 +178,32 @@ impl AcpSgd {
     /// Panics if the gradient shape differs from construction or
     /// [`AcpSgd::finish`] for the previous step was skipped.
     pub fn compress(&mut self, grad: &Matrix) -> Matrix {
-        assert!(
-            !self.mid_step,
-            "compress called before finishing the previous step"
-        );
-        assert_eq!(
-            (grad.rows(), grad.cols()),
-            (self.n, self.m),
-            "gradient shape changed"
-        );
+        // allow_verify(reason: legacy infallible surface, panics with the try_ error text)
+        self.try_compress(grad).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`AcpSgd::compress`]: returns a structured error instead of
+    /// panicking on phase or shape violations.
+    ///
+    /// # Errors
+    ///
+    /// [`CompressError::Phase`] when the previous step was not finished,
+    /// [`CompressError::Shape`] when the gradient shape differs from
+    /// construction, [`CompressError::Matrix`] if an inner multiply is fed
+    /// incompatible dimensions.
+    pub fn try_compress(&mut self, grad: &Matrix) -> Result<Matrix, CompressError> {
+        if self.mid_step {
+            return Err(CompressError::Phase {
+                what: "compress called before finishing the previous step",
+            });
+        }
+        if (grad.rows(), grad.cols()) != (self.n, self.m) {
+            return Err(CompressError::Shape {
+                what: "gradient shape changed",
+                expected: (self.n, self.m),
+                actual: (grad.rows(), grad.cols()),
+            });
+        }
         let corrected = match &self.error {
             Some(e) => grad + e,
             None => grad.clone(),
@@ -203,7 +222,7 @@ impl AcpSgd {
                     )
                 };
                 self.cfg.ortho.apply(&mut query);
-                let p = corrected.matmul(&query);
+                let p = corrected.try_matmul(&query)?;
                 (p, query)
             }
             FactorSide::Q => {
@@ -218,7 +237,7 @@ impl AcpSgd {
                     )
                 };
                 self.cfg.ortho.apply(&mut query);
-                let q = corrected.matmul_tn(&query);
+                let q = corrected.try_matmul_tn(&query)?;
                 (q, query)
             }
         };
@@ -226,8 +245,8 @@ impl AcpSgd {
             // E ← (M + E) − P_t Q_tᵀ with the *local* factor, so transmitted
             // mean + local residuals account for the full gradient mass.
             let approx = match side {
-                FactorSide::P => factor.matmul_nt(&query),
-                FactorSide::Q => query.matmul_nt(&factor),
+                FactorSide::P => factor.try_matmul_nt(&query)?,
+                FactorSide::Q => query.try_matmul_nt(&factor)?,
             };
             let mut e = corrected;
             e -= &approx;
@@ -235,7 +254,7 @@ impl AcpSgd {
         }
         self.query = Some(query);
         self.mid_step = true;
-        factor
+        Ok(factor)
     }
 
     /// Consumes the aggregated factor and returns the decompressed gradient
@@ -246,28 +265,60 @@ impl AcpSgd {
     /// Panics if called without a preceding [`AcpSgd::compress`] or with a
     /// wrongly shaped factor.
     pub fn finish(&mut self, factor_reduced: Matrix) -> Matrix {
-        assert!(self.mid_step, "finish called without compress");
-        let query = self.query.take().expect("query cached by compress");
+        // allow_verify(reason: legacy infallible surface, panics with the try_ error text)
+        self.try_finish(factor_reduced)
+            // allow_verify(reason: same legacy surface as above)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`AcpSgd::finish`]: returns a structured error instead of
+    /// panicking on phase or shape violations. On error the cached query is
+    /// retained, so a wrongly shaped aggregate can be retried.
+    ///
+    /// # Errors
+    ///
+    /// [`CompressError::Phase`] when called without a preceding
+    /// [`AcpSgd::try_compress`], [`CompressError::Shape`] when
+    /// `factor_reduced` has the wrong shape, [`CompressError::Matrix`] if
+    /// the reconstruction multiply is fed incompatible dimensions.
+    pub fn try_finish(&mut self, factor_reduced: Matrix) -> Result<Matrix, CompressError> {
+        if !self.mid_step {
+            return Err(CompressError::Phase {
+                what: "finish called without compress",
+            });
+        }
         let side = self.next_side();
+        let expected = match side {
+            FactorSide::P => (self.n, self.rank),
+            FactorSide::Q => (self.m, self.rank),
+        };
+        if (factor_reduced.rows(), factor_reduced.cols()) != expected {
+            return Err(CompressError::Shape {
+                what: match side {
+                    FactorSide::P => "aggregated P has the wrong shape",
+                    FactorSide::Q => "aggregated Q has the wrong shape",
+                },
+                expected,
+                actual: (factor_reduced.rows(), factor_reduced.cols()),
+            });
+        }
+        let query = match self.query.take() {
+            Some(q) => q,
+            None => {
+                return Err(CompressError::Phase {
+                    what: "query cached by compress",
+                })
+            }
+        };
         let approx = match side {
             FactorSide::P => {
-                assert_eq!(
-                    (factor_reduced.rows(), factor_reduced.cols()),
-                    (self.n, self.rank),
-                    "aggregated P has the wrong shape"
-                );
-                let approx = factor_reduced.matmul_nt(&query);
+                let approx = factor_reduced.try_matmul_nt(&query)?;
                 self.p = factor_reduced;
                 self.q = query;
                 approx
             }
             FactorSide::Q => {
-                assert_eq!(
-                    (factor_reduced.rows(), factor_reduced.cols()),
-                    (self.m, self.rank),
-                    "aggregated Q has the wrong shape"
-                );
-                let approx = query.matmul_nt(&factor_reduced);
+                let approx = query.try_matmul_nt(&factor_reduced)?;
                 self.q = factor_reduced;
                 self.p = query;
                 approx
@@ -275,7 +326,7 @@ impl AcpSgd {
         };
         self.step += 1;
         self.mid_step = false;
-        approx
+        Ok(approx)
     }
 
     /// FLOPs of one compression step — Table II / §IV-A: one matmul
@@ -545,5 +596,35 @@ mod tests {
     fn finish_without_compress_panics() {
         let mut acp = AcpSgd::new(4, 4, AcpSgdConfig::default());
         acp.finish(Matrix::zeros(4, 4));
+    }
+
+    #[test]
+    fn try_surface_reports_structured_errors_and_recovers() {
+        use crate::error::CompressError;
+        let grad = Matrix::zeros(4, 4);
+        let mut acp = AcpSgd::new(4, 4, AcpSgdConfig::default());
+        assert_eq!(
+            acp.try_finish(Matrix::zeros(4, 4)),
+            Err(CompressError::Phase {
+                what: "finish called without compress",
+            })
+        );
+        let f = acp.try_compress(&grad).unwrap();
+        assert_eq!(
+            acp.try_compress(&grad),
+            Err(CompressError::Phase {
+                what: "compress called before finishing the previous step",
+            })
+        );
+        // A wrongly shaped aggregate is rejected without losing the query.
+        assert!(matches!(
+            acp.try_finish(Matrix::zeros(2, 2)),
+            Err(CompressError::Shape {
+                what: "aggregated P has the wrong shape",
+                ..
+            })
+        ));
+        assert!(acp.try_finish(f).is_ok());
+        assert_eq!(acp.next_side(), FactorSide::Q);
     }
 }

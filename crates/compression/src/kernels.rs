@@ -1,0 +1,550 @@
+//! Vectorizable, pool-parallel inner loops for the compressor hot paths.
+//!
+//! Three rules shape everything in this module:
+//!
+//! 1. **Branchless inner loops.** Sign packing, majority voting and
+//!    quantization are rewritten as straight-line mask/select arithmetic so
+//!    the compiler can autovectorize them (`std::simd` is not available on
+//!    stable; hand-tiled loops over fixed-width blocks get the same codegen).
+//! 2. **Bitwise identity.** Every kernel produces exactly the bytes of the
+//!    retained scalar implementation in [`mod@reference`] — including for
+//!    `-0.0`, infinities and NaN inputs where the scalar code had defined
+//!    behaviour. Reductions that feed floating-point results (bucket norms,
+//!    scale means) stay strictly sequential. The `kernel_identity` proptests
+//!    pin this across odd lengths and world sizes 2–8.
+//! 3. **Fixed partitioning.** Pool parallelism only ever splits *disjoint
+//!    output ranges* with a fixed boundary rule; no parallel folds exist, so
+//!    overlapped execution is bitwise-identical to blocking execution.
+//!
+//! Top-k ordering uses the monotone bit trick: for any non-negative float
+//! (and `|g|` is one, apart from NaN), the IEEE-754 bit pattern ordered as
+//! an unsigned integer equals the numeric order, and NaN payloads sort
+//! deterministically *above* infinity. [`abs_key`] is therefore a total
+//! order on magnitudes — the fix for the NaN-unsafe `partial_cmp`
+//! comparators that could make ranks disagree on selected indices.
+
+use acp_tensor::pool::{chunks_for, global_for};
+
+/// Total-order sort key for `|g|`: strips the sign bit and compares the
+/// remaining bits as an integer. Equal to `f32::total_cmp` on `g.abs()`,
+/// with NaNs ordered deterministically above every finite value and `±0.0`
+/// mapping to the same key.
+#[inline]
+pub fn abs_key(g: f32) -> u32 {
+    g.to_bits() & 0x7fff_ffff
+}
+
+/// Fills `keys[i] = abs_key(grad[i])` (pool-parallel for large inputs).
+pub fn abs_keys(grad: &[f32]) -> Vec<u32> {
+    let mut keys = vec![0u32; grad.len()];
+    let pool = global_for(grad.len());
+    let chunks = chunks_for(pool, grad.len());
+    pool.for_each_unit_chunk_mut(&mut keys, 1, chunks, |start, piece| {
+        let n = piece.len();
+        for (k, &g) in piece.iter_mut().zip(&grad[start..start + n]) {
+            *k = abs_key(g);
+        }
+    });
+    keys
+}
+
+/// Indices of the `k` largest-magnitude elements, ascending.
+///
+/// Magnitudes are compared through [`abs_key`], so selection is a total
+/// order: ties keep the unstable-partition behaviour of the scalar
+/// reference, and NaN elements rank above everything instead of poisoning
+/// the comparator. Selection is partition-bound, so this matches rather
+/// than beats the scalar reference's throughput — the kernel's point is
+/// the total order, and the comparator sequence is identical to the
+/// reference's, so both return the same set even at tie boundaries.
+pub fn select_topk(grad: &[f32], k: usize) -> Vec<u32> {
+    let k = k.min(grad.len());
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut idx: Vec<u32> = (0..grad.len() as u32).collect();
+    idx.select_nth_unstable_by(k - 1, |&a, &b| {
+        abs_key(grad[b as usize]).cmp(&abs_key(grad[a as usize]))
+    });
+    idx.truncate(k);
+    idx.sort_unstable();
+    idx
+}
+
+/// Bit-packs signs of one ≤32-element block (bit `j` = 1 when
+/// `block[j] >= 0.0`, so `-0.0` packs as positive and NaN as negative,
+/// matching the scalar reference).
+#[inline]
+fn pack_word(block: &[f32]) -> u32 {
+    let mut bits = 0u32;
+    if let Ok(arr) = <&[f32; 32]>::try_from(block) {
+        // Fixed-width block: branchless compare-mask-shift, autovectorizes.
+        for (j, &g) in arr.iter().enumerate() {
+            bits |= u32::from(g >= 0.0) << j;
+        }
+    } else {
+        for (j, &g) in block.iter().enumerate() {
+            bits |= u32::from(g >= 0.0) << j;
+        }
+    }
+    bits
+}
+
+/// Bit-packs the signs of `grad`, 32 per word; unused tail bits are zero.
+///
+/// # Panics
+///
+/// Panics if `words.len() != grad.len().div_ceil(32)`.
+pub fn pack_signs_into(grad: &[f32], words: &mut [u32]) {
+    let len = grad.len();
+    assert_eq!(words.len(), len.div_ceil(32), "packed length mismatch");
+    let pool = global_for(len);
+    let chunks = chunks_for(pool, len);
+    pool.for_each_unit_chunk_mut(words, 1, chunks, |w0, piece| {
+        for (wi, w) in piece.iter_mut().enumerate() {
+            let start = (w0 + wi) * 32;
+            let end = (start + 32).min(len);
+            *w = pack_word(&grad[start..end]);
+        }
+    });
+}
+
+/// Allocating convenience wrapper over [`pack_signs_into`].
+pub fn pack_signs(grad: &[f32]) -> Vec<u32> {
+    let mut words = vec![0u32; grad.len().div_ceil(32)];
+    pack_signs_into(grad, &mut words);
+    words
+}
+
+/// Expands packed sign words into `out[i] = ±1.0 * scale`, word-driven
+/// (one load and a branchless select per element instead of the scalar
+/// div/mod/branch per element).
+///
+/// # Panics
+///
+/// Panics if `words` is shorter than `out.len().div_ceil(32)`.
+pub fn unpack_signs_into(words: &[u32], scale: f32, out: &mut [f32]) {
+    let len = out.len();
+    assert!(words.len() >= len.div_ceil(32), "packed length mismatch");
+    let pool = global_for(len);
+    let chunks = chunks_for(pool, len);
+    let main = len - len % 32;
+    pool.for_each_unit_chunk_mut(&mut out[..main], 32, chunks, |u0, piece| {
+        for (ui, ochunk) in piece.chunks_exact_mut(32).enumerate() {
+            let w = words[u0 + ui];
+            for (j, o) in ochunk.iter_mut().enumerate() {
+                // Same arithmetic as the scalar `sign_at(..) * scale`.
+                let s = if w >> j & 1 == 1 { 1.0f32 } else { -1.0 };
+                *o = s * scale;
+            }
+        }
+    });
+    for (i, o) in out.iter_mut().enumerate().skip(main) {
+        let s = if words[i / 32] >> (i % 32) & 1 == 1 {
+            1.0f32
+        } else {
+            -1.0
+        };
+        *o = s * scale;
+    }
+}
+
+/// Highest rank count the bit-sliced vote kernel supports; larger worlds
+/// fall back to [`reference::majority_vote_into`].
+const MAX_CSA_WORLD: usize = 255;
+
+/// Bit-sliced majority vote over one packed word position.
+///
+/// Accumulates the per-bit-position popcount across ranks into eight
+/// carry-save bit planes (32 independent 8-bit counters in bitwise
+/// arithmetic), then compares every counter against `threshold` with a
+/// bitwise borrow chain. Returns a word whose bit `j` is 1 iff at least
+/// `threshold` ranks voted positive at position `j`.
+#[inline]
+fn vote_word(gathered: &[u32], wpr: usize, world_size: usize, wi: usize, threshold: u32) -> u32 {
+    let mut planes = [0u32; 8];
+    for w in 0..world_size {
+        let mut carry = gathered[w * wpr + wi];
+        for p in planes.iter_mut() {
+            if carry == 0 {
+                break;
+            }
+            let t = *p & carry;
+            *p ^= carry;
+            carry = t;
+        }
+    }
+    // Borrow chain of (count - threshold) per bit position; a final borrow
+    // means count < threshold.
+    let mut borrow = 0u32;
+    for (b, &p) in planes.iter().enumerate() {
+        let t = if threshold >> b & 1 == 1 { !0u32 } else { 0 };
+        borrow = (!p & t) | (!(p ^ t) & borrow);
+    }
+    !borrow
+}
+
+/// Majority vote across `world_size` gathered sign payloads — the
+/// bit-sliced counterpart of [`reference::majority_vote_into`], producing
+/// identical bytes: element `i` becomes `mean(scales)` when at least half
+/// the ranks (ties included) voted positive, `-mean(scales)` otherwise.
+///
+/// # Panics
+///
+/// Panics if `gathered.len()` is not `world_size` times the packed length
+/// for `len` elements, `scales.len() != world_size`, or `out.len() != len`.
+pub fn majority_vote_into(
+    gathered: &[u32],
+    scales: &[f32],
+    len: usize,
+    world_size: usize,
+    out: &mut [f32],
+) {
+    if world_size > MAX_CSA_WORLD {
+        return reference::majority_vote_into(gathered, scales, len, world_size, out);
+    }
+    let wpr = len.div_ceil(32);
+    assert_eq!(gathered.len(), wpr * world_size, "gathered length mismatch");
+    assert_eq!(scales.len(), world_size, "scales length mismatch");
+    assert_eq!(out.len(), len, "output length mismatch");
+    // Sequential sum: byte-identical to the scalar reference.
+    let mean_scale = scales.iter().sum::<f32>() / world_size as f32;
+    // `vote >= 0` ⟺ positives ≥ ceil(world/2) = world − world/2.
+    let threshold = (world_size - world_size / 2) as u32;
+    let mut voted = vec![0u32; wpr];
+    let pool = global_for(len * world_size.max(1));
+    let chunks = chunks_for(pool, len);
+    pool.for_each_unit_chunk_mut(&mut voted, 1, chunks, |w0, piece| {
+        for (wi, v) in piece.iter_mut().enumerate() {
+            *v = vote_word(gathered, wpr, world_size, w0 + wi, threshold);
+        }
+    });
+    let main = len - len % 32;
+    pool.for_each_unit_chunk_mut(&mut out[..main], 32, chunks, |u0, piece| {
+        for (ui, ochunk) in piece.chunks_exact_mut(32).enumerate() {
+            let w = voted[u0 + ui];
+            for (j, o) in ochunk.iter_mut().enumerate() {
+                *o = if w >> j & 1 == 1 {
+                    mean_scale
+                } else {
+                    -mean_scale
+                };
+            }
+        }
+    });
+    for (i, o) in out.iter_mut().enumerate().skip(main) {
+        *o = if voted[i / 32] >> (i % 32) & 1 == 1 {
+            mean_scale
+        } else {
+            -mean_scale
+        };
+    }
+}
+
+/// Stochastically quantizes one bucket: `out[i]` is the signed level of
+/// `chunk[i]` against `norm` with `levels` steps per sign, using the
+/// pre-drawn uniforms in `rand` (one per element, drawn in element order so
+/// the RNG stream matches the scalar reference exactly).
+///
+/// The caller has already handled the `norm == 0` bucket.
+///
+/// # Panics
+///
+/// Panics if the slice lengths disagree.
+pub fn quantize_chunk_into(chunk: &[f32], norm: f32, levels: u8, rand: &[f32], out: &mut [i8]) {
+    assert_eq!(chunk.len(), rand.len(), "rand length mismatch");
+    assert_eq!(chunk.len(), out.len(), "output length mismatch");
+    let s = levels as f32;
+    let max = levels as i32;
+    for ((o, &g), &r) in out.iter_mut().zip(chunk).zip(rand) {
+        let x = g.abs() / norm * s; // in [0, s]
+        let floor = x.floor();
+        let frac = x - floor;
+        let level = (floor as i32 + i32::from(r < frac)).min(max);
+        *o = if g < 0.0 { -(level as i8) } else { level as i8 };
+    }
+}
+
+/// Dequantizes levels into `out[i] = levels[i] / s * scale`, pool-parallel
+/// for large payloads.
+///
+/// # Panics
+///
+/// Panics if the slice lengths disagree.
+pub fn dequantize_into(levels: &[i8], num_levels: u8, scale: f32, out: &mut [f32]) {
+    assert_eq!(out.len(), levels.len(), "output length mismatch");
+    let s = num_levels as f32;
+    let pool = global_for(levels.len());
+    let chunks = chunks_for(pool, levels.len());
+    pool.for_each_unit_chunk_mut(out, 1, chunks, |start, piece| {
+        let n = piece.len();
+        for (o, &l) in piece.iter_mut().zip(&levels[start..start + n]) {
+            *o = l as f32 / s * scale;
+        }
+    });
+}
+
+/// The retained scalar reference implementations.
+///
+/// These are the pre-vectorization loops, kept as the byte-identity oracle
+/// for the kernels above and as the scalar baseline the criterion benches
+/// (`BENCH_kernels.json`) measure speedups against. Do not "optimize" them.
+pub mod reference {
+    /// Scalar sign packing: one branch per element.
+    pub fn pack_signs(grad: &[f32]) -> Vec<u32> {
+        let mut words = vec![0u32; grad.len().div_ceil(32)];
+        for (i, &g) in grad.iter().enumerate() {
+            if g >= 0.0 {
+                words[i / 32] |= 1 << (i % 32);
+            }
+        }
+        words
+    }
+
+    /// Scalar sign expansion: div/mod/branch per element.
+    pub fn unpack_signs_into(words: &[u32], scale: f32, out: &mut [f32]) {
+        for (i, o) in out.iter_mut().enumerate() {
+            let s = if words[i / 32] >> (i % 32) & 1 == 1 {
+                1.0f32
+            } else {
+                -1.0
+            };
+            *o = s * scale;
+        }
+    }
+
+    /// Scalar majority vote: a rank-loop with a signed counter per element.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same length mismatches as the vectorized kernel.
+    pub fn majority_vote_into(
+        gathered: &[u32],
+        scales: &[f32],
+        len: usize,
+        world_size: usize,
+        out: &mut [f32],
+    ) {
+        let words_per_rank = len.div_ceil(32);
+        assert_eq!(
+            gathered.len(),
+            words_per_rank * world_size,
+            "gathered length mismatch"
+        );
+        assert_eq!(scales.len(), world_size, "scales length mismatch");
+        assert_eq!(out.len(), len, "output length mismatch");
+        let mean_scale = scales.iter().sum::<f32>() / world_size as f32;
+        for (i, o) in out.iter_mut().enumerate() {
+            let mut vote = 0i32;
+            for w in 0..world_size {
+                let word = gathered[w * words_per_rank + i / 32];
+                vote += if word >> (i % 32) & 1 == 1 { 1 } else { -1 };
+            }
+            *o = if vote >= 0 { mean_scale } else { -mean_scale };
+        }
+    }
+
+    /// Scalar stochastic quantization of one bucket (uniforms pre-drawn in
+    /// element order, exactly like the vectorized kernel).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths disagree.
+    pub fn quantize_chunk_into(chunk: &[f32], norm: f32, levels: u8, rand: &[f32], out: &mut [i8]) {
+        assert_eq!(chunk.len(), rand.len(), "rand length mismatch");
+        assert_eq!(chunk.len(), out.len(), "output length mismatch");
+        let s = levels as f32;
+        for ((o, &g), &r) in out.iter_mut().zip(chunk).zip(rand) {
+            let x = g.abs() / norm * s;
+            let floor = x.floor();
+            let frac = x - floor;
+            let level = floor as i32 + i32::from(r < frac);
+            let level = level.min(levels as i32);
+            *o = if g < 0.0 { -(level as i8) } else { level as i8 };
+        }
+    }
+
+    /// Scalar dequantization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths disagree.
+    pub fn dequantize_into(levels: &[i8], num_levels: u8, scale: f32, out: &mut [f32]) {
+        assert_eq!(out.len(), levels.len(), "output length mismatch");
+        let s = num_levels as f32;
+        for (o, &l) in out.iter_mut().zip(levels) {
+            *o = l as f32 / s * scale;
+        }
+    }
+
+    /// Scalar top-k selection over the same total magnitude order as
+    /// [`super::select_topk`] (`total_cmp` on `|g|`).
+    pub fn select_topk(grad: &[f32], k: usize) -> Vec<u32> {
+        let k = k.min(grad.len());
+        if k == 0 {
+            return Vec::new();
+        }
+        let mut idx: Vec<u32> = (0..grad.len() as u32).collect();
+        idx.select_nth_unstable_by(k - 1, |&a, &b| {
+            grad[b as usize].abs().total_cmp(&grad[a as usize].abs())
+        });
+        idx.truncate(k);
+        idx.sort_unstable();
+        idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic sign-varied data with the awkward values mixed in.
+    fn awkward(len: usize, seed: u32) -> Vec<f32> {
+        let mut state = seed;
+        (0..len)
+            .map(|_| {
+                state = state.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+                match state % 11 {
+                    0 => 0.0,
+                    1 => -0.0,
+                    2 => f32::NAN,
+                    3 => f32::INFINITY,
+                    4 => f32::NEG_INFINITY,
+                    _ => (state as f32 / u32::MAX as f32 - 0.5) * 20.0,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pack_matches_reference_across_odd_lengths() {
+        for len in [0, 1, 31, 32, 33, 45, 63, 64, 65, 100, 1023] {
+            let grad = awkward(len, len as u32 + 1);
+            assert_eq!(pack_signs(&grad), reference::pack_signs(&grad), "len {len}");
+        }
+    }
+
+    #[test]
+    fn unpack_matches_reference_across_odd_lengths() {
+        for len in [1usize, 31, 32, 33, 45, 97, 256, 300] {
+            let grad = awkward(len, 7 * len as u32);
+            let words = reference::pack_signs(&grad);
+            let mut fast = vec![0.0f32; len];
+            let mut slow = vec![0.0f32; len];
+            unpack_signs_into(&words, 0.75, &mut fast);
+            reference::unpack_signs_into(&words, 0.75, &mut slow);
+            let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&fast), bits(&slow), "len {len}");
+        }
+    }
+
+    #[test]
+    fn vote_matches_reference_worlds_2_to_8() {
+        for world in 2usize..=8 {
+            for len in [1usize, 31, 33, 64, 65, 100] {
+                let wpr = len.div_ceil(32);
+                let mut gathered = Vec::with_capacity(world * wpr);
+                let mut scales = Vec::with_capacity(world);
+                for w in 0..world {
+                    let grad = awkward(len, (w * 31 + len) as u32 + 3);
+                    gathered.extend(reference::pack_signs(&grad));
+                    scales.push(0.25 + w as f32);
+                }
+                let mut fast = vec![0.0f32; len];
+                let mut slow = vec![0.0f32; len];
+                majority_vote_into(&gathered, &scales, len, world, &mut fast);
+                reference::majority_vote_into(&gathered, &scales, len, world, &mut slow);
+                let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+                assert_eq!(bits(&fast), bits(&slow), "world {world} len {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn vote_word_counts_exactly() {
+        // Exhaustive per-position check at a word boundary: every
+        // positive-count from 0..=world against every threshold.
+        for world in 1usize..=9 {
+            for positives in 0..=world {
+                let mut gathered = Vec::new();
+                for w in 0..world {
+                    gathered.push(if w < positives { 1u32 } else { 0 });
+                }
+                let threshold = (world - world / 2) as u32;
+                let bit = vote_word(&gathered, 1, world, 0, threshold) & 1;
+                let expected = u32::from(positives >= world - world / 2);
+                assert_eq!(bit, expected, "world {world} positives {positives}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantize_matches_reference() {
+        for len in [1usize, 33, 64, 511, 512, 513] {
+            let chunk = awkward(len, 17 + len as u32);
+            let rand: Vec<f32> = (0..len).map(|i| (i as f32 * 0.137) % 1.0).collect();
+            let norm = chunk
+                .iter()
+                .map(|g| if g.is_finite() { g * g } else { 1.0 })
+                .sum::<f32>()
+                .sqrt()
+                .max(1e-3);
+            let mut fast = vec![0i8; len];
+            let mut slow = vec![0i8; len];
+            quantize_chunk_into(&chunk, norm, 4, &rand, &mut fast);
+            reference::quantize_chunk_into(&chunk, norm, 4, &rand, &mut slow);
+            assert_eq!(fast, slow, "len {len}");
+        }
+    }
+
+    #[test]
+    fn dequantize_matches_reference() {
+        let levels: Vec<i8> = (0..1000).map(|i| ((i * 7) % 9 - 4) as i8).collect();
+        let mut fast = vec![0.0f32; levels.len()];
+        let mut slow = vec![0.0f32; levels.len()];
+        dequantize_into(&levels, 4, 0.37, &mut fast);
+        reference::dequantize_into(&levels, 4, 0.37, &mut slow);
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&fast), bits(&slow));
+    }
+
+    #[test]
+    fn select_topk_matches_reference_with_nans() {
+        for len in [1usize, 10, 64, 333] {
+            let grad = awkward(len, 23 + len as u32);
+            for k in [1usize, 2, len / 2 + 1, len] {
+                assert_eq!(
+                    select_topk(&grad, k),
+                    reference::select_topk(&grad, k),
+                    "len {len} k {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn abs_key_orders_like_total_cmp_on_abs() {
+        let vals = [
+            0.0f32,
+            -0.0,
+            1.0e-40, // subnormal
+            -1.0e-40,
+            0.5,
+            -0.5,
+            1.0,
+            f32::MAX,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            f32::NAN,
+        ];
+        for &a in &vals {
+            for &b in &vals {
+                assert_eq!(
+                    abs_key(a).cmp(&abs_key(b)),
+                    a.abs().total_cmp(&b.abs()),
+                    "{a} vs {b}"
+                );
+            }
+        }
+    }
+}

@@ -40,7 +40,9 @@
 
 pub mod acp;
 pub mod compressor;
+pub mod error;
 pub mod error_feedback;
+pub mod kernels;
 pub mod payload;
 pub mod powersgd;
 pub mod qsgd;
@@ -51,6 +53,7 @@ pub mod terngrad;
 pub mod topk;
 
 pub use compressor::Compressor;
+pub use error::CompressError;
 pub use error_feedback::ErrorFeedback;
 pub use payload::Payload;
 pub use randomk::RandomK;

@@ -28,6 +28,8 @@ use acp_tensor::{Matrix, OrthoMethod, SeedableStdNormal};
 
 use serde::{Deserialize, Serialize};
 
+use crate::error::CompressError;
+
 /// Configuration shared by [`PowerSgd`] and tested in the ablations.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct PowerSgdConfig {
@@ -153,12 +155,32 @@ impl PowerSgd {
     /// Panics if the gradient shape differs from construction, or the state
     /// machine is mid-iteration (phases called out of order).
     pub fn compute_p(&mut self, grad: &Matrix) -> Matrix {
-        assert_eq!(self.phase, Phase::AwaitP, "compute_p called out of order");
-        assert_eq!(
-            (grad.rows(), grad.cols()),
-            (self.n, self.m),
-            "gradient shape changed"
-        );
+        // allow_verify(reason: legacy infallible surface, panics with the try_ error text)
+        self.try_compute_p(grad).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`PowerSgd::compute_p`]: returns a structured error instead
+    /// of panicking on phase or shape violations.
+    ///
+    /// # Errors
+    ///
+    /// [`CompressError::Phase`] when called out of order,
+    /// [`CompressError::Shape`] when the gradient shape differs from
+    /// construction, [`CompressError::Matrix`] if the inner multiply is fed
+    /// incompatible dimensions.
+    pub fn try_compute_p(&mut self, grad: &Matrix) -> Result<Matrix, CompressError> {
+        if self.phase != Phase::AwaitP {
+            return Err(CompressError::Phase {
+                what: "compute_p called out of order",
+            });
+        }
+        if (grad.rows(), grad.cols()) != (self.n, self.m) {
+            return Err(CompressError::Shape {
+                what: "gradient shape changed",
+                expected: (self.n, self.m),
+                actual: (grad.rows(), grad.cols()),
+            });
+        }
         if !self.cfg.reuse {
             // Fresh random query each step (ablation). Seed varies by step
             // but agrees across ranks.
@@ -172,10 +194,10 @@ impl PowerSgd {
             Some(e) => grad + e,
             None => grad.clone(),
         };
-        let p = corrected.matmul(&self.q);
+        let p = corrected.try_matmul(&self.q)?;
         self.corrected = Some(corrected);
         self.phase = Phase::AwaitQ { have_p: false };
-        p
+        Ok(p)
     }
 
     /// Phase 2: consumes the aggregated `P̂`, orthogonalizes it, computes
@@ -185,33 +207,56 @@ impl PowerSgd {
     /// # Panics
     ///
     /// Panics if called out of order or `p_reduced` has the wrong shape.
-    pub fn compute_q(&mut self, mut p_reduced: Matrix) -> Matrix {
-        assert!(
-            matches!(self.phase, Phase::AwaitQ { have_p: false }),
-            "compute_q called out of order"
-        );
-        assert_eq!(
-            (p_reduced.rows(), p_reduced.cols()),
-            (self.n, self.rank),
-            "aggregated P has the wrong shape"
-        );
+    pub fn compute_q(&mut self, p_reduced: Matrix) -> Matrix {
+        // allow_verify(reason: legacy infallible surface, panics with the try_ error text)
+        self.try_compute_q(p_reduced)
+            // allow_verify(reason: same legacy surface as above)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`PowerSgd::compute_q`]: returns a structured error instead
+    /// of panicking on phase or shape violations.
+    ///
+    /// # Errors
+    ///
+    /// [`CompressError::Phase`] when called out of order,
+    /// [`CompressError::Shape`] when `p_reduced` has the wrong shape,
+    /// [`CompressError::Matrix`] if an inner multiply is fed incompatible
+    /// dimensions.
+    pub fn try_compute_q(&mut self, mut p_reduced: Matrix) -> Result<Matrix, CompressError> {
+        if !matches!(self.phase, Phase::AwaitQ { have_p: false }) {
+            return Err(CompressError::Phase {
+                what: "compute_q called out of order",
+            });
+        }
+        if (p_reduced.rows(), p_reduced.cols()) != (self.n, self.rank) {
+            return Err(CompressError::Shape {
+                what: "aggregated P has the wrong shape",
+                expected: (self.n, self.rank),
+                actual: (p_reduced.rows(), p_reduced.cols()),
+            });
+        }
         self.cfg.ortho.apply(&mut p_reduced);
-        let corrected = self
-            .corrected
-            .take()
-            .expect("corrected gradient cached by compute_p");
-        let q = corrected.matmul_tn(&p_reduced);
+        let corrected = match self.corrected.take() {
+            Some(c) => c,
+            None => {
+                return Err(CompressError::Phase {
+                    what: "corrected gradient cached by compute_p",
+                })
+            }
+        };
+        let q = corrected.try_matmul_tn(&p_reduced)?;
         if self.error.is_some() {
             // E ← (M + E) − P̂ Q_localᵀ, with the local (pre-reduce) Q so the
             // average of transmitted + residual equals the true average.
-            let approx = p_reduced.matmul_nt(&q);
+            let approx = p_reduced.try_matmul_nt(&q)?;
             let mut e = corrected;
             e -= &approx;
             self.error = Some(e);
         }
         self.p_hat = Some(p_reduced);
         self.phase = Phase::AwaitQ { have_p: true };
-        q
+        Ok(q)
     }
 
     /// Phase 3: consumes the aggregated `Q̂` and returns the decompressed
@@ -221,21 +266,45 @@ impl PowerSgd {
     ///
     /// Panics if called out of order or `q_reduced` has the wrong shape.
     pub fn finish(&mut self, q_reduced: Matrix) -> Matrix {
-        assert!(
-            matches!(self.phase, Phase::AwaitQ { have_p: true }),
-            "finish called out of order"
-        );
-        assert_eq!(
-            (q_reduced.rows(), q_reduced.cols()),
-            (self.m, self.rank),
-            "aggregated Q has the wrong shape"
-        );
-        let p_hat = self.p_hat.take().expect("aggregated P cached by compute_q");
-        let approx = p_hat.matmul_nt(&q_reduced);
+        // allow_verify(reason: legacy infallible surface, panics with the try_ error text)
+        self.try_finish(q_reduced).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`PowerSgd::finish`]: returns a structured error instead of
+    /// panicking on phase or shape violations.
+    ///
+    /// # Errors
+    ///
+    /// [`CompressError::Phase`] when called out of order,
+    /// [`CompressError::Shape`] when `q_reduced` has the wrong shape,
+    /// [`CompressError::Matrix`] if the reconstruction multiply is fed
+    /// incompatible dimensions.
+    pub fn try_finish(&mut self, q_reduced: Matrix) -> Result<Matrix, CompressError> {
+        if !matches!(self.phase, Phase::AwaitQ { have_p: true }) {
+            return Err(CompressError::Phase {
+                what: "finish called out of order",
+            });
+        }
+        if (q_reduced.rows(), q_reduced.cols()) != (self.m, self.rank) {
+            return Err(CompressError::Shape {
+                what: "aggregated Q has the wrong shape",
+                expected: (self.m, self.rank),
+                actual: (q_reduced.rows(), q_reduced.cols()),
+            });
+        }
+        let p_hat = match self.p_hat.take() {
+            Some(p) => p,
+            None => {
+                return Err(CompressError::Phase {
+                    what: "aggregated P cached by compute_q",
+                })
+            }
+        };
+        let approx = p_hat.try_matmul_nt(&q_reduced)?;
         self.q = q_reduced;
         self.step += 1;
         self.phase = Phase::AwaitP;
-        approx
+        Ok(approx)
     }
 
     /// FLOPs of one compression step (Table II: `O(N r)` with `N = n m`):
@@ -407,5 +476,38 @@ mod tests {
     fn gradient_shape_is_checked() {
         let mut ps = PowerSgd::new(4, 4, PowerSgdConfig::default());
         ps.compute_p(&Matrix::zeros(4, 5));
+    }
+
+    #[test]
+    fn try_surface_reports_structured_errors() {
+        use crate::error::CompressError;
+        let grad = Matrix::zeros(4, 4);
+        let mut ps = PowerSgd::new(4, 4, PowerSgdConfig::default());
+        assert_eq!(
+            ps.try_compute_p(&Matrix::zeros(4, 5)),
+            Err(CompressError::Shape {
+                what: "gradient shape changed",
+                expected: (4, 4),
+                actual: (4, 5),
+            })
+        );
+        // A failed call leaves the state usable.
+        let p = ps.try_compute_p(&grad).unwrap();
+        assert_eq!(
+            ps.try_compute_p(&grad),
+            Err(CompressError::Phase {
+                what: "compute_p called out of order",
+            })
+        );
+        let q = ps.try_compute_q(p).unwrap();
+        assert_eq!(
+            ps.try_finish(Matrix::zeros(3, 3)),
+            Err(CompressError::Shape {
+                what: "aggregated Q has the wrong shape",
+                expected: (4, ps.rank()),
+                actual: (3, 3),
+            })
+        );
+        assert!(ps.try_finish(q).is_ok());
     }
 }

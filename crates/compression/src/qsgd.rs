@@ -17,6 +17,7 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 use crate::compressor::Compressor;
+use crate::kernels;
 use crate::payload::Payload;
 
 /// Default quantization bucket length.
@@ -84,24 +85,24 @@ impl Compressor for Qsgd {
     }
 
     fn compress(&mut self, grad: &[f32]) -> Payload {
-        let s = self.levels as f32;
-        let mut levels = Vec::with_capacity(grad.len());
+        let mut levels = vec![0i8; grad.len()];
         let mut scales = Vec::with_capacity(grad.len().div_ceil(self.bucket));
-        for chunk in grad.chunks(self.bucket) {
+        // Pre-drawn uniforms, one per element in element order, so the
+        // ChaCha stream (and therefore the payload) is byte-identical to
+        // the pre-kernel element-at-a-time implementation.
+        let mut rand = vec![0.0f32; self.bucket];
+        for (chunk, out) in grad.chunks(self.bucket).zip(levels.chunks_mut(self.bucket)) {
+            // Bucket norm stays a strictly sequential sum (bitwise pinned).
             let norm = chunk.iter().map(|g| g * g).sum::<f32>().sqrt();
             scales.push(norm);
             if norm == 0.0 {
-                levels.extend(std::iter::repeat_n(0i8, chunk.len()));
                 continue;
             }
-            for &g in chunk {
-                let x = g.abs() / norm * s; // in [0, s]
-                let floor = x.floor();
-                let frac = x - floor;
-                let level = floor as i32 + i32::from(self.rng.gen::<f32>() < frac);
-                let level = level.min(self.levels as i32);
-                levels.push(if g < 0.0 { -(level as i8) } else { level as i8 });
+            let rand = &mut rand[..chunk.len()];
+            for r in rand.iter_mut() {
+                *r = self.rng.gen::<f32>();
             }
+            kernels::quantize_chunk_into(chunk, norm, self.levels, rand, out);
         }
         Payload::QuantizedBuckets {
             levels,
@@ -120,15 +121,12 @@ impl Compressor for Qsgd {
                 scales,
             } => {
                 assert_eq!(out.len(), levels.len(), "output length mismatch");
-                let s = *num_levels as f32;
                 for ((ochunk, lchunk), &scale) in out
                     .chunks_mut(*bucket)
                     .zip(levels.chunks(*bucket))
                     .zip(scales)
                 {
-                    for (o, &l) in ochunk.iter_mut().zip(lchunk) {
-                        *o = l as f32 / s * scale;
-                    }
+                    kernels::dequantize_into(lchunk, *num_levels, scale, ochunk);
                 }
             }
             // Accept the flat variant too (TernGrad shares the alphabet).
@@ -138,11 +136,9 @@ impl Compressor for Qsgd {
                 scale,
             } => {
                 assert_eq!(out.len(), levels.len(), "output length mismatch");
-                let s = *num_levels as f32;
-                for (o, &l) in out.iter_mut().zip(levels) {
-                    *o = l as f32 / s * scale;
-                }
+                kernels::dequantize_into(levels, *num_levels, *scale, out);
             }
+            // allow_verify(reason: contract panic on payload-kind mismatch, pinned by tests)
             _ => panic!("Qsgd expects a quantized payload"),
         }
     }

@@ -7,6 +7,7 @@
 //! the paper evaluates.
 
 use crate::compressor::Compressor;
+use crate::kernels;
 use crate::payload::Payload;
 
 /// Sign-SGD compressor.
@@ -47,13 +48,7 @@ impl SignSgd {
 
     /// Bit-packs the signs of `grad` (1 = non-negative).
     pub fn pack(grad: &[f32]) -> Vec<u32> {
-        let mut words = vec![0u32; grad.len().div_ceil(32)];
-        for (i, &g) in grad.iter().enumerate() {
-            if g >= 0.0 {
-                words[i / 32] |= 1 << (i % 32);
-            }
-        }
-        words
+        kernels::pack_signs(grad)
     }
 
     /// Reads the sign bit for element `i` from packed `words`.
@@ -84,23 +79,7 @@ impl SignSgd {
         world_size: usize,
         out: &mut [f32],
     ) {
-        let words_per_rank = len.div_ceil(32);
-        assert_eq!(
-            gathered.len(),
-            words_per_rank * world_size,
-            "gathered length mismatch"
-        );
-        assert_eq!(scales.len(), world_size, "scales length mismatch");
-        assert_eq!(out.len(), len, "output length mismatch");
-        let mean_scale = scales.iter().sum::<f32>() / world_size as f32;
-        for (i, o) in out.iter_mut().enumerate() {
-            let mut vote = 0i32;
-            for w in 0..world_size {
-                let word = gathered[w * words_per_rank + i / 32];
-                vote += if word >> (i % 32) & 1 == 1 { 1 } else { -1 };
-            }
-            *o = if vote >= 0 { mean_scale } else { -mean_scale };
-        }
+        kernels::majority_vote_into(gathered, scales, len, world_size, out);
     }
 }
 
@@ -130,10 +109,9 @@ impl Compressor for SignSgd {
         match payload {
             Payload::Signs { words, len, scale } => {
                 assert_eq!(out.len(), *len, "output length mismatch");
-                for (i, o) in out.iter_mut().enumerate() {
-                    *o = Self::sign_at(words, i) * scale;
-                }
+                kernels::unpack_signs_into(words, *scale, out);
             }
+            // allow_verify(reason: contract panic on payload-kind mismatch, pinned by tests)
             _ => panic!("SignSgd expects Payload::Signs"),
         }
     }
@@ -216,6 +194,49 @@ mod tests {
         let rt = c.round_trip(&grad);
         for (i, v) in rt.iter().enumerate() {
             assert_eq!(*v, if i % 3 == 0 { -1.0 } else { 1.0 });
+        }
+    }
+
+    #[test]
+    fn tail_word_bits_round_trip_at_every_offset() {
+        // Every length around the 32-bit word boundaries: the tail word
+        // must carry exactly `len % 32` live bits and round-trip them.
+        for len in [1usize, 5, 31, 32, 33, 63, 64, 65, 95, 96, 97] {
+            let grad: Vec<f32> = (0..len)
+                .map(|i| if (i * 7 + len) % 5 < 2 { -1.0 } else { 1.0 })
+                .collect();
+            let words = SignSgd::pack(&grad);
+            assert_eq!(words.len(), len.div_ceil(32), "len {len}");
+            // Unused tail bits stay zero (wire determinism).
+            if len % 32 != 0 {
+                let tail = words[len / 32];
+                assert_eq!(tail >> (len % 32), 0, "tail garbage at len {len}");
+            }
+            let mut c = SignSgd::plain();
+            let rt = c.round_trip(&grad);
+            assert_eq!(rt, grad, "len {len}");
+        }
+    }
+
+    #[test]
+    fn tail_word_majority_vote_matches_scalar_reference() {
+        use crate::kernels;
+        for len in [33usize, 45, 65, 97] {
+            for world in 2usize..=5 {
+                let mut gathered = Vec::new();
+                for w in 0..world {
+                    let grad: Vec<f32> = (0..len)
+                        .map(|i| if (i + w) % 3 == 0 { -1.0 } else { 1.0 })
+                        .collect();
+                    gathered.extend(SignSgd::pack(&grad));
+                }
+                let scales = vec![1.0f32; world];
+                let mut fast = vec![0.0f32; len];
+                let mut slow = vec![0.0f32; len];
+                SignSgd::majority_vote(&gathered, &scales, len, world, &mut fast);
+                kernels::reference::majority_vote_into(&gathered, &scales, len, world, &mut slow);
+                assert_eq!(fast, slow, "len {len} world {world}");
+            }
         }
     }
 

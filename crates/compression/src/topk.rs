@@ -17,6 +17,7 @@ use rand::Rng;
 use rand_chacha::ChaCha8Rng;
 
 use crate::compressor::Compressor;
+use crate::kernels;
 use crate::payload::Payload;
 
 /// Which selection kernel [`TopK`] uses.
@@ -88,19 +89,15 @@ impl TopK {
     }
 
     /// Exact selection: indices of the `k` largest |g|.
+    ///
+    /// Magnitudes are compared through the total order of
+    /// [`kernels::abs_key`] (equivalent to `total_cmp` on `|g|`), so NaN
+    /// elements rank deterministically above everything instead of making
+    /// the comparator intransitive — with the old `partial_cmp(..)
+    /// .unwrap_or(Equal)` comparator, ranks seeing the same gradient in a
+    /// different memory rotation could select *different* indices.
     fn select_exact(&self, grad: &[f32]) -> Vec<u32> {
-        let k = self.k.min(grad.len());
-        let mut idx: Vec<u32> = (0..grad.len() as u32).collect();
-        // Partial selection: k-th largest magnitude partitions the array.
-        idx.select_nth_unstable_by(k.saturating_sub(1), |&a, &b| {
-            grad[b as usize]
-                .abs()
-                .partial_cmp(&grad[a as usize].abs())
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
-        idx.truncate(k);
-        idx.sort_unstable();
-        idx
+        kernels::select_topk(grad, self.k)
     }
 
     /// Sampled-threshold selection: estimate the k-th magnitude from a
@@ -111,38 +108,34 @@ impl TopK {
         if k == n {
             return (0..n as u32).collect();
         }
-        // Sample max(1000, 1%) magnitudes.
+        // Sample max(1000, 1%) magnitude keys (see `kernels::abs_key`: the
+        // integer key order equals `total_cmp` on |g|, so NaNs cannot
+        // poison the quantile estimate).
         let sample_size = (n / 100).max(1000).min(n);
-        let mut sample: Vec<f32> = if sample_size == n {
-            grad.iter().map(|g| g.abs()).collect()
+        let mut sample: Vec<u32> = if sample_size == n {
+            grad.iter().map(|&g| kernels::abs_key(g)).collect()
         } else {
             (0..sample_size)
-                .map(|_| grad[self.rng.gen_range(0..n)].abs())
+                .map(|_| kernels::abs_key(grad[self.rng.gen_range(0..n)]))
                 .collect()
         };
         // The sample quantile matching a k/n tail.
         let tail = ((k as f64 / n as f64) * sample_size as f64).ceil() as usize;
         let tail = tail.clamp(1, sample_size);
-        sample.select_nth_unstable_by(tail - 1, |a, b| {
-            b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal)
-        });
+        sample.select_nth_unstable_by(tail - 1, |a, b| b.cmp(a));
         let threshold = sample[tail - 1];
         // One sweep collecting everything >= threshold, capped at k.
         let mut idx: Vec<u32> = Vec::with_capacity(k + k / 4);
         for (i, &g) in grad.iter().enumerate() {
-            if g.abs() >= threshold {
+            if kernels::abs_key(g) >= threshold {
                 idx.push(i as u32);
             }
         }
         if idx.len() > k {
             // Overshoot: keep the k largest among the candidates (cheap —
             // the candidate set is already ≈ k).
-            idx.select_nth_unstable_by(k - 1, |&a, &b| {
-                grad[b as usize]
-                    .abs()
-                    .partial_cmp(&grad[a as usize].abs())
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            });
+            let keys = kernels::abs_keys(grad);
+            idx.select_nth_unstable_by(k - 1, |&a, &b| keys[b as usize].cmp(&keys[a as usize]));
             idx.truncate(k);
             idx.sort_unstable();
         }
@@ -204,6 +197,7 @@ impl Compressor for TopK {
                     out[i as usize] = v;
                 }
             }
+            // allow_verify(reason: contract panic on payload-kind mismatch, pinned by tests)
             _ => panic!("TopK expects Payload::Sparse"),
         }
     }
@@ -300,5 +294,78 @@ mod tests {
     #[should_panic(expected = "k must be positive")]
     fn zero_k_panics() {
         TopK::new(0);
+    }
+
+    /// Regression test for the NaN-unsafe comparator: with the old
+    /// `partial_cmp(..).unwrap_or(Equal)` ordering, a NaN compared `Equal`
+    /// to every element, so `select_nth_unstable_by` could include or
+    /// exclude it depending on memory layout — ranks scanning the same
+    /// logical gradient in different element orders selected *different*
+    /// coordinate sets and diverged. The total-order key makes NaN rank
+    /// above everything, deterministically, in every layout.
+    #[test]
+    fn nan_selection_is_layout_invariant() {
+        // LCG-generated dataset empirically verified to make the old
+        // comparator select different value sets across rotations
+        // (n = 124, four NaNs, k = 11).
+        let mut state: u32 = 1;
+        let mut lcg = move || {
+            state = state.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+            state
+        };
+        let n = 16 + (lcg() as usize % 240);
+        let nan_count = 1 + lcg() as usize % 4;
+        let k = 1 + lcg() as usize % (n / 2);
+        let mut base: Vec<f32> = (0..n).map(|_| (lcg() % 1000) as f32 / 100.0).collect();
+        for _ in 0..nan_count {
+            let p = lcg() as usize % n;
+            base[p] = f32::NAN;
+        }
+        // Selected multiset of value bits must be identical for every
+        // rotation of the same data (a proxy for per-rank layout skew).
+        let canonical: Option<Vec<u32>> = None;
+        let mut canonical = canonical;
+        for rot in 0..base.len() {
+            let mut rotated = base.clone();
+            rotated.rotate_left(rot);
+            let mut c = TopK::new(k);
+            let p = c.compress(&rotated);
+            let mut picked: Vec<u32> = match &p {
+                Payload::Sparse { values, .. } => values.iter().map(|v| v.to_bits()).collect(),
+                _ => panic!("wrong payload"),
+            };
+            picked.sort_unstable();
+            match &canonical {
+                None => canonical = Some(picked),
+                Some(want) => assert_eq!(&picked, want, "rotation {rot} diverged"),
+            }
+        }
+        // And the NaN itself is always selected: it ranks above +inf.
+        let sel = canonical.unwrap();
+        assert!(
+            sel.iter().any(|b| f32::from_bits(*b).is_nan()),
+            "NaN must rank above every finite magnitude"
+        );
+    }
+
+    #[test]
+    fn sampled_selection_tolerates_nans() {
+        // The sampled threshold path must also stay deterministic and
+        // terminate with NaNs present (the old float comparator could
+        // return garbage quantiles).
+        let mut grad: Vec<f32> = (0..5000).map(|i| (i % 97) as f32 / 97.0).collect();
+        grad[123] = f32::NAN;
+        grad[4321] = f32::NAN;
+        let mut a = TopK::with_selection(50, TopKSelection::Sampled, 9);
+        let mut b = TopK::with_selection(50, TopKSelection::Sampled, 9);
+        let pa = a.compress(&grad);
+        let pb = b.compress(&grad);
+        match (&pa, &pb) {
+            (Payload::Sparse { indices: ia, .. }, Payload::Sparse { indices: ib, .. }) => {
+                assert_eq!(ia, ib);
+                assert!(!ia.is_empty());
+            }
+            _ => panic!("wrong payloads"),
+        }
     }
 }

@@ -1,0 +1,163 @@
+//! Property tests pinning the vectorized kernels byte-identical to the
+//! retained scalar references, across odd lengths, world sizes 2–8, and
+//! gradients salted with the awkward IEEE values (`±0.0`, infinities, NaN).
+//!
+//! These are the oracle that lets the pool-parallel kernels replace the
+//! scalar loops without moving a single payload bit.
+
+use acp_compression::kernels::{self, reference};
+use proptest::prelude::*;
+
+/// Gradient strategy: ordinary magnitudes with awkward values sprinkled in.
+fn grads(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    let elem = (0u8..13, -50.0f32..50.0).prop_map(|(pick, x)| match pick {
+        0 => 0.0f32,
+        1 => -0.0f32,
+        2 => f32::NAN,
+        3 => f32::INFINITY,
+        4 => f32::NEG_INFINITY,
+        _ => x,
+    });
+    proptest::collection::vec(elem, len..=len)
+}
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn sign_pack_is_bit_identical(grad in (1usize..300).prop_flat_map(grads)) {
+        prop_assert_eq!(kernels::pack_signs(&grad), reference::pack_signs(&grad));
+    }
+
+    #[test]
+    fn sign_unpack_is_bit_identical(grad in (1usize..300).prop_flat_map(grads), scale in -4.0f32..4.0) {
+        let words = reference::pack_signs(&grad);
+        let mut fast = vec![0.0f32; grad.len()];
+        let mut slow = vec![0.0f32; grad.len()];
+        kernels::unpack_signs_into(&words, scale, &mut fast);
+        reference::unpack_signs_into(&words, scale, &mut slow);
+        prop_assert_eq!(bits(&fast), bits(&slow));
+    }
+
+    #[test]
+    fn majority_vote_is_bit_identical(
+        len in 1usize..200,
+        world in 2usize..=8,
+        seed in 0u64..u64::MAX,
+        scales in proptest::collection::vec(0.01f32..8.0, 8),
+    ) {
+        // Derive per-rank sign words from the seed (cheap splitmix).
+        let wpr = len.div_ceil(32);
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            (z ^ (z >> 31)) as u32
+        };
+        let mut gathered = vec![0u32; wpr * world];
+        for (w, word) in gathered.iter_mut().enumerate() {
+            *word = next();
+            // Keep tail bits clean like a real pack would.
+            if (w + 1) % wpr == 0 && len % 32 != 0 {
+                *word &= (1u32 << (len % 32)) - 1;
+            }
+        }
+        let scales = &scales[..world];
+        let mut fast = vec![0.0f32; len];
+        let mut slow = vec![0.0f32; len];
+        kernels::majority_vote_into(&gathered, scales, len, world, &mut fast);
+        reference::majority_vote_into(&gathered, scales, len, world, &mut slow);
+        prop_assert_eq!(bits(&fast), bits(&slow));
+    }
+
+    #[test]
+    fn quantize_is_bit_identical(
+        grad in (1usize..300).prop_flat_map(grads),
+        rand in proptest::collection::vec(0.0f32..1.0, 300),
+        levels in 1u8..=127,
+    ) {
+        let rand = &rand[..grad.len()];
+        let norm = grad
+            .iter()
+            .map(|g| if g.is_finite() { g * g } else { 1.0 })
+            .sum::<f32>()
+            .sqrt()
+            .max(1e-3);
+        let mut fast = vec![0i8; grad.len()];
+        let mut slow = vec![0i8; grad.len()];
+        kernels::quantize_chunk_into(&grad, norm, levels, rand, &mut fast);
+        reference::quantize_chunk_into(&grad, norm, levels, rand, &mut slow);
+        prop_assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn dequantize_is_bit_identical(
+        levels in proptest::collection::vec(-127i8..=127, 1..300),
+        num_levels in 1u8..=127,
+        scale in -8.0f32..8.0,
+    ) {
+        let mut fast = vec![0.0f32; levels.len()];
+        let mut slow = vec![0.0f32; levels.len()];
+        kernels::dequantize_into(&levels, num_levels, scale, &mut fast);
+        reference::dequantize_into(&levels, num_levels, scale, &mut slow);
+        prop_assert_eq!(bits(&fast), bits(&slow));
+    }
+
+    #[test]
+    fn topk_selection_is_identical(
+        grad in (1usize..300).prop_flat_map(grads),
+        k in 1usize..300,
+    ) {
+        prop_assert_eq!(
+            kernels::select_topk(&grad, k),
+            reference::select_topk(&grad, k)
+        );
+    }
+}
+
+/// Above the pool's parallel threshold the chunked kernels must still be
+/// bit-identical to the scalar references (fixed partitioning, no parallel
+/// folds). One deterministic large case keeps the test fast.
+#[test]
+fn large_inputs_cross_the_parallel_threshold_bit_identically() {
+    let len = (1 << 16) + 37; // just past PAR_THRESHOLD, odd tail
+    let mut state = 0x1234_5678u32;
+    let grad: Vec<f32> = (0..len)
+        .map(|_| {
+            state = state.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+            match state % 13 {
+                0 => f32::NAN,
+                1 => -0.0,
+                _ => (state as f32 / u32::MAX as f32 - 0.5) * 10.0,
+            }
+        })
+        .collect();
+
+    let fast_words = kernels::pack_signs(&grad);
+    let slow_words = reference::pack_signs(&grad);
+    assert_eq!(fast_words, slow_words);
+
+    let mut fast = vec![0.0f32; len];
+    let mut slow = vec![0.0f32; len];
+    kernels::unpack_signs_into(&fast_words, 1.5, &mut fast);
+    reference::unpack_signs_into(&slow_words, 1.5, &mut slow);
+    assert_eq!(bits(&fast), bits(&slow));
+
+    let world = 4;
+    let gathered: Vec<u32> = (0..world).flat_map(|_| fast_words.clone()).collect();
+    let scales = vec![0.5f32, 1.0, 2.0, 4.0];
+    kernels::majority_vote_into(&gathered, &scales, len, world, &mut fast);
+    reference::majority_vote_into(&gathered, &scales, len, world, &mut slow);
+    assert_eq!(bits(&fast), bits(&slow));
+
+    assert_eq!(
+        kernels::select_topk(&grad, 1000),
+        reference::select_topk(&grad, 1000)
+    );
+}

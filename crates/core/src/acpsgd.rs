@@ -179,15 +179,15 @@ impl AcpCodec {
 }
 
 impl BucketCodec for AcpCodec {
-    fn encode(&mut self, bucket: &mut Bucket) -> Vec<CollectiveOp> {
+    fn encode(&mut self, bucket: &mut Bucket) -> Result<Vec<CollectiveOp>, CoreError> {
         if self.warm {
             // Exact averaging during warm start; no compression state
             // touched, so the fallback never perturbs the factor schedule.
             bucket.payload_bytes += 4 * bucket.elems as u64;
-            return vec![CollectiveOp::AllReduce {
+            return Ok(vec![CollectiveOp::AllReduce {
                 buf: std::mem::take(&mut bucket.data),
                 op: ReduceOp::Mean,
-            }];
+            }]);
         }
         let offsets = bucket.offsets.clone();
         let data = std::mem::take(&mut bucket.data);
@@ -201,8 +201,8 @@ impl BucketCodec for AcpCodec {
             match lr {
                 LrState::Matrix { rows, cols, state } => {
                     let m = Matrix::from_vec(*rows, *cols, seg.to_vec())
-                        .expect("shape checked against dims");
-                    let f = state.compress(&m);
+                        .map_err(acp_compression::CompressError::from)?;
+                    let f = state.try_compress(&m)?;
                     buf.extend_from_slice(f.as_slice());
                     st.factors.push(f);
                 }
@@ -210,10 +210,10 @@ impl BucketCodec for AcpCodec {
             }
         }
         bucket.payload_bytes += 4 * buf.len() as u64;
-        vec![CollectiveOp::AllReduce {
+        Ok(vec![CollectiveOp::AllReduce {
             buf,
             op: ReduceOp::Mean,
-        }]
+        }])
     }
 
     fn decode(
@@ -245,7 +245,7 @@ impl BucketCodec for AcpCodec {
                     let n = f_hat.as_slice().len();
                     f_hat.as_mut_slice().copy_from_slice(&reduced[pos..pos + n]);
                     pos += n;
-                    let approx = state.finish(f_hat);
+                    let approx = state.try_finish(f_hat).map_err(CoreError::from)?;
                     out[start..end].copy_from_slice(approx.as_slice());
                 }
                 LrState::Vector => {

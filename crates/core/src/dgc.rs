@@ -109,7 +109,7 @@ impl DgcCodec {
 }
 
 impl BucketCodec for DgcCodec {
-    fn encode(&mut self, bucket: &mut Bucket) -> Vec<CollectiveOp> {
+    fn encode(&mut self, bucket: &mut Bucket) -> Result<Vec<CollectiveOp>, CoreError> {
         let mut data = std::mem::take(&mut bucket.data);
         let n = bucket.elems;
         if self.buckets.len() <= bucket.index {
@@ -151,10 +151,10 @@ impl BucketCodec for DgcCodec {
         }
         // Aggregate the sparse selections (all-gather + scatter average,
         // as in the reference implementation).
-        vec![
+        Ok(vec![
             CollectiveOp::AllGatherU32 { send: indices },
             CollectiveOp::AllGatherF32 { send: values },
-        ]
+        ])
     }
 
     fn decode(

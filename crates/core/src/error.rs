@@ -1,6 +1,7 @@
 //! Error type shared by the distributed aggregators.
 
 use acp_collectives::CommError;
+use acp_compression::CompressError;
 use std::fmt;
 
 /// Error returned by [`crate::DistributedOptimizer::aggregate`].
@@ -27,6 +28,9 @@ pub enum CoreError {
         /// Tensor count seen now.
         actual: usize,
     },
+    /// A compressor state machine rejected its input (phase, shape or
+    /// matrix-dimension violation inside the low-rank encode path).
+    Compress(CompressError),
 }
 
 impl fmt::Display for CoreError {
@@ -45,6 +49,7 @@ impl fmt::Display for CoreError {
                 f,
                 "gradient tensor count changed: expected {expected}, got {actual}"
             ),
+            CoreError::Compress(e) => write!(f, "compression failed: {e}"),
         }
     }
 }
@@ -53,6 +58,7 @@ impl std::error::Error for CoreError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             CoreError::Collective(e) => Some(e),
+            CoreError::Compress(e) => Some(e),
             CoreError::ShapeChanged { .. } | CoreError::TensorCountChanged { .. } => None,
         }
     }
@@ -62,6 +68,13 @@ impl std::error::Error for CoreError {
 impl From<CommError> for CoreError {
     fn from(e: CommError) -> Self {
         CoreError::Collective(e)
+    }
+}
+
+#[doc(hidden)]
+impl From<CompressError> for CoreError {
+    fn from(e: CompressError) -> Self {
+        CoreError::Compress(e)
     }
 }
 

@@ -34,7 +34,7 @@ impl GTopkCodec {
 }
 
 impl BucketCodec for GTopkCodec {
-    fn encode(&mut self, bucket: &mut Bucket) -> Vec<CollectiveOp> {
+    fn encode(&mut self, bucket: &mut Bucket) -> Result<Vec<CollectiveOp>, CoreError> {
         let data = std::mem::take(&mut bucket.data);
         let n = bucket.elems;
         let k = ((self.density * n as f64).ceil() as usize).clamp(1, n);
@@ -51,7 +51,7 @@ impl BucketCodec for GTopkCodec {
             } => (indices, values),
             _ => unreachable!("TopK produces sparse payloads"),
         };
-        vec![CollectiveOp::GlobalTopk { indices, values, k }]
+        Ok(vec![CollectiveOp::GlobalTopk { indices, values, k }])
     }
 
     fn decode(

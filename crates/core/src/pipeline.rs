@@ -87,7 +87,12 @@ pub enum Round {
 pub trait BucketCodec: Send {
     /// Compresses a freshly packed bucket and returns the first round of
     /// collectives to dispatch for it.
-    fn encode(&mut self, bucket: &mut Bucket) -> Vec<CollectiveOp>;
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Compress`] if the compressor state machine
+    /// rejects the bucket (phase, shape or matrix-dimension violation).
+    fn encode(&mut self, bucket: &mut Bucket) -> Result<Vec<CollectiveOp>, CoreError>;
 
     /// Consumes one round of results; returns the next round or finishes
     /// the bucket.
@@ -280,16 +285,17 @@ impl FusedPipeline {
         b: usize,
         comm: &mut dyn Communicator,
         rec: &dyn Recorder,
-    ) {
+    ) -> Result<(), CoreError> {
         let track = comm.rank_id().as_usize() as u64;
         let _g = SpanGuard::start(rec, keys::SPAN_BUCKET_DISPATCH, keys::CAT_PIPELINE, track);
         let encode_start = rec.now_us();
-        let ops = codec.encode(&mut self.buckets[b]);
+        let ops = codec.encode(&mut self.buckets[b])?;
         self.compress_us += rec.now_us().saturating_sub(encode_start);
         let pending: Vec<PendingOp> = ops.into_iter().map(|op| comm.dispatch(op)).collect();
         self.inflight[b] = Some(pending);
         self.dispatched[b] = true;
         rec.add(keys::PIPELINE_BUCKETS, 1);
+        Ok(())
     }
 
     /// Offers one tensor's ready gradient (WFBP). The gradient is copied
@@ -347,7 +353,7 @@ impl FusedPipeline {
             self.pushed_count[b] += 1;
         }
         if self.pushed_count[b] == self.buckets[b].dims.len() {
-            self.dispatch_bucket(codec, b, comm, rec);
+            self.dispatch_bucket(codec, b, comm, rec)?;
         }
         Ok(())
     }
@@ -401,7 +407,7 @@ impl FusedPipeline {
                     bucket.data[start..end].copy_from_slice(grads[t].grad);
                 }
             }
-            self.dispatch_bucket(codec, b, comm, rec);
+            self.dispatch_bucket(codec, b, comm, rec)?;
         }
         // Drain in plan order, running any dependent rounds.
         let track = comm.rank_id().as_usize() as u64;
@@ -489,12 +495,12 @@ mod tests {
     struct MeanCodec;
 
     impl BucketCodec for MeanCodec {
-        fn encode(&mut self, bucket: &mut Bucket) -> Vec<CollectiveOp> {
+        fn encode(&mut self, bucket: &mut Bucket) -> Result<Vec<CollectiveOp>, CoreError> {
             bucket.payload_bytes += 4 * bucket.elems as u64;
-            vec![CollectiveOp::AllReduce {
+            Ok(vec![CollectiveOp::AllReduce {
                 buf: std::mem::take(&mut bucket.data),
                 op: ReduceOp::Mean,
-            }]
+            }])
         }
 
         fn decode(
@@ -520,15 +526,15 @@ mod tests {
     }
 
     impl BucketCodec for TwoRoundCodec {
-        fn encode(&mut self, bucket: &mut Bucket) -> Vec<CollectiveOp> {
+        fn encode(&mut self, bucket: &mut Bucket) -> Result<Vec<CollectiveOp>, CoreError> {
             if self.round2.len() <= bucket.index {
                 self.round2.resize(bucket.index + 1, false);
             }
             self.round2[bucket.index] = false;
-            vec![CollectiveOp::AllReduce {
+            Ok(vec![CollectiveOp::AllReduce {
                 buf: std::mem::take(&mut bucket.data),
                 op: ReduceOp::Mean,
-            }]
+            }])
         }
 
         fn decode(

@@ -176,13 +176,13 @@ impl PowerCodec {
 }
 
 impl BucketCodec for PowerCodec {
-    fn encode(&mut self, bucket: &mut Bucket) -> Vec<CollectiveOp> {
+    fn encode(&mut self, bucket: &mut Bucket) -> Result<Vec<CollectiveOp>, CoreError> {
         if self.warm {
             bucket.payload_bytes += 4 * bucket.elems as u64;
-            return vec![CollectiveOp::AllReduce {
+            return Ok(vec![CollectiveOp::AllReduce {
                 buf: std::mem::take(&mut bucket.data),
                 op: ReduceOp::Mean,
-            }];
+            }]);
         }
         let offsets = bucket.offsets.clone();
         let elems = bucket.elems;
@@ -199,8 +199,8 @@ impl BucketCodec for PowerCodec {
             match lr {
                 LrState::Matrix { rows, cols, state } => {
                     let m = Matrix::from_vec(*rows, *cols, seg.to_vec())
-                        .expect("shape checked against dims");
-                    let p = state.compute_p(&m);
+                        .map_err(acp_compression::CompressError::from)?;
+                    let p = state.try_compute_p(&m)?;
                     buf.extend_from_slice(p.as_slice());
                     st.p_factors.push(p);
                 }
@@ -208,10 +208,10 @@ impl BucketCodec for PowerCodec {
             }
         }
         bucket.payload_bytes += 4 * buf.len() as u64;
-        vec![CollectiveOp::AllReduce {
+        Ok(vec![CollectiveOp::AllReduce {
             buf,
             op: ReduceOp::Mean,
-        }]
+        }])
     }
 
     fn decode(
@@ -246,7 +246,7 @@ impl BucketCodec for PowerCodec {
                         let n = p_hat.as_slice().len();
                         p_hat.as_mut_slice().copy_from_slice(&reduced[pos..pos + n]);
                         pos += n;
-                        let q = state.compute_q(p_hat);
+                        let q = state.try_compute_q(p_hat).map_err(CoreError::from)?;
                         q_buf.extend_from_slice(q.as_slice());
                         st.q_factors.push(q);
                     }
@@ -279,7 +279,7 @@ impl BucketCodec for PowerCodec {
                 let n = q_hat.as_slice().len();
                 q_hat.as_mut_slice().copy_from_slice(&reduced[pos..pos + n]);
                 pos += n;
-                let approx = state.finish(q_hat);
+                let approx = state.try_finish(q_hat).map_err(CoreError::from)?;
                 st.out[start..end].copy_from_slice(approx.as_slice());
             }
         }

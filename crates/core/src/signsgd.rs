@@ -65,7 +65,7 @@ impl SignCodec {
 }
 
 impl BucketCodec for SignCodec {
-    fn encode(&mut self, bucket: &mut Bucket) -> Vec<CollectiveOp> {
+    fn encode(&mut self, bucket: &mut Bucket) -> Result<Vec<CollectiveOp>, CoreError> {
         let data = std::mem::take(&mut bucket.data);
         let payload = if self.error_feedback {
             if self.buckets.len() <= bucket.index {
@@ -83,10 +83,10 @@ impl BucketCodec for SignCodec {
             Payload::Signs { words, scale, .. } => (words, scale),
             _ => unreachable!("SignSgd produces sign payloads"),
         };
-        vec![
+        Ok(vec![
             CollectiveOp::AllGatherU32 { send: words },
             CollectiveOp::AllGatherF32 { send: vec![scale] },
-        ]
+        ])
     }
 
     fn decode(

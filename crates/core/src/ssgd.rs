@@ -15,12 +15,12 @@ pub use crate::pipeline::DEFAULT_BUFFER_BYTES;
 pub(crate) struct MeanCodec;
 
 impl BucketCodec for MeanCodec {
-    fn encode(&mut self, bucket: &mut Bucket) -> Vec<CollectiveOp> {
+    fn encode(&mut self, bucket: &mut Bucket) -> Result<Vec<CollectiveOp>, CoreError> {
         bucket.payload_bytes += 4 * bucket.elems as u64;
-        vec![CollectiveOp::AllReduce {
+        Ok(vec![CollectiveOp::AllReduce {
             buf: std::mem::take(&mut bucket.data),
             op: ReduceOp::Mean,
-        }]
+        }])
     }
 
     fn decode(

@@ -76,7 +76,7 @@ impl TopkCodec {
 }
 
 impl BucketCodec for TopkCodec {
-    fn encode(&mut self, bucket: &mut Bucket) -> Vec<CollectiveOp> {
+    fn encode(&mut self, bucket: &mut Bucket) -> Result<Vec<CollectiveOp>, CoreError> {
         let data = std::mem::take(&mut bucket.data);
         let k = self.k_for(bucket.elems);
         let payload = if self.error_feedback {
@@ -96,10 +96,10 @@ impl BucketCodec for TopkCodec {
             } => (indices, values),
             _ => unreachable!("TopK produces sparse payloads"),
         };
-        vec![
+        Ok(vec![
             CollectiveOp::AllGatherU32 { send: indices },
             CollectiveOp::AllGatherF32 { send: values },
-        ]
+        ])
     }
 
     fn decode(

@@ -56,7 +56,7 @@ use acp_collectives::{
 use acp_telemetry::{keys, noop, RecorderHandle};
 
 use crate::fault::FaultInjector;
-use crate::frame::{read_frame, write_frame, Frame};
+use crate::frame::{read_frame, write_frame, write_msg, Frame, MsgRef};
 
 /// Bounded exponential backoff for connection establishment (and
 /// re-establishment after a drop).
@@ -1139,19 +1139,12 @@ fn resolve_link(
     }
 }
 
-impl Transport for TcpTransport {
-    // `Transport::rank` is the schedule-facing *virtual* rank; `physical`
-    // is the socket-facing slot. The mismatch in field name is deliberate.
-    #[allow(clippy::misnamed_getters)]
-    fn rank(&self) -> usize {
-        self.virtual_rank
-    }
-
-    fn world_size(&self) -> usize {
-        self.members.len()
-    }
-
-    fn send_to(&mut self, dest: usize, msg: WireMsg) -> Result<(), CommError> {
+impl TcpTransport {
+    /// The zero-copy send path shared by [`Transport::send_to`] and the
+    /// borrowed-payload sends: the payload bytes go to the socket vectored,
+    /// straight from the caller's storage (bucket buffers, gathered words)
+    /// with no intermediate frame buffer or owned copy.
+    fn send_view(&mut self, dest: usize, view: MsgRef<'_>) -> Result<(), CommError> {
         if !self.departed_members().is_empty() {
             return Err(self.membership_error());
         }
@@ -1169,14 +1162,10 @@ impl Transport for TcpTransport {
             .fault
             .drop_every
             .is_some_and(|n| self.frames_sent.is_multiple_of(n));
-        let bytes = msg.payload_bytes();
+        let bytes = view.payload_bytes();
         // Cross-check mode: stamp the frame with this rank's schedule
         // position (tag bytes are framing, not payload — `bytes` above).
-        let msg = match self.tracer.tag() {
-            Some(tag) => WireMsg::Tagged(tag, Box::new(msg)),
-            None => msg,
-        };
-        let frame = Frame::Msg(msg);
+        let tag = self.tracer.tag();
         let started = Instant::now();
         // Destructure for disjoint field borrows: the link lives in
         // `links`, while reconnection needs `peers`/`retry`.
@@ -1199,14 +1188,15 @@ impl Transport for TcpTransport {
                 // path; the peer sees EOF and re-accepts.
                 Self::reconnect(peers, retry, op_deadline, rank, link)?;
             }
-            match write_frame(&mut link.stream, &frame) {
+            match write_msg(&mut link.stream, tag.as_ref(), view) {
                 Ok(()) => Ok(()),
                 Err(e) if is_disconnect(&e) && link.role == LinkRole::Connector => {
                     // One reconnect-and-resend attempt; frames are written
                     // atomically, so the failed frame was not partially
                     // consumed by the peer.
                     Self::reconnect(peers, retry, op_deadline, rank, link)?;
-                    write_frame(&mut link.stream, &frame).map_err(|e| map_io("send", started, &e))
+                    write_msg(&mut link.stream, tag.as_ref(), view)
+                        .map_err(|e| map_io("send", started, &e))
                 }
                 Err(e) => Err(map_io("send", started, &e)),
             }
@@ -1221,6 +1211,49 @@ impl Transport for TcpTransport {
             self.recorder.add(keys::COMM_BYTES_SENT, bytes);
         }
         Ok(())
+    }
+}
+
+impl Transport for TcpTransport {
+    // `Transport::rank` is the schedule-facing *virtual* rank; `physical`
+    // is the socket-facing slot. The mismatch in field name is deliberate.
+    #[allow(clippy::misnamed_getters)]
+    fn rank(&self) -> usize {
+        self.virtual_rank
+    }
+
+    fn world_size(&self) -> usize {
+        self.members.len()
+    }
+
+    fn send_to(&mut self, dest: usize, msg: WireMsg) -> Result<(), CommError> {
+        match &msg {
+            WireMsg::F32(v) => self.send_view(dest, MsgRef::F32(v)),
+            WireMsg::U32(v) => self.send_view(dest, MsgRef::U32(v)),
+            WireMsg::Sparse(i, v) => self.send_view(dest, MsgRef::Sparse(i, v)),
+            WireMsg::Token => self.send_view(dest, MsgRef::Token),
+            // The transport stamps the schedule tag itself (from the
+            // tracer, inside `send_view`); a pre-tagged message is a
+            // caller bug, not a sendable payload.
+            WireMsg::Tagged(..) => Err(CommError::ProtocolMismatch),
+        }
+    }
+
+    fn send_f32s(&mut self, dest: usize, payload: &[f32]) -> Result<(), CommError> {
+        self.send_view(dest, MsgRef::F32(payload))
+    }
+
+    fn send_u32s(&mut self, dest: usize, payload: &[u32]) -> Result<(), CommError> {
+        self.send_view(dest, MsgRef::U32(payload))
+    }
+
+    fn send_sparse(
+        &mut self,
+        dest: usize,
+        indices: &[u32],
+        values: &[f32],
+    ) -> Result<(), CommError> {
+        self.send_view(dest, MsgRef::Sparse(indices, values))
     }
 
     fn recv_from(&mut self, src: usize) -> Result<WireMsg, CommError> {
@@ -1346,6 +1379,38 @@ impl Transport for TcpCommunicator {
             )),
         }
     }
+
+    fn send_f32s(&mut self, dest: usize, payload: &[f32]) -> Result<(), CommError> {
+        match self.inner.as_mut() {
+            Some(transport) => transport.send_f32s(dest, payload),
+            None => Err(CommError::Io(
+                "transport is owned by the comm worker; use the collective API".into(),
+            )),
+        }
+    }
+
+    fn send_u32s(&mut self, dest: usize, payload: &[u32]) -> Result<(), CommError> {
+        match self.inner.as_mut() {
+            Some(transport) => transport.send_u32s(dest, payload),
+            None => Err(CommError::Io(
+                "transport is owned by the comm worker; use the collective API".into(),
+            )),
+        }
+    }
+
+    fn send_sparse(
+        &mut self,
+        dest: usize,
+        indices: &[u32],
+        values: &[f32],
+    ) -> Result<(), CommError> {
+        match self.inner.as_mut() {
+            Some(transport) => transport.send_sparse(dest, indices, values),
+            None => Err(CommError::Io(
+                "transport is owned by the comm worker; use the collective API".into(),
+            )),
+        }
+    }
 }
 
 impl Communicator for TcpCommunicator {
@@ -1360,6 +1425,7 @@ impl Communicator for TcpCommunicator {
     fn all_reduce(&mut self, buf: &mut [f32], op: ReduceOp) -> Result<(), CommError> {
         let out = self
             .run_op(CollectiveOp::AllReduce {
+                // allow_verify(reason = "the comm worker owns op buffers across threads; per-hop sends are zero-copy")
                 buf: buf.to_vec(),
                 op,
             })?
@@ -1370,6 +1436,7 @@ impl Communicator for TcpCommunicator {
 
     fn all_gather_f32(&mut self, send: &[f32]) -> Result<Vec<f32>, CommError> {
         self.run_op(CollectiveOp::AllGatherF32 {
+            // allow_verify(reason = "the comm worker owns op buffers across threads; per-hop sends are zero-copy")
             send: send.to_vec(),
         })?
         .into_f32()
@@ -1377,6 +1444,7 @@ impl Communicator for TcpCommunicator {
 
     fn all_gather_u32(&mut self, send: &[u32]) -> Result<Vec<u32>, CommError> {
         self.run_op(CollectiveOp::AllGatherU32 {
+            // allow_verify(reason = "the comm worker owns op buffers across threads; per-hop sends are zero-copy")
             send: send.to_vec(),
         })?
         .into_u32()
@@ -1385,6 +1453,7 @@ impl Communicator for TcpCommunicator {
     fn broadcast(&mut self, buf: &mut [f32], root: usize) -> Result<(), CommError> {
         let out = self
             .run_op(CollectiveOp::Broadcast {
+                // allow_verify(reason = "the comm worker owns op buffers across threads; per-hop sends are zero-copy")
                 buf: buf.to_vec(),
                 root,
             })?
@@ -1418,7 +1487,9 @@ impl Communicator for TcpCommunicator {
         k: usize,
     ) -> Result<(Vec<u32>, Vec<f32>), CommError> {
         self.run_op(CollectiveOp::GlobalTopk {
+            // allow_verify(reason = "the comm worker owns op buffers across threads; per-hop sends are zero-copy")
             indices: indices.to_vec(),
+            // allow_verify(reason = "the comm worker owns op buffers across threads; per-hop sends are zero-copy")
             values: values.to_vec(),
             k,
         })?

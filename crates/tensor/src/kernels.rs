@@ -1,0 +1,258 @@
+//! Tiled, pool-parallel matrix-multiply kernels for the low-rank
+//! compressors.
+//!
+//! Each kernel is the same ikj-style loop nest as the scalar routines in
+//! [`crate::matrix`], re-tiled so that (a) the inner loop streams over
+//! contiguous rows and autovectorizes, and (b) the *output rows* can be
+//! split into disjoint blocks and handed to the worker pool.
+//!
+//! Determinism contract: every output element is accumulated in exactly
+//! the same floating-point order as the serial loop — parallelism only
+//! partitions *which thread* owns an output row, never the order of the
+//! adds that produce it. The `*_matches_serial` tests below and the
+//! byte-identity proptests in `acp-compression` pin this.
+
+use crate::pool::{WorkerPool, PAR_THRESHOLD};
+
+/// Task count for a kernel doing roughly `flops` multiply-adds.
+fn tasks_for(pool: &WorkerPool, flops: usize) -> usize {
+    if flops < PAR_THRESHOLD {
+        1
+    } else {
+        pool.parallelism()
+    }
+}
+
+/// `out ← A·B` with `A: n×k`, `B: k×m`, `out: n×m`, all row-major.
+///
+/// Output rows are split into per-task blocks; within a row the k-loop is
+/// ascending and zero entries of `A` are skipped, exactly like the serial
+/// kernel (the skip matters for signed zeros: `-0.0 + 0.0 == +0.0`).
+///
+/// # Panics
+///
+/// Panics if a slice length does not match its dimensions.
+pub fn matmul_into(
+    pool: &WorkerPool,
+    n: usize,
+    k: usize,
+    m: usize,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+) {
+    assert_eq!(a.len(), n * k, "matmul lhs length mismatch");
+    assert_eq!(b.len(), k * m, "matmul rhs length mismatch");
+    assert_eq!(out.len(), n * m, "matmul out length mismatch");
+    if n == 0 || m == 0 {
+        return;
+    }
+    let tasks = tasks_for(pool, n * k * m);
+    pool.for_each_unit_chunk_mut(out, m, tasks, |row0, piece| {
+        for (ri, out_row) in piece.chunks_exact_mut(m).enumerate() {
+            let i = row0 + ri;
+            for kk in 0..k {
+                let av = a[i * k + kk];
+                if av == 0.0 {
+                    continue;
+                }
+                let b_row = &b[kk * m..kk * m + m];
+                for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                    *o += av * bv;
+                }
+            }
+        }
+    });
+}
+
+/// `out ← Aᵀ·B` with `A: n×k`, `B: n×m`, `out: k×m`, without materializing
+/// the transpose.
+///
+/// Parallelism splits the `k` output rows; each task walks the shared `n`
+/// dimension in ascending order, so every output element sees the same
+/// accumulation sequence as the serial loop.
+///
+/// # Panics
+///
+/// Panics if a slice length does not match its dimensions.
+pub fn matmul_tn_into(
+    pool: &WorkerPool,
+    n: usize,
+    k: usize,
+    m: usize,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+) {
+    assert_eq!(a.len(), n * k, "matmul_tn lhs length mismatch");
+    assert_eq!(b.len(), n * m, "matmul_tn rhs length mismatch");
+    assert_eq!(out.len(), k * m, "matmul_tn out length mismatch");
+    if k == 0 || m == 0 {
+        return;
+    }
+    let tasks = tasks_for(pool, n * k * m);
+    pool.for_each_unit_chunk_mut(out, m, tasks, |k0, piece| {
+        for row in 0..n {
+            let a_row = &a[row * k..row * k + k];
+            let b_row = &b[row * m..row * m + m];
+            for (kr, out_row) in piece.chunks_exact_mut(m).enumerate() {
+                let av = a_row[k0 + kr];
+                if av == 0.0 {
+                    continue;
+                }
+                for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                    *o += av * bv;
+                }
+            }
+        }
+    });
+}
+
+/// `out ← A·Bᵀ` with `A: n×k`, `B: m×k`, `out: n×m`, without materializing
+/// the transpose.
+///
+/// Each output element is one strictly sequential dot product (bit-identity
+/// forbids splitting the accumulator); tasks own disjoint output rows.
+///
+/// # Panics
+///
+/// Panics if a slice length does not match its dimensions.
+pub fn matmul_nt_into(
+    pool: &WorkerPool,
+    n: usize,
+    k: usize,
+    m: usize,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+) {
+    assert_eq!(a.len(), n * k, "matmul_nt lhs length mismatch");
+    assert_eq!(b.len(), m * k, "matmul_nt rhs length mismatch");
+    assert_eq!(out.len(), n * m, "matmul_nt out length mismatch");
+    if n == 0 || m == 0 {
+        return;
+    }
+    let tasks = tasks_for(pool, n * k * m);
+    pool.for_each_unit_chunk_mut(out, m, tasks, |i0, piece| {
+        for (ri, out_row) in piece.chunks_exact_mut(m).enumerate() {
+            let i = i0 + ri;
+            let a_row = &a[i * k..i * k + k];
+            for (j, o) in out_row.iter_mut().enumerate() {
+                let b_row = &b[j * k..j * k + k];
+                let mut acc = 0.0f32;
+                for (&av, &bv) in a_row.iter().zip(b_row) {
+                    acc += av * bv;
+                }
+                *o = acc;
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fill(len: usize, seed: u32) -> Vec<f32> {
+        // Deterministic, sign-varied data with zeros and a signed zero
+        // sprinkled in so the zero-skip path is exercised.
+        let mut state = seed;
+        (0..len)
+            .map(|i| {
+                state = state.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+                match state % 7 {
+                    0 => 0.0,
+                    1 => -0.0,
+                    _ => ((state >> 8) as f32 / (1 << 16) as f32) - 128.0 + i as f32 * 1e-3,
+                }
+            })
+            .collect()
+    }
+
+    fn serial_matmul(n: usize, k: usize, m: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+        let mut out = vec![0.0f32; n * m];
+        for i in 0..n {
+            for kk in 0..k {
+                let av = a[i * k + kk];
+                if av == 0.0 {
+                    continue;
+                }
+                for j in 0..m {
+                    out[i * m + j] += av * b[kk * m + j];
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matmul_matches_serial_bitwise_above_par_threshold() {
+        // 64·64·64 = 262144 flops > PAR_THRESHOLD → parallel path.
+        let (n, k, m) = (64, 64, 64);
+        let a = fill(n * k, 1);
+        let b = fill(k * m, 2);
+        let expected = serial_matmul(n, k, m, &a, &b);
+        let pool = WorkerPool::new(4);
+        let mut out = vec![0.0f32; n * m];
+        matmul_into(&pool, n, k, m, &a, &b, &mut out);
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&out), bits(&expected));
+    }
+
+    #[test]
+    fn matmul_tn_matches_transpose_then_matmul_bitwise() {
+        let (n, k, m) = (48, 32, 40);
+        let a = fill(n * k, 3);
+        let b = fill(n * m, 4);
+        // Reference: serial loop in the original operand order.
+        let mut expected = vec![0.0f32; k * m];
+        for row in 0..n {
+            for kk in 0..k {
+                let av = a[row * k + kk];
+                if av == 0.0 {
+                    continue;
+                }
+                for j in 0..m {
+                    expected[kk * m + j] += av * b[row * m + j];
+                }
+            }
+        }
+        let pool = WorkerPool::new(3);
+        let mut out = vec![0.0f32; k * m];
+        matmul_tn_into(&pool, n, k, m, &a, &b, &mut out);
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&out), bits(&expected));
+    }
+
+    #[test]
+    fn matmul_nt_matches_serial_dot_bitwise() {
+        let (n, k, m) = (40, 64, 33);
+        let a = fill(n * k, 5);
+        let b = fill(m * k, 6);
+        let mut expected = vec![0.0f32; n * m];
+        for i in 0..n {
+            for j in 0..m {
+                let mut acc = 0.0f32;
+                for kk in 0..k {
+                    acc += a[i * k + kk] * b[j * k + kk];
+                }
+                expected[i * m + j] = acc;
+            }
+        }
+        let pool = WorkerPool::new(2);
+        let mut out = vec![0.0f32; n * m];
+        matmul_nt_into(&pool, n, k, m, &a, &b, &mut out);
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&out), bits(&expected));
+    }
+
+    #[test]
+    fn empty_dims_are_no_ops() {
+        let pool = WorkerPool::new(1);
+        let mut out: Vec<f32> = Vec::new();
+        matmul_into(&pool, 0, 4, 0, &[], &[], &mut out);
+        matmul_tn_into(&pool, 4, 0, 0, &fill(0, 7), &[], &mut out);
+        matmul_nt_into(&pool, 0, 3, 0, &[], &[], &mut out);
+        assert!(out.is_empty());
+    }
+}

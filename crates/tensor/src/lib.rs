@@ -15,6 +15,10 @@
 //!   optimizers and collectives.
 //! * [`rng`] — deterministic, seedable random initialization shared by every
 //!   worker so low-rank query matrices start identical across ranks.
+//! * [`pool`] — a small fixed-size worker pool (shared injector + worker
+//!   threads + result channel) that data-parallel kernels share.
+//! * [`kernels`] — tiled, pool-parallel matmul kernels that stay
+//!   bitwise-identical to the serial loops.
 //!
 //! # Examples
 //!
@@ -29,13 +33,16 @@
 
 #![warn(missing_docs)]
 
+pub mod kernels;
 pub mod matrix;
+pub mod pool;
 pub mod qr;
 pub mod reshape;
 pub mod rng;
 pub mod vecops;
 
 pub use matrix::{Matrix, MatrixError};
+pub use pool::WorkerPool;
 pub use qr::{orthogonalize, orthogonalize_householder, OrthoMethod};
 pub use reshape::MatrixShape;
 pub use rng::SeedableStdNormal;

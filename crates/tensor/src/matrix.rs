@@ -241,20 +241,15 @@ impl Matrix {
             });
         }
         let mut out = Matrix::zeros(self.rows, other.cols);
-        // ikj loop order keeps the inner loop streaming over contiguous rows.
-        for i in 0..self.rows {
-            let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
-            for k in 0..self.cols {
-                let a = self.data[i * self.cols + k];
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[k * other.cols..(k + 1) * other.cols];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        }
+        crate::kernels::matmul_into(
+            crate::pool::global_for(self.rows * self.cols * other.cols),
+            self.rows,
+            self.cols,
+            other.cols,
+            &self.data,
+            &other.data,
+            &mut out.data,
+        );
         Ok(out)
     }
 
@@ -265,28 +260,37 @@ impl Matrix {
     ///
     /// # Panics
     ///
-    /// Panics if `self.rows() != other.rows()`.
+    /// Panics if `self.rows() != other.rows()`; use [`Matrix::try_matmul_tn`]
+    /// for a fallible variant.
     pub fn matmul_tn(&self, other: &Matrix) -> Matrix {
-        assert_eq!(
-            self.rows, other.rows,
-            "matmul_tn dimension mismatch: {}x{} vs {}x{}",
-            self.rows, self.cols, other.rows, other.cols
-        );
-        let mut out = Matrix::zeros(self.cols, other.cols);
-        for n in 0..self.rows {
-            let a_row = &self.data[n * self.cols..(n + 1) * self.cols];
-            let b_row = &other.data[n * other.cols..(n + 1) * other.cols];
-            for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out.data[k * other.cols..(k + 1) * other.cols];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
+        self.try_matmul_tn(other)
+            .expect("matmul_tn dimension mismatch")
+    }
+
+    /// Fallible [`Matrix::matmul_tn`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::DimMismatch`] if `self.rows() != other.rows()`.
+    pub fn try_matmul_tn(&self, other: &Matrix) -> Result<Matrix, MatrixError> {
+        if self.rows != other.rows {
+            return Err(MatrixError::DimMismatch {
+                op: "matmul_tn",
+                lhs: (self.rows, self.cols),
+                rhs: (other.rows, other.cols),
+            });
         }
-        out
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        crate::kernels::matmul_tn_into(
+            crate::pool::global_for(self.rows * self.cols * other.cols),
+            self.rows,
+            self.cols,
+            other.cols,
+            &self.data,
+            &other.data,
+            &mut out.data,
+        );
+        Ok(out)
     }
 
     /// Computes `self · otherᵀ` (`n×k · (m×k)ᵀ → n×m`) without materializing
@@ -296,26 +300,37 @@ impl Matrix {
     ///
     /// # Panics
     ///
-    /// Panics if `self.cols() != other.cols()`.
+    /// Panics if `self.cols() != other.cols()`; use [`Matrix::try_matmul_nt`]
+    /// for a fallible variant.
     pub fn matmul_nt(&self, other: &Matrix) -> Matrix {
-        assert_eq!(
-            self.cols, other.cols,
-            "matmul_nt dimension mismatch: {}x{} vs {}x{}",
-            self.rows, self.cols, other.rows, other.cols
-        );
-        let mut out = Matrix::zeros(self.rows, other.rows);
-        for i in 0..self.rows {
-            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
-            for j in 0..other.rows {
-                let b_row = &other.data[j * other.cols..(j + 1) * other.cols];
-                let mut acc = 0.0f32;
-                for (&a, &b) in a_row.iter().zip(b_row) {
-                    acc += a * b;
-                }
-                out.data[i * other.rows + j] = acc;
-            }
+        self.try_matmul_nt(other)
+            .expect("matmul_nt dimension mismatch")
+    }
+
+    /// Fallible [`Matrix::matmul_nt`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::DimMismatch`] if `self.cols() != other.cols()`.
+    pub fn try_matmul_nt(&self, other: &Matrix) -> Result<Matrix, MatrixError> {
+        if self.cols != other.cols {
+            return Err(MatrixError::DimMismatch {
+                op: "matmul_nt",
+                lhs: (self.rows, self.cols),
+                rhs: (other.rows, other.cols),
+            });
         }
-        out
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        crate::kernels::matmul_nt_into(
+            crate::pool::global_for(self.rows * self.cols * other.cols),
+            self.rows,
+            self.cols,
+            other.rows,
+            &self.data,
+            &other.data,
+            &mut out.data,
+        );
+        Ok(out)
     }
 
     /// Frobenius norm `‖A‖_F`.
@@ -485,6 +500,34 @@ mod tests {
             a.try_matmul(&b),
             Err(MatrixError::DimMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn try_matmul_tn_and_nt_reject_bad_dims() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(4, 3);
+        assert_eq!(
+            a.try_matmul_tn(&b).unwrap_err(),
+            MatrixError::DimMismatch {
+                op: "matmul_tn",
+                lhs: (2, 3),
+                rhs: (4, 3),
+            }
+        );
+        let c = Matrix::zeros(4, 5);
+        assert_eq!(
+            a.try_matmul_nt(&c).unwrap_err(),
+            MatrixError::DimMismatch {
+                op: "matmul_nt",
+                lhs: (2, 3),
+                rhs: (4, 5),
+            }
+        );
+        // The happy paths still agree with the explicit-transpose route.
+        let ok_tn = a.try_matmul_tn(&Matrix::zeros(2, 4)).unwrap();
+        assert_eq!((ok_tn.rows(), ok_tn.cols()), (3, 4));
+        let ok_nt = a.try_matmul_nt(&Matrix::zeros(4, 3)).unwrap();
+        assert_eq!((ok_nt.rows(), ok_nt.cols()), (2, 4));
     }
 
     #[test]

@@ -6,12 +6,13 @@
 //!
 //! 1. **No panicking calls on communication paths.** `.unwrap(`,
 //!    `.expect(`, `panic!` and `todo!` are banned in
-//!    `crates/collectives/src`, `crates/net/src` and the pipeline /
-//!    optimizer paths of `crates/core`. A panicking rank looks like a
-//!    peer failure to the rest of the group, so these paths must return
-//!    `CommError` instead. Deliberate exceptions carry an
-//!    `allow_verify(reason = "...")` marker comment on the same or the
-//!    preceding line.
+//!    `crates/collectives/src`, `crates/compression/src`,
+//!    `crates/net/src` and the pipeline / optimizer paths of
+//!    `crates/core`. A panicking rank looks like a peer failure to the
+//!    rest of the group, so these paths must return `CommError` (or a
+//!    structured `CompressError`) instead. Deliberate exceptions carry
+//!    an `allow_verify(reason = "...")` marker comment on the same or
+//!    the preceding line.
 //! 2. **No wall-clock reads in the simulator.** `Instant::now` and
 //!    `SystemTime` are banned in `crates/simulator/src`: simulated time
 //!    must come from the event clock or results stop being reproducible.
@@ -34,6 +35,13 @@
 //!    already warns, but only where the caller forgot an
 //!    `#[allow(deprecated)]`; this scan has no such blind spot. The shim
 //!    definitions and re-exports themselves carry `allow_verify` markers.
+//! 6. **No fresh copies on the frame send path.** `.to_vec(` is banned
+//!    in the frame writer, the TCP transport, and the ring/hierarchy
+//!    collectives; `.clone(` is banned in the frame writer. The wire
+//!    path sends payloads vectored straight from bucket storage, and a
+//!    copy that creeps back in silently erases the zero-copy win.
+//!    Ownership fallbacks (the in-process channel backend, the comm
+//!    worker's cross-thread op buffers) carry `allow_verify` markers.
 //!
 //! `#[cfg(test)]` blocks are excluded: tests may unwrap freely.
 
@@ -48,6 +56,7 @@ pub const ALLOW_MARKER: &str = "allow_verify(reason";
 /// Scopes (directories) where panicking calls are banned.
 pub const PANIC_FREE_DIRS: &[&str] = &[
     "crates/collectives/src",
+    "crates/compression/src",
     "crates/net/src",
     "crates/serve/src",
 ];
@@ -79,6 +88,23 @@ pub const RANK_MATH_DIRS: &[&str] = &[
 
 const PANIC_PATTERNS: &[&str] = &[".unwrap(", ".expect(", "panic!", "todo!"];
 const CLOCK_PATTERNS: &[&str] = &["Instant::now", "SystemTime"];
+
+/// Files on the zero-copy frame send path where fresh `.to_vec(` calls
+/// are banned: payloads must travel as borrowed slices down to the
+/// vectored writer. Ownership fallbacks for the in-process channel
+/// backend and the comm worker's cross-thread op buffers carry
+/// `allow_verify` markers.
+pub const WIRE_NO_TO_VEC_FILES: &[&str] = &[
+    "crates/collectives/src/hierarchy.rs",
+    "crates/collectives/src/ring.rs",
+    "crates/net/src/frame.rs",
+    "crates/net/src/tcp.rs",
+];
+
+/// Files where `.clone(` is banned outright: the frame writer assembles
+/// headers in place and borrows payload storage, so a clone there means
+/// a copy crept back onto the wire path.
+pub const WIRE_NO_CLONE_FILES: &[&str] = &["crates/net/src/frame.rs"];
 
 /// Every crate `src` tree: the deprecated-shim scan covers the whole
 /// workspace (the shims live in `collectives`, `core` and `net`, but a
@@ -437,6 +463,20 @@ pub fn run(root: &Path) -> std::io::Result<Vec<Finding>> {
         CLOCK_PATTERNS,
         "the simulator must take time from its event clock, not the wall clock, \
          or results stop being reproducible",
+    );
+    scan_scope(
+        &[],
+        WIRE_NO_TO_VEC_FILES,
+        &[".to_vec("],
+        "the frame send path is zero-copy: payloads travel as borrowed slices \
+         into the vectored writer, never through a fresh allocation",
+    );
+    scan_scope(
+        &[],
+        WIRE_NO_CLONE_FILES,
+        &[".clone("],
+        "the frame writer borrows payload storage; a clone here reintroduces \
+         the per-frame copy the vectored path exists to remove",
     );
     for dir in RANK_MATH_DIRS {
         let abs = root.join(dir);
