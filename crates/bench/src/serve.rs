@@ -136,7 +136,7 @@ fn measure(jobs: usize, clients: u32, steps: usize, elems: usize, compressed: bo
     let started = Instant::now();
     let mut latencies = drive_jobs(server.addr(), 0, jobs, clients, steps, elems, compressed);
     let wall_s = started.elapsed().as_secs_f64().max(1e-9);
-    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    latencies.sort_by(|a, b| a.total_cmp(b));
     let stats = server.stats();
     let submissions_per_step = if compressed { 2 } else { 1 };
     debug_assert_eq!(

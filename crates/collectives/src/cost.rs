@@ -172,6 +172,7 @@ impl ClusterCost {
     /// # Panics
     ///
     /// Panics if `workers == 0`.
+    #[must_use]
     pub fn with_cost(workers: usize, cost: AlphaBetaCost) -> Self {
         assert!(workers > 0, "cluster must have at least one worker");
         ClusterCost { workers, cost }

@@ -252,6 +252,7 @@ impl PendingOp {
             PendingState::Ready(result) => result,
             // A dropped reply sender means the worker thread is gone.
             PendingState::InFlight(rx) => rx.recv().unwrap_or(Err(CommError::WorkerPanicked)),
+            // allow_verify(reason = "wait takes self by value and replaces the state with Taken exactly once; only Drop sees Taken afterwards, so this arm cannot execute")
             PendingState::Taken => unreachable!("wait consumes the handle"),
         }
     }

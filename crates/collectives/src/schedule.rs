@@ -238,6 +238,7 @@ pub fn digest_step(prev: u64, kind: OpKind, words: u64, param: u64) -> u64 {
 /// A point-in-time copy of one rank's schedule state, read through
 /// [`Communicator::schedule`](crate::Communicator::schedule).
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[must_use]
 pub struct ScheduleSnapshot {
     /// Number of collectives recorded so far.
     pub seq: u64,

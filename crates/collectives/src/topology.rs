@@ -30,6 +30,9 @@ use std::fmt;
 /// After a [`Membership`] reform this is the *virtual* rank — the position
 /// in the surviving ring — which may differ from the physical rank the
 /// process was launched with.
+// The derived `PartialOrd` delegates to `usize` — a total order, so the
+// float-comparator ban does not apply.
+#[allow(clippy::disallowed_methods)]
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct RankId(pub usize);
 
@@ -53,6 +56,8 @@ impl From<usize> for RankId {
 }
 
 /// A group's identity within a [`Topology::TwoLevel`] arrangement.
+// Total order on `usize`, as for `RankId`.
+#[allow(clippy::disallowed_methods)]
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct GroupId(pub usize);
 

@@ -191,6 +191,7 @@ impl AcpSgd {
     /// [`CompressError::Shape`] when the gradient shape differs from
     /// construction, [`CompressError::Matrix`] if an inner multiply is fed
     /// incompatible dimensions.
+    #[must_use = "the result carries the computation; dropping it discards the round"]
     pub fn try_compress(&mut self, grad: &Matrix) -> Result<Matrix, CompressError> {
         if self.mid_step {
             return Err(CompressError::Phase {
@@ -281,6 +282,7 @@ impl AcpSgd {
     /// [`AcpSgd::try_compress`], [`CompressError::Shape`] when
     /// `factor_reduced` has the wrong shape, [`CompressError::Matrix`] if
     /// the reconstruction multiply is fed incompatible dimensions.
+    #[must_use = "the result carries the computation; dropping it discards the round"]
     pub fn try_finish(&mut self, factor_reduced: Matrix) -> Result<Matrix, CompressError> {
         if !self.mid_step {
             return Err(CompressError::Phase {

@@ -168,6 +168,7 @@ impl PowerSgd {
     /// [`CompressError::Shape`] when the gradient shape differs from
     /// construction, [`CompressError::Matrix`] if the inner multiply is fed
     /// incompatible dimensions.
+    #[must_use = "the result carries the computation; dropping it discards the round"]
     pub fn try_compute_p(&mut self, grad: &Matrix) -> Result<Matrix, CompressError> {
         if self.phase != Phase::AwaitP {
             return Err(CompressError::Phase {
@@ -223,6 +224,7 @@ impl PowerSgd {
     /// [`CompressError::Shape`] when `p_reduced` has the wrong shape,
     /// [`CompressError::Matrix`] if an inner multiply is fed incompatible
     /// dimensions.
+    #[must_use = "the result carries the computation; dropping it discards the round"]
     pub fn try_compute_q(&mut self, mut p_reduced: Matrix) -> Result<Matrix, CompressError> {
         if !matches!(self.phase, Phase::AwaitQ { have_p: false }) {
             return Err(CompressError::Phase {
@@ -279,6 +281,7 @@ impl PowerSgd {
     /// [`CompressError::Shape`] when `q_reduced` has the wrong shape,
     /// [`CompressError::Matrix`] if the reconstruction multiply is fed
     /// incompatible dimensions.
+    #[must_use = "the result carries the computation; dropping it discards the round"]
     pub fn try_finish(&mut self, q_reduced: Matrix) -> Result<Matrix, CompressError> {
         if !matches!(self.phase, Phase::AwaitQ { have_p: true }) {
             return Err(CompressError::Phase {

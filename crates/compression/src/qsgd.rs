@@ -57,6 +57,7 @@ impl Qsgd {
     /// # Panics
     ///
     /// Panics if `levels` is 0 or exceeds 127, or `bucket == 0`.
+    #[must_use]
     pub fn with_bucket(levels: u8, bucket: usize, seed: u64) -> Self {
         assert!(levels > 0, "levels must be positive");
         assert!(levels <= 127, "levels must fit in i8 magnitude");

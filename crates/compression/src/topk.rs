@@ -68,6 +68,7 @@ impl TopK {
     /// # Panics
     ///
     /// Panics if `k == 0`.
+    #[must_use]
     pub fn with_selection(k: usize, selection: TopKSelection, seed: u64) -> Self {
         assert!(k > 0, "k must be positive");
         use rand::SeedableRng;

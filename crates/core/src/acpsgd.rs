@@ -47,36 +47,42 @@ impl Default for AcpSgdConfig {
 
 impl AcpSgdConfig {
     /// Sets the factorization rank.
+    #[must_use]
     pub fn with_rank(mut self, rank: usize) -> Self {
         self.rank = rank;
         self
     }
 
     /// Enables or disables error feedback.
+    #[must_use]
     pub fn with_error_feedback(mut self, error_feedback: bool) -> Self {
         self.error_feedback = error_feedback;
         self
     }
 
     /// Enables or disables query reuse.
+    #[must_use]
     pub fn with_reuse(mut self, reuse: bool) -> Self {
         self.reuse = reuse;
         self
     }
 
     /// Sets the base seed for factor initialization.
+    #[must_use]
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
     }
 
     /// Sets the number of uncompressed warm-start steps.
+    #[must_use]
     pub fn with_warm_start_steps(mut self, steps: u64) -> Self {
         self.warm_start_steps = steps;
         self
     }
 
     /// Sets the tensor-fusion buffer capacity in bytes.
+    #[must_use]
     pub fn with_buffer_bytes(mut self, buffer_bytes: usize) -> Self {
         self.buffer_bytes = buffer_bytes;
         self
@@ -224,7 +230,9 @@ impl BucketCodec for AcpCodec {
         let reduced = results
             .into_iter()
             .next()
-            .expect("one op per round")
+            .ok_or(CoreError::CodecProtocol(
+                "expected one collective result per round",
+            ))?
             .into_f32()
             .map_err(CoreError::from)?;
         if self.warm {
@@ -233,7 +241,9 @@ impl BucketCodec for AcpCodec {
         }
         let st = self.buckets[bucket.index]
             .as_mut()
-            .expect("decode follows encode");
+            .ok_or(CoreError::CodecProtocol(
+                "decode without a pending encode state",
+            ))?;
         let mut out = vec![0.0f32; bucket.elems];
         let mut factors = std::mem::take(&mut st.factors).into_iter();
         let mut pos = 0usize;
@@ -241,7 +251,9 @@ impl BucketCodec for AcpCodec {
             let (start, end) = (bucket.offsets[slot], bucket.offsets[slot + 1]);
             match lr {
                 LrState::Matrix { state, .. } => {
-                    let mut f_hat = factors.next().expect("factor per matrix");
+                    let mut f_hat = factors.next().ok_or(CoreError::CodecProtocol(
+                        "missing low-rank factor for matrix slot",
+                    ))?;
                     let n = f_hat.as_slice().len();
                     f_hat.as_mut_slice().copy_from_slice(&reduced[pos..pos + n]);
                     pos += n;

@@ -51,24 +51,28 @@ impl Default for DgcConfig {
 
 impl DgcConfig {
     /// Sets the selection density.
+    #[must_use]
     pub fn with_density(mut self, density: f64) -> Self {
         self.density = density;
         self
     }
 
     /// Sets the momentum-correction coefficient.
+    #[must_use]
     pub fn with_momentum(mut self, momentum: f32) -> Self {
         self.momentum = momentum;
         self
     }
 
     /// Sets (or clears) the L2 gradient clip.
+    #[must_use]
     pub fn with_clip_norm(mut self, clip_norm: Option<f32>) -> Self {
         self.clip_norm = clip_norm;
         self
     }
 
     /// Sets the tensor-fusion buffer capacity in bytes.
+    #[must_use]
     pub fn with_buffer_bytes(mut self, buffer_bytes: usize) -> Self {
         self.buffer_bytes = buffer_bytes;
         self
@@ -142,7 +146,11 @@ impl BucketCodec for DgcCodec {
             Payload::Sparse {
                 indices, values, ..
             } => (indices, values),
-            _ => unreachable!("TopK produces sparse payloads"),
+            _ => {
+                return Err(CoreError::CodecProtocol(
+                    "top-k compressor must produce a sparse payload",
+                ))
+            }
         };
         // Momentum factor masking: clear u and v at transmitted coords.
         for &i in &indices {
@@ -165,12 +173,16 @@ impl BucketCodec for DgcCodec {
         let mut results = results.into_iter();
         let gathered_idx = results
             .next()
-            .expect("two ops per round")
+            .ok_or(CoreError::CodecProtocol(
+                "expected two collective results per round",
+            ))?
             .into_u32()
             .map_err(CoreError::from)?;
         let gathered_val = results
             .next()
-            .expect("two ops per round")
+            .ok_or(CoreError::CodecProtocol(
+                "expected two collective results per round",
+            ))?
             .into_f32()
             .map_err(CoreError::from)?;
         let mut dense = vec![0.0f32; bucket.elems];

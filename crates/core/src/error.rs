@@ -31,6 +31,11 @@ pub enum CoreError {
     /// A compressor state machine rejected its input (phase, shape or
     /// matrix-dimension violation inside the low-rank encode path).
     Compress(CompressError),
+    /// A codec's decode round received collective results that do not
+    /// match what its encode round dispatched (wrong count, wrong
+    /// payload kind, or no pending encode state). A desynchronized
+    /// schedule must surface as an error, not a panicking rank.
+    CodecProtocol(&'static str),
 }
 
 impl fmt::Display for CoreError {
@@ -50,6 +55,7 @@ impl fmt::Display for CoreError {
                 "gradient tensor count changed: expected {expected}, got {actual}"
             ),
             CoreError::Compress(e) => write!(f, "compression failed: {e}"),
+            CoreError::CodecProtocol(what) => write!(f, "codec protocol violation: {what}"),
         }
     }
 }
@@ -59,7 +65,9 @@ impl std::error::Error for CoreError {
         match self {
             CoreError::Collective(e) => Some(e),
             CoreError::Compress(e) => Some(e),
-            CoreError::ShapeChanged { .. } | CoreError::TensorCountChanged { .. } => None,
+            CoreError::ShapeChanged { .. }
+            | CoreError::TensorCountChanged { .. }
+            | CoreError::CodecProtocol(_) => None,
         }
     }
 }

@@ -49,7 +49,11 @@ impl BucketCodec for GTopkCodec {
             Payload::Sparse {
                 indices, values, ..
             } => (indices, values),
-            _ => unreachable!("TopK produces sparse payloads"),
+            _ => {
+                return Err(CoreError::CodecProtocol(
+                    "top-k compressor must produce a sparse payload",
+                ))
+            }
         };
         Ok(vec![CollectiveOp::GlobalTopk { indices, values, k }])
     }
@@ -62,7 +66,9 @@ impl BucketCodec for GTopkCodec {
         let (global_idx, global_val) = results
             .into_iter()
             .next()
-            .expect("one op per round")
+            .ok_or(CoreError::CodecProtocol(
+                "expected one collective result per round",
+            ))?
             .into_sparse()
             .map_err(CoreError::from)?;
         let mut dense = vec![0.0f32; bucket.elems];
@@ -106,6 +112,7 @@ impl GTopkSgdAggregator {
     /// # Panics
     ///
     /// Panics if `density` is not in `(0, 1]`.
+    #[must_use]
     pub fn with_buffer_bytes(density: f64, buffer_bytes: usize) -> Self {
         assert!(density > 0.0 && density <= 1.0, "density must be in (0, 1]");
         GTopkSgdAggregator {

@@ -292,6 +292,7 @@ impl FusedPipeline {
         let ops = codec.encode(&mut self.buckets[b])?;
         self.compress_us += rec.now_us().saturating_sub(encode_start);
         let pending: Vec<PendingOp> = ops.into_iter().map(|op| comm.dispatch(op)).collect();
+        // allow_verify(reason = "pending ops stored in inflight[b] are drained by finish_bucket/drain, which wait or drop every handle before the bucket is reused")
         self.inflight[b] = Some(pending);
         self.dispatched[b] = true;
         rec.add(keys::PIPELINE_BUCKETS, 1);

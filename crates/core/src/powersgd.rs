@@ -43,36 +43,42 @@ impl Default for PowerSgdConfig {
 
 impl PowerSgdConfig {
     /// Sets the factorization rank.
+    #[must_use]
     pub fn with_rank(mut self, rank: usize) -> Self {
         self.rank = rank;
         self
     }
 
     /// Enables or disables error feedback.
+    #[must_use]
     pub fn with_error_feedback(mut self, error_feedback: bool) -> Self {
         self.error_feedback = error_feedback;
         self
     }
 
     /// Enables or disables query reuse.
+    #[must_use]
     pub fn with_reuse(mut self, reuse: bool) -> Self {
         self.reuse = reuse;
         self
     }
 
     /// Sets the base seed for query initialization.
+    #[must_use]
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
     }
 
     /// Sets the number of uncompressed warm-start steps.
+    #[must_use]
     pub fn with_warm_start_steps(mut self, steps: u64) -> Self {
         self.warm_start_steps = steps;
         self
     }
 
     /// Sets the tensor-fusion buffer capacity in bytes.
+    #[must_use]
     pub fn with_buffer_bytes(mut self, buffer_bytes: usize) -> Self {
         self.buffer_bytes = buffer_bytes;
         self
@@ -222,7 +228,9 @@ impl BucketCodec for PowerCodec {
         let reduced = results
             .into_iter()
             .next()
-            .expect("one op per round")
+            .ok_or(CoreError::CodecProtocol(
+                "expected one collective result per round",
+            ))?
             .into_f32()
             .map_err(CoreError::from)?;
         if self.warm {
@@ -231,7 +239,9 @@ impl BucketCodec for PowerCodec {
         }
         let st = self.buckets[bucket.index]
             .as_mut()
-            .expect("decode follows encode");
+            .ok_or(CoreError::CodecProtocol(
+                "decode without a pending encode state",
+            ))?;
         if !st.in_q_round {
             // Round 1 result: aggregated Ps + exact vector means. Compute
             // the local Q factors and (if any matrices) go one more round.
@@ -242,7 +252,9 @@ impl BucketCodec for PowerCodec {
                 let (start, end) = (bucket.offsets[slot], bucket.offsets[slot + 1]);
                 match lr {
                     LrState::Matrix { state, .. } => {
-                        let mut p_hat = p_factors.next().expect("factor per matrix");
+                        let mut p_hat = p_factors.next().ok_or(CoreError::CodecProtocol(
+                            "missing low-rank factor for matrix slot",
+                        ))?;
                         let n = p_hat.as_slice().len();
                         p_hat.as_mut_slice().copy_from_slice(&reduced[pos..pos + n]);
                         pos += n;
@@ -275,7 +287,9 @@ impl BucketCodec for PowerCodec {
         for (slot, lr) in st.states.iter_mut().enumerate() {
             let (start, end) = (bucket.offsets[slot], bucket.offsets[slot + 1]);
             if let LrState::Matrix { state, .. } = lr {
-                let mut q_hat = q_factors.next().expect("factor per matrix");
+                let mut q_hat = q_factors.next().ok_or(CoreError::CodecProtocol(
+                    "missing low-rank factor for matrix slot",
+                ))?;
                 let n = q_hat.as_slice().len();
                 q_hat.as_mut_slice().copy_from_slice(&reduced[pos..pos + n]);
                 pos += n;

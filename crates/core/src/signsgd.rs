@@ -33,12 +33,14 @@ impl Default for SignSgdConfig {
 
 impl SignSgdConfig {
     /// Enables or disables error feedback.
+    #[must_use]
     pub fn with_error_feedback(mut self, error_feedback: bool) -> Self {
         self.error_feedback = error_feedback;
         self
     }
 
     /// Sets the tensor-fusion buffer capacity in bytes.
+    #[must_use]
     pub fn with_buffer_bytes(mut self, buffer_bytes: usize) -> Self {
         self.buffer_bytes = buffer_bytes;
         self
@@ -81,7 +83,11 @@ impl BucketCodec for SignCodec {
         bucket.payload_bytes += payload.wire_bytes() as u64;
         let (words, scale) = match payload {
             Payload::Signs { words, scale, .. } => (words, scale),
-            _ => unreachable!("SignSgd produces sign payloads"),
+            _ => {
+                return Err(CoreError::CodecProtocol(
+                    "sign compressor must produce a sign payload",
+                ))
+            }
         };
         Ok(vec![
             CollectiveOp::AllGatherU32 { send: words },
@@ -97,12 +103,16 @@ impl BucketCodec for SignCodec {
         let mut results = results.into_iter();
         let gathered_words = results
             .next()
-            .expect("two ops per round")
+            .ok_or(CoreError::CodecProtocol(
+                "expected two collective results per round",
+            ))?
             .into_u32()
             .map_err(CoreError::from)?;
         let gathered_scales = results
             .next()
-            .expect("two ops per round")
+            .ok_or(CoreError::CodecProtocol(
+                "expected two collective results per round",
+            ))?
             .into_f32()
             .map_err(CoreError::from)?;
         let mut voted = vec![0.0f32; bucket.elems];
@@ -138,6 +148,7 @@ impl SignSgdAggregator {
 
     /// Sign-SGD with an error-feedback residual (EF-SGD of Karimireddy et
     /// al.).
+    #[must_use]
     pub fn with_error_feedback() -> Self {
         SignSgdAggregator::from_config(SignSgdConfig::default().with_error_feedback(true))
     }

@@ -31,7 +31,9 @@ impl BucketCodec for MeanCodec {
         bucket.data = results
             .into_iter()
             .next()
-            .expect("one op per round")
+            .ok_or(CoreError::CodecProtocol(
+                "expected one collective result per round",
+            ))?
             .into_f32()
             .map_err(CoreError::from)?;
         Ok(Round::Done)
@@ -71,6 +73,7 @@ impl SSgdAggregator {
 
     /// Creates the aggregator with an explicit fusion buffer capacity
     /// (0 disables fusion).
+    #[must_use]
     pub fn with_buffer_bytes(buffer_bytes: usize) -> Self {
         SSgdAggregator {
             pipeline: FusedPipeline::new(buffer_bytes),

@@ -32,18 +32,21 @@ impl Default for TopkSgdConfig {
 
 impl TopkSgdConfig {
     /// Sets the selection density.
+    #[must_use]
     pub fn with_density(mut self, density: f64) -> Self {
         self.density = density;
         self
     }
 
     /// Enables or disables error feedback.
+    #[must_use]
     pub fn with_error_feedback(mut self, error_feedback: bool) -> Self {
         self.error_feedback = error_feedback;
         self
     }
 
     /// Sets the tensor-fusion buffer capacity in bytes.
+    #[must_use]
     pub fn with_buffer_bytes(mut self, buffer_bytes: usize) -> Self {
         self.buffer_bytes = buffer_bytes;
         self
@@ -94,7 +97,11 @@ impl BucketCodec for TopkCodec {
             Payload::Sparse {
                 indices, values, ..
             } => (indices, values),
-            _ => unreachable!("TopK produces sparse payloads"),
+            _ => {
+                return Err(CoreError::CodecProtocol(
+                    "top-k compressor must produce a sparse payload",
+                ))
+            }
         };
         Ok(vec![
             CollectiveOp::AllGatherU32 { send: indices },
@@ -110,12 +117,16 @@ impl BucketCodec for TopkCodec {
         let mut results = results.into_iter();
         let gathered_idx = results
             .next()
-            .expect("two ops per round")
+            .ok_or(CoreError::CodecProtocol(
+                "expected two collective results per round",
+            ))?
             .into_u32()
             .map_err(CoreError::from)?;
         let gathered_val = results
             .next()
-            .expect("two ops per round")
+            .ok_or(CoreError::CodecProtocol(
+                "expected two collective results per round",
+            ))?
             .into_f32()
             .map_err(CoreError::from)?;
         let mut dense = vec![0.0f32; bucket.elems];
@@ -161,6 +172,7 @@ impl TopkSgdAggregator {
     /// # Panics
     ///
     /// Panics if `density` is not in `(0, 1]`.
+    #[must_use]
     pub fn with_error_feedback(density: f64) -> Self {
         TopkSgdAggregator::from_config(TopkSgdConfig::default().with_density(density))
     }

@@ -73,6 +73,7 @@ impl FaultInjector {
     }
 
     /// Enables the per-frame send delay.
+    #[must_use]
     pub fn with_send_delay(mut self, delay: Duration) -> Self {
         self.send_delay = Some(delay);
         self
@@ -83,6 +84,7 @@ impl FaultInjector {
     /// # Panics
     ///
     /// Panics if `n == 0`.
+    #[must_use]
     pub fn with_drop_every(mut self, n: u64) -> Self {
         assert!(n > 0, "drop_every must be at least 1");
         self.drop_every = Some(n);
@@ -90,6 +92,7 @@ impl FaultInjector {
     }
 
     /// Enables the per-collective straggler delay.
+    #[must_use]
     pub fn with_straggler_delay(mut self, delay: Duration) -> Self {
         self.straggler_delay = Some(delay);
         self
@@ -101,6 +104,7 @@ impl FaultInjector {
     /// # Panics
     ///
     /// Panics if `n == 0`.
+    #[must_use]
     pub fn with_exit_after(mut self, n: u64) -> Self {
         assert!(n > 0, "exit_after must be at least 1");
         self.exit_after = Some(n);

@@ -186,6 +186,7 @@ impl TcpConfig {
     }
 
     /// Sets the socket-level link wiring.
+    #[must_use]
     pub fn with_wiring(mut self, wiring: Wiring) -> Self {
         self.wiring = wiring;
         self
@@ -193,6 +194,7 @@ impl TcpConfig {
 
     /// Former name of [`TcpConfig::with_wiring`].
     #[deprecated(since = "0.2.0", note = "renamed to `with_wiring`")]
+    #[must_use]
     pub fn with_topology(self, wiring: Wiring) -> Self {
         self.with_wiring(wiring)
     }
@@ -217,24 +219,28 @@ impl TcpConfig {
     }
 
     /// Sets the per-receive deadline (`Duration::ZERO` disables it).
+    #[must_use]
     pub fn with_op_deadline(mut self, deadline: Duration) -> Self {
         self.op_deadline = deadline;
         self
     }
 
     /// Sets the connection retry policy.
+    #[must_use]
     pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
         self
     }
 
     /// Sets the fault plan.
+    #[must_use]
     pub fn with_fault(mut self, fault: FaultInjector) -> Self {
         self.fault = fault;
         self
     }
 
     /// Sets the schedule-verification mode.
+    #[must_use]
     pub fn with_verify(mut self, verify: VerifyMode) -> Self {
         self.verify = verify;
         self
@@ -1020,7 +1026,7 @@ impl WorkerTransport for TcpTransport {
             .collect();
         {
             let Links::Mesh(links) = &mut self.links else {
-                unreachable!("wiring checked above");
+                return Err(CommError::ProtocolMismatch);
             };
             let started = Instant::now();
             for &peer in &survivors {
@@ -1032,7 +1038,7 @@ impl WorkerTransport for TcpTransport {
         for &peer in &survivors {
             loop {
                 let Links::Mesh(links) = &mut self.links else {
-                    unreachable!("wiring checked above");
+                    return Err(CommError::ProtocolMismatch);
                 };
                 let link = links[peer].as_mut().ok_or(CommError::PeerDisconnected)?;
                 let started = Instant::now();

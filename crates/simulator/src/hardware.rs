@@ -106,6 +106,7 @@ impl HardwareProfile {
 
     /// Same GPU profile with a different cluster size / interconnect
     /// (Figs. 12–13).
+    #[must_use]
     pub fn with_cluster(workers: usize, network: NetworkTier) -> Self {
         HardwareProfile {
             workers,
@@ -116,6 +117,7 @@ impl HardwareProfile {
 
     /// Same profile with measured α–β parameters overriding the tier
     /// presets (closed-loop autotuning).
+    #[must_use]
     pub fn with_calibrated(mut self, cost: AlphaBetaCost) -> Self {
         self.calibrated = Some(cost);
         self

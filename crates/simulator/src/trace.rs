@@ -42,11 +42,7 @@ pub fn trace(cfg: &ExperimentConfig) -> Result<Vec<TraceEntry>, SimError> {
             finish: p.finish,
         })
         .collect();
-    entries.sort_by(|a, b| {
-        a.start
-            .partial_cmp(&b.start)
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
+    entries.sort_by(|a, b| a.start.total_cmp(&b.start));
     Ok(entries)
 }
 

@@ -232,6 +232,7 @@ impl Matrix {
     /// # Errors
     ///
     /// Returns [`MatrixError::DimMismatch`] if `self.cols() != other.rows()`.
+    #[must_use = "the result carries the computation; dropping it discards the round"]
     pub fn try_matmul(&self, other: &Matrix) -> Result<Matrix, MatrixError> {
         if self.cols != other.rows {
             return Err(MatrixError::DimMismatch {
@@ -272,6 +273,7 @@ impl Matrix {
     /// # Errors
     ///
     /// Returns [`MatrixError::DimMismatch`] if `self.rows() != other.rows()`.
+    #[must_use = "the result carries the computation; dropping it discards the round"]
     pub fn try_matmul_tn(&self, other: &Matrix) -> Result<Matrix, MatrixError> {
         if self.rows != other.rows {
             return Err(MatrixError::DimMismatch {
@@ -312,6 +314,7 @@ impl Matrix {
     /// # Errors
     ///
     /// Returns [`MatrixError::DimMismatch`] if `self.cols() != other.cols()`.
+    #[must_use = "the result carries the computation; dropping it discards the round"]
     pub fn try_matmul_nt(&self, other: &Matrix) -> Result<Matrix, MatrixError> {
         if self.cols != other.cols {
             return Err(MatrixError::DimMismatch {

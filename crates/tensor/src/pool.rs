@@ -99,20 +99,25 @@ impl WorkerPool {
             queue: Mutex::new(VecDeque::new()),
             ready: Condvar::new(),
         });
-        let handles = (0..workers)
-            .map(|i| {
-                let inj = Arc::clone(&injector);
-                thread::Builder::new()
-                    .name(format!("acp-kernel-{i}"))
-                    .spawn(move || loop {
-                        match inj.pop_blocking() {
-                            Task::Exit => return,
-                            task => run_task_guarded(task),
-                        }
-                    })
-                    .expect("spawn kernel worker")
-            })
-            .collect();
+        // A failed spawn (thread exhaustion) degrades the pool rather
+        // than panicking: tasks that can't be handed off run inline on
+        // the caller, so a smaller pool is still correct.
+        let mut handles = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let inj = Arc::clone(&injector);
+            let spawned = thread::Builder::new()
+                .name(format!("acp-kernel-{i}"))
+                .spawn(move || loop {
+                    match inj.pop_blocking() {
+                        Task::Exit => return,
+                        task => run_task_guarded(task),
+                    }
+                });
+            match spawned {
+                Ok(h) => handles.push(h),
+                Err(_) => break,
+            }
+        }
         WorkerPool {
             injector,
             workers: handles,

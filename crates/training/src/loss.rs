@@ -56,7 +56,7 @@ pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f32 {
         let argmax = row
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .map(|(i, _)| i)
             .unwrap_or(0);
         if argmax == label {

@@ -1,0 +1,210 @@
+//! The conservative intra-workspace call graph: edges from resolved call
+//! sites, forward/reverse adjacency, and chain-recovering reachability.
+
+use std::collections::{HashMap, VecDeque};
+
+use super::symbols::{FnId, SymbolTable};
+
+/// One call-graph edge: `caller` may invoke `callee` from `call_line`.
+#[derive(Debug, Clone, Copy)]
+pub struct Edge {
+    /// The invoking function.
+    pub caller: FnId,
+    /// Index of the call site in the caller's `calls`.
+    pub call: usize,
+    /// The invoked function.
+    pub callee: FnId,
+    /// 1-based source line of the call site.
+    pub call_line: usize,
+    /// The call site carries an `allow_verify(reason = ...)` marker;
+    /// panic-reachability treats the edge as cut.
+    pub allowed: bool,
+}
+
+/// Forward and reverse adjacency over the whole table.
+pub struct CallGraph {
+    /// Outgoing edges per function.
+    pub out: Vec<Vec<Edge>>,
+    /// Incoming edges per function.
+    pub into: Vec<Vec<Edge>>,
+}
+
+impl CallGraph {
+    /// Resolves every call site of every non-test function.
+    pub fn build(table: &SymbolTable) -> CallGraph {
+        let n = table.fns.len();
+        let mut out: Vec<Vec<Edge>> = vec![Vec::new(); n];
+        let mut into: Vec<Vec<Edge>> = vec![Vec::new(); n];
+        for (caller, rec) in table.fns.iter().enumerate() {
+            if rec.def.is_test {
+                continue;
+            }
+            for (ci, call) in rec.def.calls.iter().enumerate() {
+                // `.lock()` / `.read()` / `.write()` on anything but a
+                // bare `self` receiver is a std lock operation, not a
+                // workspace method — a graph leaf. (A bare-`self` call
+                // is a wrapper method and resolves normally.)
+                if call.is_method
+                    && call.empty_args
+                    && matches!(call.name.as_str(), "lock" | "read" | "write")
+                    && call.receiver.as_deref() != Some("self")
+                {
+                    continue;
+                }
+                for callee in table.resolve(caller, call) {
+                    let e = Edge {
+                        caller,
+                        call: ci,
+                        callee,
+                        call_line: call.line,
+                        allowed: call.allowed,
+                    };
+                    out[caller].push(e);
+                    into[callee].push(e);
+                }
+            }
+        }
+        CallGraph { out, into }
+    }
+
+    /// Number of edges (for the coverage summary).
+    pub fn edge_count(&self) -> usize {
+        self.out.iter().map(Vec::len).sum()
+    }
+
+    /// Multi-source BFS from `sources` along forward edges, skipping
+    /// edges for which `skip` returns true. Returns, per function, the
+    /// edge it was first discovered through (sources map to `None`).
+    /// Unreached functions are absent.
+    pub fn reach_forward(
+        &self,
+        sources: &[FnId],
+        skip: impl Fn(&Edge) -> bool,
+    ) -> HashMap<FnId, Option<Edge>> {
+        let mut parent: HashMap<FnId, Option<Edge>> = HashMap::new();
+        let mut queue: VecDeque<FnId> = VecDeque::new();
+        for &s in sources {
+            if parent.insert(s, None).is_none() {
+                queue.push_back(s);
+            }
+        }
+        while let Some(f) = queue.pop_front() {
+            for e in &self.out[f] {
+                if skip(e) {
+                    continue;
+                }
+                if let std::collections::hash_map::Entry::Vacant(slot) = parent.entry(e.callee) {
+                    slot.insert(Some(*e));
+                    queue.push_back(e.callee);
+                }
+            }
+        }
+        parent
+    }
+
+    /// Reconstructs the call chain `source → … → target` from a
+    /// [`CallGraph::reach_forward`] parent map, as a list of edges in
+    /// call order. Empty when `target` is itself a source.
+    pub fn chain_to(parent: &HashMap<FnId, Option<Edge>>, target: FnId) -> Vec<Edge> {
+        let mut chain = Vec::new();
+        let mut cur = target;
+        while let Some(Some(edge)) = parent.get(&cur) {
+            chain.push(*edge);
+            cur = edge.caller;
+        }
+        chain.reverse();
+        chain
+    }
+
+    /// BFS along *reverse* edges from `target`: for every function that
+    /// can reach `target`, the first forward edge of its path. Used to
+    /// reconstruct `f → … → target` chains for many `f` at once.
+    pub fn reach_reverse(&self, target: FnId) -> HashMap<FnId, Option<Edge>> {
+        let mut next: HashMap<FnId, Option<Edge>> = HashMap::new();
+        let mut queue: VecDeque<FnId> = VecDeque::new();
+        next.insert(target, None);
+        queue.push_back(target);
+        while let Some(f) = queue.pop_front() {
+            for e in &self.into[f] {
+                if let std::collections::hash_map::Entry::Vacant(slot) = next.entry(e.caller) {
+                    slot.insert(Some(*e));
+                    queue.push_back(e.caller);
+                }
+            }
+        }
+        next
+    }
+
+    /// Reconstructs the forward chain `from → … → target` from a
+    /// [`CallGraph::reach_reverse`] next-hop map.
+    pub fn chain_from(next: &HashMap<FnId, Option<Edge>>, from: FnId) -> Vec<Edge> {
+        let mut chain = Vec::new();
+        let mut cur = from;
+        while let Some(Some(edge)) = next.get(&cur) {
+            chain.push(*edge);
+            cur = edge.callee;
+        }
+        chain
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::parser::parse_file;
+    use super::super::symbols::SymbolTable;
+    use super::*;
+
+    fn graph(src: &str) -> (SymbolTable, CallGraph) {
+        let t = SymbolTable::build(vec![parse_file("crates/a/src/lib.rs", src)]);
+        let g = CallGraph::build(&t);
+        (t, g)
+    }
+
+    fn id_of(t: &SymbolTable, name: &str) -> FnId {
+        t.fns.iter().position(|r| r.def.name == name).unwrap()
+    }
+
+    #[test]
+    fn chains_are_recovered_in_call_order() {
+        let (t, g) = graph("fn a() { b(); }\nfn b() { c(); }\nfn c() {}\n");
+        let a = id_of(&t, "a");
+        let c = id_of(&t, "c");
+        let parent = g.reach_forward(&[a], |_| false);
+        let chain = CallGraph::chain_to(&parent, c);
+        let names: Vec<_> = chain
+            .iter()
+            .map(|e| (t.fns[e.caller].def.name.as_str(), e.call_line))
+            .collect();
+        assert_eq!(names, vec![("a", 1), ("b", 2)]);
+    }
+
+    #[test]
+    fn allowed_edges_can_be_skipped() {
+        let src = "fn a() {\n\
+                   // allow_verify(reason = \"checked at startup\")\n\
+                   b();\n\
+                   }\n\
+                   fn b() {}\n";
+        let (t, g) = graph(src);
+        let a = id_of(&t, "a");
+        let b = id_of(&t, "b");
+        let parent = g.reach_forward(&[a], |e| e.allowed);
+        assert!(!parent.contains_key(&b), "allowed edge is cut");
+        let parent = g.reach_forward(&[a], |_| false);
+        assert!(parent.contains_key(&b), "edge exists when not skipped");
+    }
+
+    #[test]
+    fn reverse_reachability_reconstructs_forward_chains() {
+        let (t, g) = graph("fn a() { b(); }\nfn b() { c(); }\nfn c() {}\n");
+        let a = id_of(&t, "a");
+        let c = id_of(&t, "c");
+        let next = g.reach_reverse(c);
+        let chain = CallGraph::chain_from(&next, a);
+        let names: Vec<_> = chain
+            .iter()
+            .map(|e| t.fns[e.callee].def.name.as_str())
+            .collect();
+        assert_eq!(names, vec!["b", "c"]);
+    }
+}

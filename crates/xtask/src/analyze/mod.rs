@@ -1,0 +1,154 @@
+//! `cargo xtask analyze` — whole-workspace interprocedural analysis.
+//!
+//! Pipeline: [`parser`] (per-file item parsing over the lexed code view)
+//! → [`symbols`] (workspace symbol table, call resolution, lock
+//! classification) → [`graph`] (conservative call graph) → [`checks`]
+//! (the four ACP-A rules) → [`report`] (text / GitHub / JSON output).
+//!
+//! The analyzed scope is every `crates/*/src/**/*.rs` except
+//! `crates/xtask` itself (whose sources quote the banned patterns) and
+//! anything under `shims/` (vendored stand-ins, not product code).
+
+pub mod checks;
+pub mod graph;
+pub mod parser;
+pub mod report;
+pub mod symbols;
+
+use std::collections::{BTreeSet, HashMap};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+pub use checks::CheckConfig;
+pub use report::{to_json, Finding, Stats};
+
+/// Recursively collects `.rs` files under `dir`, sorted for stable
+/// output.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Direct intra-workspace dependencies of one crate, from its
+/// `Cargo.toml`: `acp-<name> = { workspace = true }` lines and explicit
+/// `path = "../<name>"` entries.
+fn direct_deps(manifest: &str) -> BTreeSet<String> {
+    let mut deps = BTreeSet::new();
+    for line in manifest.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("acp-") {
+            if let Some(name) = rest.split(['=', ' ']).next() {
+                if !name.is_empty() {
+                    deps.insert(name.to_string());
+                }
+            }
+        }
+        if let Some(p) = line.find("path = \"../") {
+            let rest = &line[p + "path = \"../".len()..];
+            if let Some(name) = rest.split(['"', '/']).next() {
+                if !name.is_empty() {
+                    deps.insert(name.to_string());
+                }
+            }
+        }
+    }
+    deps
+}
+
+/// Transitive closure of workspace crate dependencies, keyed by crate
+/// directory name.
+fn crate_deps(crates_dir: &Path) -> io::Result<HashMap<String, BTreeSet<String>>> {
+    let mut direct: HashMap<String, BTreeSet<String>> = HashMap::new();
+    for entry in fs::read_dir(crates_dir)? {
+        let path = entry?.path();
+        let manifest = path.join("Cargo.toml");
+        if !manifest.is_file() {
+            continue;
+        }
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        direct.insert(name, direct_deps(&fs::read_to_string(&manifest)?));
+    }
+    // Fixpoint closure.
+    let mut closed = direct.clone();
+    loop {
+        let mut changed = false;
+        for name in direct.keys() {
+            let reachable: BTreeSet<String> = closed[name]
+                .iter()
+                .flat_map(|d| closed.get(d).cloned().unwrap_or_default())
+                .collect();
+            let set = closed.get_mut(name).expect("key from direct");
+            for r in reachable {
+                changed |= set.insert(r);
+            }
+        }
+        if !changed {
+            return Ok(closed);
+        }
+    }
+}
+
+/// Analyzes the workspace rooted at `root` with the default config.
+pub fn run(root: &Path) -> io::Result<(Vec<Finding>, Stats)> {
+    run_with(root, &CheckConfig::default())
+}
+
+/// Analyzes the workspace rooted at `root`.
+pub fn run_with(root: &Path, config: &CheckConfig) -> io::Result<(Vec<Finding>, Stats)> {
+    let crates = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+
+    let mut rs_files = Vec::new();
+    for dir in crate_dirs {
+        if dir.file_name().is_some_and(|n| n == "xtask") {
+            continue;
+        }
+        let src = dir.join("src");
+        if src.is_dir() {
+            collect_rs(&src, &mut rs_files)?;
+        }
+    }
+
+    let mut parsed = Vec::new();
+    let mut scanned = Vec::new();
+    for path in &rs_files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let text = fs::read_to_string(path)?;
+        parsed.push(parser::parse_file(&rel, &text));
+        scanned.push(rel);
+    }
+
+    let table = symbols::SymbolTable::build_with_deps(parsed, crate_deps(&crates)?);
+    let call_graph = graph::CallGraph::build(&table);
+    let mut stats = Stats {
+        files: scanned.len(),
+        functions: table.fns.len(),
+        edges: call_graph.edge_count(),
+        scanned,
+        ..Stats::default()
+    };
+    let findings = checks::run_checks(&table, &call_graph, config, &mut stats);
+    Ok((findings, stats))
+}

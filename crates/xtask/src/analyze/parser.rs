@@ -1,0 +1,964 @@
+//! Item-level parsing of one source file: `impl`/`trait` contexts, `fn`
+//! items with body spans, and per-body call/lock/statement events.
+//!
+//! There is no `syn` offline, so this is a purpose-built scanner over the
+//! lexed *code view* ([`crate::lexer::classify`]): comments and string
+//! literals are already blanked, offsets and line numbers are preserved.
+//! The parser recovers exactly the structure the interprocedural checks
+//! need — who defines which function where, and what each body calls,
+//! locks, binds and returns — and nothing more. Soundness caveats of the
+//! approximation are documented in `DESIGN.md` §13.
+
+use crate::lexer::classify;
+use crate::lint::ALLOW_MARKER;
+
+/// One parsed function item.
+#[derive(Debug)]
+pub struct FnDef {
+    /// Bare function name (`all_reduce`).
+    pub name: String,
+    /// Enclosing `impl` type's last path segment (`TcpCommunicator`),
+    /// if the function is defined inside an inherent or trait impl.
+    pub impl_type: Option<String>,
+    /// Trait name for `impl Trait for Type` blocks and for default
+    /// methods declared inside `trait Trait { ... }` blocks.
+    pub trait_name: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Whether the item sits inside a `#[cfg(test)]` block.
+    pub is_test: bool,
+    /// Whether the parameter list starts with a `self` receiver.
+    pub has_self: bool,
+    /// Number of non-`self` parameters, for call-site arity matching.
+    pub arity: usize,
+    /// Return-type text between `->` and the body/`where` clause.
+    pub ret: String,
+    /// Byte span of the body *inside* the braces, in file offsets.
+    pub body_span: (usize, usize),
+    /// The body's code-view text (comments/strings blanked), for the
+    /// must-wait binding tracker.
+    pub body_text: String,
+    /// 0-based line of the body's first byte.
+    pub body_line0: usize,
+    /// Per-file `allow_verify` marker lines (0-based), shared by every
+    /// function in the file.
+    pub allow_lines: std::sync::Arc<Vec<bool>>,
+    /// Calls made by the body, in source order.
+    pub calls: Vec<Call>,
+    /// Direct panic sites in the body (pattern, 1-based line, allowed).
+    pub panics: Vec<PanicSite>,
+    /// Flow events (scopes, statements, calls, drops) in source order.
+    pub events: Vec<Event>,
+}
+
+/// A direct panic site: `.unwrap(`, `panic!`, ….
+#[derive(Debug)]
+pub struct PanicSite {
+    /// The matched pattern, trimmed for display (`unwrap`, `panic!`).
+    pub what: String,
+    /// 1-based line.
+    pub line: usize,
+    /// `allow_verify(reason = ...)` on the same or previous line.
+    pub allowed: bool,
+}
+
+/// One call site inside a function body.
+#[derive(Debug)]
+pub struct Call {
+    /// Callee name (`dispatch`, `lock`, `all_reduce`).
+    pub name: String,
+    /// Last path segment before `::` for qualified calls
+    /// (`ring::all_reduce` → `ring`, `Self::plan` → `Self`).
+    pub qualifier: Option<String>,
+    /// `.name(` method-call syntax.
+    pub is_method: bool,
+    /// Receiver chain for method calls (`self`, `self.inner`, `m`);
+    /// `None` when the receiver is not a simple ident/field chain.
+    pub receiver: Option<String>,
+    /// Normalized text of the first argument, for lock-wrapper identity
+    /// (`&self.jobs` → `self.jobs`).
+    pub first_arg: Option<String>,
+    /// Whether the argument list is empty (`.lock()`).
+    pub empty_args: bool,
+    /// Number of arguments, `None` when the list contains closures or
+    /// other shapes top-level comma counting cannot split.
+    pub nargs: Option<usize>,
+    /// 1-based line of the call.
+    pub line: usize,
+    /// `allow_verify(reason = ...)` on the same or previous line.
+    pub allowed: bool,
+    /// `let` binding ident of the enclosing statement, if any.
+    pub binding: Option<String>,
+    /// The enclosing statement is `return ...`, the body's tail
+    /// expression, or wrapped directly in the tail (`Ok(dispatch(..))`).
+    pub tail_returned: bool,
+    /// Byte span of the enclosing statement, in file offsets.
+    pub stmt_span: (usize, usize),
+    /// File offset just past the call's closing parenthesis.
+    pub call_end: usize,
+}
+
+/// Flow events for the held-lock dataflow, in source order.
+#[derive(Debug)]
+pub enum Event {
+    /// `{`
+    Open,
+    /// `}`
+    Close,
+    /// `;` — releases statement-temporary guards.
+    StmtEnd,
+    /// A call site, by index into [`FnDef::calls`].
+    Call(usize),
+    /// `drop(x)` — releases the guard bound to `x`.
+    DropVar(String),
+}
+
+/// One parsed source file.
+#[derive(Debug)]
+pub struct ParsedFile {
+    /// Repo-relative path with forward slashes.
+    pub rel_path: String,
+    /// File stem (`recorder` for `recorder.rs`), used as the namespace
+    /// for lock identities on local/parameter receivers.
+    pub stem: String,
+    /// All function items, nested ones included.
+    pub fns: Vec<FnDef>,
+}
+
+#[derive(Clone, Debug)]
+enum Ctx {
+    Block,
+    Impl {
+        ty: String,
+        trait_name: Option<String>,
+    },
+    Trait(String),
+    Fn,
+}
+
+/// Patterns that terminate a call path in a panic. `.unwrap_or*` and
+/// `.expect_err` do not match because the open paren is part of the
+/// pattern.
+const PANIC_PATTERNS: &[&str] = &[
+    ".unwrap(",
+    ".expect(",
+    "panic!",
+    "todo!",
+    "unreachable!",
+    "unimplemented!",
+];
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Byte ranges of `#[cfg(test)]`-gated blocks (same contract as the lint
+/// pass: the first braced block after the attribute).
+fn test_ranges(code: &str) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::new();
+    let bytes = code.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = code[from..].find("cfg(test)").map(|p| p + from) {
+        from = pos + "cfg(test)".len();
+        let mut i = from;
+        let start = loop {
+            match bytes.get(i) {
+                None | Some(b';') => break None,
+                Some(b'{') => break Some(i),
+                Some(_) => i += 1,
+            }
+        };
+        let Some(start) = start else { continue };
+        let mut depth = 0usize;
+        let mut end = bytes.len();
+        for (j, b) in bytes.iter().enumerate().skip(start) {
+            match b {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = j + 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        ranges.push((start, end));
+        from = from.max(start + 1);
+    }
+    ranges
+}
+
+/// Parses one file. `rel_path` is the repo-relative path used in
+/// diagnostics.
+pub fn parse_file(rel_path: &str, src: &str) -> ParsedFile {
+    let classified = classify(src);
+    let code = classified.code.as_str();
+    let bytes = code.as_bytes();
+    let tests = test_ranges(code);
+    let allow_lines: std::sync::Arc<Vec<bool>> = std::sync::Arc::new(
+        classified
+            .comments
+            .lines()
+            .map(|l| l.contains(ALLOW_MARKER))
+            .collect(),
+    );
+    let line_of = build_line_index(code);
+
+    let stem = rel_path
+        .rsplit('/')
+        .next()
+        .unwrap_or(rel_path)
+        .trim_end_matches(".rs")
+        .to_string();
+
+    let mut fns: Vec<FnDef> = Vec::new();
+    // Stack of open braces with the context each one introduced, plus
+    // the index of the FnDef a `Fn` context belongs to.
+    let mut stack: Vec<(Ctx, Option<usize>)> = Vec::new();
+    let mut pending: Option<(Ctx, Option<usize>)> = None;
+
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b == b'{' {
+            stack.push(pending.take().unwrap_or((Ctx::Block, None)));
+            i += 1;
+            continue;
+        }
+        if b == b'}' {
+            if let Some((Ctx::Fn, Some(fi))) = stack.pop() {
+                fns[fi].body_span.1 = i;
+            }
+            i += 1;
+            continue;
+        }
+        if b == b';' {
+            // An `impl`/`trait`/`fn` header terminated by `;` (trait
+            // method declaration, extern fn) introduces no block.
+            pending = None;
+            i += 1;
+            continue;
+        }
+        if is_ident_byte(b) && (i == 0 || !is_ident_byte(bytes[i - 1])) {
+            let start = i;
+            while i < bytes.len() && is_ident_byte(bytes[i]) {
+                i += 1;
+            }
+            match &code[start..i] {
+                "impl" => {
+                    let (ctx, next) = parse_impl_header(code, i);
+                    pending = Some((ctx, None));
+                    i = next;
+                }
+                "trait" => {
+                    if let Some((name, next)) = next_ident(code, i) {
+                        pending = Some((Ctx::Trait(name), None));
+                        i = next;
+                    }
+                }
+                "fn" => {
+                    if let Some(def) = parse_fn_header(code, i, &stack, &tests, &line_of) {
+                        let (def, next) = def;
+                        let fi = fns.len();
+                        fns.push(def);
+                        pending = Some((Ctx::Fn, Some(fi)));
+                        i = next;
+                    }
+                }
+                _ => {}
+            }
+            continue;
+        }
+        i += 1;
+    }
+    // Unterminated bodies (truncated file): close at EOF.
+    for f in &mut fns {
+        if f.body_span.1 == 0 {
+            f.body_span.1 = bytes.len();
+        }
+    }
+
+    for f in &mut fns {
+        extract_body(f, code, &allow_lines, &line_of);
+    }
+
+    ParsedFile {
+        rel_path: rel_path.to_string(),
+        stem,
+        fns,
+    }
+}
+
+/// 0-based line number for every byte offset.
+fn build_line_index(code: &str) -> Vec<usize> {
+    let mut lines = Vec::with_capacity(code.len() + 1);
+    let mut n = 0;
+    for b in code.bytes() {
+        lines.push(n);
+        if b == b'\n' {
+            n += 1;
+        }
+    }
+    lines.push(n);
+    lines
+}
+
+fn line_at(line_of: &[usize], offset: usize) -> usize {
+    line_of
+        .get(offset)
+        .copied()
+        .unwrap_or_else(|| line_of.last().copied().unwrap_or(0))
+}
+
+fn skip_ws(code: &str, mut i: usize) -> usize {
+    let bytes = code.as_bytes();
+    while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+        i += 1;
+    }
+    i
+}
+
+fn next_ident(code: &str, i: usize) -> Option<(String, usize)> {
+    let bytes = code.as_bytes();
+    let start = skip_ws(code, i);
+    let mut j = start;
+    while j < bytes.len() && is_ident_byte(bytes[j]) {
+        j += 1;
+    }
+    if j > start {
+        Some((code[start..j].to_string(), j))
+    } else {
+        None
+    }
+}
+
+/// Skips a balanced `<...>` generics group starting at `i` (which must
+/// point at `<`); returns the offset past the closing `>`.
+fn skip_generics(code: &str, i: usize) -> usize {
+    let bytes = code.as_bytes();
+    let mut depth = 0usize;
+    let mut j = i;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'<' => depth += 1,
+            b'>' => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            // `->` inside fn-pointer generics: the `>` is not a closer.
+            b'-' if bytes.get(j + 1) == Some(&b'>') => j += 1,
+            b'{' | b';' => return j, // malformed; bail before the body
+            _ => {}
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Parses the text after the `impl` keyword up to the opening `{`,
+/// returning the context and the offset of that `{` (or of `;`).
+fn parse_impl_header(code: &str, i: usize) -> (Ctx, usize) {
+    let bytes = code.as_bytes();
+    let mut j = skip_ws(code, i);
+    if bytes.get(j) == Some(&b'<') {
+        j = skip_generics(code, j);
+    }
+    // Read path segments until `for`, `where`, `{` or `;`.
+    let mut first = String::new();
+    let mut second: Option<String> = None;
+    let mut current = &mut first;
+    loop {
+        j = skip_ws(code, j);
+        match bytes.get(j) {
+            None | Some(b'{') | Some(b';') => break,
+            Some(b'<') => j = skip_generics(code, j),
+            Some(b'&') | Some(b'\'') | Some(b'(') | Some(b')') | Some(b',') | Some(b'*') => j += 1,
+            Some(b':') => {
+                current.push(':');
+                j += 1;
+            }
+            Some(b) if is_ident_byte(*b) => {
+                let (word, next) = next_ident(code, j).unwrap_or((String::new(), j + 1));
+                j = next;
+                match word.as_str() {
+                    "for" => {
+                        second = Some(String::new());
+                        current = second.as_mut().unwrap_or(&mut first);
+                    }
+                    "where" => {
+                        // Skip the where clause to the `{`.
+                        while j < bytes.len() && bytes[j] != b'{' && bytes[j] != b';' {
+                            j += 1;
+                        }
+                        break;
+                    }
+                    "dyn" | "mut" | "const" | "unsafe" => {}
+                    _ => {
+                        if !current.is_empty() && !current.ends_with(':') {
+                            // A second independent word (e.g. a macro'd
+                            // header); keep the last one.
+                            current.clear();
+                        }
+                        current.push_str(&word);
+                    }
+                }
+            }
+            Some(_) => j += 1,
+        }
+    }
+    let seg = |s: &str| s.rsplit(':').next().unwrap_or(s).to_string();
+    let ctx = match second {
+        Some(ty) => Ctx::Impl {
+            ty: seg(&ty),
+            trait_name: Some(seg(&first)),
+        },
+        None => Ctx::Impl {
+            ty: seg(&first),
+            trait_name: None,
+        },
+    };
+    (ctx, j)
+}
+
+/// Parses a `fn` header starting just past the keyword; returns the
+/// partially-filled def and the offset of the body's `{`. Returns `None`
+/// for bodyless declarations (`fn f();`).
+fn parse_fn_header(
+    code: &str,
+    i: usize,
+    stack: &[(Ctx, Option<usize>)],
+    tests: &[(usize, usize)],
+    line_of: &[usize],
+) -> Option<(FnDef, usize)> {
+    let bytes = code.as_bytes();
+    let (name, mut j) = next_ident(code, i)?;
+    j = skip_ws(code, j);
+    if bytes.get(j) == Some(&b'<') {
+        j = skip_generics(code, j);
+    }
+    j = skip_ws(code, j);
+    if bytes.get(j) != Some(&b'(') {
+        return None;
+    }
+    // Balanced parameter list.
+    let params_start = j + 1;
+    let mut depth = 0usize;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'(' => depth += 1,
+            b')' => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    let params = &code[params_start..j.min(code.len())];
+    let first_param = params.split(',').next().unwrap_or("");
+    let has_self = first_param
+        .split(|c: char| !c.is_alphanumeric() && c != '_')
+        .any(|w| w == "self");
+    let arity = count_list_items(params)
+        .unwrap_or(0)
+        .saturating_sub(has_self as usize);
+    j += 1;
+    // Scan to the body `{` or a terminating `;`, capturing `-> ...`.
+    let mut ret = String::new();
+    let mut in_ret = false;
+    let body_open = loop {
+        match bytes.get(j) {
+            None => return None,
+            Some(b'{') => break j,
+            Some(b';') => return None,
+            Some(b'-') if bytes.get(j + 1) == Some(&b'>') => {
+                in_ret = true;
+                j += 2;
+            }
+            Some(b'<') => {
+                let next = skip_generics(code, j);
+                if in_ret {
+                    ret.push_str(&code[j..next.min(code.len())]);
+                }
+                j = next;
+            }
+            Some(b) => {
+                if in_ret {
+                    if *b == b'w' && code[j..].starts_with("where") && !is_ident_byte(bytes[j - 1])
+                    {
+                        in_ret = false;
+                    } else {
+                        ret.push(*b as char);
+                    }
+                }
+                j += 1;
+            }
+        }
+    };
+    let (impl_type, trait_name) = stack
+        .iter()
+        .rev()
+        .find_map(|(ctx, _)| match ctx {
+            Ctx::Impl { ty, trait_name } => Some((Some(ty.clone()), trait_name.clone())),
+            Ctx::Trait(t) => Some((None, Some(t.clone()))),
+            _ => None,
+        })
+        .unwrap_or((None, None));
+    let fn_line = line_at(line_of, i) + 1;
+    let is_test = tests.iter().any(|(s, e)| body_open >= *s && body_open < *e);
+    Some((
+        FnDef {
+            name,
+            impl_type,
+            trait_name,
+            line: fn_line,
+            is_test,
+            has_self,
+            arity,
+            ret: ret.trim().to_string(),
+            body_span: (body_open + 1, 0),
+            body_text: String::new(),
+            body_line0: 0,
+            allow_lines: std::sync::Arc::default(),
+            calls: Vec::new(),
+            panics: Vec::new(),
+            events: Vec::new(),
+        },
+        body_open,
+    ))
+}
+
+/// Extracts calls, panic sites and flow events from a parsed body.
+fn extract_body(
+    f: &mut FnDef,
+    code: &str,
+    allow_lines: &std::sync::Arc<Vec<bool>>,
+    line_of: &[usize],
+) {
+    let (lo, hi) = f.body_span;
+    let hi = hi.min(code.len());
+    let lo = lo.min(hi);
+    let body = &code[lo..hi];
+    let bytes = body.as_bytes();
+    f.body_text = body.to_string();
+    f.body_line0 = line_at(line_of, lo);
+    f.allow_lines = allow_lines.clone();
+    let allowed_at = |line0: usize| {
+        allow_lines.get(line0).copied().unwrap_or(false)
+            || (line0 > 0 && allow_lines.get(line0 - 1).copied().unwrap_or(false))
+    };
+
+    // Panic sites.
+    for pat in PANIC_PATTERNS {
+        let mut from = 0;
+        while let Some(p) = body[from..].find(pat).map(|p| p + from) {
+            from = p + pat.len();
+            let line0 = line_at(line_of, lo + p);
+            f.panics.push(PanicSite {
+                what: pat
+                    .trim_start_matches('.')
+                    .trim_end_matches('(')
+                    .to_string(),
+                line: line0 + 1,
+                allowed: allowed_at(line0),
+            });
+        }
+    }
+
+    // Calls and flow events.
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'{' => f.events.push(Event::Open),
+            b'}' => f.events.push(Event::Close),
+            b';' => f.events.push(Event::StmtEnd),
+            _ if is_ident_byte(b) && (i == 0 || !is_ident_byte(bytes[i - 1])) => {
+                let start = i;
+                while i < bytes.len() && is_ident_byte(bytes[i]) {
+                    i += 1;
+                }
+                let name = &body[start..i];
+                let after = skip_ws(body, i);
+                // A call is an ident directly followed by `(`; `::<`
+                // turbofish between is tolerated.
+                let mut call_open = None;
+                if bytes.get(after) == Some(&b'(') {
+                    call_open = Some(after);
+                } else if body[after..].starts_with("::<") {
+                    let g = skip_generics(body, after + 2);
+                    let g = skip_ws(body, g);
+                    if bytes.get(g) == Some(&b'(') {
+                        call_open = Some(g);
+                    }
+                }
+                let Some(open) = call_open else { continue };
+                if matches!(
+                    name,
+                    "if" | "while" | "for" | "match" | "return" | "loop" | "let" | "fn" | "move"
+                ) {
+                    continue;
+                }
+                let close = match balanced_close(body, open) {
+                    Some(c) => c,
+                    None => body.len(),
+                };
+                if name == "drop" {
+                    let arg = body[open + 1..close].trim().trim_start_matches('&');
+                    if !arg.is_empty() && arg.bytes().all(is_ident_byte) {
+                        f.events.push(Event::DropVar(arg.to_string()));
+                        i = open; // still scan args for nested calls
+                        continue;
+                    }
+                }
+                let (qualifier, is_method, receiver) = call_shape(body, start);
+                let args = &body[open + 1..close];
+                let first_arg = args
+                    .split(',')
+                    .next()
+                    .map(|a| a.trim().trim_start_matches('&').trim_start_matches("mut "))
+                    .filter(|a| !a.is_empty())
+                    .map(|a| a.to_string());
+                let line0 = line_at(line_of, lo + start);
+                let (stmt_lo, stmt_hi) = stmt_span(body, start);
+                let binding = stmt_binding(&body[stmt_lo..stmt_hi]);
+                let tail_returned = stmt_is_returned(body, stmt_lo, stmt_hi);
+                let ci = f.calls.len();
+                f.calls.push(Call {
+                    name: name.to_string(),
+                    qualifier,
+                    is_method,
+                    receiver,
+                    first_arg,
+                    empty_args: args.trim().is_empty(),
+                    nargs: count_list_items(args),
+                    line: line0 + 1,
+                    allowed: allowed_at(line0),
+                    binding,
+                    tail_returned,
+                    stmt_span: (lo + stmt_lo, lo + stmt_hi),
+                    call_end: lo + close + 1,
+                });
+                f.events.push(Event::Call(ci));
+                // Continue scanning *inside* the argument list so nested
+                // calls are seen; `open` is punctuation, loop advances.
+                i = open;
+                continue;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+}
+
+/// Number of comma-separated items at nesting depth zero; `None` when
+/// the text contains `|` (closure parameters make comma counting
+/// ambiguous). `-> B` in `impl Fn(A) -> B` does not close a depth.
+fn count_list_items(list: &str) -> Option<usize> {
+    if list.trim().is_empty() {
+        return Some(0);
+    }
+    if list.contains('|') {
+        return None;
+    }
+    let bytes = list.as_bytes();
+    let mut depth = 0isize;
+    let mut items = 1usize;
+    let mut last_nonspace = 0u8;
+    for &b in bytes {
+        match b {
+            b'(' | b'[' | b'{' | b'<' => depth += 1,
+            b')' | b']' | b'}' => depth -= 1,
+            b'>' if last_nonspace != b'-' && last_nonspace != b'=' => depth -= 1,
+            b',' if depth == 0 => items += 1,
+            _ => {}
+        }
+        if !b.is_ascii_whitespace() {
+            last_nonspace = b;
+        }
+    }
+    // Trailing comma.
+    if list.trim_end().ends_with(',') {
+        items -= 1;
+    }
+    Some(items)
+}
+
+/// Offset of the `)` matching the `(` at `open`.
+fn balanced_close(body: &str, open: usize) -> Option<usize> {
+    let bytes = body.as_bytes();
+    let mut depth = 0usize;
+    for (j, b) in bytes.iter().enumerate().skip(open) {
+        match b {
+            b'(' => depth += 1,
+            b')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Classifies the tokens immediately before a call name: method call,
+/// path-qualified call, or free call — and the receiver chain for
+/// method calls.
+fn call_shape(body: &str, name_start: usize) -> (Option<String>, bool, Option<String>) {
+    let bytes = body.as_bytes();
+    let mut j = name_start;
+    while j > 0 && bytes[j - 1].is_ascii_whitespace() {
+        j -= 1;
+    }
+    if j >= 1 && bytes[j - 1] == b'.' {
+        // Method call; walk the receiver chain backwards over
+        // ident/`.`/`self` segments, tolerating interior whitespace from
+        // rustfmt-wrapped chains. `?` and `)` end the chain.
+        let mut k = j - 1;
+        let end = k;
+        while k > 0
+            && (is_ident_byte(bytes[k - 1])
+                || bytes[k - 1] == b'.'
+                || bytes[k - 1].is_ascii_whitespace())
+        {
+            k -= 1;
+        }
+        let recv: String = body[k..end]
+            .chars()
+            .filter(|c| !c.is_ascii_whitespace())
+            .collect();
+        let recv = recv.trim_matches('.');
+        let receiver = if recv.is_empty() || recv.ends_with('?') {
+            None
+        } else {
+            Some(recv.to_string())
+        };
+        return (None, true, receiver);
+    }
+    if j >= 2 && bytes[j - 1] == b':' && bytes[j - 2] == b':' {
+        let mut k = j - 2;
+        let end = k;
+        while k > 0 && is_ident_byte(bytes[k - 1]) {
+            k -= 1;
+        }
+        let q = &body[k..end];
+        if !q.is_empty() {
+            return (Some(q.to_string()), false, None);
+        }
+    }
+    (None, false, None)
+}
+
+/// Byte span of the statement containing offset `pos`: from just past
+/// the previous `;`/`{`/`}` to the `;` that closes the statement (or the
+/// closing `}` of the enclosing scope for tail expressions).
+fn stmt_span(body: &str, pos: usize) -> (usize, usize) {
+    let bytes = body.as_bytes();
+    let mut lo = pos;
+    while lo > 0 {
+        match bytes[lo - 1] {
+            b';' | b'{' | b'}' => break,
+            _ => lo -= 1,
+        }
+    }
+    let mut depth = 0isize;
+    let mut hi = pos;
+    while hi < bytes.len() {
+        match bytes[hi] {
+            b'{' | b'(' | b'[' => depth += 1,
+            b')' | b']' => depth -= 1,
+            b'}' => {
+                depth -= 1;
+                if depth < 0 {
+                    break;
+                }
+            }
+            b';' if depth <= 0 => {
+                hi += 1;
+                break;
+            }
+            _ => {}
+        }
+        hi += 1;
+    }
+    (lo, hi.min(bytes.len()))
+}
+
+/// Public wrapper over the internal `stmt_binding` for the must-wait
+/// tracker, which re-examines statements while following a handle
+/// through the body.
+pub fn stmt_binding_pub(stmt: &str) -> Option<String> {
+    stmt_binding(stmt)
+}
+
+/// The `let` binding ident at the start of a statement, if any.
+/// `let mut q = ...` → `q`; destructuring patterns return `None`.
+fn stmt_binding(stmt: &str) -> Option<String> {
+    let s = stmt.trim_start();
+    let rest = s.strip_prefix("let ")?;
+    let rest = rest.trim_start();
+    let rest = rest.strip_prefix("mut ").unwrap_or(rest).trim_start();
+    let end = rest
+        .find(|c: char| !c.is_alphanumeric() && c != '_')
+        .unwrap_or(rest.len());
+    let ident = &rest[..end];
+    let after = rest[end..].trim_start();
+    // Only a plain `ident =` / `ident: Ty =` binding; `Ok(x)`,
+    // tuples and the like are patterns we do not track.
+    if ident.is_empty() || !(after.starts_with('=') || after.starts_with(':')) {
+        return None;
+    }
+    Some(ident.to_string())
+}
+
+/// Whether the statement is `return ...`, or the body/block tail
+/// expression (no trailing `;`).
+fn stmt_is_returned(body: &str, stmt_lo: usize, stmt_hi: usize) -> bool {
+    let stmt = body[stmt_lo..stmt_hi].trim_start();
+    if stmt.starts_with("return ") || stmt.starts_with("return(") {
+        return true;
+    }
+    // Tail expression: the statement is not `;`-terminated and is
+    // followed (modulo whitespace) by the scope's closing brace or EOF.
+    if body[stmt_lo..stmt_hi].trim_end().ends_with(';') {
+        return false;
+    }
+    let after = body[stmt_hi..].trim_start();
+    after.is_empty() || after.starts_with('}')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> ParsedFile {
+        parse_file("crates/x/src/lib.rs", src)
+    }
+
+    #[test]
+    fn finds_fns_with_impl_and_trait_context() {
+        let p = parse(
+            "pub struct A;\n\
+             pub trait Comm { fn go(&self) { self.run(); } }\n\
+             impl Comm for A { fn go(&self) {} }\n\
+             impl A { fn run(&self) {} }\n\
+             fn free() {}\n",
+        );
+        let names: Vec<_> = p
+            .fns
+            .iter()
+            .map(|f| {
+                (
+                    f.name.as_str(),
+                    f.impl_type.as_deref(),
+                    f.trait_name.as_deref(),
+                )
+            })
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                ("go", None, Some("Comm")),
+                ("go", Some("A"), Some("Comm")),
+                ("run", Some("A"), None),
+                ("free", None, None),
+            ]
+        );
+    }
+
+    #[test]
+    fn generics_in_impl_headers_are_stripped() {
+        let p = parse("impl<T: Clone> Holder<T> { fn get(&self) {} }\n");
+        assert_eq!(p.fns[0].impl_type.as_deref(), Some("Holder"));
+        let p = parse("impl<'a, T> Iterator for Wrap<'a, T> { fn next(&mut self) {} }\n");
+        assert_eq!(p.fns[0].impl_type.as_deref(), Some("Wrap"));
+        assert_eq!(p.fns[0].trait_name.as_deref(), Some("Iterator"));
+    }
+
+    #[test]
+    fn calls_classify_method_qualified_and_free() {
+        let p =
+            parse("fn f(x: &X) { x.step(); ring::all_reduce(x); helper(1); self.inner.lock(); }\n");
+        let c = &p.fns[0].calls;
+        assert_eq!(c[0].name, "step");
+        assert!(c[0].is_method);
+        assert_eq!(c[0].receiver.as_deref(), Some("x"));
+        assert_eq!(c[1].name, "all_reduce");
+        assert_eq!(c[1].qualifier.as_deref(), Some("ring"));
+        assert_eq!(c[2].name, "helper");
+        assert!(!c[2].is_method);
+        assert_eq!(c[3].name, "lock");
+        assert_eq!(c[3].receiver.as_deref(), Some("self.inner"));
+        assert!(c[3].empty_args);
+    }
+
+    #[test]
+    fn bindings_tails_and_chains_are_recovered() {
+        let src = "fn f(&mut self) -> P {\n\
+                   let p = self.start();\n\
+                   let _x = self.start().wait();\n\
+                   self.start()\n\
+                   }\n";
+        let p = parse(src);
+        let c = &p.fns[0].calls;
+        let starts: Vec<_> = c.iter().filter(|c| c.name == "start").collect();
+        assert_eq!(starts.len(), 3);
+        assert_eq!(starts[0].binding.as_deref(), Some("p"));
+        assert!(!starts[0].tail_returned);
+        assert_eq!(starts[1].binding.as_deref(), Some("_x"));
+        assert!(starts[2].tail_returned, "tail expression is returned");
+    }
+
+    #[test]
+    fn panic_sites_and_allow_markers() {
+        let src = "fn f() {\n\
+                   a().unwrap();\n\
+                   // allow_verify(reason = \"documented\")\n\
+                   b().expect(\"x\");\n\
+                   }\n";
+        let p = parse(src);
+        let panics = &p.fns[0].panics;
+        assert_eq!(panics.len(), 2);
+        assert!(!panics[0].allowed);
+        assert_eq!(panics[0].what, "unwrap");
+        assert!(panics[1].allowed, "marker on the preceding line");
+    }
+
+    #[test]
+    fn cfg_test_fns_are_marked() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests { fn helper() {} }\n";
+        let p = parse(src);
+        assert!(!p.fns[0].is_test);
+        assert!(p.fns[1].is_test);
+    }
+
+    #[test]
+    fn drop_events_and_statement_ends() {
+        let p = parse("fn f(g: G) { let a = m.lock(); drop(a); n.lock(); }\n");
+        let evs: Vec<String> = p.fns[0].events.iter().map(|e| format!("{e:?}")).collect();
+        let joined = evs.join(",");
+        assert!(joined.contains("DropVar(\"a\")"), "{joined}");
+        assert!(joined.contains("StmtEnd"), "{joined}");
+    }
+
+    #[test]
+    fn nested_calls_inside_arguments_are_seen() {
+        let p = parse("fn f() { outer(inner(1), other()); }\n");
+        let names: Vec<_> = p.fns[0].calls.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["outer", "inner", "other"]);
+    }
+
+    #[test]
+    fn return_type_text_is_captured() {
+        let p = parse("fn f(&self) -> MutexGuard<'_, Inner> { self.m.lock() }\n");
+        assert!(p.fns[0].ret.contains("MutexGuard"), "{}", p.fns[0].ret);
+    }
+}

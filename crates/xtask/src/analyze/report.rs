@@ -1,0 +1,234 @@
+//! Findings, rule metadata, and the three output formats: human text,
+//! GitHub `::error` annotations, and a machine-readable JSON report.
+
+use std::fmt;
+
+/// Rule identifiers. Stable: CI configs and allowlists reference them.
+pub mod rules {
+    /// Panic reachable from a comm entry point.
+    pub const PANIC_REACH: &str = "ACP-A001";
+    /// Cycle in the lock-order graph.
+    pub const LOCK_ORDER: &str = "ACP-A002";
+    /// Collective dispatch / wait / socket IO while a telemetry lock is
+    /// held.
+    pub const BLOCKING_UNDER_LOCK: &str = "ACP-A003";
+    /// A dispatched collective's handle escapes without a wait.
+    pub const MUST_WAIT: &str = "ACP-A004";
+}
+
+/// One frame of a call-chain diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// `Type::fn`-style qualified name.
+    pub func: String,
+    /// Repo-relative file.
+    pub file: String,
+    /// 1-based line (of the call site leaving this frame, or of the
+    /// terminal site for the last frame).
+    pub line: usize,
+}
+
+/// One analyzer finding.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Rule id (`ACP-A001` …).
+    pub rule: &'static str,
+    /// Repo-relative file of the anchoring site.
+    pub file: String,
+    /// 1-based line of the anchoring site.
+    pub line: usize,
+    /// What went wrong and what to do about it.
+    pub message: String,
+    /// Full call chain, entry first; empty when the finding is local.
+    pub chain: Vec<Frame>,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {}:{}: {}",
+            self.rule, self.file, self.line, self.message
+        )?;
+        for (i, frame) in self.chain.iter().enumerate() {
+            write!(
+                f,
+                "\n    {}{} ({}:{})",
+                if i == 0 { "" } else { "→ " },
+                frame.func,
+                frame.file,
+                frame.line
+            )?;
+        }
+        Ok(())
+    }
+}
+
+impl Finding {
+    /// GitHub Actions annotation: single line, chain flattened.
+    pub fn github(&self) -> String {
+        let mut msg = format!("[{}] {}", self.rule, self.message);
+        if !self.chain.is_empty() {
+            let chain: Vec<String> = self.chain.iter().map(|fr| fr.func.clone()).collect();
+            msg.push_str(&format!(" (via {})", chain.join(" → ")));
+        }
+        format!(
+            "::error file={},line={}::{}",
+            self.file,
+            self.line,
+            msg.replace('\n', " ")
+        )
+    }
+}
+
+/// Coverage statistics for the summary line and the JSON report: the
+/// acceptance bar for the lock-order graph is that the recorder, tensor
+/// pool, serve server, elastic and launch files are all inside the
+/// analyzed scope.
+#[derive(Debug, Default)]
+pub struct Stats {
+    /// Files parsed.
+    pub files: usize,
+    /// Functions in the symbol table (tests included).
+    pub functions: usize,
+    /// Call-graph edges.
+    pub edges: usize,
+    /// Panic-reachability entry points.
+    pub entries: usize,
+    /// Distinct lock identities in the lock-order graph.
+    pub locks: usize,
+    /// Lock-order edges (`held → acquired` pairs).
+    pub lock_edges: usize,
+    /// Files contributing at least one lock acquisition.
+    pub lock_files: Vec<String>,
+    /// All files scanned (repo-relative), for scope assertions.
+    pub scanned: Vec<String>,
+}
+
+/// Minimal JSON string escaping.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the machine-readable report.
+pub fn to_json(findings: &[Finding], stats: &Stats) -> String {
+    let mut out = String::from("{\n  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\", \
+             \"chain\": [",
+            f.rule,
+            esc(&f.file),
+            f.line,
+            esc(&f.message)
+        ));
+        for (j, fr) in f.chain.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"fn\": \"{}\", \"file\": \"{}\", \"line\": {}}}",
+                esc(&fr.func),
+                esc(&fr.file),
+                fr.line
+            ));
+        }
+        out.push_str("]}");
+    }
+    out.push_str("\n  ],\n");
+    out.push_str(&format!(
+        "  \"stats\": {{\"files\": {}, \"functions\": {}, \"edges\": {}, \"entries\": {}, \
+         \"locks\": {}, \"lock_edges\": {}, \"lock_files\": [{}]}}\n}}\n",
+        stats.files,
+        stats.functions,
+        stats.edges,
+        stats.entries,
+        stats.locks,
+        stats.lock_edges,
+        stats
+            .lock_files
+            .iter()
+            .map(|f| format!("\"{}\"", esc(f)))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding() -> Finding {
+        Finding {
+            rule: rules::PANIC_REACH,
+            file: "crates/net/src/tcp.rs".to_string(),
+            line: 7,
+            message: "panic reachable".to_string(),
+            chain: vec![
+                Frame {
+                    func: "TcpCommunicator::all_reduce".to_string(),
+                    file: "crates/net/src/tcp.rs".to_string(),
+                    line: 3,
+                },
+                Frame {
+                    func: "helper".to_string(),
+                    file: "crates/net/src/tcp.rs".to_string(),
+                    line: 7,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn display_includes_rule_and_chain() {
+        let s = finding().to_string();
+        assert!(s.starts_with("ACP-A001 crates/net/src/tcp.rs:7:"), "{s}");
+        assert!(s.contains("TcpCommunicator::all_reduce"), "{s}");
+        assert!(s.contains("→ helper"), "{s}");
+    }
+
+    #[test]
+    fn github_annotation_is_single_line() {
+        let g = finding().github();
+        assert!(g.starts_with("::error file=crates/net/src/tcp.rs,line=7::"));
+        assert!(!g.contains('\n'));
+        assert!(g.contains("[ACP-A001]"));
+        assert!(g.contains("via TcpCommunicator::all_reduce → helper"));
+    }
+
+    #[test]
+    fn json_is_shaped_and_escaped() {
+        let mut f = finding();
+        f.message = "bad \"quote\"\npath".to_string();
+        let stats = Stats {
+            files: 2,
+            functions: 10,
+            edges: 12,
+            entries: 3,
+            locks: 2,
+            lock_edges: 1,
+            lock_files: vec!["crates/telemetry/src/recorder.rs".to_string()],
+            scanned: vec![],
+        };
+        let j = to_json(&[f], &stats);
+        assert!(j.contains("\"rule\": \"ACP-A001\""), "{j}");
+        assert!(j.contains("bad \\\"quote\\\"\\npath"), "{j}");
+        assert!(j.contains("\"lock_files\": [\"crates/telemetry/src/recorder.rs\"]"));
+        assert!(j.contains("\"entries\": 3"));
+    }
+}

@@ -1,0 +1,485 @@
+//! The whole-workspace symbol table: every parsed function with a stable
+//! id, name-indexed, plus conservative call-site resolution and
+//! lock-acquisition classification.
+
+use std::collections::{BTreeSet, HashMap};
+
+use super::parser::{Call, FnDef, ParsedFile};
+
+/// Stable function id: index into [`SymbolTable::fns`].
+pub type FnId = usize;
+
+/// What kind of guard a lock acquisition produces. Read/write locks on
+/// one `RwLock` share a lock *identity* — ordering is a property of the
+/// lock, not of the mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockKind {
+    /// `Mutex::lock`.
+    Mutex,
+    /// `RwLock::read`.
+    Read,
+    /// `RwLock::write`.
+    Write,
+}
+
+/// A function that wraps a lock acquisition and returns the guard
+/// (`fn lock(&self) -> MutexGuard<...>`), so its call sites are
+/// acquisition sites.
+#[derive(Debug, Clone)]
+pub enum LockWrapper {
+    /// Locks a field of `self`; the identity is fixed by the wrapper.
+    SelfField(String),
+    /// Locks its first parameter; the identity comes from the call
+    /// site's first argument.
+    Param,
+}
+
+/// One function plus the file context diagnostics need.
+pub struct FnRecord {
+    /// The parsed definition.
+    pub def: FnDef,
+    /// Repo-relative path of the defining file.
+    pub file: String,
+    /// File stem, the namespace for local lock identities.
+    pub stem: String,
+    /// Crate directory name (`crates/<krate>/src/...`), for dependency
+    /// filtering during resolution.
+    pub krate: String,
+    /// Lock-wrapper classification, if the function is one.
+    pub wrapper: Option<LockWrapper>,
+}
+
+impl FnRecord {
+    /// Whether a 1-based file line carries (or follows) an
+    /// `allow_verify(reason = ...)` marker.
+    pub fn allowed_line(&self, line: usize) -> bool {
+        let l0 = line.saturating_sub(1);
+        self.def.allow_lines.get(l0).copied().unwrap_or(false)
+            || (l0 > 0 && self.def.allow_lines.get(l0 - 1).copied().unwrap_or(false))
+    }
+
+    /// `Type::name`-style qualified name for diagnostics.
+    pub fn qualified(&self) -> String {
+        match (&self.def.impl_type, &self.def.trait_name) {
+            (Some(ty), _) => format!("{ty}::{}", self.def.name),
+            (None, Some(tr)) => format!("<{tr}>::{}", self.def.name),
+            (None, None) => self.def.name.clone(),
+        }
+    }
+}
+
+/// The workspace symbol table.
+pub struct SymbolTable {
+    /// Every function in scan order.
+    pub fns: Vec<FnRecord>,
+    by_name: HashMap<String, Vec<FnId>>,
+    /// Transitive crate-dependency closure (`core` → `{core, tensor,
+    /// collectives, …}`). Empty = no dependency information: every
+    /// crate sees every other (fixture mode).
+    deps: HashMap<String, BTreeSet<String>>,
+}
+
+/// Crate directory name from a `crates/<name>/src/...` path; empty for
+/// anything else.
+fn crate_of(rel_path: &str) -> String {
+    rel_path
+        .strip_prefix("crates/")
+        .and_then(|r| r.split('/').next())
+        .unwrap_or("")
+        .to_string()
+}
+
+impl SymbolTable {
+    /// Builds the table from parsed files, classifying lock wrappers.
+    /// No dependency information: every crate is visible to every other.
+    pub fn build(files: Vec<ParsedFile>) -> SymbolTable {
+        SymbolTable::build_with_deps(files, HashMap::new())
+    }
+
+    /// Builds the table with a transitive crate-dependency closure;
+    /// resolution only targets crates the caller's crate can name.
+    pub fn build_with_deps(
+        files: Vec<ParsedFile>,
+        deps: HashMap<String, BTreeSet<String>>,
+    ) -> SymbolTable {
+        let mut fns = Vec::new();
+        for file in files {
+            for def in file.fns {
+                fns.push(FnRecord {
+                    wrapper: classify_wrapper(&def, &file.stem),
+                    def,
+                    krate: crate_of(&file.rel_path),
+                    file: file.rel_path.clone(),
+                    stem: file.stem.clone(),
+                });
+            }
+        }
+        let mut by_name: HashMap<String, Vec<FnId>> = HashMap::new();
+        for (id, rec) in fns.iter().enumerate() {
+            by_name.entry(rec.def.name.clone()).or_default().push(id);
+        }
+        SymbolTable { fns, by_name, deps }
+    }
+
+    /// Whether `caller`'s crate can see `callee`'s crate.
+    fn visible(&self, caller: FnId, callee: FnId) -> bool {
+        if self.deps.is_empty() {
+            return true;
+        }
+        let from = &self.fns[caller].krate;
+        let to = &self.fns[callee].krate;
+        from == to || self.deps.get(from).is_some_and(|d| d.contains(to))
+    }
+
+    /// All functions named `name`.
+    pub fn named(&self, name: &str) -> &[FnId] {
+        self.by_name.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Conservative resolution of one call site in `caller` to the
+    /// workspace functions it may invoke. Unresolvable calls (std,
+    /// shims, derives) return an empty set — they are leaves of the
+    /// graph, visible to the checks only through their textual pattern
+    /// (panic macros, blocking names).
+    ///
+    /// The approximation, in order of preference:
+    /// 1. `Self::name` / `Qual::name` → functions in `impl Qual`, then
+    ///    free functions in a file named `qual.rs`; an unknown qualifier
+    ///    is an external type (std, shims) and resolves to nothing.
+    /// 2. `self.name(...)` → methods of the caller's own impl type or
+    ///    trait, then any method named `name`.
+    /// 3. `recv.name(...)` → any method named `name`.
+    /// 4. `name(...)` → free functions named `name`, or nothing.
+    ///
+    /// Candidates are always restricted to crates the caller's crate
+    /// depends on and to matching arity (when the call site's argument
+    /// count is unambiguous). Test functions never resolve: they are
+    /// outside the analyzed surface.
+    pub fn resolve(&self, caller: FnId, call: &Call) -> Vec<FnId> {
+        let fits = |id: FnId| -> bool {
+            let d = &self.fns[id].def;
+            !d.is_test && self.visible(caller, id) && call.nargs.is_none_or(|n| d.arity == n)
+        };
+        let candidates: Vec<FnId> = self
+            .named(&call.name)
+            .iter()
+            .copied()
+            .filter(|&id| fits(id))
+            .collect();
+        if candidates.is_empty() {
+            return candidates;
+        }
+        let caller_rec = &self.fns[caller];
+        if let Some(q) = &call.qualifier {
+            let q = if q == "Self" {
+                caller_rec.def.impl_type.clone().unwrap_or_default()
+            } else {
+                q.clone()
+            };
+            let by_type: Vec<FnId> = candidates
+                .iter()
+                .copied()
+                .filter(|&id| self.fns[id].def.impl_type.as_deref() == Some(q.as_str()))
+                .collect();
+            if !by_type.is_empty() {
+                return by_type;
+            }
+            return candidates
+                .iter()
+                .copied()
+                .filter(|&id| {
+                    let r = &self.fns[id];
+                    r.def.impl_type.is_none() && module_matches(&r.stem, &q)
+                })
+                .collect();
+        }
+        if call.is_method {
+            // A method on a complex-expression receiver (`f().g()`,
+            // `guard-chain.is_empty()`): the receiver's type is opaque
+            // and name-only resolution is almost always a std-container
+            // collision — treat as a leaf.
+            if call.receiver.is_none() {
+                return Vec::new();
+            }
+            if call.receiver.as_deref() == Some("self") {
+                let own: Vec<FnId> = candidates
+                    .iter()
+                    .copied()
+                    .filter(|&id| {
+                        let d = &self.fns[id].def;
+                        (caller_rec.def.impl_type.is_some()
+                            && d.impl_type == caller_rec.def.impl_type)
+                            || (caller_rec.def.trait_name.is_some()
+                                && d.trait_name == caller_rec.def.trait_name)
+                    })
+                    .collect();
+                if !own.is_empty() {
+                    return own;
+                }
+            }
+            return candidates
+                .iter()
+                .copied()
+                .filter(|&id| self.fns[id].def.has_self)
+                .collect();
+        }
+        candidates
+            .iter()
+            .copied()
+            .filter(|&id| self.fns[id].def.impl_type.is_none())
+            .collect()
+    }
+
+    /// Classifies a call site as a lock acquisition, returning the lock
+    /// identity and kind. See `DESIGN.md` §13 for the identity scheme.
+    pub fn acquisition(&self, caller: FnId, call: &Call) -> Option<(String, LockKind)> {
+        let rec = &self.fns[caller];
+        // Direct `.lock()` / `.read()` / `.write()` with no arguments on
+        // a receiver other than bare `self` (a bare `self` receiver is a
+        // wrapper method call, resolved below; `.write(buf)` is IO).
+        if call.is_method && call.empty_args {
+            let kind = match call.name.as_str() {
+                "lock" => Some(LockKind::Mutex),
+                "read" => Some(LockKind::Read),
+                "write" => Some(LockKind::Write),
+                _ => None,
+            };
+            if let Some(kind) = kind {
+                if call.receiver.as_deref() != Some("self") {
+                    let id = match &call.receiver {
+                        Some(r) => normalize_identity(r, rec),
+                        None => format!("{}::<expr@{}>", rec.stem, call.line),
+                    };
+                    return Some((id, kind));
+                }
+            }
+        }
+        // A call that resolves to a lock-wrapper function.
+        for callee in self.resolve(caller, call) {
+            let target = &self.fns[callee];
+            if let Some(wrapper) = &target.wrapper {
+                let kind = wrapper_kind(&target.def.ret);
+                let id = match wrapper {
+                    LockWrapper::SelfField(field) => {
+                        let ns = target
+                            .def
+                            .impl_type
+                            .clone()
+                            .unwrap_or_else(|| target.stem.clone());
+                        format!("{ns}::{field}")
+                    }
+                    LockWrapper::Param => match &call.first_arg {
+                        Some(arg) => normalize_identity(arg, rec),
+                        None => format!("{}::<expr@{}>", rec.stem, call.line),
+                    },
+                };
+                return Some((id, kind));
+            }
+        }
+        None
+    }
+}
+
+/// `ring::all_reduce` matches free functions in `ring.rs`; `lib`-rooted
+/// crates also match their crate name (`acp_collectives` ↔ `lib`, not
+/// resolvable — keep it simple and match the stem only).
+fn module_matches(stem: &str, qualifier: &str) -> bool {
+    stem == qualifier
+}
+
+/// Lock identity for a receiver/argument expression at a call site:
+/// `self.jobs` in `impl Server` → `Server::jobs`; a local or parameter
+/// chain keeps its last segment, namespaced by the file stem
+/// (`job.inner` in `server.rs` → `server::inner`). Distinct fields that
+/// share a name therefore *merge* (conservative: may report an order
+/// the runtime cannot take) while the same lock reached through
+/// different locals stays merged rather than splitting (which would
+/// silently drop edges).
+fn normalize_identity(expr: &str, caller: &FnRecord) -> String {
+    let expr = expr.trim().trim_start_matches('*');
+    if let Some(rest) = expr.strip_prefix("self.") {
+        let ns = caller
+            .def
+            .impl_type
+            .clone()
+            .unwrap_or_else(|| caller.stem.clone());
+        return format!("{ns}::{rest}");
+    }
+    let last = expr.rsplit('.').next().unwrap_or(expr);
+    format!("{}::{last}", caller.stem)
+}
+
+/// Guard kind from a wrapper's return-type text.
+fn wrapper_kind(ret: &str) -> LockKind {
+    if ret.contains("RwLockReadGuard") {
+        LockKind::Read
+    } else if ret.contains("RwLockWriteGuard") {
+        LockKind::Write
+    } else {
+        LockKind::Mutex
+    }
+}
+
+/// Detects lock-wrapper functions: the return type names a guard and the
+/// body's first lock acquisition is on `self.<field>` or on a parameter.
+fn classify_wrapper(def: &FnDef, _stem: &str) -> Option<LockWrapper> {
+    if !def.ret.contains("MutexGuard")
+        && !def.ret.contains("RwLockReadGuard")
+        && !def.ret.contains("RwLockWriteGuard")
+    {
+        return None;
+    }
+    for call in &def.calls {
+        if !call.is_method || !call.empty_args {
+            continue;
+        }
+        if !matches!(call.name.as_str(), "lock" | "read" | "write") {
+            continue;
+        }
+        match &call.receiver {
+            Some(r) if r.starts_with("self.") => {
+                return Some(LockWrapper::SelfField(r["self.".len()..].to_string()));
+            }
+            Some(_) => return Some(LockWrapper::Param),
+            None => continue,
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::parser::parse_file;
+    use super::*;
+
+    fn table(sources: &[(&str, &str)]) -> SymbolTable {
+        SymbolTable::build(
+            sources
+                .iter()
+                .map(|(path, src)| parse_file(path, src))
+                .collect(),
+        )
+    }
+
+    fn id_of(t: &SymbolTable, qualified: &str) -> FnId {
+        t.fns
+            .iter()
+            .position(|r| r.qualified() == qualified)
+            .unwrap_or_else(|| panic!("no fn {qualified}"))
+    }
+
+    #[test]
+    fn qualified_calls_prefer_the_named_type() {
+        let t = table(&[(
+            "crates/a/src/lib.rs",
+            "struct A; struct B;\n\
+             impl A { fn new() {} }\n\
+             impl B { fn new() {} }\n\
+             fn f() { A::new(); }\n",
+        )]);
+        let f = id_of(&t, "f");
+        let call = &t.fns[f].def.calls[0];
+        let resolved = t.resolve(f, call);
+        assert_eq!(resolved, vec![id_of(&t, "A::new")]);
+    }
+
+    #[test]
+    fn module_qualified_calls_match_the_file_stem() {
+        let t = table(&[
+            ("crates/a/src/ring.rs", "pub fn all_reduce() {}\n"),
+            ("crates/a/src/lib.rs", "fn f() { ring::all_reduce(); }\n"),
+        ]);
+        let f = id_of(&t, "f");
+        let resolved = t.resolve(f, &t.fns[f].def.calls[0]);
+        assert_eq!(resolved, vec![id_of(&t, "all_reduce")]);
+    }
+
+    #[test]
+    fn self_method_calls_stay_in_the_impl() {
+        let t = table(&[(
+            "crates/a/src/lib.rs",
+            "struct A; struct B;\n\
+             impl A { fn go(&self) { self.step(); } fn step(&self) {} }\n\
+             impl B { fn step(&self) {} }\n",
+        )]);
+        let go = id_of(&t, "A::go");
+        let resolved = t.resolve(go, &t.fns[go].def.calls[0]);
+        assert_eq!(resolved, vec![id_of(&t, "A::step")]);
+    }
+
+    #[test]
+    fn unknown_receiver_methods_resolve_to_every_method() {
+        let t = table(&[(
+            "crates/a/src/lib.rs",
+            "struct A; struct B;\n\
+             impl A { fn step(&self) {} }\n\
+             impl B { fn step(&self) {} }\n\
+             fn free_step() {}\n\
+             fn f(x: &A) { x.step(); }\n",
+        )]);
+        let f = id_of(&t, "f");
+        let resolved = t.resolve(f, &t.fns[f].def.calls[0]);
+        assert_eq!(resolved.len(), 2, "both methods, not the free fn");
+    }
+
+    #[test]
+    fn test_functions_never_resolve() {
+        let t = table(&[(
+            "crates/a/src/lib.rs",
+            "fn f() { helper(); }\n\
+             #[cfg(test)]\nmod tests { pub fn helper() {} }\n",
+        )]);
+        let f = id_of(&t, "f");
+        assert!(t.resolve(f, &t.fns[f].def.calls[0]).is_empty());
+    }
+
+    #[test]
+    fn direct_acquisitions_get_field_identities() {
+        let t = table(&[(
+            "crates/a/src/recorder.rs",
+            "struct Rec { inner: std::sync::Mutex<u32> }\n\
+             impl Rec { fn add(&self) { self.inner.lock(); } }\n",
+        )]);
+        let add = id_of(&t, "Rec::add");
+        let (id, kind) = t.acquisition(add, &t.fns[add].def.calls[0]).unwrap();
+        assert_eq!(id, "Rec::inner");
+        assert_eq!(kind, LockKind::Mutex);
+    }
+
+    #[test]
+    fn self_field_wrappers_fix_the_identity_at_the_callee() {
+        let t = table(&[(
+            "crates/a/src/recorder.rs",
+            "impl Rec {\n\
+             fn lock(&self) -> MutexGuard<'_, Inner> { self.inner.lock() }\n\
+             fn add(&self) { self.lock(); }\n\
+             }\n",
+        )]);
+        let add = id_of(&t, "Rec::add");
+        let (id, _) = t.acquisition(add, &t.fns[add].def.calls[0]).unwrap();
+        assert_eq!(id, "Rec::inner");
+    }
+
+    #[test]
+    fn param_wrappers_take_identity_from_the_call_site() {
+        let t = table(&[(
+            "crates/a/src/server.rs",
+            "fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> { m.lock() }\n\
+             struct Server { jobs: Mutex<u32> }\n\
+             impl Server { fn admit(&self) { lock(&self.jobs); } }\n",
+        )]);
+        let admit = id_of(&t, "Server::admit");
+        let (id, _) = t.acquisition(admit, &t.fns[admit].def.calls[0]).unwrap();
+        assert_eq!(id, "Server::jobs");
+    }
+
+    #[test]
+    fn io_write_with_arguments_is_not_an_acquisition() {
+        let t = table(&[(
+            "crates/a/src/lib.rs",
+            "fn f(s: &mut TcpStream, buf: &[u8]) { s.write(buf); s.flush(); }\n",
+        )]);
+        let f = id_of(&t, "f");
+        assert!(t.acquisition(f, &t.fns[f].def.calls[0]).is_none());
+    }
+}

@@ -2,19 +2,33 @@
 //!
 //! Subcommands:
 //!
-//! - `lint` — run the repo-invariant lint pass (see [`lint`]). Pass
-//!   `--github` to emit GitHub Actions `::error` annotations alongside
-//!   the human-readable report. Exits 1 when any invariant is violated.
-
-mod lexer;
-mod lint;
+//! - `lint` — run the repo-invariant lint pass (see [`xtask::lint`]).
+//!   Pass `--github` to emit GitHub Actions `::error` annotations
+//!   alongside the human-readable report. Exits 1 when any invariant is
+//!   violated.
+//! - `analyze` — run the interprocedural analyzer (see
+//!   [`xtask::analyze`]): call-graph panic reachability (ACP-A001),
+//!   lock-order consistency (ACP-A002), blocking-under-lock (ACP-A003)
+//!   and must-wait linearity (ACP-A004). Flags: `--github` for
+//!   annotations, `--json PATH` for a machine-readable report. Exits 1
+//!   on findings.
 
 use std::path::Path;
 use std::process::ExitCode;
 
+use xtask::{analyze, lint};
+
 fn usage() -> ExitCode {
-    eprintln!("usage: cargo xtask lint [--github]");
+    eprintln!("usage: cargo xtask <lint|analyze> [--github] [--json PATH]");
     ExitCode::from(2)
+}
+
+fn workspace_root() -> &'static Path {
+    // The binary lives at crates/xtask, two levels below the root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root") // allow_verify(reason = "dev tool, not a comm path")
 }
 
 fn main() -> ExitCode {
@@ -33,17 +47,34 @@ fn main() -> ExitCode {
             }
             run_lint(github)
         }
+        Some("analyze") => {
+            let mut github = false;
+            let mut json: Option<String> = None;
+            let mut rest = args[1..].iter();
+            while let Some(flag) = rest.next() {
+                match flag.as_str() {
+                    "--github" => github = true,
+                    "--json" => match rest.next() {
+                        Some(path) => json = Some(path.clone()),
+                        None => {
+                            eprintln!("analyze: `--json` needs a path");
+                            return usage();
+                        }
+                    },
+                    other => {
+                        eprintln!("analyze: unknown flag `{other}`");
+                        return usage();
+                    }
+                }
+            }
+            run_analyze(github, json.as_deref())
+        }
         _ => usage(),
     }
 }
 
 fn run_lint(github: bool) -> ExitCode {
-    // The binary lives at crates/xtask, two levels below the root.
-    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
-        .ancestors()
-        .nth(2)
-        .expect("workspace root"); // allow_verify(reason = "dev tool, not a comm path")
-    let findings = match lint::run(root) {
+    let findings = match lint::run(workspace_root()) {
         Ok(f) => f,
         Err(e) => {
             eprintln!("lint: {e}");
@@ -62,6 +93,43 @@ fn run_lint(github: bool) -> ExitCode {
     }
     eprintln!(
         "lint: {} violation{}",
+        findings.len(),
+        if findings.len() == 1 { "" } else { "s" }
+    );
+    ExitCode::FAILURE
+}
+
+fn run_analyze(github: bool, json: Option<&str>) -> ExitCode {
+    let (findings, stats) = match analyze::run(workspace_root()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("analyze: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(path) = json {
+        if let Err(e) = std::fs::write(path, analyze::to_json(&findings, &stats)) {
+            eprintln!("analyze: writing {path}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    println!(
+        "analyze: {} files, {} functions, {} call edges, {} entry points, \
+         {} locks, {} lock-order edges",
+        stats.files, stats.functions, stats.edges, stats.entries, stats.locks, stats.lock_edges
+    );
+    if findings.is_empty() {
+        println!("analyze: no findings");
+        return ExitCode::SUCCESS;
+    }
+    for f in &findings {
+        eprintln!("{f}");
+        if github {
+            println!("{}", f.github());
+        }
+    }
+    eprintln!(
+        "analyze: {} finding{}",
         findings.len(),
         if findings.len() == 1 { "" } else { "s" }
     );

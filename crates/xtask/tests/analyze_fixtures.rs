@@ -1,0 +1,83 @@
+//! End-to-end fixture tests for `cargo xtask analyze`: each seeded
+//! fixture under `tests/analyze_fixtures/<name>/` is a miniature
+//! workspace carrying exactly one violation of one rule, and the clean
+//! fixture must produce zero findings (no false positives).
+
+use std::path::PathBuf;
+
+use xtask::analyze::report::rules;
+use xtask::analyze::{run, Finding};
+
+fn analyze_fixture(name: &str) -> Vec<Finding> {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/analyze_fixtures")
+        .join(name);
+    let (findings, stats) = run(&root).expect("fixture analyzes");
+    assert!(stats.files > 0, "fixture `{name}` scanned no files");
+    findings
+}
+
+fn rules_of(findings: &[Finding]) -> Vec<&'static str> {
+    let mut rules: Vec<&'static str> = findings.iter().map(|f| f.rule).collect();
+    rules.dedup();
+    rules
+}
+
+#[test]
+fn panic_reach_fixture_reports_a001_with_the_full_chain() {
+    let findings = analyze_fixture("panic_reach");
+    assert_eq!(rules_of(&findings), vec![rules::PANIC_REACH]);
+    let f = &findings[0];
+    assert!(
+        f.message.contains("Net::all_reduce"),
+        "names the entry point: {}",
+        f.message
+    );
+    assert!(
+        f.chain.len() >= 3,
+        "chain covers entry → helper → panic site, got {:?}",
+        f.chain
+    );
+    assert!(f.chain.iter().any(|fr| fr.func.contains("all_reduce")));
+    assert!(f.chain.iter().any(|fr| fr.func == "fill"));
+}
+
+#[test]
+fn lock_cycle_fixture_reports_a002_naming_both_locks() {
+    let findings = analyze_fixture("lock_cycle");
+    assert_eq!(rules_of(&findings), vec![rules::LOCK_ORDER]);
+    let f = &findings[0];
+    assert!(f.message.contains("State::queue"), "{}", f.message);
+    assert!(f.message.contains("State::stats"), "{}", f.message);
+}
+
+#[test]
+fn blocking_under_lock_fixture_reports_a003() {
+    let findings = analyze_fixture("blocking_under_lock");
+    assert_eq!(rules_of(&findings), vec![rules::BLOCKING_UNDER_LOCK]);
+    let f = &findings[0];
+    assert!(f.message.contains("all_reduce"), "{}", f.message);
+    assert!(f.message.contains("Recorder::events"), "{}", f.message);
+}
+
+#[test]
+fn escaped_pending_fixture_reports_a004() {
+    let findings = analyze_fixture("escaped_pending");
+    assert_eq!(rules_of(&findings), vec![rules::MUST_WAIT]);
+    let f = &findings[0];
+    assert!(f.message.contains("dispatch"), "{}", f.message);
+    assert!(
+        f.message.contains("pushed into a field collection"),
+        "{}",
+        f.message
+    );
+}
+
+#[test]
+fn clean_fixture_has_zero_findings() {
+    let findings = analyze_fixture("clean");
+    assert!(
+        findings.is_empty(),
+        "clean fixture must produce no findings, got: {findings:#?}"
+    );
+}

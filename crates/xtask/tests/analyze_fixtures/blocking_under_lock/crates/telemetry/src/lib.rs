@@ -1,0 +1,22 @@
+//! Seeded ACP-A003 violation: a collective is dispatched while a
+//! recorder lock is held.
+
+use std::sync::Mutex;
+
+pub struct Net;
+
+impl Net {
+    pub fn poke(&mut self) {}
+}
+
+pub struct Recorder {
+    pub events: Mutex<Vec<u64>>,
+}
+
+impl Recorder {
+    pub fn flush_under_lock(&self, net: &mut Net) {
+        let guard = self.events.lock();
+        net.all_reduce(0);
+        drop(guard);
+    }
+}

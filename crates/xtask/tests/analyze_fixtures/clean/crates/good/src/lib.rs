@@ -1,0 +1,55 @@
+//! The clean fixture: an entry point with structured error handling,
+//! consistently ordered locks, and an awaited collective handle. The
+//! analyzer must report nothing here.
+
+use std::sync::Mutex;
+
+pub struct PendingOp;
+
+impl PendingOp {
+    pub fn wait(self) -> Result<u32, ()> {
+        Ok(0)
+    }
+}
+
+pub struct Comm;
+
+impl Comm {
+    pub fn dispatch(&mut self, op: u32) -> PendingOp {
+        let _ = op;
+        PendingOp
+    }
+}
+
+pub struct Net {
+    pub queue: Mutex<Vec<u32>>,
+    pub stats: Mutex<u64>,
+}
+
+pub trait Communicator {
+    fn all_reduce(&mut self, buf: &mut [f32]) -> Result<(), ()>;
+}
+
+impl Communicator for Net {
+    fn all_reduce(&mut self, buf: &mut [f32]) -> Result<(), ()> {
+        let total = checked_sum(buf)?;
+        let q = self.queue.lock();
+        let s = self.stats.lock();
+        drop(s);
+        drop(q);
+        let _ = total;
+        Ok(())
+    }
+}
+
+fn checked_sum(buf: &[f32]) -> Result<f32, ()> {
+    match buf.first() {
+        Some(first) => Ok(*first),
+        None => Err(()),
+    }
+}
+
+pub fn round(comm: &mut Comm) -> Result<u32, ()> {
+    let pending = comm.dispatch(1);
+    pending.wait()
+}

@@ -1,0 +1,24 @@
+//! Seeded ACP-A004 violation: a dispatched collective handle is pushed
+//! into a field collection instead of being awaited.
+
+pub struct PendingOp;
+
+pub struct Comm;
+
+impl Comm {
+    pub fn dispatch(&mut self, op: u32) -> PendingOp {
+        let _ = op;
+        PendingOp
+    }
+}
+
+pub struct Pipeline {
+    pub stash: Vec<PendingOp>,
+}
+
+impl Pipeline {
+    pub fn kick(&mut self, comm: &mut Comm) {
+        let pending = comm.dispatch(7);
+        self.stash.push(pending);
+    }
+}

@@ -1,0 +1,25 @@
+//! Seeded ACP-A002 violation: two methods acquire the same pair of
+//! mutexes in opposite orders.
+
+use std::sync::Mutex;
+
+pub struct State {
+    pub queue: Mutex<Vec<u32>>,
+    pub stats: Mutex<u64>,
+}
+
+impl State {
+    pub fn forward(&self) {
+        let q = self.queue.lock();
+        let s = self.stats.lock();
+        drop(s);
+        drop(q);
+    }
+
+    pub fn backward(&self) {
+        let s = self.stats.lock();
+        let q = self.queue.lock();
+        drop(q);
+        drop(s);
+    }
+}

@@ -1,0 +1,26 @@
+//! Seeded ACP-A001 violation: a `Communicator` entry point reaches a
+//! panicking helper two frames down.
+
+pub struct Net;
+
+pub trait Communicator {
+    fn all_reduce(&mut self, buf: &mut [f32]);
+}
+
+impl Communicator for Net {
+    fn all_reduce(&mut self, buf: &mut [f32]) {
+        fill(buf);
+    }
+}
+
+fn fill(buf: &mut [f32]) {
+    scale(buf);
+}
+
+fn scale(buf: &mut [f32]) {
+    let first = buf.first().expect("non-empty buffer");
+    let f = *first;
+    for v in buf.iter_mut() {
+        *v *= f;
+    }
+}

@@ -73,7 +73,7 @@ fn main() {
         ));
     }
     let wall_s = started.elapsed().as_secs_f64();
-    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    latencies.sort_by(|a, b| a.total_cmp(b));
     let stats = server.stats();
     // Dense jobs submit 1 collective per step, sparse jobs 2 (indices +
     // values), each aggregated exactly once.
